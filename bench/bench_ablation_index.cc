@@ -1,0 +1,85 @@
+// Ablation: Term Index posting-list compression (the paper's suggested
+// memory mitigation) — build time, lookup time and posting memory, raw vs
+// varbyte — plus CN canonicalization cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_network.h"
+#include "datasets/generators.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+Database& SharedDb() {
+  static Database* db = new Database(MakeDblp(45, 0.2));
+  return *db;
+}
+
+void BM_IndexBuildRaw(benchmark::State& state) {
+  Database& db = SharedDb();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    TermIndex index = TermIndex::Build(db);
+    bytes = index.PostingMemoryBytes();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["posting_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_IndexBuildRaw);
+
+void BM_IndexBuildCompressed(benchmark::State& state) {
+  Database& db = SharedDb();
+  TermIndexOptions options;
+  options.compress_postings = true;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    TermIndex index = TermIndex::Build(db, options);
+    bytes = index.PostingMemoryBytes();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["posting_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_IndexBuildCompressed);
+
+void BM_LookupRaw(benchmark::State& state) {
+  static TermIndex* index = new TermIndex(TermIndex::Build(SharedDb()));
+  const std::vector<std::string> terms = index->AllTerms();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->TuplesFor(terms[i++ % terms.size()]));
+  }
+}
+BENCHMARK(BM_LookupRaw);
+
+void BM_LookupCompressed(benchmark::State& state) {
+  static TermIndex* index = [] {
+    TermIndexOptions options;
+    options.compress_postings = true;
+    return new TermIndex(TermIndex::Build(SharedDb(), options));
+  }();
+  const std::vector<std::string> terms = index->AllTerms();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->TuplesFor(terms[i++ % terms.size()]));
+  }
+}
+BENCHMARK(BM_LookupCompressed);
+
+void BM_CnCanonicalForm(benchmark::State& state) {
+  // A representative 7-node CN path.
+  CandidateNetwork cn = CandidateNetwork::SingleNode(CnNode{0, 1, 0});
+  for (int i = 1; i < 7; ++i) {
+    cn = cn.Extend(i - 1, CnNode{static_cast<RelationId>(i % 4),
+                                 static_cast<Termset>(i % 3), -1});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cn.CanonicalForm());
+  }
+}
+BENCHMARK(BM_CnCanonicalForm);
+
+}  // namespace
+}  // namespace matcn
+
+BENCHMARK_MAIN();

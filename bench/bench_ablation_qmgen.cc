@@ -1,0 +1,77 @@
+// Ablation: the paper's Algorithm 1 (naive subset enumeration) vs the
+// equivalent cover-product QMGen, plus TSFind strategies — microbenchmarks
+// via google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "core/qmgen.h"
+#include "core/tsfind.h"
+#include "datasets/generators.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+struct Fixture {
+  Fixture() : db(MakeImdb(42, 0.05)), index(TermIndex::Build(db)) {
+    auto parsed = KeywordQuery::Parse("denzel washington gangster");
+    query = *parsed;
+    tuple_sets = TupleSetFinder::FindMem(index, query);
+  }
+  Database db;
+  TermIndex index;
+  KeywordQuery query;
+  std::vector<TupleSet> tuple_sets;
+};
+
+Fixture& Shared() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_QmGenNaive(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateMatchesNaive(f.query, f.tuple_sets));
+  }
+  state.counters["tuple_sets"] =
+      static_cast<double>(f.tuple_sets.size());
+}
+BENCHMARK(BM_QmGenNaive);
+
+void BM_QmGenCoverProduct(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateMatches(f.query, f.tuple_sets));
+  }
+}
+BENCHMARK(BM_QmGenCoverProduct);
+
+void BM_TsFindMem(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TupleSetFinder::FindMem(f.index, f.query));
+  }
+}
+BENCHMARK(BM_TsFindMem);
+
+void BM_TsFindScan(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TupleSetFinder::FindScan(f.db, f.query));
+  }
+}
+BENCHMARK(BM_TsFindScan);
+
+void BM_TermIndexBuild(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TermIndex::Build(f.db));
+  }
+}
+BENCHMARK(BM_TermIndexBuild);
+
+}  // namespace
+}  // namespace matcn
+
+BENCHMARK_MAIN();

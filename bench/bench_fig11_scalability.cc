@@ -1,0 +1,78 @@
+// Figure 11: CN generation time vs number of query keywords (K = 1..10),
+// random K-term queries per dataset; CNGen's failures at high K are
+// reported as FAIL (the budgeted stand-in for the paper's crashes).
+
+#include "baseline/cngen.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/matcngen.h"
+#include "datasets/workload.h"
+
+int main() {
+  using namespace matcn;
+  bench::PrintHeader(
+      "Figure 11: generation time vs number of keywords (K = 1..10)");
+
+  // The paper uses 100 random queries per K; default to 20 at bench scale
+  // (override with MATCN_FIG11_QUERIES).
+  const size_t queries_per_k = bench::EnvCount("MATCN_FIG11_QUERIES", 15);
+  const int t_max = static_cast<int>(bench::EnvCount("MATCN_TMAX", 5));
+
+  auto datasets = bench::BuildBenchDatasets(/*with_workloads=*/false);
+
+  TablePrinter table({"Dataset", "K", "MatCNGen-Mem ms", "CNGen ms",
+                      "CNGen fail%", "MCG matches (avg)"});
+  for (const auto& ds : datasets) {
+    WorkloadGenerator wgen(&ds->db, &ds->schema_graph, &ds->index);
+    MatCnGenOptions mat_options;
+    mat_options.t_max = t_max;
+    mat_options.max_matches = 1000;  // resource guard at extreme K
+    MatCnGen gen(&ds->schema_graph, mat_options);
+
+    for (size_t k = 1; k <= 10; ++k) {
+      std::vector<KeywordQuery> queries =
+          wgen.RandomQueries(queries_per_k, k, 500 + k);
+      if (queries.empty()) continue;
+      double mat_ms = 0, base_ms = 0, matches = 0;
+      size_t failures = 0, base_runs = 0;
+      for (const KeywordQuery& q : queries) {
+        Stopwatch watch;
+        GenerationResult mat = gen.Generate(q, ds->index);
+        mat_ms += watch.ElapsedMillis();
+        matches += static_cast<double>(mat.matches.size());
+
+        TupleSetGraph ts_graph(&ds->schema_graph, &mat.tuple_sets);
+        CnGenOptions base_options;
+        base_options.t_max = t_max;
+        base_options.max_partial_trees = 15'000;
+        watch.Reset();
+        CnGenResult base = CnGen(q, ts_graph, base_options);
+        if (base.failed) {
+          ++failures;
+        } else {
+          base_ms += watch.ElapsedMillis();
+          ++base_runs;
+        }
+      }
+      const double n = static_cast<double>(queries.size());
+      table.AddRow(
+          {ds->name, TablePrinter::Int(static_cast<int64_t>(k)),
+           TablePrinter::Num(mat_ms / n, 3),
+           base_runs > 0
+               ? TablePrinter::Num(base_ms / static_cast<double>(base_runs),
+                                   3)
+               : std::string("FAIL"),
+           TablePrinter::Num(100.0 * static_cast<double>(failures) / n, 1),
+           TablePrinter::Num(matches / n, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper: CNGen degrades sharply and cannot process any query "
+         "beyond 7 keywords (crashes);\nabout half the 5-keyword queries "
+         "already fail. MatCNGen completes every query at every K.\nShape "
+         "to check: CNGen fail% grows with K while MatCNGen-Mem stays "
+         "flat and fast.\n";
+  return 0;
+}

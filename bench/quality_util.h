@@ -1,0 +1,130 @@
+#ifndef MATCN_BENCH_QUALITY_UTIL_H_
+#define MATCN_BENCH_QUALITY_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/cngen.h"
+#include "bench/bench_util.h"
+#include "core/matcngen.h"
+#include "datagraph/banks.h"
+#include "datagraph/data_graph.h"
+#include "datagraph/dpbf.h"
+#include "eval/hybrid_ranker.h"
+#include "eval/skyline_ranker.h"
+#include "metrics/metrics.h"
+
+namespace matcn::bench {
+
+/// A keyword-search system under quality evaluation: name + a function
+/// producing a ranking for one workload query.
+struct QualitySystem {
+  std::string name;
+  std::function<std::vector<Jnt>(const BenchDataset&, const WorkloadQuery&)>
+      run;
+};
+
+/// The seven reimplemented configurations of the paper's Figures 7-9:
+/// three data-graph systems and four CN-pipeline configurations
+/// ({CNGen, MatCNGen} x {Hybrid, SkylineSweep}). The data graph is built
+/// once per dataset and cached inside the closures.
+inline std::vector<QualitySystem> MakeQualitySystems(
+    const std::vector<std::unique_ptr<BenchDataset>>& datasets, int t_max) {
+  // Per-dataset data graphs, built lazily and shared by the three
+  // data-graph systems.
+  auto graphs = std::make_shared<
+      std::unordered_map<const BenchDataset*, std::shared_ptr<DataGraph>>>();
+  auto graph_of = [graphs](const BenchDataset& ds) {
+    auto it = graphs->find(&ds);
+    if (it == graphs->end()) {
+      it = graphs
+               ->emplace(&ds, std::make_shared<DataGraph>(DataGraph::Build(
+                                  ds.db, ds.schema_graph)))
+               .first;
+    }
+    return it->second;
+  };
+  (void)datasets;
+
+  DataGraphSearchOptions dg_options;
+  dg_options.top_k = 1000;
+
+  auto run_cn_pipeline = [t_max](const BenchDataset& ds,
+                                 const WorkloadQuery& wq, bool use_matcngen,
+                                 bool use_skyline) {
+    std::vector<TupleSet> tuple_sets =
+        TupleSetFinder::FindMem(ds.index, wq.query);
+    std::vector<CandidateNetwork> cns;
+    GenerationResult mat;  // keeps tuple_sets alive uniformly
+    if (use_matcngen) {
+      MatCnGenOptions options;
+      options.t_max = t_max;
+      MatCnGen gen(&ds.schema_graph, options);
+      mat = gen.GenerateFromTupleSets(wq.query, std::move(tuple_sets), 0);
+      cns = mat.cns;
+      tuple_sets = mat.tuple_sets;
+    } else {
+      TupleSetGraph ts_graph(&ds.schema_graph, &tuple_sets);
+      CnGenOptions options;
+      options.t_max = t_max;
+      cns = CnGen(wq.query, ts_graph, options).cns;
+    }
+    EvalContext context;
+    context.db = &ds.db;
+    context.schema_graph = &ds.schema_graph;
+    context.index = &ds.index;
+    context.query = &wq.query;
+    context.tuple_sets = &tuple_sets;
+    context.cns = &cns;
+    RankerOptions options;
+    options.top_k = 1000;
+    options.per_cn_limit = 20'000;
+    if (use_skyline) {
+      SkylineSweepRanker ranker;
+      return ranker.TopK(context, options);
+    }
+    HybridRanker ranker;
+    return ranker.TopK(context, options);
+  };
+
+  std::vector<QualitySystem> systems;
+  systems.push_back(
+      {"BANKS", [graph_of, dg_options](const BenchDataset& ds,
+                                       const WorkloadQuery& wq) {
+         return BanksSearch(*graph_of(ds), ds.index, wq.query, dg_options);
+       }});
+  systems.push_back(
+      {"Bidirect", [graph_of, dg_options](const BenchDataset& ds,
+                                          const WorkloadQuery& wq) {
+         return BidirectionalSearch(*graph_of(ds), ds.index, wq.query,
+                                    dg_options);
+       }});
+  systems.push_back(
+      {"DPBF", [graph_of, dg_options](const BenchDataset& ds,
+                                      const WorkloadQuery& wq) {
+         return DpbfSearch(*graph_of(ds), ds.index, wq.query, dg_options);
+       }});
+  systems.push_back({"CNGen+H", [run_cn_pipeline](const BenchDataset& ds,
+                                                  const WorkloadQuery& wq) {
+                       return run_cn_pipeline(ds, wq, false, false);
+                     }});
+  systems.push_back({"CNGen+SS", [run_cn_pipeline](const BenchDataset& ds,
+                                                   const WorkloadQuery& wq) {
+                       return run_cn_pipeline(ds, wq, false, true);
+                     }});
+  systems.push_back({"MCG+H", [run_cn_pipeline](const BenchDataset& ds,
+                                                const WorkloadQuery& wq) {
+                       return run_cn_pipeline(ds, wq, true, false);
+                     }});
+  systems.push_back({"MCG+SS", [run_cn_pipeline](const BenchDataset& ds,
+                                                 const WorkloadQuery& wq) {
+                       return run_cn_pipeline(ds, wq, true, true);
+                     }});
+  return systems;
+}
+
+}  // namespace matcn::bench
+
+#endif  // MATCN_BENCH_QUALITY_UTIL_H_

@@ -1,0 +1,224 @@
+// Interactive keyword-search shell over the synthetic datasets — the kind
+// of front-end an R-KwS deployment would expose. Reads commands from
+// stdin; designed to also work non-interactively (pipe a script in).
+//
+//   $ ./matcn_shell [dataset] [scale]        (default: imdb 0.2)
+//
+// Commands:
+//   <keywords...>        run a keyword query, print top answers
+//   .cns <keywords...>   show the generated candidate networks only
+//   .sql <keywords...>   print the CNs as SQL
+//   .matches <keywords>  show tuple-sets and query matches
+//   .schema              print relations and foreign keys
+//   .stats               dataset / index statistics
+//   .topk N              set the answer count (default 5)
+//   .quit
+
+#include <iostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/cn_to_sql.h"
+#include "core/matcngen.h"
+#include "datasets/generators.h"
+#include "eval/skyline_ranker.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+using namespace matcn;
+
+namespace {
+
+std::string RenderTuple(const Database& db, TupleId id) {
+  const Relation& rel = db.relation(id.relation());
+  const RelationSchema& schema = rel.schema();
+  std::string out = schema.name() + "[";
+  bool first = true;
+  const Tuple& tuple = rel.tuple(id.row());
+  for (size_t a = 0; a < tuple.size(); ++a) {
+    if (schema.attribute(a).type != ValueType::kText) continue;
+    if (tuple[a].AsText().empty()) continue;
+    if (!first) out += " | ";
+    out += tuple[a].AsText();
+    first = false;
+  }
+  return out + "]";
+}
+
+struct Shell {
+  Database db;
+  SchemaGraph schema_graph;
+  TermIndex index;
+  size_t top_k = 5;
+
+  Result<GenerationResult> Generate(const std::string& text,
+                                    KeywordQuery* query_out) {
+    Result<KeywordQuery> query = KeywordQuery::Parse(text);
+    if (!query.ok()) return query.status();
+    *query_out = *query;
+    MatCnGen generator(&schema_graph);
+    return generator.Generate(*query, index);
+  }
+
+  void RunQuery(const std::string& text) {
+    KeywordQuery query;
+    Result<GenerationResult> gen = Generate(text, &query);
+    if (!gen.ok()) {
+      std::cout << "error: " << gen.status().ToString() << "\n";
+      return;
+    }
+    EvalContext context{&db, &schema_graph, &index, &query,
+                        &gen->tuple_sets, &gen->cns};
+    RankerOptions options;
+    options.top_k = top_k;
+    SkylineSweepRanker ranker;
+    std::vector<Jnt> answers = ranker.TopK(context, options);
+    std::cout << gen->cns.size() << " CNs, top " << answers.size()
+              << " answers:\n";
+    for (size_t i = 0; i < answers.size(); ++i) {
+      std::cout << "  #" << (i + 1) << "  ";
+      for (size_t t = 0; t < answers[i].tuples.size(); ++t) {
+        if (t > 0) std::cout << " -- ";
+        std::cout << RenderTuple(db, answers[i].tuples[t]);
+      }
+      std::cout << "\n";
+    }
+  }
+
+  void ShowCns(const std::string& text, bool as_sql) {
+    KeywordQuery query;
+    Result<GenerationResult> gen = Generate(text, &query);
+    if (!gen.ok()) {
+      std::cout << "error: " << gen.status().ToString() << "\n";
+      return;
+    }
+    for (const CandidateNetwork& cn : gen->cns) {
+      if (as_sql) {
+        std::cout << CandidateNetworkToSql(cn, db.schema(), query) << "\n\n";
+      } else {
+        std::cout << "  " << cn.ToString(db.schema(), query) << "\n";
+      }
+    }
+  }
+
+  void ShowMatches(const std::string& text) {
+    KeywordQuery query;
+    Result<GenerationResult> gen = Generate(text, &query);
+    if (!gen.ok()) {
+      std::cout << "error: " << gen.status().ToString() << "\n";
+      return;
+    }
+    std::cout << "tuple-sets (R_Q):\n";
+    for (const TupleSet& ts : gen->tuple_sets) {
+      std::cout << "  " << TupleSetName(ts, db.schema(), query) << "  ("
+                << ts.tuples.size() << " tuples)\n";
+    }
+    std::cout << "query matches (M_Q):\n";
+    for (const QueryMatch& match : gen->matches) {
+      std::cout << "  {";
+      for (size_t i = 0; i < match.size(); ++i) {
+        if (i > 0) std::cout << ", ";
+        std::cout << TupleSetName(gen->tuple_sets[match[i]], db.schema(),
+                                  query);
+      }
+      std::cout << "}\n";
+    }
+  }
+
+  void ShowSchema() const {
+    for (RelationId r = 0; r < db.num_relations(); ++r) {
+      const RelationSchema& rs = db.relation(r).schema();
+      std::cout << "  " << rs.name() << "(";
+      for (size_t a = 0; a < rs.num_attributes(); ++a) {
+        if (a > 0) std::cout << ", ";
+        std::cout << rs.attribute(a).name;
+      }
+      std::cout << ")  [" << db.relation(r).num_tuples() << " rows]\n";
+    }
+    for (const ForeignKey& fk : db.schema().foreign_keys()) {
+      std::cout << "  " << fk.from_relation << "." << fk.from_attribute
+                << " -> " << fk.to_relation << "." << fk.to_attribute
+                << "\n";
+    }
+  }
+
+  void ShowStats() const {
+    std::cout << "  relations: " << db.num_relations() << "\n  tuples: "
+              << db.TotalTuples() << "\n  RICs: "
+              << db.schema().foreign_keys().size() << "\n  indexed terms: "
+              << index.num_terms() << "\n  posting bytes: "
+              << index.PostingMemoryBytes() << "\n";
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? ToLower(argv[1]) : "imdb";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+  Shell shell{Database{}, SchemaGraph{}, TermIndex{}};
+  if (name == "imdb") {
+    shell.db = MakeImdb(42, scale);
+  } else if (name == "mondial") {
+    shell.db = MakeMondial(43, scale);
+  } else if (name == "wikipedia") {
+    shell.db = MakeWikipedia(44, scale);
+  } else if (name == "dblp") {
+    shell.db = MakeDblp(45, scale);
+  } else if (name == "tpch" || name == "tpc-h") {
+    shell.db = MakeTpch(46, scale);
+  } else {
+    std::cerr << "unknown dataset: " << name
+              << " (imdb|mondial|wikipedia|dblp|tpch)\n";
+    return 1;
+  }
+  shell.schema_graph = SchemaGraph::Build(shell.db.schema());
+  shell.index = TermIndex::Build(shell.db);
+
+  std::cout << "matcn shell — dataset " << name << " ("
+            << shell.db.TotalTuples()
+            << " tuples). Type keywords, or .help.\n";
+  std::string line;
+  while (std::cout << "matcn> " << std::flush, std::getline(std::cin, line)) {
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".help") {
+      std::cout << "  <keywords> | .cns <kw> | .sql <kw> | .matches <kw> | "
+                   ".schema | .stats | .topk N | .quit\n";
+      continue;
+    }
+    if (trimmed == ".schema") {
+      shell.ShowSchema();
+      continue;
+    }
+    if (trimmed == ".stats") {
+      shell.ShowStats();
+      continue;
+    }
+    if (trimmed.rfind(".topk ", 0) == 0) {
+      shell.top_k = std::max(1, std::atoi(trimmed.c_str() + 6));
+      std::cout << "  top_k = " << shell.top_k << "\n";
+      continue;
+    }
+    if (trimmed.rfind(".cns ", 0) == 0) {
+      shell.ShowCns(trimmed.substr(5), /*as_sql=*/false);
+      continue;
+    }
+    if (trimmed.rfind(".sql ", 0) == 0) {
+      shell.ShowCns(trimmed.substr(5), /*as_sql=*/true);
+      continue;
+    }
+    if (trimmed.rfind(".matches ", 0) == 0) {
+      shell.ShowMatches(trimmed.substr(9));
+      continue;
+    }
+    if (trimmed[0] == '.') {
+      std::cout << "unknown command (try .help)\n";
+      continue;
+    }
+    shell.RunQuery(trimmed);
+  }
+  return 0;
+}

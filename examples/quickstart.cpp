@@ -1,0 +1,150 @@
+// Quickstart: build a small movie database, run the full MatCNGen
+// pipeline on the paper's running example query, and print the candidate
+// networks, their SQL, and the ranked answers.
+//
+//   $ ./quickstart [keyword query]          (default: the paper's query)
+
+#include <iostream>
+
+#include "core/cn_to_sql.h"
+#include "core/matcngen.h"
+#include "eval/skyline_ranker.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "storage/database.h"
+
+using namespace matcn;
+
+namespace {
+
+/// A miniature IMDb-style database (paper Figure 3's schema).
+Database BuildMovieDatabase() {
+  Database db;
+  auto mk = [&](const char* name, std::vector<Attribute> attrs) {
+    auto r = db.CreateRelation(RelationSchema(name, std::move(attrs)));
+    if (!r.ok()) std::abort();
+  };
+  auto pk = [](const char* n) {
+    return Attribute{n, ValueType::kInt, true, false};
+  };
+  auto fk = [](const char* n) {
+    return Attribute{n, ValueType::kInt, false, false};
+  };
+  auto text = [](const char* n) {
+    return Attribute{n, ValueType::kText, false, true};
+  };
+
+  mk("PER", {pk("id"), text("name")});
+  mk("MOV", {pk("id"), text("title")});
+  mk("CHAR", {pk("id"), text("name")});
+  mk("ROLE", {pk("id"), text("name")});
+  mk("CAST", {pk("id"), fk("mid"), fk("pid"), fk("chid"), fk("rid"),
+              text("note")});
+  for (const auto& [from, attr, to] :
+       std::vector<std::tuple<const char*, const char*, const char*>>{
+           {"CAST", "mid", "MOV"},
+           {"CAST", "pid", "PER"},
+           {"CAST", "chid", "CHAR"},
+           {"CAST", "rid", "ROLE"}}) {
+    if (!db.AddForeignKey({from, attr, to, "id"}).ok()) std::abort();
+  }
+
+  auto ins = [&](const char* rel, Tuple t) {
+    if (!db.Insert(rel, std::move(t)).ok()) std::abort();
+  };
+  ins("PER", {Value(int64_t{1}), Value("Denzel Washington")});
+  ins("PER", {Value(int64_t{2}), Value("Russell Crowe")});
+  ins("PER", {Value(int64_t{3}), Value("Ridley Scott")});
+  ins("MOV", {Value(int64_t{1}), Value("American Gangster")});
+  ins("MOV", {Value(int64_t{2}), Value("Gladiator")});
+  ins("CHAR", {Value(int64_t{1}), Value("Frank Lucas")});
+  ins("CHAR", {Value(int64_t{2}), Value("Richie Roberts")});
+  ins("CHAR", {Value(int64_t{3}), Value("Maximus")});
+  ins("ROLE", {Value(int64_t{1}), Value("actor")});
+  ins("ROLE", {Value(int64_t{2}), Value("director")});
+  ins("CAST", {Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{1}),
+               Value(int64_t{1}), Value(int64_t{1}), Value("lead")});
+  ins("CAST", {Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{2}),
+               Value(int64_t{2}), Value(int64_t{1}), Value("lead")});
+  ins("CAST", {Value(int64_t{3}), Value(int64_t{1}), Value(int64_t{3}),
+               Value(int64_t{1}), Value(int64_t{2}), Value("")});
+  ins("CAST", {Value(int64_t{4}), Value(int64_t{2}), Value(int64_t{2}),
+               Value(int64_t{3}), Value(int64_t{1}), Value("")});
+  return db;
+}
+
+std::string RenderTuple(const Database& db, TupleId id) {
+  const Relation& rel = db.relation(id.relation());
+  std::string out = rel.schema().name() + "(";
+  const Tuple& tuple = rel.tuple(id.row());
+  for (size_t a = 0; a < tuple.size(); ++a) {
+    if (a > 0) out += ", ";
+    out += tuple[a].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = "denzel washington gangster";
+  if (argc > 1) {
+    text.clear();
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) text += " ";
+      text += argv[i];
+    }
+  }
+
+  Database db = BuildMovieDatabase();
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+
+  Result<KeywordQuery> query = KeywordQuery::Parse(text);
+  if (!query.ok()) {
+    std::cerr << "bad query: " << query.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Query: " << query->ToString() << "\n\n";
+
+  // Step 1-3: tuple-sets, query matches, candidate networks.
+  MatCnGen generator(&schema_graph);
+  GenerationResult result = generator.Generate(*query, index);
+  std::cout << result.tuple_sets.size() << " tuple-sets, "
+            << result.matches.size() << " query matches, "
+            << result.cns.size() << " candidate networks:\n";
+  for (const CandidateNetwork& cn : result.cns) {
+    std::cout << "  " << cn.ToString(db.schema(), *query) << "\n";
+  }
+
+  if (!result.cns.empty()) {
+    std::cout << "\nSQL for the first CN:\n"
+              << CandidateNetworkToSql(result.cns[0], db.schema(), *query)
+              << "\n";
+  }
+
+  // Step 4: evaluate with Skyline-Sweeping and print the answers.
+  EvalContext context;
+  context.db = &db;
+  context.schema_graph = &schema_graph;
+  context.index = &index;
+  context.query = &*query;
+  context.tuple_sets = &result.tuple_sets;
+  context.cns = &result.cns;
+  RankerOptions options;
+  options.top_k = 10;
+  SkylineSweepRanker ranker;
+  std::vector<Jnt> answers = ranker.TopK(context, options);
+
+  std::cout << "\nTop answers:\n";
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::cout << "  #" << (i + 1) << " (score "
+              << static_cast<int>(answers[i].score * 100) / 100.0 << "): ";
+    for (size_t t = 0; t < answers[i].tuples.size(); ++t) {
+      if (t > 0) std::cout << "  ⋈  ";
+      std::cout << RenderTuple(db, answers[i].tuples[t]);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

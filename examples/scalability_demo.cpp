@@ -1,0 +1,68 @@
+// Demonstrates the paper's scalability headline (Figure 11): as keyword
+// count grows, CNGen's exhaustive expansion explodes while MatCNGen keeps
+// generating CNs in milliseconds.
+//
+//   $ ./scalability_demo [max_keywords]
+
+#include <iostream>
+
+#include "baseline/cngen.h"
+#include "common/timer.h"
+#include "core/matcngen.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+using namespace matcn;
+
+int main(int argc, char** argv) {
+  const size_t max_k = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  Database db = MakeDblp(/*seed=*/45, /*scale=*/0.15);
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+  WorkloadGenerator wgen(&db, &schema_graph, &index);
+
+  MatCnGenOptions options;
+  options.t_max = 5;
+  options.max_matches = 2000;
+  MatCnGen gen(&schema_graph, options);
+
+  std::cout << "DBLP-style dataset, " << db.TotalTuples()
+            << " tuples. 5 random queries per K.\n\n"
+            << "K  MatCNGen(ms)  CNGen(ms)   CNGen status\n";
+  for (size_t k = 1; k <= max_k; ++k) {
+    std::vector<KeywordQuery> queries = wgen.RandomQueries(5, k, 123 + k);
+    double mat_ms = 0, base_ms = 0;
+    size_t failures = 0;
+    for (const KeywordQuery& q : queries) {
+      Stopwatch watch;
+      GenerationResult mat = gen.Generate(q, index);
+      mat_ms += watch.ElapsedMillis();
+
+      TupleSetGraph ts_graph(&schema_graph, &mat.tuple_sets);
+      CnGenOptions base_options;
+      base_options.t_max = 5;
+      base_options.max_partial_trees = 100'000;
+      watch.Reset();
+      CnGenResult base = CnGen(q, ts_graph, base_options);
+      base_ms += watch.ElapsedMillis();
+      if (base.failed) ++failures;
+    }
+    const double n = static_cast<double>(queries.size());
+    std::cout << k << "  " << mat_ms / n << "  \t" << base_ms / n << "  \t";
+    if (failures == queries.size()) {
+      std::cout << "FAILED on every query (budget exhausted)";
+    } else if (failures > 0) {
+      std::cout << failures << "/" << queries.size() << " failed";
+    } else {
+      std::cout << "ok";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nThe budget failure emulates the memory-exhaustion "
+               "crashes the paper reports for CNGen\nbeyond 7 keywords; "
+               "MatCNGen completes every query.\n";
+  return 0;
+}

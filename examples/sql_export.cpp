@@ -1,0 +1,54 @@
+// Exports the candidate networks of a keyword query as SQL, the form an
+// R-KwS system hands to its RDBMS — here over the Mondial-style dataset
+// with its 28-relation schema.
+//
+//   $ ./sql_export "lisbon economy" [max_cns]
+
+#include <iostream>
+
+#include "core/cn_to_sql.h"
+#include "core/matcngen.h"
+#include "datasets/generators.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+using namespace matcn;
+
+int main(int argc, char** argv) {
+  const std::string text = argc > 1 ? argv[1] : "lisbon economy";
+  const size_t max_cns = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  Database db = MakeMondial(/*seed=*/43, /*scale=*/0.2);
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+
+  Result<KeywordQuery> query = KeywordQuery::Parse(text);
+  if (!query.ok()) {
+    std::cerr << "bad query: " << query.status().ToString() << "\n";
+    return 1;
+  }
+
+  MatCnGen generator(&schema_graph);
+  GenerationResult result = generator.Generate(*query, index);
+  std::cout << "-- Query " << query->ToString() << " over Mondial ("
+            << db.num_relations() << " relations, "
+            << db.schema().foreign_keys().size() << " RICs)\n"
+            << "-- " << result.matches.size() << " query matches, "
+            << result.cns.size() << " candidate networks\n";
+  if (result.cns.empty()) {
+    std::cout << "-- no candidate network: some keyword does not occur in "
+                 "the database\n";
+    return 0;
+  }
+  for (size_t i = 0; i < result.cns.size() && i < max_cns; ++i) {
+    std::cout << "\n-- CN " << (i + 1) << ": "
+              << result.cns[i].ToString(db.schema(), *query) << "\n"
+              << CandidateNetworkToSql(result.cns[i], db.schema(), *query)
+              << "\n";
+  }
+  if (result.cns.size() > max_cns) {
+    std::cout << "\n-- (" << (result.cns.size() - max_cns)
+              << " more CNs suppressed; pass a larger max_cns)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "baseline/cngen.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "core/minimal_cover.h"
+
+namespace matcn {
+namespace {
+
+struct PartialTree {
+  CandidateNetwork tree;
+  std::vector<int> ts_nodes;  // tuple-set-graph node per tree node
+  Termset covered = 0;
+};
+
+/// True if some non-free node's termset is contained in the union of the
+/// other non-free nodes' termsets. Such redundancy can never be repaired
+/// by growing the tree, so these partial trees are dead.
+bool HasRedundantNonFree(const CandidateNetwork& tree) {
+  const size_t n = tree.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (tree.node(static_cast<int>(i)).is_free()) continue;
+    Termset others = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) others |= tree.node(static_cast<int>(j)).termset;
+    }
+    if ((others | tree.node(static_cast<int>(i)).termset) == others) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasFreeLeaf(const CandidateNetwork& tree) {
+  for (int leaf : tree.Leaves()) {
+    if (tree.node(leaf).is_free()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CnGenResult CnGen(const KeywordQuery& query, const TupleSetGraph& graph,
+                  const CnGenOptions& options) {
+  CnGenResult result;
+  const Termset full = query.FullTermset();
+
+  std::deque<PartialTree> queue;
+  std::unordered_set<std::string> seen;
+
+  auto make_cn_node = [&](int ts_node) {
+    const TsNode& n = graph.node(ts_node);
+    return CnNode{n.relation, n.termset, n.tuple_set_index};
+  };
+
+  auto consider = [&](PartialTree tree) {
+    std::string canon = tree.tree.CanonicalForm();
+    if (!seen.insert(std::move(canon)).second) return;
+    if (HasRedundantNonFree(tree.tree)) return;
+    if (tree.covered == full) {
+      if (HasFreeLeaf(tree.tree)) return;  // cannot be repaired (see above)
+      std::vector<Termset> termsets;
+      for (const CnNode& n : tree.tree.nodes()) {
+        if (!n.is_free()) termsets.push_back(n.termset);
+      }
+      if (IsMinimalCover(termsets, full)) {
+        result.cns.push_back(tree.tree);
+      }
+      return;  // accepted or dead: extensions only add redundancy
+    }
+    if (tree.tree.size() < static_cast<size_t>(options.t_max)) {
+      queue.push_back(std::move(tree));
+    }
+  };
+
+  // Seed with every non-free tuple-set as a single-node tree.
+  for (size_t id = 0; id < graph.num_nodes(); ++id) {
+    if (graph.IsFree(static_cast<int>(id))) continue;
+    PartialTree initial;
+    initial.tree =
+        CandidateNetwork::SingleNode(make_cn_node(static_cast<int>(id)));
+    initial.ts_nodes = {static_cast<int>(id)};
+    initial.covered = graph.node(static_cast<int>(id)).termset;
+    consider(std::move(initial));
+  }
+
+  while (!queue.empty()) {
+    if (++result.trees_dequeued > options.max_partial_trees) {
+      result.failed = true;
+      break;
+    }
+    PartialTree current = std::move(queue.front());
+    queue.pop_front();
+
+    for (size_t pos = 0; pos < current.ts_nodes.size(); ++pos) {
+      for (int nbr : graph.Neighbors(current.ts_nodes[pos])) {
+        if (!graph.IsFree(nbr)) {
+          bool used = false;
+          for (int existing : current.ts_nodes) {
+            if (existing == nbr) {
+              used = true;
+              break;
+            }
+          }
+          if (used) continue;
+        }
+        PartialTree next;
+        next.tree =
+            current.tree.Extend(static_cast<int>(pos), make_cn_node(nbr));
+        if (!next.tree.IsSoundAround(graph.schema_graph(),
+                                     static_cast<int>(pos))) {
+          continue;
+        }
+        next.ts_nodes = current.ts_nodes;
+        next.ts_nodes.push_back(nbr);
+        next.covered = current.covered | graph.node(nbr).termset;
+        consider(std::move(next));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace matcn

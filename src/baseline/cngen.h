@@ -1,0 +1,46 @@
+#ifndef MATCN_BASELINE_CNGEN_H_
+#define MATCN_BASELINE_CNGEN_H_
+
+#include <vector>
+
+#include "core/candidate_network.h"
+#include "core/keyword_query.h"
+#include "core/tuple_set_graph.h"
+
+namespace matcn {
+
+struct CnGenOptions {
+  /// Maximum CN size in tuple-sets.
+  int t_max = 5;
+  /// Budget on dequeued partial trees. CNGen's exhaustive expansion of the
+  /// full tuple-set graph is the paper's scalability villain — the real
+  /// implementation crashes with memory exhaustion on queries with many
+  /// keywords (Fig. 11). Exceeding this budget sets `failed`, emulating
+  /// those crashes deterministically instead of exhausting RAM.
+  size_t max_partial_trees = 500'000;
+};
+
+struct CnGenResult {
+  std::vector<CandidateNetwork> cns;
+  /// True when the tree budget was exhausted before the search completed
+  /// (the equivalent of the baseline crashing in the paper's experiments).
+  bool failed = false;
+  size_t trees_dequeued = 0;
+};
+
+/// DISCOVER's CNGen [Hristidis & Papakonstantinou 2002]: exhaustive
+/// breadth-first enumeration of every sound, total, minimal candidate
+/// network of size <= t_max over the *full* tuple-set graph, with
+/// canonical-form duplicate elimination (the fix of Markowetz et al.).
+///
+/// Unlike MatCNGen this cannot stop early: it must keep expanding until
+/// all partial trees reach t_max, which is the behaviour the paper sets
+/// out to replace. Acceptance requires the non-free termsets to form a
+/// minimal cover of the query (Lemma 1), every leaf to be non-free, and
+/// the tree to be sound.
+CnGenResult CnGen(const KeywordQuery& query, const TupleSetGraph& graph,
+                  const CnGenOptions& options = {});
+
+}  // namespace matcn
+
+#endif  // MATCN_BASELINE_CNGEN_H_

@@ -1,0 +1,65 @@
+#ifndef MATCN_COMMON_RNG_H_
+#define MATCN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace matcn {
+
+/// Deterministic random source used by all dataset and workload generators.
+/// Every generator takes an explicit seed so experiments reproduce exactly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    std::uniform_int_distribution<uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Picks a uniformly random element index of a container of size n.
+  /// Requires n > 0.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(0, n - 1)); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Samples ranks from a Zipf(s) distribution over [0, n): rank r is drawn
+/// with probability proportional to 1/(r+1)^s. Precomputes the CDF once;
+/// each Sample() is a binary search. Used to give synthetic text realistic
+/// head-heavy term frequencies (frequent terms like "africa"/"economy" in
+/// the paper's CIA Facts anecdote).
+class ZipfSampler {
+ public:
+  /// Requires n > 0 and s >= 0 (s == 0 degrades to uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Returns a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_RNG_H_

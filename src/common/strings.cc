@@ -1,0 +1,85 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace matcn {
+namespace {
+
+bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
+
+bool TokenEqualsCaseInsensitive(std::string_view token,
+                                std::string_view needle) {
+  if (token.size() != needle.size()) return false;
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(token[i])) !=
+        std::tolower(static_cast<unsigned char>(needle[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || delims.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool ContainsWordCaseInsensitive(std::string_view haystack,
+                                 std::string_view needle) {
+  if (needle.empty()) return false;
+  size_t i = 0;
+  while (i < haystack.size()) {
+    while (i < haystack.size() &&
+           !IsTokenChar(static_cast<unsigned char>(haystack[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < haystack.size() &&
+           IsTokenChar(static_cast<unsigned char>(haystack[i]))) {
+      ++i;
+    }
+    if (i > start &&
+        TokenEqualsCaseInsensitive(haystack.substr(start, i - start),
+                                   needle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace matcn

@@ -1,0 +1,30 @@
+#ifndef MATCN_COMMON_STRINGS_H_
+#define MATCN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace matcn {
+
+/// ASCII-lowercases `s` (the library normalizes all indexed text to ASCII
+/// lowercase; non-ASCII bytes pass through unchanged).
+std::string ToLower(std::string_view s);
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `haystack` contains `needle` case-insensitively — the semantics
+/// of PostgreSQL's ILIKE '%needle%' used by the paper's disk-based TSFind.
+bool ContainsWordCaseInsensitive(std::string_view haystack,
+                                 std::string_view needle);
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_STRINGS_H_

@@ -1,0 +1,36 @@
+#ifndef MATCN_COMMON_TABLE_PRINTER_H_
+#define MATCN_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace matcn {
+
+/// Renders aligned plain-text tables. The benchmark binaries use this to
+/// print the same rows the paper's tables and figure series report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (the rest
+  /// render empty) but not more.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  /// Writes the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_TABLE_PRINTER_H_

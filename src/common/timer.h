@@ -1,0 +1,40 @@
+#ifndef MATCN_COMMON_TIMER_H_
+#define MATCN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace matcn {
+
+/// Wall-clock stopwatch used by the benchmark harnesses to split CN
+/// generation time into its tuple-set and CN-construction components
+/// (Figure 10 of the paper).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset(), in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_TIMER_H_

@@ -1,0 +1,100 @@
+#include "core/candidate_network.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/tree_canonical.h"
+
+namespace matcn {
+
+CandidateNetwork CandidateNetwork::SingleNode(CnNode node) {
+  CandidateNetwork cn;
+  cn.nodes_.push_back(node);
+  cn.parents_.push_back(-1);
+  return cn;
+}
+
+CandidateNetwork CandidateNetwork::Extend(int attach_to, CnNode node) const {
+  CandidateNetwork cn = *this;
+  cn.nodes_.push_back(node);
+  cn.parents_.push_back(attach_to);
+  return cn;
+}
+
+int CandidateNetwork::num_non_free() const {
+  int count = 0;
+  for (const CnNode& n : nodes_) {
+    if (!n.is_free()) ++count;
+  }
+  return count;
+}
+
+Termset CandidateNetwork::CoveredTermset() const {
+  Termset t = 0;
+  for (const CnNode& n : nodes_) t |= n.termset;
+  return t;
+}
+
+std::vector<std::vector<int>> CandidateNetwork::Adjacency() const {
+  std::vector<std::vector<int>> adj(nodes_.size());
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    adj[i].push_back(parents_[i]);
+    adj[parents_[i]].push_back(static_cast<int>(i));
+  }
+  return adj;
+}
+
+std::vector<int> CandidateNetwork::Leaves() const {
+  std::vector<std::vector<int>> adj = Adjacency();
+  std::vector<int> leaves;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (adj[i].size() <= 1) leaves.push_back(static_cast<int>(i));
+  }
+  return leaves;
+}
+
+std::string CandidateNetwork::CanonicalForm() const {
+  std::vector<std::string> labels;
+  labels.reserve(nodes_.size());
+  for (const CnNode& n : nodes_) {
+    labels.push_back(std::to_string(n.relation) + "#" +
+                     std::to_string(n.termset));
+  }
+  return CanonicalTreeEncoding(Adjacency(), labels);
+}
+
+bool CandidateNetwork::IsSoundAround(const SchemaGraph& schema_graph,
+                                     int center) const {
+  const std::vector<std::vector<int>> adj = Adjacency();
+  // Count neighbours of `center` per base relation.
+  std::unordered_map<RelationId, int> per_relation;
+  for (int nbr : adj[center]) {
+    ++per_relation[nodes_[nbr].relation];
+  }
+  const RelationId s = nodes_[center].relation;
+  for (const auto& [r, count] : per_relation) {
+    if (count >= 2 && schema_graph.References(s, r)) return false;
+  }
+  return true;
+}
+
+bool CandidateNetwork::IsSound(const SchemaGraph& schema_graph) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!IsSoundAround(schema_graph, static_cast<int>(i))) return false;
+  }
+  return true;
+}
+
+std::string CandidateNetwork::ToString(const DatabaseSchema& schema,
+                                       const KeywordQuery& query) const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += " ⋈ ";
+    out += schema.relation(nodes_[i].relation).name();
+    out += "^";
+    out += query.TermsetToString(nodes_[i].termset);
+  }
+  return out;
+}
+
+}  // namespace matcn

@@ -1,0 +1,87 @@
+#ifndef MATCN_CORE_CANDIDATE_NETWORK_H_
+#define MATCN_CORE_CANDIDATE_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "core/tuple_set.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+
+/// One node of a candidate network: a tuple-set reference. Free tuple-sets
+/// have termset == 0 and tuple_set_index == -1; non-free nodes keep the
+/// index of their TupleSet in R_Q so evaluation can reach the tuple lists.
+struct CnNode {
+  RelationId relation = 0;
+  Termset termset = 0;
+  int tuple_set_index = -1;
+
+  bool is_free() const { return termset == 0; }
+  bool operator==(const CnNode& o) const {
+    return relation == o.relation && termset == o.termset;
+  }
+};
+
+/// A joining network of tuple-sets (Definition 5) stored as a rooted tree:
+/// node 0 is the root and `parent(i) < i` for i > 0. Used both for the
+/// partial JNTs that the generation algorithms expand and for the final
+/// candidate networks (Definition 6).
+class CandidateNetwork {
+ public:
+  CandidateNetwork() = default;
+
+  static CandidateNetwork SingleNode(CnNode node);
+
+  /// Returns a copy of this tree with `node` attached under `attach_to`.
+  CandidateNetwork Extend(int attach_to, CnNode node) const;
+
+  size_t size() const { return nodes_.size(); }
+  const CnNode& node(int i) const { return nodes_[i]; }
+  const std::vector<CnNode>& nodes() const { return nodes_; }
+  int parent(int i) const { return parents_[i]; }
+
+  int num_non_free() const;
+
+  /// Union of the non-free nodes' termsets.
+  Termset CoveredTermset() const;
+
+  /// Tree adjacency lists (index-aligned with nodes()).
+  std::vector<std::vector<int>> Adjacency() const;
+
+  /// Node indexes with degree <= 1.
+  std::vector<int> Leaves() const;
+
+  /// AHU canonical encoding with labels "relation#termset"; two CNs are
+  /// isomorphic as labeled trees iff encodings are equal. This implements
+  /// the duplicate detection of SingleCN (J' ∉ F) and of CNGen.
+  std::string CanonicalForm() const;
+
+  /// Soundness per Definition 7: the tree is unsound iff some node S has
+  /// two neighbours over the same base relation R while S holds the
+  /// foreign key referencing R — S's single FK value cannot join two
+  /// distinct R tuples, so every produced JNT would repeat a tuple.
+  bool IsSound(const SchemaGraph& schema_graph) const;
+
+  /// Incremental variant: checks only the constraint around `center`
+  /// (sufficient after attaching one new leaf under `center`).
+  bool IsSoundAround(const SchemaGraph& schema_graph, int center) const;
+
+  /// Renders like "MOV^{gangster} ⋈ CAST^{} ⋈ PER^{denzel,washington}"
+  /// via a pre-order walk.
+  std::string ToString(const DatabaseSchema& schema,
+                       const KeywordQuery& query) const;
+
+  bool operator==(const CandidateNetwork& o) const {
+    return nodes_ == o.nodes_ && parents_ == o.parents_;
+  }
+
+ private:
+  std::vector<CnNode> nodes_;
+  std::vector<int> parents_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_CANDIDATE_NETWORK_H_

@@ -1,0 +1,90 @@
+#include "core/cn_to_sql.h"
+
+#include <vector>
+
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+/// "(t2.name ILIKE '%denzel%' OR t2.bio ILIKE '%denzel%')", or exactly
+/// "FALSE" when the relation has no searchable text attribute.
+std::string ContainmentPredicate(const RelationSchema& schema,
+                                 const std::string& alias,
+                                 const std::string& keyword) {
+  std::string out;
+  int terms = 0;
+  for (const Attribute& attr : schema.attributes()) {
+    if (attr.type != ValueType::kText || !attr.searchable) continue;
+    if (terms > 0) out += " OR ";
+    out += alias + "." + attr.name + " ILIKE '%" + keyword + "%'";
+    ++terms;
+  }
+  if (terms == 0) return "FALSE";
+  return terms == 1 ? out : "(" + out + ")";
+}
+
+}  // namespace
+
+std::string CandidateNetworkToSql(const CandidateNetwork& cn,
+                                  const DatabaseSchema& schema,
+                                  const KeywordQuery& query) {
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < cn.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += "t" + std::to_string(i) + ".*";
+  }
+  sql += "\nFROM ";
+  for (size_t i = 0; i < cn.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += schema.relation(cn.node(static_cast<int>(i)).relation).name() +
+           " t" + std::to_string(i);
+  }
+
+  std::vector<std::string> predicates;
+  // Join predicates from the schema's RICs.
+  const SchemaGraph graph = SchemaGraph::Build(schema);
+  for (size_t i = 1; i < cn.size(); ++i) {
+    const int p = cn.parent(static_cast<int>(i));
+    const CnNode& child = cn.node(static_cast<int>(i));
+    const CnNode& parent = cn.node(p);
+    const SchemaEdge* edge = graph.Edge(child.relation, parent.relation);
+    if (edge == nullptr) continue;  // malformed CN; emit joins we know
+    const std::string holder_alias =
+        "t" + std::to_string(edge->holder == child.relation ? i
+                                                            : static_cast<size_t>(p));
+    const std::string referenced_alias =
+        "t" + std::to_string(edge->holder == child.relation ? static_cast<size_t>(p)
+                                                            : i);
+    predicates.push_back(
+        holder_alias + "." +
+        schema.relation(edge->holder).attribute(edge->holder_attribute).name +
+        " = " + referenced_alias + "." +
+        schema.relation(edge->referenced)
+            .attribute(edge->referenced_attribute)
+            .name);
+  }
+
+  // Keyword containment / exclusion predicates (Definition 4 semantics).
+  for (size_t i = 0; i < cn.size(); ++i) {
+    const CnNode& node = cn.node(static_cast<int>(i));
+    if (node.is_free()) continue;
+    const RelationSchema& rs = schema.relation(node.relation);
+    const std::string alias = "t" + std::to_string(i);
+    for (size_t k = 0; k < query.size(); ++k) {
+      const bool required = (node.termset >> k) & 1;
+      std::string pred = ContainmentPredicate(rs, alias, query.keyword(k));
+      predicates.push_back(required ? pred : "NOT " + pred);
+    }
+  }
+
+  sql += "\nWHERE ";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) sql += "\n  AND ";
+    sql += predicates[i];
+  }
+  sql += ";";
+  return sql;
+}
+
+}  // namespace matcn

@@ -1,0 +1,26 @@
+#ifndef MATCN_CORE_CN_TO_SQL_H_
+#define MATCN_CORE_CN_TO_SQL_H_
+
+#include <string>
+
+#include "core/candidate_network.h"
+#include "core/keyword_query.h"
+#include "storage/schema.h"
+
+namespace matcn {
+
+/// Renders a candidate network as the SQL join expression an R-KwS system
+/// would hand to its RDBMS (the paper's systems emit such queries to
+/// PostgreSQL). Each CN node becomes an aliased relation t0..tn, tree
+/// edges become FK equi-join predicates, and every non-free node gets per
+/// Definition 4 both the containment predicates for its termset keywords
+/// and NOT-containment predicates for the query's remaining keywords.
+/// Keyword containment is rendered with ILIKE over the relation's
+/// searchable text attributes.
+std::string CandidateNetworkToSql(const CandidateNetwork& cn,
+                                  const DatabaseSchema& schema,
+                                  const KeywordQuery& query);
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_CN_TO_SQL_H_

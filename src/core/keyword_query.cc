@@ -1,0 +1,59 @@
+#include "core/keyword_query.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "indexing/tokenizer.h"
+
+namespace matcn {
+
+Result<KeywordQuery> KeywordQuery::Parse(const std::string& text) {
+  return FromKeywords(Tokenizer::UniqueTokens(text));
+}
+
+Result<KeywordQuery> KeywordQuery::FromKeywords(
+    std::vector<std::string> keywords) {
+  KeywordQuery q;
+  std::unordered_set<std::string> seen;
+  for (std::string& kw : keywords) {
+    std::string lower = ToLower(Trim(kw));
+    if (lower.empty()) continue;
+    if (seen.insert(lower).second) q.keywords_.push_back(std::move(lower));
+  }
+  if (q.keywords_.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (q.keywords_.size() > kMaxKeywords) {
+    return Status::InvalidArgument("query exceeds " +
+                                   std::to_string(kMaxKeywords) +
+                                   " keywords");
+  }
+  return q;
+}
+
+std::string KeywordQuery::TermsetToString(Termset t) const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < keywords_.size(); ++i) {
+    if ((t >> i) & 1) {
+      if (!first) out += ",";
+      out += keywords_[i];
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+int KeywordQuery::KeywordIndex(const std::string& keyword) const {
+  for (size_t i = 0; i < keywords_.size(); ++i) {
+    if (keywords_[i] == keyword) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string KeywordQuery::ToString() const {
+  return TermsetToString(FullTermset());
+}
+
+}  // namespace matcn

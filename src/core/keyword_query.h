@@ -1,0 +1,57 @@
+#ifndef MATCN_CORE_KEYWORD_QUERY_H_
+#define MATCN_CORE_KEYWORD_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace matcn {
+
+/// A termset is a subset of the query's keywords, encoded as a bitmask
+/// over keyword positions (bit i = keyword i). Queries are capped at 32
+/// keywords — an order of magnitude beyond the paper's experimental
+/// maximum of 10.
+using Termset = uint32_t;
+
+/// Number of keywords in a termset.
+inline int TermsetSize(Termset t) { return __builtin_popcount(t); }
+
+/// A parsed keyword query: an ordered list of distinct lowercase keywords.
+class KeywordQuery {
+ public:
+  static constexpr size_t kMaxKeywords = 32;
+
+  /// Parses free text into a query: tokenize, lowercase, dedup. Fails on
+  /// empty input or more than kMaxKeywords distinct keywords.
+  static Result<KeywordQuery> Parse(const std::string& text);
+
+  /// Builds from an explicit keyword list (already individual words).
+  static Result<KeywordQuery> FromKeywords(std::vector<std::string> keywords);
+
+  size_t size() const { return keywords_.size(); }
+  const std::vector<std::string>& keywords() const { return keywords_; }
+  const std::string& keyword(size_t i) const { return keywords_[i]; }
+
+  /// Mask with all |Q| bits set.
+  Termset FullTermset() const {
+    return size() == 32 ? ~Termset{0}
+                        : static_cast<Termset>((uint64_t{1} << size()) - 1);
+  }
+
+  /// Renders a termset like "{denzel,washington}".
+  std::string TermsetToString(Termset t) const;
+
+  /// Index of `keyword` in the query, or -1.
+  int KeywordIndex(const std::string& keyword) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> keywords_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_KEYWORD_QUERY_H_

@@ -1,0 +1,101 @@
+#include "core/matcngen.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace matcn {
+
+MatCnGen::MatCnGen(const SchemaGraph* schema_graph, MatCnGenOptions options)
+    : schema_graph_(schema_graph), options_(options) {}
+
+GenerationResult MatCnGen::Generate(const KeywordQuery& query,
+                                    const TermIndex& index) const {
+  Stopwatch watch;
+  std::vector<TupleSet> tuple_sets = TupleSetFinder::FindMem(index, query);
+  return GenerateFromTupleSets(query, std::move(tuple_sets),
+                               watch.ElapsedMillis());
+}
+
+Result<GenerationResult> MatCnGen::GenerateDisk(
+    const KeywordQuery& query, const std::string& dir,
+    const DatabaseSchema& schema) const {
+  Stopwatch watch;
+  Result<std::vector<TupleSet>> tuple_sets =
+      TupleSetFinder::FindDisk(dir, schema, query);
+  if (!tuple_sets.ok()) return tuple_sets.status();
+  return GenerateFromTupleSets(query, std::move(tuple_sets).value(),
+                               watch.ElapsedMillis());
+}
+
+GenerationResult MatCnGen::GenerateFromTupleSets(
+    const KeywordQuery& query, std::vector<TupleSet> tuple_sets,
+    double ts_millis) const {
+  GenerationResult result;
+  result.tuple_sets = std::move(tuple_sets);
+  result.stats.ts_millis = ts_millis;
+  result.stats.num_tuple_sets = result.tuple_sets.size();
+
+  Stopwatch watch;
+  result.matches =
+      options_.naive_qmgen
+          ? GenerateMatchesNaive(query, result.tuple_sets)
+          : GenerateMatches(query, result.tuple_sets, options_.max_matches);
+  if (options_.max_matches > 0 &&
+      result.matches.size() >= options_.max_matches) {
+    result.matches.resize(options_.max_matches);
+    result.stats.truncated = true;
+  }
+  result.stats.match_millis = watch.ElapsedMillis();
+  result.stats.num_matches = result.matches.size();
+
+  watch.Reset();
+  TupleSetGraph ts_graph(schema_graph_, &result.tuple_sets);
+  SingleCnOptions cn_options;
+  cn_options.t_max = options_.t_max;
+
+  auto solve = [&](const QueryMatch& match) {
+    std::vector<int> match_nodes;
+    match_nodes.reserve(match.size());
+    for (int ts_index : match) {
+      match_nodes.push_back(ts_graph.NonFreeNode(ts_index));
+    }
+    MatchGraph match_graph(&ts_graph, match_nodes);
+    return SingleCn(match_graph, cn_options);
+  };
+
+  if (options_.num_threads > 1 && result.matches.size() > 1) {
+    // Each match is solved independently; slot results by match index so
+    // the output equals the sequential run.
+    std::vector<std::optional<CandidateNetwork>> slots(
+        result.matches.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= result.matches.size()) break;
+        slots[i] = solve(result.matches[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    const unsigned n = std::min<unsigned>(
+        options_.num_threads, static_cast<unsigned>(result.matches.size()));
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+    for (std::optional<CandidateNetwork>& cn : slots) {
+      if (cn.has_value()) result.cns.push_back(std::move(*cn));
+    }
+  } else {
+    for (const QueryMatch& match : result.matches) {
+      std::optional<CandidateNetwork> cn = solve(match);
+      if (cn.has_value()) result.cns.push_back(std::move(*cn));
+    }
+  }
+  result.stats.cn_millis = watch.ElapsedMillis();
+  result.stats.num_cns = result.cns.size();
+  return result;
+}
+
+}  // namespace matcn

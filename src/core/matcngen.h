@@ -1,0 +1,87 @@
+#ifndef MATCN_CORE_MATCNGEN_H_
+#define MATCN_CORE_MATCNGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidate_network.h"
+#include "core/keyword_query.h"
+#include "core/qmgen.h"
+#include "core/single_cn.h"
+#include "core/tsfind.h"
+#include "core/tuple_set_graph.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+
+struct MatCnGenOptions {
+  /// Maximum CN size in tuple-sets (paper: T_max = 10).
+  int t_max = 10;
+  /// Use paper Algorithm 1 verbatim for match generation instead of the
+  /// equivalent cover-product optimization.
+  bool naive_qmgen = false;
+  /// Upper bound on generated query matches (resource guard for the
+  /// adversarial synthetic workloads; 0 disables the limit).
+  size_t max_matches = 0;
+  /// Worker threads for the per-match CN construction step. Matches are
+  /// independent (each SingleCN run only reads the shared graphs), so the
+  /// step parallelizes embarrassingly; results keep match order, so output
+  /// is identical to the sequential run. 0 or 1 = sequential.
+  unsigned num_threads = 1;
+};
+
+/// Timing and volume statistics for one generation run; the Figure 10
+/// bench reports ts_millis (tuple-set finding) separately from the rest.
+struct GenerationStats {
+  double ts_millis = 0;     // TSFind / TSFind_Mem
+  double match_millis = 0;  // QMGen
+  double cn_millis = 0;     // MatchCN
+  size_t num_tuple_sets = 0;
+  size_t num_matches = 0;
+  size_t num_cns = 0;
+  bool truncated = false;  // max_matches kicked in
+};
+
+struct GenerationResult {
+  std::vector<TupleSet> tuple_sets;     // R_Q
+  std::vector<QueryMatch> matches;      // M_Q
+  std::vector<CandidateNetwork> cns;    // one CN per match that admits one
+  GenerationStats stats;
+};
+
+/// The complete MatCNGen pipeline (paper Figure 2): tuple-set finding,
+/// query-match generation, and per-match CN construction. One instance is
+/// reusable across queries; it only borrows the schema graph.
+class MatCnGen {
+ public:
+  explicit MatCnGen(const SchemaGraph* schema_graph,
+                    MatCnGenOptions options = {});
+
+  /// Memory-based variant: tuple-sets from the prebuilt Term Index.
+  GenerationResult Generate(const KeywordQuery& query,
+                            const TermIndex& index) const;
+
+  /// Disk-based variant: tuple-sets from sequential relation-file scans
+  /// under `dir`.
+  Result<GenerationResult> GenerateDisk(const KeywordQuery& query,
+                                        const std::string& dir,
+                                        const DatabaseSchema& schema) const;
+
+  /// Steps 2-3 only, given precomputed tuple-sets (also the hook tests use
+  /// to drive the pipeline with hand-built R_Q).
+  GenerationResult GenerateFromTupleSets(const KeywordQuery& query,
+                                         std::vector<TupleSet> tuple_sets,
+                                         double ts_millis) const;
+
+  const MatCnGenOptions& options() const { return options_; }
+
+ private:
+  const SchemaGraph* schema_graph_;
+  MatCnGenOptions options_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_MATCNGEN_H_

@@ -1,0 +1,69 @@
+#include "core/minimal_cover.h"
+
+#include <algorithm>
+
+namespace matcn {
+
+bool IsMinimalCover(const std::vector<Termset>& cover, Termset full) {
+  Termset all = 0;
+  for (Termset t : cover) {
+    if (t == 0 || (t & ~full) != 0) return false;
+    all |= t;
+  }
+  if (all != full) return false;
+  // Minimality: every termset must contribute at least one keyword no
+  // other termset provides.
+  for (size_t i = 0; i < cover.size(); ++i) {
+    Termset others = 0;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) others |= cover[j];
+    }
+    if ((others | cover[i]) == others) return false;  // i is redundant
+  }
+  return true;
+}
+
+namespace {
+
+void Recurse(const std::vector<Termset>& available, Termset full,
+             size_t start, Termset covered, size_t max_covers,
+             std::vector<Termset>* current,
+             std::vector<std::vector<Termset>>* out) {
+  if (max_covers > 0 && out->size() >= max_covers) return;
+  if (covered == full) {
+    if (IsMinimalCover(*current, full)) out->push_back(*current);
+    return;
+  }
+  if (start >= available.size()) return;
+  // A minimal cover of an n-element set has at most n members.
+  if (current->size() >= static_cast<size_t>(TermsetSize(full))) return;
+  for (size_t i = start; i < available.size(); ++i) {
+    const Termset t = available[i];
+    if ((t & ~covered) == 0) continue;  // adds nothing: cannot stay minimal
+    current->push_back(t);
+    Recurse(available, full, i + 1, covered | t, max_covers, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Termset>> EnumerateMinimalCovers(
+    std::vector<Termset> available, Termset full, size_t max_covers) {
+  std::sort(available.begin(), available.end());
+  available.erase(std::unique(available.begin(), available.end()),
+                  available.end());
+  // Drop termsets that are not subsets of the query or empty.
+  available.erase(std::remove_if(available.begin(), available.end(),
+                                 [full](Termset t) {
+                                   return t == 0 || (t & ~full) != 0;
+                                 }),
+                  available.end());
+  std::vector<std::vector<Termset>> out;
+  std::vector<Termset> current;
+  Recurse(available, full, 0, 0, max_covers, &current, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace matcn

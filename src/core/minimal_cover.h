@@ -1,0 +1,29 @@
+#ifndef MATCN_CORE_MINIMAL_COVER_H_
+#define MATCN_CORE_MINIMAL_COVER_H_
+
+#include <vector>
+
+#include "core/keyword_query.h"
+
+namespace matcn {
+
+/// True iff `cover` is a *minimal set cover* of `full` (Definition 8):
+/// the union of its termsets equals `full` and removing any one termset
+/// loses some keyword. Termsets must be non-empty; duplicates make the
+/// cover non-minimal by definition.
+bool IsMinimalCover(const std::vector<Termset>& cover, Termset full);
+
+/// Enumerates every minimal cover of `full` that uses only termsets from
+/// `available` (each at most once). `available` entries must be distinct,
+/// non-empty subsets of `full`. A minimal cover of an n-keyword query has
+/// at most n termsets [Hearne & Wagner 1973], which bounds the recursion.
+/// Results are deterministic: covers are sorted vectors of termsets,
+/// returned in lexicographic order. `max_covers` (0 = unlimited) stops the
+/// enumeration early — the resource guard the adversarial many-keyword
+/// workloads need.
+std::vector<std::vector<Termset>> EnumerateMinimalCovers(
+    std::vector<Termset> available, Termset full, size_t max_covers = 0);
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_MINIMAL_COVER_H_

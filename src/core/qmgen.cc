@@ -1,0 +1,101 @@
+#include "core/qmgen.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/minimal_cover.h"
+
+namespace matcn {
+namespace {
+
+void EnumerateSubsets(const std::vector<TupleSet>& tuple_sets,
+                      const KeywordQuery& query, size_t target_size,
+                      size_t start, std::vector<int>* current,
+                      std::vector<QueryMatch>* out) {
+  if (current->size() == target_size) {
+    std::vector<Termset> termsets;
+    termsets.reserve(current->size());
+    for (int idx : *current) termsets.push_back(tuple_sets[idx].termset);
+    // Definition 8 requires pairwise-distinct termsets; a duplicate also
+    // fails minimality inside IsMinimalCover, but check cheaply here.
+    std::vector<Termset> sorted = termsets;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return;
+    }
+    if (IsMinimalCover(termsets, query.FullTermset())) {
+      out->push_back(*current);
+    }
+    return;
+  }
+  for (size_t i = start; i < tuple_sets.size(); ++i) {
+    current->push_back(static_cast<int>(i));
+    EnumerateSubsets(tuple_sets, query, target_size, i + 1, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<QueryMatch> GenerateMatchesNaive(
+    const KeywordQuery& query, const std::vector<TupleSet>& tuple_sets) {
+  std::vector<QueryMatch> out;
+  std::vector<int> current;
+  for (size_t size = 1; size <= query.size(); ++size) {
+    EnumerateSubsets(tuple_sets, query, size, 0, &current, &out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<QueryMatch> GenerateMatches(
+    const KeywordQuery& query, const std::vector<TupleSet>& tuple_sets,
+    size_t max_matches) {
+  // Group tuple-set indexes by termset.
+  std::map<Termset, std::vector<int>> by_termset;
+  for (size_t i = 0; i < tuple_sets.size(); ++i) {
+    by_termset[tuple_sets[i].termset].push_back(static_cast<int>(i));
+  }
+  std::vector<Termset> available;
+  available.reserve(by_termset.size());
+  for (const auto& [termset, indexes] : by_termset) {
+    available.push_back(termset);
+  }
+
+  const std::vector<std::vector<Termset>> covers = EnumerateMinimalCovers(
+      available, query.FullTermset(), max_matches);
+
+  std::vector<QueryMatch> out;
+  for (const std::vector<Termset>& cover : covers) {
+    // Cartesian product over the relation choices for each termset.
+    std::vector<const std::vector<int>*> choices;
+    choices.reserve(cover.size());
+    for (Termset t : cover) choices.push_back(&by_termset.at(t));
+    std::vector<size_t> pick(cover.size(), 0);
+    while (true) {
+      QueryMatch match;
+      match.reserve(cover.size());
+      for (size_t i = 0; i < cover.size(); ++i) {
+        match.push_back((*choices[i])[pick[i]]);
+      }
+      std::sort(match.begin(), match.end());
+      out.push_back(std::move(match));
+      if (max_matches > 0 && out.size() >= max_matches) {
+        std::sort(out.begin(), out.end());
+        return out;
+      }
+      // Advance the mixed-radix counter.
+      size_t pos = 0;
+      while (pos < pick.size()) {
+        if (++pick[pos] < choices[pos]->size()) break;
+        pick[pos] = 0;
+        ++pos;
+      }
+      if (pos == pick.size()) break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace matcn

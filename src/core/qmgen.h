@@ -1,0 +1,36 @@
+#ifndef MATCN_CORE_QMGEN_H_
+#define MATCN_CORE_QMGEN_H_
+
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "core/tuple_set.h"
+
+namespace matcn {
+
+/// A query match (Definition 8): a set of non-free tuple-sets with
+/// pairwise-distinct termsets whose termsets form a minimal set cover of
+/// the query. Represented as a sorted vector of indexes into R_Q.
+using QueryMatch = std::vector<int>;
+
+/// Paper Algorithm 1 (QMGen), verbatim: enumerate every subset of R_Q of
+/// size 1..|Q| and keep those whose termsets form a minimal cover of Q.
+/// Exponential in |R_Q|; kept as the reference implementation and as the
+/// ablation baseline.
+std::vector<QueryMatch> GenerateMatchesNaive(
+    const KeywordQuery& query, const std::vector<TupleSet>& tuple_sets);
+
+/// Optimized QMGen: first enumerate the minimal covers of Q over the
+/// *distinct termsets* present in R_Q, then expand each cover into matches
+/// by taking the Cartesian product of the relations providing each
+/// termset. Produces exactly the same match set as the naive algorithm
+/// (property-tested) while skipping the non-cover subsets entirely.
+/// `max_matches` (0 = unlimited) truncates the enumeration early, keeping
+/// adversarial many-keyword queries bounded in time and memory.
+std::vector<QueryMatch> GenerateMatches(const KeywordQuery& query,
+                                        const std::vector<TupleSet>& tuple_sets,
+                                        size_t max_matches = 0);
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_QMGEN_H_

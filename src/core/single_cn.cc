@@ -1,0 +1,110 @@
+#include "core/single_cn.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace matcn {
+namespace {
+
+/// A partial joining network of tuple-sets during the BFS. Tree node i
+/// instantiates tuple-set-graph node `ts_nodes[i]`; free graph nodes may
+/// be instantiated several times, non-free ones at most once.
+struct PartialTree {
+  CandidateNetwork tree;
+  std::vector<int> ts_nodes;
+  uint64_t match_used = 0;  // bit i <=> match_nodes[i] is in the tree
+};
+
+}  // namespace
+
+std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
+                                         const SingleCnOptions& options) {
+  const TupleSetGraph& g = match_graph.base();
+  const std::vector<int>& match_nodes = match_graph.match_nodes();
+  if (match_nodes.empty() || match_nodes.size() > 64) return std::nullopt;
+  // A CN contains every match node, so a match larger than t_max can never
+  // admit one — without this check the BFS would exhaust the whole match
+  // graph before concluding exactly that.
+  if (match_nodes.size() > static_cast<size_t>(options.t_max)) {
+    return std::nullopt;
+  }
+  const uint64_t full_match =
+      match_nodes.size() == 64 ? ~uint64_t{0}
+                               : (uint64_t{1} << match_nodes.size()) - 1;
+
+  auto match_bit = [&](int ts_node) -> uint64_t {
+    for (size_t i = 0; i < match_nodes.size(); ++i) {
+      if (match_nodes[i] == ts_node) return uint64_t{1} << i;
+    }
+    return 0;
+  };
+
+  auto make_cn_node = [&](int ts_node) {
+    const TsNode& n = g.node(ts_node);
+    return CnNode{n.relation, n.termset, n.tuple_set_index};
+  };
+
+  // Line 2 of Algorithm 3: start from the first tuple-set of the match.
+  PartialTree initial;
+  initial.tree = CandidateNetwork::SingleNode(make_cn_node(match_nodes[0]));
+  initial.ts_nodes = {match_nodes[0]};
+  initial.match_used = match_bit(match_nodes[0]);
+  if (initial.match_used == full_match) return initial.tree;
+
+  std::deque<PartialTree> queue;
+  std::unordered_set<std::string> seen;
+  seen.insert(initial.tree.CanonicalForm());
+  queue.push_back(std::move(initial));
+
+  size_t expansions = 0;
+  while (!queue.empty()) {
+    if (++expansions > options.max_expansions) break;
+    PartialTree current = std::move(queue.front());
+    queue.pop_front();
+    if (current.tree.size() >= static_cast<size_t>(options.t_max)) continue;
+
+    for (size_t pos = 0; pos < current.ts_nodes.size(); ++pos) {
+      for (int nbr : match_graph.Neighbors(current.ts_nodes[pos])) {
+        // Line 8: a non-free tuple-set may appear at most once.
+        if (!g.IsFree(nbr)) {
+          bool used = false;
+          for (int existing : current.ts_nodes) {
+            if (existing == nbr) {
+              used = true;
+              break;
+            }
+          }
+          if (used) continue;
+        }
+        PartialTree next;
+        next.tree =
+            current.tree.Extend(static_cast<int>(pos), make_cn_node(nbr));
+        // Soundness only needs re-checking around the attachment point.
+        if (!next.tree.IsSoundAround(g.schema_graph(),
+                                     static_cast<int>(pos))) {
+          continue;
+        }
+        std::string canon = next.tree.CanonicalForm();
+        if (!seen.insert(std::move(canon)).second) continue;
+        next.ts_nodes = current.ts_nodes;
+        next.ts_nodes.push_back(nbr);
+        next.match_used = current.match_used | match_bit(nbr);
+        if (next.match_used == full_match) {
+          return next.tree;  // Line 12: shortest CN containing the match.
+        }
+        // Completion bound: each missing match node costs at least one
+        // more tree node; prune branches that cannot fit within t_max.
+        const int missing =
+            __builtin_popcountll(full_match & ~next.match_used);
+        if (next.tree.size() + static_cast<size_t>(missing) >
+            static_cast<size_t>(options.t_max)) {
+          continue;
+        }
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace matcn

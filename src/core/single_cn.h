@@ -1,0 +1,35 @@
+#ifndef MATCN_CORE_SINGLE_CN_H_
+#define MATCN_CORE_SINGLE_CN_H_
+
+#include <optional>
+
+#include "core/candidate_network.h"
+#include "core/tuple_set_graph.h"
+
+namespace matcn {
+
+struct SingleCnOptions {
+  /// Maximum number of tuple-sets per CN (paper uses T_max = 10).
+  int t_max = 10;
+  /// Safety valve on dequeued partial trees; SingleCN on a match graph
+  /// terminates long before this in practice.
+  size_t max_expansions = 1'000'000;
+};
+
+/// SingleCN (paper Algorithm 3): breadth-first search over the match graph
+/// for the shortest *sound* joining network of tuple-sets that contains
+/// every node of the match. Partial trees are deduplicated by canonical
+/// form (the J' ∉ F test), non-free nodes are used at most once, and free
+/// nodes may repeat as distinct tree instances. Returns nullopt when no CN
+/// of size <= t_max exists.
+///
+/// Because the search is breadth-first over tree size, the first tree
+/// containing the match cannot have a free leaf (a strictly smaller tree
+/// containing the match would have been found first), so the returned tree
+/// is a valid candidate network per Definition 6.
+std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
+                                         const SingleCnOptions& options = {});
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_SINGLE_CN_H_

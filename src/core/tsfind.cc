@@ -1,0 +1,186 @@
+#include "core/tsfind.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "storage/disk.h"
+
+namespace matcn {
+namespace {
+
+std::vector<TupleId> Intersect(const std::vector<TupleId>& a,
+                               const std::vector<TupleId>& b) {
+  std::vector<TupleId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<TupleId> Subtract(const std::vector<TupleId>& a,
+                              const std::vector<TupleId>& b) {
+  std::vector<TupleId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<TupleId> Union(const std::vector<TupleId>& a,
+                           const std::vector<TupleId>& b) {
+  std::vector<TupleId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<TermsetTuples> TsInter(std::vector<TermsetTuples> pairs) {
+  // P_prev starts as the input; intersections below read the *original*
+  // lists (captured in `pairs`) while subtractions update P_prev, matching
+  // Algorithm 5's use of P vs P_prev.
+  std::map<Termset, std::vector<TupleId>> prev;
+  for (const TermsetTuples& p : pairs) prev[p.termset] = p.tuples;
+
+  std::map<Termset, std::vector<TupleId>> cur;
+  const size_t n = pairs.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const Termset x = pairs[i].termset | pairs[j].termset;
+      std::vector<TupleId> tx = Intersect(pairs[i].tuples, pairs[j].tuples);
+      if (tx.empty()) continue;
+      // Tuples containing the larger termset X cannot belong to K_i or
+      // K_j (tuple-sets contain *exactly* their termset's keywords).
+      prev[pairs[i].termset] = Subtract(prev[pairs[i].termset], tx);
+      prev[pairs[j].termset] = Subtract(prev[pairs[j].termset], tx);
+      auto it = cur.find(x);
+      if (it == cur.end()) {
+        cur.emplace(x, std::move(tx));
+      } else {
+        it->second = Union(it->second, tx);
+      }
+    }
+  }
+
+  std::vector<TermsetTuples> result;
+  if (!cur.empty()) {
+    std::vector<TermsetTuples> cur_pairs;
+    cur_pairs.reserve(cur.size());
+    for (auto& [termset, tuples] : cur) {
+      cur_pairs.push_back(TermsetTuples{termset, std::move(tuples)});
+    }
+    result = TsInter(std::move(cur_pairs));
+  }
+
+  // Merge the refined deeper level with what is left at this level,
+  // unioning lists that share a termset and dropping empties.
+  std::map<Termset, std::vector<TupleId>> merged;
+  for (auto& r : result) merged[r.termset] = std::move(r.tuples);
+  for (auto& [termset, tuples] : prev) {
+    if (tuples.empty()) continue;
+    auto it = merged.find(termset);
+    if (it == merged.end()) {
+      merged[termset] = std::move(tuples);
+    } else {
+      it->second = Union(it->second, tuples);
+    }
+  }
+  std::vector<TermsetTuples> out;
+  out.reserve(merged.size());
+  for (auto& [termset, tuples] : merged) {
+    if (!tuples.empty()) out.push_back(TermsetTuples{termset, std::move(tuples)});
+  }
+  return out;
+}
+
+std::vector<TupleSet> TupleSetFinder::BuildTupleSets(
+    std::vector<TermsetTuples> keyword_lists) {
+  std::vector<TermsetTuples> refined = TsInter(std::move(keyword_lists));
+  std::vector<TupleSet> out;
+  for (TermsetTuples& entry : refined) {
+    // Lists are sorted by packed TupleId, so tuples of the same relation
+    // are contiguous.
+    size_t start = 0;
+    while (start < entry.tuples.size()) {
+      const RelationId rel = entry.tuples[start].relation();
+      size_t end = start;
+      while (end < entry.tuples.size() &&
+             entry.tuples[end].relation() == rel) {
+        ++end;
+      }
+      TupleSet ts;
+      ts.relation = rel;
+      ts.termset = entry.termset;
+      ts.tuples.assign(entry.tuples.begin() + start,
+                       entry.tuples.begin() + end);
+      out.push_back(std::move(ts));
+      start = end;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TupleSet> TupleSetFinder::FindMem(const TermIndex& index,
+                                              const KeywordQuery& query) {
+  std::vector<TermsetTuples> lists;
+  lists.reserve(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    TermsetTuples entry;
+    entry.termset = Termset{1} << i;
+    entry.tuples = index.TuplesFor(query.keyword(i));
+    lists.push_back(std::move(entry));
+  }
+  return BuildTupleSets(std::move(lists));
+}
+
+Result<std::vector<TupleSet>> TupleSetFinder::FindDisk(
+    const std::string& dir, const DatabaseSchema& schema,
+    const KeywordQuery& query) {
+  std::vector<TermsetTuples> lists;
+  lists.reserve(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    TermsetTuples entry;
+    entry.termset = Termset{1} << i;
+    for (RelationId r = 0; r < schema.num_relations(); ++r) {
+      Result<std::vector<uint64_t>> rows =
+          DiskStorage::ScanForKeyword(dir, schema.relation(r),
+                                      query.keyword(i));
+      if (!rows.ok()) return rows.status();
+      for (uint64_t row : *rows) entry.tuples.emplace_back(r, row);
+    }
+    std::sort(entry.tuples.begin(), entry.tuples.end());
+    lists.push_back(std::move(entry));
+  }
+  return BuildTupleSets(std::move(lists));
+}
+
+std::vector<TupleSet> TupleSetFinder::FindScan(const Database& db,
+                                               const KeywordQuery& query) {
+  std::vector<TermsetTuples> lists;
+  lists.reserve(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    TermsetTuples entry;
+    entry.termset = Termset{1} << i;
+    const std::string& kw = query.keyword(i);
+    for (RelationId r = 0; r < db.num_relations(); ++r) {
+      const Relation& rel = db.relation(r);
+      const RelationSchema& schema = rel.schema();
+      for (uint64_t row = 0; row < rel.num_tuples(); ++row) {
+        const Tuple& tuple = rel.tuple(row);
+        for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+          const Attribute& attr = schema.attribute(a);
+          if (attr.type != ValueType::kText || !attr.searchable) continue;
+          if (ContainsWordCaseInsensitive(tuple[a].AsText(), kw)) {
+            entry.tuples.emplace_back(r, row);
+            break;
+          }
+        }
+      }
+    }
+    lists.push_back(std::move(entry));
+  }
+  return BuildTupleSets(std::move(lists));
+}
+
+}  // namespace matcn

@@ -1,0 +1,61 @@
+#ifndef MATCN_CORE_TSFIND_H_
+#define MATCN_CORE_TSFIND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/keyword_query.h"
+#include "core/tuple_set.h"
+#include "indexing/term_index.h"
+#include "storage/database.h"
+
+namespace matcn {
+
+/// One pair <K, T_K> manipulated by TSInter (Algorithm 5): a termset and
+/// the sorted list of tuples currently assigned to it.
+struct TermsetTuples {
+  Termset termset = 0;
+  std::vector<TupleId> tuples;
+};
+
+/// TSInter (paper Algorithm 5): ECLAT-style refinement of per-keyword
+/// tuple lists into per-termset lists. On return, each tuple appears in
+/// exactly one entry — the termset of *all* query keywords it contains —
+/// and entries whose lists became empty are dropped. Input lists must be
+/// sorted; entries must have distinct termsets.
+std::vector<TermsetTuples> TsInter(std::vector<TermsetTuples> pairs);
+
+/// The three strategies the paper considers for Part 1 of TSFind
+/// (obtaining the per-keyword tuple lists); Parts 2 and 3 are shared.
+class TupleSetFinder {
+ public:
+  /// Memory-based version (Algorithm 6, `TSFind_Mem`): per-keyword lists
+  /// come from the prebuilt Term Index; no database access at query time.
+  /// Note: if the index skipped stopwords, stopword keywords resolve to
+  /// empty lists here (the disk variants still find them).
+  static std::vector<TupleSet> FindMem(const TermIndex& index,
+                                       const KeywordQuery& query);
+
+  /// Disk-based version (Algorithm 4, `TSFind`): per-keyword lists come
+  /// from sequential scans of the binary relation files under `dir` —
+  /// real I/O per query, standing in for the paper's per-query SQL ILIKE
+  /// probes against PostgreSQL.
+  static Result<std::vector<TupleSet>> FindDisk(const std::string& dir,
+                                                const DatabaseSchema& schema,
+                                                const KeywordQuery& query);
+
+  /// In-memory full-scan version: like FindDisk but scanning the resident
+  /// Database. Used by tests as the semantics oracle for the other two.
+  static std::vector<TupleSet> FindScan(const Database& db,
+                                        const KeywordQuery& query);
+
+  /// Parts 2+3: refine per-keyword lists with TsInter and group the result
+  /// by relation into non-free, non-empty tuple-sets (the set R_Q).
+  static std::vector<TupleSet> BuildTupleSets(
+      std::vector<TermsetTuples> keyword_lists);
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_TSFIND_H_

@@ -1,0 +1,11 @@
+#include "core/tuple_set.h"
+
+namespace matcn {
+
+std::string TupleSetName(const TupleSet& ts, const DatabaseSchema& schema,
+                         const KeywordQuery& query) {
+  return schema.relation(ts.relation).name() + "^" +
+         query.TermsetToString(ts.termset);
+}
+
+}  // namespace matcn

@@ -1,0 +1,41 @@
+#ifndef MATCN_CORE_TUPLE_SET_H_
+#define MATCN_CORE_TUPLE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "storage/schema.h"
+#include "storage/tuple_id.h"
+
+namespace matcn {
+
+/// A non-free tuple-set R^K (Definition 4): the tuples of relation
+/// `relation` that contain *exactly* the query keywords in `termset` (all
+/// of them, and no other keyword of the query). Free tuple-sets R^{} are
+/// represented implicitly by termset == 0 in graph nodes and never carry
+/// tuple lists (they stand for the whole relation).
+struct TupleSet {
+  RelationId relation = 0;
+  Termset termset = 0;
+  std::vector<TupleId> tuples;  // sorted, unique, non-empty
+
+  bool operator==(const TupleSet& o) const {
+    return relation == o.relation && termset == o.termset &&
+           tuples == o.tuples;
+  }
+
+  /// Deterministic ordering: by relation then termset.
+  bool operator<(const TupleSet& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return termset < o.termset;
+  }
+};
+
+/// Renders like "PER^{denzel,washington}".
+std::string TupleSetName(const TupleSet& ts, const DatabaseSchema& schema,
+                         const KeywordQuery& query);
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_TUPLE_SET_H_

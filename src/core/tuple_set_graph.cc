@@ -1,0 +1,50 @@
+#include "core/tuple_set_graph.h"
+
+namespace matcn {
+
+TupleSetGraph::TupleSetGraph(const SchemaGraph* schema_graph,
+                             const std::vector<TupleSet>* tuple_sets)
+    : schema_graph_(schema_graph), tuple_sets_(tuple_sets) {
+  const size_t num_relations = schema_graph_->num_relations();
+  nodes_.reserve(num_relations + tuple_sets_->size());
+  for (RelationId r = 0; r < num_relations; ++r) {
+    nodes_.push_back(TsNode{r, 0, -1});
+  }
+  for (size_t i = 0; i < tuple_sets_->size(); ++i) {
+    const TupleSet& ts = (*tuple_sets_)[i];
+    nodes_.push_back(TsNode{ts.relation, ts.termset, static_cast<int>(i)});
+  }
+  adjacency_.resize(nodes_.size());
+  for (size_t u = 0; u < nodes_.size(); ++u) {
+    for (size_t v = 0; v < nodes_.size(); ++v) {
+      if (u == v) continue;
+      if (schema_graph_->HasEdge(nodes_[u].relation, nodes_[v].relation)) {
+        adjacency_[u].push_back(static_cast<int>(v));
+      }
+    }
+  }
+}
+
+std::string TupleSetGraph::NodeLabel(int id) const {
+  const TsNode& n = nodes_[id];
+  return std::to_string(n.relation) + "#" + std::to_string(n.termset);
+}
+
+MatchGraph::MatchGraph(const TupleSetGraph* g,
+                       const std::vector<int>& match_nodes)
+    : g_(g), match_nodes_(match_nodes) {
+  allowed_.assign(g_->num_nodes(), false);
+  for (size_t id = 0; id < g_->num_nodes(); ++id) {
+    if (g_->IsFree(static_cast<int>(id))) allowed_[id] = true;
+  }
+  for (int id : match_nodes_) allowed_[id] = true;
+  adjacency_.resize(g_->num_nodes());
+  for (size_t u = 0; u < g_->num_nodes(); ++u) {
+    if (!allowed_[u]) continue;
+    for (int v : g_->Neighbors(static_cast<int>(u))) {
+      if (allowed_[v]) adjacency_[u].push_back(v);
+    }
+  }
+}
+
+}  // namespace matcn

@@ -1,0 +1,83 @@
+#ifndef MATCN_CORE_TUPLE_SET_GRAPH_H_
+#define MATCN_CORE_TUPLE_SET_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tuple_set.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+
+/// A node of the tuple-set graph: a relation plus the termset of the
+/// tuple-set it stands for (0 = free tuple-set R^{}).
+struct TsNode {
+  RelationId relation = 0;
+  Termset termset = 0;
+  /// Index into the R_Q vector for non-free nodes, -1 for free nodes.
+  int tuple_set_index = -1;
+
+  bool is_free() const { return termset == 0; }
+};
+
+/// The tuple-set graph G_TS (Definition 9): one free node per database
+/// relation plus one node per non-empty non-free tuple-set in R_Q; nodes
+/// are adjacent iff their base relations are adjacent in the schema graph.
+/// Free nodes occupy ids [0, num_relations); non-free nodes follow in R_Q
+/// order, so `FreeNode(r) == r`.
+class TupleSetGraph {
+ public:
+  TupleSetGraph(const SchemaGraph* schema_graph,
+                const std::vector<TupleSet>* tuple_sets);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const TsNode& node(int id) const { return nodes_[id]; }
+  const std::vector<int>& Neighbors(int id) const { return adjacency_[id]; }
+
+  int FreeNode(RelationId r) const { return static_cast<int>(r); }
+  int NonFreeNode(int tuple_set_index) const {
+    return static_cast<int>(schema_graph_->num_relations()) +
+           tuple_set_index;
+  }
+  bool IsFree(int id) const { return nodes_[id].is_free(); }
+
+  /// Stable node label used in canonical tree encodings: "rel#termset".
+  std::string NodeLabel(int id) const;
+
+  const SchemaGraph& schema_graph() const { return *schema_graph_; }
+  const std::vector<TupleSet>& tuple_sets() const { return *tuple_sets_; }
+
+ private:
+  const SchemaGraph* schema_graph_;
+  const std::vector<TupleSet>* tuple_sets_;
+  std::vector<TsNode> nodes_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// The match graph G_TS[M] (Definition 10): the subgraph of `g` induced by
+/// the match's non-free nodes plus all free nodes. Exposes the same node
+/// ids as `g` but filtered adjacency.
+class MatchGraph {
+ public:
+  /// `match_nodes` are tuple-set-graph node ids of the match's non-free
+  /// tuple-sets.
+  MatchGraph(const TupleSetGraph* g, const std::vector<int>& match_nodes);
+
+  bool Allowed(int id) const { return allowed_[id]; }
+  /// Neighbors of `id` within the induced subgraph.
+  const std::vector<int>& Neighbors(int id) const {
+    return adjacency_[id];
+  }
+  const TupleSetGraph& base() const { return *g_; }
+  const std::vector<int>& match_nodes() const { return match_nodes_; }
+
+ private:
+  const TupleSetGraph* g_;
+  std::vector<int> match_nodes_;
+  std::vector<bool> allowed_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_CORE_TUPLE_SET_GRAPH_H_

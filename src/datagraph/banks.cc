@@ -1,0 +1,123 @@
+#include "datagraph/banks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace matcn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Single-source (multi-seed) shortest paths with per-edge weight
+/// `hub_penalty ? log2(1+deg(u)) : 1`, recording parents for path
+/// reconstruction.
+void Dijkstra(const DataGraph& graph, const std::vector<uint32_t>& seeds,
+              bool hub_penalty, std::vector<double>* dist,
+              std::vector<int64_t>* parent) {
+  dist->assign(graph.num_nodes(), kInf);
+  parent->assign(graph.num_nodes(), -1);
+  using Entry = std::pair<double, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  for (uint32_t s : seeds) {
+    (*dist)[s] = 0.0;
+    pq.emplace(0.0, s);
+  }
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > (*dist)[u]) continue;
+    const double w =
+        hub_penalty ? std::log2(1.0 + static_cast<double>(graph.Degree(u)))
+                    : 1.0;
+    for (uint32_t v : graph.Neighbors(u)) {
+      if (d + w < (*dist)[v]) {
+        (*dist)[v] = d + w;
+        (*parent)[v] = u;
+        pq.emplace(d + w, v);
+      }
+    }
+  }
+}
+
+std::vector<Jnt> GroupSteinerSearch(const DataGraph& graph,
+                                    const TermIndex& index,
+                                    const KeywordQuery& query,
+                                    const DataGraphSearchOptions& options,
+                                    bool hub_penalty) {
+  const size_t m = query.size();
+  std::vector<std::vector<uint32_t>> groups(m);
+  for (size_t k = 0; k < m; ++k) {
+    for (const TupleId& id : index.TuplesFor(query.keyword(k))) {
+      groups[k].push_back(graph.NodeOf(id));
+    }
+    if (groups[k].empty()) return {};  // some keyword matches nothing
+  }
+
+  std::vector<std::vector<double>> dist(m);
+  std::vector<std::vector<int64_t>> parent(m);
+  for (size_t k = 0; k < m; ++k) {
+    Dijkstra(graph, groups[k], hub_penalty, &dist[k], &parent[k]);
+  }
+
+  // Candidate roots: reached by every group. Rank by total distance.
+  std::vector<std::pair<double, uint32_t>> roots;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    double total = 0.0;
+    bool ok = true;
+    for (size_t k = 0; k < m; ++k) {
+      if (dist[k][v] == kInf) {
+        ok = false;
+        break;
+      }
+      total += dist[k][v];
+    }
+    if (ok) roots.emplace_back(total, v);
+    if (roots.size() > options.max_roots) break;
+  }
+  std::sort(roots.begin(), roots.end());
+
+  std::vector<Jnt> results;
+  std::unordered_set<std::string> seen;
+  for (const auto& [total, root] : roots) {
+    if (results.size() >= options.top_k) break;
+    // Answer tree: union of the root->group shortest paths.
+    std::set<uint32_t> tree_nodes;
+    for (size_t k = 0; k < m; ++k) {
+      uint32_t v = root;
+      tree_nodes.insert(v);
+      while (parent[k][v] >= 0) {
+        v = static_cast<uint32_t>(parent[k][v]);
+        tree_nodes.insert(v);
+      }
+    }
+    Jnt jnt;
+    jnt.cn_index = -1;
+    for (uint32_t node : tree_nodes) jnt.tuples.push_back(graph.TupleOf(node));
+    jnt.score = 1.0 / (1.0 + total);
+    if (seen.insert(JntKey(jnt)).second) results.push_back(std::move(jnt));
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<Jnt> BanksSearch(const DataGraph& graph, const TermIndex& index,
+                             const KeywordQuery& query,
+                             const DataGraphSearchOptions& options) {
+  return GroupSteinerSearch(graph, index, query, options,
+                            /*hub_penalty=*/false);
+}
+
+std::vector<Jnt> BidirectionalSearch(const DataGraph& graph,
+                                     const TermIndex& index,
+                                     const KeywordQuery& query,
+                                     const DataGraphSearchOptions& options) {
+  return GroupSteinerSearch(graph, index, query, options,
+                            /*hub_penalty=*/true);
+}
+
+}  // namespace matcn

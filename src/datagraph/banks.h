@@ -1,0 +1,40 @@
+#ifndef MATCN_DATAGRAPH_BANKS_H_
+#define MATCN_DATAGRAPH_BANKS_H_
+
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "datagraph/data_graph.h"
+#include "exec/jnt.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+
+struct DataGraphSearchOptions {
+  size_t top_k = 1000;
+  /// Cap on candidate answer roots examined (resource guard).
+  size_t max_roots = 200'000;
+};
+
+/// BANKS [Aditya et al. 2002], backward expanding search: from each
+/// keyword's tuple set, expand shortest-path frontiers over the data
+/// graph; every node reached by all keyword groups roots an answer tree —
+/// the union of the shortest paths from the root to each group. Answers
+/// are ranked by total tree weight (hop count here; the original also
+/// weighs node prestige) and returned as JNTs with score 1/(1+weight).
+std::vector<Jnt> BanksSearch(const DataGraph& graph, const TermIndex& index,
+                             const KeywordQuery& query,
+                             const DataGraphSearchOptions& options = {});
+
+/// Bidirectional search [Kacholia et al. 2005]: same answer semantics as
+/// BANKS but the expansion is activation-driven — edges out of high-degree
+/// hubs are penalized with weight log2(1 + degree(u)), so paths through
+/// hubs rank lower. This reproduces Bidirectional's preference for
+/// low-fanout connections without its (cost-only) frontier scheduling.
+std::vector<Jnt> BidirectionalSearch(
+    const DataGraph& graph, const TermIndex& index,
+    const KeywordQuery& query, const DataGraphSearchOptions& options = {});
+
+}  // namespace matcn
+
+#endif  // MATCN_DATAGRAPH_BANKS_H_

@@ -1,0 +1,66 @@
+#include "datagraph/data_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace matcn {
+
+DataGraph DataGraph::Build(const Database& db,
+                           const SchemaGraph& schema_graph) {
+  DataGraph g;
+  g.relation_offset_.resize(db.num_relations());
+  uint32_t offset = 0;
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    g.relation_offset_[r] = offset;
+    offset += static_cast<uint32_t>(db.relation(r).num_tuples());
+  }
+  g.adjacency_.resize(offset);
+
+  // Instantiate every schema edge: hash the referenced side's key column,
+  // then stream the holder side's FK values through it.
+  for (RelationId a = 0; a < db.num_relations(); ++a) {
+    for (RelationId b : schema_graph.Neighbors(a)) {
+      if (b < a) continue;  // visit each undirected edge once
+      const SchemaEdge* edge = schema_graph.Edge(a, b);
+      const Relation& holder = db.relation(edge->holder);
+      const Relation& referenced = db.relation(edge->referenced);
+      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> key_rows;
+      for (uint64_t row = 0; row < referenced.num_tuples(); ++row) {
+        key_rows[referenced.tuple(row)[edge->referenced_attribute]]
+            .push_back(static_cast<uint32_t>(row));
+      }
+      for (uint64_t row = 0; row < holder.num_tuples(); ++row) {
+        const Value& fk = holder.tuple(row)[edge->holder_attribute];
+        auto it = key_rows.find(fk);
+        if (it == key_rows.end()) continue;
+        const uint32_t holder_node =
+            g.relation_offset_[edge->holder] + static_cast<uint32_t>(row);
+        for (uint32_t ref_row : it->second) {
+          const uint32_t ref_node =
+              g.relation_offset_[edge->referenced] + ref_row;
+          g.adjacency_[holder_node].push_back(ref_node);
+          g.adjacency_[ref_node].push_back(holder_node);
+        }
+      }
+    }
+  }
+  size_t degree_sum = 0;
+  for (std::vector<uint32_t>& nbrs : g.adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    degree_sum += nbrs.size();
+  }
+  g.num_edges_ = degree_sum / 2;
+  return g;
+}
+
+TupleId DataGraph::TupleOf(uint32_t node) const {
+  // relation_offset_ is nondecreasing; find the owning relation.
+  auto it = std::upper_bound(relation_offset_.begin(),
+                             relation_offset_.end(), node);
+  const RelationId rel =
+      static_cast<RelationId>(it - relation_offset_.begin() - 1);
+  return TupleId(rel, node - relation_offset_[rel]);
+}
+
+}  // namespace matcn

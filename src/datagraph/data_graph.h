@@ -1,0 +1,44 @@
+#ifndef MATCN_DATAGRAPH_DATA_GRAPH_H_
+#define MATCN_DATAGRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+
+namespace matcn {
+
+/// The data graph used by the second family of R-KwS systems (BANKS,
+/// Bidirectional, BLINKS, DPBF): one node per database tuple, one edge per
+/// instantiated referential constraint (a tuple holding a foreign key is
+/// linked to the tuple it references). The graph is stored undirected —
+/// all three implemented search algorithms here treat FK edges as
+/// traversable both ways, the usual simplification when edge-direction
+/// weights are not modeled.
+class DataGraph {
+ public:
+  static DataGraph Build(const Database& db, const SchemaGraph& schema_graph);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  uint32_t NodeOf(TupleId id) const {
+    return relation_offset_[id.relation()] + static_cast<uint32_t>(id.row());
+  }
+  TupleId TupleOf(uint32_t node) const;
+
+  const std::vector<uint32_t>& Neighbors(uint32_t node) const {
+    return adjacency_[node];
+  }
+  size_t Degree(uint32_t node) const { return adjacency_[node].size(); }
+
+ private:
+  std::vector<uint32_t> relation_offset_;
+  std::vector<std::vector<uint32_t>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_DATAGRAPH_DATA_GRAPH_H_

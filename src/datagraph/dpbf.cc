@@ -1,0 +1,136 @@
+#include "datagraph/dpbf.h"
+
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace matcn {
+namespace {
+
+/// Backpointer for tree reconstruction: either a growth from a neighbor
+/// state or a merge of two states at the same node.
+struct BackPointer {
+  enum class Kind { kSeed, kGrow, kMerge } kind = Kind::kSeed;
+  uint32_t grow_from = 0;    // node of the child state (kGrow)
+  Termset merge_left = 0;    // subsets of the two merged states (kMerge)
+  Termset merge_right = 0;
+};
+
+uint64_t StateKey(uint32_t v, Termset x) {
+  return (static_cast<uint64_t>(v) << 32) | x;
+}
+
+void CollectNodes(uint32_t v, Termset x,
+                  const std::unordered_map<uint64_t, BackPointer>& back,
+                  std::set<uint32_t>* nodes) {
+  nodes->insert(v);
+  auto it = back.find(StateKey(v, x));
+  if (it == back.end()) return;
+  const BackPointer& bp = it->second;
+  switch (bp.kind) {
+    case BackPointer::Kind::kSeed:
+      return;
+    case BackPointer::Kind::kGrow:
+      CollectNodes(bp.grow_from, x, back, nodes);
+      return;
+    case BackPointer::Kind::kMerge:
+      CollectNodes(v, bp.merge_left, back, nodes);
+      CollectNodes(v, bp.merge_right, back, nodes);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<Jnt> DpbfSearch(const DataGraph& graph, const TermIndex& index,
+                            const KeywordQuery& query,
+                            const DataGraphSearchOptions& options) {
+  const Termset full = query.FullTermset();
+  std::unordered_map<uint64_t, double> cost;
+  std::unordered_map<uint64_t, BackPointer> back;
+  // Finalized keyword subsets per node (for merge enumeration).
+  std::unordered_map<uint32_t, std::vector<Termset>> done;
+
+  using Entry = std::pair<double, uint64_t>;  // (cost, state key)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+
+  for (size_t k = 0; k < query.size(); ++k) {
+    const Termset x = Termset{1} << k;
+    bool any = false;
+    for (const TupleId& id : index.TuplesFor(query.keyword(k))) {
+      const uint32_t v = graph.NodeOf(id);
+      const uint64_t key = StateKey(v, x);
+      auto it = cost.find(key);
+      if (it == cost.end() || it->second > 0.0) {
+        cost[key] = 0.0;
+        back[key] = BackPointer{};  // seed
+        pq.emplace(0.0, key);
+      }
+      any = true;
+    }
+    if (!any) return {};
+  }
+
+  std::vector<Jnt> results;
+  std::unordered_set<std::string> seen;
+  std::unordered_set<uint64_t> settled;
+  size_t popped = 0;
+
+  while (!pq.empty() && results.size() < options.top_k) {
+    auto [c, key] = pq.top();
+    pq.pop();
+    if (++popped > options.max_roots * 8) break;  // resource guard
+    auto cit = cost.find(key);
+    if (cit == cost.end() || c > cit->second) continue;
+    if (!settled.insert(key).second) continue;
+    const uint32_t v = static_cast<uint32_t>(key >> 32);
+    const Termset x = static_cast<Termset>(key & 0xffffffffu);
+
+    if (x == full) {
+      std::set<uint32_t> nodes;
+      CollectNodes(v, x, back, &nodes);
+      Jnt jnt;
+      jnt.cn_index = -1;
+      for (uint32_t node : nodes) jnt.tuples.push_back(graph.TupleOf(node));
+      jnt.score = 1.0 / (1.0 + c);
+      if (seen.insert(JntKey(jnt)).second) results.push_back(std::move(jnt));
+      continue;
+    }
+
+    // Grow.
+    for (uint32_t u : graph.Neighbors(v)) {
+      const uint64_t ukey = StateKey(u, x);
+      auto it = cost.find(ukey);
+      if (it == cost.end() || it->second > c + 1.0) {
+        cost[ukey] = c + 1.0;
+        BackPointer bp;
+        bp.kind = BackPointer::Kind::kGrow;
+        bp.grow_from = v;
+        back[ukey] = bp;
+        pq.emplace(c + 1.0, ukey);
+      }
+    }
+    // Merge with settled disjoint subsets at the same node.
+    for (Termset other : done[v]) {
+      if ((other & x) != 0) continue;
+      const uint64_t mkey = StateKey(v, x | other);
+      const double mcost = c + cost[StateKey(v, other)];
+      auto it = cost.find(mkey);
+      if (it == cost.end() || it->second > mcost) {
+        cost[mkey] = mcost;
+        BackPointer bp;
+        bp.kind = BackPointer::Kind::kMerge;
+        bp.merge_left = x;
+        bp.merge_right = other;
+        back[mkey] = bp;
+        pq.emplace(mcost, mkey);
+      }
+    }
+    done[v].push_back(x);
+  }
+  return results;
+}
+
+}  // namespace matcn

@@ -1,0 +1,30 @@
+#ifndef MATCN_DATAGRAPH_DPBF_H_
+#define MATCN_DATAGRAPH_DPBF_H_
+
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "datagraph/banks.h"
+#include "datagraph/data_graph.h"
+#include "exec/jnt.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+
+/// DPBF [Ding et al. 2007] ("Finding top-k min-cost connected trees in
+/// databases"): best-first dynamic programming over states (v, X) — the
+/// cheapest tree rooted at v covering keyword subset X — with the two
+/// classic transitions:
+///   grow:  D(u, X)      <- D(v, X) + w(v, u)
+///   merge: D(v, X ∪ X') <- D(v, X) + D(v, X')       (X ∩ X' = ∅)
+/// Unit edge weights. States popped with X = all keywords yield answer
+/// trees in non-decreasing cost order; the first k distinct trees are
+/// returned with score 1/(1+cost). Exact for top-1 (the min-cost group
+/// Steiner tree), best-effort beyond, as in the original paper.
+std::vector<Jnt> DpbfSearch(const DataGraph& graph, const TermIndex& index,
+                            const KeywordQuery& query,
+                            const DataGraphSearchOptions& options = {});
+
+}  // namespace matcn
+
+#endif  // MATCN_DATAGRAPH_DPBF_H_

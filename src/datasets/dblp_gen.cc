@@ -1,0 +1,64 @@
+#include "datasets/gen_util.h"
+#include "datasets/generators.h"
+#include "datasets/vocab.h"
+
+namespace matcn {
+
+using gen_internal::Builder;
+using gen_internal::IntCol;
+using gen_internal::Pk;
+using gen_internal::TextCol;
+
+// DBLP benchmark schema: AUTHOR, PUB, AUTHORED, JOURNAL, PROC, CITE —
+// 6 relations, 6 RICs (authored x2, pub->journal, pub->proc, cite x2).
+Database MakeDblp(uint64_t seed, double scale) {
+  Database db;
+  Builder b(&db, seed, scale);
+
+  b.Relation("AUTHOR", {Pk("id"), TextCol("name")});
+  b.Relation("JOURNAL", {Pk("id"), TextCol("name")});
+  b.Relation("PROC", {Pk("id"), TextCol("name"), IntCol("year")});
+  b.Relation("PUB", {Pk("id"), TextCol("title"), IntCol("year"),
+                     IntCol("journal_id"), IntCol("proc_id")});
+  b.Relation("AUTHORED", {Pk("id"), IntCol("author_id"), IntCol("pub_id")});
+  b.Relation("CITE", {Pk("id"), IntCol("from_pub"), IntCol("to_pub")});
+  b.Fk("PUB", "journal_id", "JOURNAL", "id");
+  b.Fk("PUB", "proc_id", "PROC", "id");
+  b.Fk("AUTHORED", "author_id", "AUTHOR", "id");
+  b.Fk("AUTHORED", "pub_id", "PUB", "id");
+  b.Fk("CITE", "from_pub", "PUB", "id");
+  b.Fk("CITE", "to_pub", "PUB", "id");  // parallel edge (collapsed in G_u)
+
+  const int64_t num_authors = b.scaled(2500);
+  const int64_t num_journals = b.scaled(80);
+  const int64_t num_procs = b.scaled(200);
+  const int64_t num_pubs = b.scaled(4000);
+
+  for (int64_t i = 1; i <= num_authors; ++i) {
+    b.Row("AUTHOR", {Value(i), Value(Vocab::PersonName(b.rng()))});
+  }
+  for (int64_t i = 1; i <= num_journals; ++i) {
+    b.Row("JOURNAL",
+          {Value(i), Value("journal of " + Vocab::ZipfText(b.rng(), 2))});
+  }
+  for (int64_t i = 1; i <= num_procs; ++i) {
+    b.Row("PROC",
+          {Value(i), Value("conference on " + Vocab::ZipfText(b.rng(), 2)),
+           Value(static_cast<int64_t>(b.rng().Uniform(1980, 2017)))});
+  }
+  for (int64_t i = 1; i <= num_pubs; ++i) {
+    b.Row("PUB", {Value(i), Value(Vocab::ZipfText(b.rng(), 5)),
+                  Value(static_cast<int64_t>(b.rng().Uniform(1980, 2017))),
+                  Value(b.Ref(num_journals)), Value(b.Ref(num_procs))});
+  }
+  for (int64_t i = 1; i <= b.scaled(9000); ++i) {
+    b.Row("AUTHORED",
+          {Value(i), Value(b.Ref(num_authors)), Value(b.Ref(num_pubs))});
+  }
+  for (int64_t i = 1; i <= b.scaled(6000); ++i) {
+    b.Row("CITE", {Value(i), Value(b.Ref(num_pubs)), Value(b.Ref(num_pubs))});
+  }
+  return db;
+}
+
+}  // namespace matcn

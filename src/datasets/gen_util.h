@@ -1,0 +1,75 @@
+#ifndef MATCN_DATASETS_GEN_UTIL_H_
+#define MATCN_DATASETS_GEN_UTIL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace matcn::gen_internal {
+
+/// Thin helper the generators share: asserts on schema errors (generator
+/// bugs are programming errors, not runtime conditions) and keeps row
+/// counts scaled.
+class Builder {
+ public:
+  Builder(Database* db, uint64_t seed, double scale)
+      : db_(db), rng_(seed), scale_(scale) {}
+
+  Rng& rng() { return rng_; }
+
+  /// scaled(n) = max(1, n * scale).
+  int64_t scaled(int64_t n) const {
+    const int64_t v = static_cast<int64_t>(static_cast<double>(n) * scale_);
+    return v < 1 ? 1 : v;
+  }
+
+  void Relation(const std::string& name,
+                std::vector<Attribute> attributes) {
+    auto r = db_->CreateRelation(RelationSchema(name, std::move(attributes)));
+    assert(r.ok());
+    (void)r;
+  }
+
+  void Fk(const std::string& from_rel, const std::string& from_attr,
+          const std::string& to_rel, const std::string& to_attr) {
+    Status s = db_->AddForeignKey({from_rel, from_attr, to_rel, to_attr});
+    assert(s.ok());
+    (void)s;
+  }
+
+  void Row(const std::string& relation, Tuple tuple) {
+    Status s = db_->Insert(relation, std::move(tuple));
+    assert(s.ok());
+    (void)s;
+  }
+
+  /// Random existing id in [1, count].
+  int64_t Ref(int64_t count) {
+    return static_cast<int64_t>(rng_.Uniform(1, static_cast<uint64_t>(count)));
+  }
+
+ private:
+  Database* db_;
+  Rng rng_;
+  double scale_;
+};
+
+/// Shorthand attribute constructors.
+inline Attribute Pk(const std::string& name) {
+  return Attribute{name, ValueType::kInt, /*is_primary_key=*/true,
+                   /*searchable=*/false};
+}
+inline Attribute IntCol(const std::string& name) {
+  return Attribute{name, ValueType::kInt, false, false};
+}
+inline Attribute TextCol(const std::string& name) {
+  return Attribute{name, ValueType::kText, false, true};
+}
+
+}  // namespace matcn::gen_internal
+
+#endif  // MATCN_DATASETS_GEN_UTIL_H_

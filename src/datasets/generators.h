@@ -1,0 +1,38 @@
+#ifndef MATCN_DATASETS_GENERATORS_H_
+#define MATCN_DATASETS_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace matcn {
+
+/// Seeded synthetic generators standing in for the five evaluation
+/// datasets of the paper (Table 2). Each reproduces its original's schema
+/// graph — relation count and referential structure — and realistic
+/// head-heavy term distributions, at a configurable scale (`scale`
+/// multiplies the default row counts; defaults keep the full benchmark
+/// suite in the seconds range). Relative sizes follow the paper: TPC-H
+/// largest, Mondial smallest but with by far the densest schema.
+///
+/// The IMDb generator plants the paper's running-example entities
+/// ("Denzel Washington", "American Gangster"), so the canonical query
+/// works against it verbatim.
+Database MakeImdb(uint64_t seed = 42, double scale = 1.0);
+Database MakeMondial(uint64_t seed = 43, double scale = 1.0);
+Database MakeWikipedia(uint64_t seed = 44, double scale = 1.0);
+Database MakeDblp(uint64_t seed = 45, double scale = 1.0);
+Database MakeTpch(uint64_t seed = 46, double scale = 1.0);
+
+struct NamedDataset {
+  std::string name;
+  Database db;
+};
+
+/// All five datasets in the paper's Table 2 order.
+std::vector<NamedDataset> MakeAllDatasets(double scale = 1.0);
+
+}  // namespace matcn
+
+#endif  // MATCN_DATASETS_GENERATORS_H_

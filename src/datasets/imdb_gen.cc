@@ -1,0 +1,80 @@
+#include "datasets/gen_util.h"
+#include "datasets/generators.h"
+#include "datasets/vocab.h"
+
+namespace matcn {
+
+using gen_internal::Builder;
+using gen_internal::IntCol;
+using gen_internal::Pk;
+using gen_internal::TextCol;
+
+// Schema per paper Figure 3: CHAR, MOV, CAST, PER, ROLE; CAST references
+// the other four (4 RICs). Default scale ~20k tuples.
+Database MakeImdb(uint64_t seed, double scale) {
+  Database db;
+  Builder b(&db, seed, scale);
+
+  b.Relation("CHAR", {Pk("id"), TextCol("name")});
+  b.Relation("MOV", {Pk("id"), TextCol("title"), IntCol("year")});
+  b.Relation("CAST", {Pk("id"), IntCol("mid"), IntCol("pid"),
+                      IntCol("chid"), IntCol("rid"), TextCol("note")});
+  b.Relation("PER", {Pk("id"), TextCol("name")});
+  b.Relation("ROLE", {Pk("id"), TextCol("name")});
+  b.Fk("CAST", "mid", "MOV", "id");
+  b.Fk("CAST", "pid", "PER", "id");
+  b.Fk("CAST", "chid", "CHAR", "id");
+  b.Fk("CAST", "rid", "ROLE", "id");
+
+  const int64_t num_persons = b.scaled(4000);
+  const int64_t num_movies = b.scaled(3000);
+  const int64_t num_chars = b.scaled(1500);
+  const int64_t num_cast = b.scaled(10000);
+
+  // Roles: a fixed realistic pool (not scaled).
+  const std::vector<std::string> roles = {
+      "actor",   "actress", "director", "producer", "writer",
+      "composer", "editor", "stunt double", "extra", "narrator"};
+  for (size_t i = 0; i < roles.size(); ++i) {
+    b.Row("ROLE", {Value(static_cast<int64_t>(i + 1)), Value(roles[i])});
+  }
+
+  // Persons; id 1 is the running example's entity.
+  b.Row("PER", {Value(int64_t{1}), Value("Denzel Washington")});
+  for (int64_t i = 2; i <= num_persons; ++i) {
+    b.Row("PER", {Value(i), Value(Vocab::PersonName(b.rng()))});
+  }
+
+  // Movies; id 1 is the running example's entity.
+  b.Row("MOV", {Value(int64_t{1}), Value("American Gangster"),
+                Value(int64_t{2007})});
+  for (int64_t i = 2; i <= num_movies; ++i) {
+    b.Row("MOV", {Value(i), Value(Vocab::Title(b.rng(), 1, 3)),
+                  Value(static_cast<int64_t>(b.rng().Uniform(1930, 2017)))});
+  }
+
+  for (int64_t i = 1; i <= num_chars; ++i) {
+    // Characters mix invented names and title-like epithets.
+    std::string name = b.rng().Bernoulli(0.5)
+                           ? Vocab::PersonName(b.rng())
+                           : Vocab::Title(b.rng(), 1, 2);
+    b.Row("CHAR", {Value(i), Value(std::move(name))});
+  }
+
+  // Cast entry 1 connects the planted entities.
+  b.Row("CAST", {Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{1}),
+                 Value(b.Ref(num_chars)), Value(int64_t{1}),
+                 Value("lead credit")});
+  for (int64_t i = 2; i <= num_cast; ++i) {
+    std::string note =
+        b.rng().Bernoulli(0.3) ? Vocab::ZipfText(b.rng(), 3) : std::string();
+    b.Row("CAST",
+          {Value(i), Value(b.Ref(num_movies)), Value(b.Ref(num_persons)),
+           Value(b.Ref(num_chars)),
+           Value(b.Ref(static_cast<int64_t>(roles.size()))),
+           Value(std::move(note))});
+  }
+  return db;
+}
+
+}  // namespace matcn

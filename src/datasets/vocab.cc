@@ -1,0 +1,116 @@
+#include "datasets/vocab.h"
+
+namespace matcn {
+namespace {
+
+const std::vector<std::string_view> kFirstNames = {
+    "denzel",  "mary",    "james",   "sofia",    "liam",    "emma",
+    "noah",    "olivia",  "ethan",   "ava",      "lucas",   "mia",
+    "mason",   "isabella", "logan",  "amelia",   "oliver",  "harper",
+    "elijah",  "evelyn",  "aiden",   "abigail",  "carlos",  "lucia",
+    "marco",   "elena",   "pierre",  "claire",   "hans",    "greta",
+    "ivan",    "nadia",   "kenji",   "yuki",     "ravi",    "priya",
+    "omar",    "leila",   "diego",   "carmen",   "pedro",   "rosa",
+    "viktor",  "anya",    "stefan",  "ingrid",   "paulo",   "beatriz",
+};
+
+const std::vector<std::string_view> kLastNames = {
+    "washington", "smith",    "johnson",  "garcia",   "miller",
+    "davis",      "martinez", "lopez",    "gonzalez", "wilson",
+    "anderson",   "thomas",   "taylor",   "moore",    "jackson",
+    "martin",     "lee",      "thompson", "white",    "harris",
+    "clark",      "lewis",    "walker",   "hall",     "young",
+    "king",       "wright",   "scott",    "green",    "baker",
+    "adams",      "nelson",   "carter",   "mitchell", "perez",
+    "roberts",    "turner",   "phillips", "campbell", "parker",
+    "crowe",      "hopkins",  "almeida",  "ferreira", "tanaka",
+    "kowalski",   "petrov",   "larsen",
+};
+
+const std::vector<std::string_view> kTitleWords = {
+    "gangster",  "american", "midnight", "shadow",   "river",
+    "glory",     "empire",   "broken",   "silent",   "crimson",
+    "winter",    "summer",   "forgotten", "hidden",  "golden",
+    "iron",      "storm",    "paradise", "fallen",   "rising",
+    "last",      "first",    "dark",     "bright",   "lost",
+    "secret",    "wild",     "frozen",   "burning",  "endless",
+    "city",      "train",    "letter",   "garden",   "bridge",
+    "mountain",  "ocean",    "desert",   "island",   "harbor",
+    "night",     "dawn",     "journey",  "promise",  "legacy",
+    "redemption", "betrayal", "honor",   "destiny",  "mirror",
+};
+
+const std::vector<std::string_view> kPlaceNames = {
+    "lisbon",    "manaus",   "berlin",   "kyoto",     "cairo",
+    "lima",      "oslo",     "dublin",   "prague",    "vienna",
+    "madrid",    "warsaw",   "athens",   "helsinki",  "ottawa",
+    "canberra",  "nairobi",  "bogota",   "santiago",  "havana",
+    "jakarta",   "manila",   "hanoi",    "seoul",     "taipei",
+    "ankara",    "tehran",   "baghdad",  "riyadh",    "amman",
+    "tunis",     "accra",    "lagos",    "dakar",     "harare",
+    "lusaka",    "quito",    "asuncion", "montevideo", "caracas",
+};
+
+const std::vector<std::string_view> kTopicWords = {
+    "economy",   "africa",    "europe",    "industry",  "research",
+    "database",  "keyword",   "search",    "network",   "algorithm",
+    "system",    "query",     "relation",  "index",     "model",
+    "analysis",  "theory",    "learning",  "language",  "energy",
+    "climate",   "culture",   "history",   "science",   "music",
+    "festival",  "election",  "market",    "trade",     "finance",
+    "transport", "medicine",  "biology",   "physics",   "chemistry",
+    "geology",   "astronomy", "agriculture", "tourism", "education",
+};
+
+}  // namespace
+
+const std::vector<std::string_view>& Vocab::FirstNames() {
+  return kFirstNames;
+}
+const std::vector<std::string_view>& Vocab::LastNames() { return kLastNames; }
+const std::vector<std::string_view>& Vocab::TitleWords() {
+  return kTitleWords;
+}
+const std::vector<std::string_view>& Vocab::PlaceNames() {
+  return kPlaceNames;
+}
+const std::vector<std::string_view>& Vocab::TopicWords() {
+  return kTopicWords;
+}
+
+std::string Vocab::PersonName(Rng& rng) {
+  std::string name(kFirstNames[rng.Index(kFirstNames.size())]);
+  name += " ";
+  name += kLastNames[rng.Index(kLastNames.size())];
+  return name;
+}
+
+std::string Vocab::Title(Rng& rng, int min_words, int max_words) {
+  const int n = static_cast<int>(
+      rng.Uniform(static_cast<uint64_t>(min_words),
+                  static_cast<uint64_t>(max_words)));
+  std::string title;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) title += " ";
+    title += kTitleWords[rng.Index(kTitleWords.size())];
+  }
+  return title;
+}
+
+std::string Vocab::ZipfText(Rng& rng, int words) {
+  // One shared sampler over topic words plus a synthetic tail of 400.
+  static const ZipfSampler sampler(kTopicWords.size() + 400, 1.0);
+  std::string text;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) text += " ";
+    const size_t rank = sampler.Sample(rng);
+    if (rank < kTopicWords.size()) {
+      text += kTopicWords[rank];
+    } else {
+      text += "w" + std::to_string(rank - kTopicWords.size());
+    }
+  }
+  return text;
+}
+
+}  // namespace matcn

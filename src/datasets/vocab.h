@@ -1,0 +1,38 @@
+#ifndef MATCN_DATASETS_VOCAB_H_
+#define MATCN_DATASETS_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace matcn {
+
+/// Word pools shared by the synthetic dataset generators. Names and topic
+/// words are fixed English-like pools; bulk text is padded from a synthetic
+/// Zipfian tail vocabulary so term-frequency distributions resemble real
+/// corpora (a few very frequent terms, a long rare tail).
+class Vocab {
+ public:
+  static const std::vector<std::string_view>& FirstNames();
+  static const std::vector<std::string_view>& LastNames();
+  static const std::vector<std::string_view>& TitleWords();
+  static const std::vector<std::string_view>& PlaceNames();
+  static const std::vector<std::string_view>& TopicWords();
+
+  /// "firstname lastname" drawn uniformly.
+  static std::string PersonName(Rng& rng);
+
+  /// 1-3 title words, capitalized draw.
+  static std::string Title(Rng& rng, int min_words = 1, int max_words = 3);
+
+  /// `words` tokens drawn from a Zipf(1.0) distribution over TopicWords
+  /// plus a synthetic tail ("w<rank>") — the padding text of comment-like
+  /// attributes.
+  static std::string ZipfText(Rng& rng, int words);
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_DATASETS_VOCAB_H_

@@ -1,0 +1,60 @@
+#include "datasets/gen_util.h"
+#include "datasets/generators.h"
+#include "datasets/vocab.h"
+
+namespace matcn {
+
+using gen_internal::Builder;
+using gen_internal::IntCol;
+using gen_internal::Pk;
+using gen_internal::TextCol;
+
+// Wikipedia benchmark schema (Coffman & Weaver): PAGE, REVISION, TEXT,
+// USERACCT, PAGELINKS, CATEGORYLINKS — 6 relations, 5 RICs.
+Database MakeWikipedia(uint64_t seed, double scale) {
+  Database db;
+  Builder b(&db, seed, scale);
+
+  b.Relation("PAGE", {Pk("id"), TextCol("title")});
+  b.Relation("USERACCT", {Pk("id"), TextCol("name")});
+  b.Relation("REVISION", {Pk("id"), IntCol("page_id"), IntCol("user_id"),
+                          TextCol("comment")});
+  b.Relation("TEXT", {Pk("id"), IntCol("rev_id"), TextCol("body")});
+  b.Relation("PAGELINKS",
+             {Pk("id"), IntCol("from_page"), TextCol("target_title")});
+  b.Relation("CATEGORYLINKS",
+             {Pk("id"), IntCol("page_id"), TextCol("category")});
+  b.Fk("REVISION", "page_id", "PAGE", "id");
+  b.Fk("REVISION", "user_id", "USERACCT", "id");
+  b.Fk("TEXT", "rev_id", "REVISION", "id");
+  b.Fk("PAGELINKS", "from_page", "PAGE", "id");
+  b.Fk("CATEGORYLINKS", "page_id", "PAGE", "id");
+
+  const int64_t num_pages = b.scaled(1500);
+  const int64_t num_users = b.scaled(400);
+  const int64_t num_revisions = b.scaled(3000);
+
+  for (int64_t i = 1; i <= num_pages; ++i) {
+    b.Row("PAGE", {Value(i), Value(Vocab::Title(b.rng(), 1, 3))});
+  }
+  for (int64_t i = 1; i <= num_users; ++i) {
+    b.Row("USERACCT", {Value(i), Value(Vocab::PersonName(b.rng()))});
+  }
+  for (int64_t i = 1; i <= num_revisions; ++i) {
+    b.Row("REVISION", {Value(i), Value(b.Ref(num_pages)),
+                       Value(b.Ref(num_users)),
+                       Value(Vocab::ZipfText(b.rng(), 3))});
+    b.Row("TEXT", {Value(i), Value(i), Value(Vocab::ZipfText(b.rng(), 12))});
+  }
+  for (int64_t i = 1; i <= b.scaled(2000); ++i) {
+    b.Row("PAGELINKS", {Value(i), Value(b.Ref(num_pages)),
+                        Value(Vocab::Title(b.rng(), 1, 2))});
+  }
+  for (int64_t i = 1; i <= b.scaled(1200); ++i) {
+    b.Row("CATEGORYLINKS", {Value(i), Value(b.Ref(num_pages)),
+                            Value(Vocab::ZipfText(b.rng(), 2))});
+  }
+  return db;
+}
+
+}  // namespace matcn

@@ -1,0 +1,64 @@
+#include "datasets/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace matcn {
+
+Status SaveWorkload(const std::vector<WorkloadQuery>& workload,
+                    const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return Status::IOError("cannot open for write: " + path);
+  os << "matcn-workload v1\n";
+  for (const WorkloadQuery& wq : workload) {
+    os << "query " << wq.id;
+    for (const std::string& kw : wq.query.keywords()) os << " " << kw;
+    os << "\n";
+    for (const std::string& key : wq.golden) {
+      os << "golden " << key << "\n";
+    }
+  }
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<WorkloadQuery>> LoadWorkload(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(is, line) || line != "matcn-workload v1") {
+    return Status::IOError("bad workload header: " + path);
+  }
+  std::vector<WorkloadQuery> out;
+  while (std::getline(is, line)) {
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "query") {
+      WorkloadQuery wq;
+      ss >> wq.id;
+      std::vector<std::string> kws;
+      std::string kw;
+      while (ss >> kw) kws.push_back(kw);
+      Result<KeywordQuery> q = KeywordQuery::FromKeywords(std::move(kws));
+      if (!q.ok()) {
+        return Status::IOError("bad query line in " + path + ": " + line);
+      }
+      wq.query = std::move(*q);
+      out.push_back(std::move(wq));
+    } else if (tag == "golden") {
+      if (out.empty()) {
+        return Status::IOError("golden before any query in " + path);
+      }
+      std::string key;
+      ss >> key;
+      out.back().golden.insert(key);
+      out.back().num_relevant = out.back().golden.size();
+    } else if (!tag.empty()) {
+      return Status::IOError("unknown tag '" + tag + "' in " + path);
+    }
+  }
+  return out;
+}
+
+}  // namespace matcn

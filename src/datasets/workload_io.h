@@ -1,0 +1,29 @@
+#ifndef MATCN_DATASETS_WORKLOAD_IO_H_
+#define MATCN_DATASETS_WORKLOAD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datasets/workload.h"
+
+namespace matcn {
+
+/// Text persistence for query workloads, so benchmark runs can pin an
+/// exact query set (with its relevance judgements) to a file and rerun it
+/// later — the role the published Coffman-Weaver query lists play for the
+/// paper. The format is line-oriented:
+///
+///   matcn-workload v1
+///   query <id> <kw1> <kw2> ...
+///   golden <jnt-key> ...
+///
+/// JNT keys are the canonical comma-joined packed tuple ids of JntKey().
+Status SaveWorkload(const std::vector<WorkloadQuery>& workload,
+                    const std::string& path);
+
+Result<std::vector<WorkloadQuery>> LoadWorkload(const std::string& path);
+
+}  // namespace matcn
+
+#endif  // MATCN_DATASETS_WORKLOAD_IO_H_

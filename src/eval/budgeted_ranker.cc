@@ -1,0 +1,48 @@
+#include "eval/budgeted_ranker.h"
+
+#include "common/timer.h"
+#include "core/cn_to_sql.h"
+#include "eval/cn_ranker.h"
+#include "eval/scorer.h"
+#include "exec/executor.h"
+
+namespace matcn {
+
+BudgetedResult BudgetedRanker::TopK(const EvalContext& context,
+                                    const RankerOptions& options) const {
+  BudgetedResult result;
+  CnExecutor executor(context.db, context.schema_graph);
+  executor.SetQueryContext(context.tuple_sets);
+  Scorer scorer(context.db, context.index, context.query);
+
+  const std::vector<size_t> order = RankCandidateNetworks(
+      *context.cns, *context.tuple_sets, scorer);
+
+  Stopwatch watch;
+  size_t next = 0;
+  for (; next < order.size(); ++next) {
+    if (deadline_ms_ > 0 && watch.ElapsedMillis() > deadline_ms_) {
+      result.deadline_hit = true;
+      break;
+    }
+    const size_t c = order[next];
+    for (Jnt& jnt : executor.Execute((*context.cns)[c], static_cast<int>(c),
+                                     options.per_cn_limit)) {
+      jnt.score = scorer.JntScore(jnt);
+      result.answers.push_back(std::move(jnt));
+    }
+    result.evaluated_cns.push_back(c);
+  }
+  // Remaining CNs become query forms (SQL the user can run on demand).
+  for (; next < order.size(); ++next) {
+    result.query_forms.push_back(CandidateNetworkToSql(
+        (*context.cns)[order[next]], context.db->schema(), *context.query));
+  }
+  SortJnts(&result.answers);
+  if (result.answers.size() > options.top_k) {
+    result.answers.resize(options.top_k);
+  }
+  return result;
+}
+
+}  // namespace matcn

@@ -1,0 +1,37 @@
+#ifndef MATCN_EVAL_BUDGETED_RANKER_H_
+#define MATCN_EVAL_BUDGETED_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/ranker.h"
+
+namespace matcn {
+
+/// KwS-F-style time-bounded evaluation [Baid et al., VLDB 2010], which the
+/// paper discusses as the practical answer to unpredictable CN-evaluation
+/// times: spend at most a deadline evaluating CNs (most-promising first,
+/// per CNRank order); once it expires, return the partial top-k plus the
+/// *unevaluated CNs as query forms* the user can trigger explicitly.
+struct BudgetedResult {
+  std::vector<Jnt> answers;              // partial top-k, sorted
+  std::vector<size_t> evaluated_cns;     // indexes fully evaluated
+  std::vector<std::string> query_forms;  // SQL of the unevaluated CNs
+  bool deadline_hit = false;
+};
+
+class BudgetedRanker {
+ public:
+  /// `deadline_ms <= 0` means unbounded (degenerates to full evaluation).
+  explicit BudgetedRanker(double deadline_ms) : deadline_ms_(deadline_ms) {}
+
+  BudgetedResult TopK(const EvalContext& context,
+                      const RankerOptions& options) const;
+
+ private:
+  double deadline_ms_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_BUDGETED_RANKER_H_

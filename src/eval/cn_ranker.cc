@@ -1,0 +1,46 @@
+#include "eval/cn_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace matcn {
+
+double CandidateNetworkScore(const CandidateNetwork& cn,
+                             const std::vector<TupleSet>& tuple_sets,
+                             const Scorer& scorer) {
+  double log_product = 0.0;
+  int non_free = 0;
+  for (const CnNode& node : cn.nodes()) {
+    if (node.is_free()) continue;
+    const TupleSet& ts = tuple_sets[node.tuple_set_index];
+    double sum = 0.0;
+    for (const TupleId& id : ts.tuples) sum += scorer.TupleScore(id);
+    const double avg =
+        ts.tuples.empty() ? 0.0 : sum / static_cast<double>(ts.tuples.size());
+    if (avg <= 0.0) return 0.0;
+    log_product += std::log(avg);
+    ++non_free;
+  }
+  if (non_free == 0) return 0.0;
+  const double geo_mean =
+      std::exp(log_product / static_cast<double>(non_free));
+  return geo_mean / static_cast<double>(cn.size());
+}
+
+std::vector<size_t> RankCandidateNetworks(
+    const std::vector<CandidateNetwork>& cns,
+    const std::vector<TupleSet>& tuple_sets, const Scorer& scorer) {
+  std::vector<double> scores(cns.size());
+  for (size_t i = 0; i < cns.size(); ++i) {
+    scores[i] = CandidateNetworkScore(cns[i], tuple_sets, scorer);
+  }
+  std::vector<size_t> order(cns.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace matcn

@@ -1,0 +1,36 @@
+#ifndef MATCN_EVAL_CN_RANKER_H_
+#define MATCN_EVAL_CN_RANKER_H_
+
+#include <vector>
+
+#include "core/candidate_network.h"
+#include "core/tuple_set.h"
+#include "eval/scorer.h"
+
+namespace matcn {
+
+/// CN-level relevance estimation in the spirit of CNRank [de Oliveira et
+/// al., ICDE 2015] — the authors' earlier work, cited by the paper as the
+/// observation that "only a few CNs are useful for producing plausible
+/// answers". Each CN is scored *before* any evaluation, so a system can
+/// evaluate the most promising CNs first or prune the tail entirely
+/// (KwS-F style):
+///
+///   score(C) = (Π_{non-free nodes} avg tuple score of the tuple-set)^(1/m)
+///              / |C|
+///
+/// i.e. the geometric mean of the expected per-node relevance, damped by
+/// the CN's size (longer join chains are less likely interpretations).
+double CandidateNetworkScore(const CandidateNetwork& cn,
+                             const std::vector<TupleSet>& tuple_sets,
+                             const Scorer& scorer);
+
+/// Returns CN indexes ordered by decreasing CandidateNetworkScore
+/// (deterministic tie-break by index).
+std::vector<size_t> RankCandidateNetworks(
+    const std::vector<CandidateNetwork>& cns,
+    const std::vector<TupleSet>& tuple_sets, const Scorer& scorer);
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_CN_RANKER_H_

@@ -1,0 +1,91 @@
+#include "eval/cn_sweeper.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace matcn {
+
+CnSweeper::CnSweeper(const CandidateNetwork* cn,
+                     const std::vector<TupleSet>* tuple_sets,
+                     const Scorer* scorer)
+    : cn_(cn) {
+  denom_ = static_cast<double>(cn_->size());
+  for (size_t i = 0; i < cn_->size(); ++i) {
+    if (cn_->node(static_cast<int>(i)).is_free()) continue;
+    non_free_nodes_.push_back(static_cast<int>(i));
+    const TupleSet& ts =
+        (*tuple_sets)[cn_->node(static_cast<int>(i)).tuple_set_index];
+    std::vector<std::pair<double, TupleId>> scored;
+    scored.reserve(ts.tuples.size());
+    for (const TupleId& id : ts.tuples) {
+      scored.emplace_back(scorer->TupleScore(id), id);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    std::vector<TupleId> ids;
+    std::vector<double> ss;
+    ids.reserve(scored.size());
+    ss.reserve(scored.size());
+    for (const auto& [s, id] : scored) {
+      ids.push_back(id);
+      ss.push_back(s);
+    }
+    candidates_.push_back(std::move(ids));
+    scores_.push_back(std::move(ss));
+  }
+  if (!non_free_nodes_.empty()) {
+    State initial;
+    initial.indexes.assign(non_free_nodes_.size(), 0);
+    initial.score = ScoreOf(initial.indexes);
+    Push(std::move(initial));
+  }
+}
+
+double CnSweeper::ScoreOf(const std::vector<uint32_t>& indexes) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < indexes.size(); ++j) {
+    sum += scores_[j][indexes[j]];
+  }
+  return sum / denom_;
+}
+
+void CnSweeper::Push(State state) {
+  std::string key;
+  for (uint32_t idx : state.indexes) {
+    key += std::to_string(idx);
+    key += ',';
+  }
+  if (!visited_.insert(std::move(key)).second) return;
+  frontier_.push(std::move(state));
+}
+
+double CnSweeper::NextBound() const {
+  if (frontier_.empty()) return -std::numeric_limits<double>::infinity();
+  return frontier_.top().score;
+}
+
+CnSweeper::Combination CnSweeper::Pop() {
+  State state = frontier_.top();
+  frontier_.pop();
+  // Skyline successors: advance one coordinate at a time.
+  for (size_t j = 0; j < state.indexes.size(); ++j) {
+    if (state.indexes[j] + 1 < candidates_[j].size()) {
+      State next = state;
+      ++next.indexes[j];
+      next.score = ScoreOf(next.indexes);
+      Push(std::move(next));
+    }
+  }
+  Combination combo;
+  combo.score = state.score;
+  combo.fixed.reserve(non_free_nodes_.size());
+  for (size_t j = 0; j < non_free_nodes_.size(); ++j) {
+    combo.fixed.emplace_back(non_free_nodes_[j],
+                             candidates_[j][state.indexes[j]]);
+  }
+  return combo;
+}
+
+}  // namespace matcn

@@ -1,0 +1,66 @@
+#ifndef MATCN_EVAL_CN_SWEEPER_H_
+#define MATCN_EVAL_CN_SWEEPER_H_
+
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_network.h"
+#include "eval/scorer.h"
+
+namespace matcn {
+
+/// Per-CN skyline iterator (the core of SPARK's Skyline-Sweeping [18]):
+/// enumerates combinations of one tuple per *non-free* CN node in
+/// non-increasing upper-bound score order, without materializing the
+/// combination lattice. Each node's candidates are pre-sorted by tuple
+/// score; a state is an index vector into those lists; popping a state
+/// pushes its +1 successors (deduplicated), the classic skyline sweep.
+///
+/// The bound of a combination equals its exact JNT score when it joins:
+/// free tuples contain no keyword and contribute zero to the numerator,
+/// so bound = Σ non-free tuple scores / |CN|.
+class CnSweeper {
+ public:
+  /// A popped combination: the pinned (node, tuple) pairs plus its score.
+  struct Combination {
+    std::vector<std::pair<int, TupleId>> fixed;
+    double score = 0.0;
+  };
+
+  CnSweeper(const CandidateNetwork* cn, const std::vector<TupleSet>* tuple_sets,
+            const Scorer* scorer);
+
+  /// Upper bound on the score of any not-yet-returned combination, or
+  /// -infinity when exhausted.
+  double NextBound() const;
+
+  bool Exhausted() const { return frontier_.empty(); }
+
+  /// Pops the best pending combination. Requires !Exhausted().
+  Combination Pop();
+
+ private:
+  struct State {
+    std::vector<uint32_t> indexes;
+    double score = 0.0;
+    bool operator<(const State& o) const { return score < o.score; }
+  };
+
+  double ScoreOf(const std::vector<uint32_t>& indexes) const;
+  void Push(State state);
+
+  const CandidateNetwork* cn_;
+  std::vector<int> non_free_nodes_;
+  // Per non-free node: candidates sorted by score descending.
+  std::vector<std::vector<TupleId>> candidates_;
+  std::vector<std::vector<double>> scores_;
+  std::priority_queue<State> frontier_;
+  std::unordered_set<std::string> visited_;
+  double denom_ = 1.0;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_CN_SWEEPER_H_

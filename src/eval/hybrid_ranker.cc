@@ -1,0 +1,32 @@
+#include "eval/hybrid_ranker.h"
+
+#include "eval/pipelined_ranker.h"
+#include "eval/sparse_ranker.h"
+
+namespace matcn {
+
+double HybridRanker::EstimateResults(const EvalContext& context) {
+  double total = 0.0;
+  for (const CandidateNetwork& cn : *context.cns) {
+    double product = 1.0;
+    for (const CnNode& node : cn.nodes()) {
+      if (node.is_free()) continue;
+      product *= static_cast<double>(
+          (*context.tuple_sets)[node.tuple_set_index].tuples.size());
+    }
+    total += product;
+  }
+  return total;
+}
+
+std::vector<Jnt> HybridRanker::TopK(const EvalContext& context,
+                                    const RankerOptions& options) {
+  if (EstimateResults(context) <= options.hybrid_threshold) {
+    SparseRanker sparse;
+    return sparse.TopK(context, options);
+  }
+  GlobalPipelinedRanker pipelined;
+  return pipelined.TopK(context, options);
+}
+
+}  // namespace matcn

@@ -1,0 +1,28 @@
+#ifndef MATCN_EVAL_HYBRID_RANKER_H_
+#define MATCN_EVAL_HYBRID_RANKER_H_
+
+#include "eval/ranker.h"
+
+namespace matcn {
+
+/// The Hybrid algorithm of Hristidis et al. [13] ("Efficient"): estimates
+/// the number of results the query will produce and picks the strategy
+/// accordingly — Sparse when few results are expected (full per-CN
+/// evaluation amortizes well), Global-Pipelined when many are (incremental
+/// admission avoids materializing everything). The estimate here is the
+/// product of non-free candidate-list sizes per CN, summed over CNs — the
+/// same cardinality-product heuristic the original uses in lieu of full
+/// join selectivity estimation.
+class HybridRanker : public Ranker {
+ public:
+  std::vector<Jnt> TopK(const EvalContext& context,
+                        const RankerOptions& options) override;
+  std::string name() const override { return "Hybrid"; }
+
+  /// Exposed for tests: the estimated result volume of the context.
+  static double EstimateResults(const EvalContext& context);
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_HYBRID_RANKER_H_

@@ -1,0 +1,28 @@
+#include "eval/naive_ranker.h"
+
+#include "eval/scorer.h"
+#include "exec/executor.h"
+
+namespace matcn {
+
+std::vector<Jnt> NaiveRanker::TopK(const EvalContext& context,
+                                   const RankerOptions& options) {
+  CnExecutor executor(context.db, context.schema_graph);
+  executor.SetQueryContext(context.tuple_sets);
+  Scorer scorer(context.db, context.index, context.query);
+
+  std::vector<Jnt> all;
+  for (size_t c = 0; c < context.cns->size(); ++c) {
+    std::vector<Jnt> jnts = executor.Execute(
+        (*context.cns)[c], static_cast<int>(c), options.per_cn_limit);
+    for (Jnt& jnt : jnts) {
+      jnt.score = scorer.JntScore(jnt);
+      all.push_back(std::move(jnt));
+    }
+  }
+  SortJnts(&all);
+  if (all.size() > options.top_k) all.resize(options.top_k);
+  return all;
+}
+
+}  // namespace matcn

@@ -1,0 +1,20 @@
+#ifndef MATCN_EVAL_NAIVE_RANKER_H_
+#define MATCN_EVAL_NAIVE_RANKER_H_
+
+#include "eval/ranker.h"
+
+namespace matcn {
+
+/// Reference evaluator: materializes every JNT of every CN, scores them
+/// all, and sorts. Exact by construction; the optimized evaluators are
+/// property-tested against it.
+class NaiveRanker : public Ranker {
+ public:
+  std::vector<Jnt> TopK(const EvalContext& context,
+                        const RankerOptions& options) override;
+  std::string name() const override { return "Naive"; }
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_NAIVE_RANKER_H_

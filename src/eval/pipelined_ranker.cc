@@ -1,0 +1,172 @@
+#include "eval/pipelined_ranker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "eval/scorer.h"
+#include "exec/executor.h"
+
+namespace matcn {
+namespace {
+
+struct CnState {
+  const CandidateNetwork* cn = nullptr;
+  int cn_index = 0;
+  std::vector<int> nodes;                      // non-free node indexes
+  std::vector<std::vector<TupleId>> candidates;  // score-sorted per node
+  std::vector<std::vector<double>> scores;
+  std::vector<size_t> admitted;  // prefix length admitted per node
+  double denom = 1.0;
+
+  bool dead = false;
+
+  double Potential() const {
+    if (dead) return -std::numeric_limits<double>::infinity();
+    double best = -std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (admitted[j] >= candidates[j].size()) continue;
+      double sum = scores[j][admitted[j]];
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (i != j) sum += scores[i][0];
+      }
+      best = std::max(best, sum / denom);
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::vector<Jnt> GlobalPipelinedRanker::TopK(const EvalContext& context,
+                                             const RankerOptions& options) {
+  CnExecutor executor(context.db, context.schema_graph);
+  executor.SetQueryContext(context.tuple_sets);
+  Scorer scorer(context.db, context.index, context.query);
+
+  std::vector<CnState> states;
+  std::vector<Jnt> results;
+
+  auto verify = [&](const CnState& state,
+                    const std::vector<size_t>& pick) {
+    std::vector<std::pair<int, TupleId>> fixed;
+    double sum = 0.0;
+    fixed.reserve(state.nodes.size());
+    for (size_t j = 0; j < state.nodes.size(); ++j) {
+      fixed.emplace_back(state.nodes[j], state.candidates[j][pick[j]]);
+      sum += state.scores[j][pick[j]];
+    }
+    std::vector<Jnt> verified = executor.ExecuteWithFixed(
+        *state.cn, state.cn_index, fixed, options.per_cn_limit);
+    for (Jnt& jnt : verified) {
+      jnt.score = sum / state.denom;
+      results.push_back(std::move(jnt));
+    }
+  };
+
+  for (size_t c = 0; c < context.cns->size(); ++c) {
+    CnState state;
+    state.cn = &(*context.cns)[c];
+    state.cn_index = static_cast<int>(c);
+    state.denom = static_cast<double>(state.cn->size());
+    for (size_t i = 0; i < state.cn->size(); ++i) {
+      const CnNode& node = state.cn->node(static_cast<int>(i));
+      if (node.is_free()) continue;
+      state.nodes.push_back(static_cast<int>(i));
+      const TupleSet& ts = (*context.tuple_sets)[node.tuple_set_index];
+      std::vector<std::pair<double, TupleId>> scored;
+      for (const TupleId& id : ts.tuples) {
+        scored.emplace_back(scorer.TupleScore(id), id);
+      }
+      std::stable_sort(scored.begin(), scored.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      std::vector<TupleId> ids;
+      std::vector<double> ss;
+      for (const auto& [s, id] : scored) {
+        ids.push_back(id);
+        ss.push_back(s);
+      }
+      state.candidates.push_back(std::move(ids));
+      state.scores.push_back(std::move(ss));
+    }
+    if (state.nodes.empty()) continue;
+    state.admitted.assign(state.nodes.size(), 1);
+    // Admit the top tuple of every list and verify that combination.
+    verify(state, std::vector<size_t>(state.nodes.size(), 0));
+    states.push_back(std::move(state));
+  }
+
+  auto kth_score = [&]() {
+    if (results.size() < options.top_k) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    std::nth_element(results.begin(), results.begin() + options.top_k - 1,
+                     results.end(), [](const Jnt& a, const Jnt& b) {
+                       return a.score > b.score;
+                     });
+    return results[options.top_k - 1].score;
+  };
+
+  while (true) {
+    double best = -std::numeric_limits<double>::infinity();
+    CnState* best_state = nullptr;
+    for (CnState& state : states) {
+      const double p = state.Potential();
+      if (p > best) {
+        best = p;
+        best_state = &state;
+      }
+    }
+    if (best_state == nullptr || best <= kth_score()) break;
+
+    // Advance the node realizing the potential: admit its next tuple and
+    // join it against the admitted prefixes of the other tuple-sets.
+    size_t advance = 0;
+    double advance_score = -std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < best_state->nodes.size(); ++j) {
+      if (best_state->admitted[j] >= best_state->candidates[j].size()) {
+        continue;
+      }
+      double sum = best_state->scores[j][best_state->admitted[j]];
+      for (size_t i = 0; i < best_state->nodes.size(); ++i) {
+        if (i != j) sum += best_state->scores[i][0];
+      }
+      if (sum > advance_score) {
+        advance_score = sum;
+        advance = j;
+      }
+    }
+
+    const size_t new_index = best_state->admitted[advance];
+    // Enumerate prefix combinations with node `advance` pinned to its
+    // newly admitted tuple.
+    std::vector<size_t> pick(best_state->nodes.size(), 0);
+    pick[advance] = new_index;
+    while (true) {
+      verify(*best_state, pick);
+      size_t pos = 0;
+      while (pos < pick.size()) {
+        if (pos == advance) {
+          ++pos;
+          continue;
+        }
+        if (++pick[pos] < best_state->admitted[pos]) break;
+        pick[pos] = 0;
+        ++pos;
+      }
+      if (pos >= pick.size()) break;
+    }
+    ++best_state->admitted[advance];
+    if (best_state->Potential() ==
+        -std::numeric_limits<double>::infinity()) {
+      best_state->dead = true;
+    }
+  }
+
+  SortJnts(&results);
+  if (results.size() > options.top_k) results.resize(options.top_k);
+  return results;
+}
+
+}  // namespace matcn

@@ -1,0 +1,24 @@
+#ifndef MATCN_EVAL_PIPELINED_RANKER_H_
+#define MATCN_EVAL_PIPELINED_RANKER_H_
+
+#include "eval/ranker.h"
+
+namespace matcn {
+
+/// The Global-Pipelined algorithm of Hristidis et al. [13]: every CN is
+/// evaluated incrementally by *admitting* one tuple at a time (in score
+/// order) into one of its non-free tuple-sets; each admission joins the
+/// new tuple against the already-admitted prefixes of the other tuple-sets
+/// to surface new answers. Globally, the CN with the highest potential —
+/// the best score any of its unseen combinations could reach — is advanced
+/// next, and the search stops once no potential can beat the k-th answer.
+class GlobalPipelinedRanker : public Ranker {
+ public:
+  std::vector<Jnt> TopK(const EvalContext& context,
+                        const RankerOptions& options) override;
+  std::string name() const override { return "GlobalPipelined"; }
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_PIPELINED_RANKER_H_

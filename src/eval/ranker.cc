@@ -1,0 +1,15 @@
+#include "eval/ranker.h"
+
+#include <algorithm>
+
+namespace matcn {
+
+void SortJnts(std::vector<Jnt>* jnts) {
+  std::stable_sort(jnts->begin(), jnts->end(),
+                   [](const Jnt& a, const Jnt& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return JntKey(a) < JntKey(b);
+                   });
+}
+
+}  // namespace matcn

@@ -1,0 +1,56 @@
+#ifndef MATCN_EVAL_RANKER_H_
+#define MATCN_EVAL_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate_network.h"
+#include "core/keyword_query.h"
+#include "core/tuple_set.h"
+#include "exec/jnt.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "storage/database.h"
+
+namespace matcn {
+
+/// Everything a CN evaluation algorithm needs for one query: the database,
+/// its schema graph and term index, the parsed query, the tuple-sets R_Q,
+/// and the candidate networks to evaluate (produced by either MatCNGen or
+/// CNGen — the quality experiments feed both).
+struct EvalContext {
+  const Database* db = nullptr;
+  const SchemaGraph* schema_graph = nullptr;
+  const TermIndex* index = nullptr;
+  const KeywordQuery* query = nullptr;
+  const std::vector<TupleSet>* tuple_sets = nullptr;
+  const std::vector<CandidateNetwork>* cns = nullptr;
+};
+
+struct RankerOptions {
+  /// Number of answers to return (the paper evaluates MAP at n = 1000).
+  size_t top_k = 1000;
+  /// Cap on JNTs materialized per CN by the exhaustive strategies.
+  size_t per_cn_limit = 200'000;
+  /// Hybrid's switch-over: estimated result count above which it prefers
+  /// the pipelined strategy over Sparse.
+  double hybrid_threshold = 10'000.0;
+};
+
+/// Interface shared by all top-k CN evaluation algorithms. TopK returns
+/// JNTs sorted by non-increasing score (ties broken deterministically by
+/// JNT key).
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+  virtual std::vector<Jnt> TopK(const EvalContext& context,
+                                const RankerOptions& options) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic final ordering used by every ranker.
+void SortJnts(std::vector<Jnt>* jnts);
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_RANKER_H_

@@ -1,0 +1,70 @@
+#include "eval/scorer.h"
+
+#include <cmath>
+
+#include "indexing/tokenizer.h"
+
+namespace matcn {
+
+Scorer::Scorer(const Database* db, const TermIndex* index,
+               const KeywordQuery* query, ScorerOptions options)
+    : db_(db), index_(index), query_(query), options_(options) {
+  idf_.resize(query_->size());
+  const double n = static_cast<double>(index_->total_tuples());
+  for (size_t k = 0; k < query_->size(); ++k) {
+    const double df =
+        static_cast<double>(index_->DocumentFrequency(query_->keyword(k)));
+    idf_[k] = std::log((n + 1.0) / (df + 0.5));
+  }
+}
+
+double Scorer::TupleScore(TupleId id) const {
+  auto cached = tuple_score_cache_.find(id.packed());
+  if (cached != tuple_score_cache_.end()) return cached->second;
+
+  // Term frequencies of the query keywords within this tuple's text.
+  std::vector<int> tf(query_->size(), 0);
+  const Relation& rel = db_->relation(id.relation());
+  const RelationSchema& schema = rel.schema();
+  const Tuple& tuple = rel.tuple(id.row());
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    if (attr.type != ValueType::kText || !attr.searchable) continue;
+    for (const std::string& token : Tokenizer::Tokenize(tuple[a].AsText())) {
+      const int k = query_->KeywordIndex(token);
+      if (k >= 0) ++tf[k];
+    }
+  }
+  double score = 0.0;
+  for (size_t k = 0; k < query_->size(); ++k) {
+    if (tf[k] == 0) continue;
+    score += (1.0 + std::log(1.0 + std::log(static_cast<double>(tf[k])))) *
+             idf_[k];
+  }
+  tuple_score_cache_.emplace(id.packed(), score);
+  return score;
+}
+
+double Scorer::JntScore(const Jnt& jnt) const {
+  if (jnt.tuples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TupleId& id : jnt.tuples) sum += TupleScore(id);
+  const double size = static_cast<double>(jnt.tuples.size());
+  switch (options_.normalization) {
+    case SizeNormalization::kLinear:
+      return sum / size;
+    case SizeNormalization::kSqrt:
+      return sum / std::sqrt(size);
+    case SizeNormalization::kNone:
+      return sum;
+  }
+  return sum / size;
+}
+
+double Scorer::MaxTupleScore(const TupleSet& ts) const {
+  double best = 0.0;
+  for (const TupleId& id : ts.tuples) best = std::max(best, TupleScore(id));
+  return best;
+}
+
+}  // namespace matcn

@@ -1,0 +1,69 @@
+#ifndef MATCN_EVAL_SCORER_H_
+#define MATCN_EVAL_SCORER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "core/tuple_set.h"
+#include "exec/jnt.h"
+#include "indexing/term_index.h"
+#include "storage/database.h"
+
+namespace matcn {
+
+/// How a JNT's summed tuple score is discounted by the JNT's size. The
+/// paper's evaluators inherit Efficient's linear normalization; SPARK
+/// argues for softer penalties, so the ablation bench compares all three.
+enum class SizeNormalization {
+  kLinear,  // sum / |T|            (Efficient [13], the default)
+  kSqrt,    // sum / sqrt(|T|)      (softer, SPARK-flavored)
+  kNone,    // sum                  (no penalty; favors sprawling trees)
+};
+
+struct ScorerOptions {
+  SizeNormalization normalization = SizeNormalization::kLinear;
+};
+
+/// IR-style relevance scoring for tuples and JNTs, following the
+/// tf·idf-with-size-normalization family used by Efficient [13] and
+/// SPARK [18]:
+///
+///   tscore(t, Q) = Σ_{k ∈ Q ∩ W(t)} (1 + ln(1 + ln tf_{t,k})) · idf_k
+///   idf_k        = ln((N + 1) / (df_k + 0.5))
+///   score(T, Q)  = (Σ_{t ∈ T} tscore(t, Q)) / |T|
+///
+/// where N is the total tuple count and df_k the number of tuples
+/// containing k. Larger JNTs are penalized by the size normalization, the
+/// standard remedy against sprawling join trees outranking tight answers.
+class Scorer {
+ public:
+  Scorer(const Database* db, const TermIndex* index,
+         const KeywordQuery* query, ScorerOptions options = {});
+
+  /// Score of one tuple against the query (0 if it has no keyword).
+  /// Memoized per tuple.
+  double TupleScore(TupleId id) const;
+
+  /// Combined JNT score: sum of tuple scores normalized by JNT size.
+  double JntScore(const Jnt& jnt) const;
+
+  /// Max tuple score within a tuple-set — the upper-bound building block
+  /// of the Sparse/Pipelined/Skyline evaluation strategies.
+  double MaxTupleScore(const TupleSet& ts) const;
+
+  const KeywordQuery& query() const { return *query_; }
+  const ScorerOptions& options() const { return options_; }
+
+ private:
+  const Database* db_;
+  const TermIndex* index_;
+  const KeywordQuery* query_;
+  ScorerOptions options_;
+  std::vector<double> idf_;  // aligned with query keywords
+  mutable std::unordered_map<uint64_t, double> tuple_score_cache_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_SCORER_H_

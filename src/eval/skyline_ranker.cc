@@ -1,0 +1,58 @@
+#include "eval/skyline_ranker.h"
+
+#include <memory>
+#include <queue>
+
+#include "eval/cn_sweeper.h"
+#include "eval/scorer.h"
+#include "exec/executor.h"
+
+namespace matcn {
+
+std::vector<Jnt> SkylineSweepRanker::TopK(const EvalContext& context,
+                                          const RankerOptions& options) {
+  CnExecutor executor(context.db, context.schema_graph);
+  executor.SetQueryContext(context.tuple_sets);
+  Scorer scorer(context.db, context.index, context.query);
+
+  std::vector<std::unique_ptr<CnSweeper>> sweepers;
+  sweepers.reserve(context.cns->size());
+  for (const CandidateNetwork& cn : *context.cns) {
+    sweepers.push_back(
+        std::make_unique<CnSweeper>(&cn, context.tuple_sets, &scorer));
+  }
+
+  // Global frontier over CNs, keyed by each sweeper's next bound.
+  auto cmp = [&](size_t a, size_t b) {
+    return sweepers[a]->NextBound() < sweepers[b]->NextBound();
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> frontier(
+      cmp);
+  for (size_t c = 0; c < sweepers.size(); ++c) {
+    if (!sweepers[c]->Exhausted()) frontier.push(c);
+  }
+
+  std::vector<Jnt> results;
+  while (!frontier.empty() && results.size() < options.top_k) {
+    const size_t c = frontier.top();
+    frontier.pop();
+    if (sweepers[c]->Exhausted()) continue;
+    CnSweeper::Combination combo = sweepers[c]->Pop();
+    // Verify: does this combination of non-free tuples connect through
+    // free tuple-sets? Each completion is a distinct answer with the same
+    // exact score (free tuples score zero).
+    std::vector<Jnt> verified = executor.ExecuteWithFixed(
+        (*context.cns)[c], static_cast<int>(c), combo.fixed,
+        options.top_k - results.size());
+    for (Jnt& jnt : verified) {
+      jnt.score = combo.score;
+      results.push_back(std::move(jnt));
+      if (results.size() >= options.top_k) break;
+    }
+    if (!sweepers[c]->Exhausted()) frontier.push(c);
+  }
+  SortJnts(&results);
+  return results;
+}
+
+}  // namespace matcn

@@ -1,0 +1,24 @@
+#ifndef MATCN_EVAL_SKYLINE_RANKER_H_
+#define MATCN_EVAL_SKYLINE_RANKER_H_
+
+#include "eval/ranker.h"
+
+namespace matcn {
+
+/// Skyline-Sweeping, the top-k evaluation strategy of SPARK [18]: a single
+/// global priority queue holds, for every CN, the best not-yet-verified
+/// combination of non-free tuples (via CnSweeper). The best combination is
+/// popped, verified by executing the CN with those tuples pinned (checking
+/// it connects through free tuple-sets), and its successors are pushed.
+/// Because a verified combination's JNT score equals its bound, answers
+/// stream out in exact score order and the sweep stops at k results.
+class SkylineSweepRanker : public Ranker {
+ public:
+  std::vector<Jnt> TopK(const EvalContext& context,
+                        const RankerOptions& options) override;
+  std::string name() const override { return "SkylineSweep"; }
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_SKYLINE_RANKER_H_

@@ -1,0 +1,61 @@
+#include "eval/sparse_ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/scorer.h"
+#include "exec/executor.h"
+
+namespace matcn {
+
+double CnScoreBound(const CandidateNetwork& cn,
+                    const std::vector<TupleSet>& tuple_sets,
+                    const Scorer& scorer) {
+  double sum = 0.0;
+  for (const CnNode& node : cn.nodes()) {
+    if (node.is_free()) continue;
+    sum += scorer.MaxTupleScore(tuple_sets[node.tuple_set_index]);
+  }
+  return sum / static_cast<double>(cn.size());
+}
+
+std::vector<Jnt> SparseRanker::TopK(const EvalContext& context,
+                                    const RankerOptions& options) {
+  CnExecutor executor(context.db, context.schema_graph);
+  executor.SetQueryContext(context.tuple_sets);
+  Scorer scorer(context.db, context.index, context.query);
+
+  std::vector<double> bounds(context.cns->size());
+  std::vector<size_t> order(context.cns->size());
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t c = 0; c < context.cns->size(); ++c) {
+    bounds[c] = CnScoreBound((*context.cns)[c], *context.tuple_sets, scorer);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return bounds[a] > bounds[b];
+  });
+
+  std::vector<Jnt> results;
+  for (size_t c : order) {
+    if (results.size() >= options.top_k) {
+      // k-th best so far (results kept sorted between CNs would be
+      // wasteful; track the running threshold instead).
+      std::nth_element(results.begin(), results.begin() + options.top_k - 1,
+                       results.end(), [](const Jnt& a, const Jnt& b) {
+                         return a.score > b.score;
+                       });
+      if (bounds[c] <= results[options.top_k - 1].score) break;
+    }
+    std::vector<Jnt> jnts = executor.Execute(
+        (*context.cns)[c], static_cast<int>(c), options.per_cn_limit);
+    for (Jnt& jnt : jnts) {
+      jnt.score = scorer.JntScore(jnt);
+      results.push_back(std::move(jnt));
+    }
+  }
+  SortJnts(&results);
+  if (results.size() > options.top_k) results.resize(options.top_k);
+  return results;
+}
+
+}  // namespace matcn

@@ -1,0 +1,27 @@
+#ifndef MATCN_EVAL_SPARSE_RANKER_H_
+#define MATCN_EVAL_SPARSE_RANKER_H_
+
+#include "eval/ranker.h"
+
+namespace matcn {
+
+/// The Sparse algorithm of Hristidis et al. [13]: evaluate CNs one at a
+/// time, in decreasing order of their score upper bound
+/// (Σ per-node max tuple score / |CN|), and stop as soon as the next CN's
+/// bound cannot beat the current k-th best answer. Efficient when answers
+/// are spread thinly across CNs — hence the name.
+class SparseRanker : public Ranker {
+ public:
+  std::vector<Jnt> TopK(const EvalContext& context,
+                        const RankerOptions& options) override;
+  std::string name() const override { return "Sparse"; }
+};
+
+/// Shared helper: upper bound on any JNT score of `cn`.
+double CnScoreBound(const CandidateNetwork& cn,
+                    const std::vector<TupleSet>& tuple_sets,
+                    const class Scorer& scorer);
+
+}  // namespace matcn
+
+#endif  // MATCN_EVAL_SPARSE_RANKER_H_

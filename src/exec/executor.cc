@@ -1,0 +1,173 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+namespace matcn {
+
+CnExecutor::CnExecutor(const Database* db, const SchemaGraph* schema_graph)
+    : db_(db), schema_graph_(schema_graph), join_index_(db) {}
+
+void CnExecutor::SetQueryContext(const std::vector<TupleSet>* tuple_sets) {
+  tuple_sets_ = tuple_sets;
+  contaminated_.clear();
+  membership_.assign(tuple_sets_->size(), {});
+  for (const TupleSet& ts : *tuple_sets_) {
+    for (const TupleId& id : ts.tuples) contaminated_.insert(id.packed());
+  }
+}
+
+bool CnExecutor::InTupleSet(int tuple_set_index, TupleId id) const {
+  std::unordered_set<uint64_t>& members = membership_[tuple_set_index];
+  if (members.empty()) {
+    for (const TupleId& t : (*tuple_sets_)[tuple_set_index].tuples) {
+      members.insert(t.packed());
+    }
+  }
+  return members.contains(id.packed());
+}
+
+std::vector<TupleId> CnExecutor::NodeCandidates(const CandidateNetwork& cn,
+                                                int node) const {
+  const CnNode& n = cn.node(node);
+  if (!n.is_free()) return (*tuple_sets_)[n.tuple_set_index].tuples;
+  std::vector<TupleId> out;
+  const Relation& rel = db_->relation(n.relation);
+  out.reserve(rel.num_tuples());
+  for (uint64_t row = 0; row < rel.num_tuples(); ++row) {
+    TupleId id(n.relation, row);
+    if (!IsContaminated(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<Jnt> CnExecutor::Execute(const CandidateNetwork& cn,
+                                     int cn_index, size_t max_results) {
+  return ExecuteWithFixed(cn, cn_index, {}, max_results);
+}
+
+std::vector<Jnt> CnExecutor::ExecuteWithFixed(
+    const CandidateNetwork& cn, int cn_index,
+    const std::vector<std::pair<int, TupleId>>& fixed, size_t max_results) {
+  const int n = static_cast<int>(cn.size());
+  std::vector<const TupleId*> pinned(n, nullptr);
+  for (const auto& [node, id] : fixed) pinned[node] = &id;
+
+  // Pick the enumeration root: prefer a pinned node, else the node with
+  // the smallest unconstrained candidate count.
+  int root = 0;
+  size_t best = SIZE_MAX;
+  for (int i = 0; i < n; ++i) {
+    size_t cost;
+    if (pinned[i] != nullptr) {
+      cost = 0;
+    } else if (!cn.node(i).is_free()) {
+      cost = (*tuple_sets_)[cn.node(i).tuple_set_index].tuples.size();
+    } else {
+      cost = db_->relation(cn.node(i).relation).num_tuples();
+    }
+    if (cost < best) {
+      best = cost;
+      root = i;
+    }
+  }
+
+  // BFS order from the root over the tree; order_parent[k] is the position
+  // (within `order`) of the already-assigned neighbor of order[k].
+  const std::vector<std::vector<int>> adj = cn.Adjacency();
+  std::vector<int> order = {root};
+  std::vector<int> order_parent = {-1};
+  std::vector<bool> visited(n, false);
+  visited[root] = true;
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (int nbr : adj[order[head]]) {
+      if (!visited[nbr]) {
+        visited[nbr] = true;
+        order.push_back(nbr);
+        order_parent.push_back(static_cast<int>(head));
+      }
+    }
+  }
+
+  std::vector<Jnt> results;
+  std::vector<TupleId> assignment(n);
+
+  // Depth-first enumeration over `order`.
+  struct Frame {
+    std::vector<TupleId> candidates;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack(1);
+  {
+    const int node = order[0];
+    if (pinned[node] != nullptr) {
+      stack[0].candidates = {*pinned[node]};
+    } else {
+      stack[0].candidates = NodeCandidates(cn, node);
+    }
+  }
+
+  auto admissible = [&](int node, TupleId id, size_t depth) {
+    const CnNode& cn_node = cn.node(node);
+    if (pinned[node] != nullptr && *pinned[node] != id) return false;
+    if (cn_node.is_free()) {
+      if (IsContaminated(id)) return false;
+    } else if (!InTupleSet(cn_node.tuple_set_index, id)) {
+      return false;
+    }
+    // Distinctness against previously assigned nodes of the same relation.
+    for (size_t d = 0; d < depth; ++d) {
+      if (cn.node(order[d]).relation == cn_node.relation &&
+          assignment[order[d]] == id) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const size_t depth = stack.size() - 1;
+    const int node = order[depth];
+    if (frame.next >= frame.candidates.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const TupleId candidate = frame.candidates[frame.next++];
+    if (!admissible(node, candidate, depth)) continue;
+    assignment[node] = candidate;
+    if (depth + 1 == order.size()) {
+      Jnt jnt;
+      jnt.cn_index = cn_index;
+      jnt.tuples = assignment;
+      results.push_back(std::move(jnt));
+      if (max_results > 0 && results.size() >= max_results) return results;
+      continue;
+    }
+    // Push the next node's frame: candidates joined with its parent.
+    const int next_node = order[depth + 1];
+    const int parent_pos = order_parent[depth + 1];
+    const TupleId parent_tuple = assignment[order[parent_pos]];
+    const CnNode& child = cn.node(next_node);
+    const CnNode& parent = cn.node(order[parent_pos]);
+    const SchemaEdge* edge =
+        schema_graph_->Edge(child.relation, parent.relation);
+    Frame next_frame;
+    if (edge != nullptr) {
+      const Tuple& ptuple = db_->tuple(parent_tuple);
+      const bool child_holds = edge->holder == child.relation;
+      const Value& key =
+          ptuple[child_holds ? edge->referenced_attribute
+                             : edge->holder_attribute];
+      const uint32_t child_attr = child_holds ? edge->holder_attribute
+                                              : edge->referenced_attribute;
+      for (uint64_t row :
+           join_index_.Rows(child.relation, child_attr, key)) {
+        next_frame.candidates.emplace_back(child.relation, row);
+      }
+    }
+    stack.push_back(std::move(next_frame));
+  }
+  return results;
+}
+
+}  // namespace matcn

@@ -1,0 +1,74 @@
+#ifndef MATCN_EXEC_EXECUTOR_H_
+#define MATCN_EXEC_EXECUTOR_H_
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_network.h"
+#include "core/tuple_set.h"
+#include "exec/jnt.h"
+#include "exec/join_index.h"
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+
+namespace matcn {
+
+/// Evaluates candidate networks against a Database, producing joining
+/// networks of tuples. This is the role the RDBMS plays in the paper's
+/// step (4): the CN's tree edges become FK equi-joins (hash lookups via
+/// JoinIndex) and its nodes constrain which tuples may appear:
+///   * non-free nodes draw only from their tuple-set's tuple list;
+///   * free nodes draw only from tuples containing *no* query keyword
+///     (Definition 4 with K = {}), which the executor derives as the
+///     complement of all tuple-set members;
+///   * all tuples of a JNT are pairwise distinct (a JNT is a tree of
+///     tuples, and duplicate tuples would make it non-minimal).
+class CnExecutor {
+ public:
+  CnExecutor(const Database* db, const SchemaGraph* schema_graph);
+
+  CnExecutor(const CnExecutor&) = delete;
+  CnExecutor& operator=(const CnExecutor&) = delete;
+
+  /// Installs the query's tuple-sets (R_Q). Must be called before
+  /// Execute*; node tuple_set_index values refer into this vector.
+  void SetQueryContext(const std::vector<TupleSet>* tuple_sets);
+
+  /// Enumerates JNTs of `cn`, up to `max_results` (0 = all). Results carry
+  /// `cn_index` and score 0 (scoring is the evaluators' job).
+  std::vector<Jnt> Execute(const CandidateNetwork& cn, int cn_index,
+                           size_t max_results = 0);
+
+  /// Like Execute but with some nodes pinned to specific tuples — the
+  /// verification primitive of Skyline-Sweeping (fix the non-free tuples,
+  /// check the combination connects through free tuples).
+  std::vector<Jnt> ExecuteWithFixed(
+      const CandidateNetwork& cn, int cn_index,
+      const std::vector<std::pair<int, TupleId>>& fixed,
+      size_t max_results = 0);
+
+  /// Join-unconstrained candidates for one CN node.
+  std::vector<TupleId> NodeCandidates(const CandidateNetwork& cn,
+                                      int node) const;
+
+  const Database& db() const { return *db_; }
+
+ private:
+  bool IsContaminated(TupleId id) const {
+    return contaminated_.contains(id.packed());
+  }
+  bool InTupleSet(int tuple_set_index, TupleId id) const;
+
+  const Database* db_;
+  const SchemaGraph* schema_graph_;
+  JoinIndex join_index_;
+  const std::vector<TupleSet>* tuple_sets_ = nullptr;
+  std::unordered_set<uint64_t> contaminated_;
+  // Lazily built membership sets, aligned with tuple_sets_.
+  mutable std::vector<std::unordered_set<uint64_t>> membership_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EXEC_EXECUTOR_H_

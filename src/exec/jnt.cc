@@ -1,0 +1,20 @@
+#include "exec/jnt.h"
+
+#include <algorithm>
+
+namespace matcn {
+
+std::string JntKey(const Jnt& jnt) {
+  std::vector<uint64_t> ids;
+  ids.reserve(jnt.tuples.size());
+  for (const TupleId& t : jnt.tuples) ids.push_back(t.packed());
+  std::sort(ids.begin(), ids.end());
+  std::string key;
+  for (uint64_t id : ids) {
+    key += std::to_string(id);
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace matcn

@@ -1,0 +1,29 @@
+#ifndef MATCN_EXEC_JNT_H_
+#define MATCN_EXEC_JNT_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tuple_id.h"
+
+namespace matcn {
+
+/// A joining network of tuples (Definition 1) produced by evaluating a
+/// candidate network: one tuple per CN node, aligned positionally with the
+/// CN's node vector. Scores are attached by the evaluation algorithms.
+struct Jnt {
+  /// Index of the CN (within the evaluated CN set) this JNT instantiates.
+  int cn_index = 0;
+  /// tuples[i] instantiates CN node i.
+  std::vector<TupleId> tuples;
+  double score = 0.0;
+};
+
+/// Canonical identity of a JNT for relevance judgements: the sorted tuple
+/// id multiset rendered as a string. Two JNTs that join the same tuples
+/// denote the same answer regardless of which CN produced them.
+std::string JntKey(const Jnt& jnt);
+
+}  // namespace matcn
+
+#endif  // MATCN_EXEC_JNT_H_

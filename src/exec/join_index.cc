@@ -1,0 +1,22 @@
+#include "exec/join_index.h"
+
+namespace matcn {
+
+const std::vector<uint64_t>& JoinIndex::Rows(RelationId relation,
+                                             uint32_t attribute,
+                                             const Value& value) {
+  const uint64_t key = (static_cast<uint64_t>(relation) << 32) | attribute;
+  auto it = maps_.find(key);
+  if (it == maps_.end()) {
+    ValueMap map;
+    const Relation& rel = db_->relation(relation);
+    for (uint64_t row = 0; row < rel.num_tuples(); ++row) {
+      map[rel.tuple(row)[attribute]].push_back(row);
+    }
+    it = maps_.emplace(key, std::move(map)).first;
+  }
+  auto rows = it->second.find(value);
+  return rows == it->second.end() ? empty_ : rows->second;
+}
+
+}  // namespace matcn

@@ -1,0 +1,38 @@
+#ifndef MATCN_EXEC_JOIN_INDEX_H_
+#define MATCN_EXEC_JOIN_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace matcn {
+
+/// Lazily-built hash indexes over (relation, attribute) pairs, the join
+/// primitive behind CN evaluation: given a key value, returns the rows of
+/// a relation whose attribute equals it. Plays the role of the RDBMS's
+/// indexes/hash joins in the paper's evaluation step.
+class JoinIndex {
+ public:
+  explicit JoinIndex(const Database* db) : db_(db) {}
+
+  JoinIndex(const JoinIndex&) = delete;
+  JoinIndex& operator=(const JoinIndex&) = delete;
+
+  /// Rows of `relation` with `attribute` == `value`. The first call for a
+  /// (relation, attribute) pair builds its hash map in O(|relation|).
+  const std::vector<uint64_t>& Rows(RelationId relation, uint32_t attribute,
+                                    const Value& value);
+
+ private:
+  using ValueMap =
+      std::unordered_map<Value, std::vector<uint64_t>, ValueHash>;
+
+  const Database* db_;
+  std::unordered_map<uint64_t, ValueMap> maps_;  // key: rel<<32 | attr
+  const std::vector<uint64_t> empty_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_EXEC_JOIN_INDEX_H_

@@ -1,0 +1,59 @@
+#include "graph/schema_graph.h"
+
+#include <algorithm>
+
+namespace matcn {
+
+uint64_t SchemaGraph::Key(RelationId a, RelationId b) {
+  RelationId lo = std::min(a, b);
+  RelationId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+SchemaGraph SchemaGraph::Build(const DatabaseSchema& schema) {
+  SchemaGraph g;
+  g.adjacency_.resize(schema.num_relations());
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    const RelationId from = *schema.RelationIdByName(fk.from_relation);
+    const RelationId to = *schema.RelationIdByName(fk.to_relation);
+    if (from == to) {
+      ++g.collapsed_;  // self-loops are excluded per DISCOVER's assumptions
+      continue;
+    }
+    const uint64_t key = Key(from, to);
+    if (g.edges_.contains(key)) {
+      ++g.collapsed_;  // parallel edge: keep the first RIC only
+      continue;
+    }
+    SchemaEdge edge;
+    edge.holder = from;
+    edge.holder_attribute = static_cast<uint32_t>(
+        *schema.relation(from).AttributeIndex(fk.from_attribute));
+    edge.referenced = to;
+    edge.referenced_attribute = static_cast<uint32_t>(
+        *schema.relation(to).AttributeIndex(fk.to_attribute));
+    g.edges_.emplace(key, edge);
+    g.adjacency_[from].push_back(to);
+    g.adjacency_[to].push_back(from);
+  }
+  for (std::vector<RelationId>& nbrs : g.adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+  }
+  return g;
+}
+
+bool SchemaGraph::HasEdge(RelationId a, RelationId b) const {
+  return edges_.contains(Key(a, b));
+}
+
+const SchemaEdge* SchemaGraph::Edge(RelationId a, RelationId b) const {
+  auto it = edges_.find(Key(a, b));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+bool SchemaGraph::References(RelationId a, RelationId b) const {
+  const SchemaEdge* edge = Edge(a, b);
+  return edge != nullptr && edge->holder == a;
+}
+
+}  // namespace matcn

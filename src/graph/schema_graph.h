@@ -1,0 +1,63 @@
+#ifndef MATCN_GRAPH_SCHEMA_GRAPH_H_
+#define MATCN_GRAPH_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple_id.h"
+
+namespace matcn {
+
+/// One undirected schema edge plus the direction and attributes of the
+/// referential integrity constraint that induced it. `holder` is the
+/// relation that stores the foreign key (the edge's direction matters only
+/// for the soundness rule of Definition 7 and for emitting join
+/// conditions).
+struct SchemaEdge {
+  RelationId holder = 0;          // relation owning the FK column
+  uint32_t holder_attribute = 0;  // FK column index in `holder`
+  RelationId referenced = 0;      // relation owning the referenced key
+  uint32_t referenced_attribute = 0;
+};
+
+/// The undirected schema graph G_u of the paper: vertices are relations,
+/// edges are RICs. Following DISCOVER's assumptions (paper footnote 1)
+/// there are no self-loops and no parallel edges; when a schema declares
+/// several FKs between the same pair of relations, the first one defines
+/// the edge and the rest are counted in `num_collapsed_edges()`.
+class SchemaGraph {
+ public:
+  static SchemaGraph Build(const DatabaseSchema& schema);
+
+  size_t num_relations() const { return adjacency_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_collapsed_edges() const { return collapsed_; }
+
+  /// Sorted distinct neighbor list of `r`.
+  const std::vector<RelationId>& Neighbors(RelationId r) const {
+    return adjacency_[r];
+  }
+
+  bool HasEdge(RelationId a, RelationId b) const;
+
+  /// Edge metadata for an existing edge {a, b}; nullptr if absent.
+  const SchemaEdge* Edge(RelationId a, RelationId b) const;
+
+  /// True iff the edge {a, b} exists and `a` holds the foreign key (i.e.
+  /// `a` references `b`). Exactly one orientation is true per edge.
+  bool References(RelationId a, RelationId b) const;
+
+ private:
+  static uint64_t Key(RelationId a, RelationId b);
+
+  std::vector<std::vector<RelationId>> adjacency_;
+  std::unordered_map<uint64_t, SchemaEdge> edges_;
+  size_t collapsed_ = 0;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_GRAPH_SCHEMA_GRAPH_H_

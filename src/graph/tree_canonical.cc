@@ -1,0 +1,92 @@
+#include "graph/tree_canonical.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace matcn {
+
+std::vector<int> TreeCenters(const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  std::vector<int> degree(n);
+  std::vector<int> frontier;
+  for (int i = 0; i < n; ++i) {
+    degree[i] = static_cast<int>(adjacency[i].size());
+    if (degree[i] <= 1) frontier.push_back(i);
+  }
+  int remaining = n;
+  std::vector<int> current = frontier;
+  while (remaining > 2) {
+    std::vector<int> next;
+    remaining -= static_cast<int>(current.size());
+    for (int leaf : current) {
+      for (int nbr : adjacency[leaf]) {
+        if (--degree[nbr] == 1) next.push_back(nbr);
+      }
+      degree[leaf] = 0;
+    }
+    current = std::move(next);
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+namespace {
+
+std::string EncodeRooted(const std::vector<std::vector<int>>& adjacency,
+                         const std::vector<std::string>& labels, int root) {
+  // Iterative post-order to avoid deep recursion on path-shaped trees.
+  struct Frame {
+    int node;
+    int parent;
+    size_t next_child = 0;
+    std::vector<std::string> child_encodings;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, -1, 0, {}});
+  std::string result;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::vector<int>& nbrs = adjacency[frame.node];
+    bool descended = false;
+    while (frame.next_child < nbrs.size()) {
+      const int child = nbrs[frame.next_child++];
+      if (child == frame.parent) continue;
+      stack.push_back({child, frame.node, 0, {}});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    std::sort(frame.child_encodings.begin(), frame.child_encodings.end());
+    std::string enc = labels[frame.node];
+    enc += '(';
+    for (const std::string& c : frame.child_encodings) enc += c;
+    enc += ')';
+    const int parent_depth = static_cast<int>(stack.size()) - 2;
+    stack.pop_back();
+    if (parent_depth >= 0) {
+      stack[parent_depth].child_encodings.push_back(std::move(enc));
+    } else {
+      result = std::move(enc);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string CanonicalTreeEncoding(
+    const std::vector<std::vector<int>>& adjacency,
+    const std::vector<std::string>& labels) {
+  if (adjacency.empty()) return "";
+  std::vector<int> centers = TreeCenters(adjacency);
+  std::string best;
+  for (size_t i = 0; i < centers.size(); ++i) {
+    std::string enc = EncodeRooted(adjacency, labels, centers[i]);
+    if (i == 0 || enc < best) best = std::move(enc);
+  }
+  return best;
+}
+
+}  // namespace matcn

@@ -1,0 +1,28 @@
+#ifndef MATCN_GRAPH_TREE_CANONICAL_H_
+#define MATCN_GRAPH_TREE_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+namespace matcn {
+
+/// Canonical encoding of an unrooted tree with string node labels, via the
+/// AHU algorithm rooted at the tree's center(s). Two labeled trees are
+/// isomorphic iff their encodings are byte-equal. CN generation uses this
+/// to deduplicate candidate networks (the `J' ∉ F` test of SingleCN and
+/// CNGen's duplicate elimination, cf. Markowetz et al. [19]).
+///
+/// `adjacency[i]` lists the neighbors of node i; `labels[i]` is node i's
+/// label. The graph must be a tree (connected, |E| = n-1); an empty tree
+/// encodes as "". Complexity O(n log n) per call.
+std::string CanonicalTreeEncoding(
+    const std::vector<std::vector<int>>& adjacency,
+    const std::vector<std::string>& labels);
+
+/// The 1 or 2 center node indexes of the tree (nodes minimizing
+/// eccentricity), found by iteratively peeling leaves. Exposed for tests.
+std::vector<int> TreeCenters(const std::vector<std::vector<int>>& adjacency);
+
+}  // namespace matcn
+
+#endif  // MATCN_GRAPH_TREE_CANONICAL_H_

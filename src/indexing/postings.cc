@@ -1,0 +1,60 @@
+#include "indexing/postings.h"
+
+namespace matcn {
+
+void VarbyteEncode(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t VarbyteDecode(const std::vector<uint8_t>& buf, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < buf.size()) {
+    uint8_t byte = buf[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+PostingList PostingList::Build(std::vector<TupleId> ids, bool compress) {
+  PostingList list;
+  list.count_ = ids.size();
+  list.compressed_ = compress;
+  if (!compress) {
+    list.raw_ = std::move(ids);
+    return list;
+  }
+  uint64_t prev = 0;
+  for (const TupleId& id : ids) {
+    VarbyteEncode(id.packed() - prev, &list.encoded_);
+    prev = id.packed();
+  }
+  list.encoded_.shrink_to_fit();
+  return list;
+}
+
+std::vector<TupleId> PostingList::Decode() const {
+  if (!compressed_) return raw_;
+  std::vector<TupleId> ids;
+  ids.reserve(count_);
+  uint64_t prev = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    prev += VarbyteDecode(encoded_, &pos);
+    ids.push_back(TupleId::FromPacked(prev));
+  }
+  return ids;
+}
+
+size_t PostingList::MemoryBytes() const {
+  if (compressed_) return encoded_.capacity();
+  return raw_.capacity() * sizeof(TupleId);
+}
+
+}  // namespace matcn

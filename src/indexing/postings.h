@@ -1,0 +1,47 @@
+#ifndef MATCN_INDEXING_POSTINGS_H_
+#define MATCN_INDEXING_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple_id.h"
+
+namespace matcn {
+
+/// A posting list of sorted, unique TupleIds, optionally held in
+/// variable-byte delta-encoded form. Compression is the paper's suggested
+/// mitigation for Term Index memory pressure (Section 6, future work);
+/// the ablation bench quantifies the trade-off.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Builds from a sorted unique id vector. If `compress` is true the ids
+  /// are stored varbyte-delta encoded, otherwise raw.
+  static PostingList Build(std::vector<TupleId> ids, bool compress);
+
+  /// Materializes the ids (decodes if compressed).
+  std::vector<TupleId> Decode() const;
+
+  size_t size() const { return count_; }
+  bool compressed() const { return compressed_; }
+
+  /// Bytes of heap payload used by this list (the memory-ablation metric).
+  size_t MemoryBytes() const;
+
+ private:
+  bool compressed_ = false;
+  size_t count_ = 0;
+  std::vector<TupleId> raw_;
+  std::vector<uint8_t> encoded_;
+};
+
+/// Varbyte primitives, exposed for direct testing.
+void VarbyteEncode(uint64_t v, std::vector<uint8_t>* out);
+/// Decodes one value starting at `*pos`, advancing it. Requires well-formed
+/// input produced by VarbyteEncode.
+uint64_t VarbyteDecode(const std::vector<uint8_t>& buf, size_t* pos);
+
+}  // namespace matcn
+
+#endif  // MATCN_INDEXING_POSTINGS_H_

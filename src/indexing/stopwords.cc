@@ -1,0 +1,28 @@
+#include "indexing/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace matcn {
+namespace {
+
+// Sorted so membership is a binary search; keep alphabetical when editing.
+constexpr std::array<std::string_view, 48> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",
+    "by",   "for",  "from", "had",  "has",  "have", "he",   "her",
+    "his",  "if",   "in",   "into", "is",   "it",   "its",  "no",
+    "not",  "of",   "on",   "or",   "she",  "so",   "such", "that",
+    "the",  "their", "then", "there", "these", "they", "this", "to",
+    "was",  "we",   "were", "which", "will", "with", "would", "you",
+};
+
+}  // namespace
+
+bool IsStopword(std::string_view term) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), term);
+}
+
+size_t StopwordCount() { return kStopwords.size(); }
+
+}  // namespace matcn

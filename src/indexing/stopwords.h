@@ -1,0 +1,18 @@
+#ifndef MATCN_INDEXING_STOPWORDS_H_
+#define MATCN_INDEXING_STOPWORDS_H_
+
+#include <string_view>
+
+namespace matcn {
+
+/// True for common English function words. The paper suggests skipping
+/// stop words when building the Term Index to reduce its memory footprint;
+/// index construction takes this as an option.
+bool IsStopword(std::string_view term);
+
+/// Number of words in the built-in stopword list (for tests).
+size_t StopwordCount();
+
+}  // namespace matcn
+
+#endif  // MATCN_INDEXING_STOPWORDS_H_

@@ -1,0 +1,178 @@
+#include "indexing/term_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "indexing/stopwords.h"
+#include "indexing/tokenizer.h"
+
+namespace matcn {
+namespace {
+
+// Temporary accumulator keyed by (relation, attribute).
+struct AttrAccum {
+  uint64_t frequency = 0;
+  std::vector<TupleId> tuples;  // appended in scan order; sorted at the end
+};
+
+uint64_t AttrKey(RelationId rel, uint32_t attr) {
+  return (static_cast<uint64_t>(rel) << 32) | attr;
+}
+
+}  // namespace
+
+TermIndex TermIndex::Build(const Database& db, TermIndexOptions options) {
+  std::unordered_map<std::string, std::unordered_map<uint64_t, AttrAccum>>
+      accum;
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    const RelationSchema& schema = rel.schema();
+    for (uint64_t row = 0; row < rel.num_tuples(); ++row) {
+      const Tuple& tuple = rel.tuple(row);
+      for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+        const Attribute& attr = schema.attribute(a);
+        if (attr.type != ValueType::kText || !attr.searchable) continue;
+        const std::vector<std::string> tokens =
+            Tokenizer::Tokenize(tuple[a].AsText());
+        // Count every occurrence for f_{k,i}, but record a tuple id only
+        // once per (term, attribute, tuple).
+        std::string last_recorded;
+        for (const std::string& token : tokens) {
+          if (options.skip_stopwords && IsStopword(token)) continue;
+          AttrAccum& acc = accum[token][AttrKey(r, a)];
+          ++acc.frequency;
+          if (acc.tuples.empty() ||
+              acc.tuples.back() != TupleId(r, row)) {
+            acc.tuples.emplace_back(r, row);
+          }
+          (void)last_recorded;
+        }
+      }
+    }
+  }
+
+  TermIndex index;
+  index.options_ = options;
+  index.total_tuples_ = db.TotalTuples();
+  for (auto& [term, attrs] : accum) {
+    std::vector<AttributeOccurrence> list;
+    list.reserve(attrs.size());
+    std::vector<TupleId> all_tuples;
+    for (auto& [key, acc] : attrs) {
+      std::sort(acc.tuples.begin(), acc.tuples.end());
+      acc.tuples.erase(std::unique(acc.tuples.begin(), acc.tuples.end()),
+                       acc.tuples.end());
+      all_tuples.insert(all_tuples.end(), acc.tuples.begin(),
+                        acc.tuples.end());
+      AttributeOccurrence occ;
+      occ.relation = static_cast<RelationId>(key >> 32);
+      occ.attribute = static_cast<uint32_t>(key & 0xffffffffu);
+      occ.frequency = acc.frequency;
+      occ.tuples =
+          PostingList::Build(std::move(acc.tuples), options.compress_postings);
+      list.push_back(std::move(occ));
+    }
+    // Keep inverted lists deterministically ordered.
+    std::sort(list.begin(), list.end(),
+              [](const AttributeOccurrence& x, const AttributeOccurrence& y) {
+                return std::tie(x.relation, x.attribute) <
+                       std::tie(y.relation, y.attribute);
+              });
+    std::sort(all_tuples.begin(), all_tuples.end());
+    all_tuples.erase(std::unique(all_tuples.begin(), all_tuples.end()),
+                     all_tuples.end());
+    index.doc_freq_[term] = all_tuples.size();
+    index.index_[term] = std::move(list);
+  }
+  return index;
+}
+
+const std::vector<AttributeOccurrence>* TermIndex::Lookup(
+    const std::string& term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<TupleId> TermIndex::TuplesFor(const std::string& term) const {
+  std::vector<TupleId> out;
+  const std::vector<AttributeOccurrence>* list = Lookup(term);
+  if (list == nullptr) return out;
+  for (const AttributeOccurrence& occ : *list) {
+    std::vector<TupleId> ids = occ.tuples.Decode();
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void TermIndex::ApplyInsert(const Database& db, TupleId id) {
+  const Relation& rel = db.relation(id.relation());
+  const RelationSchema& schema = rel.schema();
+  const Tuple& tuple = rel.tuple(id.row());
+  ++total_tuples_;
+
+  std::unordered_set<std::string> counted;  // df bump once per term
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    if (attr.type != ValueType::kText || !attr.searchable) continue;
+    for (const std::string& token : Tokenizer::Tokenize(tuple[a].AsText())) {
+      if (options_.skip_stopwords && IsStopword(token)) continue;
+      std::vector<AttributeOccurrence>& list = index_[token];
+      AttributeOccurrence* occ = nullptr;
+      for (AttributeOccurrence& candidate : list) {
+        if (candidate.relation == id.relation() &&
+            candidate.attribute == a) {
+          occ = &candidate;
+          break;
+        }
+      }
+      if (occ == nullptr) {
+        AttributeOccurrence fresh;
+        fresh.relation = id.relation();
+        fresh.attribute = a;
+        // Keep the deterministic (relation, attribute) ordering.
+        auto pos = std::lower_bound(
+            list.begin(), list.end(), fresh,
+            [](const AttributeOccurrence& x, const AttributeOccurrence& y) {
+              return std::tie(x.relation, x.attribute) <
+                     std::tie(y.relation, y.attribute);
+            });
+        occ = &*list.insert(pos, std::move(fresh));
+      }
+      ++occ->frequency;
+      std::vector<TupleId> ids = occ->tuples.Decode();
+      auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+      if (pos == ids.end() || *pos != id) ids.insert(pos, id);
+      occ->tuples =
+          PostingList::Build(std::move(ids), options_.compress_postings);
+      if (counted.insert(token).second) ++doc_freq_[token];
+    }
+  }
+}
+
+std::vector<std::string> TermIndex::AllTerms() const {
+  std::vector<std::string> terms;
+  terms.reserve(index_.size());
+  for (const auto& [term, list] : index_) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+uint64_t TermIndex::DocumentFrequency(const std::string& term) const {
+  auto it = doc_freq_.find(term);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+size_t TermIndex::PostingMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, list] : index_) {
+    for (const AttributeOccurrence& occ : list) {
+      bytes += occ.tuples.MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace matcn

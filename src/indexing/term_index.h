@@ -1,0 +1,79 @@
+#ifndef MATCN_INDEXING_TERM_INDEX_H_
+#define MATCN_INDEXING_TERM_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "indexing/postings.h"
+#include "storage/database.h"
+#include "storage/tuple_id.h"
+
+namespace matcn {
+
+struct TermIndexOptions {
+  /// Skip common English stopwords when indexing (paper Sec. 6).
+  bool skip_stopwords = true;
+  /// Varbyte-delta compress posting lists (paper's future-work suggestion;
+  /// measured by the index ablation bench).
+  bool compress_postings = false;
+};
+
+/// One inverted-list element: the paper's triple <A_i, f_{k,i}, T_{k,i}> —
+/// an attribute, the term's occurrence frequency in it, and the ids of the
+/// tuples whose value of that attribute contains the term.
+struct AttributeOccurrence {
+  RelationId relation = 0;
+  uint32_t attribute = 0;
+  uint64_t frequency = 0;
+  PostingList tuples;
+};
+
+/// The in-memory inverted index over all searchable text attributes of a
+/// Database ("Term Index", paper Section 6). Built once in a preprocessing
+/// pass that scans every relation exactly once; afterwards the memory-based
+/// MatCNGen answers keyword lookups with zero database access.
+class TermIndex {
+ public:
+  /// Scans `db` and builds the index. `db` must outlive nothing here — the
+  /// index stores only ids and strings, never tuple pointers.
+  static TermIndex Build(const Database& db, TermIndexOptions options = {});
+
+  /// The inverted list for `term` (already lowercase), or nullptr.
+  const std::vector<AttributeOccurrence>* Lookup(
+      const std::string& term) const;
+
+  /// All tuples containing `term` in any searchable attribute, sorted and
+  /// deduplicated — the list TSFind_Mem starts from.
+  std::vector<TupleId> TuplesFor(const std::string& term) const;
+
+  /// Number of distinct tuples (across the database) containing `term`.
+  uint64_t DocumentFrequency(const std::string& term) const;
+
+  size_t num_terms() const { return index_.size(); }
+  uint64_t total_tuples() const { return total_tuples_; }
+
+  /// All indexed terms, sorted (deterministic order for samplers).
+  std::vector<std::string> AllTerms() const;
+
+  /// Incrementally indexes one newly appended tuple — the paper's
+  /// future-work item of keeping the Term Index up to date with database
+  /// changes (e.g. driven by insert triggers) instead of rebuilding.
+  /// `id` must identify a tuple not yet indexed. Uses the options the
+  /// index was built with (stopwords, compression).
+  void ApplyInsert(const Database& db, TupleId id);
+
+  /// Approximate heap bytes used by posting payloads (ablation metric).
+  size_t PostingMemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<AttributeOccurrence>> index_;
+  // Cached per-term distinct-tuple counts (document frequencies).
+  std::unordered_map<std::string, uint64_t> doc_freq_;
+  uint64_t total_tuples_ = 0;
+  TermIndexOptions options_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_INDEXING_TERM_INDEX_H_

@@ -1,0 +1,35 @@
+#include "indexing/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace matcn {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::UniqueTokens(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> unique;
+  unique.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    if (seen.insert(t).second) unique.push_back(std::move(t));
+  }
+  return unique;
+}
+
+}  // namespace matcn

@@ -1,0 +1,25 @@
+#ifndef MATCN_INDEXING_TOKENIZER_H_
+#define MATCN_INDEXING_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace matcn {
+
+/// Splits text into lowercase alphanumeric tokens. This single definition
+/// of "term" is shared by the Term Index builder, the disk scan predicate
+/// and the query parser, so the disk-based and memory-based MatCNGen
+/// variants see identical keyword semantics (a property the tests assert).
+class Tokenizer {
+ public:
+  /// All maximal runs of [A-Za-z0-9], lowercased, in order of appearance.
+  static std::vector<std::string> Tokenize(std::string_view text);
+
+  /// Tokenize + dedup (first occurrence order preserved).
+  static std::vector<std::string> UniqueTokens(std::string_view text);
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_INDEXING_TOKENIZER_H_

@@ -1,0 +1,50 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+namespace matcn {
+
+double AveragePrecision(const std::vector<Jnt>& ranking,
+                        const GoldenStandard& golden, size_t n) {
+  if (golden.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  const size_t limit = std::min(n, ranking.size());
+  for (size_t k = 0; k < limit; ++k) {
+    if (golden.contains(JntKey(ranking[k]))) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(k + 1);
+    }
+  }
+  return sum / static_cast<double>(golden.size());
+}
+
+double ReciprocalRank(const std::vector<Jnt>& ranking,
+                      const GoldenStandard& golden) {
+  for (size_t k = 0; k < ranking.size(); ++k) {
+    if (golden.contains(JntKey(ranking[k]))) {
+      return 1.0 / static_cast<double>(k + 1);
+    }
+  }
+  return 0.0;
+}
+
+double PrecisionAtK(const std::vector<Jnt>& ranking,
+                    const GoldenStandard& golden, size_t k) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  const size_t limit = std::min(k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (golden.contains(JntKey(ranking[i]))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace matcn

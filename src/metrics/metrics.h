@@ -1,0 +1,36 @@
+#ifndef MATCN_METRICS_METRICS_H_
+#define MATCN_METRICS_METRICS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/jnt.h"
+
+namespace matcn {
+
+/// Relevance judgements for one query: the set of JNT keys (see JntKey)
+/// considered correct answers.
+using GoldenStandard = std::unordered_set<std::string>;
+
+/// Average Precision of a ranking against a golden standard, evaluated on
+/// the first n positions (the paper uses n = 1000):
+///   AP = (Σ_k P(k) · rel(k)) / |R|.
+/// Returns 0 when the golden standard is empty.
+double AveragePrecision(const std::vector<Jnt>& ranking,
+                        const GoldenStandard& golden, size_t n = 1000);
+
+/// Reciprocal rank of the first relevant answer (0 if none in ranking).
+double ReciprocalRank(const std::vector<Jnt>& ranking,
+                      const GoldenStandard& golden);
+
+/// Precision at cut-off k.
+double PrecisionAtK(const std::vector<Jnt>& ranking,
+                    const GoldenStandard& golden, size_t k);
+
+/// Arithmetic mean, 0 for an empty vector (MAP / MRR aggregation).
+double Mean(const std::vector<double>& values);
+
+}  // namespace matcn
+
+#endif  // MATCN_METRICS_METRICS_H_

@@ -1,0 +1,57 @@
+#include "storage/database.h"
+
+namespace matcn {
+
+Result<RelationId> Database::CreateRelation(RelationSchema schema) {
+  RelationSchema copy = schema;
+  Result<RelationId> id = schema_.AddRelation(std::move(schema));
+  if (!id.ok()) return id.status();
+  relations_.push_back(std::make_unique<Relation>(std::move(copy)));
+  return *id;
+}
+
+Status Database::AddForeignKey(ForeignKey fk) {
+  return schema_.AddForeignKey(std::move(fk));
+}
+
+Status Database::Insert(const std::string& relation, Tuple tuple) {
+  Result<RelationId> id = RelationIdByName(relation);
+  if (!id.ok()) return id.status();
+  return Insert(*id, std::move(tuple));
+}
+
+Status Database::Insert(RelationId id, Tuple tuple) {
+  if (id >= relations_.size()) {
+    return Status::OutOfRange("relation id out of range: " +
+                              std::to_string(id));
+  }
+  return relations_[id]->Append(std::move(tuple));
+}
+
+Result<RelationId> Database::RelationIdByName(const std::string& name) const {
+  std::optional<RelationId> id = schema_.RelationIdByName(name);
+  if (!id.has_value()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return *id;
+}
+
+uint64_t Database::TotalTuples() const {
+  uint64_t total = 0;
+  for (const auto& rel : relations_) total += rel->num_tuples();
+  return total;
+}
+
+uint64_t Database::ApproximateSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& rel : relations_) {
+    for (const Tuple& row : rel->rows()) {
+      for (const Value& v : row) {
+        total += v.is_int() ? 8 : v.AsText().size();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace matcn

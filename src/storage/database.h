@@ -1,0 +1,64 @@
+#ifndef MATCN_STORAGE_DATABASE_H_
+#define MATCN_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/tuple_id.h"
+
+namespace matcn {
+
+/// An in-memory relational database instance: a schema plus one Relation
+/// per schema entry. This plays the role PostgreSQL plays in the paper —
+/// it stores the data, answers keyword containment scans, and evaluates
+/// the FK equi-joins that CN evaluation needs.
+class Database {
+ public:
+  Database() = default;
+
+  // Move-only: relations hold pointers into the schema.
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty relation with the given schema.
+  Result<RelationId> CreateRelation(RelationSchema schema);
+
+  /// Declares a referential integrity constraint.
+  Status AddForeignKey(ForeignKey fk);
+
+  /// Appends a tuple to the named relation.
+  Status Insert(const std::string& relation, Tuple tuple);
+  Status Insert(RelationId id, Tuple tuple);
+
+  const DatabaseSchema& schema() const { return schema_; }
+  size_t num_relations() const { return relations_.size(); }
+  const Relation& relation(RelationId id) const { return *relations_[id]; }
+  Result<RelationId> RelationIdByName(const std::string& name) const;
+
+  /// Fetches a tuple by global id. Requires the id to be in range.
+  const Tuple& tuple(TupleId id) const {
+    return relations_[id.relation()]->tuple(id.row());
+  }
+
+  /// Total number of tuples across all relations (Table 2 statistic).
+  uint64_t TotalTuples() const;
+
+  /// Approximate payload size in bytes: sum of text lengths plus 8 bytes
+  /// per int value (Table 2 "Size" statistic).
+  uint64_t ApproximateSizeBytes() const;
+
+ private:
+  DatabaseSchema schema_;
+  // unique_ptr keeps Relation's schema pointer stable across moves.
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_STORAGE_DATABASE_H_

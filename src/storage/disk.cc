@@ -1,0 +1,239 @@
+#include "storage/disk.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace matcn {
+namespace {
+
+constexpr char kCatalogFile[] = "catalog.meta";
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf, 4);
+}
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf, 8);
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  unsigned char buf[4];
+  if (!is.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  unsigned char buf[8];
+  if (!is.read(reinterpret_cast<char*>(buf), 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+Status WriteRelationFile(const Relation& rel, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IOError("cannot open for write: " + path);
+  WriteU32(os, kFormatVersion);
+  WriteU64(os, rel.num_tuples());
+  for (const Tuple& row : rel.rows()) {
+    for (const Value& v : row) {
+      if (v.is_int()) {
+        WriteU64(os, static_cast<uint64_t>(v.AsInt()));
+      } else {
+        WriteU32(os, static_cast<uint32_t>(v.AsText().size()));
+        os.write(v.AsText().data(),
+                 static_cast<std::streamsize>(v.AsText().size()));
+      }
+    }
+  }
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string DiskStorage::RelationFilePath(const std::string& dir,
+                                          const std::string& relation_name) {
+  return dir + "/" + relation_name + ".rel";
+}
+
+Status DiskStorage::Save(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory: " + dir);
+
+  // Catalog: a line-oriented text format that round-trips the schema.
+  std::ofstream cat(dir + "/" + kCatalogFile, std::ios::trunc);
+  if (!cat) return Status::IOError("cannot write catalog in " + dir);
+  cat << "matcn-catalog v1\n";
+  cat << "relations " << db.num_relations() << "\n";
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    const RelationSchema& rs = db.relation(r).schema();
+    cat << "relation " << rs.name() << " " << rs.num_attributes() << "\n";
+    for (const Attribute& a : rs.attributes()) {
+      cat << "  attr " << a.name << " "
+          << (a.type == ValueType::kInt ? "int" : "text") << " "
+          << (a.is_primary_key ? 1 : 0) << " " << (a.searchable ? 1 : 0)
+          << "\n";
+    }
+  }
+  cat << "fks " << db.schema().foreign_keys().size() << "\n";
+  for (const ForeignKey& fk : db.schema().foreign_keys()) {
+    cat << "fk " << fk.from_relation << " " << fk.from_attribute << " "
+        << fk.to_relation << " " << fk.to_attribute << "\n";
+  }
+  if (!cat) return Status::IOError("catalog write failed in " + dir);
+  cat.close();
+
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    MATCN_RETURN_IF_ERROR(
+        WriteRelationFile(rel, RelationFilePath(dir, rel.schema().name())));
+  }
+  return Status::OK();
+}
+
+Result<Database> DiskStorage::Load(const std::string& dir) {
+  std::ifstream cat(dir + "/" + kCatalogFile);
+  if (!cat) return Status::IOError("cannot open catalog in " + dir);
+  std::string line;
+  if (!std::getline(cat, line) || line != "matcn-catalog v1") {
+    return Status::IOError("bad catalog header in " + dir);
+  }
+
+  Database db;
+  size_t num_relations = 0;
+  {
+    std::string kw;
+    cat >> kw >> num_relations;
+    if (kw != "relations") return Status::IOError("bad catalog: " + dir);
+  }
+  for (size_t r = 0; r < num_relations; ++r) {
+    std::string kw, name;
+    size_t num_attrs = 0;
+    cat >> kw >> name >> num_attrs;
+    if (kw != "relation") return Status::IOError("bad catalog: " + dir);
+    std::vector<Attribute> attrs;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      std::string akw, aname, atype;
+      int pk = 0, searchable = 0;
+      cat >> akw >> aname >> atype >> pk >> searchable;
+      if (akw != "attr") return Status::IOError("bad catalog: " + dir);
+      attrs.push_back(Attribute{
+          aname, atype == "int" ? ValueType::kInt : ValueType::kText,
+          pk != 0, searchable != 0});
+    }
+    Result<RelationId> id =
+        db.CreateRelation(RelationSchema(name, std::move(attrs)));
+    if (!id.ok()) return id.status();
+  }
+  size_t num_fks = 0;
+  {
+    std::string kw;
+    cat >> kw >> num_fks;
+    if (kw != "fks") return Status::IOError("bad catalog: " + dir);
+  }
+  for (size_t f = 0; f < num_fks; ++f) {
+    std::string kw;
+    ForeignKey fk;
+    cat >> kw >> fk.from_relation >> fk.from_attribute >> fk.to_relation >>
+        fk.to_attribute;
+    if (kw != "fk") return Status::IOError("bad catalog: " + dir);
+    MATCN_RETURN_IF_ERROR(db.AddForeignKey(std::move(fk)));
+  }
+
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    const RelationSchema& rs = db.relation(r).schema();
+    const std::string path = RelationFilePath(dir, rs.name());
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return Status::IOError("cannot open relation file: " + path);
+    uint32_t version = 0;
+    uint64_t rows = 0;
+    if (!ReadU32(is, &version) || version != kFormatVersion ||
+        !ReadU64(is, &rows)) {
+      return Status::IOError("bad relation file header: " + path);
+    }
+    for (uint64_t i = 0; i < rows; ++i) {
+      Tuple row;
+      row.reserve(rs.num_attributes());
+      for (const Attribute& a : rs.attributes()) {
+        if (a.type == ValueType::kInt) {
+          uint64_t v = 0;
+          if (!ReadU64(is, &v)) {
+            return Status::IOError("truncated relation file: " + path);
+          }
+          row.emplace_back(static_cast<int64_t>(v));
+        } else {
+          uint32_t len = 0;
+          if (!ReadU32(is, &len)) {
+            return Status::IOError("truncated relation file: " + path);
+          }
+          std::string text(len, '\0');
+          if (len > 0 &&
+              !is.read(text.data(), static_cast<std::streamsize>(len))) {
+            return Status::IOError("truncated relation file: " + path);
+          }
+          row.emplace_back(std::move(text));
+        }
+      }
+      MATCN_RETURN_IF_ERROR(db.Insert(r, std::move(row)));
+    }
+  }
+  return db;
+}
+
+Result<std::vector<uint64_t>> DiskStorage::ScanForKeyword(
+    const std::string& dir, const RelationSchema& schema,
+    const std::string& keyword) {
+  const std::string path = RelationFilePath(dir, schema.name());
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open relation file: " + path);
+  uint32_t version = 0;
+  uint64_t rows = 0;
+  if (!ReadU32(is, &version) || version != kFormatVersion ||
+      !ReadU64(is, &rows)) {
+    return Status::IOError("bad relation file header: " + path);
+  }
+  std::vector<uint64_t> hits;
+  std::string text;
+  for (uint64_t row = 0; row < rows; ++row) {
+    bool hit = false;
+    for (const Attribute& a : schema.attributes()) {
+      if (a.type == ValueType::kInt) {
+        uint64_t v = 0;
+        if (!ReadU64(is, &v)) {
+          return Status::IOError("truncated relation file: " + path);
+        }
+        continue;
+      }
+      uint32_t len = 0;
+      if (!ReadU32(is, &len)) {
+        return Status::IOError("truncated relation file: " + path);
+      }
+      text.resize(len);
+      if (len > 0 &&
+          !is.read(text.data(), static_cast<std::streamsize>(len))) {
+        return Status::IOError("truncated relation file: " + path);
+      }
+      if (!hit && a.searchable &&
+          ContainsWordCaseInsensitive(text, keyword)) {
+        hit = true;
+      }
+    }
+    if (hit) hits.push_back(row);
+  }
+  return hits;
+}
+
+}  // namespace matcn

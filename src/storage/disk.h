@@ -1,0 +1,42 @@
+#ifndef MATCN_STORAGE_DISK_H_
+#define MATCN_STORAGE_DISK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace matcn {
+
+/// On-disk persistence for Database instances. The layout is one directory
+/// containing a text catalog file (`catalog.meta`) plus one binary data
+/// file per relation (`<name>.rel`). The format is a simple row-major
+/// stream: ints are 8-byte little-endian, texts are a 4-byte length plus
+/// bytes. Sequential scans of these files are what the paper's *disk-based*
+/// MatCNGen variant performs per query.
+class DiskStorage {
+ public:
+  /// Writes `db` under `dir`, creating the directory if needed and
+  /// replacing any previous contents of the catalog/relation files.
+  static Status Save(const Database& db, const std::string& dir);
+
+  /// Loads a database previously written by Save().
+  static Result<Database> Load(const std::string& dir);
+
+  /// Sequentially scans the binary file of `relation_name` under `dir` and
+  /// returns the row indexes whose searchable text attributes contain
+  /// `keyword` as a whole token (case-insensitive). This performs real file
+  /// I/O and never materializes the relation in memory — it is the scan
+  /// primitive behind disk-based TSFind.
+  static Result<std::vector<uint64_t>> ScanForKeyword(
+      const std::string& dir, const RelationSchema& schema,
+      const std::string& keyword);
+
+  static std::string RelationFilePath(const std::string& dir,
+                                      const std::string& relation_name);
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_STORAGE_DISK_H_

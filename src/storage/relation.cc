@@ -1,0 +1,22 @@
+#include "storage/relation.h"
+
+namespace matcn {
+
+Status Relation::Append(Tuple tuple) {
+  if (tuple.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into " + schema_.name() + ": got " +
+        std::to_string(tuple.size()) + ", want " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].type() != schema_.attribute(i).type) {
+      return Status::InvalidArgument("type mismatch for " + schema_.name() +
+                                     "." + schema_.attribute(i).name);
+    }
+  }
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+}  // namespace matcn

@@ -1,0 +1,41 @@
+#ifndef MATCN_STORAGE_RELATION_H_
+#define MATCN_STORAGE_RELATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace matcn {
+
+/// A tuple is a row of values positionally aligned with the relation's
+/// attribute list.
+using Tuple = std::vector<Value>;
+
+/// Row-store for a single relation. Rows are append-only (the paper's
+/// workload is read-only after load; updates are discussed as future work).
+/// The relation owns an immutable copy of its schema, so it stays valid
+/// regardless of catalog growth.
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+
+  /// Appends a row. Fails if arity or any value type mismatches the schema.
+  Status Append(Tuple tuple);
+
+  size_t num_tuples() const { return rows_.size(); }
+  const Tuple& tuple(uint64_t row) const { return rows_[row]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  const RelationSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_STORAGE_RELATION_H_

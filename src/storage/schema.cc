@@ -1,0 +1,64 @@
+#include "storage/schema.h"
+
+namespace matcn {
+
+std::optional<size_t> RelationSchema::AttributeIndex(
+    const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<RelationId> DatabaseSchema::AddRelation(RelationSchema schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (RelationIdByName(schema.name()).has_value()) {
+    return Status::AlreadyExists("relation already exists: " + schema.name());
+  }
+  relations_.push_back(std::move(schema));
+  return static_cast<RelationId>(relations_.size() - 1);
+}
+
+Status DatabaseSchema::AddForeignKey(ForeignKey fk) {
+  auto from = RelationIdByName(fk.from_relation);
+  if (!from.has_value()) {
+    return Status::NotFound("FK source relation not found: " +
+                            fk.from_relation);
+  }
+  auto to = RelationIdByName(fk.to_relation);
+  if (!to.has_value()) {
+    return Status::NotFound("FK target relation not found: " +
+                            fk.to_relation);
+  }
+  auto from_attr = relations_[*from].AttributeIndex(fk.from_attribute);
+  if (!from_attr.has_value()) {
+    return Status::NotFound("FK source attribute not found: " +
+                            fk.from_relation + "." + fk.from_attribute);
+  }
+  auto to_attr = relations_[*to].AttributeIndex(fk.to_attribute);
+  if (!to_attr.has_value()) {
+    return Status::NotFound("FK target attribute not found: " +
+                            fk.to_relation + "." + fk.to_attribute);
+  }
+  if (relations_[*from].attribute(*from_attr).type !=
+      relations_[*to].attribute(*to_attr).type) {
+    return Status::InvalidArgument("FK attribute type mismatch: " +
+                                   fk.from_relation + "." +
+                                   fk.from_attribute + " vs " +
+                                   fk.to_relation + "." + fk.to_attribute);
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+std::optional<RelationId> DatabaseSchema::RelationIdByName(
+    const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name() == name) return static_cast<RelationId>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace matcn

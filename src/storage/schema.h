@@ -1,0 +1,93 @@
+#ifndef MATCN_STORAGE_SCHEMA_H_
+#define MATCN_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/tuple_id.h"
+#include "storage/value.h"
+
+namespace matcn {
+
+/// One column of a relation.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kText;
+  /// Primary-key attributes are excluded from keyword indexing (they are
+  /// join keys, not searchable text).
+  bool is_primary_key = false;
+  /// Text attributes marked searchable participate in the Term Index and in
+  /// disk-based keyword scans. Int attributes are never searchable.
+  bool searchable = true;
+};
+
+/// Schema of a single relation.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<Attribute> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Returns the index of the attribute named `name`, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+/// A referential integrity constraint: `from_relation.from_attribute`
+/// references `to_relation.to_attribute` (the referenced side is expected
+/// to be a key). In schema-graph terms this is a directed edge
+/// from -> to where *from holds the foreign key*.
+struct ForeignKey {
+  std::string from_relation;
+  std::string from_attribute;
+  std::string to_relation;
+  std::string to_attribute;
+
+  bool operator==(const ForeignKey& o) const {
+    return from_relation == o.from_relation &&
+           from_attribute == o.from_attribute &&
+           to_relation == o.to_relation && to_attribute == o.to_attribute;
+  }
+};
+
+/// Whole-database schema: an ordered list of relation schemas plus the
+/// referential integrity constraints among them. Relation ids are indexes
+/// into the creation order.
+class DatabaseSchema {
+ public:
+  /// Adds a relation; fails with AlreadyExists on duplicate names.
+  Result<RelationId> AddRelation(RelationSchema schema);
+
+  /// Adds a RIC; validates that both endpoints and attributes exist and
+  /// that the attribute types match.
+  Status AddForeignKey(ForeignKey fk);
+
+  size_t num_relations() const { return relations_.size(); }
+  const RelationSchema& relation(RelationId id) const {
+    return relations_[id];
+  }
+  std::optional<RelationId> RelationIdByName(const std::string& name) const;
+
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_STORAGE_SCHEMA_H_

@@ -1,0 +1,58 @@
+#ifndef MATCN_STORAGE_TUPLE_ID_H_
+#define MATCN_STORAGE_TUPLE_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace matcn {
+
+/// Identifies a relation within a Database by creation order.
+using RelationId = uint32_t;
+
+/// Globally unique tuple identifier: relation id in the top 24 bits, row
+/// index in the low 40 bits. Posting lists, TSInter and golden standards
+/// all operate on sorted TupleId vectors, so the packed form keeps them
+/// cache-friendly and trivially comparable.
+class TupleId {
+ public:
+  TupleId() : packed_(0) {}
+  TupleId(RelationId relation, uint64_t row)
+      : packed_((static_cast<uint64_t>(relation) << kRowBits) | row) {}
+
+  /// Reconstructs an id from its packed() form (e.g. after varbyte decode).
+  static TupleId FromPacked(uint64_t packed) {
+    TupleId id;
+    id.packed_ = packed;
+    return id;
+  }
+
+  RelationId relation() const {
+    return static_cast<RelationId>(packed_ >> kRowBits);
+  }
+  uint64_t row() const { return packed_ & ((uint64_t{1} << kRowBits) - 1); }
+  uint64_t packed() const { return packed_; }
+
+  std::string ToString() const {
+    return "t(" + std::to_string(relation()) + "," + std::to_string(row()) +
+           ")";
+  }
+
+  bool operator==(const TupleId& o) const { return packed_ == o.packed_; }
+  bool operator!=(const TupleId& o) const { return packed_ != o.packed_; }
+  bool operator<(const TupleId& o) const { return packed_ < o.packed_; }
+
+ private:
+  static constexpr int kRowBits = 40;
+  uint64_t packed_;
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& id) const {
+    return std::hash<uint64_t>()(id.packed());
+  }
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_STORAGE_TUPLE_ID_H_

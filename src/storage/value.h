@@ -1,0 +1,66 @@
+#ifndef MATCN_STORAGE_VALUE_H_
+#define MATCN_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace matcn {
+
+/// Attribute types supported by the storage engine. Keyword search only
+/// needs text payloads plus integer/text join keys, so the type system is
+/// deliberately small.
+enum class ValueType : uint8_t {
+  kInt = 0,
+  kText = 1,
+};
+
+/// A single attribute value: either a 64-bit integer or a UTF-8 string.
+/// Values compare and hash by (type, payload); NULL is represented by the
+/// engine as an empty text / zero int per-schema convention and never needs
+/// tri-valued logic here (CN joins are FK equi-joins over non-null keys).
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(data_) ? ValueType::kInt
+                                                  : ValueType::kText;
+  }
+
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_text() const { return type() == ValueType::kText; }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  /// Requires is_text().
+  const std::string& AsText() const { return std::get<std::string>(data_); }
+
+  /// Debug/display rendering; ints render in decimal.
+  std::string ToString() const {
+    return is_int() ? std::to_string(AsInt()) : AsText();
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  size_t Hash() const {
+    if (is_int()) return std::hash<int64_t>()(AsInt()) * 0x9e3779b97f4a7c15u;
+    return std::hash<std::string>()(AsText());
+  }
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_STORAGE_VALUE_H_

@@ -1,0 +1,118 @@
+// CNGen (DISCOVER baseline): exhaustiveness, validity, failure emulation.
+
+#include "baseline/cngen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/minimal_cover.h"
+#include "core/tsfind.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class CnGenTest : public ::testing::Test {
+ protected:
+  CnGenTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {}
+
+  CnGenResult Run(const std::string& text, int t_max,
+                  std::vector<TupleSet>* sets_out = nullptr) {
+    auto q = KeywordQuery::Parse(text);
+    EXPECT_TRUE(q.ok());
+    std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+    TupleSetGraph g(&schema_graph_, &sets);
+    CnGenOptions options;
+    options.t_max = t_max;
+    CnGenResult result = CnGen(*q, g, options);
+    query_ = *q;
+    if (sets_out != nullptr) *sets_out = std::move(sets);
+    return result;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  KeywordQuery query_;
+};
+
+TEST_F(CnGenTest, AllCnsAreValid) {
+  CnGenResult result = Run("denzel washington gangster", 5);
+  ASSERT_FALSE(result.failed);
+  ASSERT_FALSE(result.cns.empty());
+  for (const CandidateNetwork& cn : result.cns) {
+    EXPECT_TRUE(cn.IsSound(schema_graph_));
+    EXPECT_EQ(cn.CoveredTermset(), query_.FullTermset());
+    for (int leaf : cn.Leaves()) EXPECT_FALSE(cn.node(leaf).is_free());
+    std::vector<Termset> termsets;
+    for (const CnNode& n : cn.nodes()) {
+      if (!n.is_free()) termsets.push_back(n.termset);
+    }
+    EXPECT_TRUE(IsMinimalCover(termsets, query_.FullTermset()));
+  }
+}
+
+TEST_F(CnGenTest, NoDuplicateCns) {
+  CnGenResult result = Run("denzel washington gangster", 5);
+  std::set<std::string> canon;
+  for (const CandidateNetwork& cn : result.cns) {
+    EXPECT_TRUE(canon.insert(cn.CanonicalForm()).second);
+  }
+}
+
+TEST_F(CnGenTest, RespectsTmax) {
+  CnGenResult result = Run("denzel washington gangster", 3);
+  for (const CandidateNetwork& cn : result.cns) {
+    EXPECT_LE(cn.size(), 3u);
+  }
+}
+
+TEST_F(CnGenTest, LargerTmaxFindsSuperset) {
+  CnGenResult small = Run("denzel washington", 3);
+  CnGenResult large = Run("denzel washington", 5);
+  ASSERT_FALSE(small.failed);
+  ASSERT_FALSE(large.failed);
+  std::set<std::string> large_canon;
+  for (const CandidateNetwork& cn : large.cns) {
+    large_canon.insert(cn.CanonicalForm());
+  }
+  for (const CandidateNetwork& cn : small.cns) {
+    EXPECT_TRUE(large_canon.contains(cn.CanonicalForm()));
+  }
+  EXPECT_GE(large.cns.size(), small.cns.size());
+}
+
+TEST_F(CnGenTest, SingleKeyword) {
+  CnGenResult result = Run("gangster", 3);
+  ASSERT_FALSE(result.failed);
+  // One single-node CN per relation holding the keyword alone (4), and no
+  // multi-node CN can be minimal for a single keyword.
+  EXPECT_EQ(result.cns.size(), 4u);
+  for (const CandidateNetwork& cn : result.cns) EXPECT_EQ(cn.size(), 1u);
+}
+
+TEST_F(CnGenTest, BudgetExhaustionSetsFailed) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  CnGenOptions options;
+  options.t_max = 6;
+  options.max_partial_trees = 10;  // absurdly small budget
+  CnGenResult result = CnGen(*q, g, options);
+  EXPECT_TRUE(result.failed);
+}
+
+TEST_F(CnGenTest, UncoverableQueryGeneratesNothing) {
+  CnGenResult result = Run("gangster zzzznope", 4);
+  ASSERT_FALSE(result.failed);
+  EXPECT_TRUE(result.cns.empty());
+}
+
+}  // namespace
+}  // namespace matcn

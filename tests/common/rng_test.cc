@@ -1,0 +1,93 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace matcn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1'000'000) != b.Uniform(0, 1'000'000)) ++differences;
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 500; ++i) ++seen[rng.Index(5)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(ZipfSamplerTest, RanksWithinBounds) {
+  Rng rng(11);
+  ZipfSampler sampler(100, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(sampler.Sample(rng), 100u);
+}
+
+TEST(ZipfSamplerTest, HeadIsHeavierThanTail) {
+  Rng rng(11);
+  ZipfSampler sampler(1000, 1.0);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const size_t r = sampler.Sample(rng);
+    if (r < 10) ++head;
+    if (r >= 990) ++tail;
+  }
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsNearUniform) {
+  Rng rng(11);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[sampler.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 3500);
+    EXPECT_LT(c, 6500);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  Rng rng(1);
+  ZipfSampler sampler(1, 1.0);
+  EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace matcn

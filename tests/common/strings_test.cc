@@ -1,0 +1,60 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace matcn {
+namespace {
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("Denzel WASHINGTON 42"), "denzel washington 42");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",,", ","), std::vector<std::string>{});
+  EXPECT_EQ(Split("one two", " "),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(StringsTest, SplitMultipleDelimiters) {
+  EXPECT_EQ(Split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("none"), "none");
+}
+
+TEST(ContainsWordTest, MatchesWholeTokensOnly) {
+  EXPECT_TRUE(ContainsWordCaseInsensitive("American Gangster", "gangster"));
+  EXPECT_TRUE(ContainsWordCaseInsensitive("American Gangster", "AMERICAN"));
+  // Substring of a token is not a word match (differs from raw SQL LIKE,
+  // but matches the Term Index's tokenizer semantics).
+  EXPECT_FALSE(ContainsWordCaseInsensitive("Gangsters", "gangster"));
+  EXPECT_FALSE(ContainsWordCaseInsensitive("gang", "gangster"));
+}
+
+TEST(ContainsWordTest, PunctuationSeparatesTokens) {
+  EXPECT_TRUE(ContainsWordCaseInsensitive("washington,denzel", "denzel"));
+  EXPECT_TRUE(ContainsWordCaseInsensitive("(gangster)", "gangster"));
+}
+
+TEST(ContainsWordTest, EmptyNeedleNeverMatches) {
+  EXPECT_FALSE(ContainsWordCaseInsensitive("anything", ""));
+}
+
+TEST(ContainsWordTest, NumbersAreTokens) {
+  EXPECT_TRUE(ContainsWordCaseInsensitive("year 2007 release", "2007"));
+  EXPECT_FALSE(ContainsWordCaseInsensitive("year 2007 release", "200"));
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,47 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace matcn {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Dataset", "Tuples"});
+  t.AddRow({"Mondial", "17115"});
+  t.AddRow({"IMDb", "1673074"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| Dataset |"), std::string::npos);
+  EXPECT_NE(out.find("| Mondial | 17115"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  const std::string out = t.ToString();
+  // Three header cells and a complete data row with empty cells.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(0.5, 3), "0.500");
+}
+
+TEST(TablePrinterTest, IntFormats) {
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+  EXPECT_EQ(TablePrinter::Int(-7), "-7");
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter t({"x"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matcn

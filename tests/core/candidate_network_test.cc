@@ -1,0 +1,114 @@
+// CandidateNetwork structure, canonical forms and the soundness rule.
+
+#include "core/candidate_network.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+class CnTest : public ::testing::Test {
+ protected:
+  CnTest()
+      : db_(testing::MakeMiniImdb()),
+        graph_(SchemaGraph::Build(db_.schema())) {}
+  RelationId Id(const std::string& name) {
+    return *db_.schema().RelationIdByName(name);
+  }
+  Database db_;
+  SchemaGraph graph_;
+};
+
+TEST_F(CnTest, SingleNodeBasics) {
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(CnNode{Id("MOV"), 0b1, 0});
+  EXPECT_EQ(cn.size(), 1u);
+  EXPECT_EQ(cn.num_non_free(), 1);
+  EXPECT_EQ(cn.CoveredTermset(), 0b1u);
+  EXPECT_EQ(cn.Leaves(), (std::vector<int>{0}));
+  EXPECT_TRUE(cn.IsSound(graph_));
+}
+
+TEST_F(CnTest, ExtendBuildsTree) {
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(CnNode{Id("MOV"), 0b100, 0})
+          .Extend(0, CnNode{Id("CAST"), 0, -1})
+          .Extend(1, CnNode{Id("PER"), 0b011, 1});
+  EXPECT_EQ(cn.size(), 3u);
+  EXPECT_EQ(cn.num_non_free(), 2);
+  EXPECT_EQ(cn.CoveredTermset(), 0b111u);
+  EXPECT_EQ(cn.parent(2), 1);
+  EXPECT_EQ(cn.Leaves(), (std::vector<int>{0, 2}));
+}
+
+TEST_F(CnTest, SoundnessRejectsFkFanIn) {
+  // PER <- CAST -> PER: CAST holds a single FK to PER, so one CAST tuple
+  // cannot join two distinct PER tuples (Definition 7).
+  CandidateNetwork bad =
+      CandidateNetwork::SingleNode(CnNode{Id("PER"), 0b01, 0})
+          .Extend(0, CnNode{Id("CAST"), 0, -1})
+          .Extend(1, CnNode{Id("PER"), 0b10, 1});
+  EXPECT_FALSE(bad.IsSound(graph_));
+  EXPECT_FALSE(bad.IsSoundAround(graph_, 1));
+  EXPECT_TRUE(bad.IsSoundAround(graph_, 0));
+}
+
+TEST_F(CnTest, SoundnessAllowsReferencedFanIn) {
+  // CAST -> MOV <- CAST: two cast entries of the same movie is meaningful
+  // (many CAST tuples may reference one MOV tuple).
+  CandidateNetwork good =
+      CandidateNetwork::SingleNode(CnNode{Id("CAST"), 0b01, 0})
+          .Extend(0, CnNode{Id("MOV"), 0, -1})
+          .Extend(1, CnNode{Id("CAST"), 0b10, 1});
+  EXPECT_TRUE(good.IsSound(graph_));
+}
+
+TEST_F(CnTest, SoundnessWithFreeDuplicates) {
+  // PER{} <- CAST{k} -> PER{}: still unsound, free or not.
+  CandidateNetwork bad =
+      CandidateNetwork::SingleNode(CnNode{Id("PER"), 0, -1})
+          .Extend(0, CnNode{Id("CAST"), 0b1, 0})
+          .Extend(1, CnNode{Id("PER"), 0, -1});
+  EXPECT_FALSE(bad.IsSound(graph_));
+}
+
+TEST_F(CnTest, CanonicalFormIsIsomorphismInvariant) {
+  // Same CN grown in two different orders.
+  CandidateNetwork a =
+      CandidateNetwork::SingleNode(CnNode{Id("MOV"), 0b100, 0})
+          .Extend(0, CnNode{Id("CAST"), 0, -1})
+          .Extend(1, CnNode{Id("PER"), 0b011, 1});
+  CandidateNetwork b =
+      CandidateNetwork::SingleNode(CnNode{Id("PER"), 0b011, 1})
+          .Extend(0, CnNode{Id("CAST"), 0, -1})
+          .Extend(1, CnNode{Id("MOV"), 0b100, 0});
+  EXPECT_EQ(a.CanonicalForm(), b.CanonicalForm());
+}
+
+TEST_F(CnTest, CanonicalFormDistinguishesTermsets) {
+  CandidateNetwork a =
+      CandidateNetwork::SingleNode(CnNode{Id("MOV"), 0b1, 0});
+  CandidateNetwork b =
+      CandidateNetwork::SingleNode(CnNode{Id("MOV"), 0b10, 0});
+  EXPECT_NE(a.CanonicalForm(), b.CanonicalForm());
+}
+
+TEST_F(CnTest, ToStringRendersTupleSets) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(
+          CnNode{Id("MOV"), static_cast<Termset>(
+                                1u << q->KeywordIndex("gangster")),
+                 0})
+          .Extend(0, CnNode{Id("CAST"), 0, -1});
+  const std::string s = cn.ToString(db_.schema(), *q);
+  EXPECT_NE(s.find("MOV^{gangster}"), std::string::npos);
+  EXPECT_NE(s.find("CAST^{}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matcn

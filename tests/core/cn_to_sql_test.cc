@@ -1,0 +1,108 @@
+// CN -> SQL rendering details.
+
+#include "core/cn_to_sql.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/imdb_fixture.h"
+
+namespace matcn {
+namespace {
+
+class CnToSqlTest : public ::testing::Test {
+ protected:
+  CnToSqlTest() : db_(testing::MakeMiniImdb()) {
+    auto q = KeywordQuery::Parse("denzel washington gangster");
+    query_ = *q;
+    g_ = query_.KeywordIndex("gangster");
+    d_ = query_.KeywordIndex("denzel");
+    w_ = query_.KeywordIndex("washington");
+  }
+  RelationId Id(const std::string& name) {
+    return *db_.schema().RelationIdByName(name);
+  }
+  Database db_;
+  KeywordQuery query_;
+  int g_ = 0, d_ = 0, w_ = 0;
+};
+
+TEST_F(CnToSqlTest, PaperExpressionOne) {
+  // MOV^{g} ⋈ CAST^{} ⋈ PER^{d,w} — the paper's Expression (1).
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(
+          CnNode{Id("MOV"), static_cast<Termset>(1u << g_), 0})
+          .Extend(0, CnNode{Id("CAST"), 0, -1})
+          .Extend(1, CnNode{Id("PER"),
+                            static_cast<Termset>((1u << d_) | (1u << w_)),
+                            1});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), query_);
+  // Join predicates follow the FK direction (CAST holds both FKs).
+  EXPECT_NE(sql.find("t1.mid = t0.id"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("t1.pid = t2.id"), std::string::npos) << sql;
+  // Containment for the node's own termset...
+  EXPECT_NE(sql.find("t0.title ILIKE '%gangster%'"), std::string::npos);
+  EXPECT_NE(sql.find("t2.name ILIKE '%denzel%'"), std::string::npos);
+  EXPECT_NE(sql.find("t2.name ILIKE '%washington%'"), std::string::npos);
+  // ...and exclusion of the other query keywords (Definition 4).
+  EXPECT_NE(sql.find("NOT t0.title ILIKE '%denzel%'"), std::string::npos);
+  EXPECT_NE(sql.find("NOT t2.name ILIKE '%gangster%'"), std::string::npos);
+  // Free tuple-sets carry no keyword predicates.
+  EXPECT_EQ(sql.find("t1.note ILIKE"), std::string::npos);
+}
+
+TEST_F(CnToSqlTest, SingleNodeCnHasNoJoin) {
+  CandidateNetwork cn = CandidateNetwork::SingleNode(
+      CnNode{Id("MOV"), static_cast<Termset>(1u << g_), 0});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), query_);
+  EXPECT_EQ(sql.find(" = "), std::string::npos);
+  EXPECT_NE(sql.find("FROM MOV t0"), std::string::npos);
+}
+
+TEST_F(CnToSqlTest, MultiTextAttributesAreOrJoined) {
+  // MOV has one searchable text attribute, CAST has one; use a relation
+  // with several: build a tiny schema with two text columns.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(
+                    RelationSchema("R", {{"id", ValueType::kInt, true, false},
+                                         {"a", ValueType::kText, false, true},
+                                         {"b", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  auto q = KeywordQuery::Parse("word");
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(CnNode{0, 0b1, 0});
+  const std::string sql = CandidateNetworkToSql(cn, db.schema(), *q);
+  EXPECT_NE(sql.find("(t0.a ILIKE '%word%' OR t0.b ILIKE '%word%')"),
+            std::string::npos)
+      << sql;
+}
+
+TEST_F(CnToSqlTest, NoSearchableTextRendersFalse) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "R", {{"id", ValueType::kInt, true,
+                                           false}}))
+                  .ok());
+  auto q = KeywordQuery::Parse("word");
+  CandidateNetwork cn = CandidateNetwork::SingleNode(CnNode{0, 0b1, 0});
+  const std::string sql = CandidateNetworkToSql(cn, db.schema(), *q);
+  EXPECT_NE(sql.find("FALSE"), std::string::npos);
+}
+
+TEST_F(CnToSqlTest, AliasesAreSequential) {
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(
+          CnNode{Id("MOV"), static_cast<Termset>(1u << g_), 0})
+          .Extend(0, CnNode{Id("CAST"), 0, -1})
+          .Extend(1, CnNode{Id("PER"),
+                            static_cast<Termset>((1u << d_) | (1u << w_)),
+                            1});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), query_);
+  EXPECT_NE(sql.find("MOV t0"), std::string::npos);
+  EXPECT_NE(sql.find("CAST t1"), std::string::npos);
+  EXPECT_NE(sql.find("PER t2"), std::string::npos);
+  EXPECT_NE(sql.find("SELECT t0.*, t1.*, t2.*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,71 @@
+#include "core/keyword_query.h"
+
+#include <gtest/gtest.h>
+
+namespace matcn {
+namespace {
+
+TEST(KeywordQueryTest, ParseLowercasesAndDedups) {
+  auto q = KeywordQuery::Parse("Denzel WASHINGTON denzel");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->keyword(0), "denzel");
+  EXPECT_EQ(q->keyword(1), "washington");
+}
+
+TEST(KeywordQueryTest, ParsePunctuation) {
+  auto q = KeywordQuery::Parse("south-east, africa!");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords(),
+            (std::vector<std::string>{"south", "east", "africa"}));
+}
+
+TEST(KeywordQueryTest, EmptyQueryFails) {
+  EXPECT_FALSE(KeywordQuery::Parse("").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("  ,,, ").ok());
+}
+
+TEST(KeywordQueryTest, TooManyKeywordsFails) {
+  std::vector<std::string> kws;
+  for (int i = 0; i < 33; ++i) kws.push_back("kw" + std::to_string(i));
+  EXPECT_FALSE(KeywordQuery::FromKeywords(kws).ok());
+}
+
+TEST(KeywordQueryTest, ExactlyMaxKeywordsSucceeds) {
+  std::vector<std::string> kws;
+  for (int i = 0; i < 32; ++i) kws.push_back("kw" + std::to_string(i));
+  auto q = KeywordQuery::FromKeywords(kws);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 32u);
+  EXPECT_EQ(q->FullTermset(), ~Termset{0});
+}
+
+TEST(KeywordQueryTest, FullTermsetHasOneBitPerKeyword) {
+  auto q = KeywordQuery::Parse("a1 b2 c3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->FullTermset(), 0b111u);
+  EXPECT_EQ(TermsetSize(q->FullTermset()), 3);
+}
+
+TEST(KeywordQueryTest, TermsetToString) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->TermsetToString(0b011), "{denzel,washington}");
+  EXPECT_EQ(q->TermsetToString(0b100), "{gangster}");
+  EXPECT_EQ(q->TermsetToString(0), "{}");
+}
+
+TEST(KeywordQueryTest, KeywordIndex) {
+  auto q = KeywordQuery::Parse("alpha beta");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->KeywordIndex("beta"), 1);
+  EXPECT_EQ(q->KeywordIndex("gamma"), -1);
+}
+
+TEST(TermsetTest, SizeCountsBits) {
+  EXPECT_EQ(TermsetSize(0), 0);
+  EXPECT_EQ(TermsetSize(0b1011), 3);
+}
+
+}  // namespace
+}  // namespace matcn

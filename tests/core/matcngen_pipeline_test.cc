@@ -1,0 +1,186 @@
+// End-to-end validation of the MatCNGen pipeline against the concrete
+// numbers the paper reports for its running example (Examples 2-5).
+
+#include "core/matcngen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/cngen.h"
+#include "core/cn_to_sql.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "storage/disk.h"
+
+namespace matcn {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {}
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+};
+
+TEST_F(PipelineTest, Example3TwoKeywordQuery) {
+  // Q' = {denzel, washington}: |R_Q'| = 6 and 5 query matches.
+  auto query = KeywordQuery::Parse("denzel washington");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult result = gen.Generate(*query, index_);
+  EXPECT_EQ(result.tuple_sets.size(), 6u);
+  EXPECT_EQ(result.matches.size(), 5u);
+  // Every match admits a CN in this schema.
+  EXPECT_EQ(result.cns.size(), 5u);
+}
+
+TEST_F(PipelineTest, Example2ThreeKeywordQuery) {
+  // Q = {denzel, washington, gangster}: |R_Q| = 10 and 19 query matches.
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult result = gen.Generate(*query, index_);
+  EXPECT_EQ(result.tuple_sets.size(), 10u);
+  EXPECT_EQ(result.matches.size(), 19u);
+  EXPECT_EQ(result.cns.size(), result.matches.size());
+}
+
+TEST_F(PipelineTest, Example5SingleCnForMatchM3) {
+  // Match M3 = {MOV^{g}, PER^{d,w}} must yield exactly
+  // MOV^{g} ⋈ CAST^{} ⋈ PER^{d,w}.
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult result = gen.Generate(*query, index_);
+
+  const RelationId mov = *db_.schema().RelationIdByName("MOV");
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  const RelationId cast = *db_.schema().RelationIdByName("CAST");
+  const Termset g_mask = Termset{1} << query->KeywordIndex("gangster");
+  const Termset dw_mask =
+      (Termset{1} << query->KeywordIndex("denzel")) |
+      (Termset{1} << query->KeywordIndex("washington"));
+
+  bool found = false;
+  for (const CandidateNetwork& cn : result.cns) {
+    if (cn.size() != 3) continue;
+    int movs = 0, pers = 0, casts = 0;
+    for (const CnNode& n : cn.nodes()) {
+      if (n.relation == mov && n.termset == g_mask) ++movs;
+      if (n.relation == per && n.termset == dw_mask) ++pers;
+      if (n.relation == cast && n.is_free()) ++casts;
+    }
+    if (movs == 1 && pers == 1 && casts == 1) {
+      found = true;
+      EXPECT_TRUE(cn.IsSound(schema_graph_));
+    }
+  }
+  EXPECT_TRUE(found) << "expected CN MOV^{g} - CAST^{} - PER^{d,w}";
+}
+
+TEST_F(PipelineTest, GeneratedCnsAreSoundMinimalAndDistinct) {
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult result = gen.Generate(*query, index_);
+  std::set<std::string> canon;
+  for (const CandidateNetwork& cn : result.cns) {
+    EXPECT_TRUE(cn.IsSound(schema_graph_));
+    EXPECT_EQ(cn.CoveredTermset(), query->FullTermset());
+    // Minimality: every leaf is non-free.
+    for (int leaf : cn.Leaves()) {
+      EXPECT_FALSE(cn.node(leaf).is_free());
+    }
+    EXPECT_TRUE(canon.insert(cn.CanonicalForm()).second)
+        << "duplicate CN generated";
+  }
+}
+
+TEST_F(PipelineTest, MatCnGenNeverGeneratesMoreCnsThanCnGen) {
+  // Figure 6's headline: the match-based set is a subset-sized compact set.
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult mat = gen.Generate(*query, index_);
+
+  std::vector<TupleSet> tuple_sets =
+      TupleSetFinder::FindMem(index_, *query);
+  TupleSetGraph ts_graph(&schema_graph_, &tuple_sets);
+  CnGenOptions options;
+  options.t_max = 5;
+  CnGenResult base = CnGen(*query, ts_graph, options);
+  ASSERT_FALSE(base.failed);
+  EXPECT_GE(base.cns.size(), mat.cns.size());
+}
+
+TEST_F(PipelineTest, EveryMatCnGenCnIsAlsoFoundByCnGen) {
+  auto query = KeywordQuery::Parse("denzel washington");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult mat = gen.Generate(*query, index_);
+
+  std::vector<TupleSet> tuple_sets =
+      TupleSetFinder::FindMem(index_, *query);
+  TupleSetGraph ts_graph(&schema_graph_, &tuple_sets);
+  CnGenOptions options;
+  options.t_max = 6;
+  CnGenResult base = CnGen(*query, ts_graph, options);
+  ASSERT_FALSE(base.failed);
+
+  std::set<std::string> baseline_canon;
+  for (const CandidateNetwork& cn : base.cns) {
+    baseline_canon.insert(cn.CanonicalForm());
+  }
+  for (const CandidateNetwork& cn : mat.cns) {
+    EXPECT_TRUE(baseline_canon.contains(cn.CanonicalForm()))
+        << "MatCNGen CN missing from exhaustive baseline";
+  }
+}
+
+TEST_F(PipelineTest, DiskAndMemoryVariantsAgree) {
+  const std::string dir = ::testing::TempDir() + "/matcn_imdb_fixture";
+  ASSERT_TRUE(DiskStorage::Save(db_, dir).ok());
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+
+  MatCnGen gen(&schema_graph_);
+  GenerationResult mem = gen.Generate(*query, index_);
+  Result<GenerationResult> disk =
+      gen.GenerateDisk(*query, dir, db_.schema());
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(mem.tuple_sets, disk->tuple_sets);
+  EXPECT_EQ(mem.matches, disk->matches);
+  ASSERT_EQ(mem.cns.size(), disk->cns.size());
+  for (size_t i = 0; i < mem.cns.size(); ++i) {
+    EXPECT_EQ(mem.cns[i].CanonicalForm(), disk->cns[i].CanonicalForm());
+  }
+}
+
+TEST_F(PipelineTest, CnToSqlEmitsJoinAndKeywordPredicates) {
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+  MatCnGen gen(&schema_graph_);
+  GenerationResult result = gen.Generate(*query, index_);
+  ASSERT_FALSE(result.cns.empty());
+  bool saw_join = false;
+  for (const CandidateNetwork& cn : result.cns) {
+    std::string sql = CandidateNetworkToSql(cn, db_.schema(), *query);
+    EXPECT_NE(sql.find("SELECT"), std::string::npos);
+    EXPECT_NE(sql.find("ILIKE"), std::string::npos);
+    if (cn.size() > 1) {
+      EXPECT_NE(sql.find(" = "), std::string::npos);
+      saw_join = true;
+    }
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+}  // namespace
+}  // namespace matcn

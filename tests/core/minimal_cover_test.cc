@@ -1,0 +1,122 @@
+#include "core/minimal_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace matcn {
+namespace {
+
+TEST(IsMinimalCoverTest, BasicCases) {
+  // Q = {a, b, c} = 0b111.
+  EXPECT_TRUE(IsMinimalCover({0b001, 0b010, 0b100}, 0b111));
+  EXPECT_TRUE(IsMinimalCover({0b011, 0b100}, 0b111));
+  EXPECT_TRUE(IsMinimalCover({0b111}, 0b111));
+  EXPECT_TRUE(IsMinimalCover({0b011, 0b101}, 0b111));  // overlap is fine
+}
+
+TEST(IsMinimalCoverTest, NonTotalRejected) {
+  EXPECT_FALSE(IsMinimalCover({0b001, 0b010}, 0b111));
+  EXPECT_FALSE(IsMinimalCover({}, 0b111));
+}
+
+TEST(IsMinimalCoverTest, RedundantMemberRejected) {
+  // {a} is covered by {a,b}.
+  EXPECT_FALSE(IsMinimalCover({0b001, 0b011, 0b100}, 0b111));
+  // Duplicates are redundant by definition.
+  EXPECT_FALSE(IsMinimalCover({0b011, 0b011, 0b100}, 0b111));
+  // Full set plus anything.
+  EXPECT_FALSE(IsMinimalCover({0b111, 0b001}, 0b111));
+}
+
+TEST(IsMinimalCoverTest, TermsetOutsideQueryRejected) {
+  EXPECT_FALSE(IsMinimalCover({0b1001}, 0b0111));
+  EXPECT_FALSE(IsMinimalCover({0b000, 0b111}, 0b111));  // empty termset
+}
+
+TEST(EnumerateMinimalCoversTest, PaperExampleHasEightCovers) {
+  // Q = {d, w, g}; all 7 non-empty termsets available. The paper counts
+  // 8 minimal covers for a 3-keyword query.
+  std::vector<Termset> all = {0b001, 0b010, 0b100, 0b011,
+                              0b101, 0b110, 0b111};
+  auto covers = EnumerateMinimalCovers(all, 0b111);
+  EXPECT_EQ(covers.size(), 8u);
+  for (const auto& cover : covers) {
+    EXPECT_TRUE(IsMinimalCover(cover, 0b111));
+  }
+}
+
+TEST(EnumerateMinimalCoversTest, RestrictedAvailability) {
+  // Only {d,w} and {g} available: a single cover.
+  auto covers = EnumerateMinimalCovers({0b011, 0b100}, 0b111);
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0], (std::vector<Termset>{0b011, 0b100}));
+}
+
+TEST(EnumerateMinimalCoversTest, UncoverableQueryYieldsNothing) {
+  EXPECT_TRUE(EnumerateMinimalCovers({0b001, 0b010}, 0b111).empty());
+  EXPECT_TRUE(EnumerateMinimalCovers({}, 0b1).empty());
+}
+
+TEST(EnumerateMinimalCoversTest, IgnoresForeignAndEmptyTermsets) {
+  auto covers = EnumerateMinimalCovers({0, 0b1000, 0b11}, 0b11);
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0], (std::vector<Termset>{0b11}));
+}
+
+TEST(EnumerateMinimalCoversTest, DeduplicatesAvailableTermsets) {
+  auto covers = EnumerateMinimalCovers({0b01, 0b01, 0b10}, 0b11);
+  EXPECT_EQ(covers.size(), 1u);
+}
+
+TEST(EnumerateMinimalCoversTest, CoversAreUniqueAndSorted) {
+  std::vector<Termset> all;
+  for (Termset t = 1; t < 16; ++t) all.push_back(t);
+  auto covers = EnumerateMinimalCovers(all, 0b1111);
+  auto copy = covers;
+  std::sort(copy.begin(), copy.end());
+  copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+  EXPECT_EQ(copy.size(), covers.size());
+  EXPECT_EQ(copy, covers);  // already sorted
+}
+
+// Property sweep: for queries of size 1..5 with all termsets available,
+// every enumerated cover is minimal, every cover has at most |Q| members
+// (Hearne & Wagner), and brute force agrees.
+class MinimalCoverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimalCoverSweep, MatchesBruteForce) {
+  const int n = GetParam();
+  const Termset full = static_cast<Termset>((1u << n) - 1);
+  std::vector<Termset> all;
+  for (Termset t = 1; t <= full; ++t) all.push_back(t);
+  auto covers = EnumerateMinimalCovers(all, full);
+
+  for (const auto& cover : covers) {
+    EXPECT_LE(cover.size(), static_cast<size_t>(n));
+    EXPECT_TRUE(IsMinimalCover(cover, full));
+  }
+
+  // Brute force over subsets of `all` of size <= n (feasible for n <= 4).
+  if (n <= 4) {
+    size_t brute = 0;
+    const size_t m = all.size();
+    for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+      std::vector<Termset> subset;
+      for (size_t i = 0; i < m; ++i) {
+        if ((mask >> i) & 1) subset.push_back(all[i]);
+      }
+      if (subset.size() <= static_cast<size_t>(n) &&
+          IsMinimalCover(subset, full)) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(covers.size(), brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MinimalCoverSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace matcn

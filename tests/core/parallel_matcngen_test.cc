@@ -1,0 +1,63 @@
+// Parallel per-match CN construction must be byte-identical to the
+// sequential run.
+
+#include <gtest/gtest.h>
+
+#include "core/matcngen.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+TEST(ParallelMatCnGenTest, MatchesSequentialOnFixture) {
+  Database db = testing::MakeMiniImdb();
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+
+  MatCnGen sequential(&schema_graph);
+  MatCnGenOptions parallel_options;
+  parallel_options.num_threads = 4;
+  MatCnGen parallel(&schema_graph, parallel_options);
+
+  GenerationResult a = sequential.Generate(*query, index);
+  GenerationResult b = parallel.Generate(*query, index);
+  EXPECT_EQ(a.matches, b.matches);
+  ASSERT_EQ(a.cns.size(), b.cns.size());
+  for (size_t i = 0; i < a.cns.size(); ++i) {
+    EXPECT_EQ(a.cns[i], b.cns[i]) << i;
+  }
+}
+
+class ParallelSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelSweep, MatchesSequentialOnGeneratedWorkload) {
+  Database db = MakeMondial(43, 0.05);
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  WorkloadGenerator wgen(&db, &schema_graph, &index);
+  std::vector<KeywordQuery> queries = wgen.RandomQueries(6, 3, 11);
+
+  MatCnGen sequential(&schema_graph);
+  MatCnGenOptions options;
+  options.num_threads = GetParam();
+  MatCnGen parallel(&schema_graph, options);
+  for (const KeywordQuery& q : queries) {
+    GenerationResult a = sequential.Generate(q, index);
+    GenerationResult b = parallel.Generate(q, index);
+    ASSERT_EQ(a.cns.size(), b.cns.size());
+    for (size_t i = 0; i < a.cns.size(); ++i) {
+      EXPECT_EQ(a.cns[i].CanonicalForm(), b.cns[i].CanonicalForm());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSweep,
+                         ::testing::Values(2u, 3u, 8u));
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,116 @@
+// Query match generation: paper Algorithm 1 vs the cover-product variant.
+
+#include "core/qmgen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/minimal_cover.h"
+
+namespace matcn {
+namespace {
+
+TupleSet Ts(RelationId rel, Termset termset) {
+  TupleSet ts;
+  ts.relation = rel;
+  ts.termset = termset;
+  ts.tuples = {TupleId(rel, 0)};
+  return ts;
+}
+
+TEST(QmGenTest, SingleKeywordSingleRelation) {
+  auto q = KeywordQuery::Parse("gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = {Ts(0, 0b1)};
+  auto matches = GenerateMatches(*q, sets);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (QueryMatch{0}));
+}
+
+TEST(QmGenTest, Example3Counts) {
+  auto q2 = KeywordQuery::Parse("denzel washington");
+  ASSERT_TRUE(q2.ok());
+  // R(dw) = {PER(3), CAST(2)}; R(d) = {PER, CAST, CHAR(0)}; R(w) = {PER}.
+  std::vector<TupleSet> sets = {Ts(3, 0b11), Ts(2, 0b11), Ts(3, 0b01),
+                                Ts(2, 0b01), Ts(0, 0b01), Ts(3, 0b10)};
+  auto matches = GenerateMatches(*q2, sets);
+  EXPECT_EQ(matches.size(), 5u);  // 2 + 3x1 (paper Example 3)
+}
+
+TEST(QmGenTest, NaiveAndFastAgreeOnPaperExample) {
+  auto q = KeywordQuery::Parse("denzel washington");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = {Ts(3, 0b11), Ts(2, 0b11), Ts(3, 0b01),
+                                Ts(2, 0b01), Ts(0, 0b01), Ts(3, 0b10)};
+  EXPECT_EQ(GenerateMatchesNaive(*q, sets), GenerateMatches(*q, sets));
+}
+
+TEST(QmGenTest, NoMatchesWhenKeywordUncovered) {
+  auto q = KeywordQuery::Parse("a1 b2");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = {Ts(0, 0b01)};  // b2 occurs nowhere
+  EXPECT_TRUE(GenerateMatches(*q, sets).empty());
+  EXPECT_TRUE(GenerateMatchesNaive(*q, sets).empty());
+}
+
+TEST(QmGenTest, MatchesHaveDistinctTermsets) {
+  auto q = KeywordQuery::Parse("a1 b2");
+  ASSERT_TRUE(q.ok());
+  // Same termset {a1} in two relations can never pair up as one match.
+  std::vector<TupleSet> sets = {Ts(0, 0b01), Ts(1, 0b01), Ts(2, 0b10)};
+  auto matches = GenerateMatches(*q, sets);
+  for (const QueryMatch& m : matches) {
+    std::set<Termset> termsets;
+    for (int i : m) termsets.insert(sets[i].termset);
+    EXPECT_EQ(termsets.size(), m.size());
+  }
+  EXPECT_EQ(matches.size(), 2u);  // {0,2} and {1,2}
+}
+
+TEST(QmGenTest, MatchTermsetsFormMinimalCovers) {
+  auto q = KeywordQuery::Parse("a1 b2 c3");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = {Ts(0, 0b001), Ts(1, 0b010), Ts(2, 0b100),
+                                Ts(3, 0b011), Ts(4, 0b110), Ts(0, 0b111)};
+  for (const QueryMatch& m : GenerateMatches(*q, sets)) {
+    std::vector<Termset> termsets;
+    for (int i : m) termsets.push_back(sets[i].termset);
+    EXPECT_TRUE(IsMinimalCover(termsets, q->FullTermset()));
+  }
+}
+
+// Property sweep: random tuple-set configurations; the naive paper
+// algorithm and the optimized one must produce identical match sets.
+class QmGenEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmGenEquivalence, NaiveEqualsFast) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int num_keywords = 1 + static_cast<int>(rng.Uniform(0, 2));  // 1-3
+  const Termset full = static_cast<Termset>((1u << num_keywords) - 1);
+  std::vector<std::string> kws;
+  for (int k = 0; k < num_keywords; ++k) {
+    kws.push_back("kw" + std::to_string(k));
+  }
+  auto q = KeywordQuery::FromKeywords(kws);
+  ASSERT_TRUE(q.ok());
+
+  // Up to 8 tuple-sets over up to 4 relations with random termsets;
+  // (relation, termset) pairs must be unique, as TSFind guarantees.
+  std::set<std::pair<RelationId, Termset>> used;
+  std::vector<TupleSet> sets;
+  const int n = static_cast<int>(rng.Uniform(0, 8));
+  for (int i = 0; i < n; ++i) {
+    const RelationId rel = static_cast<RelationId>(rng.Uniform(0, 3));
+    const Termset t = static_cast<Termset>(rng.Uniform(1, full));
+    if (used.insert({rel, t}).second) sets.push_back(Ts(rel, t));
+  }
+  std::sort(sets.begin(), sets.end());
+  EXPECT_EQ(GenerateMatchesNaive(*q, sets), GenerateMatches(*q, sets));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmGenEquivalence, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace matcn

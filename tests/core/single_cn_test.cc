@@ -1,0 +1,164 @@
+// SingleCN (Algorithm 3): shortest sound CN per query match.
+
+#include "core/single_cn.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tsfind.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class SingleCnTest : public ::testing::Test {
+ protected:
+  SingleCnTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {}
+
+  /// Finds the tuple-set index with the given relation name and termset.
+  int TsIndex(const std::vector<TupleSet>& sets, const std::string& rel,
+              Termset termset) {
+    const RelationId id = *db_.schema().RelationIdByName(rel);
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (sets[i].relation == id && sets[i].termset == termset) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+};
+
+TEST_F(SingleCnTest, DirectlyAdjacentMatch) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  // M = {CAST^{d,g}, PER^{d,w}}? No: use MOV^{g} and CAST^{d,w}: adjacent.
+  const int mov_g = TsIndex(sets, "MOV", 0b100);
+  const int cast_dw = TsIndex(sets, "CAST", 0b011);
+  ASSERT_GE(mov_g, 0);
+  ASSERT_GE(cast_dw, 0);
+  MatchGraph mg(&g, {g.NonFreeNode(mov_g), g.NonFreeNode(cast_dw)});
+  auto cn = SingleCn(mg);
+  ASSERT_TRUE(cn.has_value());
+  EXPECT_EQ(cn->size(), 2u);  // direct MOV-CAST edge, no free tuple-set
+  EXPECT_EQ(cn->num_non_free(), 2);
+}
+
+TEST_F(SingleCnTest, MatchNeedingOneFreeConnector) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  // Example 5: M3 = {MOV^{g}, PER^{d,w}} -> MOV - CAST{} - PER.
+  const int mov_g = TsIndex(sets, "MOV", 0b100);
+  const int per_dw = TsIndex(sets, "PER", 0b011);
+  ASSERT_GE(mov_g, 0);
+  ASSERT_GE(per_dw, 0);
+  MatchGraph mg(&g, {g.NonFreeNode(mov_g), g.NonFreeNode(per_dw)});
+  auto cn = SingleCn(mg);
+  ASSERT_TRUE(cn.has_value());
+  EXPECT_EQ(cn->size(), 3u);
+  int free_cast = 0;
+  const RelationId cast = *db_.schema().RelationIdByName("CAST");
+  for (const CnNode& n : cn->nodes()) {
+    if (n.relation == cast && n.is_free()) ++free_cast;
+  }
+  EXPECT_EQ(free_cast, 1);
+}
+
+TEST_F(SingleCnTest, SingletonMatchIsItsOwnCn) {
+  auto q = KeywordQuery::Parse("gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  MatchGraph mg(&g, {g.NonFreeNode(0)});
+  auto cn = SingleCn(mg);
+  ASSERT_TRUE(cn.has_value());
+  EXPECT_EQ(cn->size(), 1u);
+}
+
+TEST_F(SingleCnTest, TmaxOneBlocksMultiNodeCn) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  const int mov_g = TsIndex(sets, "MOV", 0b100);
+  const int per_dw = TsIndex(sets, "PER", 0b011);
+  MatchGraph mg(&g, {g.NonFreeNode(mov_g), g.NonFreeNode(per_dw)});
+  SingleCnOptions opts;
+  opts.t_max = 2;  // the needed CN has 3 tuple-sets
+  EXPECT_FALSE(SingleCn(mg, opts).has_value());
+}
+
+TEST_F(SingleCnTest, EmptyMatchYieldsNothing) {
+  auto q = KeywordQuery::Parse("gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  MatchGraph mg(&g, {});
+  EXPECT_FALSE(SingleCn(mg).has_value());
+}
+
+TEST_F(SingleCnTest, DisconnectedRelationsYieldNothing) {
+  // Two isolated relations: no path, no CN.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(
+                    RelationSchema("A", {{"id", ValueType::kInt, true, false},
+                                         {"t", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(
+                    RelationSchema("B", {{"id", ValueType::kInt, true, false},
+                                         {"t", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("A", {Value(int64_t{1}), Value("alpha")}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value(int64_t{1}), Value("beta")}).ok());
+  SchemaGraph sg = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto q = KeywordQuery::Parse("alpha beta");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index, *q);
+  ASSERT_EQ(sets.size(), 2u);
+  TupleSetGraph g(&sg, &sets);
+  MatchGraph mg(&g, {g.NonFreeNode(0), g.NonFreeNode(1)});
+  EXPECT_FALSE(SingleCn(mg).has_value());
+}
+
+TEST_F(SingleCnTest, ReturnedCnIsShortest) {
+  // BFS guarantee: for every match the returned CN has minimum size among
+  // all CNs containing that match. Check against the direct-edge cases.
+  auto q = KeywordQuery::Parse("denzel gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  TupleSetGraph g(&schema_graph_, &sets);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = i + 1; j < sets.size(); ++j) {
+      if ((sets[i].termset | sets[j].termset) != q->FullTermset()) continue;
+      if (sets[i].termset == sets[j].termset) continue;
+      MatchGraph mg(&g, {g.NonFreeNode(static_cast<int>(i)),
+                         g.NonFreeNode(static_cast<int>(j))});
+      auto cn = SingleCn(mg);
+      if (!cn.has_value()) continue;
+      const bool adjacent =
+          schema_graph_.HasEdge(sets[i].relation, sets[j].relation);
+      if (adjacent) {
+        EXPECT_EQ(cn->size(), 2u);
+      } else {
+        EXPECT_GE(cn->size(), 3u);
+      }
+      EXPECT_TRUE(cn->IsSound(schema_graph_));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace matcn

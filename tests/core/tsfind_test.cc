@@ -1,0 +1,179 @@
+// TSInter (Algorithm 5) and the three TSFind front-ends.
+
+#include "core/tsfind.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+std::map<Termset, std::vector<TupleId>> AsMap(
+    const std::vector<TermsetTuples>& pairs) {
+  std::map<Termset, std::vector<TupleId>> m;
+  for (const TermsetTuples& p : pairs) m[p.termset] = p.tuples;
+  return m;
+}
+
+TEST(TsInterTest, PaperFigure5Example) {
+  // P = {<{d},{C3,P1,P3}>, <{w},{C3,C4,P2,P3}>} — relations C(=0), P(=1).
+  const TupleId c3(0, 3), c4(0, 4), p1(1, 1), p2(1, 2), p3(1, 3);
+  std::vector<TermsetTuples> input = {
+      {0b01, {c3, p1, p3}},
+      {0b10, {c3, c4, p2, p3}},
+  };
+  auto out = AsMap(TsInter(std::move(input)));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0b01], (std::vector<TupleId>{p1}));
+  EXPECT_EQ(out[0b10], (std::vector<TupleId>{c4, p2}));
+  EXPECT_EQ(out[0b11], (std::vector<TupleId>{c3, p3}));
+}
+
+TEST(TsInterTest, ThreeWayIntersection) {
+  // One tuple holds all three keywords; it must end up only in {d,w,g}.
+  const TupleId t(0, 0), u(0, 1);
+  std::vector<TermsetTuples> input = {
+      {0b001, {t, u}},
+      {0b010, {t}},
+      {0b100, {t}},
+  };
+  auto out = AsMap(TsInter(std::move(input)));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0b001], (std::vector<TupleId>{u}));
+  EXPECT_EQ(out[0b111], (std::vector<TupleId>{t}));
+}
+
+TEST(TsInterTest, DisjointListsPassThrough) {
+  const TupleId a(0, 0), b(1, 0);
+  std::vector<TermsetTuples> input = {{0b01, {a}}, {0b10, {b}}};
+  auto out = AsMap(TsInter(std::move(input)));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0b01], (std::vector<TupleId>{a}));
+  EXPECT_EQ(out[0b10], (std::vector<TupleId>{b}));
+}
+
+TEST(TsInterTest, EmptyListsAreDropped) {
+  std::vector<TermsetTuples> input = {{0b01, {}}, {0b10, {TupleId(0, 0)}}};
+  auto out = AsMap(TsInter(std::move(input)));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.contains(0b10));
+}
+
+TEST(TsInterTest, SingleEntryIsIdentity) {
+  std::vector<TermsetTuples> input = {{0b1, {TupleId(0, 0), TupleId(0, 2)}}};
+  auto out = AsMap(TsInter(std::move(input)));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0b1].size(), 2u);
+}
+
+// Property: TSInter assigns each tuple to exactly the termset of all the
+// keywords whose input lists contain it. Verified against a direct
+// per-tuple computation over randomized inputs.
+class TsInterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsInterProperty, PartitionSemantics) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const int num_keywords = 2 + static_cast<int>(rng.Uniform(0, 3));  // 2-5
+  const int num_tuples = 40;
+
+  // For each tuple pick a random keyword subset (possibly empty).
+  std::vector<Termset> tuple_mask(num_tuples);
+  for (int t = 0; t < num_tuples; ++t) {
+    tuple_mask[t] =
+        static_cast<Termset>(rng.Uniform(0, (1u << num_keywords) - 1));
+  }
+  std::vector<TermsetTuples> input(num_keywords);
+  for (int k = 0; k < num_keywords; ++k) {
+    input[k].termset = Termset{1} << k;
+    for (int t = 0; t < num_tuples; ++t) {
+      if ((tuple_mask[t] >> k) & 1) {
+        input[k].tuples.emplace_back(0, static_cast<uint64_t>(t));
+      }
+    }
+  }
+  auto out = AsMap(TsInter(std::move(input)));
+
+  // Expected: group tuples by their mask.
+  std::map<Termset, std::vector<TupleId>> expected;
+  for (int t = 0; t < num_tuples; ++t) {
+    if (tuple_mask[t] != 0) {
+      expected[tuple_mask[t]].emplace_back(0, static_cast<uint64_t>(t));
+    }
+  }
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsInterProperty, ::testing::Range(0, 25));
+
+class TsFindTest : public ::testing::Test {
+ protected:
+  TsFindTest()
+      : db_(testing::MakeMiniImdb()), index_(TermIndex::Build(db_)) {}
+  Database db_;
+  TermIndex index_;
+};
+
+TEST_F(TsFindTest, FindMemMatchesPaperExample) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  EXPECT_EQ(sets.size(), 10u);
+  // Exact-containment semantics: every tuple-set is non-empty, and no
+  // tuple appears in two tuple-sets.
+  std::set<uint64_t> seen;
+  for (const TupleSet& ts : sets) {
+    EXPECT_FALSE(ts.tuples.empty());
+    EXPECT_NE(ts.termset, 0u);
+    for (const TupleId& id : ts.tuples) {
+      EXPECT_TRUE(seen.insert(id.packed()).second)
+          << "tuple in two tuple-sets";
+    }
+  }
+}
+
+TEST_F(TsFindTest, ScanAndMemAgree) {
+  for (const char* text :
+       {"denzel", "washington gangster", "denzel washington gangster",
+        "gangster boss", "mary", "russell crowe"}) {
+    auto q = KeywordQuery::Parse(text);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(TupleSetFinder::FindScan(db_, *q),
+              TupleSetFinder::FindMem(index_, *q))
+        << text;
+  }
+}
+
+TEST_F(TsFindTest, UnknownKeywordYieldsNoTupleSets) {
+  auto q = KeywordQuery::Parse("qqqqq");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(TupleSetFinder::FindMem(index_, *q).empty());
+}
+
+TEST_F(TsFindTest, PartialUnknownKeywordStillFindsOthers) {
+  auto q = KeywordQuery::Parse("gangster qqqqq");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  // {gangster} tuple-sets exist in 4 relations; {qqqqq} in none.
+  EXPECT_EQ(sets.size(), 4u);
+}
+
+TEST_F(TsFindTest, TupleSetsAreSortedDeterministically) {
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index_, *q);
+  for (size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_TRUE(sets[i - 1] < sets[i] ||
+                !(sets[i] < sets[i - 1]));  // non-decreasing
+  }
+}
+
+}  // namespace
+}  // namespace matcn

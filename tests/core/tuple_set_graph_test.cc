@@ -1,0 +1,133 @@
+// Tuple-set graph (Definition 9) and match graphs (Definition 10).
+
+#include "core/tuple_set_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/tsfind.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class TupleSetGraphTest : public ::testing::Test {
+ protected:
+  TupleSetGraphTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {
+    auto q = KeywordQuery::Parse("denzel washington gangster");
+    query_ = *q;
+    tuple_sets_ = TupleSetFinder::FindMem(index_, query_);
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  KeywordQuery query_;
+  std::vector<TupleSet> tuple_sets_;
+};
+
+TEST_F(TupleSetGraphTest, OneFreeNodePerRelationPlusNonFree) {
+  TupleSetGraph g(&schema_graph_, &tuple_sets_);
+  EXPECT_EQ(g.num_nodes(),
+            schema_graph_.num_relations() + tuple_sets_.size());
+  for (RelationId r = 0; r < schema_graph_.num_relations(); ++r) {
+    EXPECT_TRUE(g.IsFree(g.FreeNode(r)));
+    EXPECT_EQ(g.node(g.FreeNode(r)).relation, r);
+  }
+  for (size_t i = 0; i < tuple_sets_.size(); ++i) {
+    const int id = g.NonFreeNode(static_cast<int>(i));
+    EXPECT_FALSE(g.IsFree(id));
+    EXPECT_EQ(g.node(id).tuple_set_index, static_cast<int>(i));
+    EXPECT_EQ(g.node(id).relation, tuple_sets_[i].relation);
+    EXPECT_EQ(g.node(id).termset, tuple_sets_[i].termset);
+  }
+}
+
+TEST_F(TupleSetGraphTest, AdjacencyMirrorsSchemaGraph) {
+  TupleSetGraph g(&schema_graph_, &tuple_sets_);
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    for (int v : g.Neighbors(static_cast<int>(u))) {
+      EXPECT_TRUE(schema_graph_.HasEdge(g.node(static_cast<int>(u)).relation,
+                                        g.node(v).relation));
+      EXPECT_NE(static_cast<int>(u), v);
+    }
+  }
+  // The paper's Example: CAST's free node is adjacent to every tuple-set
+  // of the other four relations plus their free nodes — 11 non-CAST
+  // tuple-set nodes exist? CAST{} adjacency = all nodes over MOV, PER,
+  // CHAR, ROLE (free + non-free).
+  const RelationId cast = *db_.schema().RelationIdByName("CAST");
+  size_t expected = 0;
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    const RelationId r = g.node(static_cast<int>(i)).relation;
+    if (r != cast) ++expected;
+  }
+  EXPECT_EQ(g.Neighbors(g.FreeNode(cast)).size(), expected);
+}
+
+TEST_F(TupleSetGraphTest, SameRelationNodesAreNotAdjacent) {
+  TupleSetGraph g(&schema_graph_, &tuple_sets_);
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    for (int v : g.Neighbors(static_cast<int>(u))) {
+      EXPECT_NE(g.node(static_cast<int>(u)).relation, g.node(v).relation);
+    }
+  }
+}
+
+TEST_F(TupleSetGraphTest, NodeLabelsAreUnique) {
+  TupleSetGraph g(&schema_graph_, &tuple_sets_);
+  std::set<std::string> labels;
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_TRUE(labels.insert(g.NodeLabel(static_cast<int>(i))).second);
+  }
+}
+
+TEST_F(TupleSetGraphTest, MatchGraphKeepsOnlyMatchAndFreeNodes) {
+  TupleSetGraph g(&schema_graph_, &tuple_sets_);
+  // Match = first two non-free nodes.
+  std::vector<int> match = {g.NonFreeNode(0), g.NonFreeNode(1)};
+  MatchGraph mg(&g, match);
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    const int id = static_cast<int>(i);
+    const bool expected = g.IsFree(id) || id == match[0] || id == match[1];
+    EXPECT_EQ(mg.Allowed(id), expected);
+  }
+  // Filtered adjacency contains only allowed endpoints and is a subset of
+  // the full adjacency.
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    for (int v : mg.Neighbors(static_cast<int>(u))) {
+      EXPECT_TRUE(mg.Allowed(v));
+      const auto& full = g.Neighbors(static_cast<int>(u));
+      EXPECT_NE(std::find(full.begin(), full.end(), v), full.end());
+    }
+  }
+  // Disallowed nodes have no outgoing edges in the match graph.
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    if (!mg.Allowed(static_cast<int>(u))) {
+      EXPECT_TRUE(mg.Neighbors(static_cast<int>(u)).empty());
+    }
+  }
+}
+
+TEST_F(TupleSetGraphTest, MatchGraphNodeCountBoundFromPaper) {
+  // Paper Example 4: with |Q| = 3, any match graph has at most
+  // 3 non-free + (#relations) free nodes — for IMDb, at most 8.
+  TupleSetGraph g(&schema_graph_, &tuple_sets_);
+  std::vector<int> match = {g.NonFreeNode(0), g.NonFreeNode(1),
+                            g.NonFreeNode(2)};
+  MatchGraph mg(&g, match);
+  size_t allowed = 0;
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    if (mg.Allowed(static_cast<int>(i))) ++allowed;
+  }
+  EXPECT_EQ(allowed, schema_graph_.num_relations() + match.size());
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,164 @@
+// Data graph construction, BANKS, Bidirectional, and DPBF.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagraph/banks.h"
+#include "datagraph/data_graph.h"
+#include "datagraph/dpbf.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class DataGraphTest : public ::testing::Test {
+ protected:
+  DataGraphTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        graph_(DataGraph::Build(db_, schema_graph_)),
+        index_(TermIndex::Build(db_)) {}
+
+  KeywordQuery Query(const std::string& text) {
+    auto q = KeywordQuery::Parse(text);
+    EXPECT_TRUE(q.ok());
+    return *q;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  DataGraph graph_;
+  TermIndex index_;
+};
+
+TEST_F(DataGraphTest, OneNodePerTuple) {
+  EXPECT_EQ(graph_.num_nodes(), db_.TotalTuples());
+}
+
+TEST_F(DataGraphTest, NodeTupleRoundTrip) {
+  for (RelationId r = 0; r < db_.num_relations(); ++r) {
+    for (uint64_t row = 0; row < db_.relation(r).num_tuples(); ++row) {
+      const TupleId id(r, row);
+      EXPECT_EQ(graph_.TupleOf(graph_.NodeOf(id)), id);
+    }
+  }
+}
+
+TEST_F(DataGraphTest, EdgesFollowForeignKeyValues) {
+  // CAST row 0 references MOV 1, PER 1, CHAR 1, ROLE 2 -> degree 4.
+  const RelationId cast = *db_.schema().RelationIdByName("CAST");
+  EXPECT_EQ(graph_.Degree(graph_.NodeOf(TupleId(cast, 0))), 4u);
+  // Each edge endpoint reciprocates.
+  for (uint32_t v = 0; v < graph_.num_nodes(); ++v) {
+    for (uint32_t u : graph_.Neighbors(v)) {
+      const auto& back = graph_.Neighbors(u);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), v) != back.end());
+    }
+  }
+}
+
+TEST_F(DataGraphTest, DanglingForeignKeysProduceNoEdge) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "A", {{"id", ValueType::kInt, true, false},
+                                          {"b_id", ValueType::kInt, false,
+                                           false}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(
+                    RelationSchema("B", {{"id", ValueType::kInt, true, false}}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey({"A", "b_id", "B", "id"}).ok());
+  ASSERT_TRUE(db.Insert("A", {Value(int64_t{1}), Value(int64_t{77})}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value(int64_t{1})}).ok());
+  SchemaGraph sg = SchemaGraph::Build(db.schema());
+  DataGraph g = DataGraph::Build(db, sg);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST_F(DataGraphTest, BanksFindsTheIntendedConnection) {
+  std::vector<Jnt> results =
+      BanksSearch(graph_, index_, Query("denzel washington gangster"));
+  ASSERT_FALSE(results.empty());
+  // Answers sorted by score; the best should be small (tight tree).
+  EXPECT_LE(results[0].tuples.size(), 3u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST_F(DataGraphTest, BanksAnswersContainAllKeywords) {
+  const KeywordQuery q = Query("denzel gangster");
+  for (const Jnt& jnt : BanksSearch(graph_, index_, q)) {
+    // Union of tuple texts must hold every keyword: verify via tuple sets
+    // of the index.
+    for (size_t k = 0; k < q.size(); ++k) {
+      bool covered = false;
+      std::vector<TupleId> holders = index_.TuplesFor(q.keyword(k));
+      for (const TupleId& id : jnt.tuples) {
+        if (std::find(holders.begin(), holders.end(), id) != holders.end()) {
+          covered = true;
+        }
+      }
+      EXPECT_TRUE(covered) << q.keyword(k);
+    }
+  }
+}
+
+TEST_F(DataGraphTest, BanksMissingKeywordYieldsNothing) {
+  EXPECT_TRUE(BanksSearch(graph_, index_, Query("gangster zzz")).empty());
+}
+
+TEST_F(DataGraphTest, BidirectionalPenalizesHubs) {
+  const KeywordQuery q = Query("denzel gangster");
+  std::vector<Jnt> banks = BanksSearch(graph_, index_, q);
+  std::vector<Jnt> bidir = BidirectionalSearch(graph_, index_, q);
+  ASSERT_FALSE(banks.empty());
+  ASSERT_FALSE(bidir.empty());
+  // Same answer space, possibly different order.
+  std::set<std::string> banks_keys, bidir_keys;
+  for (const Jnt& j : banks) banks_keys.insert(JntKey(j));
+  for (const Jnt& j : bidir) bidir_keys.insert(JntKey(j));
+  EXPECT_FALSE(bidir_keys.empty());
+}
+
+TEST_F(DataGraphTest, DpbfTopAnswerIsMinimal) {
+  const KeywordQuery q = Query("denzel washington gangster");
+  std::vector<Jnt> results = DpbfSearch(graph_, index_, q);
+  ASSERT_FALSE(results.empty());
+  // There is a single tuple covering {d,w}+... the best tree: CAST note
+  // "denzel stunt double gangster sequence" covers d+g but not w; minimum
+  // group Steiner tree weight here is small. Just assert minimality vs
+  // BANKS: DPBF's top answer is never larger than BANKS's.
+  std::vector<Jnt> banks = BanksSearch(graph_, index_, q);
+  ASSERT_FALSE(banks.empty());
+  EXPECT_LE(results[0].tuples.size(), banks[0].tuples.size());
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST_F(DataGraphTest, DpbfSingleKeyword) {
+  std::vector<Jnt> results = DpbfSearch(graph_, index_, Query("gangster"));
+  ASSERT_FALSE(results.empty());
+  // Single-keyword answers are single tuples with cost 0 -> score 1.
+  EXPECT_EQ(results[0].tuples.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+}
+
+TEST_F(DataGraphTest, DpbfMissingKeywordYieldsNothing) {
+  EXPECT_TRUE(DpbfSearch(graph_, index_, Query("qqq gangster")).empty());
+}
+
+TEST_F(DataGraphTest, TopKRespected) {
+  DataGraphSearchOptions options;
+  options.top_k = 2;
+  EXPECT_LE(BanksSearch(graph_, index_, Query("gangster"), options).size(),
+            2u);
+  EXPECT_LE(DpbfSearch(graph_, index_, Query("gangster"), options).size(),
+            2u);
+}
+
+}  // namespace
+}  // namespace matcn

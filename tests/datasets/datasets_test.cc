@@ -1,0 +1,139 @@
+// Synthetic dataset generators: schema shapes, determinism, integrity.
+
+#include "datasets/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datasets/vocab.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+constexpr double kTinyScale = 0.05;
+
+TEST(VocabTest, PoolsAreNonEmptyAndDeterministic) {
+  EXPECT_GE(Vocab::FirstNames().size(), 40u);
+  EXPECT_GE(Vocab::LastNames().size(), 40u);
+  Rng a(5), b(5);
+  EXPECT_EQ(Vocab::PersonName(a), Vocab::PersonName(b));
+}
+
+TEST(VocabTest, ZipfTextHasRequestedWordCount) {
+  Rng rng(9);
+  const std::string text = Vocab::ZipfText(rng, 6);
+  EXPECT_EQ(std::count(text.begin(), text.end(), ' '), 5);
+}
+
+struct DatasetCase {
+  const char* name;
+  Database (*make)(uint64_t, double);
+  size_t relations;
+  size_t rics;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(GeneratorSweep, SchemaShapeMatchesTable2) {
+  const DatasetCase& c = GetParam();
+  Database db = c.make(1, kTinyScale);
+  EXPECT_EQ(db.num_relations(), c.relations) << c.name;
+  EXPECT_EQ(db.schema().foreign_keys().size(), c.rics) << c.name;
+  EXPECT_GT(db.TotalTuples(), 0u);
+}
+
+TEST_P(GeneratorSweep, DeterministicForSameSeed) {
+  const DatasetCase& c = GetParam();
+  Database a = c.make(77, kTinyScale);
+  Database b = c.make(77, kTinyScale);
+  ASSERT_EQ(a.TotalTuples(), b.TotalTuples());
+  for (RelationId r = 0; r < a.num_relations(); ++r) {
+    ASSERT_EQ(a.relation(r).num_tuples(), b.relation(r).num_tuples());
+    for (uint64_t row = 0; row < a.relation(r).num_tuples(); ++row) {
+      ASSERT_EQ(a.relation(r).tuple(row), b.relation(r).tuple(row));
+    }
+  }
+}
+
+TEST_P(GeneratorSweep, ScaleGrowsData) {
+  const DatasetCase& c = GetParam();
+  Database small = c.make(1, kTinyScale);
+  Database large = c.make(1, kTinyScale * 4);
+  EXPECT_GT(large.TotalTuples(), small.TotalTuples());
+}
+
+TEST_P(GeneratorSweep, ReferentialIntegrityHolds) {
+  const DatasetCase& c = GetParam();
+  Database db = c.make(1, kTinyScale);
+  for (const ForeignKey& fk : db.schema().foreign_keys()) {
+    const RelationId from = *db.schema().RelationIdByName(fk.from_relation);
+    const RelationId to = *db.schema().RelationIdByName(fk.to_relation);
+    const size_t from_attr =
+        *db.relation(from).schema().AttributeIndex(fk.from_attribute);
+    const size_t to_attr =
+        *db.relation(to).schema().AttributeIndex(fk.to_attribute);
+    std::unordered_set<int64_t> keys;
+    for (const Tuple& t : db.relation(to).rows()) {
+      keys.insert(t[to_attr].AsInt());
+    }
+    for (const Tuple& t : db.relation(from).rows()) {
+      EXPECT_TRUE(keys.contains(t[from_attr].AsInt()))
+          << c.name << ": dangling " << fk.from_relation << "."
+          << fk.from_attribute;
+    }
+  }
+}
+
+TEST_P(GeneratorSweep, HasSearchableText) {
+  const DatasetCase& c = GetParam();
+  Database db = c.make(1, kTinyScale);
+  TermIndex index = TermIndex::Build(db);
+  EXPECT_GT(index.num_terms(), 20u) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GeneratorSweep,
+    ::testing::Values(DatasetCase{"IMDb", MakeImdb, 5, 4},
+                      DatasetCase{"Mondial", MakeMondial, 28, 40},
+                      DatasetCase{"Wikipedia", MakeWikipedia, 6, 5},
+                      DatasetCase{"DBLP", MakeDblp, 6, 6},
+                      DatasetCase{"TPC-H", MakeTpch, 8, 10}),
+    [](const ::testing::TestParamInfo<DatasetCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(ImdbGeneratorTest, PlantsRunningExampleEntities) {
+  Database db = MakeImdb(42, kTinyScale);
+  TermIndex index = TermIndex::Build(db);
+  EXPECT_GE(index.DocumentFrequency("denzel"), 1u);
+  EXPECT_GE(index.DocumentFrequency("gangster"), 1u);
+  EXPECT_GE(index.DocumentFrequency("washington"), 1u);
+}
+
+TEST(MondialGeneratorTest, DensestSchemaGraph) {
+  Database mondial = MakeMondial(43, kTinyScale);
+  Database imdb = MakeImdb(42, kTinyScale);
+  SchemaGraph mg = SchemaGraph::Build(mondial.schema());
+  SchemaGraph ig = SchemaGraph::Build(imdb.schema());
+  EXPECT_GT(mg.num_edges(), ig.num_edges());
+}
+
+TEST(MakeAllDatasetsTest, FiveInPaperOrder) {
+  std::vector<NamedDataset> all = MakeAllDatasets(kTinyScale);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "Mondial");
+  EXPECT_EQ(all[1].name, "IMDb");
+  EXPECT_EQ(all[4].name, "TPC-H");
+  // Relative sizes follow Table 2: TPC-H largest, Mondial smallest.
+  EXPECT_GT(all[4].db.TotalTuples(), all[0].db.TotalTuples());
+}
+
+}  // namespace
+}  // namespace matcn

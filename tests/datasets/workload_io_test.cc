@@ -1,0 +1,78 @@
+#include "datasets/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "datasets/generators.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+class WorkloadIoTest : public ::testing::Test {
+ protected:
+  WorkloadIoTest()
+      : db_(MakeImdb(42, 0.05)),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)),
+        gen_(&db_, &schema_graph_, &index_) {
+    path_ = ::testing::TempDir() + "/matcn_workload_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".txt";
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  WorkloadGenerator gen_;
+  std::string path_;
+};
+
+TEST_F(WorkloadIoTest, RoundTrip) {
+  WorkloadOptions options;
+  options.num_queries = 6;
+  std::vector<WorkloadQuery> workload = gen_.Generate(options);
+  ASSERT_TRUE(SaveWorkload(workload, path_).ok());
+  Result<std::vector<WorkloadQuery>> loaded = LoadWorkload(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, workload[i].id);
+    EXPECT_EQ((*loaded)[i].query.keywords(), workload[i].query.keywords());
+    EXPECT_EQ((*loaded)[i].golden, workload[i].golden);
+    EXPECT_EQ((*loaded)[i].num_relevant, workload[i].num_relevant);
+  }
+}
+
+TEST_F(WorkloadIoTest, EmptyWorkloadRoundTrips) {
+  ASSERT_TRUE(SaveWorkload({}, path_).ok());
+  Result<std::vector<WorkloadQuery>> loaded = LoadWorkload(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(WorkloadIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadWorkload(path_ + ".nope").ok());
+}
+
+TEST_F(WorkloadIoTest, BadHeaderFails) {
+  {
+    std::ofstream os(path_);
+    os << "something else\n";
+  }
+  Result<std::vector<WorkloadQuery>> loaded = LoadWorkload(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(WorkloadIoTest, GoldenBeforeQueryFails) {
+  {
+    std::ofstream os(path_);
+    os << "matcn-workload v1\ngolden 1,2,\n";
+  }
+  EXPECT_FALSE(LoadWorkload(path_).ok());
+}
+
+}  // namespace
+}  // namespace matcn

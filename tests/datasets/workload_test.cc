@@ -1,0 +1,117 @@
+// Workload generation and golden standards.
+
+#include "datasets/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : db_(MakeImdb(42, 0.05)),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)),
+        gen_(&db_, &schema_graph_, &index_) {}
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  WorkloadGenerator gen_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedCount) {
+  WorkloadOptions options;
+  options.num_queries = 10;
+  std::vector<WorkloadQuery> queries = gen_.Generate(options);
+  EXPECT_EQ(queries.size(), 10u);
+}
+
+TEST_F(WorkloadTest, EveryQueryHasANonEmptyGolden) {
+  WorkloadOptions options;
+  options.num_queries = 8;
+  for (const WorkloadQuery& wq : gen_.Generate(options)) {
+    EXPECT_FALSE(wq.golden.empty()) << wq.id;
+    EXPECT_EQ(wq.num_relevant, wq.golden.size());
+    EXPECT_GE(wq.query.size(), 1u);
+    EXPECT_LE(wq.query.size(), 4u);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadOptions options;
+  options.num_queries = 6;
+  std::vector<WorkloadQuery> a = gen_.Generate(options);
+  std::vector<WorkloadQuery> b = gen_.Generate(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query.keywords(), b[i].query.keywords());
+    EXPECT_EQ(a[i].golden, b[i].golden);
+  }
+}
+
+TEST_F(WorkloadTest, StylesShapeKeywordCounts) {
+  WorkloadOptions cw;
+  cw.style = QueryStyle::kCoffmanWeaver;
+  cw.num_queries = 15;
+  WorkloadOptions inex;
+  inex.style = QueryStyle::kInex;
+  inex.num_queries = 15;
+  inex.seed = 8;
+  double cw_avg = 0, inex_avg = 0;
+  for (const WorkloadQuery& wq : gen_.Generate(cw)) {
+    cw_avg += static_cast<double>(wq.query.size());
+  }
+  for (const WorkloadQuery& wq : gen_.Generate(inex)) {
+    inex_avg += static_cast<double>(wq.query.size());
+  }
+  cw_avg /= 15;
+  inex_avg /= 15;
+  EXPECT_GE(cw_avg, 1.0);
+  EXPECT_LE(cw_avg, 3.0);
+  // INEX requests 2-4 keywords; a few queries fall short when the
+  // sampled tuple has little text, so the average sits near 2.
+  EXPECT_GE(inex_avg, 1.5);
+}
+
+TEST_F(WorkloadTest, GoldenIsTheMinimumSizeAnswerSet) {
+  // For the planted pair, golden contains a 2-tuple answer, never larger.
+  auto q = KeywordQuery::Parse("denzel gangster");
+  ASSERT_TRUE(q.ok());
+  size_t num_relevant = 0;
+  GoldenStandard golden = gen_.ComputeGolden(*q, 3, &num_relevant);
+  EXPECT_FALSE(golden.empty());
+  EXPECT_EQ(num_relevant, golden.size());
+}
+
+TEST_F(WorkloadTest, UnanswerableQueryHasEmptyGolden) {
+  auto q = KeywordQuery::Parse("zzz111 yyy222");
+  ASSERT_TRUE(q.ok());
+  size_t num_relevant = 7;
+  GoldenStandard golden = gen_.ComputeGolden(*q, 3, &num_relevant);
+  EXPECT_TRUE(golden.empty());
+  EXPECT_EQ(num_relevant, 0u);
+}
+
+TEST_F(WorkloadTest, RandomQueriesHaveExactKeywordCount) {
+  for (size_t k : {1u, 3u, 7u}) {
+    std::vector<KeywordQuery> queries = gen_.RandomQueries(12, k, 99);
+    EXPECT_EQ(queries.size(), 12u);
+    for (const KeywordQuery& q : queries) EXPECT_EQ(q.size(), k);
+  }
+}
+
+TEST_F(WorkloadTest, RandomQueriesUseIndexedTerms) {
+  for (const KeywordQuery& q : gen_.RandomQueries(5, 2, 3)) {
+    for (const std::string& kw : q.keywords()) {
+      EXPECT_GE(index_.DocumentFrequency(kw), 1u) << kw;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace matcn

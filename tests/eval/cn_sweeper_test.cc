@@ -1,0 +1,123 @@
+// CnSweeper: the per-CN skyline iterator behind Skyline-Sweeping.
+
+#include "eval/cn_sweeper.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <set>
+
+#include "core/matcngen.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class CnSweeperTest : public ::testing::Test {
+ protected:
+  CnSweeperTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {}
+
+  void Prepare(const std::string& text) {
+    auto q = KeywordQuery::Parse(text);
+    ASSERT_TRUE(q.ok());
+    query_ = *q;
+    MatCnGen gen(&schema_graph_);
+    result_ = gen.Generate(query_, index_);
+    scorer_ = std::make_unique<Scorer>(&db_, &index_, &query_);
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  KeywordQuery query_;
+  GenerationResult result_;
+  std::unique_ptr<Scorer> scorer_;
+};
+
+TEST_F(CnSweeperTest, BoundsAreNonIncreasing) {
+  Prepare("denzel washington gangster");
+  for (const CandidateNetwork& cn : result_.cns) {
+    CnSweeper sweeper(&cn, &result_.tuple_sets, scorer_.get());
+    double prev = std::numeric_limits<double>::infinity();
+    while (!sweeper.Exhausted()) {
+      const double bound = sweeper.NextBound();
+      EXPECT_LE(bound, prev + 1e-12);
+      CnSweeper::Combination combo = sweeper.Pop();
+      EXPECT_DOUBLE_EQ(combo.score, bound);
+      prev = bound;
+    }
+  }
+}
+
+TEST_F(CnSweeperTest, EnumeratesEveryCombinationExactlyOnce) {
+  Prepare("denzel gangster");
+  for (const CandidateNetwork& cn : result_.cns) {
+    size_t expected = 1;
+    for (const CnNode& node : cn.nodes()) {
+      if (!node.is_free()) {
+        expected *= result_.tuple_sets[node.tuple_set_index].tuples.size();
+      }
+    }
+    CnSweeper sweeper(&cn, &result_.tuple_sets, scorer_.get());
+    std::set<std::string> seen;
+    size_t count = 0;
+    while (!sweeper.Exhausted()) {
+      CnSweeper::Combination combo = sweeper.Pop();
+      std::string key;
+      for (const auto& [node, id] : combo.fixed) {
+        key += std::to_string(node) + ":" + std::to_string(id.packed()) +
+               ";";
+      }
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate combination";
+      ++count;
+    }
+    EXPECT_EQ(count, expected);
+  }
+}
+
+TEST_F(CnSweeperTest, CombinationPinsEveryNonFreeNode) {
+  Prepare("denzel washington gangster");
+  for (const CandidateNetwork& cn : result_.cns) {
+    CnSweeper sweeper(&cn, &result_.tuple_sets, scorer_.get());
+    if (sweeper.Exhausted()) continue;
+    CnSweeper::Combination combo = sweeper.Pop();
+    size_t non_free = 0;
+    for (const CnNode& node : cn.nodes()) {
+      if (!node.is_free()) ++non_free;
+    }
+    EXPECT_EQ(combo.fixed.size(), non_free);
+    // Pinned tuples belong to their node's tuple-set.
+    for (const auto& [node, id] : combo.fixed) {
+      const TupleSet& ts =
+          result_.tuple_sets[cn.node(node).tuple_set_index];
+      EXPECT_NE(std::find(ts.tuples.begin(), ts.tuples.end(), id),
+                ts.tuples.end());
+    }
+  }
+}
+
+TEST_F(CnSweeperTest, FirstCombinationUsesTopTuples) {
+  Prepare("denzel washington gangster");
+  const CandidateNetwork& cn = result_.cns[0];
+  CnSweeper sweeper(&cn, &result_.tuple_sets, scorer_.get());
+  ASSERT_FALSE(sweeper.Exhausted());
+  CnSweeper::Combination best = sweeper.Pop();
+  // Its score is the CN's upper bound: max tuple score per node.
+  double expected = 0.0;
+  for (const CnNode& node : cn.nodes()) {
+    if (node.is_free()) continue;
+    expected +=
+        scorer_->MaxTupleScore(result_.tuple_sets[node.tuple_set_index]);
+  }
+  expected /= static_cast<double>(cn.size());
+  EXPECT_DOUBLE_EQ(best.score, expected);
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,131 @@
+// CN-level ranking (CNRank-style) and KwS-F-style budgeted evaluation.
+
+#include <gtest/gtest.h>
+
+#include "core/matcngen.h"
+#include "eval/budgeted_ranker.h"
+#include "eval/cn_ranker.h"
+#include "eval/naive_ranker.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {}
+
+  void Prepare(const std::string& text) {
+    auto q = KeywordQuery::Parse(text);
+    ASSERT_TRUE(q.ok());
+    query_ = *q;
+    MatCnGen gen(&schema_graph_);
+    result_ = gen.Generate(query_, index_);
+    context_.db = &db_;
+    context_.schema_graph = &schema_graph_;
+    context_.index = &index_;
+    context_.query = &query_;
+    context_.tuple_sets = &result_.tuple_sets;
+    context_.cns = &result_.cns;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  KeywordQuery query_;
+  GenerationResult result_;
+  EvalContext context_;
+};
+
+TEST_F(ExtensionsTest, CnScoresAreNonNegativeAndSizeDamped) {
+  Prepare("denzel washington gangster");
+  Scorer scorer(&db_, &index_, &query_);
+  for (const CandidateNetwork& cn : result_.cns) {
+    EXPECT_GE(CandidateNetworkScore(cn, result_.tuple_sets, scorer), 0.0);
+  }
+  // A CN extended with a free connector scores lower than its 2-node
+  // variant over the same tuple-sets (size damping).
+  CandidateNetwork two = result_.cns[0];
+  if (two.size() >= 2) {
+    const double base =
+        CandidateNetworkScore(two, result_.tuple_sets, scorer);
+    CandidateNetwork padded =
+        two.Extend(0, CnNode{db_.schema().RelationIdByName("CAST").value(),
+                             0, -1});
+    EXPECT_LT(CandidateNetworkScore(padded, result_.tuple_sets, scorer),
+              base);
+  }
+}
+
+TEST_F(ExtensionsTest, RankOrdersAllCnsDeterministically) {
+  Prepare("denzel washington gangster");
+  Scorer scorer(&db_, &index_, &query_);
+  std::vector<size_t> order =
+      RankCandidateNetworks(result_.cns, result_.tuple_sets, scorer);
+  ASSERT_EQ(order.size(), result_.cns.size());
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // Scores along the order are non-increasing.
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(CandidateNetworkScore(result_.cns[order[i - 1]],
+                                    result_.tuple_sets, scorer),
+              CandidateNetworkScore(result_.cns[order[i]],
+                                    result_.tuple_sets, scorer));
+  }
+}
+
+TEST_F(ExtensionsTest, UnboundedBudgetMatchesNaive) {
+  Prepare("denzel washington gangster");
+  NaiveRanker naive;
+  RankerOptions options;
+  options.top_k = 10;
+  std::vector<Jnt> reference = naive.TopK(context_, options);
+  BudgetedRanker budgeted(/*deadline_ms=*/0);
+  BudgetedResult result = budgeted.TopK(context_, options);
+  EXPECT_FALSE(result.deadline_hit);
+  EXPECT_TRUE(result.query_forms.empty());
+  EXPECT_EQ(result.evaluated_cns.size(), result_.cns.size());
+  ASSERT_EQ(result.answers.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.answers[i].score, reference[i].score);
+  }
+}
+
+TEST_F(ExtensionsTest, TinyBudgetEmitsQueryForms) {
+  Prepare("denzel washington gangster");
+  ASSERT_GT(result_.cns.size(), 1u);
+  // A negative-epsilon deadline: the first CN is always evaluated (the
+  // check happens before each CN), the rest become SQL query forms.
+  BudgetedRanker budgeted(/*deadline_ms=*/1e-9);
+  RankerOptions options;
+  BudgetedResult result = budgeted.TopK(context_, options);
+  EXPECT_TRUE(result.deadline_hit);
+  EXPECT_GE(result.evaluated_cns.size(), 1u);
+  EXPECT_EQ(result.evaluated_cns.size() + result.query_forms.size(),
+            result_.cns.size());
+  for (const std::string& sql : result.query_forms) {
+    EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  }
+}
+
+TEST_F(ExtensionsTest, BudgetedEvaluatesBestCnsFirst) {
+  Prepare("denzel washington gangster");
+  Scorer scorer(&db_, &index_, &query_);
+  std::vector<size_t> order =
+      RankCandidateNetworks(result_.cns, result_.tuple_sets, scorer);
+  BudgetedRanker budgeted(1e-9);
+  BudgetedResult result = budgeted.TopK(context_, {});
+  ASSERT_FALSE(result.evaluated_cns.empty());
+  // The evaluated prefix must follow the CNRank order.
+  for (size_t i = 0; i < result.evaluated_cns.size(); ++i) {
+    EXPECT_EQ(result.evaluated_cns[i], order[i]);
+  }
+}
+
+}  // namespace
+}  // namespace matcn

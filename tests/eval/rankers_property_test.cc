@@ -1,0 +1,84 @@
+// Property sweep: on sampled workloads over every synthetic dataset, all
+// optimized top-k evaluators must return score-identical rankings to the
+// exhaustive NaiveRanker.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/matcngen.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "eval/hybrid_ranker.h"
+#include "eval/naive_ranker.h"
+#include "eval/pipelined_ranker.h"
+#include "eval/skyline_ranker.h"
+#include "eval/sparse_ranker.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+struct Case {
+  const char* name;
+  Database (*make)(uint64_t, double);
+  uint64_t seed;
+};
+
+class RankerEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RankerEquivalence, OptimizedRankersMatchNaive) {
+  const Case& c = GetParam();
+  Database db = c.make(c.seed, 0.05);
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  WorkloadGenerator wgen(&db, &schema_graph, &index);
+
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 5;
+  workload_options.seed = 77;
+  const std::vector<WorkloadQuery> queries = wgen.Generate(workload_options);
+  ASSERT_FALSE(queries.empty());
+
+  MatCnGen gen(&schema_graph);
+  for (const WorkloadQuery& wq : queries) {
+    GenerationResult result = gen.Generate(wq.query, index);
+    EvalContext context{&db,       &schema_graph,      &index,
+                        &wq.query, &result.tuple_sets, &result.cns};
+    RankerOptions options;
+    options.top_k = 8;
+
+    NaiveRanker naive;
+    const std::vector<Jnt> reference = naive.TopK(context, options);
+
+    std::vector<std::unique_ptr<Ranker>> rankers;
+    rankers.push_back(std::make_unique<SparseRanker>());
+    rankers.push_back(std::make_unique<GlobalPipelinedRanker>());
+    rankers.push_back(std::make_unique<SkylineSweepRanker>());
+    rankers.push_back(std::make_unique<HybridRanker>());
+    for (const auto& ranker : rankers) {
+      const std::vector<Jnt> got = ranker->TopK(context, options);
+      ASSERT_EQ(got.size(), reference.size())
+          << c.name << "/" << wq.id << " " << ranker->name();
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].score, reference[i].score, 1e-9)
+            << c.name << "/" << wq.id << " " << ranker->name() << " rank "
+            << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, RankerEquivalence,
+    ::testing::Values(Case{"IMDb", MakeImdb, 42},
+                      Case{"Mondial", MakeMondial, 43},
+                      Case{"Wikipedia", MakeWikipedia, 44},
+                      Case{"DBLP", MakeDblp, 45},
+                      Case{"TPCH", MakeTpch, 46}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace matcn

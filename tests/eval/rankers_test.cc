@@ -1,0 +1,198 @@
+// CN evaluation algorithms: scoring and top-k equivalence properties.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/matcngen.h"
+#include "eval/hybrid_ranker.h"
+#include "eval/naive_ranker.h"
+#include "eval/pipelined_ranker.h"
+#include "eval/scorer.h"
+#include "eval/skyline_ranker.h"
+#include "eval/sparse_ranker.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class RankersTest : public ::testing::Test {
+ protected:
+  RankersTest()
+      : db_(testing::MakeMiniImdb()),
+        schema_graph_(SchemaGraph::Build(db_.schema())),
+        index_(TermIndex::Build(db_)) {}
+
+  /// Generates CNs with MatCNGen and builds the evaluation context.
+  void Prepare(const std::string& text) {
+    auto q = KeywordQuery::Parse(text);
+    ASSERT_TRUE(q.ok());
+    query_ = *q;
+    MatCnGen gen(&schema_graph_);
+    gen_result_ = gen.Generate(query_, index_);
+    context_.db = &db_;
+    context_.schema_graph = &schema_graph_;
+    context_.index = &index_;
+    context_.query = &query_;
+    context_.tuple_sets = &gen_result_.tuple_sets;
+    context_.cns = &gen_result_.cns;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  KeywordQuery query_;
+  GenerationResult gen_result_;
+  EvalContext context_;
+};
+
+TEST_F(RankersTest, ScorerRewardsKeywordTuples) {
+  Prepare("denzel washington gangster");
+  Scorer scorer(&db_, &index_, &query_);
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  // "Denzel Washington" (2 keywords) outscores "Denzel Smith" (1) and
+  // "Russell Crowe" (0).
+  EXPECT_GT(scorer.TupleScore(TupleId(per, 0)),
+            scorer.TupleScore(TupleId(per, 1)));
+  EXPECT_GT(scorer.TupleScore(TupleId(per, 1)), 0.0);
+  EXPECT_EQ(scorer.TupleScore(TupleId(per, 3)), 0.0);
+}
+
+TEST_F(RankersTest, ScorerNormalizesBySize) {
+  Prepare("denzel washington gangster");
+  Scorer scorer(&db_, &index_, &query_);
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  Jnt small;
+  small.tuples = {TupleId(per, 0)};
+  Jnt padded = small;
+  padded.tuples.push_back(TupleId(per, 3));  // zero-score tuple
+  EXPECT_GT(scorer.JntScore(small), scorer.JntScore(padded));
+}
+
+TEST_F(RankersTest, ScorerIdfPrefersRareKeywords) {
+  Prepare("denzel mary");  // denzel df=5, mary df=1
+  Scorer scorer(&db_, &index_, &query_);
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  // "Mary Washington" (rare keyword) vs "Denzel Smith" (frequent keyword).
+  EXPECT_GT(scorer.TupleScore(TupleId(per, 2)),
+            scorer.TupleScore(TupleId(per, 1)));
+}
+
+TEST_F(RankersTest, AllRankersAgreeWithNaive) {
+  for (const char* text :
+       {"gangster", "denzel washington", "denzel washington gangster",
+        "denzel gangster", "mary washington"}) {
+    Prepare(text);
+    NaiveRanker naive;
+    RankerOptions options;
+    options.top_k = 10;
+    std::vector<Jnt> reference = naive.TopK(context_, options);
+
+    std::vector<std::unique_ptr<Ranker>> rankers;
+    rankers.push_back(std::make_unique<SparseRanker>());
+    rankers.push_back(std::make_unique<GlobalPipelinedRanker>());
+    rankers.push_back(std::make_unique<SkylineSweepRanker>());
+    rankers.push_back(std::make_unique<HybridRanker>());
+    for (const auto& ranker : rankers) {
+      std::vector<Jnt> got = ranker->TopK(context_, options);
+      ASSERT_EQ(got.size(), reference.size())
+          << ranker->name() << " on \"" << text << "\"";
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Scores must match exactly; keys may differ only within ties.
+        EXPECT_DOUBLE_EQ(got[i].score, reference[i].score)
+            << ranker->name() << " rank " << i << " on \"" << text << "\"";
+      }
+    }
+  }
+}
+
+TEST_F(RankersTest, TopKTruncates) {
+  Prepare("gangster");
+  NaiveRanker naive;
+  RankerOptions all;
+  all.top_k = 1000;
+  const size_t total = naive.TopK(context_, all).size();
+  ASSERT_GT(total, 1u);
+  RankerOptions one;
+  one.top_k = 1;
+  EXPECT_EQ(naive.TopK(context_, one).size(), 1u);
+  SkylineSweepRanker skyline;
+  EXPECT_EQ(skyline.TopK(context_, one).size(), 1u);
+}
+
+TEST_F(RankersTest, ResultsSortedByScore) {
+  Prepare("denzel washington gangster");
+  for (Ranker* ranker :
+       std::initializer_list<Ranker*>{new NaiveRanker, new SparseRanker,
+                                      new SkylineSweepRanker}) {
+    std::unique_ptr<Ranker> owned(ranker);
+    std::vector<Jnt> results = owned->TopK(context_, {});
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_GE(results[i - 1].score, results[i].score) << owned->name();
+    }
+  }
+}
+
+TEST_F(RankersTest, BestAnswerIsTheIntendedEntityPair) {
+  Prepare("denzel washington gangster");
+  NaiveRanker naive;
+  std::vector<Jnt> results = naive.TopK(context_, {});
+  ASSERT_FALSE(results.empty());
+  // The best answer in this instance is "American Gangster" joined with
+  // the cast entry whose note holds "denzel washington" (the PER route is
+  // blocked: its only connector tuple contains query keywords and thus
+  // cannot serve as a free tuple-set member).
+  // The cast entry joins either "American Gangster" (MOV row 0) or
+  // "Gangster Boss" (CHAR row 0) — both gangster tuples score equally, so
+  // either pair may rank first.
+  const RelationId mov = *db_.schema().RelationIdByName("MOV");
+  const RelationId chr = *db_.schema().RelationIdByName("CHAR");
+  const RelationId cast = *db_.schema().RelationIdByName("CAST");
+  ASSERT_EQ(results[0].tuples.size(), 2u);
+  bool has_gangster_entity = false, has_cast = false;
+  for (const TupleId& id : results[0].tuples) {
+    if (id == TupleId(mov, 0) || id == TupleId(chr, 0)) {
+      has_gangster_entity = true;
+    }
+    if (id == TupleId(cast, 0)) has_cast = true;
+  }
+  EXPECT_TRUE(has_gangster_entity);
+  EXPECT_TRUE(has_cast);
+}
+
+TEST_F(RankersTest, HybridEstimateGrowsWithCandidates) {
+  Prepare("gangster");
+  const double small = HybridRanker::EstimateResults(context_);
+  Prepare("denzel washington gangster");
+  const double large = HybridRanker::EstimateResults(context_);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 0.0);
+}
+
+TEST_F(RankersTest, EmptyCnSetYieldsNoResults) {
+  Prepare("zzznothing");
+  for (Ranker* ranker : std::initializer_list<Ranker*>{
+           new NaiveRanker, new SparseRanker, new GlobalPipelinedRanker,
+           new SkylineSweepRanker, new HybridRanker}) {
+    std::unique_ptr<Ranker> owned(ranker);
+    EXPECT_TRUE(owned->TopK(context_, {}).empty()) << owned->name();
+  }
+}
+
+TEST_F(RankersTest, CnScoreBoundIsAnUpperBound) {
+  Prepare("denzel washington gangster");
+  Scorer scorer(&db_, &index_, &query_);
+  NaiveRanker naive;
+  RankerOptions options;
+  options.top_k = 1000;
+  std::vector<Jnt> all = naive.TopK(context_, options);
+  for (const Jnt& jnt : all) {
+    const double bound = CnScoreBound((*context_.cns)[jnt.cn_index],
+                                      *context_.tuple_sets, scorer);
+    EXPECT_LE(jnt.score, bound + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,88 @@
+// Size-normalization variants of the IR scorer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/scorer.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class ScoringOptionsTest : public ::testing::Test {
+ protected:
+  ScoringOptionsTest()
+      : db_(testing::MakeMiniImdb()), index_(TermIndex::Build(db_)) {
+    auto q = KeywordQuery::Parse("denzel washington gangster");
+    query_ = *q;
+    per_ = *db_.schema().RelationIdByName("PER");
+    mov_ = *db_.schema().RelationIdByName("MOV");
+  }
+
+  Scorer Make(SizeNormalization n) {
+    ScorerOptions options;
+    options.normalization = n;
+    return Scorer(&db_, &index_, &query_, options);
+  }
+
+  Jnt Pair() {
+    Jnt j;
+    j.tuples = {TupleId(per_, 0), TupleId(mov_, 0)};
+    return j;
+  }
+
+  Database db_;
+  TermIndex index_;
+  KeywordQuery query_;
+  RelationId per_ = 0, mov_ = 0;
+};
+
+TEST_F(ScoringOptionsTest, NormalizationOrdering) {
+  // For any multi-tuple JNT: none >= sqrt >= linear, strictly when the
+  // sum is positive and size > 1.
+  const Jnt pair = Pair();
+  const double linear = Make(SizeNormalization::kLinear).JntScore(pair);
+  const double soft = Make(SizeNormalization::kSqrt).JntScore(pair);
+  const double none = Make(SizeNormalization::kNone).JntScore(pair);
+  EXPECT_GT(none, soft);
+  EXPECT_GT(soft, linear);
+  EXPECT_GT(linear, 0.0);
+  EXPECT_DOUBLE_EQ(none, linear * 2.0);
+  EXPECT_NEAR(soft, linear * std::sqrt(2.0), 1e-12);
+}
+
+TEST_F(ScoringOptionsTest, SingleTupleUnaffected) {
+  Jnt single;
+  single.tuples = {TupleId(per_, 0)};
+  const double linear = Make(SizeNormalization::kLinear).JntScore(single);
+  const double soft = Make(SizeNormalization::kSqrt).JntScore(single);
+  const double none = Make(SizeNormalization::kNone).JntScore(single);
+  EXPECT_DOUBLE_EQ(linear, soft);
+  EXPECT_DOUBLE_EQ(linear, none);
+}
+
+TEST_F(ScoringOptionsTest, NoneFavorsBiggerTrees) {
+  // Under kNone, padding a JNT with a scoring tuple raises its score;
+  // under kLinear it can drop below the compact version — the pathology
+  // size normalization exists to prevent.
+  Jnt pair = Pair();
+  Jnt triple = pair;
+  triple.tuples.push_back(TupleId(per_, 1));  // "Denzel Smith", scores > 0
+  Scorer none = Make(SizeNormalization::kNone);
+  Scorer linear = Make(SizeNormalization::kLinear);
+  EXPECT_GT(none.JntScore(triple), none.JntScore(pair));
+  EXPECT_LT(linear.JntScore(triple), linear.JntScore(pair));
+}
+
+TEST_F(ScoringOptionsTest, TupleScoresIndependentOfNormalization) {
+  const double a =
+      Make(SizeNormalization::kLinear).TupleScore(TupleId(per_, 0));
+  const double b =
+      Make(SizeNormalization::kNone).TupleScore(TupleId(per_, 0));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace matcn

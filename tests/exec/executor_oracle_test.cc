@@ -1,0 +1,197 @@
+// Property test: the backtracking CN executor against a brute-force
+// oracle on randomized small databases. The oracle enumerates every
+// assignment of tuples to CN nodes directly from the cross product and
+// checks the join/containment/distinctness conditions — exponential but
+// exact on tiny instances.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/matcngen.h"
+#include "exec/executor.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+/// Builds a random 3-relation chain schema A -> B -> C (A references B,
+/// B references C) with small random data and two keyword families.
+Database RandomChainDb(Rng& rng) {
+  Database db;
+  auto must = [](const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); };
+  (void)must;
+  EXPECT_TRUE(db.CreateRelation(
+                    RelationSchema("C", {{"id", ValueType::kInt, true, false},
+                                         {"text", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateRelation(
+                    RelationSchema("B", {{"id", ValueType::kInt, true, false},
+                                         {"c_id", ValueType::kInt, false,
+                                          false},
+                                         {"text", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateRelation(
+                    RelationSchema("A", {{"id", ValueType::kInt, true, false},
+                                         {"b_id", ValueType::kInt, false,
+                                          false},
+                                         {"text", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey({"B", "c_id", "C", "id"}).ok());
+  EXPECT_TRUE(db.AddForeignKey({"A", "b_id", "B", "id"}).ok());
+
+  const std::vector<std::string> words = {"alpha", "beta",  "gamma",
+                                          "delta", "omega", "noise"};
+  auto text = [&]() {
+    std::string t;
+    const int n = static_cast<int>(rng.Uniform(0, 2));
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) t += " ";
+      t += words[rng.Index(words.size())];
+    }
+    return t;
+  };
+  const int64_t nc = 4, nb = 6, na = 8;
+  for (int64_t i = 1; i <= nc; ++i) {
+    EXPECT_TRUE(db.Insert("C", {Value(i), Value(text())}).ok());
+  }
+  for (int64_t i = 1; i <= nb; ++i) {
+    EXPECT_TRUE(db.Insert("B", {Value(i),
+                                Value(static_cast<int64_t>(
+                                    rng.Uniform(1, nc))),
+                                Value(text())})
+                    .ok());
+  }
+  for (int64_t i = 1; i <= na; ++i) {
+    EXPECT_TRUE(db.Insert("A", {Value(i),
+                                Value(static_cast<int64_t>(
+                                    rng.Uniform(1, nb))),
+                                Value(text())})
+                    .ok());
+  }
+  return db;
+}
+
+/// Oracle: enumerate all node-tuple assignments by cross product and keep
+/// the valid ones.
+std::set<std::string> OracleExecute(const Database& db,
+                                    const SchemaGraph& schema_graph,
+                                    const std::vector<TupleSet>& tuple_sets,
+                                    const CandidateNetwork& cn) {
+  // Candidates per node.
+  std::set<uint64_t> contaminated;
+  for (const TupleSet& ts : tuple_sets) {
+    for (const TupleId& id : ts.tuples) contaminated.insert(id.packed());
+  }
+  std::vector<std::vector<TupleId>> candidates(cn.size());
+  for (size_t i = 0; i < cn.size(); ++i) {
+    const CnNode& node = cn.node(static_cast<int>(i));
+    if (node.is_free()) {
+      const Relation& rel = db.relation(node.relation);
+      for (uint64_t row = 0; row < rel.num_tuples(); ++row) {
+        TupleId id(node.relation, row);
+        if (!contaminated.contains(id.packed())) candidates[i].push_back(id);
+      }
+    } else {
+      candidates[i] = tuple_sets[node.tuple_set_index].tuples;
+    }
+  }
+
+  std::set<std::string> results;
+  std::vector<size_t> pick(cn.size(), 0);
+  while (true) {
+    // Validate this assignment.
+    bool ok = true;
+    for (size_t i = 0; ok && i < cn.size(); ++i) {
+      for (size_t j = i + 1; ok && j < cn.size(); ++j) {
+        if (candidates[i].empty() || candidates[j].empty()) {
+          ok = false;
+          break;
+        }
+        if (candidates[i][pick[i]] == candidates[j][pick[j]]) ok = false;
+      }
+    }
+    for (size_t i = 1; ok && i < cn.size(); ++i) {
+      const int p = cn.parent(static_cast<int>(i));
+      const CnNode& child = cn.node(static_cast<int>(i));
+      const CnNode& parent = cn.node(p);
+      const SchemaEdge* edge =
+          schema_graph.Edge(child.relation, parent.relation);
+      if (edge == nullptr) {
+        ok = false;
+        break;
+      }
+      const TupleId holder_id = child.relation == edge->holder
+                                    ? candidates[i][pick[i]]
+                                    : candidates[p][pick[p]];
+      const TupleId ref_id = child.relation == edge->holder
+                                 ? candidates[p][pick[p]]
+                                 : candidates[i][pick[i]];
+      if (db.tuple(holder_id)[edge->holder_attribute] !=
+          db.tuple(ref_id)[edge->referenced_attribute]) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      Jnt jnt;
+      for (size_t i = 0; i < cn.size(); ++i) {
+        jnt.tuples.push_back(candidates[i][pick[i]]);
+      }
+      results.insert(JntKey(jnt));
+    }
+    // Advance the mixed-radix counter.
+    size_t pos = 0;
+    while (pos < pick.size()) {
+      if (candidates[pos].empty()) return results;
+      if (++pick[pos] < candidates[pos].size()) break;
+      pick[pos] = 0;
+      ++pos;
+    }
+    if (pos == pick.size()) break;
+  }
+  return results;
+}
+
+class ExecutorOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorOracle, MatchesBruteForceOnRandomDatabases) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Database db = RandomChainDb(rng);
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+
+  for (const char* text : {"alpha", "alpha beta", "gamma delta"}) {
+    auto query = KeywordQuery::Parse(text);
+    ASSERT_TRUE(query.ok());
+    MatCnGenOptions options;
+    options.t_max = 4;
+    MatCnGen gen(&schema_graph, options);
+    GenerationResult result = gen.Generate(*query, index);
+
+    CnExecutor executor(&db, &schema_graph);
+    executor.SetQueryContext(&result.tuple_sets);
+    for (size_t c = 0; c < result.cns.size(); ++c) {
+      std::set<std::string> got;
+      for (const Jnt& jnt :
+           executor.Execute(result.cns[c], static_cast<int>(c))) {
+        EXPECT_TRUE(got.insert(JntKey(jnt)).second)
+            << "executor produced a duplicate JNT";
+      }
+      const std::set<std::string> expected = OracleExecute(
+          db, schema_graph, result.tuple_sets, result.cns[c]);
+      EXPECT_EQ(got, expected)
+          << "query \"" << text << "\" CN "
+          << result.cns[c].ToString(db.schema(), *query);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorOracle, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace matcn

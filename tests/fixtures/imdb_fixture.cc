@@ -1,0 +1,89 @@
+#include "fixtures/imdb_fixture.h"
+
+#include <cassert>
+
+namespace matcn::testing {
+
+Database MakeMiniImdb() {
+  Database db;
+
+  auto check = [](const Status& s) { assert(s.ok()); (void)s; };
+  auto check_id = [](const Result<RelationId>& r) {
+    assert(r.ok());
+    (void)r;
+  };
+
+  // Relation ids follow creation order: CHAR=0, MOV=1, CAST=2, PER=3,
+  // ROLE=4 (matching Figure 3's drawing order).
+  check_id(db.CreateRelation(RelationSchema(
+      "CHAR", {{"id", ValueType::kInt, /*is_primary_key=*/true,
+                /*searchable=*/false},
+               {"name", ValueType::kText, false, true}})));
+  check_id(db.CreateRelation(RelationSchema(
+      "MOV", {{"id", ValueType::kInt, true, false},
+              {"title", ValueType::kText, false, true},
+              {"year", ValueType::kInt, false, false}})));
+  check_id(db.CreateRelation(RelationSchema(
+      "CAST", {{"id", ValueType::kInt, true, false},
+               {"mid", ValueType::kInt, false, false},
+               {"pid", ValueType::kInt, false, false},
+               {"chid", ValueType::kInt, false, false},
+               {"rid", ValueType::kInt, false, false},
+               {"note", ValueType::kText, false, true}})));
+  check_id(db.CreateRelation(RelationSchema(
+      "PER", {{"id", ValueType::kInt, true, false},
+              {"name", ValueType::kText, false, true}})));
+  check_id(db.CreateRelation(RelationSchema(
+      "ROLE", {{"id", ValueType::kInt, true, false},
+               {"name", ValueType::kText, false, true}})));
+
+  check(db.AddForeignKey({"CAST", "mid", "MOV", "id"}));
+  check(db.AddForeignKey({"CAST", "pid", "PER", "id"}));
+  check(db.AddForeignKey({"CAST", "chid", "CHAR", "id"}));
+  check(db.AddForeignKey({"CAST", "rid", "ROLE", "id"}));
+
+  // CHAR: gangster alone; denzel alone.
+  check(db.Insert("CHAR", {Value(int64_t{1}), Value("Gangster Boss")}));
+  check(db.Insert("CHAR", {Value(int64_t{2}), Value("Denzel Impersonator")}));
+  check(db.Insert("CHAR", {Value(int64_t{3}), Value("Detective Quinn")}));
+
+  // MOV: gangster alone.
+  check(db.Insert("MOV", {Value(int64_t{1}), Value("American Gangster"),
+                          Value(int64_t{2007})}));
+  check(db.Insert("MOV", {Value(int64_t{2}), Value("Flight Plan"),
+                          Value(int64_t{2012})}));
+  check(db.Insert("MOV", {Value(int64_t{3}), Value("Inside Job"),
+                          Value(int64_t{2006})}));
+
+  // PER: denzel+washington; denzel alone; washington alone.
+  check(db.Insert("PER", {Value(int64_t{1}), Value("Denzel Washington")}));
+  check(db.Insert("PER", {Value(int64_t{2}), Value("Denzel Smith")}));
+  check(db.Insert("PER", {Value(int64_t{3}), Value("Mary Washington")}));
+  check(db.Insert("PER", {Value(int64_t{4}), Value("Russell Crowe")}));
+
+  // ROLE: gangster alone.
+  check(db.Insert("ROLE", {Value(int64_t{1}), Value("gangster extra")}));
+  check(db.Insert("ROLE", {Value(int64_t{2}), Value("lead hero")}));
+
+  // CAST: denzel+washington; denzel+gangster; gangster alone; plain.
+  // Columns: id, mid, pid, chid, rid, note.
+  check(db.Insert("CAST",
+                  {Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{1}),
+                   Value(int64_t{1}), Value(int64_t{2}),
+                   Value("denzel washington lead credit")}));
+  check(db.Insert("CAST",
+                  {Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{2}),
+                   Value(int64_t{2}), Value(int64_t{2}),
+                   Value("denzel stunt double gangster sequence")}));
+  check(db.Insert("CAST",
+                  {Value(int64_t{3}), Value(int64_t{2}), Value(int64_t{3}),
+                   Value(int64_t{3}), Value(int64_t{1}),
+                   Value("gangster crowd extra")}));
+  check(db.Insert("CAST",
+                  {Value(int64_t{4}), Value(int64_t{3}), Value(int64_t{4}),
+                   Value(int64_t{3}), Value(int64_t{2}),
+                   Value("uncredited cameo in the finale")}));
+  return db;
+}
+
+}  // namespace matcn::testing

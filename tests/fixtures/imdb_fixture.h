@@ -1,0 +1,26 @@
+#ifndef MATCN_TESTS_FIXTURES_IMDB_FIXTURE_H_
+#define MATCN_TESTS_FIXTURES_IMDB_FIXTURE_H_
+
+#include "storage/database.h"
+
+namespace matcn::testing {
+
+/// Builds the miniature IMDb instance used throughout the unit tests. It
+/// reproduces the paper's running example (Examples 2-5) *exactly*: for
+/// Q = {denzel, washington, gangster} there are 10 non-empty non-free
+/// tuple-sets and 19 query matches; for Q' = {denzel, washington} there
+/// are 6 tuple-sets and 5 matches; and the match {MOV^{g}, PER^{d,w}}
+/// yields the CN MOV^{g} ⋈ CAST^{} ⋈ PER^{d,w}.
+///
+/// Schema (Figure 3): CHAR, MOV, CAST, PER, ROLE with CAST referencing
+/// MOV, PER, CHAR and ROLE (4 RICs).
+///
+/// Keyword placement (d = denzel, w = washington, g = gangster):
+///   R(d)  = {PER, CHAR}            R(w)   = {PER}
+///   R(g)  = {CHAR, MOV, CAST, ROLE}
+///   R(dw) = {PER, CAST}            R(dg)  = {CAST}
+Database MakeMiniImdb();
+
+}  // namespace matcn::testing
+
+#endif  // MATCN_TESTS_FIXTURES_IMDB_FIXTURE_H_

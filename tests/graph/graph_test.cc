@@ -1,0 +1,141 @@
+// Schema graph construction and AHU tree canonicalization.
+
+#include <gtest/gtest.h>
+
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "graph/tree_canonical.h"
+
+namespace matcn {
+namespace {
+
+class SchemaGraphTest : public ::testing::Test {
+ protected:
+  SchemaGraphTest()
+      : db_(testing::MakeMiniImdb()),
+        graph_(SchemaGraph::Build(db_.schema())) {}
+  RelationId Id(const std::string& name) {
+    return *db_.schema().RelationIdByName(name);
+  }
+  Database db_;
+  SchemaGraph graph_;
+};
+
+TEST_F(SchemaGraphTest, ImdbShape) {
+  EXPECT_EQ(graph_.num_relations(), 5u);
+  EXPECT_EQ(graph_.num_edges(), 4u);
+  EXPECT_EQ(graph_.num_collapsed_edges(), 0u);
+  // CAST is the hub adjacent to all four others.
+  EXPECT_EQ(graph_.Neighbors(Id("CAST")).size(), 4u);
+  EXPECT_EQ(graph_.Neighbors(Id("MOV")).size(), 1u);
+}
+
+TEST_F(SchemaGraphTest, EdgeDirectionFollowsForeignKey) {
+  // CAST holds the FKs, so CAST references the others, never vice versa.
+  EXPECT_TRUE(graph_.References(Id("CAST"), Id("MOV")));
+  EXPECT_FALSE(graph_.References(Id("MOV"), Id("CAST")));
+  EXPECT_TRUE(graph_.References(Id("CAST"), Id("PER")));
+}
+
+TEST_F(SchemaGraphTest, EdgeMetadataResolvesAttributes) {
+  const SchemaEdge* edge = graph_.Edge(Id("CAST"), Id("PER"));
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->holder, Id("CAST"));
+  EXPECT_EQ(db_.relation(edge->holder).schema()
+                .attribute(edge->holder_attribute).name,
+            "pid");
+  EXPECT_EQ(db_.relation(edge->referenced).schema()
+                .attribute(edge->referenced_attribute).name,
+            "id");
+}
+
+TEST_F(SchemaGraphTest, NoEdgeBetweenUnrelatedRelations) {
+  EXPECT_FALSE(graph_.HasEdge(Id("MOV"), Id("PER")));
+  EXPECT_EQ(graph_.Edge(Id("MOV"), Id("PER")), nullptr);
+}
+
+TEST(SchemaGraphCollapseTest, ParallelAndSelfEdgesCollapse) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "A", {{"id", ValueType::kInt, true, false},
+                                          {"b1", ValueType::kInt, false, false},
+                                          {"b2", ValueType::kInt, false, false},
+                                          {"self", ValueType::kInt, false,
+                                           false}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(
+                    RelationSchema("B", {{"id", ValueType::kInt, true, false}}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey({"A", "b1", "B", "id"}).ok());
+  ASSERT_TRUE(db.AddForeignKey({"A", "b2", "B", "id"}).ok());   // parallel
+  ASSERT_TRUE(db.AddForeignKey({"A", "self", "A", "id"}).ok()); // self-loop
+  SchemaGraph g = SchemaGraph::Build(db.schema());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_collapsed_edges(), 2u);
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+}
+
+TEST(TreeCentersTest, PathHasMiddleCenters) {
+  // 0-1-2-3: two centers (1, 2).
+  std::vector<std::vector<int>> path = {{1}, {0, 2}, {1, 3}, {2}};
+  EXPECT_EQ(TreeCenters(path), (std::vector<int>{1, 2}));
+  // 0-1-2: single center.
+  std::vector<std::vector<int>> odd = {{1}, {0, 2}, {1}};
+  EXPECT_EQ(TreeCenters(odd), (std::vector<int>{1}));
+}
+
+TEST(TreeCentersTest, SingleNodeAndEdge) {
+  EXPECT_EQ(TreeCenters({{}}), (std::vector<int>{0}));
+  EXPECT_EQ(TreeCenters({{1}, {0}}), (std::vector<int>{0, 1}));
+}
+
+TEST(TreeCanonicalTest, IsomorphicTreesShareEncoding) {
+  // Same labeled star written with different node numbering.
+  std::vector<std::vector<int>> star1 = {{1, 2, 3}, {0}, {0}, {0}};
+  std::vector<std::string> labels1 = {"hub", "a", "b", "c"};
+  std::vector<std::vector<int>> star2 = {{3}, {3}, {3}, {0, 1, 2}};
+  std::vector<std::string> labels2 = {"c", "b", "a", "hub"};
+  EXPECT_EQ(CanonicalTreeEncoding(star1, labels1),
+            CanonicalTreeEncoding(star2, labels2));
+}
+
+TEST(TreeCanonicalTest, DifferentLabelsDiffer) {
+  std::vector<std::vector<int>> edge = {{1}, {0}};
+  EXPECT_NE(CanonicalTreeEncoding(edge, {"a", "b"}),
+            CanonicalTreeEncoding(edge, {"a", "c"}));
+}
+
+TEST(TreeCanonicalTest, DifferentTopologiesDiffer) {
+  // Path a-b-c-d vs star b(a,c,d): same label multiset, different shape.
+  std::vector<std::vector<int>> path = {{1}, {0, 2}, {1, 3}, {2}};
+  std::vector<std::vector<int>> star = {{1, 2, 3}, {0}, {0}, {0}};
+  EXPECT_NE(CanonicalTreeEncoding(path, {"a", "b", "c", "d"}),
+            CanonicalTreeEncoding(star, {"b", "a", "c", "d"}));
+}
+
+TEST(TreeCanonicalTest, PathReversalIsIsomorphic) {
+  std::vector<std::vector<int>> p1 = {{1}, {0, 2}, {1, 3}, {2}};
+  std::vector<std::vector<int>> p2 = {{1}, {0, 2}, {1, 3}, {2}};
+  EXPECT_EQ(CanonicalTreeEncoding(p1, {"a", "b", "c", "d"}),
+            CanonicalTreeEncoding(p2, {"d", "c", "b", "a"}));
+}
+
+TEST(TreeCanonicalTest, EmptyAndSingleton) {
+  EXPECT_EQ(CanonicalTreeEncoding({}, {}), "");
+  EXPECT_EQ(CanonicalTreeEncoding({{}}, {"x"}), "x()");
+}
+
+TEST(TreeCanonicalTest, DeepPathDoesNotOverflowStack) {
+  // 20k-node path exercises the iterative encoder.
+  const int n = 20'000;
+  std::vector<std::vector<int>> adj(n);
+  std::vector<std::string> labels(n, "v");
+  for (int i = 0; i + 1 < n; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  EXPECT_FALSE(CanonicalTreeEncoding(adj, labels).empty());
+}
+
+}  // namespace
+}  // namespace matcn

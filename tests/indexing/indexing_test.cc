@@ -1,0 +1,163 @@
+// Tokenizer, stopwords, varbyte postings and the Term Index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/postings.h"
+#include "indexing/stopwords.h"
+#include "indexing/term_index.h"
+#include "indexing/tokenizer.h"
+
+namespace matcn {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(Tokenizer::Tokenize("Denzel Washington, 2007!"),
+            (std::vector<std::string>{"denzel", "washington", "2007"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenizer::Tokenize("").empty());
+  EXPECT_TRUE(Tokenizer::Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, UniqueTokensPreservesFirstOccurrenceOrder) {
+  EXPECT_EQ(Tokenizer::UniqueTokens("b a b c a"),
+            (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_FALSE(IsStopword("gangster"));
+  EXPECT_FALSE(IsStopword("washington"));
+}
+
+TEST(StopwordsTest, ListIsSortedForBinarySearch) {
+  EXPECT_GT(StopwordCount(), 20u);
+}
+
+TEST(VarbyteTest, RoundTripSmallAndLarge) {
+  std::vector<uint8_t> buf;
+  const std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                        (uint64_t{1} << 62) + 5};
+  for (uint64_t v : values) VarbyteEncode(v, &buf);
+  size_t pos = 0;
+  for (uint64_t v : values) EXPECT_EQ(VarbyteDecode(buf, &pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarbyteTest, SmallValuesUseOneByte) {
+  std::vector<uint8_t> buf;
+  VarbyteEncode(100, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(PostingListTest, RawRoundTrip) {
+  std::vector<TupleId> ids = {TupleId(0, 1), TupleId(0, 5), TupleId(2, 0)};
+  PostingList list = PostingList::Build(ids, /*compress=*/false);
+  EXPECT_EQ(list.Decode(), ids);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_FALSE(list.compressed());
+}
+
+TEST(PostingListTest, CompressedRoundTrip) {
+  std::vector<TupleId> ids;
+  for (uint64_t i = 0; i < 1000; i += 3) ids.emplace_back(1, i);
+  PostingList list = PostingList::Build(ids, /*compress=*/true);
+  EXPECT_TRUE(list.compressed());
+  EXPECT_EQ(list.Decode(), ids);
+}
+
+TEST(PostingListTest, CompressionSavesSpaceOnDenseLists) {
+  std::vector<TupleId> ids;
+  for (uint64_t i = 0; i < 10'000; ++i) ids.emplace_back(0, i);
+  PostingList raw = PostingList::Build(ids, false);
+  PostingList packed = PostingList::Build(ids, true);
+  EXPECT_LT(packed.MemoryBytes(), raw.MemoryBytes() / 4);
+}
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list = PostingList::Build({}, true);
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.Decode().empty());
+}
+
+class TermIndexTest : public ::testing::Test {
+ protected:
+  TermIndexTest() : db_(testing::MakeMiniImdb()) {}
+  Database db_;
+};
+
+TEST_F(TermIndexTest, FindsTermAcrossRelations) {
+  TermIndex index = TermIndex::Build(db_);
+  // "gangster" occurs in CHAR, MOV, CAST and ROLE.
+  std::vector<TupleId> tuples = index.TuplesFor("gangster");
+  std::set<RelationId> relations;
+  for (const TupleId& id : tuples) relations.insert(id.relation());
+  EXPECT_EQ(relations.size(), 4u);
+}
+
+TEST_F(TermIndexTest, AttributeOccurrencesCarryFrequencies) {
+  TermIndex index = TermIndex::Build(db_);
+  const std::vector<AttributeOccurrence>* occ = index.Lookup("denzel");
+  ASSERT_NE(occ, nullptr);
+  uint64_t total_freq = 0;
+  for (const AttributeOccurrence& o : *occ) total_freq += o.frequency;
+  // denzel: PER x2, CHAR x1, CAST x2 = 5 occurrences.
+  EXPECT_EQ(total_freq, 5u);
+}
+
+TEST_F(TermIndexTest, DocumentFrequencyCountsDistinctTuples) {
+  TermIndex index = TermIndex::Build(db_);
+  EXPECT_EQ(index.DocumentFrequency("denzel"), 5u);
+  EXPECT_EQ(index.DocumentFrequency("washington"), 3u);
+  EXPECT_EQ(index.DocumentFrequency("absent"), 0u);
+}
+
+TEST_F(TermIndexTest, PrimaryKeysAndIntsAreNotIndexed) {
+  TermIndex index = TermIndex::Build(db_);
+  // Movie years are int attributes; they must not be searchable.
+  EXPECT_EQ(index.Lookup("2007"), nullptr);
+}
+
+TEST_F(TermIndexTest, StopwordsSkippedByDefault) {
+  TermIndex index = TermIndex::Build(db_);
+  EXPECT_EQ(index.Lookup("the"), nullptr);
+
+  TermIndexOptions keep;
+  keep.skip_stopwords = false;
+  TermIndex full = TermIndex::Build(db_, keep);
+  EXPECT_NE(full.Lookup("the"), nullptr);  // CAST note "... in the finale"
+}
+
+TEST_F(TermIndexTest, CompressedIndexReturnsSameTuples) {
+  TermIndex raw = TermIndex::Build(db_);
+  TermIndexOptions opts;
+  opts.compress_postings = true;
+  TermIndex packed = TermIndex::Build(db_, opts);
+  for (const std::string& term : raw.AllTerms()) {
+    EXPECT_EQ(raw.TuplesFor(term), packed.TuplesFor(term)) << term;
+  }
+  EXPECT_EQ(raw.num_terms(), packed.num_terms());
+}
+
+TEST_F(TermIndexTest, TotalTuplesMatchesDatabase) {
+  TermIndex index = TermIndex::Build(db_);
+  EXPECT_EQ(index.total_tuples(), db_.TotalTuples());
+}
+
+TEST_F(TermIndexTest, AllTermsSortedAndComplete) {
+  TermIndex index = TermIndex::Build(db_);
+  std::vector<std::string> terms = index.AllTerms();
+  EXPECT_TRUE(std::is_sorted(terms.begin(), terms.end()));
+  EXPECT_EQ(terms.size(), index.num_terms());
+  EXPECT_TRUE(std::binary_search(terms.begin(), terms.end(), "gangster"));
+}
+
+}  // namespace
+}  // namespace matcn

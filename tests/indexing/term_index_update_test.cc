@@ -1,0 +1,103 @@
+// Incremental Term Index maintenance (the paper's future-work item).
+
+#include <gtest/gtest.h>
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+
+namespace matcn {
+namespace {
+
+class TermIndexUpdateTest : public ::testing::Test {
+ protected:
+  TermIndexUpdateTest() : db_(testing::MakeMiniImdb()) {}
+
+  /// Appends a tuple and returns its id.
+  TupleId Append(const std::string& relation, Tuple tuple) {
+    const RelationId r = *db_.schema().RelationIdByName(relation);
+    EXPECT_TRUE(db_.Insert(r, std::move(tuple)).ok());
+    return TupleId(r, db_.relation(r).num_tuples() - 1);
+  }
+
+  Database db_;
+};
+
+TEST_F(TermIndexUpdateTest, InsertEqualsRebuild) {
+  TermIndex incremental = TermIndex::Build(db_);
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("Viola Davis")});
+  incremental.ApplyInsert(db_, added);
+
+  TermIndex rebuilt = TermIndex::Build(db_);
+  ASSERT_EQ(incremental.num_terms(), rebuilt.num_terms());
+  for (const std::string& term : rebuilt.AllTerms()) {
+    EXPECT_EQ(incremental.TuplesFor(term), rebuilt.TuplesFor(term)) << term;
+    EXPECT_EQ(incremental.DocumentFrequency(term),
+              rebuilt.DocumentFrequency(term))
+        << term;
+  }
+  EXPECT_EQ(incremental.total_tuples(), rebuilt.total_tuples());
+}
+
+TEST_F(TermIndexUpdateTest, NewTermBecomesSearchable) {
+  TermIndex index = TermIndex::Build(db_);
+  EXPECT_EQ(index.DocumentFrequency("viola"), 0u);
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("Viola Davis")});
+  index.ApplyInsert(db_, added);
+  EXPECT_EQ(index.DocumentFrequency("viola"), 1u);
+  EXPECT_EQ(index.TuplesFor("viola"), std::vector<TupleId>{added});
+}
+
+TEST_F(TermIndexUpdateTest, ExistingTermGrows) {
+  TermIndex index = TermIndex::Build(db_);
+  const uint64_t before = index.DocumentFrequency("denzel");
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("Denzel Whitaker")});
+  index.ApplyInsert(db_, added);
+  EXPECT_EQ(index.DocumentFrequency("denzel"), before + 1);
+}
+
+TEST_F(TermIndexUpdateTest, RepeatedTokenBumpsDfOnceButFrequencyFully) {
+  TermIndex before = TermIndex::Build(db_);
+  const TupleId added = Append(
+      "MOV", {Value(int64_t{4}), Value("gangster gangster gangster"),
+              Value(int64_t{2020})});
+  TermIndex after = before;  // pre-insert snapshot, updated incrementally
+  after.ApplyInsert(db_, added);
+
+  // One new tuple: df grows by exactly 1...
+  EXPECT_EQ(after.DocumentFrequency("gangster"),
+            before.DocumentFrequency("gangster") + 1);
+  // ...while the occurrence frequency grows by all 3 occurrences.
+  auto total_freq = [](const TermIndex& index) {
+    uint64_t sum = 0;
+    for (const auto& o : *index.Lookup("gangster")) sum += o.frequency;
+    return sum;
+  };
+  EXPECT_EQ(total_freq(after), total_freq(before) + 3);
+}
+
+TEST_F(TermIndexUpdateTest, StopwordsRespectBuildOptions) {
+  TermIndex index = TermIndex::Build(db_);
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("the nameless one")});
+  index.ApplyInsert(db_, added);
+  EXPECT_EQ(index.DocumentFrequency("the"), 0u);
+  EXPECT_EQ(index.DocumentFrequency("nameless"), 1u);
+}
+
+TEST_F(TermIndexUpdateTest, CompressedIndexStaysCompressed) {
+  TermIndexOptions options;
+  options.compress_postings = true;
+  TermIndex index = TermIndex::Build(db_, options);
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("Denzel Whitaker")});
+  index.ApplyInsert(db_, added);
+  const auto* occ = index.Lookup("denzel");
+  ASSERT_NE(occ, nullptr);
+  for (const auto& o : *occ) EXPECT_TRUE(o.tuples.compressed());
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,88 @@
+// Cross-dataset integration properties: for every generated dataset and a
+// sampled workload, the full MatCNGen pipeline must uphold the paper's
+// structural guarantees against the exhaustive CNGen baseline.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/cngen.h"
+#include "core/matcngen.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+struct Case {
+  const char* name;
+  Database (*make)(uint64_t, double);
+  uint64_t seed;
+};
+
+class CrossDataset : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossDataset, PipelineInvariantsHoldOnSampledWorkload) {
+  const Case& c = GetParam();
+  Database db = c.make(c.seed, 0.05);
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  WorkloadGenerator wgen(&db, &schema_graph, &index);
+
+  WorkloadOptions options;
+  options.num_queries = 6;
+  options.seed = 99;
+  const std::vector<WorkloadQuery> queries = wgen.Generate(options);
+  ASSERT_FALSE(queries.empty());
+
+  MatCnGenOptions mat_options;
+  mat_options.t_max = 5;
+  MatCnGen gen(&schema_graph, mat_options);
+  for (const WorkloadQuery& wq : queries) {
+    GenerationResult mat = gen.Generate(wq.query, index);
+
+    // Invariant 1: at most one CN per match, all valid and distinct.
+    EXPECT_LE(mat.cns.size(), mat.matches.size());
+    std::set<std::string> canon;
+    for (const CandidateNetwork& cn : mat.cns) {
+      EXPECT_TRUE(cn.IsSound(schema_graph));
+      EXPECT_EQ(cn.CoveredTermset(), wq.query.FullTermset());
+      for (int leaf : cn.Leaves()) EXPECT_FALSE(cn.node(leaf).is_free());
+      EXPECT_TRUE(canon.insert(cn.CanonicalForm()).second);
+      EXPECT_LE(cn.size(), 5u);
+    }
+
+    // Invariant 2: MatCNGen's CN set is a subset of CNGen's (Figure 6's
+    // "compact set" claim), and never larger.
+    TupleSetGraph ts_graph(&schema_graph, &mat.tuple_sets);
+    CnGenOptions base_options;
+    base_options.t_max = 5;
+    CnGenResult base = CnGen(wq.query, ts_graph, base_options);
+    if (!base.failed) {
+      std::set<std::string> base_canon;
+      for (const CandidateNetwork& cn : base.cns) {
+        base_canon.insert(cn.CanonicalForm());
+      }
+      EXPECT_LE(mat.cns.size(), base.cns.size()) << wq.id;
+      for (const CandidateNetwork& cn : mat.cns) {
+        EXPECT_TRUE(base_canon.contains(cn.CanonicalForm()))
+            << c.name << "/" << wq.id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, CrossDataset,
+    ::testing::Values(Case{"IMDb", MakeImdb, 42},
+                      Case{"Mondial", MakeMondial, 43},
+                      Case{"Wikipedia", MakeWikipedia, 44},
+                      Case{"DBLP", MakeDblp, 45},
+                      Case{"TPCH", MakeTpch, 46}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace matcn

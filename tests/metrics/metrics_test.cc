@@ -1,0 +1,81 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace matcn {
+namespace {
+
+Jnt J(uint64_t row) {
+  Jnt j;
+  j.tuples = {TupleId(0, row)};
+  return j;
+}
+
+GoldenStandard Golden(std::initializer_list<uint64_t> rows) {
+  GoldenStandard g;
+  for (uint64_t row : rows) g.insert(JntKey(J(row)));
+  return g;
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  std::vector<Jnt> ranking = {J(1), J(2)};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, Golden({1, 2})), 1.0);
+}
+
+TEST(AveragePrecisionTest, SingleRelevantAtRankTwo) {
+  std::vector<Jnt> ranking = {J(9), J(1)};
+  // AP = P(2)*1/|R| = (1/2)/1.
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, Golden({1})), 0.5);
+}
+
+TEST(AveragePrecisionTest, MixedRanking) {
+  // Relevant at positions 1 and 3: AP = (1/1 + 2/3)/2.
+  std::vector<Jnt> ranking = {J(1), J(8), J(2)};
+  EXPECT_NEAR(AveragePrecision(ranking, Golden({1, 2})), (1.0 + 2.0 / 3) / 2,
+              1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingRelevantLowersScore) {
+  std::vector<Jnt> ranking = {J(1)};
+  // Only 1 of 2 relevant found: AP = (1/1)/2.
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, Golden({1, 2})), 0.5);
+}
+
+TEST(AveragePrecisionTest, CutoffIgnoresLateHits) {
+  std::vector<Jnt> ranking = {J(8), J(9), J(1)};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, Golden({1}), /*n=*/2), 0.0);
+}
+
+TEST(AveragePrecisionTest, EmptyGoldenIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({J(1)}, {}), 0.0);
+}
+
+TEST(AveragePrecisionTest, EmptyRankingIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, Golden({1})), 0.0);
+}
+
+TEST(ReciprocalRankTest, FirstSecondAndMissing) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({J(1), J(2)}, Golden({1})), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({J(2), J(1)}, Golden({1})), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({J(2), J(3)}, Golden({1})), 0.0);
+}
+
+TEST(PrecisionAtKTest, Basics) {
+  std::vector<Jnt> ranking = {J(1), J(9), J(2), J(8)};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, Golden({1, 2}), 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, Golden({1, 2}), 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, Golden({1, 2}), 0), 0.0);
+}
+
+TEST(PrecisionAtKTest, KBeyondRankingLength) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({J(1)}, Golden({1}), 10), 0.1);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,98 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/imdb_fixture.h"
+
+namespace matcn {
+namespace {
+
+class DiskTest : public ::testing::Test {
+ protected:
+  DiskTest() : db_(testing::MakeMiniImdb()) {
+    dir_ = ::testing::TempDir() + "/matcn_disk_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  Database db_;
+  std::string dir_;
+};
+
+TEST_F(DiskTest, SaveLoadRoundTripsSchema) {
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());
+  Result<Database> loaded = DiskStorage::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_relations(), db_.num_relations());
+  EXPECT_EQ(loaded->schema().foreign_keys().size(),
+            db_.schema().foreign_keys().size());
+  for (RelationId r = 0; r < db_.num_relations(); ++r) {
+    EXPECT_EQ(loaded->relation(r).schema().name(),
+              db_.relation(r).schema().name());
+    EXPECT_EQ(loaded->relation(r).schema().num_attributes(),
+              db_.relation(r).schema().num_attributes());
+  }
+}
+
+TEST_F(DiskTest, SaveLoadRoundTripsData) {
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());
+  Result<Database> loaded = DiskStorage::Load(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalTuples(), db_.TotalTuples());
+  for (RelationId r = 0; r < db_.num_relations(); ++r) {
+    ASSERT_EQ(loaded->relation(r).num_tuples(), db_.relation(r).num_tuples());
+    for (uint64_t row = 0; row < db_.relation(r).num_tuples(); ++row) {
+      EXPECT_EQ(loaded->relation(r).tuple(row), db_.relation(r).tuple(row));
+    }
+  }
+}
+
+TEST_F(DiskTest, ScanForKeywordFindsTokenMatches) {
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  Result<std::vector<uint64_t>> rows = DiskStorage::ScanForKeyword(
+      dir_, db_.relation(per).schema(), "washington");
+  ASSERT_TRUE(rows.ok());
+  // "Denzel Washington" and "Mary Washington".
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(DiskTest, ScanIsCaseInsensitive) {
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());
+  const RelationId mov = *db_.schema().RelationIdByName("MOV");
+  Result<std::vector<uint64_t>> rows = DiskStorage::ScanForKeyword(
+      dir_, db_.relation(mov).schema(), "GANGSTER");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(DiskTest, ScanMissingKeywordReturnsEmpty) {
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  Result<std::vector<uint64_t>> rows = DiskStorage::ScanForKeyword(
+      dir_, db_.relation(per).schema(), "zzzzz");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(DiskTest, LoadMissingDirectoryFails) {
+  Result<Database> loaded = DiskStorage::Load(dir_ + "_nonexistent");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(DiskTest, ScanMissingFileFails) {
+  const RelationSchema schema("GHOST", {});
+  Result<std::vector<uint64_t>> rows =
+      DiskStorage::ScanForKeyword(dir_, schema, "x");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(DiskTest, SaveIsIdempotent) {
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());
+  ASSERT_TRUE(DiskStorage::Save(db_, dir_).ok());  // overwrite in place
+  Result<Database> loaded = DiskStorage::Load(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalTuples(), db_.TotalTuples());
+}
+
+}  // namespace
+}  // namespace matcn

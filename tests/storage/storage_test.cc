@@ -1,0 +1,164 @@
+// Unit tests for values, tuple ids, schemas, relations and the Database.
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/tuple_id.h"
+#include "storage/value.h"
+
+namespace matcn {
+namespace {
+
+TEST(ValueTest, IntAndTextTypes) {
+  Value i(int64_t{7});
+  Value t("gangster");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(t.is_text());
+  EXPECT_EQ(i.AsInt(), 7);
+  EXPECT_EQ(t.AsText(), "gangster");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, EqualityDistinguishesTypes) {
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("same").Hash(), Value("same").Hash());
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(TupleIdTest, PackAndUnpack) {
+  TupleId id(17, 123456789);
+  EXPECT_EQ(id.relation(), 17u);
+  EXPECT_EQ(id.row(), 123456789u);
+}
+
+TEST(TupleIdTest, FromPackedRoundTrip) {
+  TupleId id(3, 99);
+  EXPECT_EQ(TupleId::FromPacked(id.packed()), id);
+}
+
+TEST(TupleIdTest, OrderingIsByRelationThenRow) {
+  EXPECT_LT(TupleId(0, 999), TupleId(1, 0));
+  EXPECT_LT(TupleId(1, 5), TupleId(1, 6));
+}
+
+TEST(TupleIdTest, LargeRowIndexes) {
+  const uint64_t big = (uint64_t{1} << 40) - 1;
+  TupleId id(5, big);
+  EXPECT_EQ(id.row(), big);
+  EXPECT_EQ(id.relation(), 5u);
+}
+
+TEST(RelationSchemaTest, AttributeIndexLookup) {
+  RelationSchema s("R", {{"id", ValueType::kInt, true, false},
+                         {"name", ValueType::kText, false, true}});
+  EXPECT_EQ(*s.AttributeIndex("name"), 1u);
+  EXPECT_FALSE(s.AttributeIndex("missing").has_value());
+}
+
+TEST(DatabaseSchemaTest, RejectsDuplicateRelation) {
+  DatabaseSchema s;
+  ASSERT_TRUE(s.AddRelation(RelationSchema("R", {})).ok());
+  EXPECT_EQ(s.AddRelation(RelationSchema("R", {})).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseSchemaTest, RejectsEmptyRelationName) {
+  DatabaseSchema s;
+  EXPECT_EQ(s.AddRelation(RelationSchema("", {})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseSchemaTest, ForeignKeyValidation) {
+  DatabaseSchema s;
+  ASSERT_TRUE(
+      s.AddRelation(RelationSchema("A", {{"id", ValueType::kInt, true, false},
+                                         {"b_id", ValueType::kInt, false,
+                                          false}}))
+          .ok());
+  ASSERT_TRUE(
+      s.AddRelation(RelationSchema("B", {{"id", ValueType::kInt, true, false},
+                                         {"label", ValueType::kText, false,
+                                          true}}))
+          .ok());
+  EXPECT_TRUE(s.AddForeignKey({"A", "b_id", "B", "id"}).ok());
+  EXPECT_EQ(s.AddForeignKey({"X", "b_id", "B", "id"}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddForeignKey({"A", "nope", "B", "id"}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddForeignKey({"A", "b_id", "B", "label"}).code(),
+            StatusCode::kInvalidArgument);  // int vs text
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateRelation(
+                       RelationSchema("R", {{"id", ValueType::kInt, true,
+                                             false},
+                                            {"name", ValueType::kText, false,
+                                             true}}))
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(DatabaseTest, InsertAndFetch) {
+  ASSERT_TRUE(db_.Insert("R", {Value(int64_t{1}), Value("abc")}).ok());
+  EXPECT_EQ(db_.relation(0).num_tuples(), 1u);
+  EXPECT_EQ(db_.tuple(TupleId(0, 0))[1].AsText(), "abc");
+}
+
+TEST_F(DatabaseTest, InsertArityMismatchFails) {
+  EXPECT_EQ(db_.Insert("R", {Value(int64_t{1})}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, InsertTypeMismatchFails) {
+  EXPECT_EQ(db_.Insert("R", {Value("oops"), Value("abc")}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, InsertIntoUnknownRelationFails) {
+  EXPECT_EQ(db_.Insert("missing", {}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, InsertOutOfRangeIdFails) {
+  EXPECT_EQ(db_.Insert(RelationId{9}, {}).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DatabaseTest, TotalTuplesAndSize) {
+  ASSERT_TRUE(db_.Insert("R", {Value(int64_t{1}), Value("abcd")}).ok());
+  ASSERT_TRUE(db_.Insert("R", {Value(int64_t{2}), Value("xy")}).ok());
+  EXPECT_EQ(db_.TotalTuples(), 2u);
+  EXPECT_EQ(db_.ApproximateSizeBytes(), 8u + 4u + 8u + 2u);
+}
+
+TEST_F(DatabaseTest, SchemaStableAfterManyCreates) {
+  // Relation objects own schema copies, so growing the catalog must not
+  // invalidate previously returned schema references.
+  const RelationSchema* first = &db_.relation(0).schema();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db_.CreateRelation(RelationSchema("R" + std::to_string(i), {})).ok());
+  }
+  EXPECT_EQ(first->name(), "R");
+  EXPECT_EQ(&db_.relation(0).schema(), first);
+}
+
+}  // namespace
+}  // namespace matcn
