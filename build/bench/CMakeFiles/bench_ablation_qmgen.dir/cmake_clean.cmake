@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qmgen.dir/bench_ablation_qmgen.cc.o"
+  "CMakeFiles/bench_ablation_qmgen.dir/bench_ablation_qmgen.cc.o.d"
+  "bench_ablation_qmgen"
+  "bench_ablation_qmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

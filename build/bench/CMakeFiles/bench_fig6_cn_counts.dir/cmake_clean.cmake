@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cn_counts.dir/bench_fig6_cn_counts.cc.o"
+  "CMakeFiles/bench_fig6_cn_counts.dir/bench_fig6_cn_counts.cc.o.d"
+  "bench_fig6_cn_counts"
+  "bench_fig6_cn_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cn_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_quality_cw.dir/bench_fig7_8_quality_cw.cc.o"
+  "CMakeFiles/bench_fig7_8_quality_cw.dir/bench_fig7_8_quality_cw.cc.o.d"
+  "bench_fig7_8_quality_cw"
+  "bench_fig7_8_quality_cw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_quality_cw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

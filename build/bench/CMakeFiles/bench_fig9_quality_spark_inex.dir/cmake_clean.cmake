@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_quality_spark_inex.dir/bench_fig9_quality_spark_inex.cc.o"
+  "CMakeFiles/bench_fig9_quality_spark_inex.dir/bench_fig9_quality_spark_inex.cc.o.d"
+  "bench_fig9_quality_spark_inex"
+  "bench_fig9_quality_spark_inex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_quality_spark_inex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

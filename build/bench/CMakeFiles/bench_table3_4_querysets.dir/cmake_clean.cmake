@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_4_querysets.dir/bench_table3_4_querysets.cc.o"
+  "CMakeFiles/bench_table3_4_querysets.dir/bench_table3_4_querysets.cc.o.d"
+  "bench_table3_4_querysets"
+  "bench_table3_4_querysets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_4_querysets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_matches.dir/bench_table5_matches.cc.o"
+  "CMakeFiles/bench_table5_matches.dir/bench_table5_matches.cc.o.d"
+  "bench_table5_matches"
+  "bench_table5_matches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_matches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

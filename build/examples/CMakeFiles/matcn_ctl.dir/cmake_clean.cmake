@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_ctl.dir/matcn_ctl.cpp.o"
+  "CMakeFiles/matcn_ctl.dir/matcn_ctl.cpp.o.d"
+  "matcn_ctl"
+  "matcn_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_shell.dir/matcn_shell.cpp.o"
+  "CMakeFiles/matcn_shell.dir/matcn_shell.cpp.o.d"
+  "matcn_shell"
+  "matcn_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_custom_query "/root/repo/build/examples/quickstart" "russell" "gladiator")
+set_tests_properties(example_quickstart_custom_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_movie_search "/root/repo/build/examples/movie_search" "denzel gangster" "3")
+set_tests_properties(example_movie_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sql_export "/root/repo/build/examples/sql_export" "lisbon economy" "2")
+set_tests_properties(example_sql_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scalability_demo "/root/repo/build/examples/scalability_demo" "4")
+set_tests_properties(example_scalability_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matcn_ctl "sh" "-c" "/root/repo/build/examples/matcn_ctl build imdb /root/repo/build/examples/ctl_smoke 0.05 && /root/repo/build/examples/matcn_ctl info /root/repo/build/examples/ctl_smoke && /root/repo/build/examples/matcn_ctl query /root/repo/build/examples/ctl_smoke denzel")
+set_tests_properties(example_matcn_ctl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matcn_shell "sh" "-c" "printf '.schema\\n.stats\\ndenzel gangster\\n.cns denzel\\n.sql gangster\\n.matches denzel\\n.topk 3\\n.quit\\n' | /root/repo/build/examples/matcn_shell imdb 0.05")
+set_tests_properties(example_matcn_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_baseline.dir/cngen.cc.o"
+  "CMakeFiles/matcn_baseline.dir/cngen.cc.o.d"
+  "libmatcn_baseline.a"
+  "libmatcn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_common.dir/rng.cc.o"
+  "CMakeFiles/matcn_common.dir/rng.cc.o.d"
+  "CMakeFiles/matcn_common.dir/status.cc.o"
+  "CMakeFiles/matcn_common.dir/status.cc.o.d"
+  "CMakeFiles/matcn_common.dir/strings.cc.o"
+  "CMakeFiles/matcn_common.dir/strings.cc.o.d"
+  "CMakeFiles/matcn_common.dir/table_printer.cc.o"
+  "CMakeFiles/matcn_common.dir/table_printer.cc.o.d"
+  "libmatcn_common.a"
+  "libmatcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

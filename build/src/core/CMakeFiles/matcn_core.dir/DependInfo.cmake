@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_network.cc" "src/core/CMakeFiles/matcn_core.dir/candidate_network.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/candidate_network.cc.o.d"
+  "/root/repo/src/core/cn_to_sql.cc" "src/core/CMakeFiles/matcn_core.dir/cn_to_sql.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/cn_to_sql.cc.o.d"
+  "/root/repo/src/core/keyword_query.cc" "src/core/CMakeFiles/matcn_core.dir/keyword_query.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/keyword_query.cc.o.d"
+  "/root/repo/src/core/matcngen.cc" "src/core/CMakeFiles/matcn_core.dir/matcngen.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/matcngen.cc.o.d"
+  "/root/repo/src/core/minimal_cover.cc" "src/core/CMakeFiles/matcn_core.dir/minimal_cover.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/minimal_cover.cc.o.d"
+  "/root/repo/src/core/qmgen.cc" "src/core/CMakeFiles/matcn_core.dir/qmgen.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/qmgen.cc.o.d"
+  "/root/repo/src/core/single_cn.cc" "src/core/CMakeFiles/matcn_core.dir/single_cn.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/single_cn.cc.o.d"
+  "/root/repo/src/core/tsfind.cc" "src/core/CMakeFiles/matcn_core.dir/tsfind.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/tsfind.cc.o.d"
+  "/root/repo/src/core/tuple_set.cc" "src/core/CMakeFiles/matcn_core.dir/tuple_set.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/tuple_set.cc.o.d"
+  "/root/repo/src/core/tuple_set_graph.cc" "src/core/CMakeFiles/matcn_core.dir/tuple_set_graph.cc.o" "gcc" "src/core/CMakeFiles/matcn_core.dir/tuple_set_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/matcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/matcn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/indexing/CMakeFiles/matcn_indexing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/matcn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

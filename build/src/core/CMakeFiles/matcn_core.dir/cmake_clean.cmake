@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_core.dir/candidate_network.cc.o"
+  "CMakeFiles/matcn_core.dir/candidate_network.cc.o.d"
+  "CMakeFiles/matcn_core.dir/cn_to_sql.cc.o"
+  "CMakeFiles/matcn_core.dir/cn_to_sql.cc.o.d"
+  "CMakeFiles/matcn_core.dir/keyword_query.cc.o"
+  "CMakeFiles/matcn_core.dir/keyword_query.cc.o.d"
+  "CMakeFiles/matcn_core.dir/matcngen.cc.o"
+  "CMakeFiles/matcn_core.dir/matcngen.cc.o.d"
+  "CMakeFiles/matcn_core.dir/minimal_cover.cc.o"
+  "CMakeFiles/matcn_core.dir/minimal_cover.cc.o.d"
+  "CMakeFiles/matcn_core.dir/qmgen.cc.o"
+  "CMakeFiles/matcn_core.dir/qmgen.cc.o.d"
+  "CMakeFiles/matcn_core.dir/single_cn.cc.o"
+  "CMakeFiles/matcn_core.dir/single_cn.cc.o.d"
+  "CMakeFiles/matcn_core.dir/tsfind.cc.o"
+  "CMakeFiles/matcn_core.dir/tsfind.cc.o.d"
+  "CMakeFiles/matcn_core.dir/tuple_set.cc.o"
+  "CMakeFiles/matcn_core.dir/tuple_set.cc.o.d"
+  "CMakeFiles/matcn_core.dir/tuple_set_graph.cc.o"
+  "CMakeFiles/matcn_core.dir/tuple_set_graph.cc.o.d"
+  "libmatcn_core.a"
+  "libmatcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_datagraph.dir/banks.cc.o"
+  "CMakeFiles/matcn_datagraph.dir/banks.cc.o.d"
+  "CMakeFiles/matcn_datagraph.dir/data_graph.cc.o"
+  "CMakeFiles/matcn_datagraph.dir/data_graph.cc.o.d"
+  "CMakeFiles/matcn_datagraph.dir/dpbf.cc.o"
+  "CMakeFiles/matcn_datagraph.dir/dpbf.cc.o.d"
+  "libmatcn_datagraph.a"
+  "libmatcn_datagraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_datagraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

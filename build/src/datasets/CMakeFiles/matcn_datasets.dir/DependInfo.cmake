@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/dblp_gen.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/dblp_gen.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/dblp_gen.cc.o.d"
+  "/root/repo/src/datasets/imdb_gen.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/imdb_gen.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/imdb_gen.cc.o.d"
+  "/root/repo/src/datasets/mondial_gen.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/mondial_gen.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/mondial_gen.cc.o.d"
+  "/root/repo/src/datasets/tpch_gen.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/tpch_gen.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/tpch_gen.cc.o.d"
+  "/root/repo/src/datasets/vocab.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/vocab.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/vocab.cc.o.d"
+  "/root/repo/src/datasets/wikipedia_gen.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/wikipedia_gen.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/wikipedia_gen.cc.o.d"
+  "/root/repo/src/datasets/workload.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/workload.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/workload.cc.o.d"
+  "/root/repo/src/datasets/workload_io.cc" "src/datasets/CMakeFiles/matcn_datasets.dir/workload_io.cc.o" "gcc" "src/datasets/CMakeFiles/matcn_datasets.dir/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/matcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/matcn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/matcn_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/matcn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/indexing/CMakeFiles/matcn_indexing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/matcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/matcn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

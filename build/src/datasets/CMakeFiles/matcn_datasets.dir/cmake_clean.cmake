@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_datasets.dir/dblp_gen.cc.o"
+  "CMakeFiles/matcn_datasets.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/imdb_gen.cc.o"
+  "CMakeFiles/matcn_datasets.dir/imdb_gen.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/mondial_gen.cc.o"
+  "CMakeFiles/matcn_datasets.dir/mondial_gen.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/tpch_gen.cc.o"
+  "CMakeFiles/matcn_datasets.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/vocab.cc.o"
+  "CMakeFiles/matcn_datasets.dir/vocab.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/wikipedia_gen.cc.o"
+  "CMakeFiles/matcn_datasets.dir/wikipedia_gen.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/workload.cc.o"
+  "CMakeFiles/matcn_datasets.dir/workload.cc.o.d"
+  "CMakeFiles/matcn_datasets.dir/workload_io.cc.o"
+  "CMakeFiles/matcn_datasets.dir/workload_io.cc.o.d"
+  "libmatcn_datasets.a"
+  "libmatcn_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

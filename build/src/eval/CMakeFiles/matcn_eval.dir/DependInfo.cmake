@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/budgeted_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/budgeted_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/budgeted_ranker.cc.o.d"
+  "/root/repo/src/eval/cn_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/cn_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/cn_ranker.cc.o.d"
+  "/root/repo/src/eval/cn_sweeper.cc" "src/eval/CMakeFiles/matcn_eval.dir/cn_sweeper.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/cn_sweeper.cc.o.d"
+  "/root/repo/src/eval/hybrid_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/hybrid_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/hybrid_ranker.cc.o.d"
+  "/root/repo/src/eval/naive_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/naive_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/naive_ranker.cc.o.d"
+  "/root/repo/src/eval/pipelined_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/pipelined_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/pipelined_ranker.cc.o.d"
+  "/root/repo/src/eval/ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/ranker.cc.o.d"
+  "/root/repo/src/eval/scorer.cc" "src/eval/CMakeFiles/matcn_eval.dir/scorer.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/scorer.cc.o.d"
+  "/root/repo/src/eval/skyline_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/skyline_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/skyline_ranker.cc.o.d"
+  "/root/repo/src/eval/sparse_ranker.cc" "src/eval/CMakeFiles/matcn_eval.dir/sparse_ranker.cc.o" "gcc" "src/eval/CMakeFiles/matcn_eval.dir/sparse_ranker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/matcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/matcn_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/indexing/CMakeFiles/matcn_indexing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/matcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/matcn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_eval.dir/budgeted_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/budgeted_ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/cn_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/cn_ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/cn_sweeper.cc.o"
+  "CMakeFiles/matcn_eval.dir/cn_sweeper.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/hybrid_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/hybrid_ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/naive_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/naive_ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/pipelined_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/pipelined_ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/scorer.cc.o"
+  "CMakeFiles/matcn_eval.dir/scorer.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/skyline_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/skyline_ranker.cc.o.d"
+  "CMakeFiles/matcn_eval.dir/sparse_ranker.cc.o"
+  "CMakeFiles/matcn_eval.dir/sparse_ranker.cc.o.d"
+  "libmatcn_eval.a"
+  "libmatcn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/matcn_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/matcn_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/jnt.cc" "src/exec/CMakeFiles/matcn_exec.dir/jnt.cc.o" "gcc" "src/exec/CMakeFiles/matcn_exec.dir/jnt.cc.o.d"
+  "/root/repo/src/exec/join_index.cc" "src/exec/CMakeFiles/matcn_exec.dir/join_index.cc.o" "gcc" "src/exec/CMakeFiles/matcn_exec.dir/join_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/matcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/indexing/CMakeFiles/matcn_indexing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/matcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/matcn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_exec.dir/executor.cc.o"
+  "CMakeFiles/matcn_exec.dir/executor.cc.o.d"
+  "CMakeFiles/matcn_exec.dir/jnt.cc.o"
+  "CMakeFiles/matcn_exec.dir/jnt.cc.o.d"
+  "CMakeFiles/matcn_exec.dir/join_index.cc.o"
+  "CMakeFiles/matcn_exec.dir/join_index.cc.o.d"
+  "libmatcn_exec.a"
+  "libmatcn_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

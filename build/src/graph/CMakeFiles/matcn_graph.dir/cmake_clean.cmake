@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_graph.dir/schema_graph.cc.o"
+  "CMakeFiles/matcn_graph.dir/schema_graph.cc.o.d"
+  "CMakeFiles/matcn_graph.dir/tree_canonical.cc.o"
+  "CMakeFiles/matcn_graph.dir/tree_canonical.cc.o.d"
+  "libmatcn_graph.a"
+  "libmatcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/indexing/postings.cc" "src/indexing/CMakeFiles/matcn_indexing.dir/postings.cc.o" "gcc" "src/indexing/CMakeFiles/matcn_indexing.dir/postings.cc.o.d"
+  "/root/repo/src/indexing/stopwords.cc" "src/indexing/CMakeFiles/matcn_indexing.dir/stopwords.cc.o" "gcc" "src/indexing/CMakeFiles/matcn_indexing.dir/stopwords.cc.o.d"
+  "/root/repo/src/indexing/term_index.cc" "src/indexing/CMakeFiles/matcn_indexing.dir/term_index.cc.o" "gcc" "src/indexing/CMakeFiles/matcn_indexing.dir/term_index.cc.o.d"
+  "/root/repo/src/indexing/tokenizer.cc" "src/indexing/CMakeFiles/matcn_indexing.dir/tokenizer.cc.o" "gcc" "src/indexing/CMakeFiles/matcn_indexing.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/matcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/matcn_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

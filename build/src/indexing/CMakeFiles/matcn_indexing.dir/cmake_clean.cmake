@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_indexing.dir/postings.cc.o"
+  "CMakeFiles/matcn_indexing.dir/postings.cc.o.d"
+  "CMakeFiles/matcn_indexing.dir/stopwords.cc.o"
+  "CMakeFiles/matcn_indexing.dir/stopwords.cc.o.d"
+  "CMakeFiles/matcn_indexing.dir/term_index.cc.o"
+  "CMakeFiles/matcn_indexing.dir/term_index.cc.o.d"
+  "CMakeFiles/matcn_indexing.dir/tokenizer.cc.o"
+  "CMakeFiles/matcn_indexing.dir/tokenizer.cc.o.d"
+  "libmatcn_indexing.a"
+  "libmatcn_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/matcn_metrics.dir/metrics.cc.o.d"
+  "libmatcn_metrics.a"
+  "libmatcn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_storage.dir/database.cc.o"
+  "CMakeFiles/matcn_storage.dir/database.cc.o.d"
+  "CMakeFiles/matcn_storage.dir/disk.cc.o"
+  "CMakeFiles/matcn_storage.dir/disk.cc.o.d"
+  "CMakeFiles/matcn_storage.dir/relation.cc.o"
+  "CMakeFiles/matcn_storage.dir/relation.cc.o.d"
+  "CMakeFiles/matcn_storage.dir/schema.cc.o"
+  "CMakeFiles/matcn_storage.dir/schema.cc.o.d"
+  "libmatcn_storage.a"
+  "libmatcn_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cngen_test.dir/baseline/cngen_test.cc.o"
+  "CMakeFiles/baseline_cngen_test.dir/baseline/cngen_test.cc.o.d"
+  "baseline_cngen_test"
+  "baseline_cngen_test.pdb"
+  "baseline_cngen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cngen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_candidate_network_test.dir/core/candidate_network_test.cc.o"
+  "CMakeFiles/core_candidate_network_test.dir/core/candidate_network_test.cc.o.d"
+  "core_candidate_network_test"
+  "core_candidate_network_test.pdb"
+  "core_candidate_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_candidate_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

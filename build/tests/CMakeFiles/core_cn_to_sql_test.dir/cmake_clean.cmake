@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cn_to_sql_test.dir/core/cn_to_sql_test.cc.o"
+  "CMakeFiles/core_cn_to_sql_test.dir/core/cn_to_sql_test.cc.o.d"
+  "core_cn_to_sql_test"
+  "core_cn_to_sql_test.pdb"
+  "core_cn_to_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cn_to_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_minimal_cover_test.dir/core/minimal_cover_test.cc.o"
+  "CMakeFiles/core_minimal_cover_test.dir/core/minimal_cover_test.cc.o.d"
+  "core_minimal_cover_test"
+  "core_minimal_cover_test.pdb"
+  "core_minimal_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_minimal_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

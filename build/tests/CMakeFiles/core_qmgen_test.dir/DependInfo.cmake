@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/qmgen_test.cc" "tests/CMakeFiles/core_qmgen_test.dir/core/qmgen_test.cc.o" "gcc" "tests/CMakeFiles/core_qmgen_test.dir/core/qmgen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/matcn_test_fixtures.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/matcn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagraph/CMakeFiles/matcn_datagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/matcn_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/matcn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/matcn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/matcn_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/matcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/indexing/CMakeFiles/matcn_indexing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/matcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/matcn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

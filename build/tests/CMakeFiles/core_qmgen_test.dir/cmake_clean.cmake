@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qmgen_test.dir/core/qmgen_test.cc.o"
+  "CMakeFiles/core_qmgen_test.dir/core/qmgen_test.cc.o.d"
+  "core_qmgen_test"
+  "core_qmgen_test.pdb"
+  "core_qmgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qmgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

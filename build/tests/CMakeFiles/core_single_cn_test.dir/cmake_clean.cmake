@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_single_cn_test.dir/core/single_cn_test.cc.o"
+  "CMakeFiles/core_single_cn_test.dir/core/single_cn_test.cc.o.d"
+  "core_single_cn_test"
+  "core_single_cn_test.pdb"
+  "core_single_cn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_single_cn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tsfind_test.dir/core/tsfind_test.cc.o"
+  "CMakeFiles/core_tsfind_test.dir/core/tsfind_test.cc.o.d"
+  "core_tsfind_test"
+  "core_tsfind_test.pdb"
+  "core_tsfind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tsfind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for core_tuple_set_graph_test.
+# This may be replaced when dependencies are built.

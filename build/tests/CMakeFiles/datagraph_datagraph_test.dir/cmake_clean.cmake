@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagraph_datagraph_test.dir/datagraph/datagraph_test.cc.o"
+  "CMakeFiles/datagraph_datagraph_test.dir/datagraph/datagraph_test.cc.o.d"
+  "datagraph_datagraph_test"
+  "datagraph_datagraph_test.pdb"
+  "datagraph_datagraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagraph_datagraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

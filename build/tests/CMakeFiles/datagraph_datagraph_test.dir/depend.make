@@ -1,0 +1,2 @@
+# Empty dependencies file for datagraph_datagraph_test.
+# This may be replaced when dependencies are built.

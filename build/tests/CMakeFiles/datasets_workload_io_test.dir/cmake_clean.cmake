@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_workload_io_test.dir/datasets/workload_io_test.cc.o"
+  "CMakeFiles/datasets_workload_io_test.dir/datasets/workload_io_test.cc.o.d"
+  "datasets_workload_io_test"
+  "datasets_workload_io_test.pdb"
+  "datasets_workload_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_workload_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cn_sweeper_test.dir/eval/cn_sweeper_test.cc.o"
+  "CMakeFiles/eval_cn_sweeper_test.dir/eval/cn_sweeper_test.cc.o.d"
+  "eval_cn_sweeper_test"
+  "eval_cn_sweeper_test.pdb"
+  "eval_cn_sweeper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cn_sweeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

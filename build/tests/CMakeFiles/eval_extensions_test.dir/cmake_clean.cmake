@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_extensions_test.dir/eval/extensions_test.cc.o"
+  "CMakeFiles/eval_extensions_test.dir/eval/extensions_test.cc.o.d"
+  "eval_extensions_test"
+  "eval_extensions_test.pdb"
+  "eval_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_rankers_test.dir/eval/rankers_test.cc.o"
+  "CMakeFiles/eval_rankers_test.dir/eval/rankers_test.cc.o.d"
+  "eval_rankers_test"
+  "eval_rankers_test.pdb"
+  "eval_rankers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_rankers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

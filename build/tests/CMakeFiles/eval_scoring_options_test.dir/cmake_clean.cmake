@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_scoring_options_test.dir/eval/scoring_options_test.cc.o"
+  "CMakeFiles/eval_scoring_options_test.dir/eval/scoring_options_test.cc.o.d"
+  "eval_scoring_options_test"
+  "eval_scoring_options_test.pdb"
+  "eval_scoring_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_scoring_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

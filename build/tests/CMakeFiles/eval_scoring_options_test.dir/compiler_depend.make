@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eval_scoring_options_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_executor_oracle_test.dir/exec/executor_oracle_test.cc.o"
+  "CMakeFiles/exec_executor_oracle_test.dir/exec/executor_oracle_test.cc.o.d"
+  "exec_executor_oracle_test"
+  "exec_executor_oracle_test.pdb"
+  "exec_executor_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_executor_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing_indexing_test.dir/indexing/indexing_test.cc.o"
+  "CMakeFiles/indexing_indexing_test.dir/indexing/indexing_test.cc.o.d"
+  "indexing_indexing_test"
+  "indexing_indexing_test.pdb"
+  "indexing_indexing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing_indexing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing_term_index_update_test.dir/indexing/term_index_update_test.cc.o"
+  "CMakeFiles/indexing_term_index_update_test.dir/indexing/term_index_update_test.cc.o.d"
+  "indexing_term_index_update_test"
+  "indexing_term_index_update_test.pdb"
+  "indexing_term_index_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing_term_index_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcn_test_fixtures.dir/fixtures/imdb_fixture.cc.o"
+  "CMakeFiles/matcn_test_fixtures.dir/fixtures/imdb_fixture.cc.o.d"
+  "libmatcn_test_fixtures.a"
+  "libmatcn_test_fixtures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcn_test_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmatcn_test_fixtures.a"
+)
