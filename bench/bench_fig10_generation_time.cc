@@ -6,6 +6,7 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "core/matcngen.h"
+#include "metrics/latency_histogram.h"
 #include <fstream>
 
 #include "storage/disk.h"
@@ -21,6 +22,9 @@ int main() {
   TablePrinter table({"Dataset", "Set", "CNGen TS", "CNGen CN",
                       "MCG-Disk TS", "MCG-Disk CN", "MCG-Mem TS",
                       "MCG-Mem CN"});
+  // Per-query latency distributions across every dataset/query set; the
+  // table reports means, these expose the tails.
+  LatencyHistogram cngen_hist, disk_hist, mem_hist;
   for (const auto& ds : bench::BuildBenchDatasets()) {
     if (ds->set_names.empty()) continue;
     const std::string dir = disk_root + "/" + ds->name;
@@ -69,24 +73,36 @@ int main() {
           while (in.read(reinterpret_cast<char*>(&packed), sizeof(packed))) {
           }
         }
-        cngen_ts += watch.ElapsedMillis();
+        const double q_cngen_ts = watch.ElapsedMillis();
+        cngen_ts += q_cngen_ts;
         watch.Reset();
         TupleSetGraph ts_graph(&ds->schema_graph, &sets);
         CnGenOptions base_options;
         base_options.t_max = t_max;
         CnGen(wq.query, ts_graph, base_options);
-        cngen_cn += watch.ElapsedMillis();
+        const double q_cngen_cn = watch.ElapsedMillis();
+        cngen_cn += q_cngen_cn;
+        cngen_hist.Record(
+            static_cast<int64_t>((q_cngen_ts + q_cngen_cn) * 1000.0));
 
         Result<GenerationResult> disk =
             gen.GenerateDisk(wq.query, dir, ds->db.schema());
         if (disk.ok()) {
           disk_ts += disk->stats.ts_millis;
           disk_cn += disk->stats.match_millis + disk->stats.cn_millis;
+          disk_hist.Record(static_cast<int64_t>(
+              (disk->stats.ts_millis + disk->stats.match_millis +
+               disk->stats.cn_millis) *
+              1000.0));
         }
 
         GenerationResult mem = gen.Generate(wq.query, ds->index);
         mem_ts += mem.stats.ts_millis;
         mem_cn += mem.stats.match_millis + mem.stats.cn_millis;
+        mem_hist.Record(static_cast<int64_t>(
+            (mem.stats.ts_millis + mem.stats.match_millis +
+             mem.stats.cn_millis) *
+            1000.0));
       }
       const double n = static_cast<double>(queries.size());
       table.AddRow({ds->name, ds->set_names[s],
@@ -99,6 +115,10 @@ int main() {
     }
   }
   table.Print(std::cout);
+  std::cout << "\nEnd-to-end per-query latency (TS + QM + CN, all rows):\n"
+            << "  CNGen    " << cngen_hist.Summary() << "\n"
+            << "  MCG-Disk " << disk_hist.Summary() << "\n"
+            << "  MCG-Mem  " << mem_hist.Summary() << "\n";
   std::cout
       << "\nPaper: both MatCNGen variants beat CNGen everywhere; "
          "MatCNGen-Mem's TS time is near zero\n(Term Index lookup); the CN "

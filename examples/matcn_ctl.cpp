@@ -1,19 +1,29 @@
 // Administration CLI: materialize a synthetic dataset to an on-disk
 // database directory, inspect it, and run disk-based keyword queries
 // against it — exercising the persistence layer and the disk-based
-// MatCNGen variant end-to-end.
+// MatCNGen variant end-to-end. Queries route through the serving layer
+// (QueryService, disk backend), so they honor deadlines and admission
+// control like any other entry point.
 //
 //   $ ./matcn_ctl build <dataset> <dir> [scale]   # write relation files
 //   $ ./matcn_ctl info <dir>                      # catalog statistics
 //   $ ./matcn_ctl query <dir> <keywords...>       # disk-based pipeline
+//
+// Query flags:
+//   --threads N      service worker threads        (default: cores)
+//   --tmax N         CN size bound T_max           (default 10)
+//   --cache-mb N     result-cache budget in MiB    (default 16)
+//   --deadline-ms N  per-query deadline; 0 = none  (default 0)
 
 #include <iostream>
 
+#include "common/flags.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "core/matcngen.h"
 #include "datasets/generators.h"
 #include "graph/schema_graph.h"
+#include "service/query_service.h"
 #include "storage/disk.h"
 
 using namespace matcn;
@@ -25,7 +35,8 @@ int Usage() {
                "  matcn_ctl build <imdb|mondial|wikipedia|dblp|tpch> <dir> "
                "[scale]\n"
                "  matcn_ctl info <dir>\n"
-               "  matcn_ctl query <dir> <keywords...>\n";
+               "  matcn_ctl query <dir> <keywords...> [--threads N] "
+               "[--tmax N] [--cache-mb N] [--deadline-ms N]\n";
   return 2;
 }
 
@@ -73,7 +84,8 @@ int Info(const std::string& dir) {
   return 0;
 }
 
-int Query(const std::string& dir, const std::string& text) {
+int Query(const std::string& dir, const std::string& text,
+          const QueryServiceOptions& service_options) {
   // Only the catalog is needed in memory; tuple-set finding streams the
   // relation files from disk (the paper's disk-based variant).
   Result<Database> db = DiskStorage::Load(dir);
@@ -87,19 +99,24 @@ int Query(const std::string& dir, const std::string& text) {
     return 1;
   }
   const SchemaGraph schema_graph = SchemaGraph::Build(db->schema());
-  MatCnGen generator(&schema_graph);
-  Result<GenerationResult> result =
-      generator.GenerateDisk(*query, dir, db->schema());
-  if (!result.ok()) {
-    std::cerr << "query failed: " << result.status().ToString() << "\n";
+  QueryService service(&schema_graph, dir, &db->schema(), service_options);
+  Result<QueryResponse> response = service.Query(*query);
+  if (!response.ok()) {
+    std::cerr << "query failed: " << response.status().ToString() << "\n";
     return 1;
   }
-  std::cout << result->tuple_sets.size() << " tuple-sets, "
-            << result->matches.size() << " matches, " << result->cns.size()
-            << " CNs (TS " << result->stats.ts_millis << " ms on disk, CN "
-            << result->stats.cn_millis << " ms):\n";
-  for (const CandidateNetwork& cn : result->cns) {
-    std::cout << "  " << cn.ToString(db->schema(), *query) << "\n";
+  const GenerationResult& result = *response->result;
+  std::cout << result.tuple_sets.size() << " tuple-sets, "
+            << result.matches.size() << " matches, " << result.cns.size()
+            << " CNs (TS " << result.stats.ts_millis << " ms on disk, CN "
+            << result.stats.cn_millis << " ms, service "
+            << response->latency_ms << " ms)";
+  if (response->degraded) {
+    std::cout << " [degraded: " << response->degraded_reason << "]";
+  }
+  std::cout << ":\n";
+  for (const CandidateNetwork& cn : result.cns) {
+    std::cout << "  " << cn.ToString(db->schema(), response->query) << "\n";
   }
   return 0;
 }
@@ -107,20 +124,35 @@ int Query(const std::string& dir, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
-  if (command == "build" && argc >= 4) {
-    return Build(ToLower(argv[2]), argv[3],
-                 argc > 4 ? std::atof(argv[4]) : 0.1);
+  FlagSet flags(argc, argv);
+  const std::vector<std::string>& args = flags.positional();
+  if (args.size() < 2) return Usage();
+  const std::string command = args[0];
+
+  QueryServiceOptions service_options;
+  service_options.num_threads =
+      static_cast<unsigned>(flags.GetInt("threads", 0));
+  service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 10));
+  service_options.cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 16)) << 20;
+  service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n";
+    return Usage();
   }
-  if (command == "info") return Info(argv[2]);
-  if (command == "query" && argc >= 4) {
+
+  if (command == "build" && args.size() >= 3) {
+    return Build(ToLower(args[1]), args[2],
+                 args.size() > 3 ? std::atof(args[3].c_str()) : 0.1);
+  }
+  if (command == "info") return Info(args[1]);
+  if (command == "query" && args.size() >= 3) {
     std::string text;
-    for (int i = 3; i < argc; ++i) {
-      if (i > 3) text += " ";
-      text += argv[i];
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (i > 2) text += " ";
+      text += args[i];
     }
-    return Query(argv[2], text);
+    return Query(args[1], text, service_options);
   }
   return Usage();
 }

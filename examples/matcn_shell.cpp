@@ -1,8 +1,17 @@
 // Interactive keyword-search shell over the synthetic datasets — the kind
 // of front-end an R-KwS deployment would expose. Reads commands from
 // stdin; designed to also work non-interactively (pipe a script in).
+// Queries are routed through the serving layer (QueryService), so
+// repeated queries hit the result cache and every query honors the
+// configured deadline.
 //
-//   $ ./matcn_shell [dataset] [scale]        (default: imdb 0.2)
+//   $ ./matcn_shell [dataset] [scale] [flags]     (default: imdb 0.2)
+//
+// Flags:
+//   --threads N      worker threads in the query service (default: cores)
+//   --tmax N         CN size bound T_max                 (default 10)
+//   --cache-mb N     result-cache budget in MiB; 0 off   (default 64)
+//   --deadline-ms N  per-query deadline; 0 = none        (default 0)
 //
 // Commands:
 //   <keywords...>        run a keyword query, print top answers
@@ -10,13 +19,14 @@
 //   .sql <keywords...>   print the CNs as SQL
 //   .matches <keywords>  show tuple-sets and query matches
 //   .schema              print relations and foreign keys
-//   .stats               dataset / index statistics
+//   .stats               dataset / index / service statistics
 //   .topk N              set the answer count (default 5)
 //   .quit
 
 #include <iostream>
 #include <sstream>
 
+#include "common/flags.h"
 #include "common/strings.h"
 #include "core/cn_to_sql.h"
 #include "core/matcngen.h"
@@ -24,6 +34,7 @@
 #include "eval/skyline_ranker.h"
 #include "graph/schema_graph.h"
 #include "indexing/term_index.h"
+#include "service/query_service.h"
 
 using namespace matcn;
 
@@ -49,32 +60,43 @@ struct Shell {
   Database db;
   SchemaGraph schema_graph;
   TermIndex index;
+  std::unique_ptr<QueryService> service;
   size_t top_k = 5;
 
-  Result<GenerationResult> Generate(const std::string& text,
-                                    KeywordQuery* query_out) {
+  Result<QueryResponse> Generate(const std::string& text) {
     Result<KeywordQuery> query = KeywordQuery::Parse(text);
     if (!query.ok()) return query.status();
-    *query_out = *query;
-    MatCnGen generator(&schema_graph);
-    return generator.Generate(*query, index);
+    return service->Query(*query);
+  }
+
+  /// Degraded or cached answers are called out so the user can tell a
+  /// complete result from a truncated one.
+  static void PrintResponseNote(const QueryResponse& response) {
+    if (response.degraded) {
+      std::cout << "note: degraded answer — " << response.degraded_reason
+                << "\n";
+    }
   }
 
   void RunQuery(const std::string& text) {
-    KeywordQuery query;
-    Result<GenerationResult> gen = Generate(text, &query);
+    Result<QueryResponse> gen = Generate(text);
     if (!gen.ok()) {
       std::cout << "error: " << gen.status().ToString() << "\n";
       return;
     }
-    EvalContext context{&db, &schema_graph, &index, &query,
-                        &gen->tuple_sets, &gen->cns};
+    PrintResponseNote(*gen);
+    // Evaluate against the service's normalized query — cached results
+    // are keyed to its keyword order.
+    EvalContext context{&db,          &schema_graph,
+                        &index,       &gen->query,
+                        &gen->result->tuple_sets, &gen->result->cns};
     RankerOptions options;
     options.top_k = top_k;
     SkylineSweepRanker ranker;
     std::vector<Jnt> answers = ranker.TopK(context, options);
-    std::cout << gen->cns.size() << " CNs, top " << answers.size()
-              << " answers:\n";
+    std::cout << gen->result->cns.size() << " CNs, top " << answers.size()
+              << " answers" << (gen->cache_hit ? " (cached CNs)" : "")
+              << ":\n";
     for (size_t i = 0; i < answers.size(); ++i) {
       std::cout << "  #" << (i + 1) << "  ";
       for (size_t t = 0; t < answers[i].tuples.size(); ++t) {
@@ -86,40 +108,42 @@ struct Shell {
   }
 
   void ShowCns(const std::string& text, bool as_sql) {
-    KeywordQuery query;
-    Result<GenerationResult> gen = Generate(text, &query);
+    Result<QueryResponse> gen = Generate(text);
     if (!gen.ok()) {
       std::cout << "error: " << gen.status().ToString() << "\n";
       return;
     }
-    for (const CandidateNetwork& cn : gen->cns) {
+    PrintResponseNote(*gen);
+    for (const CandidateNetwork& cn : gen->result->cns) {
       if (as_sql) {
-        std::cout << CandidateNetworkToSql(cn, db.schema(), query) << "\n\n";
+        std::cout << CandidateNetworkToSql(cn, db.schema(), gen->query)
+                  << "\n\n";
       } else {
-        std::cout << "  " << cn.ToString(db.schema(), query) << "\n";
+        std::cout << "  " << cn.ToString(db.schema(), gen->query) << "\n";
       }
     }
   }
 
   void ShowMatches(const std::string& text) {
-    KeywordQuery query;
-    Result<GenerationResult> gen = Generate(text, &query);
+    Result<QueryResponse> gen = Generate(text);
     if (!gen.ok()) {
       std::cout << "error: " << gen.status().ToString() << "\n";
       return;
     }
+    PrintResponseNote(*gen);
+    const GenerationResult& result = *gen->result;
     std::cout << "tuple-sets (R_Q):\n";
-    for (const TupleSet& ts : gen->tuple_sets) {
-      std::cout << "  " << TupleSetName(ts, db.schema(), query) << "  ("
+    for (const TupleSet& ts : result.tuple_sets) {
+      std::cout << "  " << TupleSetName(ts, db.schema(), gen->query) << "  ("
                 << ts.tuples.size() << " tuples)\n";
     }
     std::cout << "query matches (M_Q):\n";
-    for (const QueryMatch& match : gen->matches) {
+    for (const QueryMatch& match : result.matches) {
       std::cout << "  {";
       for (size_t i = 0; i < match.size(); ++i) {
         if (i > 0) std::cout << ", ";
-        std::cout << TupleSetName(gen->tuple_sets[match[i]], db.schema(),
-                                  query);
+        std::cout << TupleSetName(result.tuple_sets[match[i]], db.schema(),
+                                  gen->query);
       }
       std::cout << "}\n";
     }
@@ -147,17 +171,36 @@ struct Shell {
               << db.TotalTuples() << "\n  RICs: "
               << db.schema().foreign_keys().size() << "\n  indexed terms: "
               << index.num_terms() << "\n  posting bytes: "
-              << index.PostingMemoryBytes() << "\n";
+              << index.PostingMemoryBytes() << "\n  service: "
+              << service->Stats().ToString() << "\n";
   }
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? ToLower(argv[1]) : "imdb";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+  FlagSet flags(argc, argv);
+  const std::string name = flags.positional().empty()
+                               ? "imdb"
+                               : ToLower(flags.positional()[0]);
+  const double scale = flags.positional().size() > 1
+                           ? std::atof(flags.positional()[1].c_str())
+                           : 0.2;
 
-  Shell shell{Database{}, SchemaGraph{}, TermIndex{}};
+  QueryServiceOptions service_options;
+  service_options.num_threads =
+      static_cast<unsigned>(flags.GetInt("threads", 0));
+  service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 10));
+  service_options.cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
+  service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown
+              << " (have --threads --tmax --cache-mb --deadline-ms)\n";
+    return 2;
+  }
+
+  Shell shell;
   if (name == "imdb") {
     shell.db = MakeImdb(42, scale);
   } else if (name == "mondial") {
@@ -175,6 +218,9 @@ int main(int argc, char** argv) {
   }
   shell.schema_graph = SchemaGraph::Build(shell.db.schema());
   shell.index = TermIndex::Build(shell.db);
+  shell.service = std::make_unique<QueryService>(&shell.schema_graph,
+                                                 &shell.index,
+                                                 service_options);
 
   std::cout << "matcn shell — dataset " << name << " ("
             << shell.db.TotalTuples()

@@ -1,0 +1,83 @@
+#ifndef MATCN_COMMON_DEADLINE_H_
+#define MATCN_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace matcn {
+
+/// A point in time after which a query should stop doing work. Deadlines
+/// are cooperative: the generation pipeline checks `Expired()` at stage
+/// boundaries and inside its hot loops, abandoning remaining work instead
+/// of being interrupted. The default-constructed deadline is infinite.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `millis` from now; non-positive values are already expired.
+  static Deadline AfterMillis(int64_t millis) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(millis);
+    return d;
+  }
+
+  static Deadline At(Clock::time_point at) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = at;
+    return d;
+  }
+
+  bool IsInfinite() const { return !has_deadline_; }
+
+  bool Expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry; negative if already expired, INT64_MAX for
+  /// an infinite deadline.
+  int64_t RemainingMillis() const {
+    if (!has_deadline_) return std::numeric_limits<int64_t>::max();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(at_ -
+                                                                 Clock::now())
+        .count();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// Shared cancellation state for one in-flight query: an explicit cancel
+/// flag plus an optional deadline. The pipeline polls `Expired()`; callers
+/// (a serving layer, a signal handler) flip the flag with `Cancel()` from
+/// any thread.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool CancelRequested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once work should stop: cancelled explicitly or past deadline.
+  bool Expired() const { return CancelRequested() || deadline_.Expired(); }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Deadline deadline_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_DEADLINE_H_

@@ -1,0 +1,69 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace matcn {
+
+FlagSet::FlagSet(int argc, char** argv) {
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || arg.size() < 3 || arg.rfind("--", 0) != 0) {
+      if (arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      positional_.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    // "--name value" when a value follows; bare "--name" is boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[name] = argv[++i];
+    } else {
+      flags_[name] = "1";
+    }
+  }
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) != 0;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& name, int64_t default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value
+                            : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagSet::GetDouble(const std::string& name,
+                          double default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value
+                            : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::string> FlagSet::UnknownFlags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    if (queried_.find(name) == queried_.end()) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace matcn

@@ -1,0 +1,42 @@
+#ifndef MATCN_COMMON_FLAGS_H_
+#define MATCN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace matcn {
+
+/// Minimal command-line parser shared by the example binaries: flags are
+/// "--name value" or "--name=value"; everything else is a positional
+/// argument, in order. No registration — callers query by name with a
+/// default, and `UnknownFlags` reports names the caller never asked for.
+class FlagSet {
+ public:
+  /// Parses argv[1..argc). A "--" argument ends flag parsing; the rest is
+  /// positional.
+  FlagSet(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+
+  /// Flag names that were supplied but never queried by any Get/Has call.
+  /// Call last; lets mains reject typos with a usage message.
+  std::vector<std::string> UnknownFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_FLAGS_H_

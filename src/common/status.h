@@ -16,6 +16,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kResourceExhausted,
+  kDeadlineExceeded,
   kInternal,
   kIOError,
   kUnimplemented,
@@ -48,6 +49,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -32,16 +32,23 @@ Result<GenerationResult> MatCnGen::GenerateDisk(
 GenerationResult MatCnGen::GenerateFromTupleSets(
     const KeywordQuery& query, std::vector<TupleSet> tuple_sets,
     double ts_millis) const {
+  const CancelToken* cancel = options_.cancel;
   GenerationResult result;
   result.tuple_sets = std::move(tuple_sets);
   result.stats.ts_millis = ts_millis;
   result.stats.num_tuple_sets = result.tuple_sets.size();
 
+  // Stage boundary TSFind -> QMGen.
+  if (cancel != nullptr && cancel->Expired()) {
+    result.stats.interrupted = true;
+    return result;
+  }
+
   Stopwatch watch;
-  result.matches =
-      options_.naive_qmgen
-          ? GenerateMatchesNaive(query, result.tuple_sets)
-          : GenerateMatches(query, result.tuple_sets, options_.max_matches);
+  result.matches = options_.naive_qmgen
+                       ? GenerateMatchesNaive(query, result.tuple_sets)
+                       : GenerateMatches(query, result.tuple_sets,
+                                         options_.max_matches, cancel);
   if (options_.max_matches > 0 &&
       result.matches.size() >= options_.max_matches) {
     result.matches.resize(options_.max_matches);
@@ -50,10 +57,17 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
   result.stats.match_millis = watch.ElapsedMillis();
   result.stats.num_matches = result.matches.size();
 
+  // Stage boundary QMGen -> MatchCN.
+  if (cancel != nullptr && cancel->Expired()) {
+    result.stats.interrupted = true;
+    return result;
+  }
+
   watch.Reset();
   TupleSetGraph ts_graph(schema_graph_, &result.tuple_sets);
   SingleCnOptions cn_options;
   cn_options.t_max = options_.t_max;
+  cn_options.cancel = cancel;
 
   auto solve = [&](const QueryMatch& match) {
     std::vector<int> match_nodes;
@@ -73,6 +87,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     std::atomic<size_t> next{0};
     auto worker = [&]() {
       while (true) {
+        if (cancel != nullptr && cancel->Expired()) break;
         const size_t i = next.fetch_add(1);
         if (i >= result.matches.size()) break;
         slots[i] = solve(result.matches[i]);
@@ -89,9 +104,15 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     }
   } else {
     for (const QueryMatch& match : result.matches) {
+      if (cancel != nullptr && cancel->Expired()) break;
       std::optional<CandidateNetwork> cn = solve(match);
       if (cn.has_value()) result.cns.push_back(std::move(*cn));
     }
+  }
+  // Expired() is monotonic, so one check after the loops classifies every
+  // early exit above (including SingleCn runs it aborted internally).
+  if (cancel != nullptr && cancel->Expired()) {
+    result.stats.interrupted = true;
   }
   result.stats.cn_millis = watch.ElapsedMillis();
   result.stats.num_cns = result.cns.size();

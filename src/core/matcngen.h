@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/candidate_network.h"
 #include "core/keyword_query.h"
@@ -30,6 +31,12 @@ struct MatCnGenOptions {
   /// step parallelizes embarrassingly; results keep match order, so output
   /// is identical to the sequential run. 0 or 1 = sequential.
   unsigned num_threads = 1;
+  /// Cooperative cancellation (deadline and/or explicit cancel), checked
+  /// at stage boundaries and inside the per-match CN loop. When it fires
+  /// mid-run the pipeline stops early and marks `stats.interrupted`; the
+  /// partial result contains whatever was completed. Borrowed, may be
+  /// null; must outlive the Generate call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Timing and volume statistics for one generation run; the Figure 10
@@ -41,7 +48,8 @@ struct GenerationStats {
   size_t num_tuple_sets = 0;
   size_t num_matches = 0;
   size_t num_cns = 0;
-  bool truncated = false;  // max_matches kicked in
+  bool truncated = false;    // max_matches kicked in
+  bool interrupted = false;  // cancel/deadline fired mid-run; partial result
 };
 
 struct GenerationResult {

@@ -50,7 +50,7 @@ std::vector<QueryMatch> GenerateMatchesNaive(
 
 std::vector<QueryMatch> GenerateMatches(
     const KeywordQuery& query, const std::vector<TupleSet>& tuple_sets,
-    size_t max_matches) {
+    size_t max_matches, const CancelToken* cancel) {
   // Group tuple-set indexes by termset.
   std::map<Termset, std::vector<int>> by_termset;
   for (size_t i = 0; i < tuple_sets.size(); ++i) {
@@ -67,6 +67,7 @@ std::vector<QueryMatch> GenerateMatches(
 
   std::vector<QueryMatch> out;
   for (const std::vector<Termset>& cover : covers) {
+    if (cancel != nullptr && cancel->Expired()) break;
     // Cartesian product over the relation choices for each termset.
     std::vector<const std::vector<int>*> choices;
     choices.reserve(cover.size());
@@ -83,6 +84,11 @@ std::vector<QueryMatch> GenerateMatches(
       if (max_matches > 0 && out.size() >= max_matches) {
         std::sort(out.begin(), out.end());
         return out;
+      }
+      // The product of large termset groups can be huge; poll coarsely.
+      if (cancel != nullptr && (out.size() & 0x3FF) == 0 &&
+          cancel->Expired()) {
+        break;
       }
       // Advance the mixed-radix counter.
       size_t pos = 0;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/keyword_query.h"
 #include "core/tuple_set.h"
 
@@ -26,10 +27,13 @@ std::vector<QueryMatch> GenerateMatchesNaive(
 /// termset. Produces exactly the same match set as the naive algorithm
 /// (property-tested) while skipping the non-cover subsets entirely.
 /// `max_matches` (0 = unlimited) truncates the enumeration early, keeping
-/// adversarial many-keyword queries bounded in time and memory.
+/// adversarial many-keyword queries bounded in time and memory. `cancel`
+/// (borrowed, may be null) stops the expansion loop early when it fires,
+/// returning the matches accumulated so far.
 std::vector<QueryMatch> GenerateMatches(const KeywordQuery& query,
                                         const std::vector<TupleSet>& tuple_sets,
-                                        size_t max_matches = 0);
+                                        size_t max_matches = 0,
+                                        const CancelToken* cancel = nullptr);
 
 }  // namespace matcn
 

@@ -59,6 +59,12 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
   size_t expansions = 0;
   while (!queue.empty()) {
     if (++expansions > options.max_expansions) break;
+    // Poll the cancel token coarsely; a clock read per dequeue would cost
+    // more than the expansion itself on small match graphs.
+    if (options.cancel != nullptr && (expansions & 0xFF) == 0 &&
+        options.cancel->Expired()) {
+      return std::nullopt;
+    }
     PartialTree current = std::move(queue.front());
     queue.pop_front();
     if (current.tree.size() >= static_cast<size_t>(options.t_max)) continue;

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "common/deadline.h"
 #include "core/candidate_network.h"
 #include "core/tuple_set_graph.h"
 
@@ -14,6 +15,10 @@ struct SingleCnOptions {
   /// Safety valve on dequeued partial trees; SingleCN on a match graph
   /// terminates long before this in practice.
   size_t max_expansions = 1'000'000;
+  /// Cooperative cancellation, polled every few hundred expansions; the
+  /// search gives up (returns nullopt) once it fires. Borrowed, may be
+  /// null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// SingleCN (paper Algorithm 3): breadth-first search over the match graph

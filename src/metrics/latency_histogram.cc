@@ -1,0 +1,127 @@
+#include "metrics/latency_histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace matcn {
+
+int LatencyHistogram::BucketFor(int64_t micros) {
+  if (micros < 0) micros = 0;
+  const uint64_t v = static_cast<uint64_t>(micros);
+  if (v < kSub) return static_cast<int>(v);  // exact buckets for 0..15
+  // Values with top bit at position `top` (>= kSubBits) fall in group
+  // top - kSubBits + 1, sliced linearly by the next kSubBits bits.
+  const int top = 63 - std::countl_zero(v);
+  int group = top - kSubBits + 1;
+  if (group > kGroups) group = kGroups;  // clamp beyond ~2^29 us
+  const int shift = (group - 1) + (top >= kSubBits + kGroups
+                                       ? top - (kSubBits + kGroups - 1)
+                                       : 0);
+  const int sub = static_cast<int>((v >> shift) & (kSub - 1));
+  int index = group * kSub + sub;
+  if (index >= kNumBuckets) index = kNumBuckets - 1;
+  return index;
+}
+
+int64_t LatencyHistogram::BucketValue(int index) {
+  if (index < kSub) return index;
+  const int group = index / kSub;
+  const int sub = index % kSub;
+  // Upper edge of the sub-bucket: (16 + sub + 1) << (group - 1), minus one
+  // so the value lies inside the bucket.
+  return ((static_cast<int64_t>(kSub + sub + 1)) << (group - 1)) - 1;
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<uint64_t>(micros < 0 ? 0 : micros),
+                 std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (micros > prev &&
+         !max_.compare_exchange_weak(prev, micros,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::QuantileMicros(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested quantile, 1-based (nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketValue(i);
+  }
+  return MaxMicros();
+}
+
+double LatencyHistogram::MeanMicros() const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+int64_t LatencyHistogram::MaxMicros() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const int64_t other_max = other.MaxMicros();
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_.compare_exchange_weak(prev, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::FormatMicros(int64_t micros) {
+  char buf[32];
+  if (micros < 1000) {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(micros));
+  } else if (micros < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms",
+                  static_cast<double>(micros) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(micros) / 1e6);
+  }
+  return buf;
+}
+
+std::string LatencyHistogram::Summary() const {
+  std::string out = "n=" + std::to_string(Count());
+  out += " mean=" + FormatMicros(static_cast<int64_t>(MeanMicros()));
+  out += " p50=" + FormatMicros(QuantileMicros(0.50));
+  out += " p95=" + FormatMicros(QuantileMicros(0.95));
+  out += " p99=" + FormatMicros(QuantileMicros(0.99));
+  out += " max=" + FormatMicros(MaxMicros());
+  return out;
+}
+
+}  // namespace matcn

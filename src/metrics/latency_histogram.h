@@ -1,0 +1,68 @@
+#ifndef MATCN_METRICS_LATENCY_HISTOGRAM_H_
+#define MATCN_METRICS_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace matcn {
+
+/// Fixed-size concurrent latency histogram with a lock-free record path:
+/// `Record` is a single relaxed fetch_add on a bucket counter, so many
+/// threads can record while another thread reads percentiles (reads are
+/// approximate under concurrent writes, which is what a stats endpoint
+/// wants).
+///
+/// Buckets are log-scaled with 16 linear sub-buckets per power of two
+/// (HdrHistogram-style), giving <= 6.25% relative error over a range of
+/// 1 microsecond to ~18 minutes. Values outside the range clamp to the
+/// first/last bucket.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+
+  /// Records one sample. Thread-safe, lock-free, wait-free.
+  void Record(int64_t micros);
+
+  /// Number of recorded samples.
+  uint64_t Count() const;
+
+  /// Approximate q-quantile (q in [0,1]) of recorded values, in
+  /// microseconds; 0 when empty. Quantile(0.5) = p50.
+  int64_t QuantileMicros(double q) const;
+
+  double MeanMicros() const;
+  int64_t MaxMicros() const;
+
+  /// Adds every bucket of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  /// Zeroes all buckets (not thread-safe against concurrent Record).
+  void Reset();
+
+  /// "n=1234 mean=1.2ms p50=0.9ms p95=3.1ms p99=8.8ms max=12.0ms".
+  std::string Summary() const;
+
+  /// Renders a microsecond value as "123us" / "1.23ms" / "4.56s".
+  static std::string FormatMicros(int64_t micros);
+
+ private:
+  static constexpr int kSubBits = 4;                    // 16 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kGroups = 26;                    // 2^4 .. 2^29 us
+  static constexpr int kNumBuckets = kSub + kGroups * kSub;
+
+  static int BucketFor(int64_t micros);
+  /// Representative (upper-bound) value of bucket `index`.
+  static int64_t BucketValue(int index);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_METRICS_LATENCY_HISTOGRAM_H_

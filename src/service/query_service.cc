@@ -1,0 +1,241 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "indexing/stopwords.h"
+
+namespace matcn {
+
+namespace {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 4;
+}
+
+double MillisSince(Deadline::Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Deadline::Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(const SchemaGraph* schema_graph,
+                           const TermIndex* index,
+                           QueryServiceOptions options)
+    : schema_graph_(schema_graph), index_(index),
+      options_(std::move(options)) {
+  cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
+                                         options_.cache_shards);
+  pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
+                                       options_.max_queue);
+}
+
+QueryService::QueryService(const SchemaGraph* schema_graph, std::string dir,
+                           const DatabaseSchema* disk_schema,
+                           QueryServiceOptions options)
+    : schema_graph_(schema_graph), disk_dir_(std::move(dir)),
+      disk_schema_(disk_schema), options_(std::move(options)) {
+  // The disk pipeline scans relation files, which do contain stopwords;
+  // dropping them would change answers, so normalization keeps them.
+  options_.drop_stopwords = false;
+  cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
+                                         options_.cache_shards);
+  pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
+                                       options_.max_queue);
+}
+
+QueryService::~QueryService() = default;
+
+KeywordQuery QueryService::Normalize(const KeywordQuery& query) const {
+  std::vector<std::string> keywords;
+  keywords.reserve(query.size());
+  if (options_.drop_stopwords) {
+    for (const std::string& kw : query.keywords()) {
+      if (!IsStopword(kw)) keywords.push_back(kw);
+    }
+  }
+  // All-stopword queries keep their keywords: returning "no keywords"
+  // would turn a well-formed (if unanswerable) query into a parse error.
+  if (keywords.empty()) keywords = query.keywords();
+  std::sort(keywords.begin(), keywords.end());
+  Result<KeywordQuery> normalized = KeywordQuery::FromKeywords(keywords);
+  // FromKeywords only fails on empty/oversized input; both are impossible
+  // here because `query` was already a valid KeywordQuery.
+  return normalized.ok() ? *normalized : query;
+}
+
+std::string QueryService::CacheKey(const KeywordQuery& normalized_query,
+                                   const MatCnGenOptions& gen) {
+  std::string key;
+  for (const std::string& kw : normalized_query.keywords()) {
+    key += kw;
+    key += '\x1f';
+  }
+  key += "|t=" + std::to_string(gen.t_max);
+  key += ";m=" + std::to_string(gen.max_matches);
+  key += ";q=";
+  key += gen.naive_qmgen ? '1' : '0';
+  return key;
+}
+
+size_t QueryService::ApproximateResultBytes(const GenerationResult& result) {
+  size_t bytes = sizeof(GenerationResult);
+  for (const TupleSet& ts : result.tuple_sets) {
+    bytes += sizeof(TupleSet) + ts.tuples.size() * sizeof(TupleId);
+  }
+  for (const QueryMatch& match : result.matches) {
+    bytes += sizeof(QueryMatch) + match.size() * sizeof(int);
+  }
+  for (const CandidateNetwork& cn : result.cns) {
+    // nodes_ + parents_ per node, plus the object headers.
+    bytes += 64 + cn.size() * (sizeof(CnNode) + sizeof(int));
+  }
+  return bytes;
+}
+
+std::future<Result<QueryResponse>> QueryService::Submit(
+    const KeywordQuery& query) {
+  return Submit(query, options_.default_deadline_ms > 0
+                           ? Deadline::AfterMillis(options_.default_deadline_ms)
+                           : Deadline::Infinite());
+}
+
+std::future<Result<QueryResponse>> QueryService::Submit(
+    const KeywordQuery& query, Deadline deadline) {
+  const Deadline::Clock::time_point submitted_at = Deadline::Clock::now();
+  stats_.RecordSubmitted();
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+
+  // 1. Admission-time deadline check: an already-expired deadline never
+  //    reaches the pipeline (or even the cache).
+  if (deadline.Expired()) {
+    stats_.RecordTimedOut();
+    promise->set_value(
+        Status::DeadlineExceeded("deadline expired before execution"));
+    return future;
+  }
+
+  KeywordQuery normalized = Normalize(query);
+  std::string key = CacheKey(normalized, options_.gen);
+
+  // 2. Cache lookup on the caller thread: hits cost no worker and no
+  //    queue slot.
+  if (options_.cache_bytes > 0) {
+    if (std::shared_ptr<const GenerationResult> hit = cache_->Get(key)) {
+      QueryResponse response;
+      response.query = std::move(normalized);
+      response.result = std::move(hit);
+      response.cache_hit = true;
+      response.latency_ms = MillisSince(submitted_at);
+      stats_.RecordCompleted();
+      stats_.RecordLatencyMicros(
+          static_cast<int64_t>(response.latency_ms * 1000.0));
+      promise->set_value(std::move(response));
+      return future;
+    }
+  }
+
+  // 3. Admission control: bounded queue, reject instead of backlog.
+  const bool admitted = pool_->TrySubmit(
+      [this, normalized = std::move(normalized), key = std::move(key),
+       deadline, submitted_at, promise]() mutable {
+        Execute(std::move(normalized), std::move(key), deadline, submitted_at,
+                std::move(promise));
+      });
+  if (!admitted) {
+    stats_.RecordRejected();
+    promise->set_value(Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.max_queue) +
+        " waiting); retry later"));
+  }
+  return future;
+}
+
+void QueryService::Execute(
+    KeywordQuery normalized, std::string cache_key, Deadline deadline,
+    Deadline::Clock::time_point submitted_at,
+    std::shared_ptr<std::promise<Result<QueryResponse>>> promise) {
+  if (options_.pre_execute_hook) options_.pre_execute_hook();
+
+  // The query may have waited in the queue past its deadline.
+  if (deadline.Expired()) {
+    stats_.RecordTimedOut();
+    promise->set_value(
+        Status::DeadlineExceeded("deadline expired while queued"));
+    return;
+  }
+
+  CancelToken token(deadline);
+  MatCnGenOptions gen = options_.gen;
+  gen.cancel = &token;
+  MatCnGen generator(schema_graph_, gen);
+
+  GenerationResult result;
+  if (index_ != nullptr) {
+    result = generator.Generate(normalized, *index_);
+  } else {
+    Result<GenerationResult> disk =
+        generator.GenerateDisk(normalized, disk_dir_, *disk_schema_);
+    if (!disk.ok()) {
+      stats_.RecordFailed();
+      promise->set_value(disk.status());
+      return;
+    }
+    result = std::move(disk).value();
+  }
+
+  QueryResponse response;
+  response.query = std::move(normalized);
+  if (result.stats.interrupted) {
+    response.degraded = true;
+    response.degraded_reason = "deadline expired mid-generation; result is partial";
+  } else if (result.stats.truncated) {
+    response.degraded = true;
+    response.degraded_reason = "match enumeration truncated at max_matches=" +
+                               std::to_string(options_.gen.max_matches);
+  }
+  auto shared = std::make_shared<const GenerationResult>(std::move(result));
+  response.result = shared;
+  // Only complete answers are cached: a degraded result served from cache
+  // would pin the degradation past the deadline that caused it.
+  if (!response.degraded && options_.cache_bytes > 0) {
+    cache_->Put(cache_key, shared, ApproximateResultBytes(*shared));
+  }
+  response.latency_ms = MillisSince(submitted_at);
+  stats_.RecordCompleted();
+  if (response.degraded) stats_.RecordDegraded();
+  stats_.RecordLatencyMicros(
+      static_cast<int64_t>(response.latency_ms * 1000.0));
+  promise->set_value(std::move(response));
+}
+
+Result<QueryResponse> QueryService::Query(const KeywordQuery& query) {
+  return Submit(query).get();
+}
+
+Result<QueryResponse> QueryService::Query(const KeywordQuery& query,
+                                          Deadline deadline) {
+  return Submit(query, deadline).get();
+}
+
+ServiceStatsSnapshot QueryService::Stats() const {
+  ServiceStatsSnapshot s = stats_.Snapshot();
+  const CacheCounters cache = cache_->Counters();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_entries = cache.entries;
+  s.cache_bytes = cache.cost_bytes;
+  s.cache_evictions = cache.evictions;
+  s.queue_depth = pool_->QueueDepth();
+  s.num_threads = pool_->num_threads();
+  return s;
+}
+
+}  // namespace matcn

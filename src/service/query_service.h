@@ -1,0 +1,154 @@
+#ifndef MATCN_SERVICE_QUERY_SERVICE_H_
+#define MATCN_SERVICE_QUERY_SERVICE_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/matcngen.h"
+#include "service/service_stats.h"
+#include "service/sharded_lru_cache.h"
+#include "service/thread_pool.h"
+
+namespace matcn {
+
+struct QueryServiceOptions {
+  /// Worker threads executing generation pipelines; 0 = one per hardware
+  /// thread.
+  unsigned num_threads = 0;
+  /// Admission control: queries submitted while this many are already
+  /// waiting are rejected with ResourceExhausted instead of queued.
+  size_t max_queue = 256;
+  /// Result-cache budget; 0 disables caching.
+  size_t cache_bytes = size_t{64} << 20;
+  /// Cache shard count (rounded up to a power of two).
+  size_t cache_shards = 16;
+  /// Deadline applied when Submit is called without one; 0 = none.
+  int64_t default_deadline_ms = 0;
+  /// Drop stopword keywords during query normalization. Keep this in sync
+  /// with how the term index was built: with the default index
+  /// (skip_stopwords = true) a stopword keyword can never be matched, so
+  /// dropping it changes no answers but lets "the godfather" share a
+  /// cache entry (and a non-empty result) with "godfather".
+  bool drop_stopwords = true;
+  /// Pipeline configuration shared by all queries (num_threads inside is
+  /// per-query CN parallelism, usually left at 1 when the service itself
+  /// is parallel).
+  MatCnGenOptions gen;
+  /// Instrumentation seam: runs on the worker thread at the start of
+  /// every pipeline execution (cache hits never reach it), before the
+  /// queued-too-long deadline check. Tests use it to hold workers busy
+  /// deterministically; the matcn_serve load generator uses it to model
+  /// the backend I/O latency a DBMS-backed deployment would pay per miss.
+  std::function<void()> pre_execute_hook;
+};
+
+/// One answered query. `query` is the *normalized* query the service
+/// executed (stopwords dropped, keywords sorted); render termsets and
+/// build EvalContexts against it, not the submitted text, because cached
+/// results are keyed to the normalized keyword order.
+struct QueryResponse {
+  KeywordQuery query;
+  std::shared_ptr<const GenerationResult> result;
+  bool cache_hit = false;
+  /// The answer is usable but incomplete: match enumeration was truncated
+  /// (max_matches) or the deadline expired mid-generation. Degraded
+  /// results are never cached, so a retry with a larger budget recomputes.
+  bool degraded = false;
+  std::string degraded_reason;
+  /// Service-side latency, submission to response.
+  double latency_ms = 0;
+};
+
+/// The serving layer: a QueryService owns a worker pool plus a sharded
+/// LRU result cache and turns the synchronous MatCNGen library into a
+/// concurrent engine with bounded admission and per-query deadlines.
+///
+/// Lifecycle of one submission:
+///   1. already-expired deadline  -> DeadlineExceeded, pipeline never runs
+///   2. normalize + cache lookup  -> hit returns on the caller thread
+///   3. admission control         -> ResourceExhausted when the queue is full
+///   4. worker runs TSFind/QMGen/MatchCN under a CancelToken; on mid-run
+///      expiry the partial result is returned marked `degraded`
+///   5. complete results are cached by normalized query signature
+class QueryService {
+ public:
+  /// Memory-backed service: tuple-sets from `index` (TSFind_Mem). All
+  /// borrowed pointers must outlive the service.
+  QueryService(const SchemaGraph* schema_graph, const TermIndex* index,
+               QueryServiceOptions options = {});
+
+  /// Disk-backed service: tuple-sets from relation scans under `dir`
+  /// (TSFind). Stopword dropping defaults off for this backend — disk
+  /// scans do find stopwords.
+  QueryService(const SchemaGraph* schema_graph, std::string dir,
+               const DatabaseSchema* disk_schema,
+               QueryServiceOptions options = {});
+
+  /// Drains admitted work, then joins the workers. Futures returned by
+  /// Submit are all fulfilled before the destructor returns.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Asynchronous submission with an explicit deadline. The future is
+  /// fulfilled with either a QueryResponse or a Status:
+  ///   DeadlineExceeded  - deadline expired before the pipeline ran
+  ///   ResourceExhausted - admission queue full
+  ///   InvalidArgument / IOError - query or backend errors
+  std::future<Result<QueryResponse>> Submit(const KeywordQuery& query,
+                                            Deadline deadline);
+
+  /// Submission under the service's default deadline.
+  std::future<Result<QueryResponse>> Submit(const KeywordQuery& query);
+
+  /// Synchronous convenience: Submit + wait.
+  Result<QueryResponse> Query(const KeywordQuery& query);
+  Result<QueryResponse> Query(const KeywordQuery& query, Deadline deadline);
+
+  /// Counters, cache gauges, queue depth and latency percentiles.
+  ServiceStatsSnapshot Stats() const;
+
+  const QueryServiceOptions& options() const { return options_; }
+
+  /// The query actually executed for `query`: stopwords dropped (when
+  /// enabled and at least one keyword survives) and keywords sorted, so
+  /// every keyword permutation of the same set shares one signature.
+  KeywordQuery Normalize(const KeywordQuery& query) const;
+
+  /// Cache key: normalized keywords joined with unit separators plus the
+  /// generation options that affect output (t_max, max_matches,
+  /// naive_qmgen). Worker-thread count is excluded — it never changes the
+  /// result.
+  static std::string CacheKey(const KeywordQuery& normalized_query,
+                              const MatCnGenOptions& gen);
+
+  /// Rough heap footprint of a result, used as its cache cost.
+  static size_t ApproximateResultBytes(const GenerationResult& result);
+
+ private:
+  using ResultCache = ShardedLruCache<GenerationResult>;
+
+  void Execute(KeywordQuery normalized, std::string cache_key,
+               Deadline deadline, Deadline::Clock::time_point submitted_at,
+               std::shared_ptr<std::promise<Result<QueryResponse>>> promise);
+
+  const SchemaGraph* schema_graph_;
+  const TermIndex* index_ = nullptr;      // memory backend
+  std::string disk_dir_;                  // disk backend
+  const DatabaseSchema* disk_schema_ = nullptr;
+  QueryServiceOptions options_;
+  ServiceStats stats_;
+  std::unique_ptr<ResultCache> cache_;
+  // Declared last: workers touch the members above, so the pool must be
+  // drained and joined before anything else is destroyed.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_SERVICE_QUERY_SERVICE_H_

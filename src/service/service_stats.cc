@@ -1,0 +1,44 @@
+#include "service/service_stats.h"
+
+#include <cstdio>
+
+namespace matcn {
+
+ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  ServiceStatsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.mean_ms = latency_.MeanMicros() / 1000.0;
+  s.p50_ms = static_cast<double>(latency_.QuantileMicros(0.50)) / 1000.0;
+  s.p95_ms = static_cast<double>(latency_.QuantileMicros(0.95)) / 1000.0;
+  s.p99_ms = static_cast<double>(latency_.QuantileMicros(0.99)) / 1000.0;
+  s.max_ms = static_cast<double>(latency_.MaxMicros()) / 1000.0;
+  return s;
+}
+
+std::string ServiceStatsSnapshot::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu completed=%llu rejected=%llu timed_out=%llu "
+      "degraded=%llu failed=%llu cache[hits=%llu misses=%llu entries=%zu "
+      "bytes=%zu evictions=%llu] queue_depth=%zu threads=%u "
+      "latency[mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms]",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(timed_out),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), cache_entries,
+      cache_bytes, static_cast<unsigned long long>(cache_evictions),
+      queue_depth, num_threads, mean_ms, p50_ms, p95_ms, p99_ms, max_ms);
+  return buf;
+}
+
+}  // namespace matcn

@@ -1,0 +1,72 @@
+#ifndef MATCN_SERVICE_SERVICE_STATS_H_
+#define MATCN_SERVICE_SERVICE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/latency_histogram.h"
+#include "service/sharded_lru_cache.h"
+
+namespace matcn {
+
+/// Point-in-time view of a QueryService's counters, safe to copy around.
+/// All counts are since service construction.
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;    // every Submit/Query call
+  uint64_t completed = 0;    // pipeline ran to an answer (incl. degraded)
+  uint64_t rejected = 0;     // admission control turned the query away
+  uint64_t timed_out = 0;    // deadline expired before the pipeline ran
+  uint64_t degraded = 0;     // answered, but truncated or interrupted
+  uint64_t failed = 0;       // pipeline returned a non-deadline error
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t cache_entries = 0;
+  size_t cache_bytes = 0;
+  uint64_t cache_evictions = 0;
+  size_t queue_depth = 0;
+  unsigned num_threads = 0;
+  // End-to-end service latency (submit to response), cache hits included.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  std::string ToString() const;
+};
+
+/// Concurrent counter block shared by the service's submit path and its
+/// workers; every mutation is a relaxed atomic, so recording never blocks
+/// a query.
+class ServiceStats {
+ public:
+  void RecordSubmitted() { Bump(&submitted_); }
+  void RecordCompleted() { Bump(&completed_); }
+  void RecordRejected() { Bump(&rejected_); }
+  void RecordTimedOut() { Bump(&timed_out_); }
+  void RecordDegraded() { Bump(&degraded_); }
+  void RecordFailed() { Bump(&failed_); }
+  void RecordLatencyMicros(int64_t micros) { latency_.Record(micros); }
+
+  /// Fills the counter and latency fields; the caller layers in cache and
+  /// queue gauges it owns.
+  ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  static void Bump(std::atomic<uint64_t>* c) {
+    c->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> failed_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_SERVICE_SERVICE_STATS_H_

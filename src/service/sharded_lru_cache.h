@@ -1,0 +1,163 @@
+#ifndef MATCN_SERVICE_SHARDED_LRU_CACHE_H_
+#define MATCN_SERVICE_SHARDED_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace matcn {
+
+/// Aggregate cache counters, read without locking any shard.
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t cost_bytes = 0;
+};
+
+/// A byte-budgeted LRU cache sharded by key hash: each shard owns an
+/// independent mutex, recency list and map, so concurrent lookups of
+/// different keys rarely contend. Values are immutable and shared —
+/// `Get` hands out a `shared_ptr<const V>` that stays valid after the
+/// entry is evicted.
+///
+/// The byte budget is split evenly across shards and each shard evicts
+/// from its own LRU tail, so a hot shard cannot starve the others (the
+/// usual trade-off: a pathological key skew underuses the cold shards).
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `capacity_bytes` == 0 disables the cache (Get always misses, Put is
+  /// a no-op). `num_shards` is clamped to >= 1 and rounded up to a power
+  /// of two.
+  explicit ShardedLruCache(size_t capacity_bytes, size_t num_shards = 8)
+      : capacity_bytes_(capacity_bytes) {
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    shard_mask_ = shards - 1;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    per_shard_capacity_ = capacity_bytes / shards;
+  }
+
+  std::shared_ptr<const V> Get(const std::string& key) {
+    if (capacity_bytes_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    // Move to front = most recently used.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+  }
+
+  /// Inserts or replaces `key`. `cost_bytes` is the caller's estimate of
+  /// the value's footprint; entries whose cost exceeds a whole shard's
+  /// budget are not cached at all.
+  void Put(const std::string& key, std::shared_ptr<const V> value,
+           size_t cost_bytes) {
+    if (capacity_bytes_ == 0) return;
+    const size_t cost = cost_bytes + key.size() + kPerEntryOverhead;
+    if (cost > per_shard_capacity_) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.cost -= it->second->cost;
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(Entry{key, std::move(value), cost});
+    shard.map[key] = shard.lru.begin();
+    shard.cost += cost;
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.cost > per_shard_capacity_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.cost -= victim.cost;
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void Clear() {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      entries_.fetch_sub(shard->map.size(), std::memory_order_relaxed);
+      shard->map.clear();
+      shard->lru.clear();
+      shard->cost = 0;
+    }
+  }
+
+  CacheCounters Counters() const {
+    CacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.insertions = insertions_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.entries = entries_.load(std::memory_order_relaxed);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      c.cost_bytes += shard->cost;
+    }
+    return c;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  static constexpr size_t kPerEntryOverhead = 64;  // list/map node estimate
+
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    size_t cost = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, typename std::list<Entry>::iterator> map;
+    size_t cost = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) & shard_mask_];
+  }
+
+  size_t capacity_bytes_;
+  size_t per_shard_capacity_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<size_t> entries_{0};
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_SERVICE_SHARDED_LRU_CACHE_H_

@@ -1,0 +1,54 @@
+#ifndef MATCN_SERVICE_THREAD_POOL_H_
+#define MATCN_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matcn {
+
+/// Fixed-size worker pool with a bounded submission queue. Submission is
+/// non-blocking: `TrySubmit` either enqueues the task or returns false
+/// when the queue is at capacity (admission control — the caller turns
+/// that into a reject `Status` instead of building an unbounded backlog).
+/// The destructor stops accepting work, drains tasks already admitted,
+/// and joins the workers.
+class ThreadPool {
+ public:
+  /// `num_threads` is clamped to >= 1. `max_queue` bounds the number of
+  /// tasks waiting (not counting the ones currently executing).
+  ThreadPool(unsigned num_threads, size_t max_queue);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` unless the queue is full or the pool is shutting
+  /// down; returns whether the task was admitted.
+  bool TrySubmit(std::function<void()> task);
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Tasks admitted but not yet picked up by a worker.
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t max_queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_SERVICE_THREAD_POOL_H_

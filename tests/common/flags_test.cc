@@ -1,0 +1,75 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace matcn {
+namespace {
+
+// Builds a FlagSet from a literal argv (argv[0] is the program name).
+FlagSet Make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  return FlagSet(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagSetTest, SpaceAndEqualsFormsBothParse) {
+  FlagSet flags = Make({"--threads", "4", "--tmax=7"});
+  EXPECT_EQ(flags.GetInt("threads", 0), 4);
+  EXPECT_EQ(flags.GetInt("tmax", 0), 7);
+}
+
+TEST(FlagSetTest, MissingFlagReturnsDefault) {
+  FlagSet flags = Make({"--threads", "4"});
+  EXPECT_EQ(flags.GetInt("cache-mb", 64), 64);
+  EXPECT_EQ(flags.GetString("mode", "fast"), "fast");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0.5), 0.5);
+}
+
+TEST(FlagSetTest, BareFlagIsBooleanTrue) {
+  FlagSet flags = Make({"--verbose", "--threads", "2"});
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetString("verbose", ""), "1");
+  EXPECT_EQ(flags.GetInt("threads", 0), 2);
+}
+
+TEST(FlagSetTest, PositionalsKeepTheirOrderAroundFlags) {
+  FlagSet flags = Make({"query", "--threads", "2", "some_dir", "denzel"});
+  ASSERT_EQ(flags.positional().size(), 3u);
+  EXPECT_EQ(flags.positional()[0], "query");
+  EXPECT_EQ(flags.positional()[1], "some_dir");
+  EXPECT_EQ(flags.positional()[2], "denzel");
+}
+
+TEST(FlagSetTest, DoubleDashEndsFlagParsing) {
+  FlagSet flags = Make({"--threads", "2", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.GetInt("threads", 0), 2);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagSetTest, UnknownFlagsReportsOnlyUnqueriedNames) {
+  FlagSet flags = Make({"--threads", "2", "--thraeds", "3"});
+  EXPECT_EQ(flags.GetInt("threads", 0), 2);
+  const std::vector<std::string> unknown = flags.UnknownFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "thraeds");
+}
+
+TEST(FlagSetTest, GetDoubleParsesFractions) {
+  FlagSet flags = Make({"--scale", "0.25"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagSetTest, CommaListsPassThroughAsStrings) {
+  FlagSet flags = Make({"--threads", "1,2,8"});
+  EXPECT_EQ(flags.GetString("threads", ""), "1,2,8");
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,111 @@
+#include "metrics/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace matcn {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.QuantileMicros(0.5), 0);
+  EXPECT_EQ(h.MaxMicros(), 0);
+  EXPECT_EQ(h.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values 0..15 land in dedicated unit-width buckets.
+  LatencyHistogram h;
+  for (int64_t v = 0; v <= 15; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 16u);
+  EXPECT_EQ(h.QuantileMicros(0.0), 0);
+  EXPECT_EQ(h.QuantileMicros(1.0), 15);
+  EXPECT_EQ(h.MaxMicros(), 15);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 7.5);
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformRamp) {
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Log-bucketing with 16 sub-buckets guarantees <= 6.25% relative error.
+  const int64_t p50 = h.QuantileMicros(0.50);
+  const int64_t p95 = h.QuantileMicros(0.95);
+  const int64_t p99 = h.QuantileMicros(0.99);
+  EXPECT_NEAR(p50, 500, 500 * 0.0625 + 1);
+  EXPECT_NEAR(p95, 950, 950 * 0.0625 + 1);
+  EXPECT_NEAR(p99, 990, 990 * 0.0625 + 1);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_EQ(h.MaxMicros(), 1000);
+}
+
+TEST(LatencyHistogramTest, NegativeAndHugeValuesClampInsteadOfCrashing) {
+  LatencyHistogram h;
+  h.Record(-5);
+  h.Record(int64_t{1} << 60);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.QuantileMicros(0.0), 0);
+  EXPECT_GT(h.QuantileMicros(1.0), 0);
+}
+
+TEST(LatencyHistogramTest, MergeAddsBucketsCountsAndMax) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200u);
+  EXPECT_EQ(a.QuantileMicros(0.25), 10);
+  EXPECT_GE(a.QuantileMicros(0.99), 900);
+  EXPECT_EQ(a.MaxMicros(), 1000);
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.QuantileMicros(0.99), 0);
+  EXPECT_EQ(h.MaxMicros(), 0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record((t + 1) * 100);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.MaxMicros(), kThreads * 100);
+}
+
+TEST(LatencyHistogramTest, FormatMicrosPicksSensibleUnits) {
+  EXPECT_EQ(LatencyHistogram::FormatMicros(42), "42us");
+  EXPECT_NE(LatencyHistogram::FormatMicros(2'500).find("ms"),
+            std::string::npos);
+  EXPECT_NE(LatencyHistogram::FormatMicros(3'000'000).find("s"),
+            std::string::npos);
+}
+
+TEST(LatencyHistogramTest, SummaryMentionsEveryHeadline) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(500);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=10"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p95="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
+  EXPECT_NE(s.find("max="), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace matcn

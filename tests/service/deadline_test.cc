@@ -1,0 +1,163 @@
+// Deadline/CancelToken semantics plus their cooperative hooks in the
+// generation pipeline and the service's expired-on-arrival fast path.
+
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/matcngen.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "service/query_service.h"
+
+namespace matcn {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), int64_t{1} << 40);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 59'000);
+  EXPECT_LE(d.RemainingMillis(), 60'000);
+}
+
+TEST(CancelTokenTest, CancelFlagFiresWithoutDeadline) {
+  CancelToken token;
+  EXPECT_FALSE(token.Expired());
+  token.Cancel();
+  EXPECT_TRUE(token.CancelRequested());
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineFiresWithoutCancel) {
+  CancelToken token(Deadline::AfterMillis(0));
+  EXPECT_FALSE(token.CancelRequested());
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(PipelineCancelTest, ExpiredTokenInterruptsGeneration) {
+  Database db = testing::MakeMiniImdb();
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+
+  CancelToken token(Deadline::AfterMillis(0));
+  MatCnGenOptions options;
+  options.cancel = &token;
+  MatCnGen generator(&schema_graph, options);
+  GenerationResult result = generator.Generate(*query, index);
+  EXPECT_TRUE(result.stats.interrupted);
+  EXPECT_TRUE(result.cns.empty())
+      << "already-expired token must stop the pipeline at the first stage "
+         "boundary";
+}
+
+TEST(PipelineCancelTest, MidRunCancelKeepsPartialResultDeterministic) {
+  Database db = testing::MakeMiniImdb();
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto query = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(query.ok());
+
+  // Uncancelled run for reference.
+  MatCnGen plain(&schema_graph);
+  GenerationResult full = plain.Generate(*query, index);
+
+  // A token cancelled after QMGen: matches are produced, CNs are not.
+  CancelToken token;
+  MatCnGenOptions options;
+  options.cancel = &token;
+  MatCnGen generator(&schema_graph, options);
+  std::vector<TupleSet> tuple_sets = full.tuple_sets;
+  GenerationResult partial;
+  {
+    // Cancel before the CN stage by cancelling now: QMGen checks at the
+    // stage boundary after producing matches.
+    token.Cancel();
+    partial = generator.GenerateFromTupleSets(*query, std::move(tuple_sets),
+                                              0.0);
+  }
+  EXPECT_TRUE(partial.stats.interrupted);
+  EXPECT_LE(partial.cns.size(), full.cns.size());
+}
+
+TEST(ServiceDeadlineTest, ExpiredDeadlineReturnsTimeoutWithoutPipeline) {
+  Database db = testing::MakeMiniImdb();
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto query = KeywordQuery::Parse("denzel");
+  ASSERT_TRUE(query.ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(&schema_graph, &index, options);
+  Result<QueryResponse> response =
+      service.Query(*query, Deadline::AfterMillis(0));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u)
+      << "expired submissions must not even touch the cache";
+}
+
+TEST(ServiceDeadlineTest, DeadlineExpiringInQueueTimesOut) {
+  Database db = testing::MakeMiniImdb();
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto query = KeywordQuery::Parse("denzel");
+  ASSERT_TRUE(query.ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  // Every execution waits until the 5ms deadline has passed, simulating a
+  // queue backed up behind slow queries.
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  QueryService service(&schema_graph, &index, options);
+  Result<QueryResponse> response =
+      service.Query(*query, Deadline::AfterMillis(5));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Stats().timed_out, 1u);
+}
+
+TEST(ServiceDeadlineTest, GenerousDeadlineCompletesNormally) {
+  Database db = testing::MakeMiniImdb();
+  SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex index = TermIndex::Build(db);
+  auto query = KeywordQuery::Parse("denzel gangster");
+  ASSERT_TRUE(query.ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(&schema_graph, &index, options);
+  Result<QueryResponse> response =
+      service.Query(*query, Deadline::AfterMillis(60'000));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->degraded);
+  EXPECT_FALSE(response->result->stats.interrupted);
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,217 @@
+// QueryService behavior: answers match the direct pipeline, the cache
+// serves repeats, admission control rejects when the queue is full, and
+// normalization folds keyword permutations / stopwords into one signature.
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/matcngen.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+
+namespace matcn {
+namespace {
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    index_ = TermIndex::Build(db_);
+  }
+
+  KeywordQuery Parse(const std::string& text) {
+    auto query = KeywordQuery::Parse(text);
+    EXPECT_TRUE(query.ok()) << text;
+    return *query;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+};
+
+TEST_F(QueryServiceTest, AnswersMatchDirectPipeline) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(&schema_graph_, &index_, options);
+
+  const KeywordQuery query = Parse("denzel washington gangster");
+  Result<QueryResponse> response = service.Query(query);
+  ASSERT_TRUE(response.ok());
+
+  // The service executes the normalized (sorted) query; compare against a
+  // direct run of the same normalization.
+  MatCnGen direct(&schema_graph_);
+  GenerationResult expected = direct.Generate(response->query, index_);
+  ASSERT_EQ(response->result->cns.size(), expected.cns.size());
+  for (size_t i = 0; i < expected.cns.size(); ++i) {
+    EXPECT_EQ(response->result->cns[i].CanonicalForm(),
+              expected.cns[i].CanonicalForm());
+  }
+  EXPECT_EQ(response->result->matches, expected.matches);
+}
+
+TEST_F(QueryServiceTest, SecondIdenticalQueryHitsCache) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(&schema_graph_, &index_, options);
+
+  const KeywordQuery query = Parse("denzel gangster");
+  Result<QueryResponse> first = service.Query(query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+
+  Result<QueryResponse> second = service.Query(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->result.get(), first->result.get())
+      << "cache hit must share the stored result object";
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(QueryServiceTest, KeywordPermutationsShareOneCacheEntry) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(&schema_graph_, &index_, options);
+
+  ASSERT_TRUE(service.Query(Parse("denzel gangster")).ok());
+  Result<QueryResponse> permuted = service.Query(Parse("gangster denzel"));
+  ASSERT_TRUE(permuted.ok());
+  EXPECT_TRUE(permuted->cache_hit)
+      << "normalization must fold keyword order into one signature";
+}
+
+TEST_F(QueryServiceTest, StopwordsAreDroppedFromTheSignature) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(&schema_graph_, &index_, options);
+
+  ASSERT_TRUE(service.Query(Parse("gangster")).ok());
+  Result<QueryResponse> with_stopword = service.Query(Parse("the gangster"));
+  ASSERT_TRUE(with_stopword.ok());
+  EXPECT_TRUE(with_stopword->cache_hit)
+      << "a stopword keyword cannot match against the default index, so it "
+         "must not fragment the cache";
+  EXPECT_EQ(with_stopword->query.size(), 1u);
+  EXPECT_EQ(with_stopword->query.keyword(0), "gangster");
+}
+
+TEST_F(QueryServiceTest, AllStopwordQueryKeepsItsKeywords) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(&schema_graph_, &index_, options);
+  Result<QueryResponse> response = service.Query(Parse("the of"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->query.size(), 2u);
+  EXPECT_TRUE(response->result->cns.empty());
+}
+
+TEST_F(QueryServiceTest, DisabledCacheNeverHits) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 0;
+  QueryService service(&schema_graph_, &index_, options);
+  const KeywordQuery query = Parse("denzel");
+  ASSERT_TRUE(service.Query(query).ok());
+  Result<QueryResponse> second = service.Query(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);
+  EXPECT_EQ(service.Stats().cache_hits, 0u);
+}
+
+TEST_F(QueryServiceTest, AdmissionControlRejectsWhenQueueFull) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue = 1;
+  options.cache_bytes = 0;  // force every submission through the queue
+  // Hold the worker until released so the queue backs up deterministically.
+  auto gate = std::make_shared<std::promise<void>>();
+  std::shared_future<void> release = gate->get_future().share();
+  options.pre_execute_hook = [release] { release.wait(); };
+  QueryService service(&schema_graph_, &index_, options);
+
+  const KeywordQuery query = Parse("denzel");
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  // The first submission ends up on the (blocked) worker or in the queue;
+  // the queue then holds at most one more. Of three rapid submissions at
+  // least one must be rejected — exactly how many depends on whether the
+  // worker had already popped the first task.
+  for (int i = 0; i < 3; ++i) futures.push_back(service.Submit(query));
+  gate->set_value();
+
+  int ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 3);
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(ok, 1);
+  EXPECT_EQ(service.Stats().rejected, static_cast<uint64_t>(rejected));
+}
+
+TEST_F(QueryServiceTest, TruncatedGenerationIsReportedDegradedAndUncached) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.gen.max_matches = 1;  // force truncation on multi-match queries
+  QueryService service(&schema_graph_, &index_, options);
+
+  const KeywordQuery query = Parse("denzel washington gangster");
+  Result<QueryResponse> response = service.Query(query);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->result->stats.truncated);
+  EXPECT_TRUE(response->degraded);
+  EXPECT_NE(response->degraded_reason.find("truncated"), std::string::npos);
+
+  Result<QueryResponse> again = service.Query(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cache_hit) << "degraded results must not be cached";
+  EXPECT_EQ(service.Stats().degraded, 2u);
+}
+
+TEST_F(QueryServiceTest, StatsCountersAddUp) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(&schema_graph_, &index_, options);
+  const std::vector<std::string> texts = {"denzel", "gangster", "denzel",
+                                          "washington", "gangster"};
+  for (const std::string& text : texts) {
+    ASSERT_TRUE(service.Query(Parse(text)).ok());
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, texts.size());
+  EXPECT_EQ(stats.completed, texts.size());
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.rejected + stats.timed_out + stats.failed, 0u);
+  EXPECT_GE(stats.max_ms, 0.0);
+}
+
+TEST_F(QueryServiceTest, CacheKeyIncludesGenerationOptions) {
+  const KeywordQuery query = Parse("denzel gangster");
+  MatCnGenOptions a, b;
+  b.t_max = 3;
+  EXPECT_NE(QueryService::CacheKey(query, a), QueryService::CacheKey(query, b));
+  MatCnGenOptions c = a;
+  c.num_threads = 8;  // must NOT change the key: output is identical
+  EXPECT_EQ(QueryService::CacheKey(query, a), QueryService::CacheKey(query, c));
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,164 @@
+// Multi-producer stress over QueryService: many client threads submit
+// overlapping queries against the in-memory TermIndex while the cache is
+// kept small enough to churn (concurrent Get/Put/evict on every shard).
+// The assertions are about counter consistency; the real payoff is a
+// clean run under -DMATCN_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matcngen.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "service/query_service.h"
+
+namespace matcn {
+namespace {
+
+class ServiceStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    index_ = TermIndex::Build(db_);
+  }
+
+  std::vector<KeywordQuery> OverlappingQueries() {
+    // Shared keyword pool so concurrent clients collide on cache keys.
+    const std::vector<std::string> texts = {
+        "denzel",          "gangster",        "denzel gangster",
+        "washington",      "denzel washington", "gangster washington",
+        "lisbon",          "economy",         "lisbon economy",
+        "denzel economy",
+    };
+    std::vector<KeywordQuery> queries;
+    for (const std::string& text : texts) {
+      auto query = KeywordQuery::Parse(text);
+      EXPECT_TRUE(query.ok()) << text;
+      queries.push_back(*query);
+    }
+    return queries;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+};
+
+TEST_F(ServiceStressTest, ManyProducersCountersStayConsistent) {
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.max_queue = 1024;  // large enough that nothing is rejected
+  // Small cache with few shards: concurrent hits, inserts, and evictions
+  // all race on the same handful of mutexes.
+  options.cache_bytes = 16 * 1024;
+  options.cache_shards = 2;
+  QueryService service(&schema_graph_, &index_, options);
+
+  const std::vector<KeywordQuery> queries = OverlappingQueries();
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 50;
+
+  std::atomic<uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Result<QueryResponse> response =
+            service.Query(queries[(p * 13 + i) % queries.size()]);
+        if (response.ok()) {
+          ok.fetch_add(1);
+          // Touch the shared result so TSAN sees cross-thread reads of
+          // cached GenerationResult objects.
+          EXPECT_GE(response->result->cns.size(), 0u);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  constexpr uint64_t kTotal = uint64_t{kProducers} * kPerProducer;
+  EXPECT_EQ(ok.load() + failed.load(), kTotal);
+  EXPECT_EQ(failed.load(), 0u) << "queue is oversized; nothing should fail";
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, kTotal);
+  EXPECT_GT(stats.cache_hits, 0u) << "overlapping workload must hit";
+  EXPECT_LE(stats.cache_bytes, options.cache_bytes);
+}
+
+TEST_F(ServiceStressTest, ProducersRacingAdmissionControl) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.max_queue = 2;     // deliberately tiny: force rejections
+  options.cache_bytes = 0;   // every request takes the slow path
+  QueryService service(&schema_graph_, &index_, options);
+
+  const std::vector<KeywordQuery> queries = OverlappingQueries();
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 30;
+
+  std::atomic<uint64_t> ok{0}, rejected{0}, other{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Result<QueryResponse> response =
+            service.Query(queries[(p + i) % queries.size()]);
+        if (response.ok()) {
+          ok.fetch_add(1);
+        } else if (response.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  constexpr uint64_t kTotal = uint64_t{kProducers} * kPerProducer;
+  EXPECT_EQ(ok.load() + rejected.load() + other.load(), kTotal);
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+}
+
+TEST_F(ServiceStressTest, ConcurrentShutdownDeliversEveryAdmittedFuture) {
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  {
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    options.max_queue = 256;
+    QueryService service(&schema_graph_, &index_, options);
+    const std::vector<KeywordQuery> queries = OverlappingQueries();
+    for (int i = 0; i < 40; ++i) {
+      futures.push_back(service.Submit(queries[i % queries.size()]));
+    }
+    // Service destructor runs here with work still in flight.
+  }
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();  // must not hang or drop a promise
+    EXPECT_TRUE(r.ok() ||
+                r.status().code() == StatusCode::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,133 @@
+#include "service/sharded_lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace matcn {
+namespace {
+
+using IntCache = ShardedLruCache<int>;
+
+std::shared_ptr<const int> Val(int v) { return std::make_shared<int>(v); }
+
+TEST(ShardedLruCacheTest, GetMissThenHit) {
+  IntCache cache(/*capacity_bytes=*/4096, /*num_shards=*/1);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", Val(1), 10);
+  std::shared_ptr<const int> hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.insertions, 1u);
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, PutReplacesExistingKey) {
+  IntCache cache(4096, 1);
+  cache.Put("a", Val(1), 10);
+  cache.Put("a", Val(2), 10);
+  std::shared_ptr<const int> hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 2);
+  EXPECT_EQ(cache.Counters().entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedWhenOverBudget) {
+  // One shard; per-entry cost = cost_bytes + key(1) + 64 overhead = 165.
+  // Capacity 400 holds two entries; the third insert evicts the LRU tail.
+  IntCache cache(400, 1);
+  cache.Put("a", Val(1), 100);
+  cache.Put("b", Val(2), 100);
+  ASSERT_NE(cache.Get("a"), nullptr);  // touch: "b" is now the LRU entry
+  cache.Put("c", Val(3), 100);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr) << "LRU entry should have been evicted";
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.Counters().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, OversizedEntryIsNotCached) {
+  IntCache cache(256, 1);
+  cache.Put("huge", Val(1), 10'000);
+  EXPECT_EQ(cache.Get("huge"), nullptr);
+  EXPECT_EQ(cache.Counters().insertions, 0u);
+}
+
+TEST(ShardedLruCacheTest, ZeroCapacityDisablesCaching) {
+  IntCache cache(0, 4);
+  cache.Put("a", Val(1), 1);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Counters().entries, 0u);
+}
+
+TEST(ShardedLruCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(IntCache(1024, 1).num_shards(), 1u);
+  EXPECT_EQ(IntCache(1024, 3).num_shards(), 4u);
+  EXPECT_EQ(IntCache(1024, 8).num_shards(), 8u);
+  EXPECT_EQ(IntCache(1024, 9).num_shards(), 16u);
+}
+
+TEST(ShardedLruCacheTest, BudgetIsPerShardSoOneHotShardCannotStarveAll) {
+  // 4 shards, 200 bytes each. Keys land on shards by hash; inserting many
+  // distinct keys must never push total cost above capacity.
+  IntCache cache(800, 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("key" + std::to_string(i), Val(i), 50);
+  }
+  const CacheCounters c = cache.Counters();
+  EXPECT_LE(c.cost_bytes, cache.capacity_bytes());
+  EXPECT_GT(c.evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, ValueSurvivesEviction) {
+  IntCache cache(300, 1);
+  cache.Put("a", Val(7), 100);
+  std::shared_ptr<const int> pinned = cache.Get("a");
+  cache.Put("b", Val(8), 100);
+  cache.Put("c", Val(9), 100);  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(*pinned, 7) << "shared_ptr handed out must outlive eviction";
+}
+
+TEST(ShardedLruCacheTest, ClearEmptiesEveryShard) {
+  IntCache cache(1 << 20, 4);
+  for (int i = 0; i < 32; ++i) {
+    cache.Put("k" + std::to_string(i), Val(i), 10);
+  }
+  cache.Clear();
+  const CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_EQ(c.cost_bytes, 0u);
+  EXPECT_EQ(cache.Get("k0"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  IntCache cache(1 << 14, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 40);
+        if (std::shared_ptr<const int> hit = cache.Get(key)) {
+          EXPECT_EQ(*hit % 40, (t * 7 + i) % 40 % 40);
+        } else {
+          cache.Put(key, Val((t * 7 + i) % 40), 64);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheCounters c = cache.Counters();
+  EXPECT_LE(c.cost_bytes, cache.capacity_bytes());
+  EXPECT_EQ(c.hits + c.misses, 4u * 500u);
+}
+
+}  // namespace
+}  // namespace matcn

@@ -1,0 +1,66 @@
+#include "service/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+namespace matcn {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, 64);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+    }
+  }  // destructor drains
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, RejectsWhenQueueFull) {
+  ThreadPool pool(1, 2);
+  // Block the single worker so queued tasks cannot drain.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.TrySubmit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();  // worker is now busy, queue is empty
+
+  EXPECT_TRUE(pool.TrySubmit([] {}));   // queue slot 1
+  EXPECT_TRUE(pool.TrySubmit([] {}));   // queue slot 2
+  EXPECT_FALSE(pool.TrySubmit([] {}))
+      << "third waiting task must be rejected by admission control";
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  release.set_value();
+}
+
+TEST(ThreadPoolTest, DrainsAdmittedTasksOnShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1, 64);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    ASSERT_TRUE(pool.TrySubmit([gate] { gate.wait(); }));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+    }
+    release.set_value();
+  }
+  EXPECT_EQ(ran.load(), 10) << "destructor must run every admitted task";
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0, 4);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::promise<void> done;
+  ASSERT_TRUE(pool.TrySubmit([&done] { done.set_value(); }));
+  done.get_future().wait();
+}
+
+}  // namespace
+}  // namespace matcn
