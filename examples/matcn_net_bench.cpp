@@ -1,0 +1,248 @@
+// Closed-loop load generator for the network serving stack: N client
+// threads, each with its own net::Client connection, replay a workload
+// over loopback (against an in-process server by default, or any
+// --connect host:port) and report throughput plus client-observed
+// latency percentiles from a shared LatencyHistogram.
+//
+//   $ ./matcn_net_bench [dataset] [scale] [flags]
+//
+// Flags:
+//   --connect H:P    target an external matcn_server instead of spawning
+//                    an in-process one (dataset flags then ignored)
+//   --clients N      concurrent client connections          (default 8)
+//   --requests N     total requests                         (default 2000)
+//   --unique N       distinct queries in the workload       (default 64)
+//   --keywords N     keywords per generated query           (default 2)
+//   --threads N      in-process server workers; 0 = hw      (default 0)
+//   --queue N        in-process admission queue bound       (default 256)
+//   --cache-mb N     in-process result-cache budget         (default 64)
+//   --deadline-ms N  per-request deadline; 0 = none         (default 0)
+//   --tmax N         per-request CN size bound; 0 = server  (default 0)
+//   --max-cns N      cap CN records per response; 0 = all   (default 0)
+//   --io-ms N        in-process modeled per-miss latency    (default 2)
+//   --seed N         workload seed                          (default 11)
+//
+// Responses are counted by outcome — ok / cache-hit / degraded /
+// rejected (RESOURCE_EXHAUSTED backpressure) / deadline-exceeded / hard
+// error — so a saturated server is visible as rejections, not as a
+// generic failure count.
+
+#include <atomic>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "metrics/latency_histogram.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+using namespace matcn;
+
+namespace {
+
+Database MakeDataset(const std::string& name, double scale, bool* ok) {
+  *ok = true;
+  if (name == "imdb") return MakeImdb(42, scale);
+  if (name == "mondial") return MakeMondial(43, scale);
+  if (name == "wikipedia") return MakeWikipedia(44, scale);
+  if (name == "dblp") return MakeDblp(45, scale);
+  if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
+  *ok = false;
+  return Database{};
+}
+
+struct Outcomes {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> cns{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  const std::string dataset = flags.positional().empty()
+                                  ? "imdb"
+                                  : ToLower(flags.positional()[0]);
+  const double scale = flags.positional().size() > 1
+                           ? std::atof(flags.positional()[1].c_str())
+                           : 0.1;
+  const std::string connect = flags.GetString("connect", "");
+  const unsigned clients = static_cast<unsigned>(flags.GetInt("clients", 8));
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests", 2000));
+  const size_t unique = static_cast<size_t>(flags.GetInt("unique", 64));
+  const size_t keywords = static_cast<size_t>(flags.GetInt("keywords", 2));
+  const unsigned server_threads =
+      static_cast<unsigned>(flags.GetInt("threads", 0));
+  const size_t queue = static_cast<size_t>(flags.GetInt("queue", 256));
+  const size_t cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
+  const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  const uint16_t t_max = static_cast<uint16_t>(flags.GetInt("tmax", 0));
+  const uint32_t max_cns =
+      static_cast<uint32_t>(flags.GetInt("max-cns", 0));
+  const int64_t io_ms = flags.GetInt("io-ms", 2);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  for (const std::string& error : flags.errors()) {
+    std::cerr << "flag error: " << error << "\n";
+    return 2;
+  }
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n";
+    return 2;
+  }
+
+  // Workload (also used in --connect mode: the target serves the same
+  // generator datasets, so seeded queries still hit real terms).
+  bool dataset_ok = false;
+  Database db = MakeDataset(dataset, scale, &dataset_ok);
+  if (!dataset_ok) {
+    std::cerr << "unknown dataset: " << dataset
+              << " (imdb|mondial|wikipedia|dblp|tpch)\n";
+    return 2;
+  }
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+  WorkloadGenerator wgen(&db, &schema_graph, &index);
+  const std::vector<KeywordQuery> queries =
+      wgen.RandomQueries(unique, keywords, seed);
+  if (queries.empty()) {
+    std::cerr << "workload generator produced no queries\n";
+    return 1;
+  }
+
+  // Target: external server, or an in-process one on an ephemeral port.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<net::Server> server;
+  if (!connect.empty()) {
+    const std::vector<std::string> parts = Split(connect, ":");
+    if (parts.size() != 2) {
+      std::cerr << "--connect wants host:port, got " << connect << "\n";
+      return 2;
+    }
+    host = parts[0];
+    port = static_cast<uint16_t>(std::atoi(parts[1].c_str()));
+  } else {
+    QueryServiceOptions service_options;
+    service_options.num_threads = server_threads;
+    service_options.max_queue = queue;
+    service_options.cache_bytes = cache_bytes;
+    if (io_ms > 0) {
+      service_options.pre_execute_hook = [io_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
+      };
+    }
+    service = std::make_unique<QueryService>(&schema_graph, &index,
+                                             service_options);
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    server = std::make_unique<net::Server>(service.get(), &db.schema(),
+                                           server_options);
+    if (Status started = server->Start(); !started.ok()) {
+      std::cerr << "in-process server start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    port = server->port();
+  }
+
+  Outcomes outcomes;
+  LatencyHistogram latency;
+  std::atomic<size_t> next{0};
+
+  auto client_loop = [&]() {
+    Result<net::Client> client = net::Client::Connect(host, port);
+    if (!client.ok()) {
+      std::cerr << "connect failed: " << client.status().ToString() << "\n";
+      outcomes.errors.fetch_add(1);
+      return;
+    }
+    net::Client::QueryParams params;
+    params.deadline_ms = static_cast<uint32_t>(deadline_ms);
+    params.t_max = t_max;
+    params.max_cns = max_cns;
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= requests) break;
+      const KeywordQuery& q = queries[i % queries.size()];
+      Stopwatch watch;
+      Result<net::Client::QueryResult> response =
+          client->Query(q.keywords(), params);
+      latency.Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+      if (response.ok()) {
+        outcomes.ok.fetch_add(1);
+        outcomes.cns.fetch_add(response->cns.size());
+        if (response->cache_hit) outcomes.cache_hits.fetch_add(1);
+        if (response->degraded) outcomes.degraded.fetch_add(1);
+        continue;
+      }
+      switch (response.status().code()) {
+        case StatusCode::kResourceExhausted:
+          outcomes.rejected.fetch_add(1);
+          break;
+        case StatusCode::kDeadlineExceeded:
+          outcomes.deadline.fetch_add(1);
+          break;
+        default:
+          outcomes.errors.fetch_add(1);
+          break;
+      }
+      if (!client->connected()) {
+        // Typed rejections keep the connection; anything that dropped it
+        // needs a reconnect before the next request.
+        Result<net::Client> again = net::Client::Connect(host, port);
+        if (!again.ok()) return;
+        *client = std::move(again).value();
+      }
+    }
+  };
+
+  std::cout << "matcn_net_bench — " << (connect.empty() ? "in-process " : "")
+            << "server at " << host << ":" << port << ", " << queries.size()
+            << " unique queries, " << requests << " requests, " << clients
+            << " clients\n";
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) threads.emplace_back(client_loop);
+  for (std::thread& t : threads) t.join();
+  const double seconds = watch.ElapsedSeconds();
+
+  const double qps =
+      seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  std::cout << "\n  time        " << seconds << " s\n  throughput  "
+            << static_cast<uint64_t>(qps) << " qps\n  latency     "
+            << latency.Summary() << "\n  ok          "
+            << outcomes.ok.load() << " (" << outcomes.cache_hits.load()
+            << " cache hits, " << outcomes.degraded.load()
+            << " degraded, " << outcomes.cns.load()
+            << " CN records)\n  rejected    " << outcomes.rejected.load()
+            << " (RESOURCE_EXHAUSTED backpressure)\n  deadline    "
+            << outcomes.deadline.load()
+            << " (DEADLINE_EXCEEDED)\n  errors      "
+            << outcomes.errors.load() << "\n";
+
+  if (server != nullptr) {
+    server->Shutdown();
+    std::cout << "\nserver net: " << server->NetStats().ToString()
+              << "\nservice:    " << service->Stats().ToString() << "\n";
+  }
+  return 0;
+}

@@ -58,6 +58,8 @@ struct RunResult {
   unsigned threads = 0;
   double seconds = 0;
   double qps = 0;
+  uint64_t rejected = 0;  // admission control (kResourceExhausted)
+  uint64_t errors = 0;    // everything else non-OK
   ServiceStatsSnapshot stats;
 };
 
@@ -80,6 +82,7 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
   QueryService service(schema_graph, index, options);
 
   std::atomic<size_t> next{0};
+  std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> errors{0};
   auto client = [&]() {
     while (true) {
@@ -90,7 +93,20 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
       // interactive deployment sees.
       const KeywordQuery& q = queries[i % queries.size()];
       Result<QueryResponse> response = service.Query(q);
-      if (!response.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      if (response.ok()) continue;
+      // Admission-control rejections are expected backpressure under
+      // overload, not breakage — count them apart from hard errors.
+      // Deadline expiry already shows up in the Timeout column (service
+      // stats), so it is not an error either.
+      switch (response.status().code()) {
+        case StatusCode::kResourceExhausted:
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StatusCode::kDeadlineExceeded:
+          break;
+        default:
+          errors.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -105,9 +121,11 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
   run.seconds = watch.ElapsedSeconds();
   run.qps = run.seconds > 0 ? static_cast<double>(requests) / run.seconds : 0;
   run.stats = service.Stats();
-  if (errors.load() > 0) {
-    std::cerr << "warning: " << errors.load()
-              << " requests returned a non-OK status\n";
+  run.rejected = rejected.load();
+  run.errors = errors.load();
+  if (run.errors > 0) {
+    std::cerr << "warning: " << run.errors
+              << " requests returned a hard error status\n";
   }
   return run;
 }
@@ -134,6 +152,10 @@ int main(int argc, char** argv) {
   const int t_max = static_cast<int>(flags.GetInt("tmax", 5));
   const int64_t io_ms = flags.GetInt("io-ms", 2);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  for (const std::string& error : flags.errors()) {
+    std::cerr << "flag error: " << error << "\n";
+    return 2;
+  }
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n";
     return 2;
@@ -163,7 +185,8 @@ int main(int argc, char** argv) {
 
   std::vector<RunResult> runs;
   TablePrinter table({"Workers", "Time s", "QPS", "Hits", "Misses", "p50 ms",
-                      "p95 ms", "p99 ms", "Timeout", "Degraded"});
+                      "p95 ms", "p99 ms", "Timeout", "Degraded", "Rejected",
+                      "Errors"});
   for (const std::string& part : Split(thread_list, ",")) {
     const int workers = std::atoi(std::string(Trim(part)).c_str());
     if (workers <= 0) continue;
@@ -180,7 +203,9 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(run.stats.p95_ms, 3),
                   TablePrinter::Num(run.stats.p99_ms, 3),
                   std::to_string(run.stats.timed_out),
-                  std::to_string(run.stats.degraded)});
+                  std::to_string(run.stats.degraded),
+                  std::to_string(run.rejected),
+                  std::to_string(run.errors)});
     runs.push_back(std::move(run));
   }
   table.Print(std::cout);

@@ -1,0 +1,176 @@
+// Long-running MatCN network server: builds an in-memory dataset, wraps
+// it in a QueryService, and serves the binary wire protocol over TCP
+// until SIGTERM/SIGINT triggers a graceful drain (stop accepting, finish
+// or cancel in-flight queries within --drain-ms, then exit).
+//
+//   $ ./matcn_server [dataset] [scale] [flags]
+//
+// Flags:
+//   --port N          listen port; 0 = ephemeral          (default 7433)
+//   --host ADDR       bind address                (default "127.0.0.1")
+//   --threads N       QueryService workers; 0 = hw        (default 0)
+//   --queue N         admission-control queue bound       (default 256)
+//   --cache-mb N      result-cache budget; 0 disables     (default 64)
+//   --deadline-ms N   default per-query deadline; 0 none  (default 0)
+//   --tmax N          default CN size bound T_max         (default 5)
+//   --idle-ms N       per-connection idle timeout         (default 60000)
+//   --drain-ms N      graceful-drain budget on SIGTERM    (default 5000)
+//   --max-frame-kb N  request frame size limit            (default 1024)
+//   --io-ms N         modeled per-miss backend latency    (default 0)
+//   --smoke           start, self-query via net::Client, drain, exit
+//
+// Query it with net::Client (see README "Network server" quickstart) or
+// drive load with matcn_net_bench.
+
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "datasets/generators.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+using namespace matcn;
+
+namespace {
+
+net::Server* g_server = nullptr;
+
+// Only async-signal-safe work here: NotifyShutdown is a flag store plus
+// an eventfd write.
+void HandleSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->NotifyShutdown();
+}
+
+Database MakeDataset(const std::string& name, double scale, bool* ok) {
+  *ok = true;
+  if (name == "imdb") return MakeImdb(42, scale);
+  if (name == "mondial") return MakeMondial(43, scale);
+  if (name == "wikipedia") return MakeWikipedia(44, scale);
+  if (name == "dblp") return MakeDblp(45, scale);
+  if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
+  *ok = false;
+  return Database{};
+}
+
+int RunSmoke(uint16_t port) {
+  auto client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::cerr << "smoke: connect failed: " << client.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (Status ping = client->Ping(); !ping.ok()) {
+    std::cerr << "smoke: ping failed: " << ping.ToString() << "\n";
+    return 1;
+  }
+  net::Client::QueryParams params;
+  params.include_sql = true;
+  auto result = client->Query({"denzel", "gangster"}, params);
+  if (!result.ok()) {
+    std::cerr << "smoke: query failed: " << result.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "smoke: query returned " << result->cns.size() << "/"
+            << result->cns_total << " CNs in " << result->server_latency_us
+            << " us\n";
+  auto stats = client->Stats();
+  if (!stats.ok()) {
+    std::cerr << "smoke: stats failed: " << stats.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "smoke: server completed " << stats->completed
+            << " queries, " << stats->connections_accepted
+            << " connections\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  const std::string dataset = flags.positional().empty()
+                                  ? "imdb"
+                                  : ToLower(flags.positional()[0]);
+  const double scale = flags.positional().size() > 1
+                           ? std::atof(flags.positional()[1].c_str())
+                           : 0.1;
+  net::ServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port", 7433));
+  server_options.idle_timeout_ms = flags.GetInt("idle-ms", 60'000);
+  server_options.drain_deadline_ms = flags.GetInt("drain-ms", 5'000);
+  server_options.max_frame_bytes =
+      static_cast<size_t>(flags.GetInt("max-frame-kb", 1024)) << 10;
+
+  QueryServiceOptions service_options;
+  service_options.num_threads =
+      static_cast<unsigned>(flags.GetInt("threads", 0));
+  service_options.max_queue = static_cast<size_t>(flags.GetInt("queue", 256));
+  service_options.cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
+  service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+  service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 5));
+  const int64_t io_ms = flags.GetInt("io-ms", 0);
+  if (io_ms > 0) {
+    service_options.pre_execute_hook = [io_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
+    };
+  }
+  const bool smoke = flags.Has("smoke");
+
+  for (const std::string& error : flags.errors()) {
+    std::cerr << "flag error: " << error << "\n";
+    return 2;
+  }
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n";
+    return 2;
+  }
+
+  bool dataset_ok = false;
+  Database db = MakeDataset(dataset, scale, &dataset_ok);
+  if (!dataset_ok) {
+    std::cerr << "unknown dataset: " << dataset
+              << " (imdb|mondial|wikipedia|dblp|tpch)\n";
+    return 2;
+  }
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+  QueryService service(&schema_graph, &index, service_options);
+
+  // --smoke binds an ephemeral port so parallel CI runs never collide.
+  if (smoke) server_options.port = 0;
+  net::Server server(&service, &db.schema(), server_options);
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  if (Status started = server.Start(); !started.ok()) {
+    std::cerr << "server start failed: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "matcn_server listening on " << server_options.host << ":"
+            << server.port() << " — " << dataset << " (" << db.TotalTuples()
+            << " tuples), " << service.Stats().num_threads
+            << " workers, T_max=" << service_options.gen.t_max
+            << "\nsend SIGTERM for graceful drain\n";
+
+  int exit_code = 0;
+  if (smoke) {
+    exit_code = RunSmoke(server.port());
+    server.NotifyShutdown();
+  }
+  server.Wait();
+  g_server = nullptr;
+
+  std::cout << "drained. net: " << server.NetStats().ToString()
+            << "\nservice: " << service.Stats().ToString() << "\n";
+  return exit_code;
+}

@@ -4,6 +4,14 @@
 
 namespace matcn {
 
+void FlagSet::Set(const std::string& name, std::string value) {
+  auto [it, inserted] = flags_.emplace(name, std::move(value));
+  if (!inserted) {
+    errors_.push_back("duplicate flag --" + name + " (already set to '" +
+                      it->second + "')");
+  }
+}
+
 FlagSet::FlagSet(int argc, char** argv) {
   bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
@@ -18,15 +26,19 @@ FlagSet::FlagSet(int argc, char** argv) {
     }
     const size_t eq = arg.find('=');
     if (eq != std::string::npos) {
-      flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      // "--name=value"; covers values that start with '-' ("--offset=-5")
+      // and empty values ("--label=").
+      Set(arg.substr(2, eq - 2), arg.substr(eq + 1));
       continue;
     }
     const std::string name = arg.substr(2);
     // "--name value" when a value follows; bare "--name" is boolean true.
+    // A following "-5" / "-0.25" is a value, not a flag — only "--"
+    // prefixes start a new flag.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[name] = argv[++i];
+      Set(name, argv[++i]);
     } else {
-      flags_[name] = "1";
+      Set(name, "1");
     }
   }
 }

@@ -9,9 +9,12 @@
 namespace matcn {
 
 /// Minimal command-line parser shared by the example binaries: flags are
-/// "--name value" or "--name=value"; everything else is a positional
-/// argument, in order. No registration — callers query by name with a
-/// default, and `UnknownFlags` reports names the caller never asked for.
+/// "--name value" or "--name=value" (negative numbers work in both
+/// forms); everything else is a positional argument, in order. No
+/// registration — callers query by name with a default, `UnknownFlags`
+/// reports names the caller never asked for, and `errors()` reports
+/// malformed input (duplicate flags) for mains to reject with a usage
+/// message.
 class FlagSet {
  public:
   /// Parses argv[1..argc). A "--" argument ends flag parsing; the rest is
@@ -19,6 +22,10 @@ class FlagSet {
   FlagSet(int argc, char** argv);
 
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Parse errors, e.g. a flag supplied twice. A well-behaved main checks
+  /// this (alongside UnknownFlags) before trusting any Get call.
+  const std::vector<std::string>& errors() const { return errors_; }
 
   bool Has(const std::string& name) const;
 
@@ -32,9 +39,12 @@ class FlagSet {
   std::vector<std::string> UnknownFlags() const;
 
  private:
+  void Set(const std::string& name, std::string value);
+
   std::map<std::string, std::string> flags_;
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
 };
 
 }  // namespace matcn

@@ -7,17 +7,42 @@
 namespace matcn {
 namespace {
 
-/// "(t2.name ILIKE '%denzel%' OR t2.bio ILIKE '%denzel%')", or exactly
-/// "FALSE" when the relation has no searchable text attribute.
+/// Renders `keyword` as a quoted ILIKE pattern literal: single quotes are
+/// doubled (SQL string escaping) and the LIKE metacharacters % _ \ are
+/// backslash-escaped, so a keyword is always matched verbatim and can
+/// never terminate the literal. Pairs with an "ESCAPE '\'" clause.
+std::string EscapedLikePattern(const std::string& keyword) {
+  std::string out = "'%";
+  for (const char c : keyword) {
+    switch (c) {
+      case '\'':
+        out += "''";
+        break;
+      case '%':
+      case '_':
+      case '\\':
+        out += '\\';
+        [[fallthrough]];
+      default:
+        out += c;
+    }
+  }
+  out += "%'";
+  return out;
+}
+
+/// "(t2.name ILIKE '%denzel%' ESCAPE '\' OR ...)", or exactly "FALSE"
+/// when the relation has no searchable text attribute.
 std::string ContainmentPredicate(const RelationSchema& schema,
                                  const std::string& alias,
                                  const std::string& keyword) {
   std::string out;
   int terms = 0;
+  const std::string pattern = EscapedLikePattern(keyword);
   for (const Attribute& attr : schema.attributes()) {
     if (attr.type != ValueType::kText || !attr.searchable) continue;
     if (terms > 0) out += " OR ";
-    out += alias + "." + attr.name + " ILIKE '%" + keyword + "%'";
+    out += alias + "." + attr.name + " ILIKE " + pattern + " ESCAPE '\\'";
     ++terms;
   }
   if (terms == 0) return "FALSE";
@@ -78,10 +103,14 @@ std::string CandidateNetworkToSql(const CandidateNetwork& cn,
     }
   }
 
-  sql += "\nWHERE ";
-  for (size_t i = 0; i < predicates.size(); ++i) {
-    if (i > 0) sql += "\n  AND ";
-    sql += predicates[i];
+  // A single free node with an empty termset has no predicates at all;
+  // emitting "WHERE ;" would be invalid SQL.
+  if (!predicates.empty()) {
+    sql += "\nWHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) sql += "\n  AND ";
+      sql += predicates[i];
+    }
   }
   sql += ";";
   return sql;

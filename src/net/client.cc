@@ -1,0 +1,190 @@
+#include "net/client.h"
+
+namespace matcn::net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               ClientOptions options) {
+  Result<ScopedFd> fd = ConnectTcp(host, port, options.timeout_ms);
+  MATCN_RETURN_IF_ERROR(fd.status());
+  MATCN_RETURN_IF_ERROR(SetIoTimeout(fd->get(), options.timeout_ms));
+  Client client(std::move(fd).value());
+  client.options_ = options;
+  return client;
+}
+
+Status Client::SendRequest(FrameType type, const std::string& payload) {
+  if (!fd_.valid()) return Status::IOError("client not connected");
+  std::string frame;
+  AppendFrame(&frame, type, next_request_id_, payload);
+  Status status = WriteAll(fd_.get(), frame);
+  if (!status.ok()) fd_.Reset();
+  return status;
+}
+
+Status Client::ReadFrame(FrameHeader* header, std::string* payload) {
+  while (true) {
+    std::string raw;
+    Status status = ReadExactly(fd_.get(), kFrameHeaderBytes, &raw);
+    if (!status.ok()) {
+      fd_.Reset();
+      return status.code() == StatusCode::kNotFound
+                 ? Status::IOError("server closed the connection")
+                 : status;
+    }
+    const HeaderParse parse = ParseFrameHeader(raw, header);
+    if (parse != HeaderParse::kOk) {
+      fd_.Reset();
+      return Status::IOError(parse == HeaderParse::kBadMagic
+                                 ? "bad frame magic from server"
+                                 : "unsupported protocol version");
+    }
+    if (header->payload_len > options_.max_frame_bytes) {
+      fd_.Reset();
+      return Status::IOError("server frame exceeds client frame limit");
+    }
+    payload->clear();
+    status = ReadExactly(fd_.get(), header->payload_len, payload);
+    if (!status.ok()) {
+      fd_.Reset();
+      return status;
+    }
+    if (header->type == FrameType::kGoingAway) {
+      // Unsolicited: the server is draining or dropped us (idle timeout).
+      // Surface the reason; subsequent calls need a reconnect.
+      WireReader r(*payload);
+      std::string reason;
+      r.Str(&reason);
+      fd_.Reset();
+      return Status::ResourceExhausted(
+          "server closing connection: " +
+          (reason.empty() ? std::string("(no reason)") : reason));
+    }
+    // Request id 0 on an ERROR frame means connection-scoped (oversized
+    // frame, malformed input): it applies to whatever is outstanding, and
+    // the server hangs up after it.
+    if (header->request_id != next_request_id_ &&
+        !(header->type == FrameType::kError && header->request_id == 0)) {
+      continue;  // stale frame from an aborted earlier exchange
+    }
+    return Status::OK();
+  }
+}
+
+Result<Client::QueryResult> Client::Query(
+    const std::vector<std::string>& keywords) {
+  return Query(keywords, QueryParams());
+}
+
+Result<Client::QueryResult> Client::Query(
+    const std::vector<std::string>& keywords, const QueryParams& params) {
+  ++next_request_id_;
+  QueryRequest request;
+  request.deadline_ms = params.deadline_ms;
+  request.t_max = params.t_max;
+  request.max_cns = params.max_cns;
+  request.include_sql = params.include_sql;
+  request.keywords = keywords;
+  WireWriter w;
+  Encode(request, &w);
+  MATCN_RETURN_IF_ERROR(SendRequest(FrameType::kQuery, w.buffer()));
+
+  QueryResult result;
+  bool saw_header = false;
+  while (true) {
+    FrameHeader header;
+    std::string payload;
+    MATCN_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+    switch (header.type) {
+      case FrameType::kError: {
+        ErrorPayload error;
+        if (!Decode(payload, &error)) {
+          fd_.Reset();
+          return Status::IOError("malformed ERROR frame");
+        }
+        return WireCodeToStatus(error.code, error.message);
+      }
+      case FrameType::kResultHeader: {
+        ResultHeader rh;
+        if (!Decode(payload, &rh)) {
+          fd_.Reset();
+          return Status::IOError("malformed RESULT_HEADER frame");
+        }
+        result.cache_hit = rh.cache_hit;
+        result.degraded = rh.degraded;
+        result.degraded_reason = rh.degraded_reason;
+        result.num_tuple_sets = rh.num_tuple_sets;
+        result.num_matches = rh.num_matches;
+        result.cns_total = rh.num_cns;
+        result.cns.reserve(rh.num_cns);
+        saw_header = true;
+        break;
+      }
+      case FrameType::kCnRecord: {
+        CnRecord record;
+        if (!saw_header || !Decode(payload, &record)) {
+          fd_.Reset();
+          return Status::IOError("malformed CN_RECORD frame");
+        }
+        result.cns.push_back(std::move(record));
+        break;
+      }
+      case FrameType::kResultTrailer: {
+        ResultTrailer trailer;
+        if (!saw_header || !Decode(payload, &trailer)) {
+          fd_.Reset();
+          return Status::IOError("malformed RESULT_TRAILER frame");
+        }
+        result.server_latency_us = trailer.server_latency_us;
+        result.cns_total = trailer.cns_total;
+        if (result.cns.size() != trailer.cns_sent) {
+          fd_.Reset();
+          return Status::IOError(
+              "trailer reports " + std::to_string(trailer.cns_sent) +
+              " CN records, received " + std::to_string(result.cns.size()));
+        }
+        return result;
+      }
+      default:
+        fd_.Reset();
+        return Status::IOError("unexpected frame type in query response");
+    }
+  }
+}
+
+Result<StatsPayload> Client::Stats() {
+  ++next_request_id_;
+  MATCN_RETURN_IF_ERROR(SendRequest(FrameType::kStats, std::string()));
+  FrameHeader header;
+  std::string payload;
+  MATCN_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.type == FrameType::kError) {
+    ErrorPayload error;
+    if (!Decode(payload, &error)) return Status::IOError("malformed ERROR");
+    return WireCodeToStatus(error.code, error.message);
+  }
+  if (header.type != FrameType::kStatsResult) {
+    fd_.Reset();
+    return Status::IOError("unexpected frame type in stats response");
+  }
+  StatsPayload stats;
+  if (!Decode(payload, &stats)) {
+    fd_.Reset();
+    return Status::IOError("malformed STATS_RESULT frame");
+  }
+  return stats;
+}
+
+Status Client::Ping() {
+  ++next_request_id_;
+  MATCN_RETURN_IF_ERROR(SendRequest(FrameType::kPing, std::string()));
+  FrameHeader header;
+  std::string payload;
+  MATCN_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.type != FrameType::kPong) {
+    fd_.Reset();
+    return Status::IOError("unexpected frame type in ping response");
+  }
+  return Status::OK();
+}
+
+}  // namespace matcn::net

@@ -1,0 +1,85 @@
+#ifndef MATCN_NET_CLIENT_H_
+#define MATCN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace matcn::net {
+
+struct ClientOptions {
+  /// Connect + per-call socket I/O timeout.
+  int64_t timeout_ms = 30'000;
+  /// Largest response payload the client will buffer.
+  size_t max_frame_bytes = size_t{4} << 20;
+};
+
+/// Synchronous client for the MatCN wire protocol: one TCP connection,
+/// one outstanding request at a time (submit N clients for concurrency —
+/// the server multiplexes fine). Not thread-safe; use one Client per
+/// thread.
+///
+/// Server-side failures come back as typed statuses: an overloaded
+/// server yields kResourceExhausted, an expired deadline
+/// kDeadlineExceeded — callers can tell backpressure from breakage.
+class Client {
+ public:
+  struct QueryParams {
+    uint32_t deadline_ms = 0;  // 0 = server default
+    uint16_t t_max = 0;        // 0 = server default
+    uint32_t max_cns = 0;      // cap streamed CN records; 0 = all
+    bool include_sql = false;
+  };
+
+  struct QueryResult {
+    bool cache_hit = false;
+    bool degraded = false;
+    std::string degraded_reason;
+    uint32_t num_tuple_sets = 0;
+    uint32_t num_matches = 0;
+    std::vector<CnRecord> cns;  // at most max_cns of cns_total
+    uint32_t cns_total = 0;
+    uint64_t server_latency_us = 0;
+  };
+
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                ClientOptions options = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one QUERY and reads frames until the trailer (or a typed
+  /// error). `keywords` are sent verbatim; the server normalizes.
+  Result<QueryResult> Query(const std::vector<std::string>& keywords,
+                            const QueryParams& params);
+  Result<QueryResult> Query(const std::vector<std::string>& keywords);
+
+  /// Server + service counters.
+  Result<StatsPayload> Stats();
+
+  Status Ping();
+
+  /// True while the connection has not hit an I/O error. After a failed
+  /// call the connection state is undefined; reconnect.
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit Client(ScopedFd fd) : fd_(std::move(fd)) {}
+
+  Status SendRequest(FrameType type, const std::string& payload);
+  /// Reads one frame; rejects GOING_AWAY (turned into kResourceExhausted)
+  /// and anything oversized.
+  Status ReadFrame(FrameHeader* header, std::string* payload);
+
+  ScopedFd fd_;
+  ClientOptions options_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_CLIENT_H_

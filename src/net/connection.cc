@@ -1,0 +1,187 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace matcn::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+Connection::Connection(EventLoop* loop, ScopedFd fd, uint64_t id,
+                       size_t max_frame_bytes, Callbacks callbacks)
+    : last_activity(std::chrono::steady_clock::now()), loop_(loop),
+      fd_(std::move(fd)), id_(id), max_frame_bytes_(max_frame_bytes),
+      callbacks_(std::move(callbacks)) {}
+
+Connection::~Connection() {
+  if (!closed_ && fd_.valid()) loop_->RemoveFd(fd_.get());
+}
+
+Status Connection::Register() {
+  MATCN_RETURN_IF_ERROR(SetNonBlocking(fd_.get()));
+  (void)SetNoDelay(fd_.get());  // best-effort; loopback tests don't care
+  return loop_->AddFd(fd_.get(), EPOLLIN,
+                      [this](uint32_t events) { OnEvents(events); });
+}
+
+void Connection::OnEvents(uint32_t events) {
+  if (closed_) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    Close();
+    return;
+  }
+  if (events & EPOLLOUT) HandleWritable();
+  if (closed_) return;
+  if (events & EPOLLIN) HandleReadable();
+}
+
+void Connection::HandleReadable() {
+  while (true) {
+    const size_t old_size = read_buf_.size();
+    read_buf_.resize(old_size + kReadChunk);
+    const ssize_t n =
+        ::recv(fd_.get(), read_buf_.data() + old_size, kReadChunk, 0);
+    if (n < 0) {
+      read_buf_.resize(old_size);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Close();
+      return;
+    }
+    if (n == 0) {  // peer closed
+      read_buf_.resize(old_size);
+      Close();
+      return;
+    }
+    read_buf_.resize(old_size + static_cast<size_t>(n));
+    bytes_received_ += static_cast<uint64_t>(n);
+    last_activity = std::chrono::steady_clock::now();
+    if (!DrainReadBuffer()) return;
+    if (static_cast<size_t>(n) < kReadChunk) break;
+  }
+}
+
+bool Connection::DrainReadBuffer() {
+  size_t consumed = 0;
+  while (true) {
+    FrameHeader header;
+    const HeaderParse parse = ParseFrameHeader(
+        std::string_view(read_buf_).substr(consumed), &header);
+    if (parse == HeaderParse::kNeedMore) break;
+    if (parse != HeaderParse::kOk) {
+      callbacks_.on_protocol_error(this, WireCode::kProtocolError,
+                                   parse == HeaderParse::kBadMagic
+                                       ? "bad frame magic"
+                                       : "unsupported protocol version");
+      return !closed_;
+    }
+    if (header.payload_len > max_frame_bytes_) {
+      callbacks_.on_protocol_error(
+          this, WireCode::kFrameTooLarge,
+          "frame payload of " + std::to_string(header.payload_len) +
+              " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+              "-byte limit");
+      return !closed_;
+    }
+    if (read_buf_.size() - consumed < kFrameHeaderBytes + header.payload_len) {
+      break;  // wait for the rest of the payload
+    }
+    ++frames_received_;
+    const std::string_view payload(
+        read_buf_.data() + consumed + kFrameHeaderBytes, header.payload_len);
+    callbacks_.on_frame(this, header, payload);
+    if (closed_) return false;
+    consumed += kFrameHeaderBytes + header.payload_len;
+  }
+  if (consumed > 0) read_buf_.erase(0, consumed);
+  return !closed_;
+}
+
+void Connection::Send(std::string_view bytes) {
+  if (closed_) return;
+  // Fast path: nothing queued, try the socket directly.
+  if (write_buf_.empty()) {
+    size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n = ::send(fd_.get(), bytes.data() + written,
+                               bytes.size() - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        Close();
+        return;
+      }
+      written += static_cast<size_t>(n);
+    }
+    bytes_sent_ += written;
+    bytes.remove_prefix(written);
+    if (bytes.empty()) {
+      if (close_after_flush_) Close();
+      return;
+    }
+  }
+  write_buf_.append(bytes.data(), bytes.size());
+  if (!want_write_) {
+    want_write_ = true;
+    UpdateInterest();
+  }
+}
+
+void Connection::HandleWritable() {
+  while (write_offset_ < write_buf_.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), write_buf_.data() + write_offset_,
+               write_buf_.size() - write_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      Close();
+      return;
+    }
+    write_offset_ += static_cast<size_t>(n);
+    bytes_sent_ += static_cast<uint64_t>(n);
+  }
+  write_buf_.clear();
+  write_offset_ = 0;
+  if (close_after_flush_) {
+    Close();
+    return;
+  }
+  if (want_write_) {
+    want_write_ = false;
+    UpdateInterest();
+  }
+}
+
+void Connection::UpdateInterest() {
+  (void)loop_->UpdateFd(fd_.get(),
+                        want_write_ ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void Connection::CloseAfterFlush() {
+  if (closed_) return;
+  if (write_buf_.empty()) {
+    Close();
+    return;
+  }
+  close_after_flush_ = true;
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->RemoveFd(fd_.get());
+  fd_.Reset();
+  // on_closed must defer actual destruction (the server PostTasks the
+  // delete): Close() can be reached from inside HandleReadable's parse
+  // loop, which still touches members after this returns.
+  callbacks_.on_closed(this);
+}
+
+}  // namespace matcn::net

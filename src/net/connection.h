@@ -1,0 +1,99 @@
+#ifndef MATCN_NET_CONNECTION_H_
+#define MATCN_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace matcn::net {
+
+/// One accepted client connection, owned by the server's event loop
+/// thread (no locking anywhere in this class). Handles the mechanics —
+/// non-blocking reads, incremental frame parsing with a max-frame-size
+/// guard, buffered writes with EPOLLOUT backpressure — and hands complete
+/// frames to the server through `on_frame`.
+///
+/// Closing discipline: Close() tears down immediately; CloseAfterFlush()
+/// lets the write buffer drain first (used for "send error, then hang
+/// up" and for graceful drain). Either way `on_closed` fires exactly
+/// once, after which the server must drop its pointer.
+class Connection {
+ public:
+  struct Callbacks {
+    /// A complete, size-checked frame. Payload view is only valid for the
+    /// duration of the call.
+    std::function<void(Connection*, const FrameHeader&, std::string_view)>
+        on_frame;
+    /// Malformed input (bad magic/version, oversized frame). The server
+    /// decides what to send; the connection closes after flushing.
+    std::function<void(Connection*, WireCode, const std::string&)>
+        on_protocol_error;
+    std::function<void(Connection*)> on_closed;
+  };
+
+  Connection(EventLoop* loop, ScopedFd fd, uint64_t id,
+             size_t max_frame_bytes, Callbacks callbacks);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the loop; call once after construction.
+  Status Register();
+
+  uint64_t id() const { return id_; }
+  bool closed() const { return closed_; }
+
+  /// Queues `bytes` (one or more whole frames) for writing, flushing as
+  /// much as the socket accepts now.
+  void Send(std::string_view bytes);
+
+  void Close();
+  void CloseAfterFlush();
+
+  /// Requests (queries) currently executing in the service for this
+  /// connection; maintained by the server, used by drain and idle sweeps.
+  int in_flight = 0;
+
+  std::chrono::steady_clock::time_point last_activity;
+
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  void HandleReadable();
+  void HandleWritable();
+  /// Parses as many complete frames as the buffer holds. Returns false
+  /// when the connection got closed during parsing.
+  bool DrainReadBuffer();
+  void UpdateInterest();
+
+  EventLoop* loop_;
+  ScopedFd fd_;
+  const uint64_t id_;
+  const size_t max_frame_bytes_;
+  Callbacks callbacks_;
+
+  std::string read_buf_;
+  std::string write_buf_;
+  size_t write_offset_ = 0;
+  bool want_write_ = false;
+  bool close_after_flush_ = false;
+  bool closed_ = false;
+
+  uint64_t bytes_received_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t frames_received_ = 0;
+};
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_CONNECTION_H_

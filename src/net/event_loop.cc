@@ -1,0 +1,176 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace matcn::net {
+
+namespace {
+constexpr int kMaxEventsPerWait = 64;
+}  // namespace
+
+EventLoop::EventLoop()
+    : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (!ok()) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev);
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::Wakeup() {
+  // write(2) on an eventfd is async-signal-safe; this is the only loop
+  // entry point a signal handler may call.
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wakeup();
+}
+
+void EventLoop::PostTask(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+uint64_t EventLoop::RunAfter(int64_t delay_ms, std::function<void()> fn) {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_timer_id_++;
+    timer_fns_[id] = std::move(fn);
+    timer_heap_.push(
+        Timer{Clock::now() + std::chrono::milliseconds(delay_ms), id});
+  }
+  Wakeup();
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timer_fns_.erase(id);  // heap entry becomes a no-op when it pops
+}
+
+Status EventLoop::AddFd(int fd, uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::IOError("epoll_ctl(ADD): " +
+                           std::string(std::strerror(errno)));
+  }
+  fd_callbacks_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status EventLoop::UpdateFd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::IOError("epoll_ctl(MOD): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void EventLoop::RemoveFd(int fd) {
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  fd_callbacks_.erase(fd);
+  removed_this_round_.push_back(fd);
+}
+
+void EventLoop::DrainWakeFd() {
+  uint64_t value;
+  while (::read(wake_fd_.get(), &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::RunPendingTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks.swap(tasks_);
+  }
+  for (std::function<void()>& task : tasks) task();
+}
+
+void EventLoop::RunDueTimers() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (timer_heap_.empty() || timer_heap_.top().at > Clock::now()) return;
+      const uint64_t id = timer_heap_.top().id;
+      timer_heap_.pop();
+      auto it = timer_fns_.find(id);
+      if (it == timer_fns_.end()) continue;  // cancelled
+      fn = std::move(it->second);
+      timer_fns_.erase(it);
+    }
+    fn();
+  }
+}
+
+int EventLoop::NextTimeoutMillis() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tasks_.empty()) return 0;
+  if (timer_heap_.empty()) return -1;
+  const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         timer_heap_.top().at - Clock::now())
+                         .count();
+  return static_cast<int>(std::clamp<int64_t>(delta, 0, 60'000));
+}
+
+void EventLoop::Run() {
+  loop_thread_ = std::this_thread::get_id();
+  epoll_event events[kMaxEventsPerWait];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events, kMaxEventsPerWait,
+                     NextTimeoutMillis());
+    if (n < 0 && errno != EINTR) break;
+    removed_this_round_.clear();
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        DrainWakeFd();
+        if (wakeup_callback_) wakeup_callback_();
+        continue;
+      }
+      // A callback earlier in this round may have closed this fd; its
+      // registration is gone, so skip stale events.
+      if (std::find(removed_this_round_.begin(), removed_this_round_.end(),
+                    fd) != removed_this_round_.end()) {
+        continue;
+      }
+      auto it = fd_callbacks_.find(fd);
+      if (it == fd_callbacks_.end()) continue;
+      // Copy: the callback may RemoveFd(fd) and invalidate the iterator.
+      FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+    RunDueTimers();
+    RunPendingTasks();
+  }
+  // One final drain so tasks posted concurrently with Stop() (e.g. query
+  // completions that only enqueue writes) cannot be lost silently.
+  RunPendingTasks();
+}
+
+}  // namespace matcn::net

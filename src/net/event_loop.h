@@ -1,0 +1,112 @@
+#ifndef MATCN_NET_EVENT_LOOP_H_
+#define MATCN_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace matcn::net {
+
+/// Single-threaded epoll reactor. One thread calls Run(); fd callbacks and
+/// timer callbacks execute on that thread, so per-connection state needs
+/// no locking. Other threads interact only through the thread-safe
+/// entry points PostTask(), Stop() and Wakeup() — each wakes the loop via
+/// an eventfd, and Wakeup()'s underlying write is async-signal-safe, which
+/// is what lets a SIGTERM handler trigger a graceful drain.
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd creation failed in the constructor.
+  bool ok() const { return epoll_fd_.valid() && wake_fd_.valid(); }
+
+  /// Runs until Stop(). Must be called from exactly one thread; that
+  /// thread becomes the loop thread.
+  void Run();
+
+  /// Thread-safe: makes Run() return after finishing the current round of
+  /// callbacks and pending tasks.
+  void Stop();
+
+  /// Registers `fd` for `events` (EPOLLIN etc.). Loop thread only (call
+  /// before Run() or from a callback).
+  Status AddFd(int fd, uint32_t events, FdCallback callback);
+  Status UpdateFd(int fd, uint32_t events);
+  /// Unregisters `fd`. Safe to call from inside its own callback; the
+  /// loop skips dispatch to fds removed mid-round.
+  void RemoveFd(int fd);
+
+  /// Thread-safe: enqueues `task` to run on the loop thread. Tasks posted
+  /// after Stop() are dropped on destruction without running.
+  void PostTask(std::function<void()> task);
+
+  /// Runs `fn` once, `delay_ms` from now, on the loop thread. Thread-safe.
+  /// Returns an id for CancelTimer.
+  uint64_t RunAfter(int64_t delay_ms, std::function<void()> fn);
+  void CancelTimer(uint64_t id);
+
+  /// Async-signal-safe nudge: wakes the loop without queueing anything.
+  /// Pair with a flag the loop inspects (see Server's drain path).
+  void Wakeup();
+
+  /// Runs on the loop thread after every wakeup (and spuriously after any
+  /// PostTask/RunAfter, which also wake the loop). Set before Run().
+  void SetWakeupCallback(std::function<void()> fn) {
+    wakeup_callback_ = std::move(fn);
+  }
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Timer {
+    Clock::time_point at;
+    uint64_t id;
+    bool operator>(const Timer& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  void DrainWakeFd();
+  void RunPendingTasks();
+  void RunDueTimers();
+  int NextTimeoutMillis();
+
+  ScopedFd epoll_fd_;
+  ScopedFd wake_fd_;
+  std::atomic<bool> stop_{false};
+  std::thread::id loop_thread_{};
+  std::function<void()> wakeup_callback_;
+
+  std::unordered_map<int, FdCallback> fd_callbacks_;
+  uint64_t dispatch_round_ = 0;
+  std::vector<int> removed_this_round_;
+
+  std::mutex mu_;  // guards tasks_ and timers
+  std::vector<std::function<void()>> tasks_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timer_heap_;
+  std::unordered_map<uint64_t, std::function<void()>> timer_fns_;
+  uint64_t next_timer_id_ = 1;
+};
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_EVENT_LOOP_H_

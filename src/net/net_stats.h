@@ -1,0 +1,65 @@
+#ifndef MATCN_NET_NET_STATS_H_
+#define MATCN_NET_NET_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace matcn::net {
+
+/// Point-in-time view of the server's network-layer counters (the
+/// QueryService keeps its own ServiceStats; a STATS request merges both).
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_refused = 0;  // over max_connections
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t idle_closed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t queries_received = 0;
+  uint64_t queries_in_flight = 0;
+  uint64_t drain_cancelled = 0;  // in-flight queries cancelled by drain
+
+  std::string ToString() const;
+};
+
+/// Relaxed-atomic counter block; mutated from the loop thread and from
+/// query-completion callbacks, read from any thread.
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> connections_refused{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> idle_closed{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> queries_received{0};
+  std::atomic<uint64_t> queries_in_flight{0};
+  std::atomic<uint64_t> drain_cancelled{0};
+
+  ServerStatsSnapshot Snapshot() const {
+    ServerStatsSnapshot s;
+    s.connections_accepted = connections_accepted.load(std::memory_order_relaxed);
+    s.connections_active = connections_active.load(std::memory_order_relaxed);
+    s.connections_refused = connections_refused.load(std::memory_order_relaxed);
+    s.frames_received = frames_received.load(std::memory_order_relaxed);
+    s.frames_sent = frames_sent.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.idle_closed = idle_closed.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.queries_received = queries_received.load(std::memory_order_relaxed);
+    s.queries_in_flight = queries_in_flight.load(std::memory_order_relaxed);
+    s.drain_cancelled = drain_cancelled.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_NET_STATS_H_

@@ -1,0 +1,480 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/cn_to_sql.h"
+
+namespace matcn::net {
+
+namespace {
+
+void Bump(std::atomic<uint64_t>* c) {
+  c->fetch_add(1, std::memory_order_relaxed);
+}
+
+void Drop(std::atomic<uint64_t>* c) {
+  c->fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string ServerStatsSnapshot::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "conns[accepted=%llu active=%llu refused=%llu idle_closed=%llu] "
+      "frames[in=%llu out=%llu] bytes[in=%llu out=%llu] "
+      "queries[received=%llu in_flight=%llu drain_cancelled=%llu] "
+      "protocol_errors=%llu",
+      static_cast<unsigned long long>(connections_accepted),
+      static_cast<unsigned long long>(connections_active),
+      static_cast<unsigned long long>(connections_refused),
+      static_cast<unsigned long long>(idle_closed),
+      static_cast<unsigned long long>(frames_received),
+      static_cast<unsigned long long>(frames_sent),
+      static_cast<unsigned long long>(bytes_received),
+      static_cast<unsigned long long>(bytes_sent),
+      static_cast<unsigned long long>(queries_received),
+      static_cast<unsigned long long>(queries_in_flight),
+      static_cast<unsigned long long>(drain_cancelled),
+      static_cast<unsigned long long>(protocol_errors));
+  return buf;
+}
+
+Server::Server(QueryService* service, const DatabaseSchema* schema,
+               ServerOptions options)
+    : service_(service), schema_(schema), options_(std::move(options)),
+      loop_guard_(std::make_shared<LoopGuard>()) {}
+
+Server::~Server() {
+  Shutdown();
+  // Detach in-flight completion callbacks from the loop before it dies:
+  // they may still fire on QueryService workers after this destructor.
+  {
+    std::lock_guard<std::mutex> lock(loop_guard_->mu);
+    loop_guard_->loop = nullptr;
+  }
+  loop_.reset();
+}
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("server already started");
+  }
+  loop_ = std::make_unique<EventLoop>();
+  if (!loop_->ok()) return Status::IOError("epoll/eventfd setup failed");
+  {
+    std::lock_guard<std::mutex> lock(loop_guard_->mu);
+    loop_guard_->loop = loop_.get();
+  }
+  Result<ScopedFd> listener = ListenTcp(options_.host, options_.port,
+                                        options_.listen_backlog, &port_);
+  MATCN_RETURN_IF_ERROR(listener.status());
+  listen_fd_ = std::move(listener).value();
+  MATCN_RETURN_IF_ERROR(SetNonBlocking(listen_fd_.get()));
+  MATCN_RETURN_IF_ERROR(
+      loop_->AddFd(listen_fd_.get(), EPOLLIN,
+                   [this](uint32_t events) { HandleAccept(events); }));
+  // The drain trigger: NotifyShutdown() flips the flag and pokes the
+  // eventfd from any context (including a signal handler).
+  loop_->SetWakeupCallback([this] {
+    if (shutdown_requested_.load(std::memory_order_acquire)) BeginDrain();
+  });
+  if (options_.idle_timeout_ms > 0) ArmSweepTimer();
+  loop_thread_ = std::thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void Server::ArmSweepTimer() {
+  const int64_t period = std::max<int64_t>(
+      1, std::min<int64_t>(options_.idle_timeout_ms / 2, 1000));
+  sweep_timer_ = loop_->RunAfter(period, [this] {
+    SweepIdleConnections();
+    if (!draining_) ArmSweepTimer();
+  });
+}
+
+void Server::RunLoop() { loop_->Run(); }
+
+void Server::NotifyShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (loop_ != nullptr) loop_->Wakeup();
+}
+
+void Server::Wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (joined_.load() || !loop_thread_.joinable()) return;
+  loop_thread_.join();
+  joined_.store(true);
+}
+
+void Server::Shutdown() {
+  if (!started_.load()) return;
+  NotifyShutdown();
+  Wait();
+}
+
+void Server::HandleAccept(uint32_t /*events*/) {
+  while (true) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: try again on the next EPOLLIN
+    }
+    ScopedFd client(fd);
+    if (draining_) continue;  // closing the fd is the refusal
+    if (connections_.size() >= options_.max_connections) {
+      // Refuse politely: one GOING_AWAY frame, best effort, then close.
+      WireWriter w;
+      w.Str("connection limit reached (" +
+            std::to_string(options_.max_connections) + ")");
+      std::string frame;
+      AppendFrame(&frame, FrameType::kGoingAway, 0, w.buffer());
+      (void)::send(client.get(), frame.data(), frame.size(), MSG_NOSIGNAL);
+      Bump(&stats_.connections_refused);
+      continue;
+    }
+    const uint64_t id = next_connection_id_++;
+    Connection::Callbacks callbacks;
+    callbacks.on_frame = [this](Connection* c, const FrameHeader& h,
+                                std::string_view p) { OnFrame(c, h, p); };
+    callbacks.on_protocol_error = [this](Connection* c, WireCode code,
+                                         const std::string& msg) {
+      OnProtocolError(c, code, msg);
+    };
+    callbacks.on_closed = [this](Connection* c) { OnConnectionClosed(c); };
+    auto conn = std::make_unique<Connection>(loop_.get(), std::move(client),
+                                             id, options_.max_frame_bytes,
+                                             std::move(callbacks));
+    if (!conn->Register().ok()) continue;
+    connections_.emplace(id, std::move(conn));
+    Bump(&stats_.connections_accepted);
+    Bump(&stats_.connections_active);
+  }
+}
+
+void Server::SendFrame(Connection* conn, FrameType type, uint64_t request_id,
+                       const std::string& payload) {
+  std::string frame;
+  AppendFrame(&frame, type, request_id, payload);
+  Bump(&stats_.frames_sent);
+  stats_.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+  conn->Send(frame);
+}
+
+void Server::SendError(Connection* conn, uint64_t request_id, WireCode code,
+                       const std::string& message) {
+  WireWriter w;
+  Encode(ErrorPayload{code, message}, &w);
+  SendFrame(conn, FrameType::kError, request_id, w.buffer());
+}
+
+void Server::SendGoingAway(Connection* conn, const std::string& reason) {
+  WireWriter w;
+  w.Str(reason);
+  SendFrame(conn, FrameType::kGoingAway, 0, w.buffer());
+}
+
+void Server::OnProtocolError(Connection* conn, WireCode code,
+                             const std::string& message) {
+  Bump(&stats_.protocol_errors);
+  SendError(conn, 0, code, message);
+  conn->CloseAfterFlush();
+}
+
+void Server::OnConnectionClosed(Connection* conn) {
+  Drop(&stats_.connections_active);
+  // Orphaned in-flight queries: cancel their pipelines; the completion
+  // callback finds the connection gone and drops the response.
+  if (conn->in_flight > 0) {
+    for (auto& [pid, pending] : pending_) {
+      if (pending.connection_id == conn->id() && pending.cancel != nullptr) {
+        pending.cancel->Cancel();
+      }
+    }
+  }
+  const uint64_t id = conn->id();
+  // Deferred destruction: Close() can be reached from deep inside the
+  // connection's own read loop.
+  loop_->PostTask([this, id] {
+    connections_.erase(id);
+    FinishDrainIfIdle();
+  });
+}
+
+void Server::OnFrame(Connection* conn, const FrameHeader& header,
+                     std::string_view payload) {
+  Bump(&stats_.frames_received);
+  stats_.bytes_received.fetch_add(kFrameHeaderBytes + payload.size(),
+                                  std::memory_order_relaxed);
+  switch (header.type) {
+    case FrameType::kQuery:
+      if (draining_) {
+        SendError(conn, header.request_id, WireCode::kUnavailable,
+                  "server is draining; no new queries accepted");
+        return;
+      }
+      HandleQuery(conn, header.request_id, payload);
+      return;
+    case FrameType::kStats:
+      HandleStats(conn, header.request_id);
+      return;
+    case FrameType::kPing:
+      SendFrame(conn, FrameType::kPong, header.request_id, std::string());
+      return;
+    default:
+      Bump(&stats_.protocol_errors);
+      SendError(conn, header.request_id, WireCode::kProtocolError,
+                "unexpected frame type " +
+                    std::to_string(static_cast<int>(header.type)));
+      return;
+  }
+}
+
+void Server::HandleQuery(Connection* conn, uint64_t request_id,
+                         std::string_view payload) {
+  QueryRequest request;
+  if (!Decode(payload, &request)) {
+    Bump(&stats_.protocol_errors);
+    SendError(conn, request_id, WireCode::kProtocolError,
+              "malformed QUERY payload");
+    conn->CloseAfterFlush();
+    return;
+  }
+  Result<KeywordQuery> query = KeywordQuery::FromKeywords(request.keywords);
+  if (!query.ok()) {
+    SendError(conn, request_id, StatusToWireCode(query.status()),
+              query.status().message());
+    return;
+  }
+
+  Deadline deadline = Deadline::Infinite();
+  if (request.deadline_ms > 0) {
+    deadline = Deadline::AfterMillis(request.deadline_ms);
+  } else if (service_->options().default_deadline_ms > 0) {
+    deadline = Deadline::AfterMillis(service_->options().default_deadline_ms);
+  }
+  QueryRequestOptions request_options;
+  request_options.t_max = request.t_max;
+
+  const uint64_t pid = next_pending_id_++;
+  PendingQuery pending;
+  pending.connection_id = conn->id();
+  pending.request_id = request_id;
+  pending.max_cns = request.max_cns;
+  pending.include_sql = request.include_sql;
+  pending_.emplace(pid, std::move(pending));
+  ++conn->in_flight;
+  Bump(&stats_.queries_received);
+  Bump(&stats_.queries_in_flight);
+
+  // The completion callback runs on a QueryService worker (or, for cache
+  // hits and rejects, synchronously right here on the loop thread). It
+  // only touches the loop through the guard, so a worker finishing after
+  // server teardown is harmless.
+  std::shared_ptr<LoopGuard> guard = loop_guard_;
+  Server* self = this;
+  std::shared_ptr<CancelToken> cancel = service_->SubmitAsync(
+      *query, deadline, request_options,
+      [self, guard, pid](Result<QueryResponse> response) {
+        std::lock_guard<std::mutex> lock(guard->mu);
+        if (guard->loop == nullptr) return;
+        guard->loop->PostTask(
+            [self, pid, response = std::move(response)]() mutable {
+              self->OnQueryDone(pid, std::move(response));
+            });
+      });
+  auto it = pending_.find(pid);
+  if (it != pending_.end()) it->second.cancel = std::move(cancel);
+}
+
+void Server::OnQueryDone(uint64_t pending_id,
+                         Result<QueryResponse> response) {
+  auto pending_it = pending_.find(pending_id);
+  if (pending_it == pending_.end()) return;  // force-drained
+  const PendingQuery pending = std::move(pending_it->second);
+  pending_.erase(pending_it);
+  Drop(&stats_.queries_in_flight);
+
+  auto conn_it = connections_.find(pending.connection_id);
+  if (conn_it == connections_.end() || conn_it->second->closed()) {
+    FinishDrainIfIdle();
+    return;  // client went away; response undeliverable
+  }
+  Connection* conn = conn_it->second.get();
+  --conn->in_flight;
+  conn->last_activity = std::chrono::steady_clock::now();
+
+  if (!response.ok()) {
+    SendError(conn, pending.request_id, StatusToWireCode(response.status()),
+              response.status().message());
+  } else {
+    const QueryResponse& qr = *response;
+    const GenerationResult& result = *qr.result;
+    std::string frames;
+
+    ResultHeader header;
+    header.cache_hit = qr.cache_hit;
+    header.degraded = qr.degraded;
+    header.degraded_reason = qr.degraded_reason;
+    header.num_tuple_sets = static_cast<uint32_t>(result.tuple_sets.size());
+    header.num_matches = static_cast<uint32_t>(result.matches.size());
+    header.num_cns = static_cast<uint32_t>(result.cns.size());
+    {
+      WireWriter w;
+      Encode(header, &w);
+      AppendFrame(&frames, FrameType::kResultHeader, pending.request_id,
+                  w.buffer());
+      Bump(&stats_.frames_sent);
+    }
+
+    const size_t limit =
+        pending.max_cns == 0
+            ? result.cns.size()
+            : std::min<size_t>(pending.max_cns, result.cns.size());
+    for (size_t i = 0; i < limit; ++i) {
+      const CandidateNetwork& cn = result.cns[i];
+      CnRecord record;
+      record.index = static_cast<uint32_t>(i);
+      record.num_nodes = static_cast<uint16_t>(cn.size());
+      record.num_non_free = static_cast<uint16_t>(cn.num_non_free());
+      // Render against the *normalized* query the service executed —
+      // cached results are keyed to its keyword order.
+      record.text = cn.ToString(*schema_, qr.query);
+      if (pending.include_sql) {
+        record.sql = CandidateNetworkToSql(cn, *schema_, qr.query);
+      }
+      WireWriter w;
+      Encode(record, &w);
+      AppendFrame(&frames, FrameType::kCnRecord, pending.request_id,
+                  w.buffer());
+      Bump(&stats_.frames_sent);
+    }
+
+    ResultTrailer trailer;
+    trailer.server_latency_us = static_cast<uint64_t>(qr.latency_ms * 1000.0);
+    trailer.cns_sent = static_cast<uint32_t>(limit);
+    trailer.cns_total = static_cast<uint32_t>(result.cns.size());
+    {
+      WireWriter w;
+      Encode(trailer, &w);
+      AppendFrame(&frames, FrameType::kResultTrailer, pending.request_id,
+                  w.buffer());
+      Bump(&stats_.frames_sent);
+    }
+    stats_.bytes_sent.fetch_add(frames.size(), std::memory_order_relaxed);
+    conn->Send(frames);
+  }
+
+  if (draining_ && conn->in_flight == 0 && !conn->closed()) {
+    SendGoingAway(conn, "server shutting down");
+    conn->CloseAfterFlush();
+  }
+  FinishDrainIfIdle();
+}
+
+void Server::HandleStats(Connection* conn, uint64_t request_id) {
+  const ServiceStatsSnapshot service = service_->Stats();
+  const ServerStatsSnapshot netstats = stats_.Snapshot();
+  StatsPayload payload;
+  payload.submitted = service.submitted;
+  payload.completed = service.completed;
+  payload.rejected = service.rejected;
+  payload.timed_out = service.timed_out;
+  payload.degraded = service.degraded;
+  payload.failed = service.failed;
+  payload.cache_hits = service.cache_hits;
+  payload.cache_misses = service.cache_misses;
+  payload.queue_depth = service.queue_depth;
+  payload.mean_us = static_cast<uint64_t>(service.mean_ms * 1000.0);
+  payload.p50_us = static_cast<uint64_t>(service.p50_ms * 1000.0);
+  payload.p95_us = static_cast<uint64_t>(service.p95_ms * 1000.0);
+  payload.p99_us = static_cast<uint64_t>(service.p99_ms * 1000.0);
+  payload.connections_accepted = netstats.connections_accepted;
+  payload.connections_active = netstats.connections_active;
+  payload.frames_received = netstats.frames_received;
+  payload.frames_sent = netstats.frames_sent;
+  payload.bytes_received = netstats.bytes_received;
+  payload.bytes_sent = netstats.bytes_sent;
+  payload.idle_closed = netstats.idle_closed;
+  payload.protocol_errors = netstats.protocol_errors;
+  payload.queries_in_flight = netstats.queries_in_flight;
+  WireWriter w;
+  Encode(payload, &w);
+  SendFrame(conn, FrameType::kStatsResult, request_id, w.buffer());
+}
+
+void Server::SweepIdleConnections() {
+  if (options_.idle_timeout_ms <= 0 || draining_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& [id, conn] : connections_) {
+    if (conn->closed() || conn->in_flight > 0) continue;
+    if (now - conn->last_activity >= limit) {
+      Bump(&stats_.idle_closed);
+      SendGoingAway(conn.get(), "idle timeout");
+      conn->CloseAfterFlush();
+    }
+  }
+}
+
+void Server::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  // Stop accepting: unregister and close the listen socket so the OS
+  // refuses new connections immediately.
+  if (listen_fd_.valid()) {
+    loop_->RemoveFd(listen_fd_.get());
+    listen_fd_.Reset();
+  }
+  if (sweep_timer_ != 0) loop_->CancelTimer(sweep_timer_);
+  // Idle connections can go now; busy ones get their responses first.
+  for (auto& [id, conn] : connections_) {
+    if (!conn->closed() && conn->in_flight == 0) {
+      SendGoingAway(conn.get(), "server shutting down");
+      conn->CloseAfterFlush();
+    }
+  }
+  drain_timer_ = loop_->RunAfter(options_.drain_deadline_ms,
+                                 [this] { ForceFinishDrain(); });
+  FinishDrainIfIdle();
+}
+
+void Server::FinishDrainIfIdle() {
+  if (!draining_ || drain_done_) return;
+  if (!pending_.empty()) return;
+  for (const auto& [id, conn] : connections_) {
+    if (!conn->closed()) return;  // still flushing a response
+  }
+  drain_done_ = true;
+  if (drain_timer_ != 0) loop_->CancelTimer(drain_timer_);
+  loop_->Stop();
+}
+
+void Server::ForceFinishDrain() {
+  if (drain_done_) return;
+  // Drain deadline expired: cancel whatever is still running and hang up.
+  // Cancelled pipelines stop at their next cooperative check; their
+  // responses are dropped (the connections are gone).
+  for (auto& [pid, pending] : pending_) {
+    if (pending.cancel != nullptr) pending.cancel->Cancel();
+    Bump(&stats_.drain_cancelled);
+    Drop(&stats_.queries_in_flight);
+  }
+  pending_.clear();
+  for (auto& [id, conn] : connections_) {
+    if (!conn->closed()) conn->Close();
+  }
+  drain_done_ = true;
+  loop_->Stop();
+}
+
+}  // namespace matcn::net

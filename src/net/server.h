@@ -1,0 +1,153 @@
+#ifndef MATCN_NET_SERVER_H_
+#define MATCN_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/net_stats.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/query_service.h"
+#include "storage/schema.h"
+
+namespace matcn::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  /// Largest accepted request payload; oversized frames get a
+  /// FRAME_TOO_LARGE error and the connection is closed (slow/abusive
+  /// clients cannot make the server buffer unbounded input).
+  size_t max_frame_bytes = size_t{1} << 20;
+  /// Connections with no traffic and no in-flight query for this long are
+  /// closed (GOING_AWAY "idle timeout"); 0 disables the sweep.
+  int64_t idle_timeout_ms = 60'000;
+  /// Graceful-drain budget: after Shutdown()/NotifyShutdown() the server
+  /// stops accepting, lets in-flight queries finish for this long, then
+  /// cancels the stragglers via their CancelTokens and closes.
+  int64_t drain_deadline_ms = 5'000;
+  /// Accepted connections beyond this are refused with GOING_AWAY.
+  size_t max_connections = 1024;
+  int listen_backlog = 128;
+};
+
+/// The network front end: an epoll event loop (one dedicated thread)
+/// accepting TCP connections that speak the MatCN wire protocol, bridged
+/// to a QueryService. Admission-control rejections and deadline expiry
+/// surface as typed ERROR frames (RESOURCE_EXHAUSTED, DEADLINE_EXCEEDED)
+/// rather than dropped connections, so clients can back off; results
+/// stream as CN_RECORD frames between a RESULT_HEADER and a
+/// RESULT_TRAILER.
+///
+/// The service and schema are borrowed and must outlive the server. The
+/// schema is whatever the service generates against — CN text/SQL
+/// rendering needs it.
+class Server {
+ public:
+  Server(QueryService* service, const DatabaseSchema* schema,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the loop thread. Call once.
+  Status Start();
+
+  /// Bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Async-signal-safe shutdown trigger: usable directly inside a SIGTERM
+  /// handler. The loop notices the flag, begins the graceful drain, and
+  /// Wait()/Shutdown() observe completion.
+  void NotifyShutdown();
+
+  /// Blocks until the drain finishes and the loop thread exits.
+  void Wait();
+
+  /// NotifyShutdown() + Wait(). Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServerStatsSnapshot NetStats() const { return stats_.Snapshot(); }
+
+ private:
+  // Callbacks shared with in-flight query completions: completions may
+  // outlive the Server teardown path, so they only touch the loop through
+  // this guard.
+  struct LoopGuard {
+    std::mutex mu;
+    EventLoop* loop = nullptr;  // null once the server is gone
+  };
+
+  struct PendingQuery {
+    uint64_t connection_id = 0;
+    uint64_t request_id = 0;
+    uint32_t max_cns = 0;
+    bool include_sql = false;
+    std::shared_ptr<CancelToken> cancel;
+  };
+
+  void RunLoop();
+  void HandleAccept(uint32_t events);
+  void OnFrame(Connection* conn, const FrameHeader& header,
+               std::string_view payload);
+  void OnProtocolError(Connection* conn, WireCode code,
+                       const std::string& message);
+  void OnConnectionClosed(Connection* conn);
+
+  void HandleQuery(Connection* conn, uint64_t request_id,
+                   std::string_view payload);
+  void HandleStats(Connection* conn, uint64_t request_id);
+  void OnQueryDone(uint64_t pending_id, Result<QueryResponse> response);
+
+  void SendError(Connection* conn, uint64_t request_id, WireCode code,
+                 const std::string& message);
+  void SendGoingAway(Connection* conn, const std::string& reason);
+  void SendFrame(Connection* conn, FrameType type, uint64_t request_id,
+                 const std::string& payload);
+
+  void SweepIdleConnections();
+  void ArmSweepTimer();
+  void BeginDrain();
+  void FinishDrainIfIdle();
+  void ForceFinishDrain();
+
+  QueryService* service_;
+  const DatabaseSchema* schema_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<EventLoop> loop_;
+  std::shared_ptr<LoopGuard> loop_guard_;
+  std::thread loop_thread_;
+  ScopedFd listen_fd_;
+
+  uint64_t next_connection_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+
+  uint64_t next_pending_id_ = 1;
+  std::unordered_map<uint64_t, PendingQuery> pending_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+  bool drain_done_ = false;
+  uint64_t drain_timer_ = 0;
+  uint64_t sweep_timer_ = 0;
+
+  ServerStats stats_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> joined_{false};
+  std::mutex join_mu_;
+};
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_SERVER_H_

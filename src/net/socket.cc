@@ -1,0 +1,172 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace matcn::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string h = host.empty() || host == "localhost" ? "127.0.0.1"
+                                                            : host;
+  if (inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Status::IOError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::OK();
+}
+
+Status SetIoTimeout(int fd, int64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::IOError(Errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)"));
+  }
+  return Status::OK();
+}
+
+Result<ScopedFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog, uint16_t* bound_port) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  MATCN_RETURN_IF_ERROR(addr.status());
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) < 0) {
+    return Status::IOError(Errno("bind " + host + ":" +
+                                 std::to_string(port)));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return Status::IOError(Errno("listen"));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return Status::IOError(Errno("getsockname"));
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Result<ScopedFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int64_t timeout_ms) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  MATCN_RETURN_IF_ERROR(addr.status());
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  // Connect with a timeout: non-blocking connect + poll, then back to
+  // blocking mode for the caller's synchronous reads/writes.
+  MATCN_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+                     sizeof(*addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::IOError(Errno("connect " + host + ":" +
+                                 std::to_string(port)));
+  }
+  if (rc < 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) {
+      return Status::DeadlineExceeded("connect timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (rc < 0) return Status::IOError(Errno("poll(connect)"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return Status::IOError(Errno("connect " + host + ":" +
+                                   std::to_string(port)));
+    }
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+  MATCN_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("send"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExactly(int fd, size_t n, std::string* out) {
+  const size_t start = out->size();
+  out->resize(start + n);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out->data() + start + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      out->resize(start + got);
+      return Status::IOError(Errno("recv"));
+    }
+    if (r == 0) {
+      out->resize(start + got);
+      return got == 0 ? Status::NotFound("connection closed by peer")
+                      : Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace matcn::net

@@ -1,0 +1,65 @@
+#ifndef MATCN_NET_SOCKET_H_
+#define MATCN_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace matcn::net {
+
+/// Owning file-descriptor handle: closes on destruction, move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();  // closes if valid
+
+ private:
+  int fd_ = -1;
+};
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+/// Sets both SO_RCVTIMEO and SO_SNDTIMEO; 0 clears them.
+Status SetIoTimeout(int fd, int64_t timeout_ms);
+
+/// Creates a listening TCP socket bound to `host:port` (port 0 picks an
+/// ephemeral port). On success `*bound_port` holds the actual port.
+Result<ScopedFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog, uint16_t* bound_port);
+
+/// Blocking TCP connect with a timeout.
+Result<ScopedFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int64_t timeout_ms);
+
+/// Blocking write of the whole buffer (retries on EINTR / short writes).
+Status WriteAll(int fd, std::string_view data);
+
+/// Blocking read of exactly `n` bytes into `out` (appended). Returns
+/// IOError on timeout or error, NotFound on clean EOF at a frame boundary
+/// (out left untouched when EOF hits before any byte).
+Status ReadExactly(int fd, size_t n, std::string* out);
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_SOCKET_H_

@@ -1,0 +1,259 @@
+#include "net/wire.h"
+
+namespace matcn::net {
+
+WireCode StatusToWireCode(const Status& status) {
+  // StatusCode 0..9 and WireCode 0..9 are the same enumeration by
+  // construction (see wire.h); the cast is the mapping.
+  return static_cast<WireCode>(static_cast<uint16_t>(status.code()));
+}
+
+Status WireCodeToStatus(WireCode code, std::string message) {
+  switch (code) {
+    case WireCode::kOk:
+      return Status::OK();
+    case WireCode::kUnavailable:
+      return Status::ResourceExhausted(std::move(message));
+    case WireCode::kFrameTooLarge:
+    case WireCode::kProtocolError:
+      return Status::InvalidArgument(std::move(message));
+    default:
+      if (static_cast<uint16_t>(code) <=
+          static_cast<uint16_t>(WireCode::kUnimplemented)) {
+        return Status(static_cast<StatusCode>(code), std::move(message));
+      }
+      return Status::Internal(std::move(message));
+  }
+}
+
+const char* WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return "OK";
+    case WireCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireCode::kNotFound: return "NOT_FOUND";
+    case WireCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case WireCode::kOutOfRange: return "OUT_OF_RANGE";
+    case WireCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case WireCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireCode::kInternal: return "INTERNAL";
+    case WireCode::kIOError: return "IO_ERROR";
+    case WireCode::kUnimplemented: return "UNIMPLEMENTED";
+    case WireCode::kUnavailable: return "UNAVAILABLE";
+    case WireCode::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case WireCode::kProtocolError: return "PROTOCOL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+HeaderParse ParseFrameHeader(std::string_view data, FrameHeader* out) {
+  if (data.size() < kFrameHeaderBytes) return HeaderParse::kNeedMore;
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  if (p[4] != kMagic0 || p[5] != kMagic1) return HeaderParse::kBadMagic;
+  if (p[6] != kProtocolVersion) return HeaderParse::kBadVersion;
+  uint32_t len;
+  std::memcpy(&len, p, sizeof(len));
+  uint64_t request_id;
+  std::memcpy(&request_id, p + 8, sizeof(request_id));
+  out->payload_len = len;
+  out->version = p[6];
+  out->type = static_cast<FrameType>(p[7]);
+  out->request_id = request_id;
+  return HeaderParse::kOk;
+}
+
+void AppendFrame(std::string* out, FrameType type, uint64_t request_id,
+                 std::string_view payload) {
+  char header[kFrameHeaderBytes];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(header, &len, sizeof(len));
+  header[4] = static_cast<char>(kMagic0);
+  header[5] = static_cast<char>(kMagic1);
+  header[6] = static_cast<char>(kProtocolVersion);
+  header[7] = static_cast<char>(type);
+  std::memcpy(header + 8, &request_id, sizeof(request_id));
+  out->append(header, kFrameHeaderBytes);
+  out->append(payload.data(), payload.size());
+}
+
+void WireWriter::AppendLe(const void* v, size_t n) {
+  // The build targets little-endian Linux; a big-endian port would
+  // byte-swap here.
+  buf_.append(static_cast<const char*>(v), n);
+}
+
+bool WireReader::Take(void* out, size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) { return Take(v, sizeof(*v)); }
+bool WireReader::U16(uint16_t* v) { return Take(v, sizeof(*v)); }
+bool WireReader::U32(uint32_t* v) { return Take(v, sizeof(*v)); }
+bool WireReader::U64(uint64_t* v) { return Take(v, sizeof(*v)); }
+
+bool WireReader::Str(std::string* v) {
+  uint32_t len;
+  if (!U32(&len)) return false;
+  if (data_.size() - pos_ < len) {
+    ok_ = false;
+    return false;
+  }
+  v->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+void Encode(const QueryRequest& v, WireWriter* w) {
+  w->U32(v.deadline_ms);
+  w->U16(v.t_max);
+  w->U32(v.max_cns);
+  w->U8(v.include_sql ? 1 : 0);
+  w->U16(static_cast<uint16_t>(v.keywords.size()));
+  for (const std::string& kw : v.keywords) w->Str(kw);
+}
+
+bool Decode(std::string_view payload, QueryRequest* v) {
+  WireReader r(payload);
+  uint8_t include_sql = 0;
+  uint16_t n = 0;
+  r.U32(&v->deadline_ms);
+  r.U16(&v->t_max);
+  r.U32(&v->max_cns);
+  r.U8(&include_sql);
+  r.U16(&n);
+  v->include_sql = include_sql != 0;
+  v->keywords.clear();
+  for (uint16_t i = 0; r.ok() && i < n; ++i) {
+    std::string kw;
+    if (r.Str(&kw)) v->keywords.push_back(std::move(kw));
+  }
+  return r.AtEnd();
+}
+
+void Encode(const ResultHeader& v, WireWriter* w) {
+  w->U8(v.cache_hit ? 1 : 0);
+  w->U8(v.degraded ? 1 : 0);
+  w->Str(v.degraded_reason);
+  w->U32(v.num_tuple_sets);
+  w->U32(v.num_matches);
+  w->U32(v.num_cns);
+}
+
+bool Decode(std::string_view payload, ResultHeader* v) {
+  WireReader r(payload);
+  uint8_t cache_hit = 0, degraded = 0;
+  r.U8(&cache_hit);
+  r.U8(&degraded);
+  r.Str(&v->degraded_reason);
+  r.U32(&v->num_tuple_sets);
+  r.U32(&v->num_matches);
+  r.U32(&v->num_cns);
+  v->cache_hit = cache_hit != 0;
+  v->degraded = degraded != 0;
+  return r.AtEnd();
+}
+
+void Encode(const CnRecord& v, WireWriter* w) {
+  w->U32(v.index);
+  w->U16(v.num_nodes);
+  w->U16(v.num_non_free);
+  w->Str(v.text);
+  w->Str(v.sql);
+}
+
+bool Decode(std::string_view payload, CnRecord* v) {
+  WireReader r(payload);
+  r.U32(&v->index);
+  r.U16(&v->num_nodes);
+  r.U16(&v->num_non_free);
+  r.Str(&v->text);
+  r.Str(&v->sql);
+  return r.AtEnd();
+}
+
+void Encode(const ResultTrailer& v, WireWriter* w) {
+  w->U64(v.server_latency_us);
+  w->U32(v.cns_sent);
+  w->U32(v.cns_total);
+}
+
+bool Decode(std::string_view payload, ResultTrailer* v) {
+  WireReader r(payload);
+  r.U64(&v->server_latency_us);
+  r.U32(&v->cns_sent);
+  r.U32(&v->cns_total);
+  return r.AtEnd();
+}
+
+void Encode(const ErrorPayload& v, WireWriter* w) {
+  w->U16(static_cast<uint16_t>(v.code));
+  w->Str(v.message);
+}
+
+bool Decode(std::string_view payload, ErrorPayload* v) {
+  WireReader r(payload);
+  uint16_t code = 0;
+  r.U16(&code);
+  r.Str(&v->message);
+  v->code = static_cast<WireCode>(code);
+  return r.AtEnd();
+}
+
+void Encode(const StatsPayload& v, WireWriter* w) {
+  w->U64(v.submitted);
+  w->U64(v.completed);
+  w->U64(v.rejected);
+  w->U64(v.timed_out);
+  w->U64(v.degraded);
+  w->U64(v.failed);
+  w->U64(v.cache_hits);
+  w->U64(v.cache_misses);
+  w->U64(v.queue_depth);
+  w->U64(v.mean_us);
+  w->U64(v.p50_us);
+  w->U64(v.p95_us);
+  w->U64(v.p99_us);
+  w->U64(v.connections_accepted);
+  w->U64(v.connections_active);
+  w->U64(v.frames_received);
+  w->U64(v.frames_sent);
+  w->U64(v.bytes_received);
+  w->U64(v.bytes_sent);
+  w->U64(v.idle_closed);
+  w->U64(v.protocol_errors);
+  w->U64(v.queries_in_flight);
+}
+
+bool Decode(std::string_view payload, StatsPayload* v) {
+  WireReader r(payload);
+  r.U64(&v->submitted);
+  r.U64(&v->completed);
+  r.U64(&v->rejected);
+  r.U64(&v->timed_out);
+  r.U64(&v->degraded);
+  r.U64(&v->failed);
+  r.U64(&v->cache_hits);
+  r.U64(&v->cache_misses);
+  r.U64(&v->queue_depth);
+  r.U64(&v->mean_us);
+  r.U64(&v->p50_us);
+  r.U64(&v->p95_us);
+  r.U64(&v->p99_us);
+  r.U64(&v->connections_accepted);
+  r.U64(&v->connections_active);
+  r.U64(&v->frames_received);
+  r.U64(&v->frames_sent);
+  r.U64(&v->bytes_received);
+  r.U64(&v->bytes_sent);
+  r.U64(&v->idle_closed);
+  r.U64(&v->protocol_errors);
+  r.U64(&v->queries_in_flight);
+  return r.AtEnd();
+}
+
+}  // namespace matcn::net

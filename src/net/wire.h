@@ -1,0 +1,226 @@
+#ifndef MATCN_NET_WIRE_H_
+#define MATCN_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace matcn::net {
+
+/// ---------------------------------------------------------------------
+/// MatCN wire protocol, version 1.
+///
+/// Every frame, in both directions, is a fixed 16-byte header followed by
+/// a type-specific payload. All integers are little-endian; strings are a
+/// u32 byte length followed by raw bytes (no terminator).
+///
+///   offset  size  field
+///        0     4  payload length (bytes after the header)
+///        4     1  magic 'M'
+///        5     1  magic 'C'
+///        6     1  protocol version (kProtocolVersion)
+///        7     1  frame type (FrameType)
+///        8     8  request id (client-chosen, echoed in every response)
+///
+/// One QUERY request yields RESULT_HEADER, zero or more CN_RECORD frames,
+/// and a RESULT_TRAILER — or a single ERROR frame. STATS yields
+/// STATS_RESULT, PING yields PONG. GOING_AWAY is unsolicited
+/// (request id 0): the server is draining or dropping the connection.
+/// ---------------------------------------------------------------------
+
+inline constexpr uint8_t kMagic0 = 'M';
+inline constexpr uint8_t kMagic1 = 'C';
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kQuery = 1,
+  kStats = 2,
+  kPing = 3,
+  // Responses (server -> client).
+  kResultHeader = 64,
+  kCnRecord = 65,
+  kResultTrailer = 66,
+  kError = 67,
+  kStatsResult = 68,
+  kPong = 69,
+  kGoingAway = 70,
+};
+
+/// Wire-stable error codes. Values 0..9 mirror StatusCode exactly (the
+/// in-process enum order is frozen by this mapping); 100+ are
+/// protocol-level failures that have no Status equivalent.
+enum class WireCode : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kDeadlineExceeded = 6,
+  kInternal = 7,
+  kIOError = 8,
+  kUnimplemented = 9,
+  kUnavailable = 100,   // server draining / connection refused
+  kFrameTooLarge = 101,
+  kProtocolError = 102,
+};
+
+WireCode StatusToWireCode(const Status& status);
+/// Protocol-only codes (kUnavailable and up) map onto the closest Status.
+Status WireCodeToStatus(WireCode code, std::string message);
+const char* WireCodeName(WireCode code);
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+};
+
+enum class HeaderParse { kOk, kNeedMore, kBadMagic, kBadVersion };
+
+/// Parses a frame header from the front of `data`. On kOk the caller owns
+/// validating payload_len against its frame-size limit before buffering.
+HeaderParse ParseFrameHeader(std::string_view data, FrameHeader* out);
+
+/// Appends header + payload to `out` (the only frame-assembly entry point,
+/// so the header layout lives in one place).
+void AppendFrame(std::string* out, FrameType type, uint64_t request_id,
+                 std::string_view payload);
+
+/// Little-endian payload serializer. Append-only; Take() hands the buffer
+/// off without copying.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { AppendLe(&v, sizeof(v)); }
+  void U32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void AppendLe(const void* v, size_t n);
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian payload reader. Every accessor returns
+/// false (and poisons the reader) on underflow, so decoders can parse
+/// first and check `ok()` once at the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool Str(std::string* v);
+
+  bool ok() const { return ok_; }
+  /// True when the payload was consumed exactly (trailing garbage is a
+  /// protocol error for fixed-shape payloads).
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Take(void* out, size_t n);
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --------------------------- payloads ---------------------------------
+
+struct QueryRequest {
+  uint32_t deadline_ms = 0;  // 0 = server default
+  uint16_t t_max = 0;        // 0 = server default
+  uint32_t max_cns = 0;      // cap on streamed CN_RECORD frames; 0 = all
+  bool include_sql = false;  // also render each CN as SQL
+  std::vector<std::string> keywords;
+};
+
+struct ResultHeader {
+  bool cache_hit = false;
+  bool degraded = false;
+  std::string degraded_reason;
+  uint32_t num_tuple_sets = 0;
+  uint32_t num_matches = 0;
+  uint32_t num_cns = 0;  // total generated (may exceed streamed count)
+};
+
+struct CnRecord {
+  uint32_t index = 0;  // position in the generation result
+  uint16_t num_nodes = 0;
+  uint16_t num_non_free = 0;
+  std::string text;  // rendered "MOV^{g} ⋈ CAST^{} ⋈ ..." form
+  std::string sql;   // empty unless include_sql was requested
+};
+
+struct ResultTrailer {
+  uint64_t server_latency_us = 0;
+  uint32_t cns_sent = 0;
+  uint32_t cns_total = 0;
+};
+
+struct ErrorPayload {
+  WireCode code = WireCode::kInternal;
+  std::string message;
+};
+
+/// Server-side counters returned by a STATS request: the QueryService
+/// snapshot plus the network layer's own counters.
+struct StatsPayload {
+  // QueryService.
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  uint64_t degraded = 0;
+  uint64_t failed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t queue_depth = 0;
+  uint64_t mean_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  // Network layer.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t idle_closed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t queries_in_flight = 0;
+};
+
+void Encode(const QueryRequest& v, WireWriter* w);
+void Encode(const ResultHeader& v, WireWriter* w);
+void Encode(const CnRecord& v, WireWriter* w);
+void Encode(const ResultTrailer& v, WireWriter* w);
+void Encode(const ErrorPayload& v, WireWriter* w);
+void Encode(const StatsPayload& v, WireWriter* w);
+
+bool Decode(std::string_view payload, QueryRequest* v);
+bool Decode(std::string_view payload, ResultHeader* v);
+bool Decode(std::string_view payload, CnRecord* v);
+bool Decode(std::string_view payload, ResultTrailer* v);
+bool Decode(std::string_view payload, ErrorPayload* v);
+bool Decode(std::string_view payload, StatsPayload* v);
+
+}  // namespace matcn::net
+
+#endif  // MATCN_NET_WIRE_H_

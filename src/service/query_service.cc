@@ -108,22 +108,35 @@ std::future<Result<QueryResponse>> QueryService::Submit(
 
 std::future<Result<QueryResponse>> QueryService::Submit(
     const KeywordQuery& query, Deadline deadline) {
-  const Deadline::Clock::time_point submitted_at = Deadline::Clock::now();
-  stats_.RecordSubmitted();
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
+  SubmitAsync(query, deadline, QueryRequestOptions{},
+              [promise](Result<QueryResponse> response) {
+                promise->set_value(std::move(response));
+              });
+  return future;
+}
+
+std::shared_ptr<CancelToken> QueryService::SubmitAsync(
+    const KeywordQuery& query, Deadline deadline,
+    QueryRequestOptions request_options, ResponseCallback done) {
+  const Deadline::Clock::time_point submitted_at = Deadline::Clock::now();
+  stats_.RecordSubmitted();
+  auto cancel = std::make_shared<CancelToken>(deadline);
 
   // 1. Admission-time deadline check: an already-expired deadline never
   //    reaches the pipeline (or even the cache).
   if (deadline.Expired()) {
     stats_.RecordTimedOut();
-    promise->set_value(
-        Status::DeadlineExceeded("deadline expired before execution"));
-    return future;
+    done(Status::DeadlineExceeded("deadline expired before execution"));
+    return cancel;
   }
 
+  MatCnGenOptions gen = options_.gen;
+  if (request_options.t_max > 0) gen.t_max = request_options.t_max;
+
   KeywordQuery normalized = Normalize(query);
-  std::string key = CacheKey(normalized, options_.gen);
+  std::string key = CacheKey(normalized, gen);
 
   // 2. Cache lookup on the caller thread: hits cost no worker and no
   //    queue slot.
@@ -137,44 +150,48 @@ std::future<Result<QueryResponse>> QueryService::Submit(
       stats_.RecordCompleted();
       stats_.RecordLatencyMicros(
           static_cast<int64_t>(response.latency_ms * 1000.0));
-      promise->set_value(std::move(response));
-      return future;
+      done(std::move(response));
+      return cancel;
     }
   }
 
-  // 3. Admission control: bounded queue, reject instead of backlog.
+  // 3. Admission control: bounded queue, reject instead of backlog. The
+  //    callback rides in a shared_ptr so a rejected submission (which
+  //    destroys the task, and with it anything moved inside) can still
+  //    deliver the ResourceExhausted.
+  auto done_ptr = std::make_shared<ResponseCallback>(std::move(done));
   const bool admitted = pool_->TrySubmit(
-      [this, normalized = std::move(normalized), key = std::move(key),
-       deadline, submitted_at, promise]() mutable {
-        Execute(std::move(normalized), std::move(key), deadline, submitted_at,
-                std::move(promise));
+      [this, normalized = std::move(normalized), key = std::move(key), gen,
+       cancel, submitted_at, done_ptr]() mutable {
+        Execute(std::move(normalized), std::move(key), gen, std::move(cancel),
+                submitted_at, std::move(*done_ptr));
       });
   if (!admitted) {
     stats_.RecordRejected();
-    promise->set_value(Status::ResourceExhausted(
+    (*done_ptr)(Status::ResourceExhausted(
         "admission queue full (" + std::to_string(options_.max_queue) +
         " waiting); retry later"));
   }
-  return future;
+  return cancel;
 }
 
 void QueryService::Execute(
-    KeywordQuery normalized, std::string cache_key, Deadline deadline,
-    Deadline::Clock::time_point submitted_at,
-    std::shared_ptr<std::promise<Result<QueryResponse>>> promise) {
+    KeywordQuery normalized, std::string cache_key, MatCnGenOptions gen,
+    std::shared_ptr<CancelToken> cancel,
+    Deadline::Clock::time_point submitted_at, ResponseCallback done) {
   if (options_.pre_execute_hook) options_.pre_execute_hook();
 
-  // The query may have waited in the queue past its deadline.
-  if (deadline.Expired()) {
+  // The query may have waited in the queue past its deadline (or been
+  // cancelled by a draining front end).
+  if (cancel->Expired()) {
     stats_.RecordTimedOut();
-    promise->set_value(
-        Status::DeadlineExceeded("deadline expired while queued"));
+    done(Status::DeadlineExceeded(
+        cancel->CancelRequested() ? "query cancelled while queued"
+                                  : "deadline expired while queued"));
     return;
   }
 
-  CancelToken token(deadline);
-  MatCnGenOptions gen = options_.gen;
-  gen.cancel = &token;
+  gen.cancel = cancel.get();
   MatCnGen generator(schema_graph_, gen);
 
   GenerationResult result;
@@ -185,7 +202,7 @@ void QueryService::Execute(
         generator.GenerateDisk(normalized, disk_dir_, *disk_schema_);
     if (!disk.ok()) {
       stats_.RecordFailed();
-      promise->set_value(disk.status());
+      done(disk.status());
       return;
     }
     result = std::move(disk).value();
@@ -199,7 +216,7 @@ void QueryService::Execute(
   } else if (result.stats.truncated) {
     response.degraded = true;
     response.degraded_reason = "match enumeration truncated at max_matches=" +
-                               std::to_string(options_.gen.max_matches);
+                               std::to_string(gen.max_matches);
   }
   auto shared = std::make_shared<const GenerationResult>(std::move(result));
   response.result = shared;
@@ -213,7 +230,7 @@ void QueryService::Execute(
   if (response.degraded) stats_.RecordDegraded();
   stats_.RecordLatencyMicros(
       static_cast<int64_t>(response.latency_ms * 1000.0));
-  promise->set_value(std::move(response));
+  done(std::move(response));
 }
 
 Result<QueryResponse> QueryService::Query(const KeywordQuery& query) {

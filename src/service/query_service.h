@@ -63,6 +63,14 @@ struct QueryResponse {
   double latency_ms = 0;
 };
 
+/// Per-request overrides of the service-wide generation options. Fields
+/// left at 0 fall back to the service defaults. Overrides participate in
+/// the cache key, so a query answered under `t_max = 3` never serves a
+/// request asking for `t_max = 8`.
+struct QueryRequestOptions {
+  int t_max = 0;
+};
+
 /// The serving layer: a QueryService owns a worker pool plus a sharded
 /// LRU result cache and turns the synchronous MatCNGen library into a
 /// concurrent engine with bounded admission and per-query deadlines.
@@ -95,11 +103,29 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Asynchronous submission with an explicit deadline. The future is
-  /// fulfilled with either a QueryResponse or a Status:
-  ///   DeadlineExceeded  - deadline expired before the pipeline ran
+  /// Completion callback for SubmitAsync. Runs exactly once, on whichever
+  /// thread resolves the query: the caller thread for cache hits,
+  /// admission rejects and pre-run deadline expiry, a worker thread
+  /// otherwise. Callbacks must not block for long — they hold a worker.
+  using ResponseCallback = std::function<void(Result<QueryResponse>)>;
+
+  /// Callback-based submission — the primitive the network front end
+  /// builds on (an event loop cannot block on futures). The returned
+  /// CancelToken is shared with the executing pipeline: `Cancel()` makes
+  /// a queued query resolve DeadlineExceeded without running and an
+  /// in-flight one stop at its next cancellation point with a `degraded`
+  /// partial response. Outcomes mirror Submit:
+  ///   DeadlineExceeded  - deadline expired (or cancelled) before running
   ///   ResourceExhausted - admission queue full
   ///   InvalidArgument / IOError - query or backend errors
+  std::shared_ptr<CancelToken> SubmitAsync(const KeywordQuery& query,
+                                           Deadline deadline,
+                                           QueryRequestOptions request_options,
+                                           ResponseCallback done);
+
+  /// Asynchronous submission with an explicit deadline. The future is
+  /// fulfilled with either a QueryResponse or a Status (same outcomes as
+  /// SubmitAsync).
   std::future<Result<QueryResponse>> Submit(const KeywordQuery& query,
                                             Deadline deadline);
 
@@ -134,8 +160,9 @@ class QueryService {
   using ResultCache = ShardedLruCache<GenerationResult>;
 
   void Execute(KeywordQuery normalized, std::string cache_key,
-               Deadline deadline, Deadline::Clock::time_point submitted_at,
-               std::shared_ptr<std::promise<Result<QueryResponse>>> promise);
+               MatCnGenOptions gen, std::shared_ptr<CancelToken> cancel,
+               Deadline::Clock::time_point submitted_at,
+               ResponseCallback done);
 
   const SchemaGraph* schema_graph_;
   const TermIndex* index_ = nullptr;      // memory backend

@@ -71,5 +71,48 @@ TEST(FlagSetTest, CommaListsPassThroughAsStrings) {
   EXPECT_EQ(flags.GetString("threads", ""), "1,2,8");
 }
 
+TEST(FlagSetTest, EqualsFormHandlesEdgeValues) {
+  FlagSet flags = Make({"--label=", "--path=/a=b/c", "--mode=fast"});
+  EXPECT_TRUE(flags.Has("label"));
+  EXPECT_EQ(flags.GetString("label", "x"), "");
+  // Only the first '=' splits; the value keeps the rest.
+  EXPECT_EQ(flags.GetString("path", ""), "/a=b/c");
+  EXPECT_EQ(flags.GetString("mode", ""), "fast");
+}
+
+TEST(FlagSetTest, NegativeNumbersWorkInBothForms) {
+  FlagSet flags = Make({"--offset", "-5", "--delta=-7", "--scale", "-0.25"});
+  EXPECT_EQ(flags.GetInt("offset", 0), -5);
+  EXPECT_EQ(flags.GetInt("delta", 0), -7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0), -0.25);
+  EXPECT_TRUE(flags.errors().empty());
+}
+
+TEST(FlagSetTest, NegativeValueIsNotMistakenForAFlag) {
+  // "-5" must be consumed as the value of --offset, not parsed as a flag
+  // or positional.
+  FlagSet flags = Make({"--offset", "-5", "pos"});
+  EXPECT_EQ(flags.GetInt("offset", 0), -5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos");
+}
+
+TEST(FlagSetTest, DuplicateFlagIsAnError) {
+  FlagSet flags = Make({"--threads", "2", "--threads=4"});
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("duplicate flag --threads"),
+            std::string::npos)
+      << flags.errors()[0];
+  EXPECT_NE(flags.errors()[0].find("'2'"), std::string::npos)
+      << flags.errors()[0];
+  // The first value wins; the duplicate does not overwrite it.
+  EXPECT_EQ(flags.GetInt("threads", 0), 2);
+}
+
+TEST(FlagSetTest, DistinctFlagsAreNotDuplicates) {
+  FlagSet flags = Make({"--a", "1", "--b=2", "--c"});
+  EXPECT_TRUE(flags.errors().empty());
+}
+
 }  // namespace
 }  // namespace matcn

@@ -2,6 +2,8 @@
 
 #include "core/cn_to_sql.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "fixtures/imdb_fixture.h"
@@ -72,7 +74,8 @@ TEST_F(CnToSqlTest, MultiTextAttributesAreOrJoined) {
   CandidateNetwork cn =
       CandidateNetwork::SingleNode(CnNode{0, 0b1, 0});
   const std::string sql = CandidateNetworkToSql(cn, db.schema(), *q);
-  EXPECT_NE(sql.find("(t0.a ILIKE '%word%' OR t0.b ILIKE '%word%')"),
+  EXPECT_NE(sql.find("(t0.a ILIKE '%word%' ESCAPE '\\' OR "
+                     "t0.b ILIKE '%word%' ESCAPE '\\')"),
             std::string::npos)
       << sql;
 }
@@ -87,6 +90,59 @@ TEST_F(CnToSqlTest, NoSearchableTextRendersFalse) {
   CandidateNetwork cn = CandidateNetwork::SingleNode(CnNode{0, 0b1, 0});
   const std::string sql = CandidateNetworkToSql(cn, db.schema(), *q);
   EXPECT_NE(sql.find("FALSE"), std::string::npos);
+}
+
+TEST_F(CnToSqlTest, SingleQuotesInKeywordAreDoubled) {
+  // A quote in a keyword must not terminate the pattern literal —
+  // "o'brien"-style names are ordinary IMDb data, and an unescaped quote
+  // is a textbook injection vector.
+  auto q = KeywordQuery::FromKeywords({"o'brien"});
+  ASSERT_TRUE(q.ok());
+  CandidateNetwork cn = CandidateNetwork::SingleNode(
+      CnNode{Id("PER"), 0b1, 0});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), *q);
+  EXPECT_NE(sql.find("ILIKE '%o''brien%'"), std::string::npos) << sql;
+  // No stray single quote anywhere: quotes appear only doubled or as the
+  // pattern/ESCAPE literal delimiters, so the quote count stays even.
+  EXPECT_EQ(std::count(sql.begin(), sql.end(), '\'') % 2, 0) << sql;
+  EXPECT_EQ(sql.find("'%o'brien%'"), std::string::npos) << sql;
+}
+
+TEST_F(CnToSqlTest, InjectionAttemptStaysInsideTheLiteral) {
+  auto q = KeywordQuery::FromKeywords({"x' or '1'='1"});
+  ASSERT_TRUE(q.ok());
+  CandidateNetwork cn = CandidateNetwork::SingleNode(
+      CnNode{Id("PER"), 0b1, 0});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), *q);
+  EXPECT_NE(sql.find("'%x'' or ''1''=''1%'"), std::string::npos) << sql;
+  EXPECT_EQ(std::count(sql.begin(), sql.end(), '\'') % 2, 0) << sql;
+}
+
+TEST_F(CnToSqlTest, LikeMetacharactersAreEscaped) {
+  // % and _ match anything in LIKE patterns; a literal search for them
+  // must backslash-escape, and the predicate must carry ESCAPE '\' so the
+  // DBMS honors the backslash.
+  auto q = KeywordQuery::FromKeywords({"100%", "a_b", "c\\d"});
+  ASSERT_TRUE(q.ok());
+  CandidateNetwork cn = CandidateNetwork::SingleNode(
+      CnNode{Id("MOV"), 0b111, 0});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), *q);
+  EXPECT_NE(sql.find("ILIKE '%100\\%%' ESCAPE '\\'"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("ILIKE '%a\\_b%' ESCAPE '\\'"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("ILIKE '%c\\\\d%' ESCAPE '\\'"), std::string::npos)
+      << sql;
+}
+
+TEST_F(CnToSqlTest, EmptyTermsetProducesValidSql) {
+  // A lone free node has no keyword predicates and no joins; the SQL must
+  // not end in a dangling "WHERE ;".
+  CandidateNetwork cn =
+      CandidateNetwork::SingleNode(CnNode{Id("MOV"), 0, -1});
+  const std::string sql = CandidateNetworkToSql(cn, db_.schema(), query_);
+  EXPECT_EQ(sql.find("WHERE"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("FROM MOV t0;"), std::string::npos) << sql;
 }
 
 TEST_F(CnToSqlTest, AliasesAreSequential) {

@@ -1,0 +1,169 @@
+// EventLoop unit tests: cross-thread task posting, timers, fd dispatch
+// and wakeup semantics, each against a real epoll instance.
+
+#include "net/event_loop.h"
+
+#include <sys/socket.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace matcn::net {
+namespace {
+
+class EventLoopTest : public ::testing::Test {
+ protected:
+  void StartLoop() {
+    ASSERT_TRUE(loop_.ok());
+    thread_ = std::thread([this] { loop_.Run(); });
+  }
+  void StopLoop() {
+    loop_.Stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  void TearDown() override { StopLoop(); }
+
+  EventLoop loop_;
+  std::thread thread_;
+};
+
+TEST_F(EventLoopTest, PostTaskRunsOnLoopThread) {
+  StartLoop();
+  std::atomic<bool> ran{false};
+  std::atomic<bool> on_loop_thread{false};
+  loop_.PostTask([&] {
+    on_loop_thread = loop_.InLoopThread();
+    ran = true;
+  });
+  for (int i = 0; i < 1000 && !ran; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(on_loop_thread);
+  EXPECT_FALSE(loop_.InLoopThread());  // we are not the loop thread
+}
+
+TEST_F(EventLoopTest, PostedTasksPreserveOrder) {
+  StartLoop();
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    loop_.PostTask([&, i] {
+      order.push_back(i);  // loop thread only: no lock needed
+      done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 1000 && done < 16; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(EventLoopTest, RunAfterFiresOnceAfterTheDelay) {
+  StartLoop();
+  std::atomic<int> fired{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<int64_t> elapsed_ms{-1};
+  loop_.RunAfter(30, [&] {
+    elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    fired.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(fired, 1);
+  EXPECT_GE(elapsed_ms, 30);
+}
+
+TEST_F(EventLoopTest, CancelledTimerNeverFires) {
+  StartLoop();
+  std::atomic<bool> fired{false};
+  const uint64_t id = loop_.RunAfter(50, [&] { fired = true; });
+  loop_.CancelTimer(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(EventLoopTest, TimersFireInDeadlineOrder) {
+  StartLoop();
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  loop_.RunAfter(60, [&] { order.push_back(3); done.fetch_add(1); });
+  loop_.RunAfter(20, [&] { order.push_back(1); done.fetch_add(1); });
+  loop_.RunAfter(40, [&] { order.push_back(2); done.fetch_add(1); });
+  for (int i = 0; i < 2000 && done < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST_F(EventLoopTest, FdCallbackSeesReadableSocket) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd reader(fds[0]);
+  ScopedFd writer(fds[1]);
+
+  std::atomic<int> reads{0};
+  ASSERT_TRUE(loop_
+                  .AddFd(reader.get(), EPOLLIN,
+                         [&](uint32_t events) {
+                           if ((events & EPOLLIN) == 0) return;
+                           char buf[16];
+                           const ssize_t n =
+                               ::read(reader.get(), buf, sizeof(buf));
+                           if (n > 0) reads.fetch_add(1);
+                         })
+                  .ok());
+  StartLoop();
+  ASSERT_EQ(::write(writer.get(), "x", 1), 1);
+  for (int i = 0; i < 1000 && reads < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(reads, 1);
+
+  // A removed fd no longer dispatches. The promise both sequences the
+  // write after the removal and puts the loop thread's last touch of
+  // `reader` before the ScopedFd destructors (happens-before, not sleep).
+  std::promise<void> removed;
+  loop_.PostTask([&] {
+    loop_.RemoveFd(reader.get());
+    removed.set_value();
+  });
+  removed.get_future().get();
+  ASSERT_EQ(::write(writer.get(), "y", 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(reads, 1);
+}
+
+TEST_F(EventLoopTest, WakeupRunsWakeupCallback) {
+  std::atomic<int> wakeups{0};
+  loop_.SetWakeupCallback([&] { wakeups.fetch_add(1); });
+  StartLoop();
+  loop_.Wakeup();
+  for (int i = 0; i < 1000 && wakeups < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(wakeups, 1);
+}
+
+TEST_F(EventLoopTest, StopDrainsAlreadyPostedTasks) {
+  StartLoop();
+  std::atomic<bool> ran{false};
+  loop_.PostTask([&] { ran = true; });
+  StopLoop();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace matcn::net

@@ -1,0 +1,446 @@
+// End-to-end loopback tests: a real Server on an ephemeral port, real
+// net::Clients over TCP, and a QueryService over the paper's mini-IMDb
+// fixture. Covers result correctness against the direct pipeline,
+// concurrent clients, typed backpressure (RESOURCE_EXHAUSTED,
+// DEADLINE_EXCEEDED), graceful and forced drain, idle timeout, and
+// frame-size enforcement.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/matcngen.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "net/client.h"
+
+namespace matcn::net {
+namespace {
+
+// A gate the pre_execute_hook blocks on until the test opens it. Once
+// open it stays open, so later pipeline runs pass straight through.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void WaitUntilOpen() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Arrive() { arrivals_.fetch_add(1); }
+  int arrivals() const { return arrivals_.load(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::atomic<int> arrivals_{0};
+};
+
+class ServerLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    index_ = TermIndex::Build(db_);
+  }
+
+  // Starts a service + server pair; server_ listens on an ephemeral port.
+  void StartServer(QueryServiceOptions service_options = {},
+                   ServerOptions server_options = {}) {
+    service_ = std::make_unique<QueryService>(&schema_graph_, &index_,
+                                              std::move(service_options));
+    server_options.port = 0;
+    server_ = std::make_unique<Server>(service_.get(), &db_.schema(),
+                                       std::move(server_options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client MustConnect() {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerLoopbackTest, QueryOverTcpMatchesDirectPipeline) {
+  StartServer();
+  Client client = MustConnect();
+
+  Result<Client::QueryResult> response =
+      client.Query({"denzel", "washington", "gangster"});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // The paper's running example: 10 tuple-sets, 19 matches.
+  EXPECT_EQ(response->num_tuple_sets, 10u);
+  EXPECT_EQ(response->num_matches, 19u);
+  EXPECT_FALSE(response->cache_hit);
+  EXPECT_FALSE(response->degraded);
+  ASSERT_EQ(response->cns.size(), response->cns_total);
+
+  // Rendered CN text must match a direct pipeline run over the same
+  // normalized query, record for record.
+  const KeywordQuery normalized = service_->Normalize(
+      *KeywordQuery::Parse("denzel washington gangster"));
+  MatCnGen direct(&schema_graph_);
+  GenerationResult expected = direct.Generate(normalized, index_);
+  ASSERT_EQ(response->cns.size(), expected.cns.size());
+  for (size_t i = 0; i < expected.cns.size(); ++i) {
+    EXPECT_EQ(response->cns[i].text,
+              expected.cns[i].ToString(db_.schema(), normalized))
+        << i;
+    EXPECT_EQ(response->cns[i].num_nodes, expected.cns[i].size());
+  }
+}
+
+TEST_F(ServerLoopbackTest, IncludeSqlStreamsRenderedSql) {
+  StartServer();
+  Client client = MustConnect();
+  Client::QueryParams params;
+  params.include_sql = true;
+  Result<Client::QueryResult> response =
+      client.Query({"denzel", "gangster"}, params);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_FALSE(response->cns.empty());
+  for (const CnRecord& record : response->cns) {
+    EXPECT_NE(record.sql.find("SELECT"), std::string::npos);
+    EXPECT_NE(record.sql.find("ILIKE"), std::string::npos);
+  }
+  // Without the flag the SQL field stays empty (and off the wire).
+  Result<Client::QueryResult> plain = client.Query({"denzel", "gangster"});
+  ASSERT_TRUE(plain.ok());
+  for (const CnRecord& record : plain->cns) EXPECT_TRUE(record.sql.empty());
+}
+
+TEST_F(ServerLoopbackTest, SecondQueryIsACacheHit) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Query({"denzel", "gangster"}).ok());
+  Result<Client::QueryResult> second = client.Query({"denzel", "gangster"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+}
+
+TEST_F(ServerLoopbackTest, MaxCnsCapsStreamedRecordsNotTheTotal) {
+  StartServer();
+  Client client = MustConnect();
+  Result<Client::QueryResult> full =
+      client.Query({"denzel", "washington", "gangster"});
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->cns_total, 1u);
+
+  Client::QueryParams params;
+  params.max_cns = 1;
+  Result<Client::QueryResult> capped =
+      client.Query({"denzel", "washington", "gangster"}, params);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->cns.size(), 1u);
+  EXPECT_EQ(capped->cns_total, full->cns_total);
+  EXPECT_EQ(capped->cns[0].text, full->cns[0].text);
+}
+
+TEST_F(ServerLoopbackTest, PerRequestTmaxOverrideChangesTheAnswer) {
+  StartServer();
+  Client client = MustConnect();
+
+  Client::QueryParams tight;
+  tight.t_max = 1;  // only single-node CNs fit
+  Result<Client::QueryResult> small =
+      client.Query({"denzel", "washington", "gangster"}, tight);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+
+  Result<Client::QueryResult> full =
+      client.Query({"denzel", "washington", "gangster"});
+  ASSERT_TRUE(full.ok());
+
+  // denzel+washington+gangster needs a join (PER and MOV), so T_max=1
+  // generates strictly fewer CNs — and the two must not share a cache
+  // entry (the override participates in the key).
+  EXPECT_LT(small->cns_total, full->cns_total);
+  EXPECT_FALSE(full->cache_hit);
+
+  // Repeating each variant hits its own cache entry.
+  Result<Client::QueryResult> small_again =
+      client.Query({"denzel", "washington", "gangster"}, tight);
+  ASSERT_TRUE(small_again.ok());
+  EXPECT_TRUE(small_again->cache_hit);
+  EXPECT_EQ(small_again->cns_total, small->cns_total);
+}
+
+TEST_F(ServerLoopbackTest, ConcurrentClientsAllGetCorrectAnswers) {
+  QueryServiceOptions service_options;
+  service_options.num_threads = 4;
+  StartServer(service_options);
+
+  const KeywordQuery normalized =
+      service_->Normalize(*KeywordQuery::Parse("denzel washington gangster"));
+  MatCnGen direct(&schema_graph_);
+  const GenerationResult expected = direct.Generate(normalized, index_);
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 5;
+  std::atomic<int> correct{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) return;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        Result<Client::QueryResult> response =
+            client->Query({"denzel", "washington", "gangster"});
+        if (!response.ok()) continue;
+        if (response->cns.size() == expected.cns.size() &&
+            response->num_matches == expected.matches.size()) {
+          correct.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(correct.load(), kClients * kQueriesPerClient);
+
+  const ServerStatsSnapshot stats = server_->NetStats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.queries_received,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.queries_in_flight, 0u);
+}
+
+TEST_F(ServerLoopbackTest, OverloadYieldsTypedResourceExhausted) {
+  auto gate = std::make_shared<Gate>();
+  QueryServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.max_queue = 1;
+  service_options.cache_bytes = 0;  // every query must reach the pool
+  service_options.pre_execute_hook = [gate] {
+    gate->Arrive();
+    gate->WaitUntilOpen();
+  };
+  StartServer(service_options);
+
+  // Query A occupies the single worker (blocked at the gate); B fills the
+  // queue. Distinct keywords avoid any cache interplay.
+  std::thread a([&] {
+    Client client = MustConnect();
+    (void)client.Query({"denzel"});
+  });
+  while (gate->arrivals() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread b([&] {
+    Client client = MustConnect();
+    (void)client.Query({"gangster"});
+  });
+  while (service_->Stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // C must be rejected — as a typed RESOURCE_EXHAUSTED response on a live
+  // connection, not a dropped socket.
+  Client client = MustConnect();
+  Result<Client::QueryResult> rejected = client.Query({"washington"});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted)
+      << rejected.status().ToString();
+  EXPECT_TRUE(client.connected()) << "rejection must not drop the connection";
+
+  gate->Open();
+  a.join();
+  b.join();
+  // The connection survived the rejection: a retry now succeeds.
+  Result<Client::QueryResult> retry = client.Query({"washington"});
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(ServerLoopbackTest, QueuedDeadlineExpiryYieldsTypedDeadlineExceeded) {
+  auto gate = std::make_shared<Gate>();
+  QueryServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.cache_bytes = 0;
+  service_options.pre_execute_hook = [gate] {
+    gate->Arrive();
+    gate->WaitUntilOpen();
+  };
+  StartServer(service_options);
+
+  std::thread blocker([&] {
+    Client client = MustConnect();
+    (void)client.Query({"denzel"});
+  });
+  while (gate->arrivals() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // B's deadline expires while it waits behind the blocked worker.
+  std::atomic<bool> got_deadline{false};
+  std::thread waiter([&] {
+    Client client = MustConnect();
+    Client::QueryParams params;
+    params.deadline_ms = 50;
+    Result<Client::QueryResult> response =
+        client.Query({"gangster"}, params);
+    got_deadline = !response.ok() &&
+                   response.status().code() == StatusCode::kDeadlineExceeded;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  gate->Open();
+  blocker.join();
+  waiter.join();
+  EXPECT_TRUE(got_deadline);
+}
+
+TEST_F(ServerLoopbackTest, GracefulDrainFinishesInFlightQueries) {
+  auto gate = std::make_shared<Gate>();
+  QueryServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.cache_bytes = 0;
+  service_options.pre_execute_hook = [gate] {
+    gate->Arrive();
+    gate->WaitUntilOpen();
+  };
+  ServerOptions server_options;
+  server_options.drain_deadline_ms = 10'000;  // plenty: drain should finish
+  StartServer(service_options, server_options);
+
+  std::atomic<bool> query_ok{false};
+  std::thread in_flight([&] {
+    Client client = MustConnect();
+    Result<Client::QueryResult> response = client.Query({"denzel"});
+    query_ok = response.ok();
+  });
+  while (gate->arrivals() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  server_->NotifyShutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Draining: new connections are refused (the listen socket is gone).
+  Result<Client> late = Client::Connect("127.0.0.1", server_->port());
+  EXPECT_FALSE(late.ok());
+
+  gate->Open();
+  server_->Wait();  // must return: the in-flight query completes the drain
+  in_flight.join();
+  EXPECT_TRUE(query_ok) << "in-flight query must finish during drain";
+  EXPECT_EQ(server_->NetStats().drain_cancelled, 0u);
+  EXPECT_EQ(server_->NetStats().connections_active, 0u);
+}
+
+TEST_F(ServerLoopbackTest, DrainDeadlineCancelsStuckQueries) {
+  auto gate = std::make_shared<Gate>();
+  QueryServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.cache_bytes = 0;
+  service_options.pre_execute_hook = [gate] {
+    gate->Arrive();
+    gate->WaitUntilOpen();
+  };
+  ServerOptions server_options;
+  server_options.drain_deadline_ms = 100;
+  StartServer(service_options, server_options);
+
+  std::atomic<bool> query_failed{false};
+  std::thread stuck([&] {
+    Client client = MustConnect();
+    Result<Client::QueryResult> response = client.Query({"denzel"});
+    query_failed = !response.ok();
+  });
+  while (gate->arrivals() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto drain_start = std::chrono::steady_clock::now();
+  server_->NotifyShutdown();
+  server_->Wait();  // must return within ~drain_deadline_ms, not hang
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - drain_start)
+                          .count();
+  EXPECT_LT(waited, 5000) << "forced drain must not wait for the worker";
+  EXPECT_GE(server_->NetStats().drain_cancelled, 1u);
+
+  gate->Open();  // unblock the worker so the service can shut down
+  stuck.join();
+  EXPECT_TRUE(query_failed) << "cancelled query's connection was closed";
+}
+
+TEST_F(ServerLoopbackTest, IdleConnectionsAreSweptAndCounted) {
+  ServerOptions server_options;
+  server_options.idle_timeout_ms = 50;
+  StartServer({}, server_options);
+
+  Client idle = MustConnect();
+  ASSERT_TRUE(idle.Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The sweep closed us with GOING_AWAY "idle timeout"; the next call
+  // surfaces it (or the close, depending on buffering) as a failure.
+  EXPECT_FALSE(idle.Ping().ok());
+
+  Client fresh = MustConnect();
+  Result<StatsPayload> stats = fresh.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->idle_closed, 1u);
+}
+
+TEST_F(ServerLoopbackTest, OversizedFrameGetsTypedErrorAndClose) {
+  ServerOptions server_options;
+  server_options.max_frame_bytes = 256;
+  StartServer({}, server_options);
+
+  Client client = MustConnect();
+  Result<Client::QueryResult> response =
+      client.Query({std::string(1024, 'x')});
+  ASSERT_FALSE(response.ok());
+  // FRAME_TOO_LARGE maps to InvalidArgument client-side.
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument)
+      << response.status().ToString();
+  EXPECT_GE(server_->NetStats().protocol_errors, 1u);
+}
+
+TEST_F(ServerLoopbackTest, PingAndStatsRoundTrip) {
+  StartServer();
+  Client client = MustConnect();
+  EXPECT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Query({"denzel", "gangster"}).ok());
+
+  Result<StatsPayload> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->submitted, 1u);
+  EXPECT_EQ(stats->completed, 1u);
+  EXPECT_EQ(stats->connections_accepted, 1u);
+  EXPECT_EQ(stats->connections_active, 1u);
+  EXPECT_EQ(stats->queries_in_flight, 0u);
+  EXPECT_GE(stats->frames_received, 3u);  // ping + query + stats
+  EXPECT_GE(stats->frames_sent, 4u);      // pong + header/record/trailer
+  EXPECT_GT(stats->bytes_sent, 0u);
+}
+
+TEST_F(ServerLoopbackTest, ServerDestructorWithLiveClientsDoesNotHang) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Query({"denzel"}).ok());
+  server_.reset();  // Shutdown + drain with a connected idle client
+  EXPECT_FALSE(client.Ping().ok());
+}
+
+}  // namespace
+}  // namespace matcn::net

@@ -1,0 +1,286 @@
+// Wire-format unit tests: header layout, payload round-trips, truncation
+// and garbage resistance. Everything here is pure byte manipulation — no
+// sockets.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace matcn::net {
+namespace {
+
+TEST(FrameHeaderTest, LayoutIsExactlySixteenLittleEndianBytes) {
+  std::string out;
+  AppendFrame(&out, FrameType::kQuery, 0x1122334455667788ull, "abc");
+  ASSERT_EQ(out.size(), kFrameHeaderBytes + 3);
+  // payload_len = 3, little-endian.
+  EXPECT_EQ(static_cast<uint8_t>(out[0]), 3);
+  EXPECT_EQ(static_cast<uint8_t>(out[1]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(out[2]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(out[3]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(out[4]), 'M');
+  EXPECT_EQ(static_cast<uint8_t>(out[5]), 'C');
+  EXPECT_EQ(static_cast<uint8_t>(out[6]), kProtocolVersion);
+  EXPECT_EQ(static_cast<uint8_t>(out[7]),
+            static_cast<uint8_t>(FrameType::kQuery));
+  // request id, little-endian.
+  EXPECT_EQ(static_cast<uint8_t>(out[8]), 0x88);
+  EXPECT_EQ(static_cast<uint8_t>(out[15]), 0x11);
+  EXPECT_EQ(out.substr(kFrameHeaderBytes), "abc");
+}
+
+TEST(FrameHeaderTest, RoundTrip) {
+  std::string out;
+  AppendFrame(&out, FrameType::kCnRecord, 42, "payload");
+  FrameHeader header;
+  ASSERT_EQ(ParseFrameHeader(out, &header), HeaderParse::kOk);
+  EXPECT_EQ(header.payload_len, 7u);
+  EXPECT_EQ(header.type, FrameType::kCnRecord);
+  EXPECT_EQ(header.request_id, 42u);
+  EXPECT_EQ(header.version, kProtocolVersion);
+}
+
+TEST(FrameHeaderTest, IncrementalParseReportsNeedMore) {
+  std::string out;
+  AppendFrame(&out, FrameType::kPing, 7, "");
+  FrameHeader header;
+  for (size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    EXPECT_EQ(ParseFrameHeader(std::string_view(out).substr(0, n), &header),
+              HeaderParse::kNeedMore)
+        << n;
+  }
+  EXPECT_EQ(ParseFrameHeader(out, &header), HeaderParse::kOk);
+}
+
+TEST(FrameHeaderTest, BadMagicAndBadVersionAreDistinguished) {
+  std::string out;
+  AppendFrame(&out, FrameType::kPing, 7, "");
+  std::string bad_magic = out;
+  bad_magic[4] = 'X';
+  FrameHeader header;
+  EXPECT_EQ(ParseFrameHeader(bad_magic, &header), HeaderParse::kBadMagic);
+
+  std::string bad_version = out;
+  bad_version[6] = kProtocolVersion + 1;
+  EXPECT_EQ(ParseFrameHeader(bad_version, &header), HeaderParse::kBadVersion);
+}
+
+TEST(WireWriterReaderTest, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.Str("hello");
+  w.Str("");  // empty strings are legal
+
+  WireReader r(w.buffer());
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::string s1, s2;
+  EXPECT_TRUE(r.U8(&u8));
+  EXPECT_TRUE(r.U16(&u16));
+  EXPECT_TRUE(r.U32(&u32));
+  EXPECT_TRUE(r.U64(&u64));
+  EXPECT_TRUE(r.Str(&s1));
+  EXPECT_TRUE(r.Str(&s2));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireWriterReaderTest, UnderflowPoisonsTheReader) {
+  WireWriter w;
+  w.U16(7);
+  WireReader r(w.buffer());
+  uint32_t v = 0;
+  EXPECT_FALSE(r.U32(&v));  // only 2 bytes available
+  EXPECT_FALSE(r.ok());
+  uint8_t b = 0;
+  EXPECT_FALSE(r.U8(&b));  // poisoned: everything after fails too
+}
+
+TEST(WireWriterReaderTest, StringLengthBeyondPayloadFails) {
+  WireWriter w;
+  w.U32(1000);  // claims a 1000-byte string follows
+  w.Str("");    // but only 4 more bytes exist
+  WireReader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PayloadTest, QueryRequestRoundTrip) {
+  QueryRequest in;
+  in.deadline_ms = 1500;
+  in.t_max = 7;
+  in.max_cns = 32;
+  in.include_sql = true;
+  in.keywords = {"denzel", "washington", "gangster"};
+  WireWriter w;
+  Encode(in, &w);
+
+  QueryRequest out;
+  ASSERT_TRUE(Decode(w.buffer(), &out));
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.t_max, in.t_max);
+  EXPECT_EQ(out.max_cns, in.max_cns);
+  EXPECT_EQ(out.include_sql, in.include_sql);
+  EXPECT_EQ(out.keywords, in.keywords);
+}
+
+TEST(PayloadTest, QueryRequestTruncationFailsCleanly) {
+  QueryRequest in;
+  in.keywords = {"a", "b"};
+  WireWriter w;
+  Encode(in, &w);
+  const std::string full = w.Take();
+  for (size_t n = 0; n < full.size(); ++n) {
+    QueryRequest out;
+    EXPECT_FALSE(Decode(std::string_view(full).substr(0, n), &out)) << n;
+  }
+}
+
+TEST(PayloadTest, ResultHeaderAndTrailerRoundTrip) {
+  ResultHeader h;
+  h.cache_hit = true;
+  h.degraded = true;
+  h.degraded_reason = "cn limit reached";
+  h.num_tuple_sets = 10;
+  h.num_matches = 19;
+  h.num_cns = 5;
+  WireWriter w;
+  Encode(h, &w);
+  ResultHeader h2;
+  ASSERT_TRUE(Decode(w.buffer(), &h2));
+  EXPECT_EQ(h2.cache_hit, h.cache_hit);
+  EXPECT_EQ(h2.degraded, h.degraded);
+  EXPECT_EQ(h2.degraded_reason, h.degraded_reason);
+  EXPECT_EQ(h2.num_tuple_sets, h.num_tuple_sets);
+  EXPECT_EQ(h2.num_matches, h.num_matches);
+  EXPECT_EQ(h2.num_cns, h.num_cns);
+
+  ResultTrailer t;
+  t.server_latency_us = 12345;
+  t.cns_sent = 3;
+  t.cns_total = 5;
+  WireWriter w2;
+  Encode(t, &w2);
+  ResultTrailer t2;
+  ASSERT_TRUE(Decode(w2.buffer(), &t2));
+  EXPECT_EQ(t2.server_latency_us, t.server_latency_us);
+  EXPECT_EQ(t2.cns_sent, t.cns_sent);
+  EXPECT_EQ(t2.cns_total, t.cns_total);
+}
+
+TEST(PayloadTest, CnRecordRoundTripWithUnicodeText) {
+  CnRecord in;
+  in.index = 2;
+  in.num_nodes = 3;
+  in.num_non_free = 2;
+  in.text = "MOV^{gangster} ⋈ CAST^{} ⋈ PER^{denzel}";
+  in.sql = "SELECT t0.*\nFROM MOV t0;";
+  WireWriter w;
+  Encode(in, &w);
+  CnRecord out;
+  ASSERT_TRUE(Decode(w.buffer(), &out));
+  EXPECT_EQ(out.index, in.index);
+  EXPECT_EQ(out.num_nodes, in.num_nodes);
+  EXPECT_EQ(out.num_non_free, in.num_non_free);
+  EXPECT_EQ(out.text, in.text);
+  EXPECT_EQ(out.sql, in.sql);
+}
+
+TEST(PayloadTest, ErrorPayloadRoundTrip) {
+  ErrorPayload in;
+  in.code = WireCode::kResourceExhausted;
+  in.message = "queue full";
+  WireWriter w;
+  Encode(in, &w);
+  ErrorPayload out;
+  ASSERT_TRUE(Decode(w.buffer(), &out));
+  EXPECT_EQ(out.code, in.code);
+  EXPECT_EQ(out.message, in.message);
+}
+
+TEST(PayloadTest, StatsPayloadRoundTrip) {
+  StatsPayload in;
+  in.submitted = 1;
+  in.completed = 2;
+  in.rejected = 3;
+  in.cache_hits = 4;
+  in.p99_us = 99;
+  in.connections_accepted = 5;
+  in.frames_sent = 6;
+  in.queries_in_flight = 7;
+  WireWriter w;
+  Encode(in, &w);
+  StatsPayload out;
+  ASSERT_TRUE(Decode(w.buffer(), &out));
+  EXPECT_EQ(out.submitted, 1u);
+  EXPECT_EQ(out.completed, 2u);
+  EXPECT_EQ(out.rejected, 3u);
+  EXPECT_EQ(out.cache_hits, 4u);
+  EXPECT_EQ(out.p99_us, 99u);
+  EXPECT_EQ(out.connections_accepted, 5u);
+  EXPECT_EQ(out.frames_sent, 6u);
+  EXPECT_EQ(out.queries_in_flight, 7u);
+}
+
+TEST(PayloadTest, TrailingGarbageIsRejected) {
+  ResultTrailer t;
+  WireWriter w;
+  Encode(t, &w);
+  std::string bytes = w.Take();
+  bytes += "junk";
+  ResultTrailer out;
+  EXPECT_FALSE(Decode(bytes, &out));
+}
+
+TEST(WireCodeTest, StatusCodesMapOneToOneAndBack) {
+  // The wire freeze: the first ten WireCode values must mirror StatusCode
+  // exactly — a reordered enum would silently change the protocol.
+  const Status statuses[] = {
+      Status::InvalidArgument("x"), Status::NotFound("x"),
+      Status::AlreadyExists("x"),   Status::OutOfRange("x"),
+      Status::ResourceExhausted("x"), Status::DeadlineExceeded("x"),
+      Status::Internal("x"),        Status::IOError("x"),
+      Status::Unimplemented("x")};
+  for (const Status& s : statuses) {
+    const WireCode code = StatusToWireCode(s);
+    EXPECT_EQ(static_cast<uint16_t>(code), static_cast<uint16_t>(s.code()))
+        << s.ToString();
+    const Status back = WireCodeToStatus(code, "m");
+    EXPECT_EQ(back.code(), s.code());
+  }
+  EXPECT_EQ(StatusToWireCode(Status::OK()), WireCode::kOk);
+}
+
+TEST(WireCodeTest, ProtocolOnlyCodesMapToClosestStatus) {
+  EXPECT_EQ(WireCodeToStatus(WireCode::kUnavailable, "m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(WireCodeToStatus(WireCode::kFrameTooLarge, "m").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WireCodeToStatus(WireCode::kProtocolError, "m").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodeTest, NamesAreStable) {
+  EXPECT_STREQ(WireCodeName(WireCode::kOk), "OK");
+  EXPECT_STREQ(WireCodeName(WireCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(WireCodeName(WireCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(WireCodeName(WireCode::kFrameTooLarge), "FRAME_TOO_LARGE");
+}
+
+}  // namespace
+}  // namespace matcn::net
