@@ -10,8 +10,9 @@
 #include "exec/executor.h"
 #include "metrics/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader(
       "Ablation: JNT size normalization (MAP with MatCNGen CNs)");
 
@@ -22,7 +23,7 @@ int main() {
   };
 
   TablePrinter table({"Dataset", "Set", "linear", "sqrt", "none"});
-  for (const auto& ds : bench::BuildBenchDatasets()) {
+  for (const auto& ds : bench::BuildBenchDatasets(true, bench_flags.seed)) {
     MatCnGen gen(&ds->schema_graph);
     for (size_t s = 0; s < ds->set_names.size(); ++s) {
       if (ds->set_names[s] != "CW") continue;

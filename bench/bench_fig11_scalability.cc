@@ -9,8 +9,9 @@
 #include "core/matcngen.h"
 #include "datasets/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader(
       "Figure 11: generation time vs number of keywords (K = 1..10)");
 
@@ -19,28 +20,36 @@ int main() {
   const size_t queries_per_k = bench::EnvCount("MATCN_FIG11_QUERIES", 15);
   const int t_max = static_cast<int>(bench::EnvCount("MATCN_TMAX", 5));
 
-  auto datasets = bench::BuildBenchDatasets(/*with_workloads=*/false);
+  auto datasets = bench::BuildBenchDatasets(false, bench_flags.seed);
 
-  TablePrinter table({"Dataset", "K", "MatCNGen-Mem ms", "CNGen ms",
-                      "CNGen fail%", "MCG matches (avg)"});
+  TablePrinter table({"Dataset", "K", "MatCNGen-Mem ms", "MCG-Par ms",
+                      "CNGen ms", "CNGen fail%", "MCG matches (avg)"});
   for (const auto& ds : datasets) {
     WorkloadGenerator wgen(&ds->db, &ds->schema_graph, &ds->index);
     MatCnGenOptions mat_options;
     mat_options.t_max = t_max;
     mat_options.max_matches = 1000;  // resource guard at extreme K
     MatCnGen gen(&ds->schema_graph, mat_options);
+    // Same pipeline with --cn-threads MatchCN workers: the high-K rows
+    // are exactly where matches (and thus the parallel payoff) pile up.
+    MatCnGenOptions par_options = mat_options;
+    par_options.num_threads = bench_flags.cn_threads;
+    MatCnGen par_gen(&ds->schema_graph, par_options);
 
     for (size_t k = 1; k <= 10; ++k) {
       std::vector<KeywordQuery> queries =
-          wgen.RandomQueries(queries_per_k, k, 500 + k);
+          wgen.RandomQueries(queries_per_k, k, 500 + k + bench_flags.seed);
       if (queries.empty()) continue;
-      double mat_ms = 0, base_ms = 0, matches = 0;
+      double mat_ms = 0, par_ms = 0, base_ms = 0, matches = 0;
       size_t failures = 0, base_runs = 0;
       for (const KeywordQuery& q : queries) {
         Stopwatch watch;
         GenerationResult mat = gen.Generate(q, ds->index);
         mat_ms += watch.ElapsedMillis();
         matches += static_cast<double>(mat.matches.size());
+        watch.Reset();
+        par_gen.Generate(q, ds->index);
+        par_ms += watch.ElapsedMillis();
 
         TupleSetGraph ts_graph(&ds->schema_graph, &mat.tuple_sets);
         CnGenOptions base_options;
@@ -59,6 +68,7 @@ int main() {
       table.AddRow(
           {ds->name, TablePrinter::Int(static_cast<int64_t>(k)),
            TablePrinter::Num(mat_ms / n, 3),
+           TablePrinter::Num(par_ms / n, 3),
            base_runs > 0
                ? TablePrinter::Num(base_ms / static_cast<double>(base_runs),
                                    3)

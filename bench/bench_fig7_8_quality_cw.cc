@@ -6,12 +6,13 @@
 #include "bench/quality_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader(
       "Figures 7 & 8: MAP / MRR on Coffman-Weaver-style queries");
 
-  auto datasets = bench::BuildBenchDatasets();
+  auto datasets = bench::BuildBenchDatasets(true, bench_flags.seed);
   auto systems = bench::MakeQualitySystems(datasets, /*t_max=*/5);
 
   std::vector<std::string> header = {"Dataset", "Metric"};

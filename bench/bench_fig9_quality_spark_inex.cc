@@ -5,11 +5,12 @@
 #include "bench/quality_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader("Figure 9: MAP / MRR on SPARK and INEX query sets");
 
-  auto datasets = bench::BuildBenchDatasets();
+  auto datasets = bench::BuildBenchDatasets(true, bench_flags.seed);
   auto all_systems = bench::MakeQualitySystems(datasets, /*t_max=*/5);
   // Figure 9 compares only the four CN-pipeline configurations.
   std::vector<bench::QualitySystem> systems;

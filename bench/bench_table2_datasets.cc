@@ -4,13 +4,14 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader("Table 2: Characteristics of the datasets used");
 
   TablePrinter table(
       {"Dataset", "Size (MB)", "Relations", "Tuples", "RIC", "G_u edges"});
-  for (const auto& ds : bench::BuildBenchDatasets(/*with_workloads=*/false)) {
+  for (const auto& ds : bench::BuildBenchDatasets(false, bench_flags.seed)) {
     table.AddRow({
         ds->name,
         TablePrinter::Num(

@@ -4,14 +4,15 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader("Tables 3 & 4: Query sets and keyword statistics");
 
   TablePrinter t3({"Dataset", "CW", "SPARK", "INEX", "Total"});
   TablePrinter t4({"Dataset", "Set", "Max kw", "Avg kw"});
   size_t grand_total = 0;
-  for (const auto& ds : bench::BuildBenchDatasets()) {
+  for (const auto& ds : bench::BuildBenchDatasets(true, bench_flags.seed)) {
     if (ds->set_names.empty()) continue;
     size_t cw = 0, spark = 0, inex = 0;
     for (size_t s = 0; s < ds->set_names.size(); ++s) {

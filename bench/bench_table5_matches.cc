@@ -5,14 +5,15 @@
 #include "common/table_printer.h"
 #include "core/matcngen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matcn;
+  const bench::BenchFlags bench_flags(argc, argv);
   bench::PrintHeader("Table 5: Number of query matches generated");
 
   TablePrinter table({"Dataset", "Set", "Max", "Avg"});
   double overall_avg = 0;
   size_t overall_sets = 0;
-  for (const auto& ds : bench::BuildBenchDatasets()) {
+  for (const auto& ds : bench::BuildBenchDatasets(true, bench_flags.seed)) {
     MatCnGen gen(&ds->schema_graph);
     for (size_t s = 0; s < ds->set_names.size(); ++s) {
       size_t max_matches = 0;

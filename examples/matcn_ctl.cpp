@@ -11,6 +11,7 @@
 //
 // Query flags:
 //   --threads N      service worker threads        (default: cores)
+//   --cn-threads N   per-query MatchCN workers     (default 1)
 //   --tmax N         CN size bound T_max           (default 10)
 //   --cache-mb N     result-cache budget in MiB    (default 16)
 //   --deadline-ms N  per-query deadline; 0 = none  (default 0)
@@ -36,7 +37,8 @@ int Usage() {
                "[scale]\n"
                "  matcn_ctl info <dir>\n"
                "  matcn_ctl query <dir> <keywords...> [--threads N] "
-               "[--tmax N] [--cache-mb N] [--deadline-ms N]\n";
+               "[--cn-threads N] [--tmax N] [--cache-mb N] "
+               "[--deadline-ms N]\n";
   return 2;
 }
 
@@ -132,6 +134,8 @@ int main(int argc, char** argv) {
   QueryServiceOptions service_options;
   service_options.num_threads =
       static_cast<unsigned>(flags.GetInt("threads", 0));
+  service_options.gen.num_threads =
+      static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 10));
   service_options.cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 16)) << 20;

@@ -14,6 +14,7 @@
 //   --unique N       distinct queries in the workload       (default 64)
 //   --keywords N     keywords per generated query           (default 2)
 //   --threads N      in-process server workers; 0 = hw      (default 0)
+//   --cn-threads N   in-process per-query MatchCN workers   (default 1)
 //   --queue N        in-process admission queue bound       (default 256)
 //   --cache-mb N     in-process result-cache budget         (default 64)
 //   --deadline-ms N  per-request deadline; 0 = none         (default 0)
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
   const size_t keywords = static_cast<size_t>(flags.GetInt("keywords", 2));
   const unsigned server_threads =
       static_cast<unsigned>(flags.GetInt("threads", 0));
+  const unsigned cn_threads =
+      static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   const size_t queue = static_cast<size_t>(flags.GetInt("queue", 256));
   const size_t cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
@@ -141,6 +144,7 @@ int main(int argc, char** argv) {
   } else {
     QueryServiceOptions service_options;
     service_options.num_threads = server_threads;
+    service_options.gen.num_threads = cn_threads;
     service_options.max_queue = queue;
     service_options.cache_bytes = cache_bytes;
     if (io_ms > 0) {

@@ -8,6 +8,7 @@
 //
 // Flags:
 //   --threads LIST   comma-separated worker-pool sizes to sweep (def "1,8")
+//   --cn-threads N   per-query MatchCN workers               (default 1)
 //   --clients N      concurrent closed-loop client threads   (default 8)
 //   --requests N     requests per configuration              (default 2000)
 //   --unique N       distinct queries in the workload        (default 64)
@@ -65,15 +66,16 @@ struct RunResult {
 
 RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
                     const std::vector<KeywordQuery>& queries,
-                    unsigned worker_threads, unsigned clients,
-                    size_t requests, size_t cache_bytes, int64_t deadline_ms,
-                    int t_max, int64_t io_ms) {
+                    unsigned worker_threads, unsigned cn_threads,
+                    unsigned clients, size_t requests, size_t cache_bytes,
+                    int64_t deadline_ms, int t_max, int64_t io_ms) {
   QueryServiceOptions options;
   options.num_threads = worker_threads;
   options.max_queue = 4096;  // sized so the sweep measures latency, not drops
   options.cache_bytes = cache_bytes;
   options.default_deadline_ms = deadline_ms;
   options.gen.t_max = t_max;
+  options.gen.num_threads = cn_threads;
   if (io_ms > 0) {
     options.pre_execute_hook = [io_ms] {
       std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
@@ -141,6 +143,8 @@ int main(int argc, char** argv) {
                            ? std::atof(flags.positional()[1].c_str())
                            : 0.1;
   const std::string thread_list = flags.GetString("threads", "1,8");
+  const unsigned cn_threads =
+      static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   const unsigned clients =
       static_cast<unsigned>(flags.GetInt("clients", 8));
   const size_t requests = static_cast<size_t>(flags.GetInt("requests", 2000));
@@ -191,9 +195,9 @@ int main(int argc, char** argv) {
     const int workers = std::atoi(std::string(Trim(part)).c_str());
     if (workers <= 0) continue;
     RunResult run = RunConfig(&schema_graph, &index, queries,
-                              static_cast<unsigned>(workers), clients,
-                              requests, cache_bytes, deadline_ms, t_max,
-                              io_ms);
+                              static_cast<unsigned>(workers), cn_threads,
+                              clients, requests, cache_bytes, deadline_ms,
+                              t_max, io_ms);
     table.AddRow({std::to_string(run.threads),
                   TablePrinter::Num(run.seconds, 3),
                   TablePrinter::Num(run.qps, 0),

@@ -9,6 +9,7 @@
 //   --port N          listen port; 0 = ephemeral          (default 7433)
 //   --host ADDR       bind address                (default "127.0.0.1")
 //   --threads N       QueryService workers; 0 = hw        (default 0)
+//   --cn-threads N    per-query MatchCN workers           (default 1)
 //   --queue N         admission-control queue bound       (default 256)
 //   --cache-mb N      result-cache budget; 0 disables     (default 64)
 //   --deadline-ms N   default per-query deadline; 0 none  (default 0)
@@ -112,6 +113,8 @@ int main(int argc, char** argv) {
   QueryServiceOptions service_options;
   service_options.num_threads =
       static_cast<unsigned>(flags.GetInt("threads", 0));
+  service_options.gen.num_threads =
+      static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   service_options.max_queue = static_cast<size_t>(flags.GetInt("queue", 256));
   service_options.cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;

@@ -9,6 +9,7 @@
 //
 // Flags:
 //   --threads N      worker threads in the query service (default: cores)
+//   --cn-threads N   per-query MatchCN workers           (default 1)
 //   --tmax N         CN size bound T_max                 (default 10)
 //   --cache-mb N     result-cache budget in MiB; 0 off   (default 64)
 //   --deadline-ms N  per-query deadline; 0 = none        (default 0)
@@ -190,13 +191,16 @@ int main(int argc, char** argv) {
   QueryServiceOptions service_options;
   service_options.num_threads =
       static_cast<unsigned>(flags.GetInt("threads", 0));
+  service_options.gen.num_threads =
+      static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 10));
   service_options.cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown
-              << " (have --threads --tmax --cache-mb --deadline-ms)\n";
+              << " (have --threads --cn-threads --tmax --cache-mb "
+                 "--deadline-ms)\n";
     return 2;
   }
 

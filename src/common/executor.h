@@ -1,0 +1,30 @@
+#ifndef MATCN_COMMON_EXECUTOR_H_
+#define MATCN_COMMON_EXECUTOR_H_
+
+#include <functional>
+
+namespace matcn {
+
+/// Minimal executor seam between the core pipeline and whoever owns the
+/// worker threads. The generation pipeline lives below the serving layer,
+/// so it cannot name ThreadPool; instead it accepts this interface and the
+/// service hands its own pool down. Submission is strictly best-effort:
+/// `TrySpawn` may refuse (pool saturated, shutting down), and the caller
+/// must be prepared to run all of the work itself — parallel MatchCN uses
+/// spawned tasks purely as helpers racing the calling thread over a shared
+/// work cursor, so a refused or late helper costs speed, never answers.
+class TaskExecutor {
+ public:
+  virtual ~TaskExecutor() = default;
+
+  /// Schedules `fn` to run on some worker thread soon; returns false when
+  /// the executor cannot take it (the caller absorbs the work).
+  virtual bool TrySpawn(std::function<void()> fn) = 0;
+
+  /// Worker threads available, as a hint for how many helpers to spawn.
+  virtual unsigned concurrency() const = 0;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_EXECUTOR_H_

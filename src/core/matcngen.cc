@@ -1,11 +1,36 @@
 #include "core/matcngen.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/timer.h"
 
 namespace matcn {
+
+namespace {
+
+/// State shared between the calling thread and its MatchCN helpers. Held
+/// in a shared_ptr captured by every helper task: a helper that only gets
+/// scheduled after the query finished must still be able to read the
+/// cursor, find it exhausted, and leave without touching anything else.
+struct MatchCnShared {
+  explicit MatchCnShared(size_t n) : total(n) {}
+
+  const size_t total;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> finished{0};
+  std::atomic<uint64_t> busy_micros{0};
+  std::atomic<unsigned> workers{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+}  // namespace
 
 MatCnGen::MatCnGen(const SchemaGraph* schema_graph, MatCnGenOptions options)
     : schema_graph_(schema_graph), options_(options) {}
@@ -64,48 +89,117 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
   }
 
   watch.Reset();
+  // Built once per query, then shared read-only by every worker; each
+  // worker re-points its own MatchGraph overlay at one match at a time.
   TupleSetGraph ts_graph(schema_graph_, &result.tuple_sets);
   SingleCnOptions cn_options;
   cn_options.t_max = options_.t_max;
   cn_options.cancel = cancel;
 
-  auto solve = [&](const QueryMatch& match) {
+  auto solve = [&ts_graph, cn_options](const QueryMatch& match,
+                                       MatchGraph* match_graph,
+                                       SingleCnScratch* scratch) {
     std::vector<int> match_nodes;
     match_nodes.reserve(match.size());
     for (int ts_index : match) {
       match_nodes.push_back(ts_graph.NonFreeNode(ts_index));
     }
-    MatchGraph match_graph(&ts_graph, match_nodes);
-    return SingleCn(match_graph, cn_options);
+    match_graph->Reset(match_nodes);
+    return SingleCn(*match_graph, cn_options, scratch);
   };
 
-  if (options_.num_threads > 1 && result.matches.size() > 1) {
-    // Each match is solved independently; slot results by match index so
-    // the output equals the sequential run.
-    std::vector<std::optional<CandidateNetwork>> slots(
-        result.matches.size());
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
+  const size_t total = result.matches.size();
+  const unsigned threads =
+      total > 1 ? std::min<unsigned>(std::max(1u, options_.num_threads),
+                                     static_cast<unsigned>(total))
+                : 1;
+  if (threads > 1) {
+    // Workers (the calling thread plus up to threads-1 helpers) claim
+    // match indexes from a shared cursor and write the result into the
+    // slot of that index, so the merge below reproduces the sequential
+    // order exactly. The claim protocol is airtight against stragglers:
+    // an in-range claim is ALWAYS followed by a `finished` increment
+    // (cancellation only skips the solve), so once `finished == total`
+    // every slot write has happened and any later helper draws an
+    // out-of-range index and leaves after touching only `shared`.
+    std::vector<std::optional<CandidateNetwork>> slots(total);
+    auto shared = std::make_shared<MatchCnShared>(total);
+    auto work = [shared, cancel, solve,
+                 slots_data = slots.data(),
+                 matches_data = result.matches.data(),
+                 graph = &ts_graph]() {
+      // Nothing beyond `shared` may be dereferenced before a claim lands
+      // in range — a late helper outlives the caller's stack frame.
+      std::optional<MatchGraph> match_graph;
+      std::optional<SingleCnScratch> scratch;
+      std::optional<Stopwatch> busy;
       while (true) {
-        if (cancel != nullptr && cancel->Expired()) break;
-        const size_t i = next.fetch_add(1);
-        if (i >= result.matches.size()) break;
-        slots[i] = solve(result.matches[i]);
+        const size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shared->total) break;
+        if (!busy) {
+          busy.emplace();
+          shared->workers.fetch_add(1, std::memory_order_relaxed);
+          match_graph.emplace(graph);
+          scratch.emplace();
+        }
+        // Cancellation point: a fired token downgrades the claim to a
+        // no-op so the accounting still completes.
+        if (cancel == nullptr || !cancel->Expired()) {
+          slots_data[i] = solve(matches_data[i], &*match_graph, &*scratch);
+        }
+        if (shared->finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            shared->total) {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          shared->cv.notify_all();
+        }
+      }
+      if (busy) {
+        shared->busy_micros.fetch_add(
+            static_cast<uint64_t>(busy->ElapsedMicros()),
+            std::memory_order_relaxed);
       }
     };
-    std::vector<std::thread> threads;
-    const unsigned n = std::min<unsigned>(
-        options_.num_threads, static_cast<unsigned>(result.matches.size()));
-    threads.reserve(n);
-    for (unsigned t = 0; t < n; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
+
+    std::vector<std::thread> owned_threads;
+    if (options_.executor != nullptr) {
+      for (unsigned t = 1; t < threads; ++t) {
+        // Refusals are fine: the caller absorbs the work below.
+        if (!options_.executor->TrySpawn(work)) break;
+      }
+    } else {
+      owned_threads.reserve(threads - 1);
+      for (unsigned t = 1; t < threads; ++t) owned_threads.emplace_back(work);
+    }
+    work();  // The caller is always worker #0.
+    {
+      std::unique_lock<std::mutex> lock(shared->mu);
+      shared->cv.wait(lock, [&shared] {
+        return shared->finished.load(std::memory_order_acquire) ==
+               shared->total;
+      });
+    }
+    for (std::thread& t : owned_threads) t.join();
+
     for (std::optional<CandidateNetwork>& cn : slots) {
       if (cn.has_value()) result.cns.push_back(std::move(*cn));
     }
+    result.stats.cn_workers =
+        std::max(1u, shared->workers.load(std::memory_order_relaxed));
+    const double wall_ms = watch.ElapsedMillis();
+    const double busy_ms =
+        static_cast<double>(
+            shared->busy_micros.load(std::memory_order_relaxed)) /
+        1000.0;
+    result.stats.cn_parallel_efficiency =
+        wall_ms > 0 ? std::clamp(busy_ms / (wall_ms * result.stats.cn_workers),
+                                 0.0, 1.0)
+                    : 1.0;
   } else {
+    MatchGraph match_graph(&ts_graph);
+    SingleCnScratch scratch;
     for (const QueryMatch& match : result.matches) {
       if (cancel != nullptr && cancel->Expired()) break;
-      std::optional<CandidateNetwork> cn = solve(match);
+      std::optional<CandidateNetwork> cn = solve(match, &match_graph, &scratch);
       if (cn.has_value()) result.cns.push_back(std::move(*cn));
     }
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/executor.h"
 #include "common/status.h"
 #include "core/candidate_network.h"
 #include "core/keyword_query.h"
@@ -26,11 +27,22 @@ struct MatCnGenOptions {
   /// Upper bound on generated query matches (resource guard for the
   /// adversarial synthetic workloads; 0 disables the limit).
   size_t max_matches = 0;
-  /// Worker threads for the per-match CN construction step. Matches are
-  /// independent (each SingleCN run only reads the shared graphs), so the
-  /// step parallelizes embarrassingly; results keep match order, so output
-  /// is identical to the sequential run. 0 or 1 = sequential.
+  /// Concurrent workers for the per-match CN construction step, the
+  /// calling thread included. Matches are independent (each SingleCN run
+  /// only reads the shared tuple-set graph), so workers claim match
+  /// indexes from a shared cursor and slot results by index; the merged
+  /// output is element- and order-identical to the sequential run.
+  /// 0 or 1 = sequential.
   unsigned num_threads = 1;
+  /// Where helper workers come from. When set, up to `num_threads - 1`
+  /// helper tasks are offered to this executor (the serving layer hands
+  /// down its own ThreadPool, so intra-query parallelism shares the one
+  /// pool instead of spawning threads per query); refused or late helpers
+  /// are harmless because the calling thread processes the whole match
+  /// list itself if need be. When null, dedicated std::threads are
+  /// spawned (standalone library use, benches). Borrowed, may be null;
+  /// must outlive the Generate call.
+  TaskExecutor* executor = nullptr;
   /// Cooperative cancellation (deadline and/or explicit cancel), checked
   /// at stage boundaries and inside the per-match CN loop. When it fires
   /// mid-run the pipeline stops early and marks `stats.interrupted`; the
@@ -48,6 +60,15 @@ struct GenerationStats {
   size_t num_tuple_sets = 0;
   size_t num_matches = 0;
   size_t num_cns = 0;
+  /// Workers that actually solved at least one match (1 on the
+  /// sequential path; helpers that never got scheduled don't count).
+  unsigned cn_workers = 1;
+  /// Parallel-speedup quality of the MatchCN stage: aggregate worker busy
+  /// time divided by (wall time x cn_workers), in (0, 1]. 1.0 means the
+  /// partition kept every participating worker busy for the whole stage
+  /// (and is also reported by the sequential path); values near 1/n mean
+  /// the stage was effectively serial despite n workers.
+  double cn_parallel_efficiency = 1.0;
   bool truncated = false;    // max_matches kicked in
   bool interrupted = false;  // cancel/deadline fired mid-run; partial result
 };

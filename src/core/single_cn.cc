@@ -1,10 +1,9 @@
 #include "core/single_cn.h"
 
-#include <deque>
 #include <unordered_set>
+#include <vector>
 
 namespace matcn {
-namespace {
 
 /// A partial joining network of tuple-sets during the BFS. Tree node i
 /// instantiates tuple-set-graph node `ts_nodes[i]`; free graph nodes may
@@ -15,10 +14,28 @@ struct PartialTree {
   uint64_t match_used = 0;  // bit i <=> match_nodes[i] is in the tree
 };
 
-}  // namespace
+/// The BFS frontier is a vector plus a head cursor instead of a deque:
+/// the vector's storage block (and the dedup set's bucket array) survive
+/// a Clear(), which is what makes reusing one scratch across the hundreds
+/// of matches of a query worthwhile.
+struct SingleCnScratch::Impl {
+  std::vector<PartialTree> queue;
+  size_t head = 0;
+  std::unordered_set<std::string> seen;
+
+  void Clear() {
+    queue.clear();
+    head = 0;
+    seen.clear();
+  }
+};
+
+SingleCnScratch::SingleCnScratch() : impl_(std::make_unique<Impl>()) {}
+SingleCnScratch::~SingleCnScratch() = default;
 
 std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
-                                         const SingleCnOptions& options) {
+                                         const SingleCnOptions& options,
+                                         SingleCnScratch* scratch) {
   const TupleSetGraph& g = match_graph.base();
   const std::vector<int>& match_nodes = match_graph.match_nodes();
   if (match_nodes.empty() || match_nodes.size() > 64) return std::nullopt;
@@ -44,6 +61,11 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
     return CnNode{n.relation, n.termset, n.tuple_set_index};
   };
 
+  SingleCnScratch local_scratch;
+  SingleCnScratch::Impl& s =
+      scratch != nullptr ? *scratch->impl() : *local_scratch.impl();
+  s.Clear();
+
   // Line 2 of Algorithm 3: start from the first tuple-set of the match.
   PartialTree initial;
   initial.tree = CandidateNetwork::SingleNode(make_cn_node(match_nodes[0]));
@@ -51,13 +73,11 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
   initial.match_used = match_bit(match_nodes[0]);
   if (initial.match_used == full_match) return initial.tree;
 
-  std::deque<PartialTree> queue;
-  std::unordered_set<std::string> seen;
-  seen.insert(initial.tree.CanonicalForm());
-  queue.push_back(std::move(initial));
+  s.seen.insert(initial.tree.CanonicalForm());
+  s.queue.push_back(std::move(initial));
 
   size_t expansions = 0;
-  while (!queue.empty()) {
+  while (s.head < s.queue.size()) {
     if (++expansions > options.max_expansions) break;
     // Poll the cancel token coarsely; a clock read per dequeue would cost
     // more than the expansion itself on small match graphs.
@@ -65,8 +85,11 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
         options.cancel->Expired()) {
       return std::nullopt;
     }
-    PartialTree current = std::move(queue.front());
-    queue.pop_front();
+    // Popping advances the cursor; the element stays in place so the
+    // vector never shifts. `current` must be re-fetched after push_back
+    // below would invalidate references, so copy the fields we keep.
+    PartialTree current = std::move(s.queue[s.head]);
+    ++s.head;
     if (current.tree.size() >= static_cast<size_t>(options.t_max)) continue;
 
     for (size_t pos = 0; pos < current.ts_nodes.size(); ++pos) {
@@ -91,7 +114,7 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
           continue;
         }
         std::string canon = next.tree.CanonicalForm();
-        if (!seen.insert(std::move(canon)).second) continue;
+        if (!s.seen.insert(std::move(canon)).second) continue;
         next.ts_nodes = current.ts_nodes;
         next.ts_nodes.push_back(nbr);
         next.match_used = current.match_used | match_bit(nbr);
@@ -106,7 +129,7 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
             static_cast<size_t>(options.t_max)) {
           continue;
         }
-        queue.push_back(std::move(next));
+        s.queue.push_back(std::move(next));
       }
     }
   }

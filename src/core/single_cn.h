@@ -1,6 +1,7 @@
 #ifndef MATCN_CORE_SINGLE_CN_H_
 #define MATCN_CORE_SINGLE_CN_H_
 
+#include <memory>
 #include <optional>
 
 #include "common/deadline.h"
@@ -21,6 +22,27 @@ struct SingleCnOptions {
   const CancelToken* cancel = nullptr;
 };
 
+/// Reusable per-worker scratch arena for SingleCn: the BFS frontier and
+/// the canonical-form dedup set survive across calls with their capacity
+/// (vector storage, hash buckets) intact, so a worker solving hundreds of
+/// matches of one query allocates the big blocks once instead of per
+/// match. Not thread-safe — one scratch per worker. The definition is
+/// private to single_cn.cc.
+class SingleCnScratch {
+ public:
+  SingleCnScratch();
+  ~SingleCnScratch();
+
+  SingleCnScratch(const SingleCnScratch&) = delete;
+  SingleCnScratch& operator=(const SingleCnScratch&) = delete;
+
+  struct Impl;
+  Impl* impl() { return impl_.get(); }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// SingleCN (paper Algorithm 3): breadth-first search over the match graph
 /// for the shortest *sound* joining network of tuple-sets that contains
 /// every node of the match. Partial trees are deduplicated by canonical
@@ -32,8 +54,12 @@ struct SingleCnOptions {
 /// containing the match cannot have a free leaf (a strictly smaller tree
 /// containing the match would have been found first), so the returned tree
 /// is a valid candidate network per Definition 6.
+///
+/// `scratch` (optional, borrowed) recycles the search's heap blocks across
+/// calls; passing one never changes the result.
 std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
-                                         const SingleCnOptions& options = {});
+                                         const SingleCnOptions& options = {},
+                                         SingleCnScratch* scratch = nullptr);
 
 }  // namespace matcn
 

@@ -32,7 +32,17 @@ std::string TupleSetGraph::NodeLabel(int id) const {
 
 MatchGraph::MatchGraph(const TupleSetGraph* g,
                        const std::vector<int>& match_nodes)
-    : g_(g), match_nodes_(match_nodes) {
+    : g_(g) {
+  Reset(match_nodes);
+}
+
+MatchGraph::MatchGraph(const TupleSetGraph* g) : g_(g) {
+  allowed_.assign(g_->num_nodes(), false);
+  adjacency_.resize(g_->num_nodes());
+}
+
+void MatchGraph::Reset(const std::vector<int>& match_nodes) {
+  match_nodes_ = match_nodes;
   allowed_.assign(g_->num_nodes(), false);
   for (size_t id = 0; id < g_->num_nodes(); ++id) {
     if (g_->IsFree(static_cast<int>(id))) allowed_[id] = true;
@@ -40,6 +50,7 @@ MatchGraph::MatchGraph(const TupleSetGraph* g,
   for (int id : match_nodes_) allowed_[id] = true;
   adjacency_.resize(g_->num_nodes());
   for (size_t u = 0; u < g_->num_nodes(); ++u) {
+    adjacency_[u].clear();
     if (!allowed_[u]) continue;
     for (int v : g_->Neighbors(static_cast<int>(u))) {
       if (allowed_[v]) adjacency_[u].push_back(v);

@@ -63,6 +63,16 @@ class MatchGraph {
   /// tuple-sets.
   MatchGraph(const TupleSetGraph* g, const std::vector<int>& match_nodes);
 
+  /// Builds an empty overlay for `Reset` reuse (no node is allowed yet).
+  explicit MatchGraph(const TupleSetGraph* g);
+
+  /// Re-points the overlay at a different match of the same tuple-set
+  /// graph, recycling the allowed/adjacency storage. A worker iterating
+  /// the matches of one query resets a single MatchGraph instead of
+  /// reallocating per match; the result is identical to a freshly
+  /// constructed graph.
+  void Reset(const std::vector<int>& match_nodes);
+
   bool Allowed(int id) const { return allowed_[id]; }
   /// Neighbors of `id` within the induced subgraph.
   const std::vector<int>& Neighbors(int id) const {

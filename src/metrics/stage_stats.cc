@@ -1,0 +1,43 @@
+#include "metrics/stage_stats.h"
+
+#include <cstdio>
+
+namespace matcn {
+
+StageStatsSnapshot StageStats::Snapshot() const {
+  StageStatsSnapshot s;
+  s.runs = runs_.load(std::memory_order_relaxed);
+  if (s.runs == 0) return s;
+  const double n = static_cast<double>(s.runs);
+  s.ts_ms_mean =
+      static_cast<double>(ts_micros_.load(std::memory_order_relaxed)) /
+      1000.0 / n;
+  s.match_ms_mean =
+      static_cast<double>(match_micros_.load(std::memory_order_relaxed)) /
+      1000.0 / n;
+  s.cn_ms_mean =
+      static_cast<double>(cn_micros_.load(std::memory_order_relaxed)) /
+      1000.0 / n;
+  // efficiency_micros_ holds the ratio in micro-units (Record scales the
+  // [0, 1] ratio x1000 and Add() x1000 again).
+  s.cn_parallel_efficiency =
+      static_cast<double>(
+          efficiency_micros_.load(std::memory_order_relaxed)) /
+      1'000'000.0 / n;
+  s.cn_workers_mean =
+      static_cast<double>(cn_workers_.load(std::memory_order_relaxed)) / n;
+  return s;
+}
+
+std::string StageStatsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "stages[runs=%llu ts=%.3fms match=%.3fms cn=%.3fms "
+                "cn_workers=%.1f cn_eff=%.2f]",
+                static_cast<unsigned long long>(runs), ts_ms_mean,
+                match_ms_mean, cn_ms_mean, cn_workers_mean,
+                cn_parallel_efficiency);
+  return buf;
+}
+
+}  // namespace matcn

@@ -1,0 +1,62 @@
+#ifndef MATCN_METRICS_STAGE_STATS_H_
+#define MATCN_METRICS_STAGE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace matcn {
+
+/// Point-in-time view of the per-stage pipeline timing aggregates. All
+/// means are over the runs recorded since construction.
+struct StageStatsSnapshot {
+  uint64_t runs = 0;
+  double ts_ms_mean = 0;       // TSFind / TSFind_Mem
+  double match_ms_mean = 0;    // QMGen
+  double cn_ms_mean = 0;       // MatchCN
+  /// Mean MatchCN parallel efficiency (busy / (wall x workers), in
+  /// (0, 1]; 1.0 when every run was sequential).
+  double cn_parallel_efficiency = 0;
+  /// Mean number of workers that participated in MatchCN.
+  double cn_workers_mean = 0;
+
+  std::string ToString() const;
+};
+
+/// Concurrent accumulator for per-stage pipeline timings (tuple-set
+/// finding, match generation, CN construction) plus the MatchCN
+/// parallelism gauges. Recording is a handful of relaxed atomic adds, so
+/// any worker can record without blocking; totals are kept in integer
+/// microseconds (and micro-units for the efficiency ratio) because atomic
+/// doubles are not portably lock-free.
+class StageStats {
+ public:
+  void Record(double ts_ms, double match_ms, double cn_ms,
+              double cn_parallel_efficiency, unsigned cn_workers) {
+    Add(&ts_micros_, ts_ms);
+    Add(&match_micros_, match_ms);
+    Add(&cn_micros_, cn_ms);
+    Add(&efficiency_micros_, cn_parallel_efficiency * 1000.0);
+    cn_workers_.fetch_add(cn_workers, std::memory_order_relaxed);
+    runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  StageStatsSnapshot Snapshot() const;
+
+ private:
+  static void Add(std::atomic<uint64_t>* c, double millis) {
+    c->fetch_add(static_cast<uint64_t>(millis * 1000.0),
+                 std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> runs_{0};
+  std::atomic<uint64_t> ts_micros_{0};
+  std::atomic<uint64_t> match_micros_{0};
+  std::atomic<uint64_t> cn_micros_{0};
+  std::atomic<uint64_t> efficiency_micros_{0};
+  std::atomic<uint64_t> cn_workers_{0};
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_METRICS_STAGE_STATS_H_

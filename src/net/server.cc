@@ -407,6 +407,15 @@ void Server::HandleStats(Connection* conn, uint64_t request_id) {
   payload.idle_closed = netstats.idle_closed;
   payload.protocol_errors = netstats.protocol_errors;
   payload.queries_in_flight = netstats.queries_in_flight;
+  payload.ts_us_mean = static_cast<uint64_t>(service.stages.ts_ms_mean * 1000.0);
+  payload.match_us_mean =
+      static_cast<uint64_t>(service.stages.match_ms_mean * 1000.0);
+  payload.cn_us_mean =
+      static_cast<uint64_t>(service.stages.cn_ms_mean * 1000.0);
+  payload.cn_eff_permille = static_cast<uint64_t>(
+      service.stages.cn_parallel_efficiency * 1000.0);
+  payload.cn_workers_x10 =
+      static_cast<uint64_t>(service.stages.cn_workers_mean * 10.0);
   WireWriter w;
   Encode(payload, &w);
   SendFrame(conn, FrameType::kStatsResult, request_id, w.buffer());

@@ -227,6 +227,11 @@ void Encode(const StatsPayload& v, WireWriter* w) {
   w->U64(v.idle_closed);
   w->U64(v.protocol_errors);
   w->U64(v.queries_in_flight);
+  w->U64(v.ts_us_mean);
+  w->U64(v.match_us_mean);
+  w->U64(v.cn_us_mean);
+  w->U64(v.cn_eff_permille);
+  w->U64(v.cn_workers_x10);
 }
 
 bool Decode(std::string_view payload, StatsPayload* v) {
@@ -253,6 +258,11 @@ bool Decode(std::string_view payload, StatsPayload* v) {
   r.U64(&v->idle_closed);
   r.U64(&v->protocol_errors);
   r.U64(&v->queries_in_flight);
+  r.U64(&v->ts_us_mean);
+  r.U64(&v->match_us_mean);
+  r.U64(&v->cn_us_mean);
+  r.U64(&v->cn_eff_permille);
+  r.U64(&v->cn_workers_x10);
   return r.AtEnd();
 }
 

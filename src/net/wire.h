@@ -34,7 +34,10 @@ namespace matcn::net {
 
 inline constexpr uint8_t kMagic0 = 'M';
 inline constexpr uint8_t kMagic1 = 'C';
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2 extends STATS_RESULT with per-stage pipeline timings and the
+/// MatchCN parallelism gauges. Frames are otherwise identical to v1;
+/// both ends reject mismatched versions at the header.
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 16;
 
 enum class FrameType : uint8_t {
@@ -205,6 +208,14 @@ struct StatsPayload {
   uint64_t idle_closed = 0;
   uint64_t protocol_errors = 0;
   uint64_t queries_in_flight = 0;
+  // Pipeline stage means over executed (non-cached) queries, v2+.
+  uint64_t ts_us_mean = 0;
+  uint64_t match_us_mean = 0;
+  uint64_t cn_us_mean = 0;
+  /// Mean MatchCN parallel efficiency in permille (1000 = every
+  /// participating worker fully busy); see GenerationStats.
+  uint64_t cn_eff_permille = 0;
+  uint64_t cn_workers_x10 = 0;  // mean workers per query, fixed-point x10
 };
 
 void Encode(const QueryRequest& v, WireWriter* w);

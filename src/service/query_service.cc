@@ -192,6 +192,10 @@ void QueryService::Execute(
   }
 
   gen.cancel = cancel.get();
+  // Intra-query MatchCN helpers share the service's own pool (idle
+  // workers steal per-match work from this query) instead of spawning
+  // threads per query.
+  if (gen.num_threads > 1) gen.executor = pool_.get();
   MatCnGen generator(schema_graph_, gen);
 
   GenerationResult result;
@@ -218,6 +222,10 @@ void QueryService::Execute(
     response.degraded_reason = "match enumeration truncated at max_matches=" +
                                std::to_string(gen.max_matches);
   }
+  stats_.RecordStages(result.stats.ts_millis, result.stats.match_millis,
+                      result.stats.cn_millis,
+                      result.stats.cn_parallel_efficiency,
+                      result.stats.cn_workers);
   auto shared = std::make_shared<const GenerationResult>(std::move(result));
   response.result = shared;
   // Only complete answers are cached: a degraded result served from cache

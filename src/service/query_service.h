@@ -34,9 +34,12 @@ struct QueryServiceOptions {
   /// dropping it changes no answers but lets "the godfather" share a
   /// cache entry (and a non-empty result) with "godfather".
   bool drop_stopwords = true;
-  /// Pipeline configuration shared by all queries (num_threads inside is
-  /// per-query CN parallelism, usually left at 1 when the service itself
-  /// is parallel).
+  /// Pipeline configuration shared by all queries. `gen.num_threads` is
+  /// per-query MatchCN parallelism (the `--cn-threads` knob): when > 1
+  /// the service hands its own worker pool down as the helper executor,
+  /// so a multi-match query fans its per-match CN searches out across
+  /// idle workers while output stays identical to the sequential run.
+  /// Leave at 1 to dedicate the pool to inter-query parallelism.
   MatCnGenOptions gen;
   /// Instrumentation seam: runs on the worker thread at the start of
   /// every pipeline execution (cache hits never reach it), before the

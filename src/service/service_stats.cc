@@ -17,6 +17,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   s.p95_ms = static_cast<double>(latency_.QuantileMicros(0.95)) / 1000.0;
   s.p99_ms = static_cast<double>(latency_.QuantileMicros(0.99)) / 1000.0;
   s.max_ms = static_cast<double>(latency_.MaxMicros()) / 1000.0;
+  s.stages = stages_.Snapshot();
   return s;
 }
 
@@ -38,7 +39,7 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(cache_misses), cache_entries,
       cache_bytes, static_cast<unsigned long long>(cache_evictions),
       queue_depth, num_threads, mean_ms, p50_ms, p95_ms, p99_ms, max_ms);
-  return buf;
+  return std::string(buf) + " " + stages.ToString();
 }
 
 }  // namespace matcn

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "metrics/latency_histogram.h"
+#include "metrics/stage_stats.h"
 #include "service/sharded_lru_cache.h"
 
 namespace matcn {
@@ -32,6 +33,9 @@ struct ServiceStatsSnapshot {
   double p95_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
+  // Per-stage pipeline timing means (executed queries only — cache hits
+  // never reach the pipeline), including the MatchCN parallelism gauges.
+  StageStatsSnapshot stages;
 
   std::string ToString() const;
 };
@@ -48,6 +52,11 @@ class ServiceStats {
   void RecordDegraded() { Bump(&degraded_); }
   void RecordFailed() { Bump(&failed_); }
   void RecordLatencyMicros(int64_t micros) { latency_.Record(micros); }
+  void RecordStages(double ts_ms, double match_ms, double cn_ms,
+                    double cn_parallel_efficiency, unsigned cn_workers) {
+    stages_.Record(ts_ms, match_ms, cn_ms, cn_parallel_efficiency,
+                   cn_workers);
+  }
 
   /// Fills the counter and latency fields; the caller layers in cache and
   /// queue gauges it owns.
@@ -65,6 +74,7 @@ class ServiceStats {
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> failed_{0};
   LatencyHistogram latency_;
+  StageStats stages_;
 };
 
 }  // namespace matcn

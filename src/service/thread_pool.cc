@@ -8,6 +8,7 @@ namespace matcn {
 ThreadPool::ThreadPool(unsigned num_threads, size_t max_queue)
     : max_queue_(max_queue) {
   num_threads = std::max(1u, num_threads);
+  max_subtasks_ = size_t{4} * num_threads;
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -33,9 +34,24 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::TrySpawn(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || subtasks_.size() >= max_subtasks_) return false;
+    subtasks_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 size_t ThreadPool::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t ThreadPool::SubtaskDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subtasks_.size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -43,12 +59,21 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !subtasks_.empty();
+      });
       // Drain admitted tasks before exiting so every submitted promise is
-      // fulfilled even during shutdown.
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // fulfilled even during shutdown. Subtasks first: they speed up a
+      // query that is already executing on another worker.
+      if (!subtasks_.empty()) {
+        task = std::move(subtasks_.front());
+        subtasks_.pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;
+      }
     }
     task();
   }

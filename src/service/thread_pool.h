@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/executor.h"
+
 namespace matcn {
 
 /// Fixed-size worker pool with a bounded submission queue. Submission is
@@ -17,12 +19,20 @@ namespace matcn {
 /// that into a reject `Status` instead of building an unbounded backlog).
 /// The destructor stops accepting work, drains tasks already admitted,
 /// and joins the workers.
-class ThreadPool {
+///
+/// Besides the query queue the pool runs a second, smaller *subtask* lane
+/// (the TaskExecutor interface): intra-query helper tasks spawned by an
+/// in-flight query so idle workers can steal part of its per-match CN
+/// work. Subtasks are drained ahead of queued queries — finishing the
+/// query already holding a worker beats starting a new one — and they are
+/// bounded separately so helper fan-out never eats admission-control
+/// slots.
+class ThreadPool : public TaskExecutor {
  public:
   /// `num_threads` is clamped to >= 1. `max_queue` bounds the number of
   /// tasks waiting (not counting the ones currently executing).
   ThreadPool(unsigned num_threads, size_t max_queue);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -31,6 +41,13 @@ class ThreadPool {
   /// down; returns whether the task was admitted.
   bool TrySubmit(std::function<void()> task);
 
+  /// TaskExecutor: enqueues an intra-query helper onto the subtask lane
+  /// (bounded at 4 tasks per worker). Helpers must tolerate running
+  /// arbitrarily late or never — see TaskExecutor.
+  bool TrySpawn(std::function<void()> fn) override;
+
+  unsigned concurrency() const override { return num_threads(); }
+
   unsigned num_threads() const {
     return static_cast<unsigned>(workers_.size());
   }
@@ -38,13 +55,18 @@ class ThreadPool {
   /// Tasks admitted but not yet picked up by a worker.
   size_t QueueDepth() const;
 
+  /// Helper subtasks admitted but not yet picked up.
+  size_t SubtaskDepth() const;
+
  private:
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> subtasks_;
   size_t max_queue_;
+  size_t max_subtasks_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

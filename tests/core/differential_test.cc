@@ -1,0 +1,244 @@
+// Differential test harness: seeded random schemas and tuple-set
+// configurations drive both implementations of every stage that has two —
+// optimized QMGen vs paper Algorithm 1 verbatim, and parallel MatchCN vs
+// the sequential path — and assert the outputs are element- and
+// order-identical. Each case is derived from a single integer seed, so a
+// failure message names the exact reproducer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/matcngen.h"
+#include "core/qmgen.h"
+#include "graph/schema_graph.h"
+#include "service/thread_pool.h"
+#include "storage/schema.h"
+
+namespace matcn {
+namespace {
+
+// One generated case: a connected random schema plus a random non-free
+// tuple-set configuration R_Q over a 2-4 keyword query.
+struct GeneratedCase {
+  DatabaseSchema schema;
+  KeywordQuery query;
+  std::vector<TupleSet> tuple_sets;
+};
+
+// Random connected schema: `num_relations` relations, a spanning tree of
+// RICs (each relation i > 0 linked to a random earlier relation, with
+// random FK direction) plus a few extra edges. FK columns are decided
+// before construction because RelationSchema attributes are fixed at
+// creation time.
+DatabaseSchema MakeRandomSchema(Rng& rng, size_t num_relations) {
+  struct Edge {
+    size_t holder;
+    size_t referenced;
+  };
+  std::vector<Edge> edges;
+  for (size_t i = 1; i < num_relations; ++i) {
+    const size_t other = rng.Index(i);
+    if (rng.Bernoulli(0.5)) {
+      edges.push_back({i, other});
+    } else {
+      edges.push_back({other, i});
+    }
+  }
+  // Extra non-tree edges make cycles, so distinct matches can admit CNs
+  // over genuinely different join paths.
+  const size_t extras = static_cast<size_t>(rng.Uniform(0, 2));
+  for (size_t e = 0; e < extras && num_relations >= 3; ++e) {
+    const size_t a = rng.Index(num_relations);
+    const size_t b = rng.Index(num_relations);
+    if (a == b) continue;
+    edges.push_back({a, b});
+  }
+
+  std::vector<size_t> fk_count(num_relations, 0);
+  std::vector<std::vector<std::string>> fk_names(num_relations);
+  for (Edge& edge : edges) {
+    fk_names[edge.holder].push_back(
+        "fk" + std::to_string(fk_count[edge.holder]++) + "_r" +
+        std::to_string(edge.referenced));
+  }
+
+  DatabaseSchema schema;
+  for (size_t r = 0; r < num_relations; ++r) {
+    std::vector<Attribute> attributes;
+    attributes.push_back({"id", ValueType::kInt, /*is_primary_key=*/true,
+                          /*searchable=*/false});
+    attributes.push_back({"text", ValueType::kText, false, true});
+    for (const std::string& fk : fk_names[r]) {
+      attributes.push_back({fk, ValueType::kInt, false, false});
+    }
+    auto added = schema.AddRelation(
+        RelationSchema("R" + std::to_string(r), std::move(attributes)));
+    EXPECT_TRUE(added.ok());
+  }
+  std::vector<size_t> fk_used(num_relations, 0);
+  for (const Edge& edge : edges) {
+    ForeignKey fk;
+    fk.from_relation = "R" + std::to_string(edge.holder);
+    fk.from_attribute = fk_names[edge.holder][fk_used[edge.holder]++];
+    fk.to_relation = "R" + std::to_string(edge.referenced);
+    fk.to_attribute = "id";
+    EXPECT_TRUE(schema.AddForeignKey(fk).ok());
+  }
+  return schema;
+}
+
+// Random R_Q: walk (relation, termset) pairs in the deterministic TSFind
+// order (by relation, then termset) and keep each with a density that
+// leaves the naive QMGen's 2^|R_Q| enumeration tractable.
+std::vector<TupleSet> MakeRandomTupleSets(Rng& rng, size_t num_relations,
+                                          const KeywordQuery& query) {
+  const Termset full = query.FullTermset();
+  std::vector<TupleSet> tuple_sets;
+  for (size_t r = 0; r < num_relations; ++r) {
+    for (Termset t = 1; t <= full; ++t) {
+      if (!rng.Bernoulli(0.28)) continue;
+      TupleSet ts;
+      ts.relation = static_cast<RelationId>(r);
+      ts.termset = t;
+      const uint64_t rows = rng.Uniform(1, 3);
+      for (uint64_t row = 0; row < rows; ++row) {
+        ts.tuples.emplace_back(ts.relation, row);
+      }
+      tuple_sets.push_back(std::move(ts));
+      if (tuple_sets.size() >= 12) return tuple_sets;  // bound 2^|R_Q|
+    }
+  }
+  return tuple_sets;
+}
+
+GeneratedCase MakeCase(uint64_t seed) {
+  Rng rng(0x9E3779B97F4A7C15ull ^ (seed * 0x2545F4914F6CDD1Dull + seed));
+  GeneratedCase c;
+  const size_t num_relations = static_cast<size_t>(rng.Uniform(2, 8));
+  c.schema = MakeRandomSchema(rng, num_relations);
+  const size_t num_keywords = static_cast<size_t>(rng.Uniform(2, 4));
+  std::vector<std::string> keywords;
+  for (size_t k = 0; k < num_keywords; ++k) {
+    keywords.push_back("k" + std::to_string(k));
+  }
+  auto query = KeywordQuery::FromKeywords(std::move(keywords));
+  EXPECT_TRUE(query.ok());
+  c.query = *query;
+  c.tuple_sets = MakeRandomTupleSets(rng, num_relations, c.query);
+  return c;
+}
+
+void ExpectIdenticalResults(const GenerationResult& a,
+                            const GenerationResult& b, uint64_t seed) {
+  ASSERT_EQ(a.matches, b.matches) << "seed " << seed;
+  ASSERT_EQ(a.cns.size(), b.cns.size()) << "seed " << seed;
+  for (size_t i = 0; i < a.cns.size(); ++i) {
+    EXPECT_EQ(a.cns[i], b.cns[i]) << "seed " << seed << " cn " << i;
+  }
+  EXPECT_EQ(a.stats.truncated, b.stats.truncated) << "seed " << seed;
+  EXPECT_EQ(a.stats.interrupted, b.stats.interrupted) << "seed " << seed;
+}
+
+// The seed ranges below must add up to >= 200 generated cases; the split
+// into suites exists so a failure localizes the property that broke, not
+// to shrink coverage.
+constexpr uint64_t kQmgenCases = 240;
+constexpr uint64_t kParallelCases = 240;
+constexpr uint64_t kExecutorCases = 60;
+
+// Optimized QMGen (minimal covers over distinct termsets, then relation
+// product) must equal paper Algorithm 1 verbatim — same matches, same
+// order.
+TEST(DifferentialTest, QmgenFastEqualsNaive) {
+  size_t nonempty = 0;
+  for (uint64_t seed = 0; seed < kQmgenCases; ++seed) {
+    const GeneratedCase c = MakeCase(seed);
+    const std::vector<QueryMatch> naive =
+        GenerateMatchesNaive(c.query, c.tuple_sets);
+    const std::vector<QueryMatch> fast =
+        GenerateMatches(c.query, c.tuple_sets);
+    ASSERT_EQ(naive, fast) << "seed " << seed;
+    if (!naive.empty()) ++nonempty;
+  }
+  // The generator parameters must keep a healthy share of cases where
+  // matches exist at all, or the differential check is vacuous.
+  EXPECT_GE(nonempty, kQmgenCases / 4);
+}
+
+// Parallel MatchCN (std::thread fallback path) must be element- and
+// order-identical to the sequential path on every generated case.
+TEST(DifferentialTest, ParallelMatchCnEqualsSequential) {
+  size_t with_cns = 0;
+  for (uint64_t seed = 0; seed < kParallelCases; ++seed) {
+    const GeneratedCase c = MakeCase(seed);
+    const SchemaGraph schema_graph = SchemaGraph::Build(c.schema);
+    Rng rng(seed + 7);
+    MatCnGenOptions options;
+    options.t_max = static_cast<int>(rng.Uniform(3, 6));
+
+    MatCnGen sequential(&schema_graph, options);
+    options.num_threads = static_cast<unsigned>(rng.Uniform(2, 8));
+    MatCnGen parallel(&schema_graph, options);
+
+    const GenerationResult a =
+        sequential.GenerateFromTupleSets(c.query, c.tuple_sets, 0);
+    const GenerationResult b =
+        parallel.GenerateFromTupleSets(c.query, c.tuple_sets, 0);
+    ExpectIdenticalResults(a, b, seed);
+    EXPECT_GE(b.stats.cn_workers, 1u) << "seed " << seed;
+    EXPECT_GT(b.stats.cn_parallel_efficiency, 0.0) << "seed " << seed;
+    EXPECT_LE(b.stats.cn_parallel_efficiency, 1.0) << "seed " << seed;
+    if (!a.cns.empty()) ++with_cns;
+  }
+  EXPECT_GE(with_cns, kParallelCases / 4);
+}
+
+// Same property through the serving-layer wiring: helpers borrowed from a
+// shared ThreadPool via the TaskExecutor seam instead of dedicated
+// std::threads. A pool smaller than num_threads also exercises refused
+// helpers (the caller then drains the whole match list itself).
+TEST(DifferentialTest, ParallelMatchCnEqualsSequentialViaExecutor) {
+  ThreadPool pool(3, /*max_queue=*/16);
+  for (uint64_t seed = 0; seed < kExecutorCases; ++seed) {
+    const GeneratedCase c = MakeCase(seed);
+    const SchemaGraph schema_graph = SchemaGraph::Build(c.schema);
+    MatCnGenOptions options;
+    MatCnGen sequential(&schema_graph, options);
+    options.num_threads = 8;  // > pool size: some helpers are refused
+    options.executor = &pool;
+    MatCnGen parallel(&schema_graph, options);
+
+    const GenerationResult a =
+        sequential.GenerateFromTupleSets(c.query, c.tuple_sets, 0);
+    const GenerationResult b =
+        parallel.GenerateFromTupleSets(c.query, c.tuple_sets, 0);
+    ExpectIdenticalResults(a, b, seed);
+  }
+}
+
+// max_matches truncation must bite identically on both paths: the same
+// truncated match prefix, the same CNs, the same truncated flag.
+TEST(DifferentialTest, TruncationIsPathIndependent) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    const GeneratedCase c = MakeCase(seed);
+    const SchemaGraph schema_graph = SchemaGraph::Build(c.schema);
+    MatCnGenOptions options;
+    options.max_matches = 3;
+    MatCnGen sequential(&schema_graph, options);
+    options.num_threads = 4;
+    MatCnGen parallel(&schema_graph, options);
+
+    const GenerationResult a =
+        sequential.GenerateFromTupleSets(c.query, c.tuple_sets, 0);
+    const GenerationResult b =
+        parallel.GenerateFromTupleSets(c.query, c.tuple_sets, 0);
+    ASSERT_LE(a.matches.size(), 3u) << "seed " << seed;
+    ExpectIdenticalResults(a, b, seed);
+  }
+}
+
+}  // namespace
+}  // namespace matcn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "metrics/stage_stats.h"
+
 namespace matcn {
 namespace {
 
@@ -75,6 +77,41 @@ TEST(MeanTest, Basics) {
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
   EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StageStatsTest, EmptySnapshotIsZero) {
+  StageStats stats;
+  const StageStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.runs, 0u);
+  EXPECT_DOUBLE_EQ(s.cn_parallel_efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(s.cn_workers_mean, 0.0);
+}
+
+TEST(StageStatsTest, SnapshotMeansMatchRecordedValues) {
+  StageStats stats;
+  stats.Record(/*ts_ms=*/1.0, /*match_ms=*/2.0, /*cn_ms=*/4.0,
+               /*cn_parallel_efficiency=*/0.5, /*cn_workers=*/1);
+  stats.Record(/*ts_ms=*/3.0, /*match_ms=*/4.0, /*cn_ms=*/8.0,
+               /*cn_parallel_efficiency=*/1.0, /*cn_workers=*/7);
+  const StageStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_NEAR(s.ts_ms_mean, 2.0, 1e-3);
+  EXPECT_NEAR(s.match_ms_mean, 3.0, 1e-3);
+  EXPECT_NEAR(s.cn_ms_mean, 6.0, 1e-3);
+  // The ratio must come back on its recorded [0, 1] scale — this is the
+  // regression test for the snapshot dividing out only half of the
+  // fixed-point scaling and reporting 750 instead of 0.75.
+  EXPECT_NEAR(s.cn_parallel_efficiency, 0.75, 1e-3);
+  EXPECT_NEAR(s.cn_workers_mean, 4.0, 1e-9);
+}
+
+TEST(StageStatsTest, EfficiencyStaysInUnitRangeInToString) {
+  StageStats stats;
+  stats.Record(0.1, 0.1, 5.0, 0.94258, 4);
+  const StageStatsSnapshot s = stats.Snapshot();
+  EXPECT_GT(s.cn_parallel_efficiency, 0.0);
+  EXPECT_LE(s.cn_parallel_efficiency, 1.0);
+  EXPECT_NE(s.ToString().find("cn_eff=0.94"), std::string::npos);
 }
 
 }  // namespace

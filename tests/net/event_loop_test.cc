@@ -155,6 +155,9 @@ TEST_F(EventLoopTest, WakeupRunsWakeupCallback) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_GE(wakeups, 1);
+  // Stop() itself wakes the loop, and that final wake still dispatches the
+  // callback — join before `wakeups` goes out of scope.
+  StopLoop();
 }
 
 TEST_F(EventLoopTest, StopDrainsAlreadyPostedTasks) {

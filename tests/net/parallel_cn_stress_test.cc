@@ -1,0 +1,274 @@
+// Concurrency stress for parallel per-match CN generation under the full
+// serving stack, designed to run under TSAN: many clients, intra-query
+// MatchCN helpers stealing work from the same pool that runs the queries,
+// and random mid-flight cancels plus tight deadlines. Two invariants:
+//
+//   1. No lost callbacks — every submission resolves exactly once, as a
+//      response or a typed error, no matter when its cancel landed.
+//   2. No partial-result mislabels — a response not flagged `degraded` is
+//      the complete answer (identical to a sequential reference run), and
+//      an interrupted or truncated pipeline result is always flagged.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matcngen.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+namespace matcn {
+namespace {
+
+// The fixture's interesting keyword combinations — multi-match queries so
+// the parallel MatchCN partition actually has work to split.
+const std::vector<std::string>& QueryTexts() {
+  static const std::vector<std::string> kTexts = {
+      "denzel",
+      "gangster",
+      "washington",
+      "denzel gangster",
+      "denzel washington",
+      "washington gangster",
+      "denzel washington gangster",
+  };
+  return kTexts;
+}
+
+class ParallelCnStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    index_ = TermIndex::Build(db_);
+  }
+
+  // Complete answer for `text` from a sequential single-threaded run —
+  // the reference a non-degraded response must equal.
+  GenerationResult Reference(const QueryService& service,
+                             const std::string& text) const {
+    const KeywordQuery normalized =
+        service.Normalize(*KeywordQuery::Parse(text));
+    MatCnGen direct(&schema_graph_);
+    return direct.Generate(normalized, index_);
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+};
+
+// Service-level: SubmitAsync with random Cancel() calls racing the
+// pipeline. Counts callbacks and checks the degraded flag against the
+// pipeline stats on every response.
+TEST_F(ParallelCnStressTest, AsyncSubmitWithRandomCancels) {
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.gen.num_threads = 4;  // helpers share the same 4-worker pool
+  options.cache_bytes = 0;      // every submission runs the pipeline
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  QueryService service(&schema_graph_, &index_, options);
+
+  std::vector<GenerationResult> references;
+  for (const std::string& text : QueryTexts()) {
+    references.push_back(Reference(service, text));
+  }
+
+  constexpr int kSubmissions = 200;
+  std::atomic<int> callbacks{0};
+  std::atomic<int> mislabels{0};
+  std::atomic<int> complete_ok{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<size_t> pick_query(0, QueryTexts().size() - 1);
+  std::uniform_int_distribution<int> pick_deadline(0, 3);
+  std::uniform_int_distribution<int> pick_cancel_us(0, 3000);
+
+  std::vector<std::shared_ptr<CancelToken>> tokens;
+  std::vector<int> cancel_after_us;
+  tokens.reserve(kSubmissions);
+  for (int i = 0; i < kSubmissions; ++i) {
+    const size_t q = pick_query(rng);
+    // Mix of no deadline, generous, and already-tight deadlines.
+    const int choice = pick_deadline(rng);
+    Deadline deadline;  // infinite
+    if (choice == 1) deadline = Deadline::AfterMillis(1);
+    if (choice == 2) deadline = Deadline::AfterMillis(5);
+    const GenerationResult* expected = &references[q];
+    auto query = KeywordQuery::Parse(QueryTexts()[q]);
+    ASSERT_TRUE(query.ok());
+    auto token = service.SubmitAsync(
+        *query, deadline, {},
+        [&, expected](Result<QueryResponse> response) {
+          if (response.ok()) {
+            const GenerationStats& stats = response->result->stats;
+            const bool partial = stats.interrupted || stats.truncated;
+            if (partial && !response->degraded) mislabels.fetch_add(1);
+            if (!response->degraded) {
+              // Complete answers must be the complete answer.
+              if (response->result->cns.size() != expected->cns.size() ||
+                  response->result->matches != expected->matches) {
+                mislabels.fetch_add(1);
+              } else {
+                complete_ok.fetch_add(1);
+              }
+            }
+          }
+          if (callbacks.fetch_add(1) + 1 == kSubmissions) {
+            std::lock_guard<std::mutex> lock(mu);
+            cv.notify_all();
+          }
+        });
+    tokens.push_back(std::move(token));
+    cancel_after_us.push_back(pick_cancel_us(rng));
+  }
+
+  // Cancel roughly half the submissions at random points — some before
+  // they are scheduled, some mid-pipeline, some after completion.
+  std::vector<std::thread> cancellers;
+  for (size_t i = 0; i < tokens.size(); i += 2) {
+    cancellers.emplace_back([&, i] {
+      std::this_thread::sleep_for(std::chrono::microseconds(cancel_after_us[i]));
+      tokens[i]->Cancel();
+    });
+  }
+  for (std::thread& t : cancellers) t.join();
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return callbacks.load() == kSubmissions; });
+  }
+  EXPECT_EQ(callbacks.load(), kSubmissions) << "lost or duplicated callbacks";
+  EXPECT_EQ(mislabels.load(), 0);
+  // Uncancelled, undeadlined submissions exist in the mix, so some
+  // complete answers must have come through — otherwise the mislabel
+  // check was vacuous.
+  EXPECT_GT(complete_ok.load(), 0);
+}
+
+// Net-level: 16 clients over TCP against an in-process server with
+// parallel CN generation on, random per-request deadlines racing the
+// pipeline. Every request must resolve (response or typed error) and
+// non-degraded responses must match the sequential reference
+// record-for-record.
+TEST_F(ParallelCnStressTest, SixteenClientsWithRandomDeadlines) {
+  QueryServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.gen.num_threads = 4;
+  service_options.cache_bytes = size_t{8} << 20;  // exercise hits too
+  service_options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  QueryService service(&schema_graph_, &index_, service_options);
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  net::Server server(&service, &db_.schema(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  struct Expected {
+    std::vector<std::string> keywords;
+    size_t cns = 0;
+    size_t matches = 0;
+  };
+  std::vector<Expected> expected;
+  for (const std::string& text : QueryTexts()) {
+    const GenerationResult reference = Reference(service, text);
+    Expected e;
+    e.keywords = KeywordQuery::Parse(text)->keywords();
+    e.cns = reference.cns.size();
+    e.matches = reference.matches.size();
+    expected.push_back(std::move(e));
+  }
+
+  constexpr int kClients = 16;
+  constexpr int kRequestsPerClient = 20;
+  std::atomic<int> resolved{0};
+  std::atomic<int> ok_complete{0};
+  std::atomic<int> ok_degraded{0};
+  std::atomic<int> typed_errors{0};
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> mislabels{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<unsigned>(c) * 7919u + 17u);
+      std::uniform_int_distribution<size_t> pick_query(0, expected.size() - 1);
+      std::uniform_int_distribution<int> pick_deadline(0, 3);
+      Result<net::Client> client =
+          net::Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        transport_errors.fetch_add(kRequestsPerClient);
+        resolved.fetch_add(kRequestsPerClient);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const Expected& e = expected[pick_query(rng)];
+        net::Client::QueryParams params;
+        const int choice = pick_deadline(rng);
+        if (choice == 1) params.deadline_ms = 1;
+        if (choice == 2) params.deadline_ms = 5;
+        Result<net::Client::QueryResult> response =
+            client->Query(e.keywords, params);
+        resolved.fetch_add(1);
+        if (response.ok()) {
+          if (response->degraded) {
+            ok_degraded.fetch_add(1);
+          } else if (response->cns_total != e.cns ||
+                     response->num_matches != e.matches) {
+            // A response not flagged degraded claimed completeness but
+            // was not the complete answer.
+            mislabels.fetch_add(1);
+          } else {
+            ok_complete.fetch_add(1);
+          }
+        } else if (response.status().code() ==
+                       StatusCode::kDeadlineExceeded ||
+                   response.status().code() ==
+                       StatusCode::kResourceExhausted) {
+          typed_errors.fetch_add(1);
+        } else {
+          transport_errors.fetch_add(1);
+        }
+        if (!client->connected()) {
+          Result<net::Client> again =
+              net::Client::Connect("127.0.0.1", server.port());
+          if (!again.ok()) {
+            const int remaining = kRequestsPerClient - i - 1;
+            transport_errors.fetch_add(remaining);
+            resolved.fetch_add(remaining);
+            return;
+          }
+          *client = std::move(again).value();
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Shutdown();
+
+  EXPECT_EQ(resolved.load(), kClients * kRequestsPerClient)
+      << "every request must resolve exactly once";
+  EXPECT_EQ(mislabels.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_GT(ok_complete.load(), 0) << "no complete answers — checks vacuous";
+}
+
+}  // namespace
+}  // namespace matcn
