@@ -1,0 +1,248 @@
+// Live-index bakeoff: optimistic-lock-coupling ConcurrentTermIndex vs a
+// shared_mutex-guarded legacy TermIndex, swept over read/write mixes and
+// reader counts. Emits BENCH_index.json (read-only and mixed-workload
+// columns) for regression tracking.
+//
+//   $ ./bench_index_bakeoff [--out BENCH_index.json]
+//
+// Env knobs (same convention as the rest of the bench suite):
+//   MATCN_BENCH_SCALE    dataset scale            (default 0.1)
+//   MATCN_BENCH_READS    lookups per reader       (default 20000)
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+#include "storage/database.h"
+
+namespace matcn::bench {
+namespace {
+
+// The locked baseline every reader contends on: what serving the legacy
+// TermIndex under concurrent maintenance would look like.
+class LockedTermIndex {
+ public:
+  LockedTermIndex(Database* db, TermIndex index)
+      : db_(db), index_(std::move(index)) {}
+
+  size_t Read(const std::string& term) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return index_.TuplesFor(term).size();
+  }
+
+  void Insert(RelationId relation, Tuple tuple) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (!db_->Insert(relation, std::move(tuple)).ok()) return;
+    index_.ApplyInsert(
+        *db_, TupleId(relation, db_->relation(relation).num_tuples() - 1));
+  }
+
+ private:
+  Database* db_;
+  TermIndex index_;
+  std::shared_mutex mu_;
+};
+
+struct Cell {
+  std::string impl;      // "locked" | "olc"
+  std::string workload;  // "read_only" | "mixed_95_5" | "mixed_50_50"
+  int readers = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  double wall_seconds = 0;
+  double read_ops_per_sec = 0;
+  double write_ops_per_sec = 0;
+};
+
+Tuple StreamTuple(int64_t i) {
+  return {Value(int64_t{1000000} + i),
+          Value("fresh" + std::to_string(i) + " hot" + std::to_string(i % 8))};
+}
+
+// Every k-th indexed term: deterministic, mixes hot and rare postings.
+std::vector<std::string> SampleTerms(const TermIndex& index, size_t want) {
+  const std::vector<std::string> all = index.AllTerms();
+  std::vector<std::string> sample;
+  if (all.empty()) return sample;
+  const size_t step = std::max<size_t>(1, all.size() / want);
+  for (size_t i = 0; i < all.size() && sample.size() < want; i += step) {
+    sample.push_back(all[i]);
+  }
+  return sample;
+}
+
+// One bakeoff cell. `read` runs on each reader thread; `write` (if any
+// writes are requested) runs on one dedicated writer thread.
+template <typename ReadFn, typename WriteFn>
+Cell RunCell(const std::string& impl, const std::string& workload,
+             int readers, uint64_t reads_per_reader, uint64_t writes,
+             const ReadFn& read, const WriteFn& write) {
+  Cell cell;
+  cell.impl = impl;
+  cell.workload = workload;
+  cell.readers = readers;
+  cell.read_ops = reads_per_reader * static_cast<uint64_t>(readers);
+  cell.write_ops = writes;
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers) + 1);
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&read, reads_per_reader, t] {
+      for (uint64_t i = 0; i < reads_per_reader; ++i) read(t, i);
+    });
+  }
+  if (writes > 0) {
+    threads.emplace_back([&write, writes] {
+      for (uint64_t i = 0; i < writes; ++i) write(static_cast<int64_t>(i));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  cell.wall_seconds = watch.ElapsedSeconds();
+  if (cell.wall_seconds > 0) {
+    cell.read_ops_per_sec =
+        static_cast<double>(cell.read_ops) / cell.wall_seconds;
+    cell.write_ops_per_sec =
+        static_cast<double>(cell.write_ops) / cell.wall_seconds;
+  }
+  return cell;
+}
+
+void AppendJson(std::string* out, const Cell& cell, bool last) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"impl\": \"%s\", \"workload\": \"%s\", \"readers\": %d, "
+      "\"read_ops\": %llu, \"write_ops\": %llu, \"wall_seconds\": %.4f, "
+      "\"read_ops_per_sec\": %.1f, \"write_ops_per_sec\": %.1f}%s\n",
+      cell.impl.c_str(), cell.workload.c_str(), cell.readers,
+      static_cast<unsigned long long>(cell.read_ops),
+      static_cast<unsigned long long>(cell.write_ops), cell.wall_seconds,
+      cell.read_ops_per_sec, cell.write_ops_per_sec, last ? "" : ",");
+  *out += buf;
+}
+
+}  // namespace
+}  // namespace matcn::bench
+
+int main(int argc, char** argv) {
+  using namespace matcn;
+  using namespace matcn::bench;
+
+  FlagSet flags(argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_index.json");
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << " (have --out)\n";
+    return 2;
+  }
+
+  const double scale = BenchScale();
+  const uint64_t reads_per_reader = EnvCount("MATCN_BENCH_READS", 20'000);
+  const TermIndexOptions index_options{.skip_stopwords = true,
+                                       .compress_postings = true};
+
+  struct Workload {
+    std::string name;
+    double write_ratio;  // writes as a fraction of total reads
+  };
+  const std::vector<Workload> workloads = {
+      {"read_only", 0.0}, {"mixed_95_5", 0.05}, {"mixed_50_50", 0.5}};
+  const std::vector<int> reader_counts = {1, 2, 4};
+
+  std::vector<Cell> cells;
+  for (const Workload& workload : workloads) {
+    for (int readers : reader_counts) {
+      const uint64_t writes = static_cast<uint64_t>(
+          static_cast<double>(reads_per_reader * readers) *
+          workload.write_ratio);
+
+      // Locked baseline. Fresh dataset per cell so growth never leaks
+      // across measurements.
+      {
+        Database db = MakeImdb(42, scale);
+        TermIndex seed = TermIndex::Build(db, index_options);
+        const std::vector<std::string> terms = SampleTerms(seed, 256);
+        const RelationId per = *db.schema().RelationIdByName("PER");
+        LockedTermIndex locked(&db, std::move(seed));
+        cells.push_back(RunCell(
+            "locked", workload.name, readers, reads_per_reader, writes,
+            [&locked, &terms](int t, uint64_t i) {
+              locked.Read(terms[(i + static_cast<uint64_t>(t) * 37) %
+                                terms.size()]);
+            },
+            [&locked, per](int64_t i) {
+              locked.Insert(per, StreamTuple(i));
+            }));
+      }
+
+      // OLC live index: epoch-pinned snapshot per lookup, IndexWriter
+      // with background compaction as in the serving stack.
+      {
+        Database db = MakeImdb(42, scale);
+        liveindex::LiveIndexOptions live_options;
+        live_options.index = index_options;
+        const TermIndex seed = TermIndex::Build(db, index_options);
+        const std::vector<std::string> terms = SampleTerms(seed, 256);
+        liveindex::ConcurrentTermIndex live(seed, live_options);
+        liveindex::IndexWriter writer(&db, &live);
+        const RelationId per = *db.schema().RelationIdByName("PER");
+        cells.push_back(RunCell(
+            "olc", workload.name, readers, reads_per_reader, writes,
+            [&live, &terms](int t, uint64_t i) {
+              const liveindex::IndexSnapshot snapshot = live.Snapshot();
+              (void)snapshot
+                  .TuplesFor(terms[(i + static_cast<uint64_t>(t) * 37) %
+                                   terms.size()])
+                  .size();
+            },
+            [&writer, per](int64_t i) {
+              (void)writer.Insert(per, StreamTuple(i));
+            }));
+        writer.Flush();
+      }
+
+      const Cell& locked = cells[cells.size() - 2];
+      const Cell& olc = cells.back();
+      std::cout << workload.name << " readers=" << readers << ": locked "
+                << static_cast<uint64_t>(locked.read_ops_per_sec)
+                << " reads/s, olc "
+                << static_cast<uint64_t>(olc.read_ops_per_sec)
+                << " reads/s\n";
+    }
+  }
+
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"index_bakeoff\",\n";
+  json += "  \"dataset\": \"imdb\",\n";
+  json += "  \"scale\": " + std::to_string(scale) + ",\n";
+  json += "  \"reads_per_reader\": " + std::to_string(reads_per_reader) +
+          ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    AppendJson(&json, cells[i], i + 1 == cells.size());
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << " (" << cells.size() << " cells)\n";
+  return 0;
+}

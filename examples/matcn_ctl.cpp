@@ -8,6 +8,7 @@
 //   $ ./matcn_ctl build <dataset> <dir> [scale]   # write relation files
 //   $ ./matcn_ctl info <dir>                      # catalog statistics
 //   $ ./matcn_ctl query <dir> <keywords...>       # disk-based pipeline
+//   $ ./matcn_ctl insert <dir> <relation> <v...>  # append + reindex + save
 //
 // Query flags:
 //   --threads N      service worker threads        (default: cores)
@@ -17,6 +18,7 @@
 //   --deadline-ms N  per-query deadline; 0 = none  (default 0)
 
 #include <iostream>
+#include <optional>
 
 #include "common/flags.h"
 #include "common/strings.h"
@@ -24,6 +26,9 @@
 #include "core/matcngen.h"
 #include "datasets/generators.h"
 #include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
 #include "service/query_service.h"
 #include "storage/disk.h"
 
@@ -38,7 +43,9 @@ int Usage() {
                "  matcn_ctl info <dir>\n"
                "  matcn_ctl query <dir> <keywords...> [--threads N] "
                "[--cn-threads N] [--tmax N] [--cache-mb N] "
-               "[--deadline-ms N]\n";
+               "[--deadline-ms N]\n"
+               "  matcn_ctl insert <dir> <relation> <value...>  "
+               "(one value per attribute, in schema order)\n";
   return 2;
 }
 
@@ -123,6 +130,56 @@ int Query(const std::string& dir, const std::string& text,
   return 0;
 }
 
+// Appends one tuple to an on-disk database: load, route the append
+// through the live-index writer (so the update path matches the server's),
+// then persist the grown relation back to `dir`.
+int Insert(const std::string& dir, const std::string& rel_name,
+           const std::vector<std::string>& fields) {
+  Result<Database> db = DiskStorage::Load(dir);
+  if (!db.ok()) {
+    std::cerr << "load failed: " << db.status().ToString() << "\n";
+    return 1;
+  }
+  const std::optional<RelationId> rel =
+      db->schema().RelationIdByName(rel_name);
+  if (!rel.has_value()) {
+    std::cerr << "unknown relation '" << rel_name << "'\n";
+    return 1;
+  }
+  const RelationSchema& rs = db->relation(*rel).schema();
+  if (fields.size() != rs.num_attributes()) {
+    std::cerr << rs.name() << " has " << rs.num_attributes()
+              << " attributes, got " << fields.size() << " values\n";
+    return 1;
+  }
+  Tuple tuple;
+  tuple.reserve(fields.size());
+  for (size_t a = 0; a < fields.size(); ++a) {
+    if (rs.attribute(a).type == ValueType::kInt) {
+      tuple.emplace_back(static_cast<int64_t>(std::atoll(fields[a].c_str())));
+    } else {
+      tuple.emplace_back(std::string(fields[a]));
+    }
+  }
+  liveindex::ConcurrentTermIndex live_index(TermIndex::Build(*db));
+  liveindex::IndexWriter writer(&*db, &live_index);
+  Result<liveindex::IndexWriter::InsertOutcome> outcome =
+      writer.Insert(*rel, std::move(tuple));
+  if (!outcome.ok()) {
+    std::cerr << "insert failed: " << outcome.status().ToString() << "\n";
+    return 1;
+  }
+  Status saved = DiskStorage::Save(*db, dir);
+  if (!saved.ok()) {
+    std::cerr << "save failed: " << saved.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "inserted " << rs.name() << " row " << outcome->id.row()
+            << " (index version " << outcome->version << "), saved to " << dir
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +214,10 @@ int main(int argc, char** argv) {
       text += args[i];
     }
     return Query(args[1], text, service_options);
+  }
+  if (command == "insert" && args.size() >= 3) {
+    return Insert(args[1], args[2],
+                  std::vector<std::string>(args.begin() + 3, args.end()));
   }
   return Usage();
 }

@@ -18,11 +18,15 @@
 //   --drain-ms N      graceful-drain budget on SIGTERM    (default 5000)
 //   --max-frame-kb N  request frame size limit            (default 1024)
 //   --io-ms N         modeled per-miss backend latency    (default 0)
-//   --smoke           start, self-query via net::Client, drain, exit
+//   --compact-threshold N  live-index delta entries per term before
+//                     background compaction folds them    (default 64)
+//   --smoke           start, self-query + self-insert via net::Client,
+//                     drain, exit
 //
 // Query it with net::Client (see README "Network server" quickstart) or
 // drive load with matcn_net_bench.
 
+#include <algorithm>
 #include <csignal>
 #include <iostream>
 #include <thread>
@@ -32,6 +36,8 @@
 #include "datasets/generators.h"
 #include "graph/schema_graph.h"
 #include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
@@ -89,6 +95,34 @@ int RunSmoke(uint16_t port) {
   std::cout << "smoke: server completed " << stats->completed
             << " queries, " << stats->connections_accepted
             << " connections\n";
+  // Online update: append a PER tuple over the wire, then confirm the
+  // index version advanced and the new term answers.
+  std::vector<net::WireValue> values(2);
+  values[0].tag = 0;
+  values[0].int_value = 999'999;
+  values[1].tag = 1;
+  values[1].text_value = "Smoke Testperson";
+  auto inserted = client->Insert("PER", std::move(values));
+  if (!inserted.ok()) {
+    std::cerr << "smoke: insert failed: " << inserted.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "smoke: insert acknowledged at index version "
+            << inserted->index_version << " (relation " << inserted->relation
+            << ", row " << inserted->row << ")\n";
+  auto requery = client->Query({"testperson"});
+  if (!requery.ok()) {
+    std::cerr << "smoke: post-insert query failed: "
+              << requery.status().ToString() << "\n";
+    return 1;
+  }
+  if (requery->num_tuple_sets == 0) {
+    std::cerr << "smoke: inserted term not searchable\n";
+    return 1;
+  }
+  std::cout << "smoke: inserted term searchable (" << requery->num_tuple_sets
+            << " tuple-sets)\n";
   return 0;
 }
 
@@ -120,6 +154,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 5));
+  const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
   const int64_t io_ms = flags.GetInt("io-ms", 0);
   if (io_ms > 0) {
     service_options.pre_execute_hook = [io_ms] {
@@ -145,12 +180,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
-  const TermIndex index = TermIndex::Build(db);
-  QueryService service(&schema_graph, &index, service_options);
+  // Live serving stack: offline build seeds the concurrent index, the
+  // writer owns all subsequent mutation, and the service invalidates only
+  // the cache entries an insert actually touches.
+  liveindex::LiveIndexOptions live_options;
+  live_options.compact_threshold =
+      static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
+  liveindex::ConcurrentTermIndex live_index(TermIndex::Build(db),
+                                            live_options);
+  liveindex::IndexWriter writer(&db, &live_index);
+  QueryService service(&schema_graph, &live_index, service_options);
+  service.ConnectWriter(&writer);
 
   // --smoke binds an ephemeral port so parallel CI runs never collide.
   if (smoke) server_options.port = 0;
-  net::Server server(&service, &db.schema(), server_options);
+  net::Server server(&service, &db.schema(), &writer, server_options);
   g_server = &server;
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);

@@ -13,18 +13,23 @@
 //   --tmax N         CN size bound T_max                 (default 10)
 //   --cache-mb N     result-cache budget in MiB; 0 off   (default 64)
 //   --deadline-ms N  per-query deadline; 0 = none        (default 0)
+//   --compact-threshold N  live-index delta entries per term before
+//                    compaction folds them               (default 64)
 //
 // Commands:
 //   <keywords...>        run a keyword query, print top answers
 //   .cns <keywords...>   show the generated candidate networks only
 //   .sql <keywords...>   print the CNs as SQL
 //   .matches <keywords>  show tuple-sets and query matches
+//   .insert REL v1|v2|…  append a tuple; new terms are searchable at once
 //   .schema              print relations and foreign keys
 //   .stats               dataset / index / service statistics
 //   .topk N              set the answer count (default 5)
 //   .quit
 
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "common/flags.h"
@@ -35,6 +40,8 @@
 #include "eval/skyline_ranker.h"
 #include "graph/schema_graph.h"
 #include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
 #include "service/query_service.h"
 
 using namespace matcn;
@@ -60,7 +67,12 @@ std::string RenderTuple(const Database& db, TupleId id) {
 struct Shell {
   Database db;
   SchemaGraph schema_graph;
+  // Dual index: the live ConcurrentTermIndex serves queries (and absorbs
+  // .insert), while the legacy TermIndex is kept in lockstep because
+  // EvalContext's ranking statistics read it.
   TermIndex index;
+  std::unique_ptr<liveindex::ConcurrentTermIndex> live_index;
+  std::unique_ptr<liveindex::IndexWriter> writer;
   std::unique_ptr<QueryService> service;
   size_t top_k = 5;
 
@@ -150,6 +162,56 @@ struct Shell {
     }
   }
 
+  // `.insert REL v1|v2|...` — appends through the IndexWriter (database +
+  // live index + selective cache invalidation), then replays the tuple
+  // into the legacy TermIndex so ranking statistics stay consistent.
+  void DoInsert(const std::string& text) {
+    std::istringstream in(text);
+    std::string rel_name;
+    in >> rel_name;
+    std::string rest;
+    std::getline(in, rest);
+    const std::optional<RelationId> rel =
+        db.schema().RelationIdByName(rel_name);
+    if (!rel.has_value()) {
+      std::cout << "error: unknown relation '" << rel_name << "'\n";
+      return;
+    }
+    // Split on '|' preserving empty fields (Split() would drop them).
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream values(std::string(Trim(rest)));
+    while (std::getline(values, field, '|')) {
+      fields.push_back(std::string(Trim(field)));
+    }
+    const RelationSchema& rs = db.relation(*rel).schema();
+    if (fields.size() != rs.num_attributes()) {
+      std::cout << "error: " << rs.name() << " has " << rs.num_attributes()
+                << " attributes, got " << fields.size()
+                << " values (separate with '|')\n";
+      return;
+    }
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (size_t a = 0; a < fields.size(); ++a) {
+      if (rs.attribute(a).type == ValueType::kInt) {
+        tuple.emplace_back(
+            static_cast<int64_t>(std::atoll(fields[a].c_str())));
+      } else {
+        tuple.emplace_back(std::move(fields[a]));
+      }
+    }
+    Result<liveindex::IndexWriter::InsertOutcome> outcome =
+        writer->Insert(*rel, std::move(tuple));
+    if (!outcome.ok()) {
+      std::cout << "error: " << outcome.status().ToString() << "\n";
+      return;
+    }
+    index.ApplyInsert(db, outcome->id);
+    std::cout << "  inserted " << rs.name() << " row " << outcome->id.row()
+              << " — index version " << outcome->version << "\n";
+  }
+
   void ShowSchema() const {
     for (RelationId r = 0; r < db.num_relations(); ++r) {
       const RelationSchema& rs = db.relation(r).schema();
@@ -172,7 +234,10 @@ struct Shell {
               << db.TotalTuples() << "\n  RICs: "
               << db.schema().foreign_keys().size() << "\n  indexed terms: "
               << index.num_terms() << "\n  posting bytes: "
-              << index.PostingMemoryBytes() << "\n  service: "
+              << index.PostingMemoryBytes() << "\n  live index: version "
+              << live_index->version() << ", delta bytes "
+              << live_index->delta_bytes() << ", compactions "
+              << live_index->compactions() << "\n  service: "
               << service->Stats().ToString() << "\n";
   }
 };
@@ -197,10 +262,11 @@ int main(int argc, char** argv) {
   service_options.cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+  const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown
               << " (have --threads --cn-threads --tmax --cache-mb "
-                 "--deadline-ms)\n";
+                 "--deadline-ms --compact-threshold)\n";
     return 2;
   }
 
@@ -222,9 +288,17 @@ int main(int argc, char** argv) {
   }
   shell.schema_graph = SchemaGraph::Build(shell.db.schema());
   shell.index = TermIndex::Build(shell.db);
+  liveindex::LiveIndexOptions live_options;
+  live_options.compact_threshold =
+      static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
+  shell.live_index = std::make_unique<liveindex::ConcurrentTermIndex>(
+      shell.index, live_options);
+  shell.writer = std::make_unique<liveindex::IndexWriter>(
+      &shell.db, shell.live_index.get());
   shell.service = std::make_unique<QueryService>(&shell.schema_graph,
-                                                 &shell.index,
+                                                 shell.live_index.get(),
                                                  service_options);
+  shell.service->ConnectWriter(shell.writer.get());
 
   std::cout << "matcn shell — dataset " << name << " ("
             << shell.db.TotalTuples()
@@ -236,7 +310,8 @@ int main(int argc, char** argv) {
     if (trimmed == ".quit" || trimmed == ".exit") break;
     if (trimmed == ".help") {
       std::cout << "  <keywords> | .cns <kw> | .sql <kw> | .matches <kw> | "
-                   ".schema | .stats | .topk N | .quit\n";
+                   ".insert REL v1|v2|... | .schema | .stats | .topk N | "
+                   ".quit\n";
       continue;
     }
     if (trimmed == ".schema") {
@@ -262,6 +337,10 @@ int main(int argc, char** argv) {
     }
     if (trimmed.rfind(".matches ", 0) == 0) {
       shell.ShowMatches(trimmed.substr(9));
+      continue;
+    }
+    if (trimmed.rfind(".insert ", 0) == 0) {
+      shell.DoInsert(trimmed.substr(8));
       continue;
     }
     if (trimmed[0] == '.') {

@@ -1,0 +1,222 @@
+#ifndef MATCN_COMMON_EPOCH_H_
+#define MATCN_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace matcn {
+
+/// Epoch-based memory reclamation (EBR) for read-mostly concurrent
+/// structures: readers pin the current epoch with a cheap RAII Guard and
+/// may then follow pointers into the structure without locks; writers
+/// unlink replaced objects and Retire() them, and Collect() frees a
+/// retired object only once no guard that could still hold a reference to
+/// it remains active.
+///
+/// Reclamation rule (conservative two-epoch grace period): an object
+/// retired at epoch r is freed only when r + 2 <= the current global
+/// epoch AND every active guard is pinned at an epoch > r. Guards publish
+/// their epoch with a validate-republish loop (publish, re-read the
+/// global epoch, retry on change), so a reader that observed an old
+/// pointer is always visible to Collect before the pointee can be freed.
+///
+/// Intended split of work: readers only ever construct Guards (wait-free
+/// after slot acquisition); writers call Retire/BumpEpoch/Collect, which
+/// share one mutex — fine for structures whose writers are serialized
+/// anyway (the live term index funnels all mutation through IndexWriter).
+class EpochManager {
+ public:
+  /// Sentinel for "slot not pinned".
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  ~EpochManager() {
+    // No guards may outlive the manager; whatever is still retired is
+    // unreachable by now, so free it all.
+    for (Retired& r : retired_) r.deleter();
+  }
+
+  /// An active reader pin. Move-only; destruction releases the slot.
+  /// Guards are cheap but not free (a few seq_cst operations) — pin once
+  /// per query, not once per lookup.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept : slot_(other.slot_) {
+      other.slot_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        slot_ = other.slot_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    bool active() const { return slot_ != nullptr; }
+
+    /// The epoch this guard is pinned at (kIdle when inactive).
+    uint64_t epoch() const {
+      return slot_ == nullptr ? kIdle
+                              : slot_->epoch.load(std::memory_order_relaxed);
+    }
+
+    void Release() {
+      if (slot_ != nullptr) {
+        slot_->epoch.store(kIdle, std::memory_order_release);
+        slot_ = nullptr;
+      }
+    }
+
+   private:
+    friend class EpochManager;
+    explicit Guard(Slot* slot) : slot_(slot) {}
+    Slot* slot_ = nullptr;
+  };
+
+  /// Pins the current epoch. Lock-free: claims one of kMaxGuards slots
+  /// with a CAS (spinning only in the pathological case of kMaxGuards
+  /// simultaneously active guards), then republishes until the observed
+  /// global epoch is stable.
+  Guard Pin() {
+    Slot* slot = ClaimSlot();
+    // Validate-republish: once the re-read global epoch matches what this
+    // slot published, every future Collect sees the pin before it could
+    // free anything retired at or after that epoch.
+    uint64_t e = slot->epoch.load(std::memory_order_relaxed);
+    while (true) {
+      const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      e = now;
+      slot->epoch.store(e, std::memory_order_seq_cst);
+    }
+    return Guard(slot);
+  }
+
+  /// Queues `deleter` to run once every reader that could still see the
+  /// retired object has unpinned. Writer-side (takes the retire mutex).
+  void Retire(std::function<void()> deleter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.push_back(Retired{
+        global_epoch_.load(std::memory_order_relaxed), std::move(deleter)});
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+
+  /// Convenience: retire a heap object.
+  template <typename T>
+  void RetireObject(const T* object) {
+    Retire([object] { delete object; });
+  }
+
+  /// Advances the global epoch (writers call this after a batch of
+  /// mutations; each bump lets one more generation of garbage age out).
+  uint64_t BumpEpoch() {
+    return global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Frees every retired object whose grace period has elapsed; returns
+  /// how many were freed. Writer-side.
+  size_t Collect() {
+    std::vector<std::function<void()>> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t global = global_epoch_.load(std::memory_order_seq_cst);
+      uint64_t min_active = kIdle;
+      for (const Slot& slot : slots_) {
+        const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+        if (e != kIdle && e < min_active) min_active = e;
+      }
+      size_t keep = 0;
+      for (Retired& r : retired_) {
+        const bool aged = r.epoch + 2 <= global;
+        const bool unreferenced = min_active == kIdle || r.epoch < min_active;
+        if (aged && unreferenced) {
+          ready.push_back(std::move(r.deleter));
+        } else {
+          retired_[keep++] = std::move(r);
+        }
+      }
+      retired_.resize(keep);
+      retired_count_.store(keep, std::memory_order_relaxed);
+    }
+    // Run deleters outside the mutex: they may be arbitrarily heavy.
+    for (std::function<void()>& deleter : ready) deleter();
+    return ready.size();
+  }
+
+  uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Objects retired but not yet freed (test/metrics hook).
+  size_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Guards currently pinned (test/metrics hook; racy by nature).
+  size_t active_guards() const {
+    size_t n = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.epoch.load(std::memory_order_relaxed) != kIdle) ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Enough for every worker thread in this codebase plus nested guards;
+  // Pin spins only if all are simultaneously held.
+  static constexpr size_t kMaxGuards = 128;
+
+  struct Retired {
+    uint64_t epoch = 0;
+    std::function<void()> deleter;
+  };
+
+  Slot* ClaimSlot() {
+    // Start probing at a per-thread offset so unrelated threads rarely
+    // contend on the same slot.
+    static std::atomic<size_t> next_hint{0};
+    thread_local size_t hint =
+        next_hint.fetch_add(7, std::memory_order_relaxed) % kMaxGuards;
+    while (true) {
+      for (size_t i = 0; i < kMaxGuards; ++i) {
+        Slot& slot = slots_[(hint + i) % kMaxGuards];
+        uint64_t expected = kIdle;
+        if (slot.epoch.compare_exchange_strong(
+                expected, global_epoch_.load(std::memory_order_seq_cst),
+                std::memory_order_seq_cst)) {
+          return &slot;
+        }
+      }
+    }
+  }
+
+  std::atomic<uint64_t> global_epoch_{2};
+  // Fixed array so slot addresses stay stable for the manager's lifetime
+  // and guards can hold raw pointers into it.
+  Slot slots_[kMaxGuards];
+
+  std::mutex mu_;
+  std::vector<Retired> retired_;
+  std::atomic<size_t> retired_count_{0};
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_EPOCH_H_

@@ -1,5 +1,9 @@
 #include "indexing/postings.h"
 
+#include <algorithm>
+#include <queue>
+#include <utility>
+
 namespace matcn {
 
 void VarbyteEncode(uint64_t v, std::vector<uint8_t>* out) {
@@ -28,6 +32,9 @@ PostingList PostingList::Build(std::vector<TupleId> ids, bool compress) {
   list.compressed_ = compress;
   if (!compress) {
     list.raw_ = std::move(ids);
+    // Capacity == size keeps MemoryBytes() deterministic regardless of the
+    // growth history of the vector handed in.
+    list.raw_.shrink_to_fit();
     return list;
   }
   uint64_t prev = 0;
@@ -50,6 +57,57 @@ std::vector<TupleId> PostingList::Decode() const {
     ids.push_back(TupleId::FromPacked(prev));
   }
   return ids;
+}
+
+std::vector<TupleId> MergeSortedUnique(
+    std::vector<std::vector<TupleId>> runs) {
+  if (runs.empty()) return {};
+  if (runs.size() == 1) return std::move(runs[0]);
+
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  std::vector<TupleId> out;
+  out.reserve(total);
+
+  if (runs.size() == 2) {  // common case: binary merge, no heap
+    const auto& a = runs[0];
+    const auto& b = runs[1];
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      const TupleId next = a[i] < b[j] ? a[i] : b[j];
+      if (a[i] == next) ++i;
+      if (j < b.size() && b[j] == next) ++j;
+      if (out.empty() || out.back() != next) out.push_back(next);
+    }
+    for (; i < a.size(); ++i) {
+      if (out.empty() || out.back() != a[i]) out.push_back(a[i]);
+    }
+    for (; j < b.size(); ++j) {
+      if (out.empty() || out.back() != b[j]) out.push_back(b[j]);
+    }
+    return out;
+  }
+
+  // (run index, position); min-heap on the head id of each run.
+  using Head = std::pair<size_t, size_t>;
+  auto greater = [&runs](const Head& x, const Head& y) {
+    return runs[y.first][y.second] < runs[x.first][x.second];
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(
+      greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push({r, 0});
+  }
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    const TupleId id = runs[head.first][head.second];
+    if (out.empty() || out.back() != id) out.push_back(id);
+    if (head.second + 1 < runs[head.first].size()) {
+      heap.push({head.first, head.second + 1});
+    }
+  }
+  return out;
 }
 
 size_t PostingList::MemoryBytes() const {

@@ -1,7 +1,6 @@
 #include "indexing/term_index.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "indexing/stopwords.h"
 #include "indexing/tokenizer.h"
@@ -95,16 +94,14 @@ const std::vector<AttributeOccurrence>* TermIndex::Lookup(
 }
 
 std::vector<TupleId> TermIndex::TuplesFor(const std::string& term) const {
-  std::vector<TupleId> out;
   const std::vector<AttributeOccurrence>* list = Lookup(term);
-  if (list == nullptr) return out;
-  for (const AttributeOccurrence& occ : *list) {
-    std::vector<TupleId> ids = occ.tuples.Decode();
-    out.insert(out.end(), ids.begin(), ids.end());
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  if (list == nullptr) return {};
+  // Each per-attribute decode is already sorted and unique; a k-way merge
+  // beats concat + full sort on this TSFind hot path.
+  std::vector<std::vector<TupleId>> runs;
+  runs.reserve(list->size());
+  for (const AttributeOccurrence& occ : *list) runs.push_back(occ.tuples.Decode());
+  return MergeSortedUnique(std::move(runs));
 }
 
 void TermIndex::ApplyInsert(const Database& db, TupleId id) {
@@ -113,13 +110,24 @@ void TermIndex::ApplyInsert(const Database& db, TupleId id) {
   const Tuple& tuple = rel.tuple(id.row());
   ++total_tuples_;
 
-  std::unordered_set<std::string> counted;  // df bump once per term
+  // Accumulate per-(term, attribute) occurrence counts for the whole tuple
+  // first, then touch each affected posting list exactly once. The naive
+  // per-occurrence decode + rebuild was quadratic in a field that repeats
+  // a term.
+  std::unordered_map<std::string, std::unordered_map<uint32_t, uint64_t>>
+      occurrences;
   for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
     const Attribute& attr = schema.attribute(a);
     if (attr.type != ValueType::kText || !attr.searchable) continue;
     for (const std::string& token : Tokenizer::Tokenize(tuple[a].AsText())) {
       if (options_.skip_stopwords && IsStopword(token)) continue;
-      std::vector<AttributeOccurrence>& list = index_[token];
+      ++occurrences[token][a];
+    }
+  }
+
+  for (const auto& [token, attrs] : occurrences) {
+    std::vector<AttributeOccurrence>& list = index_[token];
+    for (const auto& [a, count] : attrs) {
       AttributeOccurrence* occ = nullptr;
       for (AttributeOccurrence& candidate : list) {
         if (candidate.relation == id.relation() &&
@@ -141,14 +149,14 @@ void TermIndex::ApplyInsert(const Database& db, TupleId id) {
             });
         occ = &*list.insert(pos, std::move(fresh));
       }
-      ++occ->frequency;
+      occ->frequency += count;
       std::vector<TupleId> ids = occ->tuples.Decode();
       auto pos = std::lower_bound(ids.begin(), ids.end(), id);
       if (pos == ids.end() || *pos != id) ids.insert(pos, id);
       occ->tuples =
           PostingList::Build(std::move(ids), options_.compress_postings);
-      if (counted.insert(token).second) ++doc_freq_[token];
     }
+    ++doc_freq_[token];  // one new tuple per term, whatever the attrs
   }
 }
 

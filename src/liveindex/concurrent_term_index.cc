@@ -1,0 +1,409 @@
+#include "liveindex/concurrent_term_index.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "indexing/stopwords.h"
+#include "indexing/tokenizer.h"
+
+namespace matcn::liveindex {
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+constexpr size_t kInitialTableCapacity = 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table
+
+ConcurrentTermIndex::Table::Table(size_t cap)
+    : capacity(cap), slots(new std::atomic<Node*>[cap]()) {}
+
+// ---------------------------------------------------------------------------
+// Construction / destruction
+
+ConcurrentTermIndex::ConcurrentTermIndex(LiveIndexOptions options)
+    : options_(options) {
+  const size_t n = RoundUpPow2(std::max<size_t>(1, options_.num_shards));
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->table.store(new Table(kInitialTableCapacity),
+                       std::memory_order_relaxed);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ConcurrentTermIndex::ConcurrentTermIndex(const TermIndex& seed,
+                                         LiveIndexOptions options)
+    : ConcurrentTermIndex(options) {
+  // Single-threaded construction: go through the writer path so table
+  // growth and accounting behave exactly as during live operation.
+  for (const std::string& term : seed.AllTerms()) {
+    const std::vector<AttributeOccurrence>* list = seed.Lookup(term);
+    const uint64_t hash = HashTerm(term);
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.write_mu);
+    Node* node = FindOrCreateNode(shard, term, hash);
+    auto* entry = new TermEntry();
+    entry->base =
+        std::make_shared<const std::vector<AttributeOccurrence>>(*list);
+    entry->doc_freq = seed.DocumentFrequency(term);
+    PublishEntry(shard, node, entry);
+  }
+  total_tuples_.store(seed.total_tuples(), std::memory_order_release);
+  DrainGarbage();
+}
+
+ConcurrentTermIndex::~ConcurrentTermIndex() {
+  for (auto& shard : shards_) {
+    const Table* table = shard->table.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      Node* node = table->slots[i].load(std::memory_order_relaxed);
+      if (node == nullptr) continue;
+      delete node->entry.load(std::memory_order_relaxed);
+      delete node;
+    }
+    delete table;
+  }
+  // epoch_'s destructor frees anything still retired (old tables/entries).
+}
+
+// ---------------------------------------------------------------------------
+// Hashing / sharding
+
+uint64_t ConcurrentTermIndex::HashTerm(const std::string& term) {
+  // FNV-1a: deterministic across runs (unlike std::hash) and well-mixed
+  // in both the shard-selection and probe bits.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : term) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ConcurrentTermIndex::Shard& ConcurrentTermIndex::ShardFor(
+    uint64_t hash) const {
+  // High bits pick the shard, low bits drive the probe sequence, so the
+  // two stay independent.
+  return *shards_[(hash >> 32) & shard_mask_];
+}
+
+// ---------------------------------------------------------------------------
+// Reader path
+
+const ConcurrentTermIndex::Node* ConcurrentTermIndex::FindNode(
+    const std::string& term) const {
+  const uint64_t hash = HashTerm(term);
+  const Shard& shard = const_cast<ConcurrentTermIndex*>(this)->ShardFor(hash);
+  while (true) {
+    // Optimistic read: snapshot the shard seqlock, probe, validate. Every
+    // pointer followed is an atomic load into EBR-protected memory, so a
+    // torn probe is merely retried, never unsafe.
+    const uint64_t s1 = shard.seq.load(std::memory_order_acquire);
+    if (s1 & 1) continue;  // writer mid-publish
+    const Table* table = shard.table.load(std::memory_order_acquire);
+    const Node* found = nullptr;
+    const size_t mask = table->capacity - 1;
+    for (size_t i = 0; i <= mask; ++i) {
+      Node* node =
+          table->slots[(hash + i) & mask].load(std::memory_order_acquire);
+      if (node == nullptr) break;  // open addressing: absence proven
+      if (node->hash == hash && node->term == term) {
+        found = node;
+        break;
+      }
+    }
+    const uint64_t s2 = shard.seq.load(std::memory_order_acquire);
+    if (s1 == s2) return found;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writer path (shard write_mu held by caller)
+
+ConcurrentTermIndex::Node* ConcurrentTermIndex::FindOrCreateNode(
+    Shard& shard, const std::string& term, uint64_t hash) {
+  const Table* table = shard.table.load(std::memory_order_relaxed);
+
+  // Grow at 3/4 load so probes always terminate at a null slot.
+  if ((shard.size + 1) * 4 >= table->capacity * 3) {
+    auto* grown = new Table(table->capacity * 2);
+    const size_t mask = grown->capacity - 1;
+    for (size_t i = 0; i < table->capacity; ++i) {
+      Node* node = table->slots[i].load(std::memory_order_relaxed);
+      if (node == nullptr) continue;
+      size_t j = node->hash & mask;
+      while (grown->slots[j].load(std::memory_order_relaxed) != nullptr) {
+        j = (j + 1) & mask;
+      }
+      grown->slots[j].store(node, std::memory_order_relaxed);
+    }
+    const uint64_t s = shard.seq.load(std::memory_order_relaxed);
+    shard.seq.store(s + 1, std::memory_order_release);
+    shard.table.store(grown, std::memory_order_release);
+    shard.seq.store(s + 2, std::memory_order_release);
+    epoch_.RetireObject(table);
+    table = grown;
+  }
+
+  const size_t mask = table->capacity - 1;
+  size_t i = hash & mask;
+  while (true) {
+    Node* node = table->slots[i].load(std::memory_order_relaxed);
+    if (node == nullptr) break;
+    if (node->hash == hash && node->term == term) return node;
+    i = (i + 1) & mask;
+  }
+
+  // New term: publish the node with an empty entry; the caller swings in
+  // the real payload via PublishEntry. The release store makes the whole
+  // node (immutable term/hash + entry) visible atomically.
+  auto* entry = new TermEntry();
+  auto* node = new Node(term, hash, entry);
+  table->slots[i].store(node, std::memory_order_release);
+  ++shard.size;
+  num_terms_.fetch_add(1, std::memory_order_release);
+  return node;
+}
+
+void ConcurrentTermIndex::PublishEntry(Shard& shard, Node* node,
+                                       const TermEntry* entry) {
+  const uint64_t s = shard.seq.load(std::memory_order_relaxed);
+  shard.seq.store(s + 1, std::memory_order_release);
+  const TermEntry* old =
+      node->entry.exchange(entry, std::memory_order_acq_rel);
+  shard.seq.store(s + 2, std::memory_order_release);
+
+  const size_t old_bytes = old != nullptr ? old->DeltaBytes() : 0;
+  const size_t new_bytes = entry->DeltaBytes();
+  if (new_bytes >= old_bytes) {
+    delta_bytes_.fetch_add(new_bytes - old_bytes, std::memory_order_relaxed);
+  } else {
+    delta_bytes_.fetch_sub(old_bytes - new_bytes, std::memory_order_relaxed);
+  }
+  if (old != nullptr) epoch_.RetireObject(old);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation (externally serialized)
+
+std::vector<std::string> ConcurrentTermIndex::ApplyInsert(const Database& db,
+                                                          TupleId id) {
+  const Relation& rel = db.relation(id.relation());
+  const RelationSchema& schema = rel.schema();
+  const Tuple& tuple = rel.tuple(id.row());
+
+  // Same accumulation discipline as the fixed TermIndex::ApplyInsert: one
+  // pass over the tokens, one COW publish per touched term.
+  std::unordered_map<std::string, std::unordered_map<uint32_t, uint64_t>>
+      occurrences;
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    if (attr.type != ValueType::kText || !attr.searchable) continue;
+    for (const std::string& token : Tokenizer::Tokenize(tuple[a].AsText())) {
+      if (options_.index.skip_stopwords && IsStopword(token)) continue;
+      ++occurrences[token][a];
+    }
+  }
+
+  std::vector<std::string> touched;
+  touched.reserve(occurrences.size());
+  for (const auto& [term, attrs] : occurrences) {
+    const uint64_t hash = HashTerm(term);
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.write_mu);
+    Node* node = FindOrCreateNode(shard, term, hash);
+    const TermEntry* old = node->entry.load(std::memory_order_relaxed);
+    auto* next = new TermEntry(*old);  // shares the base, copies the delta
+    for (const auto& [a, count] : attrs) {
+      next->delta.push_back(DeltaPosting{id.relation(), a, id, count});
+    }
+    ++next->doc_freq;  // one new tuple for this term, whatever the attrs
+    const bool wants_compaction =
+        next->delta.size() >= options_.compact_threshold;
+    PublishEntry(shard, node, next);
+    if (wants_compaction) {
+      std::lock_guard<std::mutex> qlock(compact_mu_);
+      compaction_candidates_.push_back(term);
+    }
+    touched.push_back(term);
+  }
+
+  total_tuples_.fetch_add(1, std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_release);
+  epoch_.BumpEpoch();
+  return touched;
+}
+
+bool ConcurrentTermIndex::CompactTerm(const std::string& term) {
+  const uint64_t hash = HashTerm(term);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.write_mu);
+
+  // Probe directly: the writer owns the shard, no seqlock dance needed.
+  const Table* table = shard.table.load(std::memory_order_relaxed);
+  const size_t mask = table->capacity - 1;
+  Node* node = nullptr;
+  for (size_t i = 0; i <= mask; ++i) {
+    Node* candidate =
+        table->slots[(hash + i) & mask].load(std::memory_order_relaxed);
+    if (candidate == nullptr) break;
+    if (candidate->hash == hash && candidate->term == term) {
+      node = candidate;
+      break;
+    }
+  }
+  if (node == nullptr) return false;
+  const TermEntry* old = node->entry.load(std::memory_order_relaxed);
+  if (old->delta.empty()) return false;
+
+  // Fold base + delta into fresh per-(relation, attribute) lists. std::map
+  // keeps the deterministic ordering the offline index uses.
+  struct Accum {
+    uint64_t frequency = 0;
+    std::vector<TupleId> ids;
+  };
+  std::map<std::pair<RelationId, uint32_t>, Accum> accum;
+  if (old->base != nullptr) {
+    for (const AttributeOccurrence& occ : *old->base) {
+      Accum& acc = accum[{occ.relation, occ.attribute}];
+      acc.frequency = occ.frequency;
+      acc.ids = occ.tuples.Decode();
+    }
+  }
+  for (const DeltaPosting& dp : old->delta) {
+    Accum& acc = accum[{dp.relation, dp.attribute}];
+    acc.frequency += dp.frequency;
+    acc.ids.push_back(dp.tuple);
+  }
+
+  auto folded = std::make_shared<std::vector<AttributeOccurrence>>();
+  folded->reserve(accum.size());
+  for (auto& [key, acc] : accum) {
+    std::sort(acc.ids.begin(), acc.ids.end());
+    acc.ids.erase(std::unique(acc.ids.begin(), acc.ids.end()),
+                  acc.ids.end());
+    AttributeOccurrence occ;
+    occ.relation = key.first;
+    occ.attribute = key.second;
+    occ.frequency = acc.frequency;
+    occ.tuples = PostingList::Build(std::move(acc.ids),
+                                    options_.index.compress_postings);
+    folded->push_back(std::move(occ));
+  }
+
+  auto* next = new TermEntry();
+  next->base = std::move(folded);
+  next->doc_freq = old->doc_freq;
+  PublishEntry(shard, node, next);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  epoch_.BumpEpoch();
+  return true;
+}
+
+std::vector<std::string> ConcurrentTermIndex::TakeCompactionCandidates() {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  std::vector<std::string> out = std::move(compaction_candidates_);
+  compaction_candidates_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot reads
+
+IndexSnapshot ConcurrentTermIndex::Snapshot() const {
+  EpochManager::Guard guard = epoch_.Pin();
+  // Read the version after pinning: everything published before this
+  // version is then guaranteed visible through the pinned pointers.
+  const uint64_t version = version_.load(std::memory_order_acquire);
+  const uint64_t total = total_tuples_.load(std::memory_order_acquire);
+  return IndexSnapshot(this, std::move(guard), version, total);
+}
+
+std::vector<TupleId> IndexSnapshot::TuplesFor(const std::string& term) const {
+  const ConcurrentTermIndex::Node* node = index_->FindNode(term);
+  if (node == nullptr) return {};
+  const TermEntry* entry = node->entry.load(std::memory_order_acquire);
+  std::vector<std::vector<TupleId>> runs;
+  if (entry->base != nullptr) {
+    runs.reserve(entry->base->size() + 1);
+    for (const AttributeOccurrence& occ : *entry->base) {
+      runs.push_back(occ.tuples.Decode());
+    }
+  }
+  if (!entry->delta.empty()) {
+    std::vector<TupleId> fresh;
+    fresh.reserve(entry->delta.size());
+    for (const DeltaPosting& dp : entry->delta) fresh.push_back(dp.tuple);
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    runs.push_back(std::move(fresh));
+  }
+  return MergeSortedUnique(std::move(runs));
+}
+
+uint64_t IndexSnapshot::DocumentFrequency(const std::string& term) const {
+  const ConcurrentTermIndex::Node* node = index_->FindNode(term);
+  if (node == nullptr) return 0;
+  return node->entry.load(std::memory_order_acquire)->doc_freq;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-index walks (debug / test / bench)
+
+std::vector<std::string> ConcurrentTermIndex::AllTerms() const {
+  std::vector<std::string> terms;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->write_mu);
+    const Table* table = shard->table.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const Node* node = table->slots[i].load(std::memory_order_relaxed);
+      if (node != nullptr) terms.push_back(node->term);
+    }
+  }
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+size_t ConcurrentTermIndex::PostingMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->write_mu);
+    const Table* table = shard->table.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const Node* node = table->slots[i].load(std::memory_order_relaxed);
+      if (node == nullptr) continue;
+      const TermEntry* entry = node->entry.load(std::memory_order_relaxed);
+      if (entry->base != nullptr) {
+        for (const AttributeOccurrence& occ : *entry->base) {
+          bytes += occ.tuples.MemoryBytes();
+        }
+      }
+      bytes += entry->DeltaBytes();
+    }
+  }
+  return bytes;
+}
+
+void ConcurrentTermIndex::DrainGarbage() {
+  // Two epoch bumps age out the newest garbage; keep collecting until the
+  // retire list is empty (readers may hold pins, so cap the attempts).
+  for (int i = 0; i < 8 && epoch_.retired_count() > 0; ++i) {
+    epoch_.BumpEpoch();
+    epoch_.Collect();
+  }
+}
+
+}  // namespace matcn::liveindex

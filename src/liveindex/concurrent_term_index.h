@@ -1,0 +1,225 @@
+#ifndef MATCN_LIVEINDEX_CONCURRENT_TERM_INDEX_H_
+#define MATCN_LIVEINDEX_CONCURRENT_TERM_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/epoch.h"
+#include "indexing/term_index.h"
+#include "storage/database.h"
+#include "storage/tuple_id.h"
+
+namespace matcn::liveindex {
+
+class ConcurrentTermIndex;
+
+struct LiveIndexOptions {
+  /// Tokenization/compression options shared with the offline TermIndex.
+  /// The varbyte base postings make compression the natural default here.
+  TermIndexOptions index{.skip_stopwords = true, .compress_postings = true};
+  /// Number of term-map shards (rounded up to a power of two). Writers
+  /// lock one shard; readers never lock.
+  size_t num_shards = 16;
+  /// Delta entries per term before the term is queued for compaction
+  /// (folding the delta into a fresh varbyte base).
+  size_t compact_threshold = 64;
+};
+
+/// One uncompacted posting: a tuple/attribute hit appended since the
+/// term's base was last folded.
+struct DeltaPosting {
+  RelationId relation = 0;
+  uint32_t attribute = 0;
+  TupleId tuple;
+  uint64_t frequency = 0;  // occurrences of the term in this attribute
+};
+
+/// Immutable per-term payload. Writers never mutate a published TermEntry;
+/// they copy, extend, publish the copy, and retire the old one through the
+/// epoch manager. The varbyte base is shared across copy-on-write
+/// generations (folded only by compaction), so the per-insert copy cost is
+/// the small delta vector, bounded by LiveIndexOptions::compact_threshold.
+struct TermEntry {
+  std::shared_ptr<const std::vector<AttributeOccurrence>> base;
+  std::vector<DeltaPosting> delta;
+  uint64_t doc_freq = 0;
+
+  size_t DeltaBytes() const { return delta.size() * sizeof(DeltaPosting); }
+};
+
+/// An epoch-pinned, non-blocking view of the index. Holding a snapshot
+/// guarantees every pointer the reads traverse stays alive (memory
+/// safety), not that the index is frozen: a concurrent insert committed
+/// after the pin may be visible. version() is therefore a floor — reads
+/// reflect at least that index version. Per-term reads are individually
+/// atomic (seqlock-validated against the term's shard).
+class IndexSnapshot {
+ public:
+  IndexSnapshot(IndexSnapshot&&) = default;
+  IndexSnapshot& operator=(IndexSnapshot&&) = default;
+
+  /// Sorted unique ids of tuples containing `term` (base ∪ delta).
+  std::vector<TupleId> TuplesFor(const std::string& term) const;
+
+  /// Distinct tuples containing `term`.
+  uint64_t DocumentFrequency(const std::string& term) const;
+
+  /// Index version at pin time (floor for what the reads reflect).
+  uint64_t version() const { return version_; }
+
+  uint64_t total_tuples() const { return total_tuples_; }
+
+ private:
+  friend class ConcurrentTermIndex;
+  IndexSnapshot(const ConcurrentTermIndex* index, EpochManager::Guard guard,
+                uint64_t version, uint64_t total_tuples)
+      : index_(index),
+        guard_(std::move(guard)),
+        version_(version),
+        total_tuples_(total_tuples) {}
+
+  const ConcurrentTermIndex* index_;
+  EpochManager::Guard guard_;
+  uint64_t version_;
+  uint64_t total_tuples_;
+};
+
+/// A term index whose readers never block: a sharded open-addressing term
+/// map read under optimistic lock coupling (per-shard seqlock versions —
+/// readers validate, writers lock only their shard), with epoch-based
+/// reclamation covering every node/table/entry a reader might still hold,
+/// and copy-on-write postings (immutable varbyte base + bounded delta).
+///
+/// All mutation must be externally serialized (see IndexWriter); reads may
+/// come from any number of threads concurrently with the single writer.
+class ConcurrentTermIndex {
+ public:
+  /// Builds from an offline index (typically TermIndex::Build output).
+  ConcurrentTermIndex(const TermIndex& seed, LiveIndexOptions options = {});
+  explicit ConcurrentTermIndex(LiveIndexOptions options = {});
+  ~ConcurrentTermIndex();
+
+  ConcurrentTermIndex(const ConcurrentTermIndex&) = delete;
+  ConcurrentTermIndex& operator=(const ConcurrentTermIndex&) = delete;
+
+  /// Pins the current epoch and returns a read view. Cheap; take one per
+  /// query.
+  IndexSnapshot Snapshot() const;
+
+  /// Indexes one newly appended tuple, bumping the index version. Returns
+  /// the distinct terms the tuple touched (for selective cache
+  /// invalidation). Writer-serialized (call via IndexWriter).
+  std::vector<std::string> ApplyInsert(const Database& db, TupleId id);
+
+  /// Folds `term`'s delta into a fresh varbyte base. Writer-serialized.
+  /// Returns false if the term had nothing to fold.
+  bool CompactTerm(const std::string& term);
+
+  /// Terms whose delta has crossed compact_threshold since the last call.
+  std::vector<std::string> TakeCompactionCandidates();
+
+  /// Monotonically increasing version, bumped once per ApplyInsert.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  uint64_t total_tuples() const {
+    return total_tuples_.load(std::memory_order_acquire);
+  }
+  size_t num_terms() const {
+    return num_terms_.load(std::memory_order_acquire);
+  }
+  uint64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+  size_t delta_bytes() const {
+    return delta_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// All indexed terms, sorted. Takes every shard's write lock — debug /
+  /// test / bench use, not the serving path.
+  std::vector<std::string> AllTerms() const;
+
+  /// Posting payload bytes (bases + deltas), write-locked like AllTerms.
+  size_t PostingMemoryBytes() const;
+
+  /// Drains epoch garbage until nothing collectable remains (test hook;
+  /// IndexWriter calls Collect opportunistically instead).
+  void DrainGarbage();
+
+  EpochManager& epoch_manager() const { return epoch_; }
+
+  const LiveIndexOptions& options() const { return options_; }
+
+ private:
+  friend class IndexSnapshot;
+
+  // One slot of a shard's open-addressing table. `term`/`hash` are
+  // immutable after publication; `entry` swings atomically between COW
+  // TermEntry generations. Nodes are only ever added (no term deletion),
+  // so readers can trust a non-null slot forever (EBR keeps it alive).
+  struct Node {
+    Node(std::string t, uint64_t h, const TermEntry* e)
+        : term(std::move(t)), hash(h), entry(e) {}
+    const std::string term;
+    const uint64_t hash;
+    std::atomic<const TermEntry*> entry;
+  };
+
+  // A fixed-capacity power-of-two open-addressing table. Slots transition
+  // null → non-null exactly once; growth publishes a new table and
+  // retires the old one (nodes are carried over, never copied).
+  struct Table {
+    explicit Table(size_t cap);
+    const size_t capacity;  // power of two
+    std::unique_ptr<std::atomic<Node*>[]> slots;
+  };
+
+  struct alignas(64) Shard {
+    // Seqlock: odd while a writer is publishing; readers retry on change.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const Table*> table;
+    size_t size = 0;  // writer-only
+    std::mutex write_mu;
+  };
+
+  static uint64_t HashTerm(const std::string& term);
+  Shard& ShardFor(uint64_t hash) const;
+
+  // Reader-side: find the node for `term`, nullptr if absent. Caller must
+  // hold an epoch guard.
+  const Node* FindNode(const std::string& term) const;
+
+  // Writer-side (shard write_mu held): find-or-create the node for
+  // `term`, growing the table if needed.
+  Node* FindOrCreateNode(Shard& shard, const std::string& term,
+                         uint64_t hash);
+
+  // Writer-side helper: publish `entry` as `node`'s payload under the
+  // shard seqlock, retiring the previous entry.
+  void PublishEntry(Shard& shard, Node* node, const TermEntry* entry);
+
+  LiveIndexOptions options_;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable EpochManager epoch_;
+
+  std::atomic<uint64_t> version_{0};
+  std::atomic<uint64_t> total_tuples_{0};
+  std::atomic<size_t> num_terms_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<size_t> delta_bytes_{0};
+
+  // Writer-only compaction queue (ApplyInsert appends, Take... drains).
+  std::mutex compact_mu_;
+  std::vector<std::string> compaction_candidates_;
+};
+
+}  // namespace matcn::liveindex
+
+#endif  // MATCN_LIVEINDEX_CONCURRENT_TERM_INDEX_H_

@@ -1,0 +1,126 @@
+#include "liveindex/index_writer.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace matcn::liveindex {
+
+IndexWriter::IndexWriter(Database* db, ConcurrentTermIndex* index,
+                         IndexWriterOptions options)
+    : db_(db), index_(index), options_(options) {
+  if (options_.background_compaction) {
+    compactor_ = std::thread([this] { CompactionLoop(); });
+  }
+}
+
+IndexWriter::~IndexWriter() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(compact_mu_);
+      stop_ = true;
+    }
+    compact_cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+Result<IndexWriter::InsertOutcome> IndexWriter::Insert(RelationId relation,
+                                                       Tuple tuple) {
+  std::vector<Tuple> batch;
+  batch.push_back(std::move(tuple));
+  TupleId last;
+  Result<uint64_t> version = InsertBatch(relation, std::move(batch), &last);
+  if (!version.ok()) return version.status();
+  return InsertOutcome{*version, last};
+}
+
+Result<uint64_t> IndexWriter::InsertBatch(RelationId relation,
+                                          std::vector<Tuple> tuples,
+                                          TupleId* last_id) {
+  if (tuples.empty()) return index_->version();
+
+  std::vector<std::string> touched_union;
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    std::unordered_set<std::string> seen;
+    for (Tuple& tuple : tuples) {
+      MATCN_RETURN_IF_ERROR(db_->Insert(relation, std::move(tuple)));
+      const TupleId id(relation,
+                       db_->relation(relation).num_tuples() - 1);
+      if (last_id != nullptr) *last_id = id;
+      for (std::string& term : index_->ApplyInsert(*db_, id)) {
+        if (seen.insert(term).second) {
+          touched_union.push_back(std::move(term));
+        }
+      }
+    }
+    version = index_->version();
+    EnqueueCompactions(index_->TakeCompactionCandidates());
+    // Opportunistic garbage collection: the insert already bumped the
+    // epoch, so anything two generations old frees here.
+    index_->epoch_manager().Collect();
+  }
+
+  if (!touched_union.empty()) {
+    std::function<void(const std::vector<std::string>&)> hook;
+    {
+      std::lock_guard<std::mutex> lock(hook_mu_);
+      hook = hook_;
+    }
+    if (hook) hook(touched_union);
+  }
+  return version;
+}
+
+void IndexWriter::set_invalidation_hook(
+    std::function<void(const std::vector<std::string>&)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  hook_ = std::move(hook);
+}
+
+void IndexWriter::EnqueueCompactions(std::vector<std::string> terms) {
+  if (terms.empty()) return;
+  if (!options_.background_compaction) {
+    // Inline mode: fold immediately (deterministic for tests). write_mu_
+    // is held by the caller; CompactTerm only takes shard locks.
+    for (const std::string& term : terms) index_->CompactTerm(term);
+    index_->epoch_manager().Collect();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    for (std::string& term : terms) {
+      compact_queue_.push_back(std::move(term));
+    }
+  }
+  compact_cv_.notify_one();
+}
+
+void IndexWriter::CompactionLoop() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  while (true) {
+    compact_cv_.wait(lock,
+                     [this] { return stop_ || !compact_queue_.empty(); });
+    if (stop_ && compact_queue_.empty()) return;
+    const std::string term = std::move(compact_queue_.front());
+    compact_queue_.pop_front();
+    compacting_ = true;
+    lock.unlock();
+    index_->CompactTerm(term);
+    index_->epoch_manager().Collect();
+    lock.lock();
+    compacting_ = false;
+    if (compact_queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void IndexWriter::Flush() {
+  if (!options_.background_compaction) return;
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  idle_cv_.wait(lock,
+                [this] { return compact_queue_.empty() && !compacting_; });
+}
+
+}  // namespace matcn::liveindex

@@ -1,0 +1,97 @@
+#ifndef MATCN_LIVEINDEX_INDEX_WRITER_H_
+#define MATCN_LIVEINDEX_INDEX_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "liveindex/concurrent_term_index.h"
+#include "storage/database.h"
+#include "storage/tuple_id.h"
+
+namespace matcn::liveindex {
+
+struct IndexWriterOptions {
+  /// Run compaction on a background thread. Disable for deterministic
+  /// tests — compaction then happens inline at the end of each insert.
+  bool background_compaction = true;
+};
+
+/// The single mutation entry point for a ConcurrentTermIndex: serializes
+/// database appends + index updates, drives compaction (inline or on a
+/// background thread), opportunistically collects epoch garbage, and
+/// notifies an invalidation hook with the touched terms so the service
+/// layer can evict only the affected cache entries.
+///
+/// The Database is append-only and not thread-safe for writes; routing
+/// every insert through this class is what makes concurrent readers safe.
+class IndexWriter {
+ public:
+  /// `db` and `index` must outlive the writer. `db` must not be mutated
+  /// by anyone else while the writer is alive.
+  IndexWriter(Database* db, ConcurrentTermIndex* index,
+              IndexWriterOptions options = {});
+  ~IndexWriter();
+
+  IndexWriter(const IndexWriter&) = delete;
+  IndexWriter& operator=(const IndexWriter&) = delete;
+
+  struct InsertOutcome {
+    uint64_t version = 0;  // index version after this insert
+    TupleId id;            // the appended tuple's id
+  };
+
+  /// Appends `tuple` to `relation`, indexes it, and returns the new index
+  /// version plus the assigned tuple id. Thread-safe; inserts are
+  /// serialized in call order.
+  Result<InsertOutcome> Insert(RelationId relation, Tuple tuple);
+
+  /// Batched variant: one version bump per tuple, one invalidation
+  /// callback for the union of touched terms. `last_id`, if non-null,
+  /// receives the id of the last tuple appended.
+  Result<uint64_t> InsertBatch(RelationId relation, std::vector<Tuple> tuples,
+                               TupleId* last_id = nullptr);
+
+  /// Called after each insert (outside the write lock) with the distinct
+  /// terms it touched. The service layer hooks selective cache
+  /// invalidation here.
+  void set_invalidation_hook(
+      std::function<void(const std::vector<std::string>&)> hook);
+
+  /// Blocks until all queued compaction work has run (no-op inline mode).
+  void Flush();
+
+  uint64_t version() const { return index_->version(); }
+
+ private:
+  void CompactionLoop();
+  void EnqueueCompactions(std::vector<std::string> terms);
+
+  Database* db_;
+  ConcurrentTermIndex* index_;
+  IndexWriterOptions options_;
+
+  std::mutex write_mu_;  // serializes db append + index update
+
+  std::mutex hook_mu_;
+  std::function<void(const std::vector<std::string>&)> hook_;
+
+  // Background compaction queue.
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::string> compact_queue_;
+  bool compacting_ = false;
+  bool stop_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace matcn::liveindex
+
+#endif  // MATCN_LIVEINDEX_INDEX_WRITER_H_

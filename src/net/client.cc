@@ -174,6 +174,35 @@ Result<StatsPayload> Client::Stats() {
   return stats;
 }
 
+Result<InsertResult> Client::Insert(const std::string& relation,
+                                    std::vector<WireValue> values) {
+  ++next_request_id_;
+  InsertRequest request;
+  request.relation = relation;
+  request.values = std::move(values);
+  WireWriter w;
+  Encode(request, &w);
+  MATCN_RETURN_IF_ERROR(SendRequest(FrameType::kInsert, w.buffer()));
+  FrameHeader header;
+  std::string payload;
+  MATCN_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.type == FrameType::kError) {
+    ErrorPayload error;
+    if (!Decode(payload, &error)) return Status::IOError("malformed ERROR");
+    return WireCodeToStatus(error.code, error.message);
+  }
+  if (header.type != FrameType::kInsertResult) {
+    fd_.Reset();
+    return Status::IOError("unexpected frame type in insert response");
+  }
+  InsertResult result;
+  if (!Decode(payload, &result)) {
+    fd_.Reset();
+    return Status::IOError("malformed INSERT_RESULT frame");
+  }
+  return result;
+}
+
 Status Client::Ping() {
   ++next_request_id_;
   MATCN_RETURN_IF_ERROR(SendRequest(FrameType::kPing, std::string()));

@@ -58,6 +58,13 @@ class Client {
                             const QueryParams& params);
   Result<QueryResult> Query(const std::vector<std::string>& keywords);
 
+  /// v3: appends one tuple to `relation` on the server and returns the
+  /// new index version + assigned location. Values map onto the
+  /// relation's schema in order; use WireValue tag 0 for ints, 1 for
+  /// text. Servers without a live index answer kUnimplemented.
+  Result<InsertResult> Insert(const std::string& relation,
+                              std::vector<WireValue> values);
+
   /// Server + service counters.
   Result<StatsPayload> Stats();
 

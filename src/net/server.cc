@@ -50,7 +50,12 @@ std::string ServerStatsSnapshot::ToString() const {
 
 Server::Server(QueryService* service, const DatabaseSchema* schema,
                ServerOptions options)
-    : service_(service), schema_(schema), options_(std::move(options)),
+    : Server(service, schema, nullptr, std::move(options)) {}
+
+Server::Server(QueryService* service, const DatabaseSchema* schema,
+               liveindex::IndexWriter* writer, ServerOptions options)
+    : service_(service), schema_(schema), writer_(writer),
+      options_(std::move(options)),
       loop_guard_(std::make_shared<LoopGuard>()) {}
 
 Server::~Server() {
@@ -227,6 +232,14 @@ void Server::OnFrame(Connection* conn, const FrameHeader& header,
     case FrameType::kStats:
       HandleStats(conn, header.request_id);
       return;
+    case FrameType::kInsert:
+      if (draining_) {
+        SendError(conn, header.request_id, WireCode::kUnavailable,
+                  "server is draining; no new inserts accepted");
+        return;
+      }
+      HandleInsert(conn, header.request_id, payload);
+      return;
     case FrameType::kPing:
       SendFrame(conn, FrameType::kPong, header.request_id, std::string());
       return;
@@ -381,6 +394,61 @@ void Server::OnQueryDone(uint64_t pending_id,
   FinishDrainIfIdle();
 }
 
+void Server::HandleInsert(Connection* conn, uint64_t request_id,
+                          std::string_view payload) {
+  if (writer_ == nullptr) {
+    SendError(conn, request_id, WireCode::kUnimplemented,
+              "server has no live index; INSERT unsupported");
+    return;
+  }
+  InsertRequest request;
+  if (!Decode(payload, &request)) {
+    Bump(&stats_.protocol_errors);
+    SendError(conn, request_id, WireCode::kProtocolError,
+              "malformed INSERT payload");
+    conn->CloseAfterFlush();
+    return;
+  }
+  const std::optional<RelationId> relation =
+      schema_->RelationIdByName(request.relation);
+  if (!relation.has_value()) {
+    SendError(conn, request_id, WireCode::kNotFound,
+              "unknown relation '" + request.relation + "'");
+    return;
+  }
+  Tuple tuple;
+  tuple.reserve(request.values.size());
+  for (WireValue& value : request.values) {
+    if (value.tag == 0) {
+      tuple.emplace_back(value.int_value);
+    } else if (value.tag == 1) {
+      tuple.emplace_back(std::move(value.text_value));
+    } else {
+      SendError(conn, request_id, WireCode::kInvalidArgument,
+                "unknown value tag " + std::to_string(value.tag));
+      return;
+    }
+  }
+  // The insert runs inline on the loop thread: index maintenance is a
+  // handful of COW publishes, orders of magnitude cheaper than a query
+  // pipeline, and serializing here keeps wire-order = insert-order per
+  // connection.
+  Result<liveindex::IndexWriter::InsertOutcome> outcome =
+      writer_->Insert(*relation, std::move(tuple));
+  if (!outcome.ok()) {
+    SendError(conn, request_id, StatusToWireCode(outcome.status()),
+              outcome.status().message());
+    return;
+  }
+  InsertResult result;
+  result.index_version = outcome->version;
+  result.relation = outcome->id.relation();
+  result.row = outcome->id.row();
+  WireWriter w;
+  Encode(result, &w);
+  SendFrame(conn, FrameType::kInsertResult, request_id, w.buffer());
+}
+
 void Server::HandleStats(Connection* conn, uint64_t request_id) {
   const ServiceStatsSnapshot service = service_->Stats();
   const ServerStatsSnapshot netstats = stats_.Snapshot();
@@ -416,6 +484,10 @@ void Server::HandleStats(Connection* conn, uint64_t request_id) {
       service.stages.cn_parallel_efficiency * 1000.0);
   payload.cn_workers_x10 =
       static_cast<uint64_t>(service.stages.cn_workers_mean * 10.0);
+  payload.index_version = service.index_version;
+  payload.index_delta_bytes = service.index_delta_bytes;
+  payload.index_compactions = service.index_compactions;
+  payload.cache_invalidations = service.cache_invalidations;
   WireWriter w;
   Encode(payload, &w);
   SendFrame(conn, FrameType::kStatsResult, request_id, w.buffer());

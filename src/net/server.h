@@ -13,6 +13,7 @@
 #include "net/event_loop.h"
 #include "net/net_stats.h"
 #include "net/socket.h"
+#include "liveindex/index_writer.h"
 #include "net/wire.h"
 #include "service/query_service.h"
 #include "storage/schema.h"
@@ -54,6 +55,12 @@ class Server {
  public:
   Server(QueryService* service, const DatabaseSchema* schema,
          ServerOptions options = {});
+
+  /// Serving + online updates: `writer` (borrowed, may be null) handles
+  /// protocol-v3 INSERT frames. Without a writer, INSERT gets an
+  /// UNIMPLEMENTED error.
+  Server(QueryService* service, const DatabaseSchema* schema,
+         liveindex::IndexWriter* writer, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -106,6 +113,8 @@ class Server {
   void HandleQuery(Connection* conn, uint64_t request_id,
                    std::string_view payload);
   void HandleStats(Connection* conn, uint64_t request_id);
+  void HandleInsert(Connection* conn, uint64_t request_id,
+                    std::string_view payload);
   void OnQueryDone(uint64_t pending_id, Result<QueryResponse> response);
 
   void SendError(Connection* conn, uint64_t request_id, WireCode code,
@@ -122,6 +131,7 @@ class Server {
 
   QueryService* service_;
   const DatabaseSchema* schema_;
+  liveindex::IndexWriter* writer_ = nullptr;  // null = read-only server
   ServerOptions options_;
   uint16_t port_ = 0;
 

@@ -232,6 +232,10 @@ void Encode(const StatsPayload& v, WireWriter* w) {
   w->U64(v.cn_us_mean);
   w->U64(v.cn_eff_permille);
   w->U64(v.cn_workers_x10);
+  w->U64(v.index_version);
+  w->U64(v.index_delta_bytes);
+  w->U64(v.index_compactions);
+  w->U64(v.cache_invalidations);
 }
 
 bool Decode(std::string_view payload, StatsPayload* v) {
@@ -263,6 +267,58 @@ bool Decode(std::string_view payload, StatsPayload* v) {
   r.U64(&v->cn_us_mean);
   r.U64(&v->cn_eff_permille);
   r.U64(&v->cn_workers_x10);
+  r.U64(&v->index_version);
+  r.U64(&v->index_delta_bytes);
+  r.U64(&v->index_compactions);
+  r.U64(&v->cache_invalidations);
+  return r.AtEnd();
+}
+
+void Encode(const InsertRequest& v, WireWriter* w) {
+  w->Str(v.relation);
+  w->U16(static_cast<uint16_t>(v.values.size()));
+  for (const WireValue& value : v.values) {
+    w->U8(value.tag);
+    if (value.tag == 0) {
+      w->U64(static_cast<uint64_t>(value.int_value));
+    } else {
+      w->Str(value.text_value);
+    }
+  }
+}
+
+bool Decode(std::string_view payload, InsertRequest* v) {
+  WireReader r(payload);
+  uint16_t n = 0;
+  r.Str(&v->relation);
+  r.U16(&n);
+  v->values.clear();
+  for (uint16_t i = 0; r.ok() && i < n; ++i) {
+    WireValue value;
+    if (!r.U8(&value.tag)) break;
+    if (value.tag == 0) {
+      uint64_t bits = 0;
+      if (!r.U64(&bits)) break;
+      value.int_value = static_cast<int64_t>(bits);
+    } else {
+      if (!r.Str(&value.text_value)) break;
+    }
+    v->values.push_back(std::move(value));
+  }
+  return r.AtEnd() && v->values.size() == n;
+}
+
+void Encode(const InsertResult& v, WireWriter* w) {
+  w->U64(v.index_version);
+  w->U32(v.relation);
+  w->U64(v.row);
+}
+
+bool Decode(std::string_view payload, InsertResult* v) {
+  WireReader r(payload);
+  r.U64(&v->index_version);
+  r.U32(&v->relation);
+  r.U64(&v->row);
   return r.AtEnd();
 }
 

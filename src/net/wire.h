@@ -35,9 +35,11 @@ namespace matcn::net {
 inline constexpr uint8_t kMagic0 = 'M';
 inline constexpr uint8_t kMagic1 = 'C';
 /// v2 extends STATS_RESULT with per-stage pipeline timings and the
-/// MatchCN parallelism gauges. Frames are otherwise identical to v1;
-/// both ends reject mismatched versions at the header.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// MatchCN parallelism gauges. v3 adds the INSERT request (online index
+/// maintenance: append a tuple, get the new index version back) and
+/// extends STATS_RESULT with the live-index gauges. Frames are otherwise
+/// identical; both ends reject mismatched versions at the header.
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 16;
 
 enum class FrameType : uint8_t {
@@ -45,6 +47,7 @@ enum class FrameType : uint8_t {
   kQuery = 1,
   kStats = 2,
   kPing = 3,
+  kInsert = 4,  // v3+
   // Responses (server -> client).
   kResultHeader = 64,
   kCnRecord = 65,
@@ -53,6 +56,7 @@ enum class FrameType : uint8_t {
   kStatsResult = 68,
   kPong = 69,
   kGoingAway = 70,
+  kInsertResult = 71,  // v3+
 };
 
 /// Wire-stable error codes. Values 0..9 mirror StatusCode exactly (the
@@ -181,6 +185,31 @@ struct ErrorPayload {
   std::string message;
 };
 
+/// One typed attribute value of an INSERT request. Tag 0 = int (i64 in
+/// `int_value`), tag 1 = text (`text_value`) — mirroring ValueType.
+struct WireValue {
+  uint8_t tag = 0;
+  int64_t int_value = 0;
+  std::string text_value;
+};
+
+/// v3 INSERT: append one tuple to `relation` and index it online. Values
+/// must match the relation's schema arity and types; the server replies
+/// with INSERT_RESULT (or ERROR — kUnimplemented when it has no live
+/// index, kNotFound for an unknown relation, kInvalidArgument otherwise).
+struct InsertRequest {
+  std::string relation;
+  std::vector<WireValue> values;
+};
+
+struct InsertResult {
+  /// Index version after this insert; queries answered at >= this version
+  /// see the new tuple.
+  uint64_t index_version = 0;
+  uint32_t relation = 0;  // resolved RelationId
+  uint64_t row = 0;       // row index within the relation
+};
+
 /// Server-side counters returned by a STATS request: the QueryService
 /// snapshot plus the network layer's own counters.
 struct StatsPayload {
@@ -216,6 +245,11 @@ struct StatsPayload {
   /// participating worker fully busy); see GenerationStats.
   uint64_t cn_eff_permille = 0;
   uint64_t cn_workers_x10 = 0;  // mean workers per query, fixed-point x10
+  // Live-index gauges, v3+ (all zero without a live index).
+  uint64_t index_version = 0;
+  uint64_t index_delta_bytes = 0;
+  uint64_t index_compactions = 0;
+  uint64_t cache_invalidations = 0;
 };
 
 void Encode(const QueryRequest& v, WireWriter* w);
@@ -224,6 +258,8 @@ void Encode(const CnRecord& v, WireWriter* w);
 void Encode(const ResultTrailer& v, WireWriter* w);
 void Encode(const ErrorPayload& v, WireWriter* w);
 void Encode(const StatsPayload& v, WireWriter* w);
+void Encode(const InsertRequest& v, WireWriter* w);
+void Encode(const InsertResult& v, WireWriter* w);
 
 bool Decode(std::string_view payload, QueryRequest* v);
 bool Decode(std::string_view payload, ResultHeader* v);
@@ -231,6 +267,8 @@ bool Decode(std::string_view payload, CnRecord* v);
 bool Decode(std::string_view payload, ResultTrailer* v);
 bool Decode(std::string_view payload, ErrorPayload* v);
 bool Decode(std::string_view payload, StatsPayload* v);
+bool Decode(std::string_view payload, InsertRequest* v);
+bool Decode(std::string_view payload, InsertResult* v);
 
 }  // namespace matcn::net
 

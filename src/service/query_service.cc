@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/tsfind.h"
 #include "indexing/stopwords.h"
 
 namespace matcn {
@@ -50,7 +51,57 @@ QueryService::QueryService(const SchemaGraph* schema_graph, std::string dir,
                                        options_.max_queue);
 }
 
+QueryService::QueryService(const SchemaGraph* schema_graph,
+                           const liveindex::ConcurrentTermIndex* live_index,
+                           QueryServiceOptions options)
+    : schema_graph_(schema_graph), live_index_(live_index),
+      options_(std::move(options)) {
+  cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
+                                         options_.cache_shards);
+  pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
+                                       options_.max_queue);
+}
+
 QueryService::~QueryService() = default;
+
+bool QueryService::CacheKeyTouchesTerms(
+    const std::string& key, const std::vector<std::string>& terms) {
+  // Keys look like "kw1\x1fkw2\x1f...|t=..;m=..;q=.": scan only the
+  // keyword section, matching whole unit-separated keywords.
+  size_t end = key.rfind("|t=");
+  if (end == std::string::npos) end = key.size();
+  size_t start = 0;
+  while (start < end) {
+    size_t sep = key.find('\x1f', start);
+    if (sep == std::string::npos || sep > end) sep = end;
+    for (const std::string& term : terms) {
+      if (sep - start == term.size() &&
+          key.compare(start, term.size(), term) == 0) {
+        return true;
+      }
+    }
+    start = sep + 1;
+  }
+  return false;
+}
+
+size_t QueryService::InvalidateTerms(const std::vector<std::string>& terms) {
+  if (terms.empty()) return 0;
+  // Fence first: any Execute that captured the old sequence must not Put
+  // after this, even though its entry is about to be erased.
+  invalidation_seq_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.cache_bytes == 0) return 0;
+  return cache_->EraseIf([&terms](const std::string& key) {
+    return CacheKeyTouchesTerms(key, terms);
+  });
+}
+
+void QueryService::ConnectWriter(liveindex::IndexWriter* writer) {
+  writer->set_invalidation_hook(
+      [this](const std::vector<std::string>& terms) {
+        InvalidateTerms(terms);
+      });
+}
 
 KeywordQuery QueryService::Normalize(const KeywordQuery& query) const {
   std::vector<std::string> keywords;
@@ -199,7 +250,33 @@ void QueryService::Execute(
   MatCnGen generator(schema_graph_, gen);
 
   GenerationResult result;
-  if (index_ != nullptr) {
+  uint64_t index_version = 0;
+  // Captured before the snapshot: if an insert invalidates between here
+  // and the cache Put below, the sequence moves and the Put is skipped.
+  const uint64_t inval_seq =
+      invalidation_seq_.load(std::memory_order_acquire);
+  if (live_index_ != nullptr) {
+    // Live backend: per-keyword lists from an epoch-pinned snapshot, then
+    // the shared TSInter + QMGen + MatchCN pipeline. Readers never block
+    // the writer; the snapshot guarantees memory safety, and its version
+    // is the floor this answer reflects.
+    const Deadline::Clock::time_point ts_started = Deadline::Clock::now();
+    const liveindex::IndexSnapshot snapshot = live_index_->Snapshot();
+    index_version = snapshot.version();
+    std::vector<TermsetTuples> keyword_lists;
+    keyword_lists.reserve(normalized.size());
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      TermsetTuples tt;
+      tt.termset = Termset{1} << i;
+      tt.tuples = snapshot.TuplesFor(normalized.keyword(i));
+      keyword_lists.push_back(std::move(tt));
+    }
+    std::vector<TupleSet> tuple_sets =
+        TupleSetFinder::BuildTupleSets(std::move(keyword_lists));
+    result = generator.GenerateFromTupleSets(normalized,
+                                             std::move(tuple_sets),
+                                             MillisSince(ts_started));
+  } else if (index_ != nullptr) {
     result = generator.Generate(normalized, *index_);
   } else {
     Result<GenerationResult> disk =
@@ -226,11 +303,17 @@ void QueryService::Execute(
                       result.stats.cn_millis,
                       result.stats.cn_parallel_efficiency,
                       result.stats.cn_workers);
+  response.index_version = index_version;
   auto shared = std::make_shared<const GenerationResult>(std::move(result));
   response.result = shared;
   // Only complete answers are cached: a degraded result served from cache
-  // would pin the degradation past the deadline that caused it.
-  if (!response.degraded && options_.cache_bytes > 0) {
+  // would pin the degradation past the deadline that caused it. A result
+  // raced by an invalidation is not cached either — it may predate the
+  // insert that just evicted its key.
+  const bool invalidated_meanwhile =
+      invalidation_seq_.load(std::memory_order_acquire) != inval_seq;
+  if (!response.degraded && !invalidated_meanwhile &&
+      options_.cache_bytes > 0) {
     cache_->Put(cache_key, shared, ApproximateResultBytes(*shared));
   }
   response.latency_ms = MillisSince(submitted_at);
@@ -258,8 +341,14 @@ ServiceStatsSnapshot QueryService::Stats() const {
   s.cache_entries = cache.entries;
   s.cache_bytes = cache.cost_bytes;
   s.cache_evictions = cache.evictions;
+  s.cache_invalidations = cache.erased;
   s.queue_depth = pool_->QueueDepth();
   s.num_threads = pool_->num_threads();
+  if (live_index_ != nullptr) {
+    s.index_version = live_index_->version();
+    s.index_delta_bytes = live_index_->delta_bytes();
+    s.index_compactions = live_index_->compactions();
+  }
   return s;
 }
 

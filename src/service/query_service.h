@@ -1,14 +1,18 @@
 #ifndef MATCN_SERVICE_QUERY_SERVICE_H_
 #define MATCN_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
 #include "core/matcngen.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
 #include "service/service_stats.h"
 #include "service/sharded_lru_cache.h"
 #include "service/thread_pool.h"
@@ -64,6 +68,10 @@ struct QueryResponse {
   std::string degraded_reason;
   /// Service-side latency, submission to response.
   double latency_ms = 0;
+  /// Live backend only: the index version this answer reflects (a floor —
+  /// the epoch-pinned snapshot may also see later concurrent inserts).
+  /// Zero-initialized and meaningless for the static backends.
+  uint64_t index_version = 0;
 };
 
 /// Per-request overrides of the service-wide generation options. Fields
@@ -97,6 +105,13 @@ class QueryService {
   /// scans do find stopwords.
   QueryService(const SchemaGraph* schema_graph, std::string dir,
                const DatabaseSchema* disk_schema,
+               QueryServiceOptions options = {});
+
+  /// Live-backed service: tuple-sets from an online-maintained
+  /// ConcurrentTermIndex. Each query runs against an epoch-pinned
+  /// snapshot, so readers never block the writer (or vice versa).
+  QueryService(const SchemaGraph* schema_graph,
+               const liveindex::ConcurrentTermIndex* live_index,
                QueryServiceOptions options = {});
 
   /// Drains admitted work, then joins the workers. Futures returned by
@@ -139,6 +154,18 @@ class QueryService {
   Result<QueryResponse> Query(const KeywordQuery& query);
   Result<QueryResponse> Query(const KeywordQuery& query, Deadline deadline);
 
+  /// Selective cache invalidation: evicts only cached results whose
+  /// normalized termset signature intersects `terms` — disjoint entries
+  /// survive and keep hitting. Also fences in-flight queries: a result
+  /// computed against a pre-invalidation snapshot is not cached after
+  /// this returns. Returns the number of entries evicted.
+  size_t InvalidateTerms(const std::vector<std::string>& terms);
+
+  /// Wires an IndexWriter's invalidation hook to InvalidateTerms — call
+  /// once at setup so inserts evict the affected cache entries
+  /// automatically. The writer must not outlive the service.
+  void ConnectWriter(liveindex::IndexWriter* writer);
+
   /// Counters, cache gauges, queue depth and latency percentiles.
   ServiceStatsSnapshot Stats() const;
 
@@ -159,6 +186,12 @@ class QueryService {
   /// Rough heap footprint of a result, used as its cache cost.
   static size_t ApproximateResultBytes(const GenerationResult& result);
 
+  /// True if the cache key's keyword section (the part before the "|t="
+  /// options suffix) contains any of `terms`. Exposed for testing the
+  /// invalidation predicate directly.
+  static bool CacheKeyTouchesTerms(const std::string& key,
+                                   const std::vector<std::string>& terms);
+
  private:
   using ResultCache = ShardedLruCache<GenerationResult>;
 
@@ -171,9 +204,15 @@ class QueryService {
   const TermIndex* index_ = nullptr;      // memory backend
   std::string disk_dir_;                  // disk backend
   const DatabaseSchema* disk_schema_ = nullptr;
+  const liveindex::ConcurrentTermIndex* live_index_ = nullptr;  // live backend
   QueryServiceOptions options_;
   ServiceStats stats_;
   std::unique_ptr<ResultCache> cache_;
+  /// Bumped by every InvalidateTerms call. Execute captures it before
+  /// snapshotting the live index and skips the cache Put if it moved —
+  /// otherwise an in-flight query could re-cache a stale result right
+  /// after its entry was invalidated.
+  std::atomic<uint64_t> invalidation_seq_{0};
   // Declared last: workers touch the members above, so the pool must be
   // drained and joined before anything else is destroyed.
   std::unique_ptr<ThreadPool> pool_;

@@ -22,12 +22,13 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
 }
 
 std::string ServiceStatsSnapshot::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "submitted=%llu completed=%llu rejected=%llu timed_out=%llu "
       "degraded=%llu failed=%llu cache[hits=%llu misses=%llu entries=%zu "
-      "bytes=%zu evictions=%llu] queue_depth=%zu threads=%u "
+      "bytes=%zu evictions=%llu invalidations=%llu] queue_depth=%zu "
+      "threads=%u index[version=%llu delta_bytes=%zu compactions=%llu] "
       "latency[mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms]",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
@@ -38,7 +39,10 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_entries,
       cache_bytes, static_cast<unsigned long long>(cache_evictions),
-      queue_depth, num_threads, mean_ms, p50_ms, p95_ms, p99_ms, max_ms);
+      static_cast<unsigned long long>(cache_invalidations), queue_depth,
+      num_threads, static_cast<unsigned long long>(index_version),
+      index_delta_bytes, static_cast<unsigned long long>(index_compactions),
+      mean_ms, p50_ms, p95_ms, p99_ms, max_ms);
   return std::string(buf) + " " + stages.ToString();
 }
 

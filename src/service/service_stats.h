@@ -25,8 +25,14 @@ struct ServiceStatsSnapshot {
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
   uint64_t cache_evictions = 0;
+  /// Cache entries removed by selective invalidation (live backend).
+  uint64_t cache_invalidations = 0;
   size_t queue_depth = 0;
   unsigned num_threads = 0;
+  // Live-index gauges; all zero for the static backends.
+  uint64_t index_version = 0;
+  size_t index_delta_bytes = 0;
+  uint64_t index_compactions = 0;
   // End-to-end service latency (submit to response), cache hits included.
   double mean_ms = 0;
   double p50_ms = 0;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -19,6 +20,8 @@ struct CacheCounters {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Entries removed by EraseIf (selective invalidation), not LRU pressure.
+  uint64_t erased = 0;
   size_t entries = 0;
   size_t cost_bytes = 0;
 };
@@ -100,6 +103,29 @@ class ShardedLruCache {
     }
   }
 
+  /// Removes every entry whose key satisfies `pred`; returns the number
+  /// removed. Walks all shards under their locks — meant for selective
+  /// invalidation on writes, which are rare relative to lookups.
+  size_t EraseIf(const std::function<bool(const std::string&)>& pred) {
+    size_t removed = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        if (!pred(it->key)) {
+          ++it;
+          continue;
+        }
+        shard->cost -= it->cost;
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
+        ++removed;
+      }
+    }
+    entries_.fetch_sub(removed, std::memory_order_relaxed);
+    erased_.fetch_add(removed, std::memory_order_relaxed);
+    return removed;
+  }
+
   void Clear() {
     for (const std::unique_ptr<Shard>& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
@@ -116,6 +142,7 @@ class ShardedLruCache {
     c.misses = misses_.load(std::memory_order_relaxed);
     c.insertions = insertions_.load(std::memory_order_relaxed);
     c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.erased = erased_.load(std::memory_order_relaxed);
     c.entries = entries_.load(std::memory_order_relaxed);
     for (const std::unique_ptr<Shard>& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
@@ -155,6 +182,7 @@ class ShardedLruCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> erased_{0};
   std::atomic<size_t> entries_{0};
 };
 

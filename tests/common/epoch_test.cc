@@ -1,0 +1,119 @@
+#include "common/epoch.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace matcn {
+namespace {
+
+TEST(EpochManagerTest, PinBumpsActiveGuards) {
+  EpochManager epochs;
+  EXPECT_EQ(epochs.active_guards(), 0u);
+  {
+    EpochManager::Guard guard = epochs.Pin();
+    EXPECT_EQ(epochs.active_guards(), 1u);
+    EpochManager::Guard guard2 = epochs.Pin();
+    EXPECT_EQ(epochs.active_guards(), 2u);
+  }
+  EXPECT_EQ(epochs.active_guards(), 0u);
+}
+
+TEST(EpochManagerTest, GuardIsMovable) {
+  EpochManager epochs;
+  EpochManager::Guard a = epochs.Pin();
+  EpochManager::Guard b = std::move(a);
+  EXPECT_EQ(epochs.active_guards(), 1u);
+  EpochManager::Guard c = epochs.Pin();
+  c = std::move(b);
+  EXPECT_EQ(epochs.active_guards(), 1u);
+}
+
+TEST(EpochManagerTest, RetireRunsDeleterOnlyAfterGuardsRelease) {
+  EpochManager epochs;
+  std::atomic<int> freed{0};
+  {
+    EpochManager::Guard guard = epochs.Pin();
+    epochs.Retire([&freed] { freed.fetch_add(1); });
+    // The guard pins the current epoch: no amount of bumping + collecting
+    // may free the object while it is held.
+    for (int i = 0; i < 4; ++i) {
+      epochs.BumpEpoch();
+      epochs.Collect();
+    }
+    EXPECT_EQ(freed.load(), 0);
+  }
+  epochs.BumpEpoch();
+  epochs.BumpEpoch();
+  epochs.Collect();
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(epochs.retired_count(), 0u);
+}
+
+TEST(EpochManagerTest, RetireWithoutGuardsFreesAfterTwoBumps) {
+  EpochManager epochs;
+  std::atomic<int> freed{0};
+  epochs.Retire([&freed] { freed.fetch_add(1); });
+  epochs.Collect();
+  EXPECT_EQ(freed.load(), 0);  // same epoch still too fresh
+  epochs.BumpEpoch();
+  epochs.BumpEpoch();
+  epochs.Collect();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochManagerTest, RetireObjectDeletesTypedPointer) {
+  EpochManager epochs;
+  epochs.RetireObject(new std::vector<int>(100, 7));
+  EXPECT_EQ(epochs.retired_count(), 1u);
+  epochs.BumpEpoch();
+  epochs.BumpEpoch();
+  epochs.Collect();
+  EXPECT_EQ(epochs.retired_count(), 0u);
+}
+
+TEST(EpochManagerTest, DestructorFreesOutstandingGarbage) {
+  std::atomic<int> freed{0};
+  {
+    EpochManager epochs;
+    epochs.Retire([&freed] { freed.fetch_add(1); });
+    epochs.Retire([&freed] { freed.fetch_add(1); });
+  }
+  EXPECT_EQ(freed.load(), 2);
+}
+
+TEST(EpochManagerTest, ManyThreadsPinAndRetireConcurrently) {
+  EpochManager epochs;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  std::atomic<int> freed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&epochs, &freed] {
+      for (int i = 0; i < kIterations; ++i) {
+        EpochManager::Guard guard = epochs.Pin();
+        if (i % 16 == 0) {
+          epochs.Retire([&freed] { freed.fetch_add(1); });
+        }
+        if (i % 64 == 0) {
+          epochs.BumpEpoch();
+          epochs.Collect();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  epochs.BumpEpoch();
+  epochs.BumpEpoch();
+  epochs.Collect();
+  // Multiples of 16 in [0, kIterations): 0, 16, ..., 496 — 32 per thread.
+  EXPECT_EQ(freed.load(), kThreads * 32);
+  EXPECT_EQ(epochs.active_guards(), 0u);
+  EXPECT_EQ(epochs.retired_count(), 0u);
+}
+
+}  // namespace
+}  // namespace matcn

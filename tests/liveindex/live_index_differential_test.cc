@@ -1,0 +1,153 @@
+// Differential test for online index maintenance: Build(db_full) must be
+// indistinguishable from Build(db_prefix) + streamed ApplyInsert — same
+// lookups, same document frequencies, same posting memory — for both the
+// legacy TermIndex and the live ConcurrentTermIndex.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+
+namespace matcn::liveindex {
+namespace {
+
+// The streamed suffix mixes new terms, existing terms, repeated tokens,
+// stopwords, and multiple relations.
+std::vector<std::pair<std::string, Tuple>> SuffixTuples() {
+  std::vector<std::pair<std::string, Tuple>> suffix;
+  suffix.emplace_back("PER",
+                      Tuple{Value(int64_t{5}), Value("Viola Davis")});
+  suffix.emplace_back("PER",
+                      Tuple{Value(int64_t{6}), Value("Denzel Whitaker")});
+  suffix.emplace_back(
+      "MOV", Tuple{Value(int64_t{4}), Value("gangster gangster gangster"),
+                   Value(int64_t{2020})});
+  suffix.emplace_back("MOV", Tuple{Value(int64_t{5}),
+                                   Value("The Equalizer"),
+                                   Value(int64_t{2014})});
+  suffix.emplace_back("ROLE",
+                      Tuple{Value(int64_t{3}), Value("the nameless one")});
+  suffix.emplace_back("CHAR",
+                      Tuple{Value(int64_t{4}), Value("Gangster Denzel")});
+  return suffix;
+}
+
+TEST(LiveIndexDifferentialTest, LegacyStreamedEqualsRebuild) {
+  Database db = testing::MakeMiniImdb();
+  TermIndex incremental = TermIndex::Build(db);
+  for (auto& [relation, tuple] : SuffixTuples()) {
+    const RelationId r = *db.schema().RelationIdByName(relation);
+    ASSERT_TRUE(db.Insert(r, std::move(tuple)).ok());
+    incremental.ApplyInsert(db, TupleId(r, db.relation(r).num_tuples() - 1));
+  }
+  const TermIndex rebuilt = TermIndex::Build(db);
+
+  ASSERT_EQ(incremental.AllTerms(), rebuilt.AllTerms());
+  for (const std::string& term : rebuilt.AllTerms()) {
+    EXPECT_EQ(incremental.TuplesFor(term), rebuilt.TuplesFor(term)) << term;
+    EXPECT_EQ(incremental.DocumentFrequency(term),
+              rebuilt.DocumentFrequency(term))
+        << term;
+  }
+  EXPECT_EQ(incremental.total_tuples(), rebuilt.total_tuples());
+  EXPECT_EQ(incremental.PostingMemoryBytes(), rebuilt.PostingMemoryBytes());
+}
+
+TEST(LiveIndexDifferentialTest, LegacyCompressedStreamedEqualsRebuild) {
+  TermIndexOptions options;
+  options.compress_postings = true;
+  Database db = testing::MakeMiniImdb();
+  TermIndex incremental = TermIndex::Build(db, options);
+  for (auto& [relation, tuple] : SuffixTuples()) {
+    const RelationId r = *db.schema().RelationIdByName(relation);
+    ASSERT_TRUE(db.Insert(r, std::move(tuple)).ok());
+    incremental.ApplyInsert(db, TupleId(r, db.relation(r).num_tuples() - 1));
+  }
+  const TermIndex rebuilt = TermIndex::Build(db, options);
+  ASSERT_EQ(incremental.AllTerms(), rebuilt.AllTerms());
+  for (const std::string& term : rebuilt.AllTerms()) {
+    EXPECT_EQ(incremental.TuplesFor(term), rebuilt.TuplesFor(term)) << term;
+  }
+  EXPECT_EQ(incremental.PostingMemoryBytes(), rebuilt.PostingMemoryBytes());
+}
+
+TEST(LiveIndexDifferentialTest, ConcurrentStreamedEqualsRebuild) {
+  // Seed both live indexes with the same TermIndexOptions the live layer
+  // uses for compaction, so posting memory is comparable byte-for-byte.
+  LiveIndexOptions options;
+
+  Database db = testing::MakeMiniImdb();
+  ConcurrentTermIndex streamed(TermIndex::Build(db, options.index), options);
+  for (auto& [relation, tuple] : SuffixTuples()) {
+    const RelationId r = *db.schema().RelationIdByName(relation);
+    ASSERT_TRUE(db.Insert(r, std::move(tuple)).ok());
+    streamed.ApplyInsert(db, TupleId(r, db.relation(r).num_tuples() - 1));
+  }
+  ConcurrentTermIndex rebuilt(TermIndex::Build(db, options.index), options);
+
+  // Logical equality holds before compaction (delta still unfolded)...
+  ASSERT_EQ(streamed.AllTerms(), rebuilt.AllTerms());
+  ASSERT_EQ(streamed.num_terms(), rebuilt.num_terms());
+  EXPECT_EQ(streamed.total_tuples(), rebuilt.total_tuples());
+  {
+    const IndexSnapshot s = streamed.Snapshot();
+    const IndexSnapshot r = rebuilt.Snapshot();
+    for (const std::string& term : rebuilt.AllTerms()) {
+      EXPECT_EQ(s.TuplesFor(term), r.TuplesFor(term)) << term;
+      EXPECT_EQ(s.DocumentFrequency(term), r.DocumentFrequency(term))
+          << term;
+    }
+  }
+
+  // ...and after folding every delta the physical representation matches
+  // the from-scratch build too.
+  for (const std::string& term : streamed.AllTerms()) {
+    streamed.CompactTerm(term);
+  }
+  EXPECT_EQ(streamed.delta_bytes(), 0u);
+  EXPECT_EQ(streamed.PostingMemoryBytes(), rebuilt.PostingMemoryBytes());
+  {
+    const IndexSnapshot s = streamed.Snapshot();
+    const IndexSnapshot r = rebuilt.Snapshot();
+    for (const std::string& term : rebuilt.AllTerms()) {
+      EXPECT_EQ(s.TuplesFor(term), r.TuplesFor(term)) << term;
+      EXPECT_EQ(s.DocumentFrequency(term), r.DocumentFrequency(term))
+          << term;
+    }
+  }
+  streamed.DrainGarbage();
+}
+
+TEST(LiveIndexDifferentialTest, ConcurrentFromEmptyEqualsRebuild) {
+  // Stream the entire database into an empty live index; compare against
+  // one seeded from the full offline build.
+  LiveIndexOptions options;
+  const Database db = testing::MakeMiniImdb();
+  ConcurrentTermIndex streamed(options);
+  for (RelationId r = 0; r < db.num_relations(); ++r) {
+    for (size_t row = 0; row < db.relation(r).num_tuples(); ++row) {
+      streamed.ApplyInsert(db, TupleId(r, row));
+    }
+  }
+  ConcurrentTermIndex rebuilt(TermIndex::Build(db, options.index), options);
+  ASSERT_EQ(streamed.AllTerms(), rebuilt.AllTerms());
+  EXPECT_EQ(streamed.total_tuples(), rebuilt.total_tuples());
+  const IndexSnapshot s = streamed.Snapshot();
+  const IndexSnapshot r = rebuilt.Snapshot();
+  for (const std::string& term : rebuilt.AllTerms()) {
+    EXPECT_EQ(s.TuplesFor(term), r.TuplesFor(term)) << term;
+    EXPECT_EQ(s.DocumentFrequency(term), r.DocumentFrequency(term)) << term;
+  }
+  for (const std::string& term : streamed.AllTerms()) {
+    streamed.CompactTerm(term);
+  }
+  EXPECT_EQ(streamed.PostingMemoryBytes(), rebuilt.PostingMemoryBytes());
+}
+
+}  // namespace
+}  // namespace matcn::liveindex

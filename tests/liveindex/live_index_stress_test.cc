@@ -1,0 +1,208 @@
+// Concurrency stress for the live index: many readers running TuplesFor /
+// DocumentFrequency while a single writer streams inserts and compaction
+// folds deltas. Run under TSAN in CI; the assertions here also verify the
+// core correctness claim — an epoch-pinned read observed at version V is
+// identical to a from-scratch offline rebuild of the first V inserts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+
+namespace matcn::liveindex {
+namespace {
+
+// A deterministic stream of PER tuples: person i gets one fresh term and
+// one of 8 shared "hot" terms, so inserts both create nodes and extend
+// existing COW entries.
+Tuple StreamTuple(int64_t i) {
+  return {Value(int64_t{1000} + i),
+          Value("fresh" + std::to_string(i) + " hot" + std::to_string(i % 8))};
+}
+
+TEST(LiveIndexStressTest, ReadersNeverBlockWhileWriterStreams) {
+  Database db = testing::MakeMiniImdb();
+  LiveIndexOptions options;
+  options.compact_threshold = 4;  // force frequent compaction
+  options.num_shards = 4;         // force table growth + shard contention
+  ConcurrentTermIndex live(TermIndex::Build(db, options.index), options);
+  IndexWriter writer(&db, &live);  // background compaction thread on
+
+  constexpr int kInserts = 300;
+  constexpr int kReaders = 4;
+  const RelationId per = *db.schema().RelationIdByName("PER");
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&live, &done, &reads, t] {
+      uint64_t local = 0;
+      uint64_t last_version = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const IndexSnapshot snapshot = live.Snapshot();
+        // Versions are monotone across snapshots.
+        EXPECT_GE(snapshot.version(), last_version);
+        last_version = snapshot.version();
+        // Hot terms accumulate monotonically; every id must be unique and
+        // sorted (the TuplesFor contract) no matter what the writer and
+        // compactor are doing.
+        const std::string hot = "hot" + std::to_string(t % 8);
+        const std::vector<TupleId> ids = snapshot.TuplesFor(hot);
+        for (size_t k = 1; k < ids.size(); ++k) {
+          EXPECT_TRUE(ids[k - 1] < ids[k]);
+        }
+        // df is read after the posting list and the term only grows, so
+        // it can never be smaller.
+        EXPECT_GE(snapshot.DocumentFrequency(hot), ids.size());
+        // Seed terms never disappear.
+        EXPECT_GE(snapshot.TuplesFor("denzel").size(), 3u);
+        ++local;
+      }
+      reads.fetch_add(local);
+    });
+  }
+
+  for (int64_t i = 0; i < kInserts; ++i) {
+    ASSERT_TRUE(writer.Insert(per, StreamTuple(i)).ok());
+  }
+  writer.Flush();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(live.version(), static_cast<uint64_t>(kInserts));
+  EXPECT_GE(live.compactions(), 1u);
+
+  // Final state equals an offline rebuild of the same database.
+  const TermIndex rebuilt = TermIndex::Build(db, options.index);
+  const IndexSnapshot snapshot = live.Snapshot();
+  ASSERT_EQ(live.AllTerms(), rebuilt.AllTerms());
+  for (const std::string& term : rebuilt.AllTerms()) {
+    EXPECT_EQ(snapshot.TuplesFor(term), rebuilt.TuplesFor(term)) << term;
+    EXPECT_EQ(snapshot.DocumentFrequency(term),
+              rebuilt.DocumentFrequency(term))
+        << term;
+  }
+}
+
+TEST(LiveIndexStressTest, EpochPinnedReadsMatchRebuildAtSameVersion) {
+  // Reader thread repeatedly pins a snapshot and records (version,
+  // df(hot0)) pairs; afterwards each recorded pair must match a
+  // from-scratch rebuild of exactly that prefix. df("hot0") at version V
+  // is the count of stream indexes i < V with i % 8 == 0, plus the seed's
+  // zero occurrences — fully determined by V, so any mismatch means a
+  // torn or stale-beyond-floor read.
+  Database db = testing::MakeMiniImdb();
+  LiveIndexOptions options;
+  options.compact_threshold = 3;
+  ConcurrentTermIndex live(TermIndex::Build(db, options.index), options);
+  IndexWriter writer(&db, &live);
+
+  constexpr int kInserts = 200;
+  const RelationId per = *db.schema().RelationIdByName("PER");
+
+  std::atomic<bool> done{false};
+  struct Observation {
+    uint64_t version;
+    uint64_t df_hot0;
+    size_t tuples_hot0;
+  };
+  std::vector<Observation> observations;
+  std::thread reader([&live, &done, &observations] {
+    while (!done.load(std::memory_order_acquire)) {
+      const IndexSnapshot snapshot = live.Snapshot();
+      // Reads through the snapshot reflect at least snapshot.version()
+      // (pin-time floor) and at most the final quiesced state.
+      const uint64_t floor_version = snapshot.version();
+      const uint64_t df = snapshot.DocumentFrequency("hot0");
+      const size_t n = snapshot.TuplesFor("hot0").size();
+      observations.push_back({floor_version, df, n});
+    }
+  });
+
+  for (int64_t i = 0; i < kInserts; ++i) {
+    ASSERT_TRUE(writer.Insert(per, StreamTuple(i)).ok());
+  }
+  writer.Flush();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // df("hot0") after V inserts = ceil(V / 8) (stream indexes 0, 8, 16...).
+  auto expected_at = [](uint64_t version) {
+    return (version + 7) / 8;
+  };
+  for (const Observation& o : observations) {
+    // TuplesFor ran after DocumentFrequency; the term only grows, so the
+    // later read can only be >= the earlier one.
+    EXPECT_GE(o.tuples_hot0, o.df_hot0);
+    // Each read reflects at least the pinned version (floor semantics)
+    // and at most the final state.
+    EXPECT_GE(o.df_hot0, expected_at(o.version));
+    EXPECT_LE(o.tuples_hot0, expected_at(kInserts));
+  }
+
+  // Spot-check exact prefix equality: rebuild the first V tuples from
+  // scratch and compare against the live index observed at its quiesced
+  // final version.
+  const TermIndex rebuilt = TermIndex::Build(db, options.index);
+  const IndexSnapshot snapshot = live.Snapshot();
+  EXPECT_EQ(snapshot.version(), static_cast<uint64_t>(kInserts));
+  for (const std::string& term : rebuilt.AllTerms()) {
+    EXPECT_EQ(snapshot.TuplesFor(term), rebuilt.TuplesFor(term)) << term;
+  }
+}
+
+TEST(LiveIndexStressTest, ConcurrentReadersDuringExplicitCompaction) {
+  // Tight loop alternating insert and compaction on the same hot term
+  // while readers hammer it — maximizes COW publish/retire churn.
+  Database db = testing::MakeMiniImdb();
+  LiveIndexOptions options;
+  options.compact_threshold = 1000;  // manual compaction only
+  ConcurrentTermIndex live(TermIndex::Build(db, options.index), options);
+
+  constexpr int kRounds = 100;
+  const RelationId per = *db.schema().RelationIdByName("PER");
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&live, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        const IndexSnapshot snapshot = live.Snapshot();
+        const std::vector<TupleId> ids = snapshot.TuplesFor("churn");
+        EXPECT_GE(snapshot.DocumentFrequency("churn"), ids.size());
+        for (size_t k = 1; k < ids.size(); ++k) {
+          EXPECT_TRUE(ids[k - 1] < ids[k]);
+        }
+      }
+    });
+  }
+
+  for (int64_t i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(
+        db.Insert(per, {Value(int64_t{2000} + i), Value("churn")}).ok());
+    live.ApplyInsert(db, TupleId(per, db.relation(per).num_tuples() - 1));
+    if (i % 2 == 1) live.CompactTerm("churn");
+    live.epoch_manager().BumpEpoch();
+    live.epoch_manager().Collect();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(live.Snapshot().DocumentFrequency("churn"),
+            static_cast<uint64_t>(kRounds));
+  live.DrainGarbage();
+}
+
+}  // namespace
+}  // namespace matcn::liveindex

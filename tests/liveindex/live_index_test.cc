@@ -1,0 +1,235 @@
+// ConcurrentTermIndex + IndexWriter unit tests: seed parity, online
+// visibility, COW/compaction behavior, and counters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+
+namespace matcn::liveindex {
+namespace {
+
+LiveIndexOptions InlineOptions(size_t compact_threshold = 64) {
+  LiveIndexOptions options;
+  options.compact_threshold = compact_threshold;
+  return options;
+}
+
+IndexWriterOptions InlineWriter() {
+  IndexWriterOptions options;
+  options.background_compaction = false;
+  return options;
+}
+
+class LiveIndexTest : public ::testing::Test {
+ protected:
+  LiveIndexTest() : db_(testing::MakeMiniImdb()) {}
+
+  TupleId Append(const std::string& relation, Tuple tuple) {
+    const RelationId r = *db_.schema().RelationIdByName(relation);
+    EXPECT_TRUE(db_.Insert(r, std::move(tuple)).ok());
+    return TupleId(r, db_.relation(r).num_tuples() - 1);
+  }
+
+  Database db_;
+};
+
+TEST_F(LiveIndexTest, SeededIndexMatchesOfflineIndex) {
+  const TermIndex seed = TermIndex::Build(db_);
+  ConcurrentTermIndex live(seed);
+  EXPECT_EQ(live.num_terms(), seed.num_terms());
+  EXPECT_EQ(live.total_tuples(), seed.total_tuples());
+  EXPECT_EQ(live.AllTerms(), seed.AllTerms());
+  const IndexSnapshot snapshot = live.Snapshot();
+  for (const std::string& term : seed.AllTerms()) {
+    EXPECT_EQ(snapshot.TuplesFor(term), seed.TuplesFor(term)) << term;
+    EXPECT_EQ(snapshot.DocumentFrequency(term), seed.DocumentFrequency(term))
+        << term;
+  }
+  EXPECT_TRUE(snapshot.TuplesFor("no-such-term").empty());
+  EXPECT_EQ(snapshot.DocumentFrequency("no-such-term"), 0u);
+}
+
+TEST_F(LiveIndexTest, ApplyInsertMakesNewTermVisibleAndBumpsVersion) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  const uint64_t v0 = live.version();
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("Viola Davis")});
+  const std::vector<std::string> touched = live.ApplyInsert(db_, added);
+  EXPECT_EQ(live.version(), v0 + 1);
+  EXPECT_EQ(touched.size(), 2u);  // "viola", "davis"
+  const IndexSnapshot snapshot = live.Snapshot();
+  EXPECT_EQ(snapshot.TuplesFor("viola"), std::vector<TupleId>{added});
+  EXPECT_EQ(snapshot.DocumentFrequency("viola"), 1u);
+}
+
+TEST_F(LiveIndexTest, SnapshotTakenBeforeInsertStaysReadable) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  const IndexSnapshot before = live.Snapshot();
+  const uint64_t version_before = before.version();
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("Denzel Whitaker")});
+  live.ApplyInsert(db_, added);
+  // The old snapshot stays memory-safe (its epoch pins retired entries);
+  // version() is a floor, so reads may reflect the newer state.
+  const std::vector<TupleId> tuples = before.TuplesFor("denzel");
+  EXPECT_GE(tuples.size(), 3u);
+  EXPECT_EQ(before.version(), version_before);
+}
+
+TEST_F(LiveIndexTest, RepeatedTokenBumpsDocFreqOnce) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  const uint64_t df_before = live.Snapshot().DocumentFrequency("gangster");
+  const TupleId added =
+      Append("MOV", {Value(int64_t{4}),
+                     Value("gangster gangster gangster"),
+                     Value(int64_t{2020})});
+  live.ApplyInsert(db_, added);
+  EXPECT_EQ(live.Snapshot().DocumentFrequency("gangster"), df_before + 1);
+}
+
+TEST_F(LiveIndexTest, StopwordsAreSkipped) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  const TupleId added =
+      Append("PER", {Value(int64_t{5}), Value("the nameless one")});
+  const std::vector<std::string> touched = live.ApplyInsert(db_, added);
+  for (const std::string& term : touched) EXPECT_NE(term, "the");
+  EXPECT_EQ(live.Snapshot().DocumentFrequency("the"), 0u);
+  EXPECT_EQ(live.Snapshot().DocumentFrequency("nameless"), 1u);
+}
+
+TEST_F(LiveIndexTest, CompactTermFoldsDeltaWithoutChangingReads) {
+  ConcurrentTermIndex live(TermIndex::Build(db_), InlineOptions());
+  const TupleId a = Append("PER", {Value(int64_t{5}), Value("Denzel One")});
+  const TupleId b = Append("PER", {Value(int64_t{6}), Value("Denzel Two")});
+  live.ApplyInsert(db_, a);
+  live.ApplyInsert(db_, b);
+  const std::vector<TupleId> before = live.Snapshot().TuplesFor("denzel");
+  const uint64_t df = live.Snapshot().DocumentFrequency("denzel");
+  EXPECT_GT(live.delta_bytes(), 0u);
+
+  EXPECT_TRUE(live.CompactTerm("denzel"));
+  EXPECT_EQ(live.compactions(), 1u);
+  EXPECT_EQ(live.Snapshot().TuplesFor("denzel"), before);
+  EXPECT_EQ(live.Snapshot().DocumentFrequency("denzel"), df);
+  // Nothing left to fold.
+  EXPECT_FALSE(live.CompactTerm("denzel"));
+  EXPECT_FALSE(live.CompactTerm("no-such-term"));
+  live.DrainGarbage();
+}
+
+TEST_F(LiveIndexTest, CrossingCompactThresholdQueuesCandidate) {
+  ConcurrentTermIndex live(TermIndex::Build(db_),
+                           InlineOptions(/*compact_threshold=*/2));
+  live.ApplyInsert(db_, Append("PER", {Value(int64_t{5}), Value("Zed A")}));
+  EXPECT_TRUE(live.TakeCompactionCandidates().empty());
+  live.ApplyInsert(db_, Append("PER", {Value(int64_t{6}), Value("Zed B")}));
+  const std::vector<std::string> candidates = live.TakeCompactionCandidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], "zed");
+  // Drained: a second take is empty.
+  EXPECT_TRUE(live.TakeCompactionCandidates().empty());
+}
+
+TEST_F(LiveIndexTest, GrowthKeepsAllTermsReachable) {
+  // Start from an empty index with tiny shards so table growth happens
+  // many times, exercising table swap + EBR retirement.
+  LiveIndexOptions options;
+  options.num_shards = 2;
+  ConcurrentTermIndex live(options);
+  Database db;  // fresh db so ids line up with what we insert
+  ASSERT_TRUE(db.CreateRelation(
+                    RelationSchema("T", {{"id", ValueType::kInt, true, false},
+                                         {"text", ValueType::kText, false,
+                                          true}}))
+                  .ok());
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db.Insert("T", {Value(i), Value("uniqterm" + std::to_string(i))})
+            .ok());
+    live.ApplyInsert(db, TupleId(0, static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(live.num_terms(), 200u);
+  const IndexSnapshot snapshot = live.Snapshot();
+  for (int64_t i = 0; i < 200; ++i) {
+    const std::string term = "uniqterm" + std::to_string(i);
+    EXPECT_EQ(snapshot.DocumentFrequency(term), 1u) << term;
+  }
+  live.DrainGarbage();
+}
+
+TEST_F(LiveIndexTest, WriterInsertReturnsVersionAndId) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  IndexWriter writer(&db_, &live, InlineWriter());
+  const uint64_t v0 = writer.version();
+  Result<IndexWriter::InsertOutcome> outcome = writer.Insert(
+      *db_.schema().RelationIdByName("PER"),
+      {Value(int64_t{5}), Value("Viola Davis")});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->version, v0 + 1);
+  EXPECT_EQ(outcome->id.relation(), *db_.schema().RelationIdByName("PER"));
+  EXPECT_EQ(outcome->id.row(), db_.relation(outcome->id.relation())
+                                       .num_tuples() -
+                                   1);
+  EXPECT_EQ(live.Snapshot().TuplesFor("viola"),
+            std::vector<TupleId>{outcome->id});
+}
+
+TEST_F(LiveIndexTest, WriterInvalidationHookSeesTouchedTerms) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  IndexWriter writer(&db_, &live, InlineWriter());
+  std::vector<std::string> seen;
+  writer.set_invalidation_hook(
+      [&seen](const std::vector<std::string>& terms) {
+        seen.insert(seen.end(), terms.begin(), terms.end());
+      });
+  ASSERT_TRUE(writer
+                  .Insert(*db_.schema().RelationIdByName("PER"),
+                          {Value(int64_t{5}), Value("Viola Davis")})
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_NE(std::find(seen.begin(), seen.end(), "viola"), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), "davis"), seen.end());
+}
+
+TEST_F(LiveIndexTest, WriterBatchBumpsVersionPerTupleOneHookCall) {
+  ConcurrentTermIndex live(TermIndex::Build(db_));
+  IndexWriter writer(&db_, &live, InlineWriter());
+  int hook_calls = 0;
+  writer.set_invalidation_hook(
+      [&hook_calls](const std::vector<std::string>&) { ++hook_calls; });
+  const uint64_t v0 = writer.version();
+  std::vector<Tuple> batch;
+  batch.push_back({Value(int64_t{5}), Value("Viola Davis")});
+  batch.push_back({Value(int64_t{6}), Value("Forest Whitaker")});
+  TupleId last;
+  Result<uint64_t> version = writer.InsertBatch(
+      *db_.schema().RelationIdByName("PER"), std::move(batch), &last);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, v0 + 2);
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_EQ(last.row(), db_.relation(last.relation()).num_tuples() - 1);
+}
+
+TEST_F(LiveIndexTest, BackgroundCompactionFoldsAfterFlush) {
+  ConcurrentTermIndex live(TermIndex::Build(db_),
+                           InlineOptions(/*compact_threshold=*/2));
+  IndexWriter writer(&db_, &live);  // background compaction on
+  const RelationId per = *db_.schema().RelationIdByName("PER");
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        writer.Insert(per, {Value(100 + i), Value("Freshterm Person")}).ok());
+  }
+  writer.Flush();
+  EXPECT_GE(live.compactions(), 1u);
+  EXPECT_EQ(live.Snapshot().DocumentFrequency("freshterm"), 4u);
+}
+
+}  // namespace
+}  // namespace matcn::liveindex

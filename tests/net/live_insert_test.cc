@@ -1,0 +1,187 @@
+// Protocol-v3 INSERT over loopback: a live-index-backed server accepts
+// client inserts, echoes the new index version + tuple location, makes
+// the new terms immediately searchable, and selectively invalidates the
+// result cache. Servers without a writer answer UNIMPLEMENTED.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+namespace matcn::net {
+namespace {
+
+WireValue IntValue(int64_t v) {
+  WireValue value;
+  value.tag = 0;
+  value.int_value = v;
+  return value;
+}
+
+WireValue TextValue(std::string v) {
+  WireValue value;
+  value.tag = 1;
+  value.text_value = std::move(v);
+  return value;
+}
+
+class LiveInsertTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    live_index_ = std::make_unique<liveindex::ConcurrentTermIndex>(
+        TermIndex::Build(db_));
+    writer_ =
+        std::make_unique<liveindex::IndexWriter>(&db_, live_index_.get());
+  }
+
+  // Live-backed service + server with the writer wired in.
+  void StartServer() {
+    QueryServiceOptions service_options;
+    service_options.num_threads = 1;
+    service_ = std::make_unique<QueryService>(
+        &schema_graph_, live_index_.get(), service_options);
+    service_->ConnectWriter(writer_.get());
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_ = std::make_unique<Server>(service_.get(), &db_.schema(),
+                                       writer_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  // Read-only server: no writer, INSERT must be rejected.
+  void StartServerWithoutWriter() {
+    QueryServiceOptions service_options;
+    service_options.num_threads = 1;
+    service_ = std::make_unique<QueryService>(
+        &schema_graph_, live_index_.get(), service_options);
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_ = std::make_unique<Server>(service_.get(), &db_.schema(),
+                                       std::move(server_options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client MustConnect() {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  std::unique_ptr<liveindex::ConcurrentTermIndex> live_index_;
+  std::unique_ptr<liveindex::IndexWriter> writer_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(LiveInsertTest, InsertEchoesVersionAndLocation) {
+  StartServer();
+  Client client = MustConnect();
+
+  Result<InsertResult> result = client.Insert(
+      "PER", {IntValue(100), TextValue("Viola Davis")});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->index_version, 1u);
+  EXPECT_EQ(result->relation, *db_.schema().RelationIdByName("PER"));
+  EXPECT_EQ(result->row, db_.relation(result->relation).num_tuples() - 1);
+
+  Result<InsertResult> second = client.Insert(
+      "PER", {IntValue(101), TextValue("Forest Whitaker")});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->index_version, 2u);
+  EXPECT_EQ(second->row, result->row + 1);
+}
+
+TEST_F(LiveInsertTest, InsertedTermIsImmediatelySearchable) {
+  StartServer();
+  Client client = MustConnect();
+
+  Result<Client::QueryResult> before = client.Query({"viola"});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->num_tuple_sets, 0u);
+
+  ASSERT_TRUE(
+      client.Insert("PER", {IntValue(100), TextValue("Viola Davis")}).ok());
+
+  Result<Client::QueryResult> after = client.Query({"viola"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_GE(after->num_tuple_sets, 1u);
+}
+
+TEST_F(LiveInsertTest, InsertInvalidatesOverlappingCacheEntryOnly) {
+  StartServer();
+  Client client = MustConnect();
+
+  ASSERT_TRUE(client.Query({"denzel"}).ok());
+  ASSERT_TRUE(client.Query({"gangster"}).ok());
+  ASSERT_TRUE(client.Query({"denzel"})->cache_hit);
+  ASSERT_TRUE(client.Query({"gangster"})->cache_hit);
+
+  ASSERT_TRUE(
+      client.Insert("PER", {IntValue(100), TextValue("Denzel Whitaker")})
+          .ok());
+
+  EXPECT_FALSE(client.Query({"denzel"})->cache_hit);    // evicted
+  EXPECT_TRUE(client.Query({"gangster"})->cache_hit);   // survived
+}
+
+TEST_F(LiveInsertTest, StatsReportIndexCounters) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Query({"denzel"}).ok());
+  ASSERT_TRUE(
+      client.Insert("PER", {IntValue(100), TextValue("Denzel Whitaker")})
+          .ok());
+  Result<StatsPayload> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->index_version, 1u);
+  EXPECT_EQ(stats->cache_invalidations, 1u);
+  EXPECT_GT(stats->index_delta_bytes, 0u);
+}
+
+TEST_F(LiveInsertTest, UnknownRelationIsNotFound) {
+  StartServer();
+  Client client = MustConnect();
+  Result<InsertResult> result =
+      client.Insert("NOPE", {IntValue(1), TextValue("x")});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LiveInsertTest, ArityMismatchIsTypedError) {
+  StartServer();
+  Client client = MustConnect();
+  Result<InsertResult> result =
+      client.Insert("PER", {TextValue("only one value")});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The connection survives a typed error: the next call works.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(LiveInsertTest, ServerWithoutWriterAnswersUnimplemented) {
+  StartServerWithoutWriter();
+  Client client = MustConnect();
+  Result<InsertResult> result =
+      client.Insert("PER", {IntValue(100), TextValue("Viola Davis")});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+}  // namespace
+}  // namespace matcn::net

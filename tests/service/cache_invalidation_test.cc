@@ -1,0 +1,157 @@
+// Selective result-cache invalidation: an insert touching term X must
+// evict exactly the cached entries whose normalized termset contains X —
+// disjoint entries survive and keep hitting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+#include "service/query_service.h"
+
+namespace matcn {
+namespace {
+
+class CacheInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    live_index_ = std::make_unique<liveindex::ConcurrentTermIndex>(
+        TermIndex::Build(db_));
+    liveindex::IndexWriterOptions writer_options;
+    writer_options.background_compaction = false;
+    writer_ = std::make_unique<liveindex::IndexWriter>(
+        &db_, live_index_.get(), writer_options);
+  }
+
+  std::unique_ptr<QueryService> MakeService() {
+    QueryServiceOptions options;
+    options.num_threads = 1;
+    auto service = std::make_unique<QueryService>(
+        &schema_graph_, live_index_.get(), options);
+    service->ConnectWriter(writer_.get());
+    return service;
+  }
+
+  KeywordQuery Parse(const std::string& text) {
+    auto query = KeywordQuery::Parse(text);
+    EXPECT_TRUE(query.ok()) << text;
+    return *query;
+  }
+
+  Result<liveindex::IndexWriter::InsertOutcome> InsertPerson(
+      const std::string& name) {
+    static int64_t next_id = 100;
+    return writer_->Insert(*db_.schema().RelationIdByName("PER"),
+                           {Value(next_id++), Value(name)});
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  std::unique_ptr<liveindex::ConcurrentTermIndex> live_index_;
+  std::unique_ptr<liveindex::IndexWriter> writer_;
+};
+
+TEST_F(CacheInvalidationTest, InsertEvictsOnlyOverlappingEntries) {
+  std::unique_ptr<QueryService> service = MakeService();
+  // Warm two disjoint cache entries.
+  ASSERT_TRUE(service->Query(Parse("denzel")).ok());
+  ASSERT_TRUE(service->Query(Parse("gangster")).ok());
+  ASSERT_TRUE(service->Query(Parse("denzel")).value().cache_hit);
+  ASSERT_TRUE(service->Query(Parse("gangster")).value().cache_hit);
+
+  // Insert touches "denzel" (and "whitaker") but not "gangster".
+  ASSERT_TRUE(InsertPerson("Denzel Whitaker").ok());
+
+  // The overlapping entry was evicted: the next query recomputes...
+  Result<QueryResponse> denzel = service->Query(Parse("denzel"));
+  ASSERT_TRUE(denzel.ok());
+  EXPECT_FALSE(denzel->cache_hit);
+  // ...and reflects the new tuple (df over the live snapshot).
+  EXPECT_GE(denzel->index_version, 1u);
+
+  // The disjoint entry survived and still hits.
+  Result<QueryResponse> gangster = service->Query(Parse("gangster"));
+  ASSERT_TRUE(gangster.ok());
+  EXPECT_TRUE(gangster->cache_hit);
+
+  const ServiceStatsSnapshot stats = service->Stats();
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+}
+
+TEST_F(CacheInvalidationTest, MultiKeywordEntryEvictedOnAnyMemberTerm) {
+  std::unique_ptr<QueryService> service = MakeService();
+  ASSERT_TRUE(service->Query(Parse("denzel gangster")).ok());
+  ASSERT_TRUE(service->Query(Parse("washington")).ok());
+
+  ASSERT_TRUE(InsertPerson("Gangster Gabriel").ok());
+
+  // {denzel, gangster} contains "gangster" → evicted.
+  Result<QueryResponse> both = service->Query(Parse("denzel gangster"));
+  ASSERT_TRUE(both.ok());
+  EXPECT_FALSE(both->cache_hit);
+  // {washington} is disjoint from {gangster, gabriel} → survives.
+  Result<QueryResponse> washington = service->Query(Parse("washington"));
+  ASSERT_TRUE(washington.ok());
+  EXPECT_TRUE(washington->cache_hit);
+}
+
+TEST_F(CacheInvalidationTest, SubstringTermsDoNotFalselyEvict) {
+  std::unique_ptr<QueryService> service = MakeService();
+  // "gang" is a prefix of "gangster": inserting a tuple with "gang" must
+  // not evict the "gangster" entry (whole-keyword matching).
+  ASSERT_TRUE(service->Query(Parse("gangster")).ok());
+  ASSERT_TRUE(InsertPerson("Gang Leader").ok());
+  Result<QueryResponse> response = service->Query(Parse("gangster"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->cache_hit);
+}
+
+TEST_F(CacheInvalidationTest, CacheKeyTouchesTermsMatchesWholeKeywords) {
+  const std::string key = std::string("denzel") + '\x1f' + "gangster" +
+                          "|t=5;m=0;q=0";
+  EXPECT_TRUE(QueryService::CacheKeyTouchesTerms(key, {"denzel"}));
+  EXPECT_TRUE(QueryService::CacheKeyTouchesTerms(key, {"gangster"}));
+  EXPECT_TRUE(
+      QueryService::CacheKeyTouchesTerms(key, {"other", "gangster"}));
+  EXPECT_FALSE(QueryService::CacheKeyTouchesTerms(key, {"gang"}));
+  EXPECT_FALSE(QueryService::CacheKeyTouchesTerms(key, {"ster"}));
+  EXPECT_FALSE(QueryService::CacheKeyTouchesTerms(key, {"denz"}));
+  EXPECT_FALSE(QueryService::CacheKeyTouchesTerms(key, {"washington"}));
+  EXPECT_FALSE(QueryService::CacheKeyTouchesTerms(key, {}));
+}
+
+TEST_F(CacheInvalidationTest, LiveBackendReportsIndexVersionAndStats) {
+  std::unique_ptr<QueryService> service = MakeService();
+  Result<QueryResponse> before = service->Query(Parse("denzel"));
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->index_version, 0u);
+
+  ASSERT_TRUE(InsertPerson("Quincy Jones").ok());
+  Result<QueryResponse> after = service->Query(Parse("quincy"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->index_version, 1u);
+  EXPECT_FALSE(after->result->tuple_sets.empty());
+
+  const ServiceStatsSnapshot stats = service->Stats();
+  EXPECT_EQ(stats.index_version, 1u);
+}
+
+TEST_F(CacheInvalidationTest, DirectInvalidateTermsReportsEvictionCount) {
+  std::unique_ptr<QueryService> service = MakeService();
+  ASSERT_TRUE(service->Query(Parse("denzel")).ok());
+  ASSERT_TRUE(service->Query(Parse("gangster")).ok());
+  EXPECT_EQ(service->InvalidateTerms({"denzel"}), 1u);
+  EXPECT_EQ(service->InvalidateTerms({"denzel"}), 0u);  // already gone
+  EXPECT_EQ(service->InvalidateTerms({"nothing"}), 0u);
+  EXPECT_EQ(service->InvalidateTerms({}), 0u);
+}
+
+}  // namespace
+}  // namespace matcn
