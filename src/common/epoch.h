@@ -111,10 +111,19 @@ class EpochManager {
 
   /// Queues `deleter` to run once every reader that could still see the
   /// retired object has unpinned. Writer-side (takes the retire mutex).
+  ///
+  /// CORRECTNESS REQUIRES A SINGLE SERIALIZED MUTATOR: the retire epoch
+  /// is stamped from the same global counter the mutator bumps, so the
+  /// "no guard pinned at > r can still see the object" invariant only
+  /// holds when the unlink, this Retire, and every BumpEpoch are totally
+  /// ordered by one thread (or one external mutex). Two concurrent
+  /// mutators can interleave an unlink with the other's bump and stamp a
+  /// retire epoch that Collect deems unreferenced while a reader pinned
+  /// at a later epoch still holds the old pointer.
   void Retire(std::function<void()> deleter) {
     std::lock_guard<std::mutex> lock(mu_);
     retired_.push_back(Retired{
-        global_epoch_.load(std::memory_order_relaxed), std::move(deleter)});
+        global_epoch_.load(std::memory_order_seq_cst), std::move(deleter)});
     retired_count_.store(retired_.size(), std::memory_order_relaxed);
   }
 

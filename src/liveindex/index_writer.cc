@@ -108,8 +108,17 @@ void IndexWriter::CompactionLoop() {
     compact_queue_.pop_front();
     compacting_ = true;
     lock.unlock();
-    index_->CompactTerm(term);
-    index_->epoch_manager().Collect();
+    {
+      // The EBR safety argument requires a single serialized mutator
+      // (epoch.h): an unserialized compactor could retire an entry at an
+      // epoch stamped concurrently with the insert thread's bump, letting
+      // Collect free it while a reader pinned at a later epoch still
+      // holds the old pointer. Taking write_mu_ here makes insert,
+      // compaction, retire and bump one totally ordered stream.
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      index_->CompactTerm(term);
+      index_->epoch_manager().Collect();
+    }
     lock.lock();
     compacting_ = false;
     if (compact_queue_.empty()) idle_cv_.notify_all();

@@ -31,6 +31,10 @@ struct IndexWriterOptions {
 ///
 /// The Database is append-only and not thread-safe for writes; routing
 /// every insert through this class is what makes concurrent readers safe.
+/// `write_mu_` is also what upholds the EBR single-mutator requirement
+/// (see EpochManager::Retire): inserts AND background compaction both
+/// mutate the index and retire/bump epochs, so the compaction thread
+/// takes the same mutex — never mutate the index around this class.
 class IndexWriter {
  public:
   /// `db` and `index` must outlive the writer. `db` must not be mutated

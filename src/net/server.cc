@@ -93,6 +93,9 @@ Status Server::Start() {
     if (shutdown_requested_.load(std::memory_order_acquire)) BeginDrain();
   });
   if (options_.idle_timeout_ms > 0) ArmSweepTimer();
+  if (writer_ != nullptr) {
+    insert_worker_ = std::thread([this] { InsertWorkerLoop(); });
+  }
   loop_thread_ = std::thread([this] { RunLoop(); });
   return Status::OK();
 }
@@ -124,6 +127,17 @@ void Server::Shutdown() {
   if (!started_.load()) return;
   NotifyShutdown();
   Wait();
+  StopInsertWorker();
+}
+
+void Server::StopInsertWorker() {
+  if (!insert_worker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(insert_mu_);
+    insert_stop_ = true;
+  }
+  insert_cv_.notify_all();
+  insert_worker_.join();
 }
 
 void Server::HandleAccept(uint32_t /*events*/) {
@@ -429,24 +443,87 @@ void Server::HandleInsert(Connection* conn, uint64_t request_id,
       return;
     }
   }
-  // The insert runs inline on the loop thread: index maintenance is a
-  // handful of COW publishes, orders of magnitude cheaper than a query
-  // pipeline, and serializing here keeps wire-order = insert-order per
-  // connection.
-  Result<liveindex::IndexWriter::InsertOutcome> outcome =
-      writer_->Insert(*relation, std::move(tuple));
-  if (!outcome.ok()) {
-    SendError(conn, request_id, StatusToWireCode(outcome.status()),
-              outcome.status().message());
-    return;
+  // Decode and validation stay on the loop thread (cheap, and malformed
+  // frames fail in wire order); the index mutation and its invalidation
+  // hook — which walks every cache shard under lock — run on the
+  // dedicated insert worker, so a hot write stream or a large result
+  // cache never stalls queries, pings and accepts for the other
+  // connections. The single FIFO worker keeps wire-order = insert-order,
+  // and the reply is only sent after the hook ran: an acknowledged
+  // insert implies the stale cache entries are already gone.
+  const uint64_t pid = next_pending_id_++;
+  pending_inserts_.emplace(pid, PendingInsert{conn->id(), request_id});
+  ++conn->in_flight;
+  {
+    std::lock_guard<std::mutex> lock(insert_mu_);
+    insert_queue_.push_back(InsertJob{pid, *relation, std::move(tuple)});
   }
-  InsertResult result;
-  result.index_version = outcome->version;
-  result.relation = outcome->id.relation();
-  result.row = outcome->id.row();
-  WireWriter w;
-  Encode(result, &w);
-  SendFrame(conn, FrameType::kInsertResult, request_id, w.buffer());
+  insert_cv_.notify_one();
+}
+
+void Server::InsertWorkerLoop() {
+  std::unique_lock<std::mutex> lock(insert_mu_);
+  while (true) {
+    insert_cv_.wait(lock,
+                    [this] { return insert_stop_ || !insert_queue_.empty(); });
+    // Jobs still queued at stop were never acknowledged (the loop is
+    // already gone), so dropping them is safe — the client sees the
+    // connection close, not a lost ack.
+    if (insert_stop_) return;
+    InsertJob job = std::move(insert_queue_.front());
+    insert_queue_.pop_front();
+    lock.unlock();
+    Result<liveindex::IndexWriter::InsertOutcome> outcome =
+        writer_->Insert(job.relation, std::move(job.tuple));
+    {
+      std::lock_guard<std::mutex> guard_lock(loop_guard_->mu);
+      if (loop_guard_->loop != nullptr) {
+        loop_guard_->loop->PostTask(
+            [this, pid = job.pending_id,
+             outcome = std::move(outcome)]() mutable {
+              OnInsertDone(pid, std::move(outcome));
+            });
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Server::OnInsertDone(
+    uint64_t pending_id,
+    Result<liveindex::IndexWriter::InsertOutcome> outcome) {
+  auto pending_it = pending_inserts_.find(pending_id);
+  if (pending_it == pending_inserts_.end()) return;  // force-drained
+  const PendingInsert pending = pending_it->second;
+  pending_inserts_.erase(pending_it);
+
+  auto conn_it = connections_.find(pending.connection_id);
+  if (conn_it == connections_.end() || conn_it->second->closed()) {
+    FinishDrainIfIdle();
+    return;  // client went away; reply undeliverable
+  }
+  Connection* conn = conn_it->second.get();
+  --conn->in_flight;
+  conn->last_activity = std::chrono::steady_clock::now();
+
+  if (!outcome.ok()) {
+    SendError(conn, pending.request_id, StatusToWireCode(outcome.status()),
+              outcome.status().message());
+  } else {
+    InsertResult result;
+    result.index_version = outcome->version;
+    result.relation = outcome->id.relation();
+    result.row = outcome->id.row();
+    WireWriter w;
+    Encode(result, &w);
+    SendFrame(conn, FrameType::kInsertResult, pending.request_id, w.buffer());
+  }
+
+  if (draining_ && conn->in_flight == 0 && !conn->closed()) {
+    SendGoingAway(conn, "server shutting down");
+    conn->CloseAfterFlush();
+  }
+  FinishDrainIfIdle();
 }
 
 void Server::HandleStats(Connection* conn, uint64_t request_id) {
@@ -531,7 +608,7 @@ void Server::BeginDrain() {
 
 void Server::FinishDrainIfIdle() {
   if (!draining_ || drain_done_) return;
-  if (!pending_.empty()) return;
+  if (!pending_.empty() || !pending_inserts_.empty()) return;
   for (const auto& [id, conn] : connections_) {
     if (!conn->closed()) return;  // still flushing a response
   }
@@ -551,6 +628,9 @@ void Server::ForceFinishDrain() {
     Drop(&stats_.queries_in_flight);
   }
   pending_.clear();
+  // In-flight inserts cannot be cancelled (the index mutation must stay
+  // atomic); their replies are simply dropped with the connections.
+  pending_inserts_.clear();
   for (auto& [id, conn] : connections_) {
     if (!conn->closed()) conn->Close();
   }

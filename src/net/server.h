@@ -2,7 +2,9 @@
 #define MATCN_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -102,6 +104,20 @@ class Server {
     std::shared_ptr<CancelToken> cancel;
   };
 
+  /// An INSERT awaiting its worker-side execution; the reply is posted
+  /// back to the loop thread keyed by pending id, like queries.
+  struct PendingInsert {
+    uint64_t connection_id = 0;
+    uint64_t request_id = 0;
+  };
+
+  /// A decoded, validated INSERT handed to the insert worker.
+  struct InsertJob {
+    uint64_t pending_id = 0;
+    RelationId relation = 0;
+    Tuple tuple;
+  };
+
   void RunLoop();
   void HandleAccept(uint32_t events);
   void OnFrame(Connection* conn, const FrameHeader& header,
@@ -116,6 +132,10 @@ class Server {
   void HandleInsert(Connection* conn, uint64_t request_id,
                     std::string_view payload);
   void OnQueryDone(uint64_t pending_id, Result<QueryResponse> response);
+  void OnInsertDone(uint64_t pending_id,
+                    Result<liveindex::IndexWriter::InsertOutcome> outcome);
+  void InsertWorkerLoop();
+  void StopInsertWorker();
 
   void SendError(Connection* conn, uint64_t request_id, WireCode code,
                  const std::string& message);
@@ -145,6 +165,18 @@ class Server {
 
   uint64_t next_pending_id_ = 1;
   std::unordered_map<uint64_t, PendingQuery> pending_;
+  std::unordered_map<uint64_t, PendingInsert> pending_inserts_;
+
+  // Dedicated insert worker (spawned only when writer_ != nullptr): runs
+  // IndexWriter::Insert plus its invalidation hook off the loop thread —
+  // the hook walks every cache shard, so with a large result cache it
+  // would otherwise stall queries, pings and accepts on every insert.
+  // A single FIFO worker preserves wire-order = insert-order.
+  std::mutex insert_mu_;
+  std::condition_variable insert_cv_;
+  std::deque<InsertJob> insert_queue_;
+  bool insert_stop_ = false;
+  std::thread insert_worker_;
 
   std::atomic<bool> shutdown_requested_{false};
   bool draining_ = false;

@@ -309,12 +309,18 @@ void QueryService::Execute(
   // Only complete answers are cached: a degraded result served from cache
   // would pin the degradation past the deadline that caused it. A result
   // raced by an invalidation is not cached either — it may predate the
-  // insert that just evicted its key.
-  const bool invalidated_meanwhile =
-      invalidation_seq_.load(std::memory_order_acquire) != inval_seq;
-  if (!response.degraded && !invalidated_meanwhile &&
-      options_.cache_bytes > 0) {
-    cache_->Put(cache_key, shared, ApproximateResultBytes(*shared));
+  // insert that just evicted its key. The sequence re-check runs under
+  // the shard mutex (PutIf), which closes the check-then-act window: an
+  // InvalidateTerms that bumped the sequence before we lock the shard is
+  // observed here (its EraseIf takes the same mutex, so the bump is
+  // visible once we hold it); one that bumps after we insert will still
+  // scan this shard and erase the entry.
+  if (!response.degraded && options_.cache_bytes > 0) {
+    cache_->PutIf(cache_key, shared, ApproximateResultBytes(*shared),
+                  [this, inval_seq] {
+                    return invalidation_seq_.load(
+                               std::memory_order_acquire) == inval_seq;
+                  });
   }
   response.latency_ms = MillisSince(submitted_at);
   stats_.RecordCompleted();

@@ -208,10 +208,12 @@ class QueryService {
   QueryServiceOptions options_;
   ServiceStats stats_;
   std::unique_ptr<ResultCache> cache_;
-  /// Bumped by every InvalidateTerms call. Execute captures it before
-  /// snapshotting the live index and skips the cache Put if it moved —
-  /// otherwise an in-flight query could re-cache a stale result right
-  /// after its entry was invalidated.
+  /// Bumped by every InvalidateTerms call (before its EraseIf). Execute
+  /// captures it before snapshotting the live index and re-validates it
+  /// *inside* the cache shard lock (PutIf) when storing the result —
+  /// otherwise an in-flight query could re-cache a stale result in the
+  /// window between a bare sequence check and the insertion, right after
+  /// its entry was invalidated.
   std::atomic<uint64_t> invalidation_seq_{0};
   // Declared last: workers touch the members above, so the pool must be
   // drained and joined before anything else is destroyed.

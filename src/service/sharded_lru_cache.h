@@ -76,11 +76,24 @@ class ShardedLruCache {
   /// budget are not cached at all.
   void Put(const std::string& key, std::shared_ptr<const V> value,
            size_t cost_bytes) {
-    if (capacity_bytes_ == 0) return;
+    PutIf(key, std::move(value), cost_bytes, nullptr);
+  }
+
+  /// Conditional Put: `validate` runs under the shard mutex and the
+  /// insertion only happens if it returns true. This is the atomic
+  /// check-and-insert that a bare "load a sequence, then Put" cannot
+  /// provide: because EraseIf holds the same shard mutex, a validate that
+  /// checks an invalidation sequence either observes the bump (and skips
+  /// the insert) or completes the insert before EraseIf scans the shard
+  /// (which then erases it). Returns true if the entry was inserted.
+  bool PutIf(const std::string& key, std::shared_ptr<const V> value,
+             size_t cost_bytes, const std::function<bool()>& validate) {
+    if (capacity_bytes_ == 0) return false;
     const size_t cost = cost_bytes + key.size() + kPerEntryOverhead;
-    if (cost > per_shard_capacity_) return;
+    if (cost > per_shard_capacity_) return false;
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (validate && !validate()) return false;
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.cost -= it->second->cost;
@@ -101,6 +114,7 @@ class ShardedLruCache {
       entries_.fetch_sub(1, std::memory_order_relaxed);
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+    return true;
   }
 
   /// Removes every entry whose key satisfies `pred`; returns the number

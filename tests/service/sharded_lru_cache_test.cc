@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -106,6 +107,43 @@ TEST(ShardedLruCacheTest, ClearEmptiesEveryShard) {
   EXPECT_EQ(c.entries, 0u);
   EXPECT_EQ(c.cost_bytes, 0u);
   EXPECT_EQ(cache.Get("k0"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, PutIfSkipsInsertionWhenValidateFails) {
+  IntCache cache(4096, 1);
+  EXPECT_FALSE(cache.PutIf("a", Val(1), 10, [] { return false; }));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Counters().insertions, 0u);
+  EXPECT_TRUE(cache.PutIf("a", Val(2), 10, [] { return true; }));
+  std::shared_ptr<const int> hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 2);
+}
+
+TEST(ShardedLruCacheTest, PutIfValidateRunsUnderShardMutexVsEraseIf) {
+  // The conditional-put contract: a PutIf whose validate checks an
+  // invalidation sequence can never resurrect an entry past its EraseIf.
+  // Hammer one key from a putter thread (validate = "seq unchanged")
+  // against an invalidator thread (bump seq, then EraseIf); after every
+  // round the entry must be gone.
+  IntCache cache(1 << 14, 2);
+  std::atomic<uint64_t> seq{0};
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t observed = seq.load(std::memory_order_acquire);
+    std::thread putter([&] {
+      cache.PutIf("key", Val(round), 32, [&] {
+        return seq.load(std::memory_order_acquire) == observed;
+      });
+    });
+    std::thread invalidator([&] {
+      seq.fetch_add(1, std::memory_order_acq_rel);
+      cache.EraseIf([](const std::string& key) { return key == "key"; });
+    });
+    putter.join();
+    invalidator.join();
+    EXPECT_EQ(cache.Get("key"), nullptr)
+        << "stale entry resurrected after invalidation, round " << round;
+  }
 }
 
 TEST(ShardedLruCacheTest, ConcurrentMixedOperationsStayConsistent) {
