@@ -8,6 +8,7 @@
 //   $ ./matcn_ctl build <dataset> <dir> [scale]   # write relation files
 //   $ ./matcn_ctl info <dir>                      # catalog statistics
 //   $ ./matcn_ctl query <dir> <keywords...>       # disk-based pipeline
+//   $ ./matcn_ctl trace <dir> <keywords...>       # query + span waterfall
 //   $ ./matcn_ctl insert <dir> <relation> <v...>  # append + reindex + save
 //
 // Query flags:
@@ -29,6 +30,7 @@
 #include "indexing/term_index.h"
 #include "liveindex/concurrent_term_index.h"
 #include "liveindex/index_writer.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "storage/disk.h"
 
@@ -44,6 +46,8 @@ int Usage() {
                "  matcn_ctl query <dir> <keywords...> [--threads N] "
                "[--cn-threads N] [--tmax N] [--cache-mb N] "
                "[--deadline-ms N]\n"
+               "  matcn_ctl trace <dir> <keywords...>  (query flags apply; "
+               "prints the per-stage span waterfall)\n"
                "  matcn_ctl insert <dir> <relation> <value...>  "
                "(one value per attribute, in schema order)\n";
   return 2;
@@ -94,7 +98,7 @@ int Info(const std::string& dir) {
 }
 
 int Query(const std::string& dir, const std::string& text,
-          const QueryServiceOptions& service_options) {
+          const QueryServiceOptions& service_options, bool trace) {
   // Only the catalog is needed in memory; tuple-set finding streams the
   // relation files from disk (the paper's disk-based variant).
   Result<Database> db = DiskStorage::Load(dir);
@@ -109,7 +113,9 @@ int Query(const std::string& dir, const std::string& text,
   }
   const SchemaGraph schema_graph = SchemaGraph::Build(db->schema());
   QueryService service(&schema_graph, dir, &db->schema(), service_options);
-  Result<QueryResponse> response = service.Query(*query);
+  QueryRequestOptions request_options;
+  request_options.trace = trace;
+  Result<QueryResponse> response = service.Query(*query, request_options);
   if (!response.ok()) {
     std::cerr << "query failed: " << response.status().ToString() << "\n";
     return 1;
@@ -126,6 +132,10 @@ int Query(const std::string& dir, const std::string& text,
   std::cout << ":\n";
   for (const CandidateNetwork& cn : result.cns) {
     std::cout << "  " << cn.ToString(db->schema(), response->query) << "\n";
+  }
+  if (trace && response->trace != nullptr) {
+    std::cout << "\nspan waterfall:\n"
+              << obs::RenderWaterfall(response->trace->Snapshot());
   }
   return 0;
 }
@@ -207,13 +217,13 @@ int main(int argc, char** argv) {
                  args.size() > 3 ? std::atof(args[3].c_str()) : 0.1);
   }
   if (command == "info") return Info(args[1]);
-  if (command == "query" && args.size() >= 3) {
+  if ((command == "query" || command == "trace") && args.size() >= 3) {
     std::string text;
     for (size_t i = 2; i < args.size(); ++i) {
       if (i > 2) text += " ";
       text += args[i];
     }
-    return Query(args[1], text, service_options);
+    return Query(args[1], text, service_options, command == "trace");
   }
   if (command == "insert" && args.size() >= 3) {
     return Insert(args[1], args[2],

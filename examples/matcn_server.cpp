@@ -20,8 +20,16 @@
 //   --io-ms N         modeled per-miss backend latency    (default 0)
 //   --compact-threshold N  live-index delta entries per term before
 //                     background compaction folds them    (default 64)
-//   --smoke           start, self-query + self-insert via net::Client,
-//                     drain, exit
+//   --metrics-port N  Prometheus /metrics admin port; 0 = ephemeral,
+//                     -1 disables                         (default -1)
+//   --trace-sample-rate F  head-sample this fraction of queries for
+//                     server-side tracing                 (default 0)
+//   --slow-query-ms N queries slower than this log their span
+//                     breakdown at WARN; 0 disables       (default 0)
+//   --log-level S     debug|info|warn|error|off           (default info)
+//   --log-json        structured logs as JSON instead of logfmt
+//   --smoke           start, self-query (incl. traced) + self-insert +
+//                     metrics scrape via net::Client, drain, exit
 //
 // Query it with net::Client (see README "Network server" quickstart) or
 // drive load with matcn_net_bench.
@@ -31,8 +39,13 @@
 #include <iostream>
 #include <thread>
 
+#include <sys/socket.h>
+
 #include "common/flags.h"
 #include "common/strings.h"
+#include "obs/log.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "datasets/generators.h"
 #include "graph/schema_graph.h"
 #include "indexing/term_index.h"
@@ -63,6 +76,59 @@ Database MakeDataset(const std::string& name, double scale, bool* ok) {
   if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
   *ok = false;
   return Database{};
+}
+
+// Minimal HTTP/1.0 GET against the admin endpoint: one request, read to
+// EOF (the server sends Connection: close).
+Result<std::string> HttpGet(uint16_t port, const std::string& path) {
+  Result<net::ScopedFd> fd = net::ConnectTcp("127.0.0.1", port, 5'000);
+  MATCN_RETURN_IF_ERROR(fd.status());
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  MATCN_RETURN_IF_ERROR(net::WriteAll(fd->get(), request));
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd->get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return out;
+    if (errno == EINTR) continue;
+    return Status::IOError("metrics recv failed");
+  }
+}
+
+int RunSmokeMetrics(uint16_t metrics_port) {
+  Result<std::string> page = HttpGet(metrics_port, "/metrics");
+  if (!page.ok()) {
+    std::cerr << "smoke: metrics scrape failed: " << page.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (page->find("200 OK") == std::string::npos) {
+    std::cerr << "smoke: metrics endpoint did not answer 200\n";
+    return 1;
+  }
+  const size_t body_at = page->find("\r\n\r\n");
+  const std::string body =
+      body_at == std::string::npos ? std::string() : page->substr(body_at + 4);
+  if (const std::string error = obs::ValidateExposition(body);
+      !error.empty()) {
+    std::cerr << "smoke: malformed exposition: " << error << "\n";
+    return 1;
+  }
+  for (const char* required :
+       {"matcn_service_latency_seconds_bucket", "matcn_service_index_version",
+        "matcn_service_completed", "matcn_server_connections_accepted"}) {
+    if (body.find(required) == std::string::npos) {
+      std::cerr << "smoke: metrics page is missing " << required << "\n";
+      return 1;
+    }
+  }
+  std::cout << "smoke: metrics page valid (" << body.size() << " bytes)\n";
+  return 0;
 }
 
 int RunSmoke(uint16_t port) {
@@ -123,6 +189,25 @@ int RunSmoke(uint16_t port) {
   }
   std::cout << "smoke: inserted term searchable (" << requery->num_tuple_sets
             << " tuple-sets)\n";
+  // v4: ask for the span breakdown and print the waterfall — the same
+  // view `matcn_ctl trace` gives operators.
+  net::Client::QueryParams trace_params;
+  trace_params.trace = true;
+  // Fresh keywords so the trace shows the full pipeline, not a cache hit.
+  auto traced = client->Query({"washington", "gangster"}, trace_params);
+  if (!traced.ok()) {
+    std::cerr << "smoke: traced query failed: " << traced.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (!traced->trace.has_value() || traced->trace->spans.empty()) {
+    std::cerr << "smoke: traced query returned no TRACE frame\n";
+    return 1;
+  }
+  std::cout << "smoke: traced query ("
+            << traced->trace->spans.size() << " spans, total "
+            << traced->trace->total_us << " us):\n"
+            << obs::RenderWaterfall(net::ToTraceSnapshot(*traced->trace));
   return 0;
 }
 
@@ -143,6 +228,8 @@ int main(int argc, char** argv) {
   server_options.drain_deadline_ms = flags.GetInt("drain-ms", 5'000);
   server_options.max_frame_bytes =
       static_cast<size_t>(flags.GetInt("max-frame-kb", 1024)) << 10;
+  server_options.metrics_port =
+      static_cast<int>(flags.GetInt("metrics-port", -1));
 
   QueryServiceOptions service_options;
   service_options.num_threads =
@@ -154,6 +241,18 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 5));
+  service_options.trace_sample_rate =
+      flags.GetDouble("trace-sample-rate", 0.0);
+  service_options.slow_query_ms = flags.GetInt("slow-query-ms", 0);
+  const std::string log_level_name = flags.GetString("log-level", "info");
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  if (!obs::ParseLogLevel(log_level_name, &log_level)) {
+    std::cerr << "bad --log-level '" << log_level_name
+              << "' (debug|info|warn|error|off)\n";
+    return 2;
+  }
+  obs::Logger::Global().set_min_level(log_level);
+  obs::Logger::Global().set_json(flags.Has("log-json"));
   const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
   const int64_t io_ms = flags.GetInt("io-ms", 0);
   if (io_ms > 0) {
@@ -192,8 +291,11 @@ int main(int argc, char** argv) {
   QueryService service(&schema_graph, &live_index, service_options);
   service.ConnectWriter(&writer);
 
-  // --smoke binds an ephemeral port so parallel CI runs never collide.
-  if (smoke) server_options.port = 0;
+  // --smoke binds ephemeral ports so parallel CI runs never collide.
+  if (smoke) {
+    server_options.port = 0;
+    server_options.metrics_port = 0;
+  }
   net::Server server(&service, &db.schema(), &writer, server_options);
   g_server = &server;
   std::signal(SIGTERM, HandleSignal);
@@ -209,9 +311,15 @@ int main(int argc, char** argv) {
             << " workers, T_max=" << service_options.gen.t_max
             << "\nsend SIGTERM for graceful drain\n";
 
+  if (server.metrics_port() != 0) {
+    std::cout << "metrics on http://" << server_options.host << ":"
+              << server.metrics_port() << "/metrics\n";
+  }
+
   int exit_code = 0;
   if (smoke) {
     exit_code = RunSmoke(server.port());
+    if (exit_code == 0) exit_code = RunSmokeMetrics(server.metrics_port());
     server.NotifyShutdown();
   }
   server.Wait();

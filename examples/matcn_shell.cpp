@@ -21,6 +21,7 @@
 //   .cns <keywords...>   show the generated candidate networks only
 //   .sql <keywords...>   print the CNs as SQL
 //   .matches <keywords>  show tuple-sets and query matches
+//   .trace <keywords>    run the query and print its span waterfall
 //   .insert REL v1|v2|…  append a tuple; new terms are searchable at once
 //   .schema              print relations and foreign keys
 //   .stats               dataset / index / service statistics
@@ -42,6 +43,7 @@
 #include "indexing/term_index.h"
 #include "liveindex/concurrent_term_index.h"
 #include "liveindex/index_writer.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 
 using namespace matcn;
@@ -76,10 +78,13 @@ struct Shell {
   std::unique_ptr<QueryService> service;
   size_t top_k = 5;
 
-  Result<QueryResponse> Generate(const std::string& text) {
+  Result<QueryResponse> Generate(const std::string& text,
+                                 bool trace = false) {
     Result<KeywordQuery> query = KeywordQuery::Parse(text);
     if (!query.ok()) return query.status();
-    return service->Query(*query);
+    QueryRequestOptions request_options;
+    request_options.trace = trace;
+    return service->Query(*query, request_options);
   }
 
   /// Degraded or cached answers are called out so the user can tell a
@@ -160,6 +165,24 @@ struct Shell {
       }
       std::cout << "}\n";
     }
+  }
+
+  // `.trace <keywords>` — run the query traced and show where the time
+  // went: admission wait, cache lookup, TSFind, QMGen, MatchCN workers.
+  void ShowTrace(const std::string& text) {
+    Result<QueryResponse> gen = Generate(text, /*trace=*/true);
+    if (!gen.ok()) {
+      std::cout << "error: " << gen.status().ToString() << "\n";
+      return;
+    }
+    PrintResponseNote(*gen);
+    std::cout << gen->result->cns.size() << " CNs in " << gen->latency_ms
+              << " ms" << (gen->cache_hit ? " (cache hit)" : "") << "\n";
+    if (gen->trace == nullptr) {
+      std::cout << "  (no trace captured)\n";
+      return;
+    }
+    std::cout << obs::RenderWaterfall(gen->trace->Snapshot());
   }
 
   // `.insert REL v1|v2|...` — appends through the IndexWriter (database +
@@ -310,8 +333,8 @@ int main(int argc, char** argv) {
     if (trimmed == ".quit" || trimmed == ".exit") break;
     if (trimmed == ".help") {
       std::cout << "  <keywords> | .cns <kw> | .sql <kw> | .matches <kw> | "
-                   ".insert REL v1|v2|... | .schema | .stats | .topk N | "
-                   ".quit\n";
+                   ".trace <kw> | .insert REL v1|v2|... | .schema | .stats | "
+                   ".topk N | .quit\n";
       continue;
     }
     if (trimmed == ".schema") {
@@ -337,6 +360,10 @@ int main(int argc, char** argv) {
     }
     if (trimmed.rfind(".matches ", 0) == 0) {
       shell.ShowMatches(trimmed.substr(9));
+      continue;
+    }
+    if (trimmed.rfind(".trace ", 0) == 0) {
+      shell.ShowTrace(trimmed.substr(7));
       continue;
     }
     if (trimmed.rfind(".insert ", 0) == 0) {

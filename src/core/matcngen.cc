@@ -37,8 +37,12 @@ MatCnGen::MatCnGen(const SchemaGraph* schema_graph, MatCnGenOptions options)
 
 GenerationResult MatCnGen::Generate(const KeywordQuery& query,
                                     const TermIndex& index) const {
+  obs::Trace* trace = options_.trace.get();
+  const uint32_t ts_span =
+      trace ? trace->BeginSpan("tsfind", options_.trace_parent) : 0;
   Stopwatch watch;
   std::vector<TupleSet> tuple_sets = TupleSetFinder::FindMem(index, query);
+  if (trace) trace->EndSpan(ts_span, tuple_sets.size());
   return GenerateFromTupleSets(query, std::move(tuple_sets),
                                watch.ElapsedMillis());
 }
@@ -46,9 +50,16 @@ GenerationResult MatCnGen::Generate(const KeywordQuery& query,
 Result<GenerationResult> MatCnGen::GenerateDisk(
     const KeywordQuery& query, const std::string& dir,
     const DatabaseSchema& schema) const {
+  obs::Trace* trace = options_.trace.get();
+  const uint32_t ts_span =
+      trace ? trace->BeginSpan("tsfind", options_.trace_parent) : 0;
   Stopwatch watch;
   Result<std::vector<TupleSet>> tuple_sets =
       TupleSetFinder::FindDisk(dir, schema, query);
+  if (trace) {
+    trace->EndSpan(ts_span,
+                   tuple_sets.ok() ? tuple_sets.value().size() : 0);
+  }
   if (!tuple_sets.ok()) return tuple_sets.status();
   return GenerateFromTupleSets(query, std::move(tuple_sets).value(),
                                watch.ElapsedMillis());
@@ -58,6 +69,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     const KeywordQuery& query, std::vector<TupleSet> tuple_sets,
     double ts_millis) const {
   const CancelToken* cancel = options_.cancel;
+  obs::Trace* trace = options_.trace.get();
   GenerationResult result;
   result.tuple_sets = std::move(tuple_sets);
   result.stats.ts_millis = ts_millis;
@@ -69,6 +81,8 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     return result;
   }
 
+  const uint32_t qm_span =
+      trace ? trace->BeginSpan("qmgen", options_.trace_parent) : 0;
   Stopwatch watch;
   result.matches = options_.naive_qmgen
                        ? GenerateMatchesNaive(query, result.tuple_sets)
@@ -81,6 +95,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
   }
   result.stats.match_millis = watch.ElapsedMillis();
   result.stats.num_matches = result.matches.size();
+  if (trace) trace->EndSpan(qm_span, result.matches.size());
 
   // Stage boundary QMGen -> MatchCN.
   if (cancel != nullptr && cancel->Expired()) {
@@ -88,6 +103,8 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     return result;
   }
 
+  const uint32_t cn_span =
+      trace ? trace->BeginSpan("matchcn", options_.trace_parent) : 0;
   watch.Reset();
   // Built once per query, then shared read-only by every worker; each
   // worker re-points its own MatchGraph overlay at one match at a time.
@@ -127,18 +144,26 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     auto work = [shared, cancel, solve,
                  slots_data = slots.data(),
                  matches_data = result.matches.data(),
-                 graph = &ts_graph]() {
-      // Nothing beyond `shared` may be dereferenced before a claim lands
-      // in range — a late helper outlives the caller's stack frame.
+                 graph = &ts_graph,
+                 // The trace rides along as a shared_ptr for the same
+                 // straggler reason as `shared`: a helper scheduled after
+                 // the query completed may still open/close its span.
+                 trace_sp = options_.trace, cn_span]() {
+      // Nothing beyond `shared` (and the owned trace_sp) may be
+      // dereferenced before a claim lands in range — a late helper
+      // outlives the caller's stack frame.
       std::optional<MatchGraph> match_graph;
       std::optional<SingleCnScratch> scratch;
       std::optional<Stopwatch> busy;
+      uint32_t worker_span = 0;
+      uint64_t solved = 0;
       while (true) {
         const size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= shared->total) break;
         if (!busy) {
           busy.emplace();
           shared->workers.fetch_add(1, std::memory_order_relaxed);
+          if (trace_sp) worker_span = trace_sp->BeginSpan("worker", cn_span);
           match_graph.emplace(graph);
           scratch.emplace();
         }
@@ -146,6 +171,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
         // no-op so the accounting still completes.
         if (cancel == nullptr || !cancel->Expired()) {
           slots_data[i] = solve(matches_data[i], &*match_graph, &*scratch);
+          ++solved;
         }
         if (shared->finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             shared->total) {
@@ -157,6 +183,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
         shared->busy_micros.fetch_add(
             static_cast<uint64_t>(busy->ElapsedMicros()),
             std::memory_order_relaxed);
+        if (trace_sp) trace_sp->EndSpan(worker_span, solved);
       }
     };
 
@@ -195,6 +222,8 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
                                  0.0, 1.0)
                     : 1.0;
   } else {
+    const uint32_t seq_span =
+        trace ? trace->BeginSpan("singlecn", cn_span) : 0;
     MatchGraph match_graph(&ts_graph);
     SingleCnScratch scratch;
     for (const QueryMatch& match : result.matches) {
@@ -202,6 +231,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
       std::optional<CandidateNetwork> cn = solve(match, &match_graph, &scratch);
       if (cn.has_value()) result.cns.push_back(std::move(*cn));
     }
+    if (trace) trace->EndSpan(seq_span, result.cns.size());
   }
   // Expired() is monotonic, so one check after the loops classifies every
   // early exit above (including SingleCn runs it aborted internally).
@@ -210,6 +240,7 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
   }
   result.stats.cn_millis = watch.ElapsedMillis();
   result.stats.num_cns = result.cns.size();
+  if (trace) trace->EndSpan(cn_span, result.cns.size());
   return result;
 }
 

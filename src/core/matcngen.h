@@ -1,12 +1,14 @@
 #ifndef MATCN_CORE_MATCNGEN_H_
 #define MATCN_CORE_MATCNGEN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/executor.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "core/candidate_network.h"
 #include "core/keyword_query.h"
 #include "core/qmgen.h"
@@ -49,6 +51,15 @@ struct MatCnGenOptions {
   /// partial result contains whatever was completed. Borrowed, may be
   /// null; must outlive the Generate call.
   const CancelToken* cancel = nullptr;
+  /// Per-request trace; null = untraced (the span calls compile to a
+  /// null check and nothing else). Shared, not borrowed, on purpose:
+  /// parallel-MatchCN helper tasks capture it by value because a late
+  /// pool helper can outlive the caller's stack frame — the same
+  /// straggler contract MatchCnShared lives under.
+  std::shared_ptr<obs::Trace> trace;
+  /// Parent span id for this generation's stage spans (the service's
+  /// "request" root); 0 = top level.
+  uint32_t trace_parent = 0;
 };
 
 /// Timing and volume statistics for one generation run; the Figure 10

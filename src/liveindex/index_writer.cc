@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/log.h"
+
 namespace matcn::liveindex {
 
 IndexWriter::IndexWriter(Database* db, ConcurrentTermIndex* index,
@@ -118,6 +120,10 @@ void IndexWriter::CompactionLoop() {
       std::lock_guard<std::mutex> write_lock(write_mu_);
       index_->CompactTerm(term);
       index_->epoch_manager().Collect();
+      MATCN_LOG(Debug)
+          .Field("term", term)
+          .Field("index_version", index_->version())
+          << "background compaction folded term";
     }
     lock.lock();
     compacting_ = false;

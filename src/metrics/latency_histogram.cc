@@ -93,6 +93,24 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   }
 }
 
+HistogramSnapshot LatencyHistogram::SnapshotBuckets() const {
+  HistogramSnapshot snap;
+  snap.count = Count();
+  snap.sum_micros = sum_.load(std::memory_order_relaxed);
+  snap.max_micros = MaxMicros();
+  snap.buckets.reserve(kNumBuckets);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets.emplace_back(BucketValue(i), cumulative);
+  }
+  // Concurrent Record() can make count_ lag or lead the bucket sum by a
+  // few samples; pin the headline count to the bucket total so the +Inf
+  // bucket always equals _count in the exposition.
+  snap.count = cumulative;
+  return snap;
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -5,8 +5,24 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace matcn {
+
+/// Raw cumulative bucket view of a LatencyHistogram, for exporters that
+/// need the full distribution (Prometheus) rather than precomputed
+/// quantiles. `buckets` holds (upper-edge-micros, cumulative-count)
+/// pairs in ascending edge order. The full fixed layout is always
+/// returned — never trimmed to the populated range — so the bucket
+/// schema is identical across scrapes, which rate() over _bucket series
+/// depends on.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  int64_t max_micros = 0;
+  std::vector<std::pair<int64_t, uint64_t>> buckets;
+};
 
 /// Fixed-size concurrent latency histogram with a lock-free record path:
 /// `Record` is a single relaxed fetch_add on a bucket counter, so many
@@ -38,7 +54,20 @@ class LatencyHistogram {
   /// Adds every bucket of `other` into this histogram.
   void Merge(const LatencyHistogram& other);
 
-  /// Zeroes all buckets (not thread-safe against concurrent Record).
+  /// Cumulative bucket counts plus count/sum/max, read with relaxed
+  /// loads (approximate under concurrent Record, like every reader
+  /// here). Exporters should treat the result as monotonic cumulative
+  /// state and must never pair it with Reset() — see the Reset() note.
+  HistogramSnapshot SnapshotBuckets() const;
+
+  /// Zeroes all buckets. NOT safe against concurrent Record(): a sample
+  /// landing mid-reset can split across count_/sum_/bucket stores and
+  /// leave the histogram internally inconsistent (count without bucket,
+  /// or vice versa). Production readers — the Prometheus exporter in
+  /// particular — therefore never call Reset(); they export the
+  /// monotonic cumulative counts and let the scraper compute deltas
+  /// with rate(). Reset() exists for tests and for single-threaded
+  /// bench loops that quiesce recording first.
   void Reset();
 
   /// "n=1234 mean=1.2ms p50=0.9ms p95=3.1ms p99=8.8ms max=12.0ms".

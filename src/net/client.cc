@@ -83,6 +83,7 @@ Result<Client::QueryResult> Client::Query(
   request.t_max = params.t_max;
   request.max_cns = params.max_cns;
   request.include_sql = params.include_sql;
+  request.trace = params.trace;
   request.keywords = keywords;
   WireWriter w;
   Encode(request, &w);
@@ -142,6 +143,19 @@ Result<Client::QueryResult> Client::Query(
               "trailer reports " + std::to_string(trailer.cns_sent) +
               " CN records, received " + std::to_string(result.cns.size()));
         }
+        if (!params.trace) return result;
+        // v4: one more frame — the span breakdown — follows the trailer.
+        MATCN_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+        if (header.type != FrameType::kTrace) {
+          fd_.Reset();
+          return Status::IOError("expected TRACE frame after trailer");
+        }
+        TracePayload tp;
+        if (!Decode(payload, &tp)) {
+          fd_.Reset();
+          return Status::IOError("malformed TRACE frame");
+        }
+        result.trace = std::move(tp);
         return result;
       }
       default:

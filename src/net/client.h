@@ -2,6 +2,7 @@
 #define MATCN_NET_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,9 @@ class Client {
     uint16_t t_max = 0;        // 0 = server default
     uint32_t max_cns = 0;      // cap streamed CN records; 0 = all
     bool include_sql = false;
+    /// v4: ask the server to trace this request and append a TRACE frame
+    /// (the per-stage span breakdown) after the trailer.
+    bool trace = false;
   };
 
   struct QueryResult {
@@ -44,6 +48,9 @@ class Client {
     std::vector<CnRecord> cns;  // at most max_cns of cns_total
     uint32_t cns_total = 0;
     uint64_t server_latency_us = 0;
+    /// Present iff QueryParams::trace was set and the server replied with
+    /// a TRACE frame.
+    std::optional<TracePayload> trace;
   };
 
   static Result<Client> Connect(const std::string& host, uint16_t port,

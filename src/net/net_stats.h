@@ -5,7 +5,27 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/prometheus.h"
+
 namespace matcn::net {
+
+/// Authoritative field list for ServerStatsSnapshot — ToString, the
+/// STATS frame and the Prometheus exporter all render through
+/// VisitFields. V(kind, field, help)
+#define MATCN_SERVER_STATS_FIELDS(V)                                          \
+  V(kCounter, connections_accepted, "TCP connections accepted")               \
+  V(kGauge, connections_active, "Currently open connections")                 \
+  V(kCounter, connections_refused,                                            \
+    "Connections refused over max_connections")                               \
+  V(kCounter, frames_received, "Wire frames received")                        \
+  V(kCounter, frames_sent, "Wire frames sent")                                \
+  V(kCounter, bytes_received, "Wire payload bytes received")                  \
+  V(kCounter, bytes_sent, "Wire payload bytes sent")                          \
+  V(kCounter, idle_closed, "Connections closed by the idle sweep")            \
+  V(kCounter, protocol_errors, "Protocol errors (bad frames, bad state)")     \
+  V(kCounter, queries_received, "QUERY frames received")                      \
+  V(kGauge, queries_in_flight, "Queries currently executing")                 \
+  V(kCounter, drain_cancelled, "In-flight queries cancelled by drain")
 
 /// Point-in-time view of the server's network-layer counters (the
 /// QueryService keeps its own ServiceStats; a STATS request merges both).
@@ -22,6 +42,16 @@ struct ServerStatsSnapshot {
   uint64_t queries_received = 0;
   uint64_t queries_in_flight = 0;
   uint64_t drain_cancelled = 0;  // in-flight queries cancelled by drain
+
+  /// Calls visit(name, value, kind, help) once per field, in
+  /// declaration order.
+  template <typename V>
+  void VisitFields(V&& visit) const {
+#define MATCN_SERVER_STATS_VISIT(kind, field, help) \
+  visit(#field, field, obs::MetricKind::kind, help);
+    MATCN_SERVER_STATS_FIELDS(MATCN_SERVER_STATS_VISIT)
+#undef MATCN_SERVER_STATS_VISIT
+  }
 
   std::string ToString() const;
 };

@@ -7,9 +7,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <utility>
 
 #include "core/cn_to_sql.h"
+#include "obs/log.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 
 namespace matcn::net {
 
@@ -26,26 +30,17 @@ void Drop(std::atomic<uint64_t>* c) {
 }  // namespace
 
 std::string ServerStatsSnapshot::ToString() const {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "conns[accepted=%llu active=%llu refused=%llu idle_closed=%llu] "
-      "frames[in=%llu out=%llu] bytes[in=%llu out=%llu] "
-      "queries[received=%llu in_flight=%llu drain_cancelled=%llu] "
-      "protocol_errors=%llu",
-      static_cast<unsigned long long>(connections_accepted),
-      static_cast<unsigned long long>(connections_active),
-      static_cast<unsigned long long>(connections_refused),
-      static_cast<unsigned long long>(idle_closed),
-      static_cast<unsigned long long>(frames_received),
-      static_cast<unsigned long long>(frames_sent),
-      static_cast<unsigned long long>(bytes_received),
-      static_cast<unsigned long long>(bytes_sent),
-      static_cast<unsigned long long>(queries_received),
-      static_cast<unsigned long long>(queries_in_flight),
-      static_cast<unsigned long long>(drain_cancelled),
-      static_cast<unsigned long long>(protocol_errors));
-  return buf;
+  // Rendered from the field-visitor, so the string tracks
+  // MATCN_SERVER_STATS_FIELDS with no second list to maintain.
+  std::string out;
+  VisitFields([&out](const char* name, uint64_t value, obs::MetricKind,
+                     const char*) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  });
+  return out;
 }
 
 Server::Server(QueryService* service, const DatabaseSchema* schema,
@@ -92,11 +87,29 @@ Status Server::Start() {
   loop_->SetWakeupCallback([this] {
     if (shutdown_requested_.load(std::memory_order_acquire)) BeginDrain();
   });
+  if (options_.metrics_port >= 0) {
+    Result<ScopedFd> admin =
+        ListenTcp(options_.host, static_cast<uint16_t>(options_.metrics_port),
+                  options_.listen_backlog, &metrics_port_);
+    MATCN_RETURN_IF_ERROR(admin.status());
+    metrics_listen_fd_ = std::move(admin).value();
+    MATCN_RETURN_IF_ERROR(SetNonBlocking(metrics_listen_fd_.get()));
+    MATCN_RETURN_IF_ERROR(
+        loop_->AddFd(metrics_listen_fd_.get(), EPOLLIN,
+                     [this](uint32_t events) { HandleMetricsAccept(events); }));
+  }
   if (options_.idle_timeout_ms > 0) ArmSweepTimer();
   if (writer_ != nullptr) {
     insert_worker_ = std::thread([this] { InsertWorkerLoop(); });
   }
   loop_thread_ = std::thread([this] { RunLoop(); });
+  MATCN_LOG(Info)
+      .Field("host", options_.host)
+      .Field("port", port_)
+      .Field("metrics_port", metrics_port_)
+      .Field("protocol", static_cast<uint32_t>(kProtocolVersion))
+      .Field("writer", writer_ != nullptr ? 1 : 0)
+      << "server listening";
   return Status::OK();
 }
 
@@ -205,6 +218,11 @@ void Server::SendGoingAway(Connection* conn, const std::string& reason) {
 void Server::OnProtocolError(Connection* conn, WireCode code,
                              const std::string& message) {
   Bump(&stats_.protocol_errors);
+  MATCN_LOG(Warn)
+      .Field("connection", conn->id())
+      .Field("code", static_cast<uint64_t>(code))
+      .Field("error", message)
+      << "protocol error; closing connection";
   SendError(conn, 0, code, message);
   conn->CloseAfterFlush();
 }
@@ -291,6 +309,7 @@ void Server::HandleQuery(Connection* conn, uint64_t request_id,
   }
   QueryRequestOptions request_options;
   request_options.t_max = request.t_max;
+  request_options.trace = request.trace;
 
   const uint64_t pid = next_pending_id_++;
   PendingQuery pending;
@@ -298,6 +317,7 @@ void Server::HandleQuery(Connection* conn, uint64_t request_id,
   pending.request_id = request_id;
   pending.max_cns = request.max_cns;
   pending.include_sql = request.include_sql;
+  pending.trace = request.trace;
   pending_.emplace(pid, std::move(pending));
   ++conn->in_flight;
   Bump(&stats_.queries_received);
@@ -348,6 +368,12 @@ void Server::OnQueryDone(uint64_t pending_id,
     const GenerationResult& result = *qr.result;
     std::string frames;
 
+    // Server-side spans hang off the request root so the waterfall shows
+    // render + flush time next to the pipeline stages.
+    obs::Trace* trace = qr.trace.get();
+    const uint32_t sql_span =
+        trace != nullptr ? trace->BeginSpan("sql_emit", qr.trace_root) : 0;
+
     ResultHeader header;
     header.cache_hit = qr.cache_hit;
     header.degraded = qr.degraded;
@@ -386,6 +412,8 @@ void Server::OnQueryDone(uint64_t pending_id,
       Bump(&stats_.frames_sent);
     }
 
+    if (trace != nullptr) trace->EndSpan(sql_span, limit);
+
     ResultTrailer trailer;
     trailer.server_latency_us = static_cast<uint64_t>(qr.latency_ms * 1000.0);
     trailer.cns_sent = static_cast<uint32_t>(limit);
@@ -397,8 +425,35 @@ void Server::OnQueryDone(uint64_t pending_id,
                   w.buffer());
       Bump(&stats_.frames_sent);
     }
+    // The TRACE frame (wire v4) rides after the trailer, only when the
+    // client asked — sampled/slow-log traces stay server-side. Snapshot
+    // *after* the wire_flush span ends so the breakdown includes it.
+    const uint32_t flush_span =
+        trace != nullptr ? trace->BeginSpan("wire_flush", qr.trace_root) : 0;
     stats_.bytes_sent.fetch_add(frames.size(), std::memory_order_relaxed);
     conn->Send(frames);
+    if (trace != nullptr) trace->EndSpan(flush_span, frames.size());
+
+    if (pending.trace && trace != nullptr) {
+      const obs::TraceSnapshot snap = trace->Snapshot();
+      TracePayload tp;
+      tp.total_us = snap.total_us;
+      tp.dropped = snap.dropped;
+      tp.spans.reserve(snap.spans.size());
+      for (const obs::SpanView& s : snap.spans) {
+        WireSpan ws;
+        ws.name = std::string(s.name);
+        ws.id = s.id;
+        ws.parent = s.parent;
+        ws.start_us = static_cast<uint64_t>(s.start_us);
+        ws.duration_us = static_cast<uint64_t>(s.duration_us);
+        ws.value = s.value;
+        tp.spans.push_back(std::move(ws));
+      }
+      WireWriter w;
+      Encode(tp, &w);
+      SendFrame(conn, FrameType::kTrace, pending.request_id, w.buffer());
+    }
   }
 
   if (draining_ && conn->in_flight == 0 && !conn->closed()) {
@@ -570,6 +625,146 @@ void Server::HandleStats(Connection* conn, uint64_t request_id) {
   SendFrame(conn, FrameType::kStatsResult, request_id, w.buffer());
 }
 
+void Server::HandleMetricsAccept(uint32_t /*events*/) {
+  while (true) {
+    const int fd = ::accept4(metrics_listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: next EPOLLIN retries
+    ScopedFd client(fd);
+    // Scrapers are few and short-lived; a small hard cap keeps a stuck
+    // scraper from pinning fds without any sweep machinery.
+    if (draining_ || metrics_conns_.size() >= 64) continue;
+    Status added = loop_->AddFd(
+        fd, EPOLLIN, [this, fd](uint32_t events) { OnMetricsEvent(fd, events); });
+    if (!added.ok()) continue;
+    MetricsConn mc;
+    mc.fd = std::move(client);
+    metrics_conns_.emplace(fd, std::move(mc));
+  }
+}
+
+void Server::OnMetricsEvent(int fd, uint32_t events) {
+  auto it = metrics_conns_.find(fd);
+  if (it == metrics_conns_.end()) return;
+  MetricsConn& mc = it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 && !mc.responding) {
+    CloseMetricsConn(fd);
+    return;
+  }
+  if (!mc.responding) {
+    char buf[1024];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        mc.in.append(buf, static_cast<size_t>(n));
+        if (mc.in.size() > 8192) {  // no legitimate scrape request is this big
+          CloseMetricsConn(fd);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // EOF before a full request line
+        CloseMetricsConn(fd);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseMetricsConn(fd);
+      return;
+    }
+    const size_t header_end = mc.in.find("\r\n\r\n");
+    if (header_end == std::string::npos) return;  // need more bytes
+    // "METHOD SP PATH SP VERSION" — the one line we care about.
+    const std::string_view line =
+        std::string_view(mc.in).substr(0, mc.in.find("\r\n"));
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string_view::npos
+                           ? std::string_view::npos
+                           : line.find(' ', sp1 + 1);
+    const std::string_view method =
+        sp1 == std::string_view::npos ? std::string_view() : line.substr(0, sp1);
+    const std::string_view path =
+        sp2 == std::string_view::npos ? std::string_view()
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string status_line;
+    std::string body;
+    if (method != "GET") {
+      status_line = "HTTP/1.0 405 Method Not Allowed";
+      body = "only GET is supported\n";
+    } else if (path == "/metrics") {
+      status_line = "HTTP/1.0 200 OK";
+      body = RenderMetricsText();
+    } else {
+      status_line = "HTTP/1.0 404 Not Found";
+      body = "try /metrics\n";
+    }
+    mc.out = status_line +
+             "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+             "\r\nContent-Length: " +
+             std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+             body;
+    mc.responding = true;
+    loop_->UpdateFd(fd, EPOLLOUT);
+  }
+  while (mc.sent < mc.out.size()) {
+    const ssize_t n = ::send(fd, mc.out.data() + mc.sent,
+                             mc.out.size() - mc.sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      mc.sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseMetricsConn(fd);
+    return;
+  }
+  CloseMetricsConn(fd);  // Connection: close — one scrape per connection
+}
+
+void Server::CloseMetricsConn(int fd) {
+  auto it = metrics_conns_.find(fd);
+  if (it == metrics_conns_.end()) return;
+  loop_->RemoveFd(fd);
+  metrics_conns_.erase(it);  // ScopedFd closes
+}
+
+void Server::CloseAllMetricsConns() {
+  for (auto& [fd, mc] : metrics_conns_) loop_->RemoveFd(fd);
+  metrics_conns_.clear();
+}
+
+std::string Server::RenderMetricsText() const {
+  const ServiceStatsSnapshot service = service_->Stats();
+  const ServerStatsSnapshot netstats = stats_.Snapshot();
+  obs::PrometheusWriter w;
+  w.Gauge("matcn_protocol_version", "Wire protocol version served",
+          static_cast<double>(kProtocolVersion));
+  service.VisitFields([&w](const char* name, auto value, obs::MetricKind kind,
+                           const char* help) {
+    const std::string metric = std::string("matcn_service_") + name;
+    if (kind == obs::MetricKind::kCounter) {
+      w.Counter(metric, help, static_cast<double>(value));
+    } else {
+      w.Gauge(metric, help, static_cast<double>(value));
+    }
+  });
+  netstats.VisitFields([&w](const char* name, uint64_t value,
+                            obs::MetricKind kind, const char* help) {
+    const std::string metric = std::string("matcn_server_") + name;
+    if (kind == obs::MetricKind::kCounter) {
+      w.Counter(metric, help, static_cast<double>(value));
+    } else {
+      w.Gauge(metric, help, static_cast<double>(value));
+    }
+  });
+  const HistogramSnapshot& h = service.latency_histogram;
+  w.Histogram("matcn_service_latency_seconds",
+              "End-to-end query latency distribution",
+              obs::CoarsenBucketsToSeconds(h.buckets, 32), h.count,
+              static_cast<double>(h.sum_micros) / 1e6);
+  return w.Release();
+}
+
 void Server::SweepIdleConnections() {
   if (options_.idle_timeout_ms <= 0 || draining_) return;
   const auto now = std::chrono::steady_clock::now();
@@ -587,12 +782,24 @@ void Server::SweepIdleConnections() {
 void Server::BeginDrain() {
   if (draining_) return;
   draining_ = true;
+  MATCN_LOG(Info)
+      .Field("in_flight", pending_.size() + pending_inserts_.size())
+      .Field("connections", connections_.size())
+      .Field("deadline_ms", options_.drain_deadline_ms)
+      << "drain started";
   // Stop accepting: unregister and close the listen socket so the OS
   // refuses new connections immediately.
   if (listen_fd_.valid()) {
     loop_->RemoveFd(listen_fd_.get());
     listen_fd_.Reset();
   }
+  // Scrapes are point-in-time reads with no in-flight state worth
+  // waiting for: drop the admin endpoint wholesale.
+  if (metrics_listen_fd_.valid()) {
+    loop_->RemoveFd(metrics_listen_fd_.get());
+    metrics_listen_fd_.Reset();
+  }
+  CloseAllMetricsConns();
   if (sweep_timer_ != 0) loop_->CancelTimer(sweep_timer_);
   // Idle connections can go now; busy ones get their responses first.
   for (auto& [id, conn] : connections_) {
@@ -622,6 +829,10 @@ void Server::ForceFinishDrain() {
   // Drain deadline expired: cancel whatever is still running and hang up.
   // Cancelled pipelines stop at their next cooperative check; their
   // responses are dropped (the connections are gone).
+  MATCN_LOG(Warn)
+      .Field("cancelled_queries", pending_.size())
+      .Field("dropped_inserts", pending_inserts_.size())
+      << "drain deadline expired; forcing shutdown";
   for (auto& [pid, pending] : pending_) {
     if (pending.cancel != nullptr) pending.cancel->Cancel();
     Bump(&stats_.drain_cancelled);

@@ -40,6 +40,10 @@ struct ServerOptions {
   /// Accepted connections beyond this are refused with GOING_AWAY.
   size_t max_connections = 1024;
   int listen_backlog = 128;
+  /// Admin port serving `GET /metrics` (Prometheus text format) off the
+  /// same event loop, bound to `host`. -1 disables; 0 picks an ephemeral
+  /// port (read it back with metrics_port() after Start()).
+  int metrics_port = -1;
 };
 
 /// The network front end: an epoll event loop (one dedicated thread)
@@ -74,6 +78,15 @@ class Server {
   /// Bound port (valid after a successful Start()).
   uint16_t port() const { return port_; }
 
+  /// Bound metrics/admin port (valid after Start() when
+  /// options.metrics_port >= 0; 0 when the endpoint is disabled).
+  uint16_t metrics_port() const { return metrics_port_; }
+
+  /// The Prometheus exposition page `GET /metrics` serves, rendered on
+  /// demand from the service + network stats snapshots. Public so tests
+  /// and the --smoke path can validate the exposition without a socket.
+  std::string RenderMetricsText() const;
+
   /// Async-signal-safe shutdown trigger: usable directly inside a SIGTERM
   /// handler. The loop notices the flag, begins the graceful drain, and
   /// Wait()/Shutdown() observe completion.
@@ -101,7 +114,19 @@ class Server {
     uint64_t request_id = 0;
     uint32_t max_cns = 0;
     bool include_sql = false;
+    /// Client asked for a TRACE frame after the trailer (wire v4).
+    bool trace = false;
     std::shared_ptr<CancelToken> cancel;
+  };
+
+  /// One in-flight scrape of the metrics endpoint: tiny HTTP/1.0
+  /// request/response handled inline on the loop thread.
+  struct MetricsConn {
+    ScopedFd fd;
+    std::string in;     // request bytes until the blank line
+    std::string out;    // full response once rendered
+    size_t sent = 0;    // bytes of `out` already written
+    bool responding = false;
   };
 
   /// An INSERT awaiting its worker-side execution; the reply is posted
@@ -143,6 +168,11 @@ class Server {
   void SendFrame(Connection* conn, FrameType type, uint64_t request_id,
                  const std::string& payload);
 
+  void HandleMetricsAccept(uint32_t events);
+  void OnMetricsEvent(int fd, uint32_t events);
+  void CloseMetricsConn(int fd);
+  void CloseAllMetricsConns();
+
   void SweepIdleConnections();
   void ArmSweepTimer();
   void BeginDrain();
@@ -159,6 +189,13 @@ class Server {
   std::shared_ptr<LoopGuard> loop_guard_;
   std::thread loop_thread_;
   ScopedFd listen_fd_;
+
+  // Metrics/admin endpoint (optional). Scrape connections live outside
+  // connections_: they speak HTTP, have no wire-protocol state, and are
+  // closed wholesale on drain rather than waited for.
+  ScopedFd metrics_listen_fd_;
+  uint16_t metrics_port_ = 0;
+  std::unordered_map<int, MetricsConn> metrics_conns_;
 
   uint64_t next_connection_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;

@@ -113,6 +113,7 @@ void Encode(const QueryRequest& v, WireWriter* w) {
   w->U16(v.t_max);
   w->U32(v.max_cns);
   w->U8(v.include_sql ? 1 : 0);
+  w->U8(v.trace ? 1 : 0);  // v4
   w->U16(static_cast<uint16_t>(v.keywords.size()));
   for (const std::string& kw : v.keywords) w->Str(kw);
 }
@@ -120,13 +121,16 @@ void Encode(const QueryRequest& v, WireWriter* w) {
 bool Decode(std::string_view payload, QueryRequest* v) {
   WireReader r(payload);
   uint8_t include_sql = 0;
+  uint8_t trace = 0;
   uint16_t n = 0;
   r.U32(&v->deadline_ms);
   r.U16(&v->t_max);
   r.U32(&v->max_cns);
   r.U8(&include_sql);
+  r.U8(&trace);
   r.U16(&n);
   v->include_sql = include_sql != 0;
+  v->trace = trace != 0;
   v->keywords.clear();
   for (uint16_t i = 0; r.ok() && i < n; ++i) {
     std::string kw;
@@ -205,72 +209,16 @@ bool Decode(std::string_view payload, ErrorPayload* v) {
 }
 
 void Encode(const StatsPayload& v, WireWriter* w) {
-  w->U64(v.submitted);
-  w->U64(v.completed);
-  w->U64(v.rejected);
-  w->U64(v.timed_out);
-  w->U64(v.degraded);
-  w->U64(v.failed);
-  w->U64(v.cache_hits);
-  w->U64(v.cache_misses);
-  w->U64(v.queue_depth);
-  w->U64(v.mean_us);
-  w->U64(v.p50_us);
-  w->U64(v.p95_us);
-  w->U64(v.p99_us);
-  w->U64(v.connections_accepted);
-  w->U64(v.connections_active);
-  w->U64(v.frames_received);
-  w->U64(v.frames_sent);
-  w->U64(v.bytes_received);
-  w->U64(v.bytes_sent);
-  w->U64(v.idle_closed);
-  w->U64(v.protocol_errors);
-  w->U64(v.queries_in_flight);
-  w->U64(v.ts_us_mean);
-  w->U64(v.match_us_mean);
-  w->U64(v.cn_us_mean);
-  w->U64(v.cn_eff_permille);
-  w->U64(v.cn_workers_x10);
-  w->U64(v.index_version);
-  w->U64(v.index_delta_bytes);
-  w->U64(v.index_compactions);
-  w->U64(v.cache_invalidations);
+#define MATCN_STATS_ENC(field) w->U64(v.field);
+  MATCN_STATS_PAYLOAD_FIELDS(MATCN_STATS_ENC)
+#undef MATCN_STATS_ENC
 }
 
 bool Decode(std::string_view payload, StatsPayload* v) {
   WireReader r(payload);
-  r.U64(&v->submitted);
-  r.U64(&v->completed);
-  r.U64(&v->rejected);
-  r.U64(&v->timed_out);
-  r.U64(&v->degraded);
-  r.U64(&v->failed);
-  r.U64(&v->cache_hits);
-  r.U64(&v->cache_misses);
-  r.U64(&v->queue_depth);
-  r.U64(&v->mean_us);
-  r.U64(&v->p50_us);
-  r.U64(&v->p95_us);
-  r.U64(&v->p99_us);
-  r.U64(&v->connections_accepted);
-  r.U64(&v->connections_active);
-  r.U64(&v->frames_received);
-  r.U64(&v->frames_sent);
-  r.U64(&v->bytes_received);
-  r.U64(&v->bytes_sent);
-  r.U64(&v->idle_closed);
-  r.U64(&v->protocol_errors);
-  r.U64(&v->queries_in_flight);
-  r.U64(&v->ts_us_mean);
-  r.U64(&v->match_us_mean);
-  r.U64(&v->cn_us_mean);
-  r.U64(&v->cn_eff_permille);
-  r.U64(&v->cn_workers_x10);
-  r.U64(&v->index_version);
-  r.U64(&v->index_delta_bytes);
-  r.U64(&v->index_compactions);
-  r.U64(&v->cache_invalidations);
+#define MATCN_STATS_DEC(field) r.U64(&v->field);
+  MATCN_STATS_PAYLOAD_FIELDS(MATCN_STATS_DEC)
+#undef MATCN_STATS_DEC
   return r.AtEnd();
 }
 
@@ -320,6 +268,58 @@ bool Decode(std::string_view payload, InsertResult* v) {
   r.U32(&v->relation);
   r.U64(&v->row);
   return r.AtEnd();
+}
+
+void Encode(const TracePayload& v, WireWriter* w) {
+  w->U64(v.total_us);
+  w->U32(v.dropped);
+  w->U16(static_cast<uint16_t>(v.spans.size()));
+  for (const WireSpan& span : v.spans) {
+    w->Str(span.name);
+    w->U32(span.id);
+    w->U32(span.parent);
+    w->U64(span.start_us);
+    w->U64(span.duration_us);
+    w->U64(span.value);
+  }
+}
+
+bool Decode(std::string_view payload, TracePayload* v) {
+  WireReader r(payload);
+  uint16_t n = 0;
+  r.U64(&v->total_us);
+  r.U32(&v->dropped);
+  r.U16(&n);
+  v->spans.clear();
+  for (uint16_t i = 0; r.ok() && i < n; ++i) {
+    WireSpan span;
+    r.Str(&span.name);
+    r.U32(&span.id);
+    r.U32(&span.parent);
+    r.U64(&span.start_us);
+    r.U64(&span.duration_us);
+    if (!r.U64(&span.value)) break;
+    v->spans.push_back(std::move(span));
+  }
+  return r.AtEnd() && v->spans.size() == n;
+}
+
+obs::TraceSnapshot ToTraceSnapshot(const TracePayload& payload) {
+  obs::TraceSnapshot snapshot;
+  snapshot.total_us = static_cast<int64_t>(payload.total_us);
+  snapshot.dropped = payload.dropped;
+  snapshot.spans.reserve(payload.spans.size());
+  for (const WireSpan& span : payload.spans) {
+    obs::SpanView view;
+    view.name = span.name;
+    view.id = span.id;
+    view.parent = span.parent;
+    view.start_us = static_cast<int64_t>(span.start_us);
+    view.duration_us = static_cast<int64_t>(span.duration_us);
+    view.value = span.value;
+    snapshot.spans.push_back(std::move(view));
+  }
+  return snapshot;
 }
 
 }  // namespace matcn::net

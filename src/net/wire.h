@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace matcn::net {
 
@@ -37,9 +38,12 @@ inline constexpr uint8_t kMagic1 = 'C';
 /// v2 extends STATS_RESULT with per-stage pipeline timings and the
 /// MatchCN parallelism gauges. v3 adds the INSERT request (online index
 /// maintenance: append a tuple, get the new index version back) and
-/// extends STATS_RESULT with the live-index gauges. Frames are otherwise
+/// extends STATS_RESULT with the live-index gauges. v4 adds the QUERY
+/// `trace` flag and the TRACE response frame: a traced query's normal
+/// response stream is followed (after RESULT_TRAILER) by one TRACE
+/// frame carrying the request's span breakdown. Frames are otherwise
 /// identical; both ends reject mismatched versions at the header.
-inline constexpr uint8_t kProtocolVersion = 3;
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 16;
 
 enum class FrameType : uint8_t {
@@ -57,6 +61,7 @@ enum class FrameType : uint8_t {
   kPong = 69,
   kGoingAway = 70,
   kInsertResult = 71,  // v3+
+  kTrace = 72,         // v4+: span breakdown, follows RESULT_TRAILER
 };
 
 /// Wire-stable error codes. Values 0..9 mirror StatusCode exactly (the
@@ -154,6 +159,9 @@ struct QueryRequest {
   uint16_t t_max = 0;        // 0 = server default
   uint32_t max_cns = 0;      // cap on streamed CN_RECORD frames; 0 = all
   bool include_sql = false;  // also render each CN as SQL
+  /// v4: request a TRACE frame after the trailer with the stage-span
+  /// breakdown of this query.
+  bool trace = false;
   std::vector<std::string> keywords;
 };
 
@@ -210,6 +218,64 @@ struct InsertResult {
   uint64_t row = 0;       // row index within the relation
 };
 
+/// One span of a TRACE frame; mirrors obs::SpanView (net does not
+/// include obs headers in the public wire surface — the payload is just
+/// data).
+struct WireSpan {
+  std::string name;
+  uint32_t id = 0;
+  uint32_t parent = 0;  // 0 = root-level
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint64_t value = 0;
+};
+
+/// v4 TRACE response: the span breakdown of one traced query. Sent with
+/// the query's request id immediately after its RESULT_TRAILER, so the
+/// wire_flush span can cover the main result send.
+struct TracePayload {
+  uint64_t total_us = 0;  // full request duration at emit time
+  uint32_t dropped = 0;   // spans lost to the fixed per-request buffer
+  std::vector<WireSpan> spans;
+};
+
+/// The wire field list of StatsPayload, in frame order. Encode and
+/// Decode are generated from this single list, so they cannot drift
+/// from each other; extending STATS means appending here and to the
+/// struct below.
+#define MATCN_STATS_PAYLOAD_FIELDS(X) \
+  X(submitted)                        \
+  X(completed)                        \
+  X(rejected)                         \
+  X(timed_out)                        \
+  X(degraded)                         \
+  X(failed)                           \
+  X(cache_hits)                       \
+  X(cache_misses)                     \
+  X(queue_depth)                      \
+  X(mean_us)                          \
+  X(p50_us)                           \
+  X(p95_us)                           \
+  X(p99_us)                           \
+  X(connections_accepted)             \
+  X(connections_active)               \
+  X(frames_received)                  \
+  X(frames_sent)                      \
+  X(bytes_received)                   \
+  X(bytes_sent)                       \
+  X(idle_closed)                      \
+  X(protocol_errors)                  \
+  X(queries_in_flight)                \
+  X(ts_us_mean)                       \
+  X(match_us_mean)                    \
+  X(cn_us_mean)                       \
+  X(cn_eff_permille)                  \
+  X(cn_workers_x10)                   \
+  X(index_version)                    \
+  X(index_delta_bytes)                \
+  X(index_compactions)                \
+  X(cache_invalidations)
+
 /// Server-side counters returned by a STATS request: the QueryService
 /// snapshot plus the network layer's own counters.
 struct StatsPayload {
@@ -260,6 +326,7 @@ void Encode(const ErrorPayload& v, WireWriter* w);
 void Encode(const StatsPayload& v, WireWriter* w);
 void Encode(const InsertRequest& v, WireWriter* w);
 void Encode(const InsertResult& v, WireWriter* w);
+void Encode(const TracePayload& v, WireWriter* w);
 
 bool Decode(std::string_view payload, QueryRequest* v);
 bool Decode(std::string_view payload, ResultHeader* v);
@@ -269,6 +336,12 @@ bool Decode(std::string_view payload, ErrorPayload* v);
 bool Decode(std::string_view payload, StatsPayload* v);
 bool Decode(std::string_view payload, InsertRequest* v);
 bool Decode(std::string_view payload, InsertResult* v);
+bool Decode(std::string_view payload, TracePayload* v);
+
+/// Rehydrates a decoded TRACE frame into the snapshot form the obs
+/// renderers (RenderWaterfall/RenderCompact) consume, so clients can
+/// print the same waterfall the server's slow-query log shows.
+obs::TraceSnapshot ToTraceSnapshot(const TracePayload& payload);
 
 }  // namespace matcn::net
 

@@ -1,0 +1,172 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace matcn::obs {
+namespace {
+
+// Wall-clock timestamp "2026-08-08T12:34:56.789Z". Logging is the one
+// place wall time belongs — traces and latency math stay on the
+// monotonic clock.
+std::string NowRfc3339() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = time_point_cast<seconds>(now);
+  const auto ms = duration_cast<milliseconds>(now - secs).count();
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+bool NeedsQuoting(std::string_view s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendLogfmtValue(std::string* out, std::string_view v) {
+  if (NeedsQuoting(v)) {
+    *out += '"';
+    AppendEscaped(out, v);
+    *out += '"';
+  } else {
+    out->append(v);
+  }
+}
+
+void AppendJsonString(std::string* out, std::string_view v) {
+  *out += '"';
+  AppendEscaped(out, v);
+  *out += '"';
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else if (text == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // leaked: outlives static dtors
+  return *logger;
+}
+
+void Logger::SetSinkForTest(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Write(
+    LogLevel level, std::string_view msg,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string line;
+  line.reserve(64 + msg.size());
+  if (json()) {
+    line += "{\"ts\":";
+    AppendJsonString(&line, NowRfc3339());
+    line += ",\"level\":";
+    AppendJsonString(&line, LogLevelName(level));
+    line += ",\"msg\":";
+    AppendJsonString(&line, msg);
+    for (const auto& [key, value] : fields) {
+      line += ',';
+      AppendJsonString(&line, key);
+      line += ':';
+      AppendJsonString(&line, value);
+    }
+    line += '}';
+  } else {
+    line += "ts=";
+    line += NowRfc3339();
+    line += " level=";
+    line += LogLevelName(level);
+    line += " msg=";
+    AppendLogfmtValue(&line, msg);
+    for (const auto& [key, value] : fields) {
+      line += ' ';
+      line += key;
+      line += '=';
+      AppendLogfmtValue(&line, value);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace matcn::obs

@@ -1,0 +1,130 @@
+#ifndef MATCN_OBS_LOG_H_
+#define MATCN_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace matcn::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive). Returns
+/// false and leaves `out` untouched on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// Process-wide leveled structured logger. One line per event, rendered
+/// as logfmt (`ts=... level=info msg="..." k=v`) or JSON; writes go to
+/// stderr by default or to an installed sink (tests capture lines that
+/// way). Level filtering is a single relaxed atomic load, done *before*
+/// any argument formatting via the MATCN_LOG macro, so disabled levels
+/// cost one branch.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
+  static Logger& Global();
+
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// JSON lines instead of logfmt.
+  void set_json(bool json) { json_.store(json, std::memory_order_relaxed); }
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+
+  /// Replaces stderr output; pass nullptr to restore stderr. The sink is
+  /// called with the fully rendered line (no trailing newline).
+  void SetSinkForTest(Sink sink);
+
+  /// Renders and emits one event. Called by LogMessage's destructor.
+  void Write(LogLevel level, std::string_view msg,
+             const std::vector<std::pair<std::string, std::string>>& fields);
+
+ private:
+  Logger() = default;
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<bool> json_{false};
+  std::mutex sink_mu_;  // guards sink_ and serializes stderr writes
+  Sink sink_;
+};
+
+/// One in-flight log event: collects a free-text message via operator<<
+/// and typed key/value fields via Field(); renders + emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Write(level_, stream_.str(), fields_); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  LogMessage& Field(std::string_view key, std::string_view value) {
+    fields_.emplace_back(std::string(key), std::string(value));
+    return *this;
+  }
+  LogMessage& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  LogMessage& Field(std::string_view key, const std::string& value) {
+    return Field(key, std::string_view(value));
+  }
+  template <typename T>
+  LogMessage& Field(std::string_view key, T value)
+    requires std::is_arithmetic_v<T>
+  {
+    std::ostringstream os;
+    os << value;
+    fields_.emplace_back(std::string(key), os.str());
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace matcn::obs
+
+// Usage: MATCN_LOG(Info) << "drain started"; or with structured fields:
+//   MATCN_LOG(Warn).Field("query", q).Field("ms", ms) << "slow query";
+// The dangling-else shape makes the level check happen before any
+// argument evaluation, so disabled levels never format anything.
+#define MATCN_LOG(severity)                                       \
+  if (!::matcn::obs::Logger::Global().Enabled(                    \
+          ::matcn::obs::LogLevel::k##severity)) {                 \
+  } else                                                          \
+    ::matcn::obs::LogMessage(::matcn::obs::LogLevel::k##severity)
+
+#endif  // MATCN_OBS_LOG_H_

@@ -1,0 +1,316 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace matcn::obs {
+namespace {
+
+// Integers render exactly (counters are int64s at heart); everything
+// else gets enough digits to round-trip for monitoring purposes.
+std::string FormatValue(double value) {
+  char buf[64];
+  if (std::floor(value) == value && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+void AppendEscapedLabelValue(std::string* out, std::string_view v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      *out += '\\';
+      *out += c;
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+void PrometheusWriter::Header(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  text_ += "# HELP ";
+  text_.append(name);
+  text_ += ' ';
+  text_.append(help);
+  text_ += "\n# TYPE ";
+  text_.append(name);
+  text_ += ' ';
+  text_.append(type);
+  text_ += '\n';
+}
+
+void PrometheusWriter::Line(std::string_view name, std::string_view labels,
+                            double value) {
+  text_.append(name);
+  text_.append(labels);
+  text_ += ' ';
+  text_ += FormatValue(value);
+  text_ += '\n';
+}
+
+void PrometheusWriter::Counter(std::string_view name, std::string_view help,
+                               double value) {
+  Header(name, help, "counter");
+  Line(name, "", value);
+}
+
+void PrometheusWriter::Gauge(std::string_view name, std::string_view help,
+                             double value) {
+  Header(name, help, "gauge");
+  Line(name, "", value);
+}
+
+void PrometheusWriter::Sample(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    double value) {
+  std::string rendered;
+  if (!labels.empty()) {
+    rendered += '{';
+    bool first = true;
+    for (const auto& [key, val] : labels) {
+      if (!first) rendered += ',';
+      first = false;
+      rendered += key;
+      rendered += "=\"";
+      AppendEscapedLabelValue(&rendered, val);
+      rendered += '"';
+    }
+    rendered += '}';
+  }
+  Line(name, rendered, value);
+}
+
+void PrometheusWriter::Histogram(
+    std::string_view name, std::string_view help,
+    const std::vector<std::pair<double, uint64_t>>& buckets, uint64_t count,
+    double sum) {
+  Header(name, help, "histogram");
+  const std::string bucket_name = std::string(name) + "_bucket";
+  for (const auto& [edge, cumulative] : buckets) {
+    std::string labels = "{le=\"";
+    labels += FormatValue(edge);
+    labels += "\"}";
+    Line(bucket_name, labels, static_cast<double>(cumulative));
+  }
+  Line(bucket_name, "{le=\"+Inf\"}", static_cast<double>(count));
+  Line(std::string(name) + "_sum", "", sum);
+  Line(std::string(name) + "_count", "", static_cast<double>(count));
+}
+
+namespace {
+
+struct HistogramCheck {
+  std::vector<std::pair<std::string, double>> buckets;  // (le, cumulative)
+  double count = -1;
+  bool saw_count = false;
+};
+
+// Strips _bucket/_sum/_count to find the family a sample belongs to,
+// given the set of TYPE-declared names.
+std::string FamilyFor(const std::string& name,
+                      const std::map<std::string, std::string>& types) {
+  if (types.count(name)) return name;
+  for (std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      std::string base = name.substr(0, name.size() - suffix.size());
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string ValidateExposition(std::string_view body) {
+  if (body.empty()) return "empty exposition body";
+  std::map<std::string, std::string> types;
+  std::map<std::string, HistogramCheck> histograms;
+  std::set<std::string> closed_families;
+  std::string current_family;
+  size_t line_no = 0;
+  size_t pos = 0;
+  bool saw_sample = false;
+  while (pos <= body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) eol = body.size();
+    std::string_view line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    auto fail = [&](const std::string& why) {
+      return "line " + std::to_string(line_no) + ": " + why + " [" +
+             std::string(line.substr(0, 80)) + "]";
+    };
+    if (line.empty()) {
+      if (pos > body.size()) break;
+      continue;
+    }
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; other comments pass.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) return fail("malformed TYPE line");
+        std::string name(rest.substr(0, sp));
+        std::string type(rest.substr(sp + 1));
+        if (!ValidMetricName(name)) return fail("bad metric name in TYPE");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown metric type '" + type + "'");
+        }
+        if (types.count(name)) return fail("duplicate TYPE for " + name);
+        types[name] = type;
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        std::string name(sp == std::string_view::npos ? rest
+                                                      : rest.substr(0, sp));
+        if (!ValidMetricName(name)) return fail("bad metric name in HELP");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string_view::npos) {
+      return fail("sample line with no value");
+    }
+    std::string name(line.substr(0, name_end));
+    if (!ValidMetricName(name)) return fail("bad metric name");
+    std::string le_value;
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      size_t close = line.find('}', name_end);
+      if (close == std::string_view::npos) return fail("unterminated labels");
+      std::string_view labels = line.substr(name_end + 1, close - name_end - 1);
+      // Extract le="..." if present (for histogram bucket checks).
+      size_t le = labels.find("le=\"");
+      if (le != std::string_view::npos) {
+        size_t le_end = labels.find('"', le + 4);
+        if (le_end == std::string_view::npos) return fail("unterminated le");
+        le_value = std::string(labels.substr(le + 4, le_end - le - 4));
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return fail("missing space before value");
+    }
+    std::string value_text(line.substr(value_start + 1));
+    // Drop an optional timestamp.
+    size_t sp = value_text.find(' ');
+    if (sp != std::string::npos) value_text.resize(sp);
+    char* end = nullptr;
+    double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      if (value_text != "+Inf" && value_text != "-Inf" &&
+          value_text != "NaN") {
+        return fail("unparseable value '" + value_text + "'");
+      }
+    }
+    saw_sample = true;
+    std::string family = FamilyFor(name, types);
+    if (family.empty()) return fail("sample with no preceding TYPE: " + name);
+    if (family != current_family) {
+      if (closed_families.count(family)) {
+        return fail("family " + family + " is not contiguous");
+      }
+      if (!current_family.empty()) closed_families.insert(current_family);
+      current_family = family;
+    }
+    if (types[family] == "histogram") {
+      HistogramCheck& check = histograms[family];
+      if (name == family + "_bucket") {
+        if (le_value.empty()) return fail("histogram bucket without le");
+        check.buckets.emplace_back(le_value, value);
+      } else if (name == family + "_count") {
+        check.count = value;
+        check.saw_count = true;
+      }
+    }
+  }
+  if (!saw_sample) return "no samples in exposition body";
+  for (const auto& [family, check] : histograms) {
+    if (check.buckets.empty()) {
+      return "histogram " + family + " has no buckets";
+    }
+    double prev = -1;
+    double prev_edge = -HUGE_VAL;
+    bool saw_inf = false;
+    for (const auto& [le, cumulative] : check.buckets) {
+      if (cumulative < prev) {
+        return "histogram " + family + " bucket counts not cumulative at le=" +
+               le;
+      }
+      prev = cumulative;
+      if (le == "+Inf") {
+        saw_inf = true;
+      } else {
+        double edge = std::strtod(le.c_str(), nullptr);
+        if (edge <= prev_edge) {
+          return "histogram " + family + " bucket edges not ascending at le=" +
+                 le;
+        }
+        prev_edge = edge;
+      }
+    }
+    if (!saw_inf) return "histogram " + family + " missing +Inf bucket";
+    if (!check.saw_count) return "histogram " + family + " missing _count";
+    if (check.buckets.back().second != check.count) {
+      return "histogram " + family + " +Inf bucket != _count";
+    }
+  }
+  return "";
+}
+
+std::vector<std::pair<double, uint64_t>> CoarsenBucketsToSeconds(
+    const std::vector<std::pair<int64_t, uint64_t>>& buckets_micros,
+    size_t max_buckets) {
+  std::vector<std::pair<double, uint64_t>> out;
+  if (buckets_micros.empty() || max_buckets == 0) return out;
+  // Stable thinning: keep every stride-th edge (counting from the end so
+  // the last, largest edge always survives). Cumulative counts make the
+  // merge lossless for the kept edges, and a fixed input layout makes
+  // the output layout identical across scrapes — Prometheus requires
+  // stable bucket schemas for rate() over _bucket series.
+  const size_t n = buckets_micros.size();
+  const size_t stride = (n + max_buckets - 1) / max_buckets;
+  out.reserve(n / stride + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const bool keep = ((n - 1 - i) % stride) == 0;
+    if (!keep) continue;
+    out.emplace_back(static_cast<double>(buckets_micros[i].first) / 1e6,
+                     buckets_micros[i].second);
+  }
+  return out;
+}
+
+}  // namespace matcn::obs

@@ -1,0 +1,70 @@
+#ifndef MATCN_OBS_PROMETHEUS_H_
+#define MATCN_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace matcn::obs {
+
+/// Metric semantics tag carried by the stats field-visitors: counters
+/// are monotonic since process start, gauges are point-in-time values.
+/// The Prometheus exporter maps these onto # TYPE lines; ToString-style
+/// renderers ignore them.
+enum class MetricKind { kCounter, kGauge };
+
+/// Builds a Prometheus text-format (version 0.0.4) exposition page.
+/// Purely an encoder: callers snapshot their stats and feed the numbers
+/// in; nothing here touches live counters. Metric families must be
+/// emitted contiguously (all samples of one name together), which the
+/// Counter/Gauge/Histogram helpers guarantee per call.
+class PrometheusWriter {
+ public:
+  void Counter(std::string_view name, std::string_view help, double value);
+  void Gauge(std::string_view name, std::string_view help, double value);
+
+  /// Labeled single sample appended to the *current* family — call right
+  /// after the Counter/Gauge that opened the family, with the same name.
+  void Sample(std::string_view name,
+              const std::vector<std::pair<std::string, std::string>>& labels,
+              double value);
+
+  /// Full histogram family: `buckets` are (upper-edge, cumulative-count)
+  /// pairs in ascending edge order; the implicit +Inf bucket is added
+  /// from `count`. `sum` is in the metric's own unit.
+  void Histogram(std::string_view name, std::string_view help,
+                 const std::vector<std::pair<double, uint64_t>>& buckets,
+                 uint64_t count, double sum);
+
+  const std::string& text() const { return text_; }
+  std::string Release() { return std::move(text_); }
+
+ private:
+  void Header(std::string_view name, std::string_view help,
+              std::string_view type);
+  void Line(std::string_view name, std::string_view labels, double value);
+
+  std::string text_;
+};
+
+/// Checks a scrape body for exposition-format validity: every sample
+/// line parses (name{labels} value), every name matches [a-zA-Z_:][a-zA-Z0-9_:]*,
+/// # TYPE precedes its samples, histogram bucket counts are cumulative
+/// and end with +Inf == count. Returns an empty string when valid, else
+/// a description of the first problem. Shared by tests and the CI smoke
+/// path (`matcn_server --smoke` fails on a malformed page).
+std::string ValidateExposition(std::string_view body);
+
+/// Coarsens raw cumulative histogram buckets (upper edges in micros) to
+/// at most `max_buckets` edges by merging adjacent buckets, preserving
+/// cumulative counts, and converts edges to seconds. The final cumulative
+/// count is kept exact; intermediate edges are thinned, never shifted.
+std::vector<std::pair<double, uint64_t>> CoarsenBucketsToSeconds(
+    const std::vector<std::pair<int64_t, uint64_t>>& buckets_micros,
+    size_t max_buckets);
+
+}  // namespace matcn::obs
+
+#endif  // MATCN_OBS_PROMETHEUS_H_

@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace matcn::obs {
+
+namespace {
+
+int64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+}
+
+// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint32_t Trace::BeginSpan(const char* name, uint32_t parent) {
+  const uint32_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  Slot& slot = slots_[index];
+  slot.parent = parent;
+  slot.start_us.store(MicrosBetween(base_, Clock::now()),
+                      std::memory_order_relaxed);
+  slot.end_us.store(-1, std::memory_order_relaxed);
+  // Publish: a Snapshot that reads a non-null name is guaranteed (by the
+  // release/acquire pair) to see the start/parent writes above.
+  slot.name.store(name, std::memory_order_release);
+  return index + 1;
+}
+
+void Trace::EndSpan(uint32_t id) {
+  if (id == 0 || id > kMaxSpans) return;
+  slots_[id - 1].end_us.store(MicrosBetween(base_, Clock::now()),
+                              std::memory_order_relaxed);
+}
+
+void Trace::EndSpan(uint32_t id, uint64_t value) {
+  if (id == 0 || id > kMaxSpans) return;
+  slots_[id - 1].value.store(value, std::memory_order_relaxed);
+  slots_[id - 1].end_us.store(MicrosBetween(base_, Clock::now()),
+                              std::memory_order_relaxed);
+}
+
+void Trace::SetValue(uint32_t id, uint64_t value) {
+  if (id == 0 || id > kMaxSpans) return;
+  slots_[id - 1].value.store(value, std::memory_order_relaxed);
+}
+
+int64_t Trace::ElapsedMicros() const {
+  return MicrosBetween(base_, Clock::now());
+}
+
+TraceSnapshot Trace::Snapshot() const {
+  TraceSnapshot out;
+  const int64_t now_us = ElapsedMicros();
+  out.total_us = now_us;
+  const uint32_t claimed =
+      std::min(next_.load(std::memory_order_relaxed), kMaxSpans);
+  out.spans.reserve(claimed);
+  for (uint32_t i = 0; i < claimed; ++i) {
+    const Slot& slot = slots_[i];
+    const char* name = slot.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;  // claimed but not yet published
+    SpanView view;
+    view.name = name;
+    view.id = i + 1;
+    view.parent = slot.parent;
+    view.start_us = slot.start_us.load(std::memory_order_relaxed);
+    const int64_t end = slot.end_us.load(std::memory_order_relaxed);
+    // Open spans (a straggler worker that has not finished, or a caller
+    // snapshotting mid-request) are clamped to now.
+    view.duration_us = std::max<int64_t>(
+        0, (end < 0 ? now_us : end) - view.start_us);
+    view.value = slot.value.load(std::memory_order_relaxed);
+    out.spans.push_back(std::move(view));
+  }
+  std::stable_sort(out.spans.begin(), out.spans.end(),
+                   [](const SpanView& a, const SpanView& b) {
+                     return a.start_us < b.start_us;
+                   });
+  out.dropped = dropped();
+  return out;
+}
+
+TraceSampler::TraceSampler(double rate, uint64_t seed)
+    : rate_(rate), seed_(seed) {}
+
+bool TraceSampler::Sample() {
+  const uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+  return Decide(rate_, seed_, n);
+}
+
+bool TraceSampler::Decide(double rate, uint64_t seed, uint64_t sequence) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Map the hash into [0,1) and compare against the rate; determinism in
+  // (seed, sequence) is the point — tests precompute the pattern.
+  const uint64_t h = Mix64(seed ^ Mix64(sequence));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit < rate;
+}
+
+namespace {
+
+struct TreeNode {
+  const SpanView* span;
+  std::vector<size_t> children;  // indices into snapshot.spans
+};
+
+// `line_prefix` precedes this node's label ("├─ " etc.); `child_indent`
+// is the continuation its children build on ("│  " / "   ").
+void RenderNode(const std::vector<TreeNode>& nodes, size_t index,
+                const std::string& line_prefix,
+                const std::string& child_indent, std::string* out) {
+  const SpanView& span = *nodes[index].span;
+  std::string label = line_prefix + span.name;
+  if (span.value != 0) {
+    label += "  value=" + std::to_string(span.value);
+  }
+  // Column-align the duration when the label allows it.
+  if (label.size() < 40) label.append(40 - label.size(), ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%9.3fms", span.duration_us / 1000.0);
+  *out += label;
+  *out += buf;
+  *out += '\n';
+  const auto& children = nodes[index].children;
+  for (size_t i = 0; i < children.size(); ++i) {
+    const bool last = (i + 1 == children.size());
+    // ASCII connectors keep byte length == column width, so the
+    // duration column stays aligned at any nesting depth.
+    RenderNode(nodes, children[i], child_indent + (last ? "`- " : "|- "),
+               child_indent + (last ? "   " : "|  "), out);
+  }
+}
+
+}  // namespace
+
+std::string RenderWaterfall(const TraceSnapshot& snapshot) {
+  std::string out;
+  if (snapshot.spans.empty()) {
+    out = "(no spans)\n";
+    return out;
+  }
+  std::vector<TreeNode> nodes(snapshot.spans.size());
+  // id -> index in snapshot.spans
+  std::vector<size_t> by_id(Trace::kMaxSpans + 1, SIZE_MAX);
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    nodes[i].span = &snapshot.spans[i];
+    by_id[snapshot.spans[i].id] = i;
+  }
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const uint32_t parent = snapshot.spans[i].parent;
+    if (parent != 0 && parent <= Trace::kMaxSpans &&
+        by_id[parent] != SIZE_MAX) {
+      nodes[by_id[parent]].children.push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  for (size_t root : roots) {
+    RenderNode(nodes, root, "", "", &out);
+  }
+  if (snapshot.dropped > 0) {
+    out += "(+" + std::to_string(snapshot.dropped) + " spans dropped)\n";
+  }
+  return out;
+}
+
+std::string RenderCompact(const TraceSnapshot& snapshot) {
+  std::string out;
+  for (const SpanView& span : snapshot.spans) {
+    if (!out.empty()) out += ' ';
+    out += span.name;
+    out += '=';
+    out += std::to_string(span.duration_us);
+    out += "us";
+  }
+  if (snapshot.dropped > 0) {
+    out += " dropped=" + std::to_string(snapshot.dropped);
+  }
+  return out;
+}
+
+}  // namespace matcn::obs

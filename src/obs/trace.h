@@ -1,0 +1,135 @@
+#ifndef MATCN_OBS_TRACE_H_
+#define MATCN_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matcn::obs {
+
+/// One finished (or still-open) span as read out of a Trace. Times are
+/// microseconds relative to the trace's start.
+struct SpanView {
+  std::string name;
+  uint32_t id = 0;      // 1-based; 0 is "no span"
+  uint32_t parent = 0;  // 0 = root-level
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  /// Optional span-defined annotation (e.g. matches solved by a MatchCN
+  /// worker, CNs rendered by sql_emit). 0 when unset.
+  uint64_t value = 0;
+};
+
+struct TraceSnapshot {
+  std::vector<SpanView> spans;  // ordered by start time
+  /// Spans dropped because the fixed buffer filled up.
+  uint32_t dropped = 0;
+  /// Total trace duration at snapshot time (micros since trace start).
+  int64_t total_us = 0;
+};
+
+/// Per-request span buffer: a fixed array of slots claimed with one
+/// fetch_add, so MatchCN's parallel workers can all open spans on the
+/// same trace without locks. Lifecycle of a slot:
+///
+///   BeginSpan: claim index, store start/parent/end(-1), then
+///              release-store the name — the name acts as the publish
+///              flag, so a concurrent Snapshot() either sees a fully
+///              initialized slot or skips it.
+///   EndSpan:   store end time (and optional value).
+///
+/// Snapshot() may run while workers are still writing (a straggler pool
+/// helper can outlive the query it helped): open spans are clamped to
+/// "now" rather than waited for. When the buffer overflows, later
+/// BeginSpan calls return 0 (a no-op span id) and `dropped` counts them.
+///
+/// Traces are passed around as shared_ptr: MatchCN helper tasks capture
+/// the trace by value precisely because they may run after the
+/// submitting request has already completed.
+class Trace {
+ public:
+  static constexpr uint32_t kMaxSpans = 64;
+
+  Trace() : base_(Clock::now()) {}
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span; returns its id (1-based) or 0 if the buffer is full.
+  /// `name` must be a string with static storage duration (a literal).
+  uint32_t BeginSpan(const char* name, uint32_t parent = 0);
+
+  /// Closes a span. id 0 (and out-of-range ids) are ignored, so callers
+  /// never need to branch on a failed BeginSpan.
+  void EndSpan(uint32_t id);
+  void EndSpan(uint32_t id, uint64_t value);
+
+  /// Attaches the annotation without closing the span.
+  void SetValue(uint32_t id, uint64_t value);
+
+  /// Microseconds elapsed since the trace was created.
+  int64_t ElapsedMicros() const;
+
+  /// Reads out every published span, clamping still-open ones to now.
+  /// Safe to call concurrently with BeginSpan/EndSpan.
+  TraceSnapshot Snapshot() const;
+
+  uint32_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Slot {
+    std::atomic<const char*> name{nullptr};  // publish flag, stored last
+    std::atomic<int64_t> start_us{0};
+    std::atomic<int64_t> end_us{-1};  // -1 while open
+    std::atomic<uint64_t> value{0};
+    uint32_t parent = 0;  // written before name's release store
+  };
+
+  Clock::time_point base_;
+  std::atomic<uint32_t> next_{0};
+  std::atomic<uint32_t> dropped_{0};
+  std::array<Slot, kMaxSpans> slots_;
+};
+
+/// Deterministic head-based sampler: the decision for the n-th query is
+/// a pure function of (seed, n), so a test with a fixed seed can predict
+/// exactly which submissions get traced. rate <= 0 never samples,
+/// rate >= 1 always does.
+class TraceSampler {
+ public:
+  TraceSampler(double rate, uint64_t seed);
+
+  /// Decides for the next request (atomically consumes one sequence
+  /// number). Thread-safe.
+  bool Sample();
+
+  /// The pure decision function, exposed so tests can precompute the
+  /// expected sample pattern.
+  static bool Decide(double rate, uint64_t seed, uint64_t sequence);
+
+ private:
+  double rate_;
+  uint64_t seed_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// Renders a span tree as an indented waterfall, e.g.
+///   request                 12.431ms
+///   |- cache_lookup          0.012ms
+///   `- matchcn               9.873ms
+///      `- worker  value=14   5.120ms
+/// Used by matcn_ctl trace, the shell's .trace and the slow-query log.
+std::string RenderWaterfall(const TraceSnapshot& snapshot);
+
+/// One-line compact form ("request=12431us matchcn=9873us ...") for
+/// structured slow-query log fields.
+std::string RenderCompact(const TraceSnapshot& snapshot);
+
+}  // namespace matcn::obs
+
+#endif  // MATCN_OBS_TRACE_H_

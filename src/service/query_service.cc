@@ -7,6 +7,7 @@
 
 #include "core/tsfind.h"
 #include "indexing/stopwords.h"
+#include "obs/log.h"
 
 namespace matcn {
 
@@ -31,6 +32,8 @@ QueryService::QueryService(const SchemaGraph* schema_graph,
                            QueryServiceOptions options)
     : schema_graph_(schema_graph), index_(index),
       options_(std::move(options)) {
+  sampler_ = std::make_unique<obs::TraceSampler>(options_.trace_sample_rate,
+                                                 options_.trace_sample_seed);
   cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
                                          options_.cache_shards);
   pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
@@ -45,6 +48,8 @@ QueryService::QueryService(const SchemaGraph* schema_graph, std::string dir,
   // The disk pipeline scans relation files, which do contain stopwords;
   // dropping them would change answers, so normalization keeps them.
   options_.drop_stopwords = false;
+  sampler_ = std::make_unique<obs::TraceSampler>(options_.trace_sample_rate,
+                                                 options_.trace_sample_seed);
   cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
                                          options_.cache_shards);
   pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
@@ -56,6 +61,8 @@ QueryService::QueryService(const SchemaGraph* schema_graph,
                            QueryServiceOptions options)
     : schema_graph_(schema_graph), live_index_(live_index),
       options_(std::move(options)) {
+  sampler_ = std::make_unique<obs::TraceSampler>(options_.trace_sample_rate,
+                                                 options_.trace_sample_seed);
   cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
                                          options_.cache_shards);
   pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
@@ -159,9 +166,15 @@ std::future<Result<QueryResponse>> QueryService::Submit(
 
 std::future<Result<QueryResponse>> QueryService::Submit(
     const KeywordQuery& query, Deadline deadline) {
+  return Submit(query, deadline, QueryRequestOptions{});
+}
+
+std::future<Result<QueryResponse>> QueryService::Submit(
+    const KeywordQuery& query, Deadline deadline,
+    QueryRequestOptions request_options) {
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
-  SubmitAsync(query, deadline, QueryRequestOptions{},
+  SubmitAsync(query, deadline, request_options,
               [promise](Result<QueryResponse> response) {
                 promise->set_value(std::move(response));
               });
@@ -174,6 +187,18 @@ std::shared_ptr<CancelToken> QueryService::SubmitAsync(
   const Deadline::Clock::time_point submitted_at = Deadline::Clock::now();
   stats_.RecordSubmitted();
   auto cancel = std::make_shared<CancelToken>(deadline);
+
+  // Trace decision, made at the head of the request. The sampler always
+  // consumes one sequence number per submission so the sampled-set stays
+  // a pure function of (seed, submission index) regardless of what other
+  // requests ask for. An armed slow-query log traces everything — the
+  // outlier's breakdown must already exist by the time it turns out slow.
+  const bool sampled = sampler_->Sample();
+  TraceContext tc;
+  if (request_options.trace || sampled || options_.slow_query_ms > 0) {
+    tc.trace = std::make_shared<obs::Trace>();
+    tc.root_span = tc.trace->BeginSpan("request");
+  }
 
   // 1. Admission-time deadline check: an already-expired deadline never
   //    reaches the pipeline (or even the cache).
@@ -192,7 +217,11 @@ std::shared_ptr<CancelToken> QueryService::SubmitAsync(
   // 2. Cache lookup on the caller thread: hits cost no worker and no
   //    queue slot.
   if (options_.cache_bytes > 0) {
-    if (std::shared_ptr<const GenerationResult> hit = cache_->Get(key)) {
+    const uint32_t lookup_span =
+        tc.trace ? tc.trace->BeginSpan("cache_lookup", tc.root_span) : 0;
+    std::shared_ptr<const GenerationResult> hit = cache_->Get(key);
+    if (tc.trace) tc.trace->EndSpan(lookup_span, hit != nullptr ? 1 : 0);
+    if (hit) {
       QueryResponse response;
       response.query = std::move(normalized);
       response.result = std::move(hit);
@@ -201,6 +230,7 @@ std::shared_ptr<CancelToken> QueryService::SubmitAsync(
       stats_.RecordCompleted();
       stats_.RecordLatencyMicros(
           static_cast<int64_t>(response.latency_ms * 1000.0));
+      FinishTrace(&tc, &response);
       done(std::move(response));
       return cancel;
     }
@@ -210,12 +240,17 @@ std::shared_ptr<CancelToken> QueryService::SubmitAsync(
   //    callback rides in a shared_ptr so a rejected submission (which
   //    destroys the task, and with it anything moved inside) can still
   //    deliver the ResourceExhausted.
+  if (tc.trace) {
+    // Opened here, closed on the worker at the top of Execute — the one
+    // deliberately cross-thread span (queue wait time).
+    tc.admission_span = tc.trace->BeginSpan("admission_wait", tc.root_span);
+  }
   auto done_ptr = std::make_shared<ResponseCallback>(std::move(done));
   const bool admitted = pool_->TrySubmit(
       [this, normalized = std::move(normalized), key = std::move(key), gen,
-       cancel, submitted_at, done_ptr]() mutable {
+       cancel, submitted_at, tc, done_ptr]() mutable {
         Execute(std::move(normalized), std::move(key), gen, std::move(cancel),
-                submitted_at, std::move(*done_ptr));
+                submitted_at, std::move(tc), std::move(*done_ptr));
       });
   if (!admitted) {
     stats_.RecordRejected();
@@ -229,7 +264,9 @@ std::shared_ptr<CancelToken> QueryService::SubmitAsync(
 void QueryService::Execute(
     KeywordQuery normalized, std::string cache_key, MatCnGenOptions gen,
     std::shared_ptr<CancelToken> cancel,
-    Deadline::Clock::time_point submitted_at, ResponseCallback done) {
+    Deadline::Clock::time_point submitted_at, TraceContext tc,
+    ResponseCallback done) {
+  if (tc.trace) tc.trace->EndSpan(tc.admission_span);
   if (options_.pre_execute_hook) options_.pre_execute_hook();
 
   // The query may have waited in the queue past its deadline (or been
@@ -243,6 +280,8 @@ void QueryService::Execute(
   }
 
   gen.cancel = cancel.get();
+  gen.trace = tc.trace;
+  gen.trace_parent = tc.root_span;
   // Intra-query MatchCN helpers share the service's own pool (idle
   // workers steal per-match work from this query) instead of spawning
   // threads per query.
@@ -261,8 +300,13 @@ void QueryService::Execute(
     // the writer; the snapshot guarantees memory safety, and its version
     // is the floor this answer reflects.
     const Deadline::Clock::time_point ts_started = Deadline::Clock::now();
+    const uint32_t pin_span =
+        tc.trace ? tc.trace->BeginSpan("snapshot_pin", tc.root_span) : 0;
     const liveindex::IndexSnapshot snapshot = live_index_->Snapshot();
+    if (tc.trace) tc.trace->EndSpan(pin_span, snapshot.version());
     index_version = snapshot.version();
+    const uint32_t ts_span =
+        tc.trace ? tc.trace->BeginSpan("tsfind", tc.root_span) : 0;
     std::vector<TermsetTuples> keyword_lists;
     keyword_lists.reserve(normalized.size());
     for (size_t i = 0; i < normalized.size(); ++i) {
@@ -273,6 +317,7 @@ void QueryService::Execute(
     }
     std::vector<TupleSet> tuple_sets =
         TupleSetFinder::BuildTupleSets(std::move(keyword_lists));
+    if (tc.trace) tc.trace->EndSpan(ts_span, tuple_sets.size());
     result = generator.GenerateFromTupleSets(normalized,
                                              std::move(tuple_sets),
                                              MillisSince(ts_started));
@@ -327,7 +372,32 @@ void QueryService::Execute(
   if (response.degraded) stats_.RecordDegraded();
   stats_.RecordLatencyMicros(
       static_cast<int64_t>(response.latency_ms * 1000.0));
+  FinishTrace(&tc, &response);
   done(std::move(response));
+}
+
+void QueryService::FinishTrace(TraceContext* tc, QueryResponse* response) {
+  if (!tc->trace) return;
+  tc->trace->EndSpan(tc->root_span);
+  response->trace = tc->trace;
+  response->trace_root = tc->root_span;
+  if (options_.slow_query_ms > 0 &&
+      response->latency_ms >= static_cast<double>(options_.slow_query_ms)) {
+    std::string keywords;
+    for (const std::string& kw : response->query.keywords()) {
+      if (!keywords.empty()) keywords += ' ';
+      keywords += kw;
+    }
+    // Straggling MatchCN helpers may still be running; Snapshot clamps
+    // their open spans rather than waiting.
+    MATCN_LOG(Warn)
+        .Field("query", keywords)
+        .Field("latency_ms", response->latency_ms)
+        .Field("cache_hit", response->cache_hit ? 1 : 0)
+        .Field("degraded", response->degraded ? 1 : 0)
+        .Field("spans", obs::RenderCompact(tc->trace->Snapshot()))
+        << "slow query";
+  }
 }
 
 Result<QueryResponse> QueryService::Query(const KeywordQuery& query) {
@@ -337,6 +407,16 @@ Result<QueryResponse> QueryService::Query(const KeywordQuery& query) {
 Result<QueryResponse> QueryService::Query(const KeywordQuery& query,
                                           Deadline deadline) {
   return Submit(query, deadline).get();
+}
+
+Result<QueryResponse> QueryService::Query(
+    const KeywordQuery& query, QueryRequestOptions request_options) {
+  return Submit(query,
+                options_.default_deadline_ms > 0
+                    ? Deadline::AfterMillis(options_.default_deadline_ms)
+                    : Deadline::Infinite(),
+                request_options)
+      .get();
 }
 
 ServiceStatsSnapshot QueryService::Stats() const {

@@ -13,6 +13,7 @@
 #include "core/matcngen.h"
 #include "liveindex/concurrent_term_index.h"
 #include "liveindex/index_writer.h"
+#include "obs/trace.h"
 #include "service/service_stats.h"
 #include "service/sharded_lru_cache.h"
 #include "service/thread_pool.h"
@@ -51,6 +52,18 @@ struct QueryServiceOptions {
   /// deterministically; the matcn_serve load generator uses it to model
   /// the backend I/O latency a DBMS-backed deployment would pay per miss.
   std::function<void()> pre_execute_hook;
+  /// Head-based trace sampling: this fraction of submissions (decided
+  /// up front, deterministically from `trace_sample_seed` and the
+  /// submission sequence number) get a full stage-span trace even
+  /// without asking. 0 disables sampling; explicit per-request trace
+  /// flags always win.
+  double trace_sample_rate = 0;
+  uint64_t trace_sample_seed = 0;
+  /// Always-on slow-query log: any query slower than this emits its full
+  /// span breakdown at Warn level (every query carries a trace when this
+  /// is enabled, so the outlier's breakdown exists when needed).
+  /// 0 disables.
+  int64_t slow_query_ms = 0;
 };
 
 /// One answered query. `query` is the *normalized* query the service
@@ -72,6 +85,14 @@ struct QueryResponse {
   /// the epoch-pinned snapshot may also see later concurrent inserts).
   /// Zero-initialized and meaningless for the static backends.
   uint64_t index_version = 0;
+  /// Stage-span trace; null unless this request was traced (explicit
+  /// request, head sampling, or the slow-query log being armed). Shared
+  /// because straggling MatchCN helpers may still close their spans
+  /// after the response is delivered — snapshot it, don't assume quiet.
+  std::shared_ptr<obs::Trace> trace;
+  /// Span id of the request root; lets a caller (e.g. the network
+  /// server) parent its own post-processing spans under the request.
+  uint32_t trace_root = 0;
 };
 
 /// Per-request overrides of the service-wide generation options. Fields
@@ -80,6 +101,11 @@ struct QueryResponse {
 /// request asking for `t_max = 8`.
 struct QueryRequestOptions {
   int t_max = 0;
+  /// Attach a stage-span trace to the response (QueryResponse::trace)
+  /// regardless of the sampling rate. Does not participate in the cache
+  /// key — traced and untraced requests share cache entries, and a
+  /// cache hit still yields a (short) trace.
+  bool trace = false;
 };
 
 /// The serving layer: a QueryService owns a worker pool plus a sharded
@@ -150,9 +176,18 @@ class QueryService {
   /// Submission under the service's default deadline.
   std::future<Result<QueryResponse>> Submit(const KeywordQuery& query);
 
+  /// Submission with per-request overrides (t_max, trace).
+  std::future<Result<QueryResponse>> Submit(
+      const KeywordQuery& query, Deadline deadline,
+      QueryRequestOptions request_options);
+
   /// Synchronous convenience: Submit + wait.
   Result<QueryResponse> Query(const KeywordQuery& query);
   Result<QueryResponse> Query(const KeywordQuery& query, Deadline deadline);
+  /// Synchronous submission with per-request overrides under the default
+  /// deadline — the `.trace` / `matcn_ctl trace` entry point.
+  Result<QueryResponse> Query(const KeywordQuery& query,
+                              QueryRequestOptions request_options);
 
   /// Selective cache invalidation: evicts only cached results whose
   /// normalized termset signature intersects `terms` — disjoint entries
@@ -195,10 +230,24 @@ class QueryService {
  private:
   using ResultCache = ShardedLruCache<GenerationResult>;
 
+  /// Per-execution trace context: null `trace` = untraced (zero span
+  /// work anywhere downstream). `admission_span` is opened by
+  /// SubmitAsync just before the queue handoff and closed at the top of
+  /// Execute — the cross-thread pair the span slots' atomics exist for.
+  struct TraceContext {
+    std::shared_ptr<obs::Trace> trace;
+    uint32_t root_span = 0;
+    uint32_t admission_span = 0;
+  };
+
   void Execute(KeywordQuery normalized, std::string cache_key,
                MatCnGenOptions gen, std::shared_ptr<CancelToken> cancel,
-               Deadline::Clock::time_point submitted_at,
+               Deadline::Clock::time_point submitted_at, TraceContext tc,
                ResponseCallback done);
+
+  /// Ends the root span, attaches the trace to the response, and emits
+  /// the slow-query log line when the response crossed slow_query_ms.
+  void FinishTrace(TraceContext* tc, QueryResponse* response);
 
   const SchemaGraph* schema_graph_;
   const TermIndex* index_ = nullptr;      // memory backend
@@ -207,6 +256,10 @@ class QueryService {
   const liveindex::ConcurrentTermIndex* live_index_ = nullptr;  // live backend
   QueryServiceOptions options_;
   ServiceStats stats_;
+  /// Consumes one sequence number per submission whether or not it
+  /// samples, so the sampled-set is a pure function of (seed, submission
+  /// index) — the property the determinism test pins down.
+  std::unique_ptr<obs::TraceSampler> sampler_;
   std::unique_ptr<ResultCache> cache_;
   /// Bumped by every InvalidateTerms call (before its EraseIf). Execute
   /// captures it before snapshotting the live index and re-validates it

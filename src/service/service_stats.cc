@@ -1,6 +1,7 @@
 #include "service/service_stats.h"
 
 #include <cstdio>
+#include <type_traits>
 
 namespace matcn {
 
@@ -18,32 +19,31 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   s.p99_ms = static_cast<double>(latency_.QuantileMicros(0.99)) / 1000.0;
   s.max_ms = static_cast<double>(latency_.MaxMicros()) / 1000.0;
   s.stages = stages_.Snapshot();
+  s.latency_histogram = latency_.SnapshotBuckets();
   return s;
 }
 
 std::string ServiceStatsSnapshot::ToString() const {
-  char buf[768];
-  std::snprintf(
-      buf, sizeof(buf),
-      "submitted=%llu completed=%llu rejected=%llu timed_out=%llu "
-      "degraded=%llu failed=%llu cache[hits=%llu misses=%llu entries=%zu "
-      "bytes=%zu evictions=%llu invalidations=%llu] queue_depth=%zu "
-      "threads=%u index[version=%llu delta_bytes=%zu compactions=%llu] "
-      "latency[mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms]",
-      static_cast<unsigned long long>(submitted),
-      static_cast<unsigned long long>(completed),
-      static_cast<unsigned long long>(rejected),
-      static_cast<unsigned long long>(timed_out),
-      static_cast<unsigned long long>(degraded),
-      static_cast<unsigned long long>(failed),
-      static_cast<unsigned long long>(cache_hits),
-      static_cast<unsigned long long>(cache_misses), cache_entries,
-      cache_bytes, static_cast<unsigned long long>(cache_evictions),
-      static_cast<unsigned long long>(cache_invalidations), queue_depth,
-      num_threads, static_cast<unsigned long long>(index_version),
-      index_delta_bytes, static_cast<unsigned long long>(index_compactions),
-      mean_ms, p50_ms, p95_ms, p99_ms, max_ms);
-  return std::string(buf) + " " + stages.ToString();
+  // Rendered from the field-visitor, so the string tracks
+  // MATCN_SERVICE_STATS_FIELDS with no second list to maintain.
+  std::string out;
+  VisitFields([&out](const char* name, auto value, obs::MetricKind,
+                     const char*) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    char buf[40];
+    if constexpr (std::is_floating_point_v<decltype(value)>) {
+      std::snprintf(buf, sizeof(buf), "%.2f", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(value));
+    }
+    out += buf;
+  });
+  out += ' ';
+  out += stages.ToString();
+  return out;
 }
 
 }  // namespace matcn

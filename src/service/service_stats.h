@@ -7,9 +7,41 @@
 
 #include "metrics/latency_histogram.h"
 #include "metrics/stage_stats.h"
+#include "obs/prometheus.h"
 #include "service/sharded_lru_cache.h"
 
 namespace matcn {
+
+/// The single authoritative scalar-field list for ServiceStatsSnapshot.
+/// Everything that renders these fields — ToString, the STATS wire
+/// payload, the Prometheus exporter — iterates this list through
+/// VisitFields, so adding a counter here is the whole change (plus the
+/// member below, which the compiler enforces).
+/// V(kind, field, help)
+#define MATCN_SERVICE_STATS_FIELDS(V)                                         \
+  V(kCounter, submitted, "Queries submitted (every Submit/Query call)")       \
+  V(kCounter, completed, "Queries whose pipeline ran to an answer")           \
+  V(kCounter, rejected, "Queries rejected by admission control")              \
+  V(kCounter, timed_out, "Queries whose deadline expired before running")     \
+  V(kCounter, degraded, "Answered but truncated or interrupted queries")      \
+  V(kCounter, failed, "Queries failing with a non-deadline error")            \
+  V(kCounter, cache_hits, "Result-cache hits")                                \
+  V(kCounter, cache_misses, "Result-cache misses")                            \
+  V(kGauge, cache_entries, "Result-cache resident entries")                   \
+  V(kGauge, cache_bytes, "Result-cache resident bytes")                       \
+  V(kCounter, cache_evictions, "Result-cache capacity evictions")             \
+  V(kCounter, cache_invalidations,                                            \
+    "Cache entries removed by selective term invalidation")                   \
+  V(kGauge, queue_depth, "Admission-queue depth")                             \
+  V(kGauge, num_threads, "Query worker threads")                              \
+  V(kGauge, index_version, "Live index version (0 for static backends)")      \
+  V(kGauge, index_delta_bytes, "Live index delta-postings bytes")             \
+  V(kCounter, index_compactions, "Live index background compactions")         \
+  V(kGauge, mean_ms, "Mean service latency in milliseconds")                  \
+  V(kGauge, p50_ms, "p50 service latency in milliseconds")                    \
+  V(kGauge, p95_ms, "p95 service latency in milliseconds")                    \
+  V(kGauge, p99_ms, "p99 service latency in milliseconds")                    \
+  V(kGauge, max_ms, "Max service latency in milliseconds")
 
 /// Point-in-time view of a QueryService's counters, safe to copy around.
 /// All counts are since service construction.
@@ -42,6 +74,20 @@ struct ServiceStatsSnapshot {
   // Per-stage pipeline timing means (executed queries only — cache hits
   // never reach the pipeline), including the MatchCN parallelism gauges.
   StageStatsSnapshot stages;
+  // Full cumulative latency distribution (same histogram the quantiles
+  // above are computed from); the Prometheus exporter emits it as
+  // _bucket series.
+  HistogramSnapshot latency_histogram;
+
+  /// Calls visit(name, value, kind, help) once per scalar field, in
+  /// declaration order. `value` keeps its native arithmetic type.
+  template <typename V>
+  void VisitFields(V&& visit) const {
+#define MATCN_SERVICE_STATS_VISIT(kind, field, help) \
+  visit(#field, field, obs::MetricKind::kind, help);
+    MATCN_SERVICE_STATS_FIELDS(MATCN_SERVICE_STATS_VISIT)
+#undef MATCN_SERVICE_STATS_VISIT
+  }
 
   std::string ToString() const;
 };

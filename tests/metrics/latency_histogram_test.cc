@@ -107,5 +107,61 @@ TEST(LatencyHistogramTest, SummaryMentionsEveryHeadline) {
   EXPECT_NE(s.find("max="), std::string::npos) << s;
 }
 
+TEST(LatencyHistogramTest, SnapshotBucketsIsCumulativeWithFixedLayout) {
+  LatencyHistogram h;
+  const HistogramSnapshot empty = h.SnapshotBuckets();
+  ASSERT_FALSE(empty.buckets.empty());
+  EXPECT_EQ(empty.count, 0u);
+
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  for (int i = 0; i < 50; ++i) h.Record(100'000);
+  const HistogramSnapshot snap = h.SnapshotBuckets();
+
+  // Fixed layout: the bucket schema never depends on what was recorded
+  // (scrape-to-scrape stability is what rate() over _bucket needs).
+  ASSERT_EQ(snap.buckets.size(), empty.buckets.size());
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    EXPECT_EQ(snap.buckets[i].first, empty.buckets[i].first) << i;
+  }
+
+  // Edges ascend, counts are cumulative, and the last bucket carries
+  // everything — the +Inf == _count invariant the exporter relies on.
+  for (size_t i = 1; i < snap.buckets.size(); ++i) {
+    EXPECT_GT(snap.buckets[i].first, snap.buckets[i - 1].first);
+    EXPECT_GE(snap.buckets[i].second, snap.buckets[i - 1].second);
+  }
+  EXPECT_EQ(snap.buckets.back().second, snap.count);
+  EXPECT_EQ(snap.count, 150u);
+  EXPECT_EQ(snap.sum_micros, 100u * 10 + 50u * 100'000);
+  EXPECT_EQ(snap.max_micros, 100'000);
+
+  // All 100 fast samples sit at or below the 10us edge; none of the slow
+  // ones do.
+  for (const auto& [edge, cumulative] : snap.buckets) {
+    if (edge >= 10 && edge < 100'000) EXPECT_EQ(cumulative, 100u) << edge;
+  }
+}
+
+TEST(LatencyHistogramTest, SnapshotBucketsUnderConcurrentRecordStaysSane) {
+  LatencyHistogram h;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 0; i < 5000; ++i) h.Record(i % 1000);
+    });
+  }
+  // Snapshots taken mid-flight must keep the cumulative invariant (the
+  // documented contract: approximate totals, never inconsistent shape).
+  for (int i = 0; i < 20; ++i) {
+    const HistogramSnapshot snap = h.SnapshotBuckets();
+    for (size_t j = 1; j < snap.buckets.size(); ++j) {
+      ASSERT_GE(snap.buckets[j].second, snap.buckets[j - 1].second);
+    }
+    ASSERT_EQ(snap.buckets.back().second, snap.count);
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(h.SnapshotBuckets().count, 4u * 5000u);
+}
+
 }  // namespace
 }  // namespace matcn

@@ -1,0 +1,321 @@
+// Observability over the wire: the Prometheus metrics endpoint on the
+// admin port (scraped over a raw socket — exposition validity, counter
+// monotonicity across queries and live inserts, HTTP error paths) and
+// the protocol-v4 TRACE frame (span breakdown consistent with the
+// reported latency).
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "obs/log.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "service/query_service.h"
+
+namespace matcn::net {
+namespace {
+
+// Minimal HTTP/1.0 GET over a raw socket: send the request, read to EOF
+// (the server closes after every response), return the raw bytes.
+std::string HttpGet(uint16_t port, const std::string& path,
+                    const std::string& method = "GET") {
+  Result<ScopedFd> fd = ConnectTcp("127.0.0.1", port, /*timeout_ms=*/5000);
+  if (!fd.ok()) return "";
+  const std::string request =
+      method + " " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  if (!WriteAll(fd->get(), request).ok()) return "";
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd->get(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+// Splits an HTTP response into (status line, body).
+void SplitResponse(const std::string& raw, std::string* status_line,
+                   std::string* body) {
+  const size_t eol = raw.find("\r\n");
+  *status_line = eol == std::string::npos ? raw : raw.substr(0, eol);
+  const size_t sep = raw.find("\r\n\r\n");
+  *body = sep == std::string::npos ? "" : raw.substr(sep + 4);
+}
+
+// Value of an unlabeled sample, or -1 if the metric is absent.
+double MetricValue(const std::string& body, const std::string& name) {
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::stod(line.substr(name.size() + 1));
+    }
+  }
+  return -1;
+}
+
+WireValue IntValue(int64_t v) {
+  WireValue value;
+  value.tag = 0;
+  value.int_value = v;
+  return value;
+}
+
+WireValue TextValue(std::string v) {
+  WireValue value;
+  value.tag = 1;
+  value.text_value = std::move(v);
+  return value;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Keep the servers' startup/drain Info lines out of test output.
+    prior_log_level_ = obs::Logger::Global().min_level();
+    obs::Logger::Global().set_min_level(obs::LogLevel::kWarn);
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    index_ = TermIndex::Build(db_);
+  }
+
+  void TearDown() override {
+    obs::Logger::Global().set_min_level(prior_log_level_);
+  }
+
+  // Static-index server with the metrics endpoint on an ephemeral port.
+  void StartServer(QueryServiceOptions service_options = {}) {
+    service_ = std::make_unique<QueryService>(&schema_graph_, &index_,
+                                              std::move(service_options));
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.metrics_port = 0;
+    server_ = std::make_unique<Server>(service_.get(), &db_.schema(),
+                                       std::move(server_options));
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->metrics_port(), 0);
+  }
+
+  // Live-backed server with a writer: inserts move liveindex gauges.
+  void StartLiveServer() {
+    live_index_ = std::make_unique<liveindex::ConcurrentTermIndex>(
+        TermIndex::Build(db_));
+    writer_ =
+        std::make_unique<liveindex::IndexWriter>(&db_, live_index_.get());
+    QueryServiceOptions service_options;
+    service_options.num_threads = 1;
+    service_ = std::make_unique<QueryService>(
+        &schema_graph_, live_index_.get(), service_options);
+    service_->ConnectWriter(writer_.get());
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.metrics_port = 0;
+    server_ = std::make_unique<Server>(service_.get(), &db_.schema(),
+                                       writer_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->metrics_port(), 0);
+  }
+
+  Client MustConnect() {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::string Scrape() {
+    std::string status, body;
+    SplitResponse(HttpGet(server_->metrics_port(), "/metrics"), &status,
+                  &body);
+    EXPECT_NE(status.find("200"), std::string::npos) << status;
+    return body;
+  }
+
+  obs::LogLevel prior_log_level_ = obs::LogLevel::kInfo;
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+  std::unique_ptr<liveindex::ConcurrentTermIndex> live_index_;
+  std::unique_ptr<liveindex::IndexWriter> writer_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ObservabilityTest, MetricsScrapeIsValidExposition) {
+  StartServer();
+  const std::string body = Scrape();
+  EXPECT_EQ(obs::ValidateExposition(body), "") << body.substr(0, 512);
+  // The page carries the full latency histogram and both stats families.
+  EXPECT_NE(body.find("matcn_service_latency_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(body.find("matcn_service_latency_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(body.find("matcn_server_connections_accepted"),
+            std::string::npos);
+  EXPECT_GE(MetricValue(body, "matcn_protocol_version"), 4.0);
+}
+
+TEST_F(ObservabilityTest, CountersAreMonotonicAcrossQueries) {
+  StartServer();
+  const std::string before = Scrape();
+  const double completed0 = MetricValue(before, "matcn_service_completed");
+  const double received0 = MetricValue(before, "matcn_server_queries_received");
+  ASSERT_GE(completed0, 0.0);
+  ASSERT_GE(received0, 0.0);
+
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Query({"denzel", "gangster"}).ok());
+  ASSERT_TRUE(client.Query({"denzel", "gangster"}).ok());  // cache hit
+
+  const std::string after = Scrape();
+  EXPECT_EQ(MetricValue(after, "matcn_service_completed"), completed0 + 2);
+  EXPECT_EQ(MetricValue(after, "matcn_server_queries_received"),
+            received0 + 2);
+  EXPECT_GE(MetricValue(after, "matcn_service_cache_hits"), 1.0);
+  EXPECT_EQ(MetricValue(after, "matcn_service_latency_seconds_count"),
+            completed0 + 2);
+  EXPECT_EQ(obs::ValidateExposition(after), "");
+}
+
+TEST_F(ObservabilityTest, LiveInsertsMoveIndexVersionGauge) {
+  StartLiveServer();
+  const double version0 =
+      MetricValue(Scrape(), "matcn_service_index_version");
+  ASSERT_GE(version0, 0.0);
+
+  Client client = MustConnect();
+  ASSERT_TRUE(
+      client.Insert("PER", {IntValue(100), TextValue("Viola Davis")}).ok());
+  ASSERT_TRUE(
+      client.Insert("PER", {IntValue(101), TextValue("Regina King")}).ok());
+
+  const std::string after = Scrape();
+  EXPECT_EQ(MetricValue(after, "matcn_service_index_version"), version0 + 2);
+  EXPECT_EQ(obs::ValidateExposition(after), "");
+}
+
+TEST_F(ObservabilityTest, NonMetricsRequestsGetHttpErrors) {
+  StartServer();
+  std::string status, body;
+  SplitResponse(HttpGet(server_->metrics_port(), "/nope"), &status, &body);
+  EXPECT_NE(status.find("404"), std::string::npos) << status;
+  SplitResponse(HttpGet(server_->metrics_port(), "/metrics", "POST"),
+                &status, &body);
+  EXPECT_NE(status.find("405"), std::string::npos) << status;
+  // The query port still works after bad admin requests.
+  Client client = MustConnect();
+  EXPECT_TRUE(client.Query({"denzel"}).ok());
+}
+
+TEST_F(ObservabilityTest, RenderMetricsTextMatchesScrapedBody) {
+  StartServer();
+  // The in-process renderer (what the CI smoke uses) and the HTTP body
+  // agree on shape: both validate and expose the same families.
+  const std::string direct = server_->RenderMetricsText();
+  EXPECT_EQ(obs::ValidateExposition(direct), "");
+  EXPECT_NE(direct.find("matcn_service_latency_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TracedQueryReturnsConsistentSpanBreakdown) {
+  QueryServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.gen.num_threads = 2;
+  StartServer(std::move(service_options));
+  Client client = MustConnect();
+
+  Client::QueryParams params;
+  params.trace = true;
+  Result<Client::QueryResult> response =
+      client.Query({"denzel", "washington", "gangster"}, params);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->trace.has_value()) << "TRACE frame missing";
+
+  const TracePayload& tp = *response->trace;
+  EXPECT_EQ(tp.dropped, 0u);
+  ASSERT_GE(tp.spans.size(), 5u);
+
+  // Rehydrate and walk the tree: exactly one root ("request"), every
+  // other span parented to a known id, every span inside [0, total_us].
+  const obs::TraceSnapshot snap = ToTraceSnapshot(tp);
+  const obs::SpanView* root = nullptr;
+  for (const obs::SpanView& s : snap.spans) {
+    if (s.parent == 0) {
+      EXPECT_EQ(root, nullptr) << "second root: " << s.name;
+      root = &s;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "request");
+  for (const obs::SpanView& s : snap.spans) {
+    EXPECT_LE(s.start_us + s.duration_us, tp.total_us) << s.name;
+    if (s.parent != 0) {
+      bool found = false;
+      for (const obs::SpanView& p : snap.spans) found |= (p.id == s.parent);
+      EXPECT_TRUE(found) << s.name << " has unknown parent " << s.parent;
+    }
+  }
+
+  // Server-side post-processing spans came back too.
+  bool saw_sql = false, saw_flush = false, saw_pipeline = false;
+  for (const obs::SpanView& s : snap.spans) {
+    saw_sql |= s.name == "sql_emit";
+    saw_flush |= s.name == "wire_flush";
+    saw_pipeline |= s.name == "matchcn";
+  }
+  EXPECT_TRUE(saw_sql);
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_pipeline);
+
+  // Sum consistency: the root span covers the pipeline, and the trace's
+  // total covers the root plus the server's post-processing. The client's
+  // measured latency may exceed total_us (wire time) but the breakdown
+  // must never exceed what the server reported — with slack for the
+  // snapshot being taken a hair after wire_flush closes.
+  uint64_t child_end_max = 0;
+  for (const obs::SpanView& s : snap.spans) {
+    child_end_max = std::max<uint64_t>(child_end_max,
+                                       s.start_us + s.duration_us);
+  }
+  EXPECT_LE(child_end_max, tp.total_us);
+  EXPECT_GE(root->duration_us, 0);
+
+  // Untraced queries on the same connection carry no TRACE frame.
+  Result<Client::QueryResult> plain = client.Query({"denzel", "gangster"});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->trace.has_value());
+}
+
+TEST_F(ObservabilityTest, MetricsEndpointSurvivesJunkAndEarlyClose) {
+  StartServer();
+  // Junk request: not a parseable request line — the server answers 405
+  // or closes; either way it must keep serving afterwards.
+  {
+    Result<ScopedFd> fd =
+        ConnectTcp("127.0.0.1", server_->metrics_port(), 5000);
+    ASSERT_TRUE(fd.ok());
+    (void)WriteAll(fd->get(), "\r\n\r\n");
+  }
+  // Early close: connect and immediately drop.
+  { auto fd = ConnectTcp("127.0.0.1", server_->metrics_port(), 5000); }
+  const std::string body = Scrape();
+  EXPECT_EQ(obs::ValidateExposition(body), "");
+}
+
+}  // namespace
+}  // namespace matcn::net

@@ -1,0 +1,161 @@
+// Prometheus exposition writer + validator: these two are each other's
+// oracle (everything the writer emits must validate; hand-broken pages
+// must not), plus the bucket coarsening the exporter applies to the
+// 432-bucket latency histogram.
+
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace matcn::obs {
+namespace {
+
+TEST(PrometheusWriterTest, CounterAndGaugeFormat) {
+  PrometheusWriter w;
+  w.Counter("matcn_queries_total", "Total queries", 42);
+  w.Gauge("matcn_queue_depth", "Current queue depth", 3);
+  const std::string text = w.text();
+  EXPECT_NE(text.find("# HELP matcn_queries_total Total queries\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE matcn_queries_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nmatcn_queries_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE matcn_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("\nmatcn_queue_depth 3\n"), std::string::npos);
+  EXPECT_EQ(ValidateExposition(text), "");
+}
+
+TEST(PrometheusWriterTest, IntegersRenderExactlyDoublesRoundTrip) {
+  PrometheusWriter w;
+  w.Counter("big", "h", 1234567890123.0);
+  w.Gauge("frac", "h", 0.0625);
+  EXPECT_NE(w.text().find("big 1234567890123\n"), std::string::npos);
+  EXPECT_NE(w.text().find("frac 0.0625\n"), std::string::npos);
+}
+
+TEST(PrometheusWriterTest, LabeledSamplesEscapeValues) {
+  PrometheusWriter w;
+  w.Gauge("matcn_build_info", "Build info", 1);
+  w.Sample("matcn_build_info", {{"version", "a\"b\\c"}}, 1);
+  EXPECT_NE(w.text().find("matcn_build_info{version=\"a\\\"b\\\\c\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusWriterTest, HistogramEmitsBucketsSumCountAndInf) {
+  PrometheusWriter w;
+  w.Histogram("lat_seconds", "Latency",
+              {{0.001, 2}, {0.01, 5}, {0.1, 9}}, /*count=*/9, /*sum=*/0.25);
+  const std::string text = w.text();
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.001\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.01\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 9\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 0.25\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 9\n"), std::string::npos);
+  EXPECT_EQ(ValidateExposition(text), "");
+}
+
+TEST(ValidateTest, RejectsEmptyAndSampleless) {
+  EXPECT_NE(ValidateExposition(""), "");
+  EXPECT_NE(ValidateExposition("# HELP x y\n# TYPE x counter\n"), "");
+}
+
+TEST(ValidateTest, RejectsBadMetricName) {
+  EXPECT_NE(ValidateExposition("# TYPE 1bad counter\n1bad 1\n"), "");
+}
+
+TEST(ValidateTest, RejectsSampleWithoutType) {
+  EXPECT_NE(ValidateExposition("orphan_metric 1\n"), "");
+}
+
+TEST(ValidateTest, RejectsSplitFamily) {
+  const std::string page =
+      "# TYPE a counter\na 1\n"
+      "# TYPE b counter\nb 1\n"
+      "a 2\n";  // family `a` reopened after `b` — not contiguous
+  EXPECT_NE(ValidateExposition(page), "");
+}
+
+TEST(ValidateTest, RejectsNonCumulativeHistogram) {
+  const std::string page =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 5\n"
+      "h_bucket{le=\"1\"} 3\n"  // decreasing: invalid
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\n"
+      "h_count 5\n";
+  EXPECT_NE(ValidateExposition(page), "");
+}
+
+TEST(ValidateTest, RejectsInfCountMismatch) {
+  const std::string page =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 5\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\n"
+      "h_count 6\n";  // +Inf != _count
+  EXPECT_NE(ValidateExposition(page), "");
+}
+
+TEST(ValidateTest, RejectsUnparseableValue) {
+  EXPECT_NE(ValidateExposition("# TYPE a gauge\na one\n"), "");
+}
+
+TEST(ValidateTest, AcceptsHistogramMissingNothing) {
+  const std::string page =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 5\n"
+      "h_bucket{le=\"+Inf\"} 6\n"
+      "h_sum 1.5\n"
+      "h_count 6\n";
+  EXPECT_EQ(ValidateExposition(page), "");
+}
+
+TEST(CoarsenTest, KeepsLastEdgeAndConvertsToSeconds) {
+  std::vector<std::pair<int64_t, uint64_t>> micros;
+  for (int i = 1; i <= 100; ++i) {
+    micros.emplace_back(i * 1000, static_cast<uint64_t>(i));
+  }
+  const auto out = CoarsenBucketsToSeconds(micros, 10);
+  ASSERT_FALSE(out.empty());
+  EXPECT_LE(out.size(), 10u);
+  // The largest edge always survives thinning (100ms = 0.1s, count 100).
+  EXPECT_DOUBLE_EQ(out.back().first, 0.1);
+  EXPECT_EQ(out.back().second, 100u);
+  // Edges ascend and counts stay cumulative.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i].first, out[i - 1].first);
+    EXPECT_GE(out[i].second, out[i - 1].second);
+  }
+}
+
+TEST(CoarsenTest, StableLayoutAcrossScrapes) {
+  std::vector<std::pair<int64_t, uint64_t>> first, second;
+  for (int i = 1; i <= 432; ++i) {
+    first.emplace_back(i * 10, static_cast<uint64_t>(i));
+    second.emplace_back(i * 10, static_cast<uint64_t>(i * 2));  // counts grew
+  }
+  const auto a = CoarsenBucketsToSeconds(first, 32);
+  const auto b = CoarsenBucketsToSeconds(second, 32);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].first, b[i].first) << "edge " << i << " moved";
+  }
+}
+
+TEST(CoarsenTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(CoarsenBucketsToSeconds({}, 10).empty());
+  EXPECT_TRUE(CoarsenBucketsToSeconds({{1000, 1}}, 0).empty());
+  const auto one = CoarsenBucketsToSeconds({{1000, 1}}, 10);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].first, 0.001);
+}
+
+}  // namespace
+}  // namespace matcn::obs

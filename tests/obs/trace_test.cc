@@ -1,0 +1,205 @@
+// Trace/span buffer semantics: lock-free claiming, parent links,
+// overflow accounting, open-span clamping, concurrent writers, and the
+// deterministic head sampler the service's trace decision rides on.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace matcn::obs {
+namespace {
+
+const SpanView* FindSpan(const TraceSnapshot& snap, const std::string& name) {
+  for (const SpanView& s : snap.spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, SpansRecordParentDurationAndValue) {
+  Trace trace;
+  const uint32_t root = trace.BeginSpan("request");
+  const uint32_t child = trace.BeginSpan("stage", root);
+  trace.EndSpan(child, /*value=*/7);
+  trace.EndSpan(root);
+
+  const TraceSnapshot snap = trace.Snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  const SpanView* request = FindSpan(snap, "request");
+  const SpanView* stage = FindSpan(snap, "stage");
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(request->parent, 0u);
+  EXPECT_EQ(stage->parent, request->id);
+  EXPECT_EQ(stage->value, 7u);
+  EXPECT_GE(request->duration_us, 0);
+  EXPECT_GE(stage->start_us, request->start_us);
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(TraceTest, EndAndSetValueIgnoreInvalidIds) {
+  Trace trace;
+  trace.EndSpan(0);
+  trace.EndSpan(Trace::kMaxSpans + 5);
+  trace.SetValue(0, 1);
+  trace.SetValue(99, 1);  // never begun: must not crash or publish
+  EXPECT_TRUE(trace.Snapshot().spans.empty());
+}
+
+TEST(TraceTest, OverflowCountsDroppedSpans) {
+  Trace trace;
+  for (uint32_t i = 0; i < Trace::kMaxSpans; ++i) {
+    EXPECT_NE(trace.BeginSpan("s"), 0u);
+  }
+  EXPECT_EQ(trace.BeginSpan("overflow"), 0u);
+  EXPECT_EQ(trace.BeginSpan("overflow"), 0u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const TraceSnapshot snap = trace.Snapshot();
+  EXPECT_EQ(snap.spans.size(), Trace::kMaxSpans);
+  EXPECT_EQ(snap.dropped, 2u);
+}
+
+TEST(TraceTest, OpenSpansAreClampedNotLost) {
+  Trace trace;
+  const uint32_t open = trace.BeginSpan("still_running");
+  const TraceSnapshot snap = trace.Snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].id, open);
+  EXPECT_GE(snap.spans[0].duration_us, 0);
+  EXPECT_LE(snap.spans[0].start_us + snap.spans[0].duration_us,
+            snap.total_us);
+}
+
+// The MatchCN-pool shape: many threads open/close spans on one trace
+// while another thread snapshots. Every published span must be complete
+// (no torn name/parent) and ids must be unique.
+TEST(TraceTest, ConcurrentWritersProduceNoLostOrDuplicateSpans) {
+  Trace trace;
+  const uint32_t root = trace.BeginSpan("request");
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 6;  // 1 + 48 < kMaxSpans: nothing drops
+  std::vector<std::thread> workers;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trace, &go, root] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const uint32_t id = trace.BeginSpan("worker", root);
+        trace.EndSpan(id, static_cast<uint64_t>(i));
+      }
+    });
+  }
+  go.store(true);
+  // Snapshot concurrently with the writers; every result must be
+  // internally consistent even if taken mid-flight.
+  for (int i = 0; i < 50; ++i) {
+    const TraceSnapshot snap = trace.Snapshot();
+    std::set<uint32_t> ids;
+    for (const SpanView& s : snap.spans) {
+      EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id " << s.id;
+      EXPECT_TRUE(s.name == "request" || s.name == "worker");
+      if (s.name == "worker") EXPECT_EQ(s.parent, root);
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  trace.EndSpan(root);
+
+  const TraceSnapshot snap = trace.Snapshot();
+  EXPECT_EQ(snap.spans.size(), 1u + kThreads * kSpansPerThread);
+  EXPECT_EQ(snap.dropped, 0u);
+  size_t workers_seen = 0;
+  for (const SpanView& s : snap.spans) {
+    if (s.name == "worker") {
+      ++workers_seen;
+      EXPECT_EQ(s.parent, root);
+      EXPECT_GE(s.duration_us, 0);
+    }
+  }
+  EXPECT_EQ(workers_seen, static_cast<size_t>(kThreads * kSpansPerThread));
+}
+
+TEST(TraceSamplerTest, RateZeroNeverSamplesRateOneAlways) {
+  TraceSampler never(0.0, 123);
+  TraceSampler always(1.0, 123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.Sample());
+    EXPECT_TRUE(always.Sample());
+  }
+}
+
+TEST(TraceSamplerTest, SampleMatchesPureDecisionFunction) {
+  constexpr double kRate = 0.3;
+  constexpr uint64_t kSeed = 42;
+  TraceSampler sampler(kRate, kSeed);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(sampler.Sample(), TraceSampler::Decide(kRate, kSeed, i))
+        << "sequence " << i;
+  }
+}
+
+TEST(TraceSamplerTest, SampledFractionTracksRate) {
+  constexpr int kN = 10'000;
+  int hits = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    if (TraceSampler::Decide(0.25, 7, i)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.03);
+}
+
+TEST(TraceSamplerTest, DifferentSeedsDifferentPatterns) {
+  int differing = 0;
+  for (uint64_t i = 0; i < 256; ++i) {
+    if (TraceSampler::Decide(0.5, 1, i) != TraceSampler::Decide(0.5, 2, i)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RenderTest, WaterfallShowsTreeStructureAndValues) {
+  Trace trace;
+  const uint32_t root = trace.BeginSpan("request");
+  const uint32_t cn = trace.BeginSpan("matchcn", root);
+  const uint32_t worker = trace.BeginSpan("worker", cn);
+  trace.EndSpan(worker, 14);
+  trace.EndSpan(cn);
+  trace.EndSpan(root);
+
+  const std::string text = RenderWaterfall(trace.Snapshot());
+  EXPECT_NE(text.find("request"), std::string::npos);
+  EXPECT_NE(text.find("matchcn"), std::string::npos);
+  EXPECT_NE(text.find("worker"), std::string::npos);
+  EXPECT_NE(text.find("value=14"), std::string::npos);
+  // Tree connectors: the worker is nested two levels deep.
+  EXPECT_NE(text.find("`- worker"), std::string::npos);
+  // Children render after (and indented under) their parents.
+  EXPECT_LT(text.find("request"), text.find("matchcn"));
+  EXPECT_LT(text.find("matchcn"), text.find("worker"));
+}
+
+TEST(RenderTest, WaterfallReportsDroppedSpans) {
+  Trace trace;
+  for (uint32_t i = 0; i < Trace::kMaxSpans + 3; ++i) trace.BeginSpan("s");
+  const std::string text = RenderWaterfall(trace.Snapshot());
+  EXPECT_NE(text.find("3 spans dropped"), std::string::npos);
+}
+
+TEST(RenderTest, CompactFormIsOneLine) {
+  Trace trace;
+  trace.EndSpan(trace.BeginSpan("request"));
+  trace.EndSpan(trace.BeginSpan("tsfind"));
+  const std::string text = RenderCompact(trace.Snapshot());
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 0);
+  EXPECT_NE(text.find("request="), std::string::npos);
+  EXPECT_NE(text.find("tsfind="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matcn::obs

@@ -1,0 +1,271 @@
+// End-to-end tracing through the service: span-tree correctness (right
+// parents, no lost or duplicated spans) including under parallel MatchCN
+// workers, deterministic head sampling, the zero-overhead untraced path,
+// and the slow-query log.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "service/query_service.h"
+
+namespace matcn {
+namespace {
+
+class TraceServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    index_ = TermIndex::Build(db_);
+  }
+
+  KeywordQuery Parse(const std::string& text) {
+    auto query = KeywordQuery::Parse(text);
+    EXPECT_TRUE(query.ok()) << text;
+    return *query;
+  }
+
+  // Structural validity: ids unique, every parent id refers to a span in
+  // the same snapshot, children start no earlier than their parents.
+  static void CheckSpanTree(const obs::TraceSnapshot& snap) {
+    std::set<uint32_t> ids;
+    for (const obs::SpanView& s : snap.spans) {
+      EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id " << s.id;
+    }
+    for (const obs::SpanView& s : snap.spans) {
+      if (s.parent == 0) continue;
+      EXPECT_TRUE(ids.count(s.parent))
+          << "span '" << s.name << "' has unknown parent " << s.parent;
+    }
+  }
+
+  static const obs::SpanView* Find(const obs::TraceSnapshot& snap,
+                                   const std::string& name) {
+    for (const obs::SpanView& s : snap.spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  TermIndex index_;
+};
+
+TEST_F(TraceServiceTest, UntracedQueryCarriesNoTrace) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(&schema_graph_, &index_, options);
+  Result<QueryResponse> response =
+      service.Query(Parse("denzel washington gangster"));
+  ASSERT_TRUE(response.ok());
+  // The zero-overhead contract: with no request flag, no sampling and no
+  // slow-query log, the pipeline never allocates a trace.
+  EXPECT_EQ(response->trace, nullptr);
+  EXPECT_EQ(response->trace_root, 0u);
+}
+
+TEST_F(TraceServiceTest, TracedQueryHasExpectedSpanTree) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(&schema_graph_, &index_, options);
+  QueryRequestOptions request_options;
+  request_options.trace = true;
+  Result<QueryResponse> response =
+      service.Query(Parse("denzel washington gangster"), request_options);
+  ASSERT_TRUE(response.ok());
+  ASSERT_NE(response->trace, nullptr);
+
+  const obs::TraceSnapshot snap = response->trace->Snapshot();
+  CheckSpanTree(snap);
+
+  const obs::SpanView* root = Find(snap, "request");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+  EXPECT_EQ(root->id, response->trace_root);
+
+  for (const char* stage :
+       {"cache_lookup", "admission_wait", "tsfind", "qmgen", "matchcn"}) {
+    const obs::SpanView* span = Find(snap, stage);
+    ASSERT_NE(span, nullptr) << stage;
+    EXPECT_EQ(span->parent, root->id) << stage << " not under request";
+    EXPECT_GE(span->duration_us, 0) << stage;
+  }
+  // The pipeline annotated its spans with result cardinalities.
+  EXPECT_GT(Find(snap, "tsfind")->value, 0u);
+  EXPECT_GT(Find(snap, "qmgen")->value, 0u);
+  EXPECT_GT(Find(snap, "matchcn")->value, 0u);
+}
+
+TEST_F(TraceServiceTest, ParallelMatchCnWorkersNestUnderMatchcnSpan) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.gen.num_threads = 4;
+  QueryService service(&schema_graph_, &index_, options);
+  QueryRequestOptions request_options;
+  request_options.trace = true;
+  Result<QueryResponse> response =
+      service.Query(Parse("denzel washington gangster"), request_options);
+  ASSERT_TRUE(response.ok());
+  ASSERT_NE(response->trace, nullptr);
+
+  // Straggling helper workers may close their spans (publishing their
+  // solved-count values) a moment after the response is delivered — the
+  // trace is a shared_ptr for exactly this reason. Poll until the
+  // per-worker tallies partition the match set.
+  ASSERT_TRUE(response->result != nullptr);
+  const uint64_t total_matches = response->result->matches.size();
+  obs::TraceSnapshot snap;
+  uint64_t solved = 0;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    snap = response->trace->Snapshot();
+    solved = 0;
+    for (const obs::SpanView& s : snap.spans) {
+      if (s.name == "worker") solved += s.value;
+    }
+    if (solved == total_matches) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CheckSpanTree(snap);
+  const obs::SpanView* matchcn = Find(snap, "matchcn");
+  ASSERT_NE(matchcn, nullptr);
+
+  size_t workers = 0;
+  for (const obs::SpanView& s : snap.spans) {
+    if (s.name != "worker") continue;
+    ++workers;
+    EXPECT_EQ(s.parent, matchcn->id) << "worker span not under matchcn";
+  }
+  ASSERT_GE(workers, 1u);
+  EXPECT_LE(workers, 4u);
+  // Every match is solved by exactly one worker: the per-worker tallies
+  // partition the match set (no lost, no duplicated work).
+  EXPECT_EQ(solved, total_matches);
+}
+
+TEST_F(TraceServiceTest, CacheHitTraceSkipsPipelineSpans) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(&schema_graph_, &index_, options);
+  QueryRequestOptions request_options;
+  request_options.trace = true;
+  ASSERT_TRUE(
+      service.Query(Parse("denzel gangster"), request_options).ok());
+  Result<QueryResponse> hit =
+      service.Query(Parse("denzel gangster"), request_options);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  ASSERT_NE(hit->trace, nullptr);
+  const obs::TraceSnapshot snap = hit->trace->Snapshot();
+  CheckSpanTree(snap);
+  const obs::SpanView* lookup = Find(snap, "cache_lookup");
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(lookup->value, 1u);  // hit flag
+  EXPECT_EQ(Find(snap, "matchcn"), nullptr);
+  EXPECT_EQ(Find(snap, "tsfind"), nullptr);
+}
+
+TEST_F(TraceServiceTest, SamplingIsDeterministicFromSeed) {
+  constexpr double kRate = 0.5;
+  constexpr uint64_t kSeed = 42;
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 0;  // keep every execution on the same path
+  options.trace_sample_rate = kRate;
+  options.trace_sample_seed = kSeed;
+  QueryService service(&schema_graph_, &index_, options);
+
+  for (uint64_t i = 0; i < 32; ++i) {
+    Result<QueryResponse> response = service.Query(Parse("denzel gangster"));
+    ASSERT_TRUE(response.ok());
+    const bool expect_traced = obs::TraceSampler::Decide(kRate, kSeed, i);
+    EXPECT_EQ(response->trace != nullptr, expect_traced)
+        << "submission " << i;
+  }
+}
+
+TEST_F(TraceServiceTest, ExplicitTraceWinsOverSamplerSayingNo) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.trace_sample_rate = 0.0;  // sampler never fires
+  QueryService service(&schema_graph_, &index_, options);
+  QueryRequestOptions request_options;
+  request_options.trace = true;
+  Result<QueryResponse> response =
+      service.Query(Parse("denzel gangster"), request_options);
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->trace, nullptr);
+}
+
+TEST_F(TraceServiceTest, DeadlineExpiryLeavesTracingConsistent) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 0;
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  QueryService service(&schema_graph_, &index_, options);
+  QueryRequestOptions request_options;
+  request_options.trace = true;
+
+  // Expires while waiting/executing: the response is a typed error (no
+  // trace attached), and the trace machinery must not corrupt state.
+  Result<QueryResponse> expired =
+      service
+          .Submit(Parse("denzel washington gangster"),
+                  Deadline::AfterMillis(1), request_options)
+          .get();
+  EXPECT_FALSE(expired.ok());
+
+  // A following traced query still produces a clean span tree.
+  Result<QueryResponse> next =
+      service
+          .Submit(Parse("denzel gangster"), Deadline::AfterMillis(5'000),
+                  request_options)
+          .get();
+  ASSERT_TRUE(next.ok());
+  ASSERT_NE(next->trace, nullptr);
+  CheckSpanTree(next->trace->Snapshot());
+  EXPECT_NE(Find(next->trace->Snapshot(), "request"), nullptr);
+}
+
+TEST_F(TraceServiceTest, SlowQueryLogEmitsSpanBreakdown) {
+  std::vector<std::string> lines;
+  obs::Logger::Global().SetSinkForTest(
+      [&lines](obs::LogLevel level, const std::string& line) {
+        if (level == obs::LogLevel::kWarn) lines.push_back(line);
+      });
+
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.slow_query_ms = 1;
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  QueryService service(&schema_graph_, &index_, options);
+  Result<QueryResponse> response = service.Query(Parse("denzel gangster"));
+  obs::Logger::Global().SetSinkForTest(nullptr);
+
+  ASSERT_TRUE(response.ok());
+  // slow_query_ms arms tracing even without request/sampler flags.
+  EXPECT_NE(response->trace, nullptr);
+  ASSERT_FALSE(lines.empty());
+  const std::string& line = lines.back();
+  EXPECT_NE(line.find("slow query"), std::string::npos);
+  EXPECT_NE(line.find("latency_ms"), std::string::npos);
+  EXPECT_NE(line.find("spans"), std::string::npos);
+  EXPECT_NE(line.find("request="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matcn
