@@ -95,7 +95,6 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 HistogramSnapshot LatencyHistogram::SnapshotBuckets() const {
   HistogramSnapshot snap;
-  snap.count = Count();
   snap.sum_micros = sum_.load(std::memory_order_relaxed);
   snap.max_micros = MaxMicros();
   snap.buckets.reserve(kNumBuckets);

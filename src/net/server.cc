@@ -6,9 +6,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/cn_to_sql.h"
 #include "obs/log.h"
@@ -98,7 +100,11 @@ Status Server::Start() {
         loop_->AddFd(metrics_listen_fd_.get(), EPOLLIN,
                      [this](uint32_t events) { HandleMetricsAccept(events); }));
   }
-  if (options_.idle_timeout_ms > 0) ArmSweepTimer();
+  // The sweep also reaps stale metrics scrapes, so it must run whenever
+  // the admin endpoint is up even if the wire idle timeout is disabled.
+  if (options_.idle_timeout_ms > 0 || metrics_listen_fd_.valid()) {
+    ArmSweepTimer();
+  }
   if (writer_ != nullptr) {
     insert_worker_ = std::thread([this] { InsertWorkerLoop(); });
   }
@@ -114,8 +120,16 @@ Status Server::Start() {
 }
 
 void Server::ArmSweepTimer() {
-  const int64_t period = std::max<int64_t>(
-      1, std::min<int64_t>(options_.idle_timeout_ms / 2, 1000));
+  // Tick at half the tightest enabled timeout, capped at 1s so an idle
+  // server wakes at most once a second.
+  int64_t period = 1000;
+  if (options_.idle_timeout_ms > 0) {
+    period = std::min(period, options_.idle_timeout_ms / 2);
+  }
+  if (metrics_listen_fd_.valid() && options_.metrics_idle_timeout_ms > 0) {
+    period = std::min(period, options_.metrics_idle_timeout_ms / 2);
+  }
+  period = std::max<int64_t>(1, period);
   sweep_timer_ = loop_->RunAfter(period, [this] {
     SweepIdleConnections();
     if (!draining_) ArmSweepTimer();
@@ -639,6 +653,7 @@ void Server::HandleMetricsAccept(uint32_t /*events*/) {
     if (!added.ok()) continue;
     MetricsConn mc;
     mc.fd = std::move(client);
+    mc.last_activity = std::chrono::steady_clock::now();
     metrics_conns_.emplace(fd, std::move(mc));
   }
 }
@@ -647,6 +662,9 @@ void Server::OnMetricsEvent(int fd, uint32_t events) {
   auto it = metrics_conns_.find(fd);
   if (it == metrics_conns_.end()) return;
   MetricsConn& mc = it->second;
+  // Any socket event counts as liveness; a scraper that sends nothing
+  // generates none and ages out via SweepIdleConnections.
+  mc.last_activity = std::chrono::steady_clock::now();
   if ((events & (EPOLLERR | EPOLLHUP)) != 0 && !mc.responding) {
     CloseMetricsConn(fd);
     return;
@@ -766,8 +784,20 @@ std::string Server::RenderMetricsText() const {
 }
 
 void Server::SweepIdleConnections() {
-  if (options_.idle_timeout_ms <= 0 || draining_) return;
+  if (draining_) return;
   const auto now = std::chrono::steady_clock::now();
+  // A scrape is one short request/response exchange; anything parked this
+  // long is a stuck or silent scraper holding one of the capped slots.
+  if (options_.metrics_idle_timeout_ms > 0) {
+    const auto scrape_limit =
+        std::chrono::milliseconds(options_.metrics_idle_timeout_ms);
+    std::vector<int> stale_scrapes;
+    for (const auto& [fd, mc] : metrics_conns_) {
+      if (now - mc.last_activity >= scrape_limit) stale_scrapes.push_back(fd);
+    }
+    for (int fd : stale_scrapes) CloseMetricsConn(fd);
+  }
+  if (options_.idle_timeout_ms <= 0) return;
   const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
   for (auto& [id, conn] : connections_) {
     if (conn->closed() || conn->in_flight > 0) continue;

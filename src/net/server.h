@@ -2,6 +2,7 @@
 #define MATCN_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +38,11 @@ struct ServerOptions {
   /// stops accepting, lets in-flight queries finish for this long, then
   /// cancels the stragglers via their CancelTokens and closes.
   int64_t drain_deadline_ms = 5'000;
+  /// Metrics scrapes parked without socket activity for this long are
+  /// closed by the idle sweep, so silent scrapers cannot pin all the
+  /// admin-connection slots and starve /metrics. A scrape is one short
+  /// request/response exchange, so the default is deliberately tight.
+  int64_t metrics_idle_timeout_ms = 10'000;
   /// Accepted connections beyond this are refused with GOING_AWAY.
   size_t max_connections = 1024;
   int listen_backlog = 128;
@@ -127,6 +133,10 @@ class Server {
     std::string out;    // full response once rendered
     size_t sent = 0;    // bytes of `out` already written
     bool responding = false;
+    // Stamped on accept and on every socket event; the idle sweep closes
+    // scrapes parked past metrics_idle_timeout_ms so silent connections
+    // cannot pin all 64 slots and starve /metrics.
+    std::chrono::steady_clock::time_point last_activity;
   };
 
   /// An INSERT awaiting its worker-side execution; the reply is posted

@@ -158,7 +158,11 @@ std::string RenderWaterfall(const TraceSnapshot& snapshot) {
   std::vector<size_t> by_id(Trace::kMaxSpans + 1, SIZE_MAX);
   for (size_t i = 0; i < snapshot.spans.size(); ++i) {
     nodes[i].span = &snapshot.spans[i];
-    by_id[snapshot.spans[i].id] = i;
+    // Snapshots decoded from the wire carry whatever ids the peer sent;
+    // an out-of-range id must not index by_id. Such a span still renders
+    // (as a root), it just can't be anyone's parent.
+    const uint32_t id = snapshot.spans[i].id;
+    if (id != 0 && id <= Trace::kMaxSpans) by_id[id] = i;
   }
   std::vector<size_t> roots;
   for (size_t i = 0; i < snapshot.spans.size(); ++i) {

@@ -8,10 +8,12 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fixtures/imdb_fixture.h"
@@ -100,10 +102,10 @@ class ObservabilityTest : public ::testing::Test {
   }
 
   // Static-index server with the metrics endpoint on an ephemeral port.
-  void StartServer(QueryServiceOptions service_options = {}) {
+  void StartServer(QueryServiceOptions service_options = {},
+                   ServerOptions server_options = {}) {
     service_ = std::make_unique<QueryService>(&schema_graph_, &index_,
                                               std::move(service_options));
-    ServerOptions server_options;
     server_options.port = 0;
     server_options.metrics_port = 0;
     server_ = std::make_unique<Server>(service_.get(), &db_.schema(),
@@ -299,6 +301,42 @@ TEST_F(ObservabilityTest, TracedQueryReturnsConsistentSpanBreakdown) {
   Result<Client::QueryResult> plain = client.Query({"denzel", "gangster"});
   ASSERT_TRUE(plain.ok());
   EXPECT_FALSE(plain->trace.has_value());
+}
+
+// Silent scrapers (connect, send nothing) must not pin the capped admin
+// slots forever: the idle sweep reclaims them so /metrics keeps serving.
+TEST_F(ObservabilityTest, SilentScrapersAreSweptAndSlotsRecovered) {
+  ServerOptions server_options;
+  server_options.metrics_idle_timeout_ms = 100;
+  StartServer({}, server_options);
+
+  // Fill every admin-connection slot with connections that never speak.
+  std::vector<ScopedFd> silent;
+  for (int i = 0; i < 64; ++i) {
+    Result<ScopedFd> fd =
+        ConnectTcp("127.0.0.1", server_->metrics_port(), /*timeout_ms=*/5000);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    silent.push_back(std::move(fd).value());
+  }
+
+  // The sweep (ticking at half the 100ms idle limit) must close the
+  // stale scrapes and free slots for a real one.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::string status, body;
+    SplitResponse(HttpGet(server_->metrics_port(), "/metrics"), &status,
+                  &body);
+    recovered = status.find("200") != std::string::npos;
+  }
+  EXPECT_TRUE(recovered) << "metrics endpoint never recovered from "
+                            "silent-scraper exhaustion";
+  if (recovered) {
+    // The server actively closed the parked connections (EOF, not a
+    // still-open socket) — the slots were reclaimed, not just bypassed.
+    char b;
+    EXPECT_EQ(::recv(silent[0].get(), &b, 1, 0), 0);
+  }
 }
 
 TEST_F(ObservabilityTest, MetricsEndpointSurvivesJunkAndEarlyClose) {

@@ -191,6 +191,36 @@ TEST(RenderTest, WaterfallReportsDroppedSpans) {
   EXPECT_NE(text.find("3 spans dropped"), std::string::npos);
 }
 
+// Snapshots decoded from the wire carry whatever ids the peer sent —
+// renderers must tolerate ids of 0 or far beyond kMaxSpans without
+// out-of-bounds writes (a hostile TRACE frame must not crash a client).
+TEST(RenderTest, WaterfallToleratesOutOfRangeWireIds) {
+  TraceSnapshot snap;
+  snap.total_us = 100;
+  SpanView huge;
+  huge.id = 70'000;  // way past kMaxSpans
+  huge.parent = 0;
+  huge.name = "huge_id";
+  huge.duration_us = 10;
+  SpanView zero;
+  zero.id = 0;  // never a valid claimed id
+  zero.parent = 0;
+  zero.name = "zero_id";
+  zero.duration_us = 5;
+  SpanView orphan;
+  orphan.id = 3;
+  orphan.parent = 70'000;  // parent exists but is unaddressable
+  orphan.name = "orphan";
+  orphan.duration_us = 1;
+  snap.spans = {huge, zero, orphan};
+
+  const std::string text = RenderWaterfall(snap);
+  // Every span still renders (out-of-range parents fall back to root).
+  EXPECT_NE(text.find("huge_id"), std::string::npos);
+  EXPECT_NE(text.find("zero_id"), std::string::npos);
+  EXPECT_NE(text.find("orphan"), std::string::npos);
+}
+
 TEST(RenderTest, CompactFormIsOneLine) {
   Trace trace;
   trace.EndSpan(trace.BeginSpan("request"));
