@@ -1,0 +1,126 @@
+#ifndef MATCN_BENCH_LOAD_UTIL_H_
+#define MATCN_BENCH_LOAD_UTIL_H_
+
+// Shared plumbing for the load drivers (matcn_serve, matcn_net_bench,
+// matcn_loadgen): the dataset factory, outcome classification, the
+// count-vs-duration run window, and the common throughput/percentile
+// report block. Latency recording itself lives in workload::LoadRecorder
+// so it is unit-tested; this header is presentation + glue.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "metrics/latency_histogram.h"
+#include "workload/recorder.h"
+
+namespace matcn::bench {
+
+/// The named synthetic datasets every serving driver accepts.
+inline Database MakeNamedDataset(const std::string& name, double scale,
+                                 bool* ok) {
+  *ok = true;
+  if (name == "imdb") return MakeImdb(42, scale);
+  if (name == "mondial") return MakeMondial(43, scale);
+  if (name == "wikipedia") return MakeWikipedia(44, scale);
+  if (name == "dblp") return MakeDblp(45, scale);
+  if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
+  *ok = false;
+  return Database{};
+}
+
+inline const char* DatasetNames() { return "imdb|mondial|wikipedia|dblp|tpch"; }
+
+/// Maps a failed request status onto the recorder outcome taxonomy:
+/// admission-control rejections and deadline expiries are expected
+/// behavior under load, everything else is a hard error.
+inline workload::OpOutcome ClassifyFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kResourceExhausted:
+      return workload::OpOutcome::kRejected;
+    case StatusCode::kDeadlineExceeded:
+      return workload::OpOutcome::kDeadline;
+    default:
+      return workload::OpOutcome::kError;
+  }
+}
+
+/// How long a load run lasts: a fixed request count (`requests` > 0) or a
+/// wall-clock window (`duration_s` > 0) whose first `warmup_s` seconds
+/// are excluded from recorded statistics. Resolved from --requests /
+/// --duration-s / --warmup-s; --duration-s wins when both are given.
+struct RunWindow {
+  size_t requests = 0;
+  double duration_s = 0;
+  double warmup_s = 0;
+
+  bool duration_based() const { return duration_s > 0; }
+  int64_t warmup_us() const { return static_cast<int64_t>(warmup_s * 1e6); }
+  int64_t end_us() const {
+    return static_cast<int64_t>((warmup_s + duration_s) * 1e6);
+  }
+};
+
+/// Parses the shared run-window flags. `default_requests` keeps each
+/// driver's historical count-based default.
+inline RunWindow ParseRunWindow(FlagSet& flags, size_t default_requests) {
+  RunWindow window;
+  window.requests = static_cast<size_t>(
+      flags.GetInt("requests", static_cast<int64_t>(default_requests)));
+  window.duration_s = flags.GetDouble("duration-s", 0.0);
+  window.warmup_s = flags.GetDouble("warmup-s", 0.0);
+  if (!window.duration_based()) window.warmup_s = 0;
+  return window;
+}
+
+/// The standard report block: achieved throughput over the measured
+/// window plus the recorder's outcome counts and intended-start latency
+/// percentiles.
+inline void PrintLoadReport(std::ostream& os,
+                            const workload::LoadSnapshot& snap,
+                            double measured_seconds) {
+  const double qps = measured_seconds > 0
+                         ? static_cast<double>(snap.queries()) /
+                               measured_seconds
+                         : 0;
+  os << "  time        " << measured_seconds << " s (measured window";
+  if (snap.warmup_skipped > 0) {
+    os << ", " << snap.warmup_skipped << " warmup ops excluded";
+  }
+  os << ")\n  throughput  " << static_cast<uint64_t>(qps)
+     << " qps\n  latency     p50="
+     << LatencyHistogram::FormatMicros(
+            static_cast<int64_t>(snap.p50_ms * 1000))
+     << " p95="
+     << LatencyHistogram::FormatMicros(
+            static_cast<int64_t>(snap.p95_ms * 1000))
+     << " p99="
+     << LatencyHistogram::FormatMicros(
+            static_cast<int64_t>(snap.p99_ms * 1000))
+     << " p99.9="
+     << LatencyHistogram::FormatMicros(
+            static_cast<int64_t>(snap.p999_ms * 1000))
+     << " max="
+     << LatencyHistogram::FormatMicros(
+            static_cast<int64_t>(snap.max_ms * 1000))
+     << " (from intended start)\n  ok          " << snap.ok << " ("
+     << snap.cache_hits << " cache hits, " << snap.degraded
+     << " degraded)\n  rejected    " << snap.rejected
+     << " (RESOURCE_EXHAUSTED backpressure)\n  deadline    " << snap.deadline
+     << " (DEADLINE_EXCEEDED)\n  errors      " << snap.errors << "\n";
+  if (snap.inserts_ok + snap.insert_errors > 0) {
+    os << "  inserts     " << snap.inserts_ok << " ok, "
+       << snap.insert_errors << " failed, p99="
+       << LatencyHistogram::FormatMicros(
+              static_cast<int64_t>(snap.insert_p99_ms * 1000))
+       << "\n";
+  }
+}
+
+}  // namespace matcn::bench
+
+#endif  // MATCN_BENCH_LOAD_UTIL_H_

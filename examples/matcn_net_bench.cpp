@@ -2,7 +2,7 @@
 // threads, each with its own net::Client connection, replay a workload
 // over loopback (against an in-process server by default, or any
 // --connect host:port) and report throughput plus client-observed
-// latency percentiles from a shared LatencyHistogram.
+// latency percentiles from a shared coordinated-omission-safe recorder.
 //
 //   $ ./matcn_net_bench [dataset] [scale] [flags]
 //
@@ -10,7 +10,9 @@
 //   --connect H:P    target an external matcn_server instead of spawning
 //                    an in-process one (dataset flags then ignored)
 //   --clients N      concurrent client connections          (default 8)
-//   --requests N     total requests                         (default 2000)
+//   --requests N     total requests (count mode)            (default 2000)
+//   --duration-s F   run for F seconds instead of a count   (default off)
+//   --warmup-s F     excluded warmup (duration mode only)   (default 0)
 //   --unique N       distinct queries in the workload       (default 64)
 //   --keywords N     keywords per generated query           (default 2)
 //   --threads N      in-process server workers; 0 = hw      (default 0)
@@ -27,7 +29,16 @@
 // rejected (RESOURCE_EXHAUSTED backpressure) / deadline-exceeded / hard
 // error — so a saturated server is visible as rejections, not as a
 // generic failure count.
+//
+// Latency is recorded from each request's *intended* start: the instant
+// its connection became free to send (the completion of the previous
+// request, including any reconnect that followed it), not the instant
+// the request bytes finally went out. Reconnects and generator overhead
+// therefore show up in the latency distribution instead of being
+// silently omitted. Open-loop arrival at a target QPS lives in
+// matcn_loadgen; this driver stays the simple closed-loop probe.
 
+#include <algorithm>
 #include <atomic>
 #include <iostream>
 #include <memory>
@@ -35,44 +46,19 @@
 #include <thread>
 #include <vector>
 
+#include "bench/load_util.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/timer.h"
-#include "datasets/generators.h"
 #include "datasets/workload.h"
 #include "graph/schema_graph.h"
 #include "indexing/term_index.h"
-#include "metrics/latency_histogram.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
+#include "workload/recorder.h"
 
 using namespace matcn;
-
-namespace {
-
-Database MakeDataset(const std::string& name, double scale, bool* ok) {
-  *ok = true;
-  if (name == "imdb") return MakeImdb(42, scale);
-  if (name == "mondial") return MakeMondial(43, scale);
-  if (name == "wikipedia") return MakeWikipedia(44, scale);
-  if (name == "dblp") return MakeDblp(45, scale);
-  if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
-  *ok = false;
-  return Database{};
-}
-
-struct Outcomes {
-  std::atomic<uint64_t> ok{0};
-  std::atomic<uint64_t> cache_hits{0};
-  std::atomic<uint64_t> degraded{0};
-  std::atomic<uint64_t> rejected{0};
-  std::atomic<uint64_t> deadline{0};
-  std::atomic<uint64_t> errors{0};
-  std::atomic<uint64_t> cns{0};
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags(argc, argv);
@@ -84,7 +70,7 @@ int main(int argc, char** argv) {
                            : 0.1;
   const std::string connect = flags.GetString("connect", "");
   const unsigned clients = static_cast<unsigned>(flags.GetInt("clients", 8));
-  const size_t requests = static_cast<size_t>(flags.GetInt("requests", 2000));
+  const bench::RunWindow window = bench::ParseRunWindow(flags, 2000);
   const size_t unique = static_cast<size_t>(flags.GetInt("unique", 64));
   const size_t keywords = static_cast<size_t>(flags.GetInt("keywords", 2));
   const unsigned server_threads =
@@ -112,10 +98,10 @@ int main(int argc, char** argv) {
   // Workload (also used in --connect mode: the target serves the same
   // generator datasets, so seeded queries still hit real terms).
   bool dataset_ok = false;
-  Database db = MakeDataset(dataset, scale, &dataset_ok);
+  Database db = bench::MakeNamedDataset(dataset, scale, &dataset_ok);
   if (!dataset_ok) {
-    std::cerr << "unknown dataset: " << dataset
-              << " (imdb|mondial|wikipedia|dblp|tpch)\n";
+    std::cerr << "unknown dataset: " << dataset << " ("
+              << bench::DatasetNames() << ")\n";
     return 2;
   }
   const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
@@ -166,82 +152,81 @@ int main(int argc, char** argv) {
     port = server->port();
   }
 
-  Outcomes outcomes;
-  LatencyHistogram latency;
+  workload::LoadRecorder recorder;
   std::atomic<size_t> next{0};
+  const Stopwatch clock;
+  if (window.duration_based()) {
+    recorder.SetMeasureStartUs(window.warmup_us());
+  }
 
   auto client_loop = [&]() {
     Result<net::Client> client = net::Client::Connect(host, port);
     if (!client.ok()) {
       std::cerr << "connect failed: " << client.status().ToString() << "\n";
-      outcomes.errors.fetch_add(1);
+      recorder.RecordQuery(workload::OpOutcome::kError, clock.ElapsedMicros(),
+                           clock.ElapsedMicros(), false, false);
       return;
     }
     net::Client::QueryParams params;
     params.deadline_ms = static_cast<uint32_t>(deadline_ms);
     params.t_max = t_max;
     params.max_cns = max_cns;
+    // Intended start of the first request = loop entry; afterwards the
+    // completion of the previous one (coordinated-omission anchor).
+    int64_t intended = clock.ElapsedMicros();
     while (true) {
       const size_t i = next.fetch_add(1);
-      if (i >= requests) break;
+      if (window.duration_based()) {
+        if (clock.ElapsedMicros() >= window.end_us()) break;
+      } else if (i >= window.requests) {
+        break;
+      }
       const KeywordQuery& q = queries[i % queries.size()];
-      Stopwatch watch;
       Result<net::Client::QueryResult> response =
           client->Query(q.keywords(), params);
-      latency.Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+      const int64_t end = clock.ElapsedMicros();
       if (response.ok()) {
-        outcomes.ok.fetch_add(1);
-        outcomes.cns.fetch_add(response->cns.size());
-        if (response->cache_hit) outcomes.cache_hits.fetch_add(1);
-        if (response->degraded) outcomes.degraded.fetch_add(1);
-        continue;
-      }
-      switch (response.status().code()) {
-        case StatusCode::kResourceExhausted:
-          outcomes.rejected.fetch_add(1);
-          break;
-        case StatusCode::kDeadlineExceeded:
-          outcomes.deadline.fetch_add(1);
-          break;
-        default:
-          outcomes.errors.fetch_add(1);
-          break;
+        recorder.RecordQuery(workload::OpOutcome::kOk, intended, end,
+                             response->cache_hit, response->degraded);
+      } else {
+        recorder.RecordQuery(
+            bench::ClassifyFailure(response.status().code()), intended, end,
+            false, false);
       }
       if (!client->connected()) {
         // Typed rejections keep the connection; anything that dropped it
-        // needs a reconnect before the next request.
+        // needs a reconnect before the next request — charged to the
+        // next request's latency via its intended-start stamp.
         Result<net::Client> again = net::Client::Connect(host, port);
         if (!again.ok()) return;
         *client = std::move(again).value();
       }
+      intended = clock.ElapsedMicros();
     }
   };
 
   std::cout << "matcn_net_bench — " << (connect.empty() ? "in-process " : "")
             << "server at " << host << ":" << port << ", " << queries.size()
-            << " unique queries, " << requests << " requests, " << clients
-            << " clients\n";
+            << " unique queries, ";
+  if (window.duration_based()) {
+    std::cout << window.duration_s << " s window (+" << window.warmup_s
+              << " s warmup), ";
+  } else {
+    std::cout << window.requests << " requests, ";
+  }
+  std::cout << clients << " clients\n";
 
-  Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (unsigned c = 0; c < clients; ++c) threads.emplace_back(client_loop);
   for (std::thread& t : threads) t.join();
-  const double seconds = watch.ElapsedSeconds();
+  const double measured_seconds =
+      std::max(1e-6, static_cast<double>(clock.ElapsedMicros() -
+                                         recorder.measure_start_us()) /
+                         1e6);
 
-  const double qps =
-      seconds > 0 ? static_cast<double>(requests) / seconds : 0;
-  std::cout << "\n  time        " << seconds << " s\n  throughput  "
-            << static_cast<uint64_t>(qps) << " qps\n  latency     "
-            << latency.Summary() << "\n  ok          "
-            << outcomes.ok.load() << " (" << outcomes.cache_hits.load()
-            << " cache hits, " << outcomes.degraded.load()
-            << " degraded, " << outcomes.cns.load()
-            << " CN records)\n  rejected    " << outcomes.rejected.load()
-            << " (RESOURCE_EXHAUSTED backpressure)\n  deadline    "
-            << outcomes.deadline.load()
-            << " (DEADLINE_EXCEEDED)\n  errors      "
-            << outcomes.errors.load() << "\n";
+  std::cout << "\n";
+  bench::PrintLoadReport(std::cout, recorder.Snapshot(), measured_seconds);
 
   if (server != nullptr) {
     server->Shutdown();

@@ -1,8 +1,8 @@
 // Closed-loop multi-threaded load generator for the serving layer: spins
 // up a QueryService per worker-thread configuration, replays a
 // repeated-query workload from N concurrent clients, and reports
-// throughput, cache hit/miss counts and latency percentiles straight from
-// ServiceStats.
+// throughput, cache hit/miss counts, and client-observed latency
+// percentiles recorded from each request's intended start.
 //
 //   $ ./matcn_serve [dataset] [scale] [flags]
 //
@@ -11,6 +11,8 @@
 //   --cn-threads N   per-query MatchCN workers               (default 1)
 //   --clients N      concurrent closed-loop client threads   (default 8)
 //   --requests N     requests per configuration              (default 2000)
+//   --duration-s F   run each config for F seconds instead   (default off)
+//   --warmup-s F     excluded warmup (duration mode only)    (default 0)
 //   --unique N       distinct queries in the workload        (default 64)
 //   --keywords N     keywords per generated query            (default 2)
 //   --cache-mb N     result-cache budget in MiB; 0 disables  (default 64)
@@ -24,51 +26,48 @@
 // the synthetic in-memory datasets are otherwise too small to show the
 // serving layer overlapping anything. Cache hits skip the pipeline and
 // therefore the modeled I/O — that is the point of the cache.
+//
+// Latency columns come from a client-side workload::LoadRecorder, not
+// ServiceStats: each sample is stamped from the instant the client
+// thread became free to send (coordinated-omission-safe closed loop),
+// so queue wait ahead of admission is included. ServiceStats percentiles
+// (service-internal, post-admission) are still printed at the end.
 
+#include <algorithm>
 #include <atomic>
 #include <iostream>
 #include <thread>
 #include <vector>
 
+#include "bench/load_util.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
-#include "datasets/generators.h"
 #include "datasets/workload.h"
 #include "graph/schema_graph.h"
 #include "indexing/term_index.h"
 #include "service/query_service.h"
+#include "workload/recorder.h"
 
 using namespace matcn;
 
 namespace {
 
-Database MakeDataset(const std::string& name, double scale, bool* ok) {
-  *ok = true;
-  if (name == "imdb") return MakeImdb(42, scale);
-  if (name == "mondial") return MakeMondial(43, scale);
-  if (name == "wikipedia") return MakeWikipedia(44, scale);
-  if (name == "dblp") return MakeDblp(45, scale);
-  if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
-  *ok = false;
-  return Database{};
-}
-
 struct RunResult {
   unsigned threads = 0;
-  double seconds = 0;
+  double seconds = 0;  // measured window (excludes warmup)
   double qps = 0;
-  uint64_t rejected = 0;  // admission control (kResourceExhausted)
-  uint64_t errors = 0;    // everything else non-OK
+  workload::LoadSnapshot load;
   ServiceStatsSnapshot stats;
 };
 
 RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
                     const std::vector<KeywordQuery>& queries,
                     unsigned worker_threads, unsigned cn_threads,
-                    unsigned clients, size_t requests, size_t cache_bytes,
-                    int64_t deadline_ms, int t_max, int64_t io_ms) {
+                    unsigned clients, const bench::RunWindow& window,
+                    size_t cache_bytes, int64_t deadline_ms, int t_max,
+                    int64_t io_ms) {
   QueryServiceOptions options;
   options.num_threads = worker_threads;
   options.max_queue = 4096;  // sized so the sweep measures latency, not drops
@@ -83,36 +82,40 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
   }
   QueryService service(schema_graph, index, options);
 
+  workload::LoadRecorder recorder;
   std::atomic<size_t> next{0};
-  std::atomic<uint64_t> rejected{0};
-  std::atomic<uint64_t> errors{0};
+  const Stopwatch clock;
+  if (window.duration_based()) {
+    recorder.SetMeasureStartUs(window.warmup_us());
+  }
   auto client = [&]() {
+    // Closed-loop coordinated-omission anchor: each request's intended
+    // start is the instant this thread became free to send it.
+    int64_t intended = clock.ElapsedMicros();
     while (true) {
       const size_t i = next.fetch_add(1);
-      if (i >= requests) break;
+      if (window.duration_based()) {
+        if (clock.ElapsedMicros() >= window.end_us()) break;
+      } else if (i >= window.requests) {
+        break;
+      }
       // Cycling through the unique queries gives every one of them
       // `requests / unique` repetitions — the repeated-query pattern an
       // interactive deployment sees.
       const KeywordQuery& q = queries[i % queries.size()];
       Result<QueryResponse> response = service.Query(q);
-      if (response.ok()) continue;
-      // Admission-control rejections are expected backpressure under
-      // overload, not breakage — count them apart from hard errors.
-      // Deadline expiry already shows up in the Timeout column (service
-      // stats), so it is not an error either.
-      switch (response.status().code()) {
-        case StatusCode::kResourceExhausted:
-          rejected.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case StatusCode::kDeadlineExceeded:
-          break;
-        default:
-          errors.fetch_add(1, std::memory_order_relaxed);
+      const int64_t end = clock.ElapsedMicros();
+      if (response.ok()) {
+        recorder.RecordQuery(workload::OpOutcome::kOk, intended, end,
+                             response->cache_hit, response->degraded);
+      } else {
+        recorder.RecordQuery(bench::ClassifyFailure(response.status().code()),
+                             intended, end, false, false);
       }
+      intended = end;
     }
   };
 
-  Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (unsigned c = 0; c < clients; ++c) threads.emplace_back(client);
@@ -120,13 +123,15 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
 
   RunResult run;
   run.threads = worker_threads;
-  run.seconds = watch.ElapsedSeconds();
-  run.qps = run.seconds > 0 ? static_cast<double>(requests) / run.seconds : 0;
+  run.seconds = std::max(
+      1e-6, static_cast<double>(clock.ElapsedMicros() -
+                                recorder.measure_start_us()) /
+                1e6);
+  run.load = recorder.Snapshot();
+  run.qps = static_cast<double>(run.load.queries()) / run.seconds;
   run.stats = service.Stats();
-  run.rejected = rejected.load();
-  run.errors = errors.load();
-  if (run.errors > 0) {
-    std::cerr << "warning: " << run.errors
+  if (run.load.errors > 0) {
+    std::cerr << "warning: " << run.load.errors
               << " requests returned a hard error status\n";
   }
   return run;
@@ -147,7 +152,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   const unsigned clients =
       static_cast<unsigned>(flags.GetInt("clients", 8));
-  const size_t requests = static_cast<size_t>(flags.GetInt("requests", 2000));
+  const bench::RunWindow window = bench::ParseRunWindow(flags, 2000);
   const size_t unique = static_cast<size_t>(flags.GetInt("unique", 64));
   const size_t keywords = static_cast<size_t>(flags.GetInt("keywords", 2));
   const size_t cache_bytes =
@@ -166,10 +171,10 @@ int main(int argc, char** argv) {
   }
 
   bool dataset_ok = false;
-  Database db = MakeDataset(dataset, scale, &dataset_ok);
+  Database db = bench::MakeNamedDataset(dataset, scale, &dataset_ok);
   if (!dataset_ok) {
-    std::cerr << "unknown dataset: " << dataset
-              << " (imdb|mondial|wikipedia|dblp|tpch)\n";
+    std::cerr << "unknown dataset: " << dataset << " ("
+              << bench::DatasetNames() << ")\n";
     return 2;
   }
   const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
@@ -183,36 +188,43 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "matcn_serve — " << dataset << " (" << db.TotalTuples()
-            << " tuples), " << queries.size() << " unique queries, "
-            << requests << " requests, " << clients
-            << " clients, modeled miss I/O " << io_ms << " ms\n\n";
+            << " tuples), " << queries.size() << " unique queries, ";
+  if (window.duration_based()) {
+    std::cout << window.duration_s << " s window (+" << window.warmup_s
+              << " s warmup) per config, ";
+  } else {
+    std::cout << window.requests << " requests per config, ";
+  }
+  std::cout << clients << " clients, modeled miss I/O " << io_ms << " ms\n\n";
 
   std::vector<RunResult> runs;
   TablePrinter table({"Workers", "Time s", "QPS", "Hits", "Misses", "p50 ms",
-                      "p95 ms", "p99 ms", "Timeout", "Degraded", "Rejected",
-                      "Errors"});
+                      "p95 ms", "p99 ms", "p99.9", "Timeout", "Degraded",
+                      "Rejected", "Errors"});
   for (const std::string& part : Split(thread_list, ",")) {
     const int workers = std::atoi(std::string(Trim(part)).c_str());
     if (workers <= 0) continue;
     RunResult run = RunConfig(&schema_graph, &index, queries,
                               static_cast<unsigned>(workers), cn_threads,
-                              clients, requests, cache_bytes, deadline_ms,
+                              clients, window, cache_bytes, deadline_ms,
                               t_max, io_ms);
     table.AddRow({std::to_string(run.threads),
                   TablePrinter::Num(run.seconds, 3),
                   TablePrinter::Num(run.qps, 0),
                   std::to_string(run.stats.cache_hits),
                   std::to_string(run.stats.cache_misses),
-                  TablePrinter::Num(run.stats.p50_ms, 3),
-                  TablePrinter::Num(run.stats.p95_ms, 3),
-                  TablePrinter::Num(run.stats.p99_ms, 3),
-                  std::to_string(run.stats.timed_out),
-                  std::to_string(run.stats.degraded),
-                  std::to_string(run.rejected),
-                  std::to_string(run.errors)});
+                  TablePrinter::Num(run.load.p50_ms, 3),
+                  TablePrinter::Num(run.load.p95_ms, 3),
+                  TablePrinter::Num(run.load.p99_ms, 3),
+                  TablePrinter::Num(run.load.p999_ms, 3),
+                  std::to_string(run.load.deadline),
+                  std::to_string(run.load.degraded),
+                  std::to_string(run.load.rejected),
+                  std::to_string(run.load.errors)});
     runs.push_back(std::move(run));
   }
   table.Print(std::cout);
+  std::cout << "(latency columns are client-observed, from intended start)\n";
 
   if (runs.size() >= 2) {
     const RunResult& base = runs.front();

@@ -1,0 +1,59 @@
+#include "workload/arrival.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace matcn::workload {
+
+bool ParseArrivalKind(const std::string& name, ArrivalKind* out) {
+  if (name == "closed") {
+    *out = ArrivalKind::kClosed;
+    return true;
+  }
+  if (name == "poisson") {
+    *out = ArrivalKind::kOpenPoisson;
+    return true;
+  }
+  if (name == "uniform") {
+    *out = ArrivalKind::kOpenUniform;
+    return true;
+  }
+  return false;
+}
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kClosed:
+      return "closed";
+    case ArrivalKind::kOpenPoisson:
+      return "poisson";
+    case ArrivalKind::kOpenUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+std::vector<int64_t> ArrivalOffsetsUs(ArrivalKind kind, double target_qps,
+                                      size_t count, uint64_t seed) {
+  std::vector<int64_t> offsets(count, 0);
+  if (kind == ArrivalKind::kClosed || count == 0) return offsets;
+  assert(target_qps > 0);
+  const double mean_gap_us = 1e6 / target_qps;
+  if (kind == ArrivalKind::kOpenUniform) {
+    for (size_t i = 0; i < count; ++i) {
+      offsets[i] = static_cast<int64_t>(static_cast<double>(i) * mean_gap_us);
+    }
+    return offsets;
+  }
+  // Poisson process: i.i.d. exponential gaps. 1 - NextDouble() is in
+  // (0, 1], so the log argument never hits zero.
+  Rng64 rng(seed ^ 0x5851f42d4c957f2dull);
+  double t = 0;
+  for (size_t i = 0; i < count; ++i) {
+    offsets[i] = static_cast<int64_t>(t);
+    t += -std::log(1.0 - rng.NextDouble()) * mean_gap_us;
+  }
+  return offsets;
+}
+
+}  // namespace matcn::workload

@@ -1,0 +1,48 @@
+#ifndef MATCN_WORKLOAD_ARRIVAL_H_
+#define MATCN_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/zipf.h"
+
+namespace matcn::workload {
+
+/// How a load phase injects its operations.
+///
+///   kClosed:      classic closed loop — each connection issues its next
+///                 op as soon as the previous response lands. Throughput
+///                 self-limits to the server's capacity, which is exactly
+///                 why closed loops hide overload (coordinated omission).
+///   kOpenPoisson: open loop with exponential inter-arrival times at a
+///                 target rate — the memoryless arrival process real
+///                 user traffic approximates. Ops are due at their
+///                 scheduled instant whether or not the server kept up.
+///   kOpenUniform: open loop with fixed inter-arrival spacing — a
+///                 metronome; useful for pinning down queueing effects
+///                 without arrival burstiness.
+enum class ArrivalKind : uint8_t { kClosed = 0, kOpenPoisson = 1,
+                                   kOpenUniform = 2 };
+
+/// Parses "closed" / "poisson" / "uniform"; returns false on anything
+/// else.
+bool ParseArrivalKind(const std::string& name, ArrivalKind* out);
+const char* ArrivalKindName(ArrivalKind kind);
+
+/// Deterministic intended-start offsets (microseconds from phase start)
+/// for `count` operations at `target_qps`:
+///   kClosed      -> all zero (no schedule; issue when the loop is free)
+///   kOpenUniform -> i / qps
+///   kOpenPoisson -> cumulative exponential gaps with mean 1/qps, seeded
+/// Offsets are nondecreasing. target_qps must be > 0 for the open kinds.
+///
+/// The returned schedule is the coordinated-omission anchor: latency must
+/// be measured from these *intended* starts, not from the instant a
+/// stalled connection finally got around to sending (see LoadRecorder).
+std::vector<int64_t> ArrivalOffsetsUs(ArrivalKind kind, double target_qps,
+                                      size_t count, uint64_t seed);
+
+}  // namespace matcn::workload
+
+#endif  // MATCN_WORKLOAD_ARRIVAL_H_

@@ -1,0 +1,89 @@
+#include "workload/recorder.h"
+
+#include <algorithm>
+
+namespace matcn::workload {
+
+std::string LoadSnapshot::ToString() const {
+  std::string out = "ok=" + std::to_string(ok) + " (hits=" +
+                    std::to_string(cache_hits) + " degraded=" +
+                    std::to_string(degraded) + ") rejected=" +
+                    std::to_string(rejected) + " deadline=" +
+                    std::to_string(deadline) + " errors=" +
+                    std::to_string(errors);
+  if (inserts_ok + insert_errors > 0) {
+    out += " inserts=" + std::to_string(inserts_ok) + "/" +
+           std::to_string(inserts_ok + insert_errors);
+  }
+  out += " p50=" + LatencyHistogram::FormatMicros(
+                       static_cast<int64_t>(p50_ms * 1000)) +
+         " p99=" + LatencyHistogram::FormatMicros(
+                       static_cast<int64_t>(p99_ms * 1000));
+  return out;
+}
+
+void LoadRecorder::RecordQuery(OpOutcome outcome, int64_t intended_start_us,
+                               int64_t end_us, bool cache_hit,
+                               bool degraded) {
+  if (InWarmup(intended_start_us)) return;
+  switch (outcome) {
+    case OpOutcome::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OpOutcome::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OpOutcome::kDeadline:
+      deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OpOutcome::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  // Rejections and timeouts still count toward latency: the user waited
+  // that long for a non-answer, and under overload they dominate.
+  query_latency_.Record(std::max<int64_t>(0, end_us - intended_start_us));
+}
+
+void LoadRecorder::RecordInsert(bool ok, int64_t intended_start_us,
+                                int64_t end_us) {
+  if (InWarmup(intended_start_us)) return;
+  if (ok) {
+    inserts_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    insert_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  insert_latency_.Record(std::max<int64_t>(0, end_us - intended_start_us));
+}
+
+LoadSnapshot LoadRecorder::Snapshot() const {
+  LoadSnapshot snap;
+  snap.ok = ok_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.degraded = degraded_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.deadline = deadline_.load(std::memory_order_relaxed);
+  snap.errors = errors_.load(std::memory_order_relaxed);
+  snap.inserts_ok = inserts_ok_.load(std::memory_order_relaxed);
+  snap.insert_errors = insert_errors_.load(std::memory_order_relaxed);
+  snap.warmup_skipped = warmup_skipped_.load(std::memory_order_relaxed);
+  snap.mean_ms = query_latency_.MeanMicros() / 1000.0;
+  snap.p50_ms =
+      static_cast<double>(query_latency_.QuantileMicros(0.5)) / 1000.0;
+  snap.p95_ms =
+      static_cast<double>(query_latency_.QuantileMicros(0.95)) / 1000.0;
+  snap.p99_ms =
+      static_cast<double>(query_latency_.QuantileMicros(0.99)) / 1000.0;
+  snap.p999_ms =
+      static_cast<double>(query_latency_.QuantileMicros(0.999)) / 1000.0;
+  snap.max_ms = static_cast<double>(query_latency_.MaxMicros()) / 1000.0;
+  snap.insert_p50_ms =
+      static_cast<double>(insert_latency_.QuantileMicros(0.5)) / 1000.0;
+  snap.insert_p99_ms =
+      static_cast<double>(insert_latency_.QuantileMicros(0.99)) / 1000.0;
+  return snap;
+}
+
+}  // namespace matcn::workload

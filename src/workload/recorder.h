@@ -1,0 +1,114 @@
+#ifndef MATCN_WORKLOAD_RECORDER_H_
+#define MATCN_WORKLOAD_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/latency_histogram.h"
+
+namespace matcn::workload {
+
+/// How one operation came back, as seen by the client.
+enum class OpOutcome : uint8_t {
+  kOk = 0,        // answered (cache_hit/degraded qualify separately)
+  kRejected,      // RESOURCE_EXHAUSTED admission backpressure
+  kDeadline,      // DEADLINE_EXCEEDED
+  kError,         // anything else non-OK
+};
+
+/// Point-in-time copy of a LoadRecorder, safe to pass around.
+struct LoadSnapshot {
+  // Queries (measured window only).
+  uint64_t ok = 0;
+  uint64_t cache_hits = 0;
+  uint64_t degraded = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline = 0;
+  uint64_t errors = 0;
+  // Inserts (measured window only).
+  uint64_t inserts_ok = 0;
+  uint64_t insert_errors = 0;
+  // Ops excluded because their intended start fell in the warmup.
+  uint64_t warmup_skipped = 0;
+  // Query latency percentiles (ms), intended-start based.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+  // Insert latency (ms).
+  double insert_p50_ms = 0;
+  double insert_p99_ms = 0;
+
+  uint64_t issued() const {
+    return ok + rejected + deadline + errors + inserts_ok + insert_errors;
+  }
+  uint64_t queries() const { return ok + rejected + deadline + errors; }
+
+  std::string ToString() const;
+};
+
+/// Concurrent, coordinated-omission-safe latency recorder for load
+/// drivers. Every sample is stamped with the operation's *intended*
+/// start — the instant the arrival schedule said it was due (open loop)
+/// or the instant the connection became free to send it (closed loop) —
+/// never the instant a backed-up client finally wrote the bytes. A
+/// server that stalls for a second therefore eats that second in every
+/// sample scheduled inside it, instead of silently omitting the wait
+/// (Tene's "coordinated omission").
+///
+/// Record paths are lock-free (relaxed atomics + LatencyHistogram);
+/// many worker threads record while a reporter snapshots.
+class LoadRecorder {
+ public:
+  /// Samples whose intended start is earlier than `us` (absolute,
+  /// steady-clock microseconds) are counted as warmup and excluded from
+  /// every statistic. Default 0 = record everything.
+  void SetMeasureStartUs(int64_t us) {
+    measure_start_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t measure_start_us() const {
+    return measure_start_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one query. `intended_start_us`/`end_us` are absolute
+  /// steady-clock micros; latency = end - intended start.
+  void RecordQuery(OpOutcome outcome, int64_t intended_start_us,
+                   int64_t end_us, bool cache_hit, bool degraded);
+
+  /// Records one insert.
+  void RecordInsert(bool ok, int64_t intended_start_us, int64_t end_us);
+
+  LoadSnapshot Snapshot() const;
+
+  const LatencyHistogram& query_histogram() const { return query_latency_; }
+
+ private:
+  bool InWarmup(int64_t intended_start_us) {
+    if (intended_start_us >=
+        measure_start_us_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    warmup_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::atomic<int64_t> measure_start_us_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> inserts_ok_{0};
+  std::atomic<uint64_t> insert_errors_{0};
+  std::atomic<uint64_t> warmup_skipped_{0};
+  LatencyHistogram query_latency_;
+  LatencyHistogram insert_latency_;
+};
+
+}  // namespace matcn::workload
+
+#endif  // MATCN_WORKLOAD_RECORDER_H_

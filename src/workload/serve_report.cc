@@ -1,0 +1,360 @@
+#include "workload/serve_report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace matcn::workload {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Field(std::string* out, const char* indent, const char* key,
+           const std::string& value, bool last = false) {
+  *out += indent;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  *out += value;
+  *out += last ? "\n" : ",\n";
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// ----------------------- minimal JSON parser ---------------------------
+// Just enough JSON (RFC 8259 minus \uXXXX escapes, which nothing here
+// emits) to validate the file we write without pulling a dependency in.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing bytes after document");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_->empty()) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null", 4);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          default:
+            return Fail("unsupported string escape");
+        }
+        continue;
+      }
+      *out += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    out->type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      SkipSpace();
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Fail("expected ':' after key");
+      }
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool RequireNumber(const JsonValue& object, const char* key,
+                   const std::string& where, std::string* error,
+                   double* out = nullptr) {
+  const auto it = object.object.find(key);
+  if (it == object.object.end()) {
+    *error = where + " is missing required field \"" + key + "\"";
+    return false;
+  }
+  if (it->second.type != JsonValue::Type::kNumber) {
+    *error = where + " field \"" + key + "\" is not a number";
+    return false;
+  }
+  if (out != nullptr) *out = it->second.number;
+  return true;
+}
+
+bool RequireString(const JsonValue& object, const char* key,
+                   const std::string& where, std::string* error) {
+  const auto it = object.object.find(key);
+  if (it == object.object.end()) {
+    *error = where + " is missing required field \"" + key + "\"";
+    return false;
+  }
+  if (it->second.type != JsonValue::Type::kString) {
+    *error = where + " field \"" + key + "\" is not a string";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ServeBenchReport::ToJson() const {
+  std::string out = "{\n";
+  Field(&out, "  ", "bench", Quoted("serve"));
+  Field(&out, "  ", "dataset", Quoted(dataset));
+  Field(&out, "  ", "scale", Num(scale));
+  Field(&out, "  ", "seed", std::to_string(seed));
+  Field(&out, "  ", "connections", std::to_string(connections));
+  Field(&out, "  ", "server_threads", std::to_string(server_threads));
+  Field(&out, "  ", "read_fraction", Num(read_fraction));
+  Field(&out, "  ", "zipf_theta", Num(zipf_theta));
+  Field(&out, "  ", "scramble", scramble ? "true" : "false");
+  Field(&out, "  ", "tenants", std::to_string(tenants));
+  Field(&out, "  ", "saturation_qps", Num(saturation_qps));
+  out += "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    out += "    {\n";
+    Field(&out, "      ", "offered_qps", Num(p.offered_qps));
+    Field(&out, "      ", "achieved_qps", Num(p.achieved_qps));
+    Field(&out, "      ", "duration_s", Num(p.duration_s));
+    Field(&out, "      ", "arrival", Quoted(p.arrival));
+    Field(&out, "      ", "completed", std::to_string(p.completed));
+    Field(&out, "      ", "rejected", std::to_string(p.rejected));
+    Field(&out, "      ", "deadline", std::to_string(p.deadline));
+    Field(&out, "      ", "errors", std::to_string(p.errors));
+    Field(&out, "      ", "p50_ms", Num(p.p50_ms));
+    Field(&out, "      ", "p95_ms", Num(p.p95_ms));
+    Field(&out, "      ", "p99_ms", Num(p.p99_ms));
+    Field(&out, "      ", "p999_ms", Num(p.p999_ms));
+    Field(&out, "      ", "max_ms", Num(p.max_ms));
+    Field(&out, "      ", "cache_hit_rate", Num(p.cache_hit_rate));
+    Field(&out, "      ", "degraded_fraction", Num(p.degraded_fraction));
+    Field(&out, "      ", "reject_rate", Num(p.reject_rate));
+    Field(&out, "      ", "inserts", std::to_string(p.inserts));
+    Field(&out, "      ", "insert_qps", Num(p.insert_qps));
+    Field(&out, "      ", "insert_p99_ms", Num(p.insert_p99_ms));
+    Field(&out, "      ", "index_version_start",
+          std::to_string(p.index_version_start));
+    Field(&out, "      ", "index_version_end",
+          std::to_string(p.index_version_end));
+    Field(&out, "      ", "ops_hash", std::to_string(p.ops_hash));
+    Field(&out, "      ", "saturated", p.saturated ? "true" : "false",
+          /*last=*/true);
+    out += i + 1 == phases.size() ? "    }\n" : "    },\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool ValidateBenchServeJson(const std::string& json, std::string* error) {
+  error->clear();
+  JsonValue root;
+  JsonParser parser(json, error);
+  if (!parser.Parse(&root)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    *error = "top level is not an object";
+    return false;
+  }
+  const auto bench = root.object.find("bench");
+  if (bench == root.object.end() ||
+      bench->second.type != JsonValue::Type::kString ||
+      bench->second.str != "serve") {
+    *error = "\"bench\" field missing or not \"serve\"";
+    return false;
+  }
+  if (!RequireString(root, "dataset", "top level", error)) return false;
+  for (const char* key :
+       {"scale", "seed", "connections", "server_threads", "read_fraction",
+        "zipf_theta", "tenants", "saturation_qps"}) {
+    if (!RequireNumber(root, key, "top level", error)) return false;
+  }
+  const auto phases = root.object.find("phases");
+  if (phases == root.object.end() ||
+      phases->second.type != JsonValue::Type::kArray) {
+    *error = "\"phases\" missing or not an array";
+    return false;
+  }
+  if (phases->second.array.empty()) {
+    *error = "\"phases\" is empty";
+    return false;
+  }
+  double total_completed = 0;
+  for (size_t i = 0; i < phases->second.array.size(); ++i) {
+    const JsonValue& phase = phases->second.array[i];
+    const std::string where = "phase " + std::to_string(i);
+    if (phase.type != JsonValue::Type::kObject) {
+      *error = where + " is not an object";
+      return false;
+    }
+    if (!RequireString(phase, "arrival", where, error)) return false;
+    double completed = 0;
+    if (!RequireNumber(phase, "completed", where, error, &completed)) {
+      return false;
+    }
+    total_completed += completed;
+    for (const char* key :
+         {"offered_qps", "achieved_qps", "duration_s", "rejected",
+          "deadline", "errors", "p50_ms", "p95_ms", "p99_ms", "p999_ms",
+          "max_ms", "cache_hit_rate", "degraded_fraction", "reject_rate",
+          "inserts", "insert_qps", "insert_p99_ms", "index_version_start",
+          "index_version_end", "ops_hash"}) {
+      if (!RequireNumber(phase, key, where, error)) return false;
+    }
+  }
+  if (total_completed <= 0) {
+    *error = "no phase completed any queries";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace matcn::workload

@@ -1,0 +1,71 @@
+#ifndef MATCN_WORKLOAD_SERVE_REPORT_H_
+#define MATCN_WORKLOAD_SERVE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matcn::workload {
+
+/// One load phase of a saturation sweep, as written to BENCH_serve.json.
+struct PhaseResult {
+  double offered_qps = 0;   // target arrival rate (0 for closed loop)
+  double achieved_qps = 0;  // completed ops / measured seconds
+  double duration_s = 0;    // measured window (warmup excluded)
+  std::string arrival;      // "closed" | "poisson" | "uniform"
+  uint64_t completed = 0;   // answered queries in the window
+  uint64_t rejected = 0;
+  uint64_t deadline = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+  double cache_hit_rate = 0;     // hits / answered
+  double degraded_fraction = 0;  // degraded / answered
+  double reject_rate = 0;        // rejected / issued queries
+  uint64_t inserts = 0;
+  double insert_qps = 0;
+  double insert_p99_ms = 0;
+  uint64_t index_version_start = 0;
+  uint64_t index_version_end = 0;  // drift = end - start
+  /// FNV fingerprint of this phase's serialized op stream (HashOps);
+  /// same-seed reruns must reproduce it bit-for-bit.
+  uint64_t ops_hash = 0;
+  bool saturated = false;  // this phase tripped the knee criterion
+};
+
+/// The serving-performance trajectory file emitted by matcn_loadgen.
+/// Future PRs regress against these numbers; the schema is validated by
+/// ValidateBenchServeJson (and by the CI smoke job).
+struct ServeBenchReport {
+  std::string dataset;
+  double scale = 0;
+  uint64_t seed = 0;
+  unsigned connections = 0;
+  unsigned server_threads = 0;
+  double read_fraction = 0;
+  double zipf_theta = 0;
+  bool scramble = true;
+  uint32_t tenants = 1;
+  /// Highest offered QPS the server sustained (achieved >= 95% of
+  /// offered with reject rate under the knee threshold); 0 when every
+  /// phase saturated.
+  double saturation_qps = 0;
+  std::vector<PhaseResult> phases;
+
+  std::string ToJson() const;
+};
+
+/// Validates that `json` is syntactically well-formed JSON and carries
+/// the BENCH_serve schema: the header fields above, a non-empty
+/// "phases" array whose entries each have the numeric fields of
+/// PhaseResult, and at least one completed query across all phases.
+/// Returns true on success; otherwise fills `error` with the first
+/// problem found.
+bool ValidateBenchServeJson(const std::string& json, std::string* error);
+
+}  // namespace matcn::workload
+
+#endif  // MATCN_WORKLOAD_SERVE_REPORT_H_

@@ -1,0 +1,321 @@
+#include "workload/workload_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <utility>
+
+namespace matcn::workload {
+
+std::string SerializeOp(const Op& op) {
+  std::string out;
+  if (op.kind == Op::Kind::kQuery) {
+    out += "Q t=";
+    out += std::to_string(op.tenant);
+    out += " kw=";
+    for (size_t i = 0; i < op.keywords.size(); ++i) {
+      if (i > 0) out += ',';
+      out += op.keywords[i];
+    }
+    return out;
+  }
+  out += "I t=";
+  out += std::to_string(op.tenant);
+  out += " rel=";
+  out += op.relation;
+  out += " vals=";
+  for (size_t i = 0; i < op.values.size(); ++i) {
+    if (i > 0) out += '|';
+    const OpValue& v = op.values[i];
+    if (v.is_int) {
+      out += "i:";
+      out += std::to_string(v.int_value);
+    } else {
+      out += "t:";
+      out += v.text;
+    }
+  }
+  return out;
+}
+
+uint64_t HashOps(const std::vector<Op>& ops) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const Op& op : ops) {
+    const std::string line = SerializeOp(op);
+    for (const char c : line) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ull;
+    }
+    hash ^= '\n';
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Result<WorkloadEngine> WorkloadEngine::Build(const DatabaseSchema& schema,
+                                             const TermIndex& index,
+                                             WorkloadSpec spec) {
+  if (spec.zipf_theta < 0 || spec.zipf_theta >= 1) {
+    return Status::InvalidArgument(
+        "zipf_theta must be in [0, 1) (YCSB-style sampler)");
+  }
+  if (spec.read_fraction < 0 || spec.read_fraction > 1) {
+    return Status::InvalidArgument("read_fraction must be in [0, 1]");
+  }
+  if (spec.value_fraction < 0 || spec.schema_fraction < 0 ||
+      spec.value_fraction + spec.schema_fraction > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "value_fraction + schema_fraction must not exceed 1");
+  }
+  if (spec.tenants == 0) {
+    return Status::InvalidArgument("tenants must be >= 1");
+  }
+  if (spec.min_keywords == 0 || spec.min_keywords > spec.max_keywords) {
+    return Status::InvalidArgument(
+        "need 1 <= min_keywords <= max_keywords");
+  }
+
+  // Popularity order: descending document frequency, term text as the
+  // deterministic tiebreak. AllTerms() is sorted, so the sort is stable
+  // across runs and platforms.
+  std::vector<std::string> terms = index.AllTerms();
+  if (terms.empty()) {
+    return Status::InvalidArgument("term index has no terms to sample");
+  }
+  std::vector<std::pair<uint64_t, std::string>> by_df;
+  by_df.reserve(terms.size());
+  for (std::string& t : terms) {
+    const uint64_t df = index.DocumentFrequency(t);
+    by_df.emplace_back(df, std::move(t));
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  // Deal the popularity-ordered catalog round-robin across tenants so
+  // each tenant's working set is disjoint but similarly skewed.
+  std::vector<std::vector<std::string>> tenant_terms(spec.tenants);
+  for (size_t i = 0; i < by_df.size(); ++i) {
+    std::vector<std::string>& bucket = tenant_terms[i % spec.tenants];
+    if (spec.max_catalog_terms > 0 &&
+        bucket.size() >= spec.max_catalog_terms) {
+      continue;
+    }
+    bucket.push_back(std::move(by_df[i].second));
+  }
+  for (uint32_t t = 0; t < spec.tenants; ++t) {
+    if (tenant_terms[t].empty()) {
+      return Status::InvalidArgument(
+          "catalog too small for the requested tenant count");
+    }
+  }
+
+  // Schema-element pool: relation and attribute names, lowercased and
+  // deduplicated — the vocabulary of schema-reference queries.
+  std::set<std::string> schema_pool;
+  auto lower = [](std::string s) {
+    for (char& c : s) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return s;
+  };
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    const RelationSchema& rel = schema.relation(static_cast<RelationId>(r));
+    schema_pool.insert(lower(rel.name()));
+    for (const Attribute& attr : rel.attributes()) {
+      schema_pool.insert(lower(attr.name));
+    }
+  }
+  std::vector<std::string> schema_terms(schema_pool.begin(),
+                                        schema_pool.end());
+  if (schema_terms.empty()) {
+    return Status::InvalidArgument("schema has no nameable elements");
+  }
+
+  // INSERT target: explicit, or the first relation carrying both an
+  // integer attribute (the synthetic unique id) and a searchable text
+  // attribute (so inserts actually reach the term index).
+  std::string insert_relation = spec.insert_relation;
+  if (insert_relation.empty() && spec.read_fraction < 1.0) {
+    for (size_t r = 0; r < schema.num_relations(); ++r) {
+      const RelationSchema& rel = schema.relation(static_cast<RelationId>(r));
+      bool has_int = false;
+      bool has_text = false;
+      for (const Attribute& attr : rel.attributes()) {
+        if (attr.type == ValueType::kInt) has_int = true;
+        if (attr.type == ValueType::kText && attr.searchable) has_text = true;
+      }
+      if (has_int && has_text) {
+        insert_relation = rel.name();
+        break;
+      }
+    }
+    if (insert_relation.empty()) {
+      return Status::InvalidArgument(
+          "no relation suitable for synthesized inserts "
+          "(need an int attribute and a searchable text attribute)");
+    }
+  }
+  std::vector<Attribute> insert_attributes;
+  if (!insert_relation.empty()) {
+    const auto id = schema.RelationIdByName(insert_relation);
+    if (!id.has_value()) {
+      return Status::NotFound("insert relation '" + insert_relation +
+                              "' not in schema");
+    }
+    insert_attributes = schema.relation(*id).attributes();
+  }
+
+  return WorkloadEngine(std::move(spec), std::move(tenant_terms),
+                        std::move(schema_terms), std::move(insert_relation),
+                        std::move(insert_attributes));
+}
+
+WorkloadEngine::WorkloadEngine(WorkloadSpec spec,
+                               std::vector<std::vector<std::string>> terms,
+                               std::vector<std::string> schema_terms,
+                               std::string insert_relation,
+                               std::vector<Attribute> insert_attributes)
+    : spec_(std::move(spec)),
+      rng_(spec_.seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull),
+      tenant_terms_(std::move(terms)),
+      tenant_inserts_(spec_.tenants, 0),
+      schema_terms_(std::move(schema_terms)),
+      insert_relation_(std::move(insert_relation)),
+      insert_attributes_(std::move(insert_attributes)) {
+  tenant_zipf_.reserve(spec_.tenants);
+  for (uint32_t t = 0; t < spec_.tenants; ++t) {
+    tenant_zipf_.emplace_back(tenant_terms_[t].size(), spec_.zipf_theta,
+                              spec_.scramble);
+  }
+}
+
+std::string WorkloadEngine::SampleValueTerm(uint32_t tenant) {
+  return tenant_terms_[tenant][tenant_zipf_[tenant].Sample(rng_)];
+}
+
+void WorkloadEngine::FillQuery(Op* op) {
+  const uint32_t tenant = op->tenant;
+  size_t k = spec_.min_keywords +
+             static_cast<size_t>(rng_.NextBounded(
+                 spec_.max_keywords - spec_.min_keywords + 1));
+  k = std::min(k, tenant_terms_[tenant].size() + schema_terms_.size());
+
+  TermClass cls;
+  const double u = rng_.NextDouble();
+  if (u < spec_.value_fraction) {
+    cls = TermClass::kValue;
+  } else if (u < spec_.value_fraction + spec_.schema_fraction) {
+    cls = TermClass::kSchema;
+  } else {
+    cls = TermClass::kMixed;
+  }
+  // A one-keyword "mixed" query cannot mix; it degrades to a value term.
+  if (cls == TermClass::kMixed && k < 2) cls = TermClass::kValue;
+
+  std::set<std::string> seen;
+  op->keywords.clear();
+  auto push_distinct = [&](std::string term) {
+    if (seen.insert(term).second) op->keywords.push_back(std::move(term));
+  };
+
+  // Bounded rejection sampling for distinct terms; under heavy skew (or a
+  // tiny catalog) duplicates are common, so after the retry budget the
+  // fallback walks popularity ranks in order — still deterministic.
+  const size_t budget = 8 * k + 16;
+  size_t attempts = 0;
+  auto sample_value_distinct = [&]() {
+    while (op->keywords.size() < k && attempts++ < budget) {
+      push_distinct(SampleValueTerm(tenant));
+    }
+    for (size_t rank = 0;
+         op->keywords.size() < k && rank < tenant_terms_[tenant].size();
+         ++rank) {
+      push_distinct(tenant_terms_[tenant][rank]);
+    }
+  };
+  auto sample_schema_distinct = [&](size_t want) {
+    while (op->keywords.size() < want && attempts++ < budget) {
+      push_distinct(schema_terms_[rng_.NextBounded(schema_terms_.size())]);
+    }
+    for (size_t i = 0; op->keywords.size() < want && i < schema_terms_.size();
+         ++i) {
+      push_distinct(schema_terms_[i]);
+    }
+  };
+
+  switch (cls) {
+    case TermClass::kValue:
+      sample_value_distinct();
+      break;
+    case TermClass::kSchema:
+      sample_schema_distinct(k);
+      break;
+    case TermClass::kMixed: {
+      // At least one schema term; the rest are value terms, so mixed
+      // queries stay answerable (value terms anchor the tuple sets).
+      sample_schema_distinct(1);
+      sample_value_distinct();
+      break;
+    }
+  }
+}
+
+void WorkloadEngine::FillInsert(Op* op) {
+  const uint32_t tenant = op->tenant;
+  op->relation = insert_relation_;
+  const uint64_t n = tenant_inserts_[tenant]++;
+  // Unique synthetic key space, disjoint from generator data (which uses
+  // small dense ids) and between tenants.
+  const int64_t unique_id =
+      1'000'000'000 + static_cast<int64_t>(tenant) * 10'000'000 +
+      static_cast<int64_t>(n);
+  // Fresh tuples reference a hot term so inserts collide with the read
+  // working set: that is what drives selective cache invalidation and
+  // delta-postings growth on the live index under load.
+  const std::string hot = SampleValueTerm(tenant);
+  bool tagged = false;
+  op->values.clear();
+  op->values.reserve(insert_attributes_.size());
+  for (const Attribute& attr : insert_attributes_) {
+    OpValue v;
+    if (attr.type == ValueType::kInt) {
+      v.is_int = true;
+      v.int_value = unique_id;
+    } else {
+      // First text attribute carries a unique never-seen token plus the
+      // hot term; later text attributes just repeat the hot term.
+      v.text = tagged ? hot
+                      : "ld" + std::to_string(tenant) + "x" +
+                            std::to_string(n) + " " + hot;
+      tagged = true;
+    }
+    op->values.push_back(std::move(v));
+  }
+}
+
+Op WorkloadEngine::Next() {
+  Op op;
+  op.seq = next_seq_++;
+  op.tenant = static_cast<uint32_t>(rng_.NextBounded(spec_.tenants));
+  const bool read =
+      insert_relation_.empty() || rng_.Bernoulli(spec_.read_fraction);
+  if (read) {
+    op.kind = Op::Kind::kQuery;
+    FillQuery(&op);
+  } else {
+    op.kind = Op::Kind::kInsert;
+    FillInsert(&op);
+  }
+  return op;
+}
+
+std::vector<Op> WorkloadEngine::Generate(size_t count) {
+  std::vector<Op> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace matcn::workload

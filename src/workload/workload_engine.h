@@ -1,0 +1,147 @@
+#ifndef MATCN_WORKLOAD_WORKLOAD_ENGINE_H_
+#define MATCN_WORKLOAD_WORKLOAD_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "indexing/term_index.h"
+#include "storage/schema.h"
+#include "workload/zipf.h"
+
+namespace matcn::workload {
+
+/// Which pool a query's keywords are drawn from, modeling the mixed
+/// intent of real keyword workloads (value terms, schema-element
+/// references, and queries combining both — cf. the schema-reference
+/// query study in PAPERS.md).
+enum class TermClass : uint8_t { kValue = 0, kSchema = 1, kMixed = 2 };
+
+/// One typed attribute value of a synthesized INSERT (mirrors ValueType /
+/// net::WireValue without depending on the net layer).
+struct OpValue {
+  bool is_int = false;
+  int64_t int_value = 0;
+  std::string text;
+};
+
+/// One operation of the workload stream.
+struct Op {
+  enum class Kind : uint8_t { kQuery = 0, kInsert = 1 };
+  Kind kind = Kind::kQuery;
+  uint32_t tenant = 0;
+  uint64_t seq = 0;  // position in the stream, assigned by the engine
+  // kQuery:
+  std::vector<std::string> keywords;
+  // kInsert:
+  std::string relation;
+  std::vector<OpValue> values;
+};
+
+/// Canonical one-line rendering of an op. Two runs produce *the same
+/// operation stream* iff their serialized forms are byte-identical; the
+/// determinism tests and the per-phase `ops_hash` in BENCH_serve.json
+/// are both built on this.
+std::string SerializeOp(const Op& op);
+
+/// FNV-1a over the serialized ops — the stream fingerprint reported per
+/// phase so same-seed reruns are mechanically comparable.
+uint64_t HashOps(const std::vector<Op>& ops);
+
+struct WorkloadSpec {
+  /// Zipfian skew of keyword popularity, in [0, 1). 0 = uniform; the
+  /// YCSB default 0.99 concentrates roughly half the draws on the
+  /// hottest ~1% of terms.
+  double zipf_theta = 0.99;
+  /// Scramble popularity ranks through FNV so hot terms are spread over
+  /// the catalog instead of clustering at the head (YCSB
+  /// ScrambledZipfian). Unscrambled, rank 0 is the highest-df term —
+  /// useful when popularity should follow document frequency.
+  bool scramble = true;
+  /// Fraction of operations that are queries; the rest are INSERTs of
+  /// freshly synthesized tuples (the live-index write path).
+  double read_fraction = 0.95;
+  /// Keywords per query, drawn uniformly from [min, max] (clamped to the
+  /// catalog size).
+  size_t min_keywords = 1;
+  size_t max_keywords = 3;
+  /// Query-class mix; the remainder (1 - value - schema) is kMixed.
+  double value_fraction = 0.7;
+  double schema_fraction = 0.1;
+  /// Interleave this many tenant catalogs. The value-term catalog is
+  /// dealt round-robin (in popularity order) across tenants, so every
+  /// tenant sees a similar popularity profile over a disjoint working
+  /// set; each tenant gets its own Zipfian stream and insert-id space.
+  uint32_t tenants = 1;
+  /// Relation INSERTs target; empty auto-picks the first relation with
+  /// an integer attribute and a searchable text attribute.
+  std::string insert_relation;
+  /// Keep only the `max_catalog_terms` highest-df terms per catalog
+  /// (0 = all). Bounds memory for huge indexes.
+  size_t max_catalog_terms = 0;
+  uint64_t seed = 1;
+};
+
+/// Deterministic, seedable generator of mixed keyword-query / insert
+/// operation streams in the mold of YCSB's workload generators, sampling
+/// keyword popularity from a live catalog's term index. One WorkloadSpec
+/// + seed names exactly one operation stream: Next() draws from a
+/// SplitMix64 stream and never consults the clock, so two engines with
+/// the same spec emit byte-identical ops (see SerializeOp).
+class WorkloadEngine {
+ public:
+  /// Validates the spec and snapshots the term catalog from `index`
+  /// (ordered by descending document frequency, lexicographic tiebreak)
+  /// and the schema-term pool from `schema`. Neither is retained —
+  /// the engine is self-contained after Build.
+  static Result<WorkloadEngine> Build(const DatabaseSchema& schema,
+                                      const TermIndex& index,
+                                      WorkloadSpec spec);
+
+  /// The next operation of the stream. Not thread-safe; pre-generate
+  /// with Generate() when many workers consume one stream.
+  Op Next();
+
+  /// The next `count` operations.
+  std::vector<Op> Generate(size_t count);
+
+  const WorkloadSpec& spec() const { return spec_; }
+  size_t num_value_terms(uint32_t tenant) const {
+    return tenant_terms_[tenant].size();
+  }
+  size_t num_schema_terms() const { return schema_terms_.size(); }
+  /// The value term at popularity rank `rank` of `tenant`'s catalog.
+  const std::string& ValueTerm(uint32_t tenant, size_t rank) const {
+    return tenant_terms_[tenant][rank];
+  }
+
+ private:
+  struct Tenant {
+    std::vector<std::string> terms;  // popularity (df) order
+    uint64_t inserts = 0;            // per-tenant insert-id counter
+  };
+
+  WorkloadEngine(WorkloadSpec spec, std::vector<std::vector<std::string>> terms,
+                 std::vector<std::string> schema_terms,
+                 std::string insert_relation,
+                 std::vector<Attribute> insert_attributes);
+
+  std::string SampleValueTerm(uint32_t tenant);
+  void FillQuery(Op* op);
+  void FillInsert(Op* op);
+
+  WorkloadSpec spec_;
+  Rng64 rng_;
+  uint64_t next_seq_ = 0;
+  std::vector<std::vector<std::string>> tenant_terms_;
+  std::vector<uint64_t> tenant_inserts_;
+  std::vector<ZipfianGenerator> tenant_zipf_;
+  std::vector<std::string> schema_terms_;
+  std::string insert_relation_;
+  std::vector<Attribute> insert_attributes_;
+};
+
+}  // namespace matcn::workload
+
+#endif  // MATCN_WORKLOAD_WORKLOAD_ENGINE_H_

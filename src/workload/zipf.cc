@@ -1,0 +1,67 @@
+#include "workload/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace matcn::workload {
+
+uint64_t FnvHash64(uint64_t value) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xff;
+    hash *= 0x100000001b3ull;  // FNV prime
+    value >>= 8;
+  }
+  return hash;
+}
+
+namespace {
+
+double Zeta(size_t n, double theta) {
+  double sum = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(size_t n, double theta, bool scramble)
+    : n_(n), theta_(theta), scramble_(scramble) {
+  assert(n > 0);
+  assert(theta >= 0 && theta < 1);
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+size_t ZipfianGenerator::Sample(Rng64& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  size_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<size_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) rank = n_ - 1;  // floating-point edge at u -> 1
+  }
+  return ItemForRank(rank);
+}
+
+double ZipfianGenerator::RankProbability(size_t rank) const {
+  return 1.0 / std::pow(static_cast<double>(rank + 1), theta_) / zetan_;
+}
+
+size_t ZipfianGenerator::ItemForRank(size_t rank) const {
+  if (!scramble_) return rank;
+  return static_cast<size_t>(FnvHash64(static_cast<uint64_t>(rank)) %
+                             static_cast<uint64_t>(n_));
+}
+
+}  // namespace matcn::workload

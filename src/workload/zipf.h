@@ -1,0 +1,93 @@
+#ifndef MATCN_WORKLOAD_ZIPF_H_
+#define MATCN_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace matcn::workload {
+
+/// Deterministic 64-bit generator (SplitMix64). The workload engine uses
+/// this instead of matcn::Rng because std::*_distribution mappings are
+/// implementation-defined: two builds against different standard
+/// libraries would disagree on the sampled stream, and the whole point of
+/// the engine is that a seed names one exact operation stream everywhere.
+class Rng64 {
+ public:
+  explicit Rng64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of mantissa.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses the unbiased
+  /// fixed-point multiply (bias < 2^-64, irrelevant at catalog sizes).
+  uint64_t NextBounded(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * n) >> 64);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// FNV-1a 64-bit hash of an integer key — YCSB's item scrambler.
+uint64_t FnvHash64(uint64_t value);
+
+/// Constant-time Zipfian rank sampler over [0, n), YCSB-style (Gray et
+/// al., "Quickly Generating Billion-Record Synthetic Databases"): rank r
+/// is drawn with probability proportional to 1/(r+1)^theta. The zeta
+/// normalizer is computed once at construction (O(n)); every Sample() is
+/// O(1) — no CDF binary search, so a load generator can sample millions
+/// of times per second.
+///
+/// theta must be in [0, 1): 0 degrades to uniform, values approaching 1
+/// are increasingly head-heavy (YCSB's default 0.99 sends ~half the
+/// traffic to the hottest ~1% of items).
+///
+/// With `scramble`, the sampled rank is mapped through FNV-1a mod n, so
+/// popularity is Zipfian but the *hot items* are spread over the whole id
+/// space instead of clustering at the low ids — decorrelating popularity
+/// rank from item id exactly like YCSB's ScrambledZipfianGenerator.
+/// Sampling stays deterministic per seed stream.
+class ZipfianGenerator {
+ public:
+  /// Requires n > 0 and 0 <= theta < 1.
+  ZipfianGenerator(size_t n, double theta, bool scramble = false);
+
+  /// Returns an item in [0, n) drawn from `rng`.
+  size_t Sample(Rng64& rng) const;
+
+  /// Probability of the item with popularity rank r (before scrambling);
+  /// exposed for the chi-square generator tests.
+  double RankProbability(size_t rank) const;
+
+  /// The item id popularity rank r maps to (identity unless scrambled).
+  size_t ItemForRank(size_t rank) const;
+
+  size_t size() const { return n_; }
+  double theta() const { return theta_; }
+  bool scrambled() const { return scramble_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  bool scramble_;
+  double zetan_ = 0;   // zeta(n, theta)
+  double zeta2_ = 0;   // zeta(2, theta)
+  double alpha_ = 0;   // 1 / (1 - theta)
+  double eta_ = 0;
+};
+
+}  // namespace matcn::workload
+
+#endif  // MATCN_WORKLOAD_ZIPF_H_

@@ -1,0 +1,90 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace matcn::workload {
+namespace {
+
+TEST(ArrivalTest, ParseAndNameRoundTrip) {
+  ArrivalKind kind;
+  ASSERT_TRUE(ParseArrivalKind("closed", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kClosed);
+  ASSERT_TRUE(ParseArrivalKind("poisson", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kOpenPoisson);
+  ASSERT_TRUE(ParseArrivalKind("uniform", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kOpenUniform);
+  EXPECT_FALSE(ParseArrivalKind("bursty", &kind));
+  EXPECT_FALSE(ParseArrivalKind("", &kind));
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kClosed), "closed");
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kOpenPoisson), "poisson");
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kOpenUniform), "uniform");
+}
+
+TEST(ArrivalTest, ClosedScheduleIsAllZeros) {
+  const std::vector<int64_t> offsets =
+      ArrivalOffsetsUs(ArrivalKind::kClosed, 0, 100, 1);
+  ASSERT_EQ(offsets.size(), 100u);
+  for (int64_t off : offsets) EXPECT_EQ(off, 0);
+}
+
+TEST(ArrivalTest, UniformScheduleIsExactMetronome) {
+  const std::vector<int64_t> offsets =
+      ArrivalOffsetsUs(ArrivalKind::kOpenUniform, 1000.0, 50, 1);
+  ASSERT_EQ(offsets.size(), 50u);
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(offsets[i], static_cast<int64_t>(i * 1000)) << "op " << i;
+  }
+}
+
+TEST(ArrivalTest, PoissonMeanGapMatchesTargetRate) {
+  const double qps = 500.0;
+  const size_t count = 20000;
+  const std::vector<int64_t> offsets =
+      ArrivalOffsetsUs(ArrivalKind::kOpenPoisson, qps, count, 7);
+  ASSERT_EQ(offsets.size(), count);
+  // Nondecreasing, starting at/after zero.
+  EXPECT_GE(offsets.front(), 0);
+  for (size_t i = 1; i < count; ++i) ASSERT_GE(offsets[i], offsets[i - 1]);
+  // Mean inter-arrival gap over 20k exponential draws converges to
+  // 1/qps within a few percent for a fixed seed.
+  const double mean_gap_us =
+      static_cast<double>(offsets.back() - offsets.front()) / (count - 1);
+  EXPECT_NEAR(mean_gap_us, 1e6 / qps, 0.05 * 1e6 / qps);
+}
+
+TEST(ArrivalTest, PoissonGapsAreActuallyVariable) {
+  const std::vector<int64_t> offsets =
+      ArrivalOffsetsUs(ArrivalKind::kOpenPoisson, 100.0, 1000, 7);
+  int64_t min_gap = INT64_MAX, max_gap = 0;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    const int64_t gap = offsets[i] - offsets[i - 1];
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+  }
+  // An exponential stream at 100 qps (mean gap 10ms) has both sub-ms
+  // bursts and multi-mean gaps; a metronome would have min == max.
+  EXPECT_LT(min_gap, 2000);
+  EXPECT_GT(max_gap, 20000);
+}
+
+TEST(ArrivalTest, PoissonScheduleIsSeedDeterministic) {
+  const std::vector<int64_t> a =
+      ArrivalOffsetsUs(ArrivalKind::kOpenPoisson, 250.0, 500, 42);
+  const std::vector<int64_t> b =
+      ArrivalOffsetsUs(ArrivalKind::kOpenPoisson, 250.0, 500, 42);
+  const std::vector<int64_t> c =
+      ArrivalOffsetsUs(ArrivalKind::kOpenPoisson, 250.0, 500, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ArrivalTest, EmptyCountYieldsEmptySchedule) {
+  EXPECT_TRUE(ArrivalOffsetsUs(ArrivalKind::kOpenPoisson, 100.0, 0, 1).empty());
+  EXPECT_TRUE(ArrivalOffsetsUs(ArrivalKind::kClosed, 0, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace matcn::workload

@@ -1,0 +1,300 @@
+#include "workload/workload_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+#include "storage/database.h"
+
+namespace matcn::workload {
+namespace {
+
+struct EngineFixture {
+  EngineFixture()
+      : db(matcn::testing::MakeMiniImdb()), index(TermIndex::Build(db)) {}
+
+  Result<WorkloadEngine> Build(WorkloadSpec spec) const {
+    return WorkloadEngine::Build(db.schema(), index, spec);
+  }
+
+  Database db;
+  TermIndex index;
+};
+
+TEST(WorkloadEngineTest, RejectsInvalidSpecs) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.zipf_theta = 1.0;
+  EXPECT_FALSE(fx.Build(spec).ok());
+  spec = WorkloadSpec{};
+  spec.read_fraction = 1.5;
+  EXPECT_FALSE(fx.Build(spec).ok());
+  spec = WorkloadSpec{};
+  spec.value_fraction = 0.8;
+  spec.schema_fraction = 0.3;  // sums past 1
+  EXPECT_FALSE(fx.Build(spec).ok());
+  spec = WorkloadSpec{};
+  spec.tenants = 0;
+  EXPECT_FALSE(fx.Build(spec).ok());
+  spec = WorkloadSpec{};
+  spec.min_keywords = 3;
+  spec.max_keywords = 2;
+  EXPECT_FALSE(fx.Build(spec).ok());
+  spec = WorkloadSpec{};
+  spec.insert_relation = "NOPE";
+  EXPECT_FALSE(fx.Build(spec).ok());
+}
+
+TEST(WorkloadEngineTest, SameSeedProducesByteIdenticalStream) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.seed = 1234;
+  spec.read_fraction = 0.9;
+  spec.tenants = 2;
+  Result<WorkloadEngine> a = fx.Build(spec);
+  Result<WorkloadEngine> b = fx.Build(spec);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  const std::vector<Op> ops_a = a->Generate(500);
+  const std::vector<Op> ops_b = b->Generate(500);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(SerializeOp(ops_a[i]), SerializeOp(ops_b[i])) << "op " << i;
+  }
+  EXPECT_EQ(HashOps(ops_a), HashOps(ops_b));
+}
+
+TEST(WorkloadEngineTest, DifferentSeedsProduceDifferentStreams) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.seed = 1;
+  Result<WorkloadEngine> a = fx.Build(spec);
+  spec.seed = 2;
+  Result<WorkloadEngine> b = fx.Build(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(HashOps(a->Generate(200)), HashOps(b->Generate(200)));
+}
+
+TEST(WorkloadEngineTest, ReadInsertRatioConverges) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.read_fraction = 0.8;
+  spec.seed = 99;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const size_t n = 5000;
+  size_t queries = 0;
+  for (const Op& op : engine->Generate(n)) {
+    if (op.kind == Op::Kind::kQuery) ++queries;
+  }
+  EXPECT_NEAR(static_cast<double>(queries) / n, 0.8, 0.02);
+}
+
+TEST(WorkloadEngineTest, ReadFractionOneNeverInserts) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.read_fraction = 1.0;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok());
+  for (const Op& op : engine->Generate(500)) {
+    EXPECT_EQ(op.kind, Op::Kind::kQuery);
+  }
+}
+
+TEST(WorkloadEngineTest, KeywordCountsRespectBoundsAndAreDistinct) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.min_keywords = 2;
+  spec.max_keywords = 4;
+  spec.read_fraction = 1.0;
+  spec.seed = 5;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok());
+  for (const Op& op : engine->Generate(1000)) {
+    ASSERT_GE(op.keywords.size(), 2u);
+    ASSERT_LE(op.keywords.size(), 4u);
+    std::set<std::string> uniq(op.keywords.begin(), op.keywords.end());
+    EXPECT_EQ(uniq.size(), op.keywords.size())
+        << "duplicate keyword in " << SerializeOp(op);
+    for (const std::string& kw : op.keywords) EXPECT_FALSE(kw.empty());
+  }
+}
+
+TEST(WorkloadEngineTest, PureValueMixDrawsOnlyCatalogTerms) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.value_fraction = 1.0;
+  spec.schema_fraction = 0.0;
+  spec.read_fraction = 1.0;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok());
+  std::set<std::string> catalog;
+  for (size_t r = 0; r < engine->num_value_terms(0); ++r) {
+    catalog.insert(engine->ValueTerm(0, r));
+  }
+  for (const Op& op : engine->Generate(500)) {
+    for (const std::string& kw : op.keywords) {
+      EXPECT_TRUE(catalog.count(kw)) << kw << " not a catalog term";
+    }
+  }
+}
+
+TEST(WorkloadEngineTest, PureSchemaMixDrawsOnlySchemaTerms) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.value_fraction = 0.0;
+  spec.schema_fraction = 1.0;
+  spec.read_fraction = 1.0;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok());
+  // The schema pool is lowercased relation + attribute names.
+  std::set<std::string> pool;
+  const DatabaseSchema& schema = fx.db.schema();
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(c));
+    return s;
+  };
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    const RelationSchema& rel = schema.relation(static_cast<RelationId>(r));
+    pool.insert(lower(rel.name()));
+    for (const Attribute& attr : rel.attributes()) pool.insert(lower(attr.name));
+  }
+  EXPECT_EQ(engine->num_schema_terms(), pool.size());
+  for (const Op& op : engine->Generate(500)) {
+    for (const std::string& kw : op.keywords) {
+      EXPECT_TRUE(pool.count(kw)) << kw << " not a schema term";
+    }
+  }
+}
+
+TEST(WorkloadEngineTest, TenantsAreCoveredAndInsertIdSpacesDisjoint) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.tenants = 3;
+  spec.read_fraction = 0.5;  // plenty of inserts
+  spec.seed = 17;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::set<uint32_t> tenants_seen;
+  std::set<int64_t> insert_ids;
+  std::vector<std::set<int64_t>> per_tenant_ids(3);
+  size_t inserts = 0;
+  for (const Op& op : engine->Generate(3000)) {
+    ASSERT_LT(op.tenant, 3u);
+    tenants_seen.insert(op.tenant);
+    if (op.kind != Op::Kind::kInsert) continue;
+    ++inserts;
+    // Every insert carries exactly one synthesized unique int id.
+    int64_t id = -1;
+    for (const OpValue& v : op.values) {
+      if (v.is_int) id = v.int_value;
+    }
+    ASSERT_GE(id, 1'000'000'000);
+    EXPECT_TRUE(insert_ids.insert(id).second) << "duplicate insert id " << id;
+    per_tenant_ids[op.tenant].insert(id);
+  }
+  EXPECT_EQ(tenants_seen.size(), 3u);
+  EXPECT_GT(inserts, 1000u);
+  // Id ranges are disjoint by construction (1e9 + tenant * 1e7 + n).
+  for (uint32_t t = 0; t < 3; ++t) {
+    for (int64_t id : per_tenant_ids[t]) {
+      EXPECT_EQ((id - 1'000'000'000) / 10'000'000, t);
+    }
+  }
+  // Tenant catalogs are disjoint deals of the df-ordered term list.
+  std::set<std::string> t0, t1;
+  for (size_t r = 0; r < engine->num_value_terms(0); ++r) {
+    t0.insert(engine->ValueTerm(0, r));
+  }
+  for (size_t r = 0; r < engine->num_value_terms(1); ++r) {
+    t1.insert(engine->ValueTerm(1, r));
+  }
+  for (const std::string& term : t1) EXPECT_FALSE(t0.count(term));
+}
+
+TEST(WorkloadEngineTest, InsertsMatchRelationArityAndTypes) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.read_fraction = 0.0;  // all inserts
+  spec.seed = 23;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const DatabaseSchema& schema = fx.db.schema();
+  for (const Op& op : engine->Generate(200)) {
+    ASSERT_EQ(op.kind, Op::Kind::kInsert);
+    ASSERT_FALSE(op.relation.empty());
+    const auto rel_id = schema.RelationIdByName(op.relation);
+    ASSERT_TRUE(rel_id.has_value());
+    const std::vector<Attribute>& attrs = schema.relation(*rel_id).attributes();
+    ASSERT_EQ(op.values.size(), attrs.size());
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      EXPECT_EQ(op.values[i].is_int, attrs[i].type == ValueType::kInt);
+      if (!op.values[i].is_int) EXPECT_FALSE(op.values[i].text.empty());
+    }
+  }
+}
+
+TEST(WorkloadEngineTest, UnscrambledSkewFavorsHighDfHead) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.scramble = false;
+  spec.zipf_theta = 0.99;
+  spec.read_fraction = 1.0;
+  spec.value_fraction = 1.0;
+  spec.schema_fraction = 0.0;
+  spec.min_keywords = 1;
+  spec.max_keywords = 1;
+  spec.seed = 29;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok());
+  const std::string head = engine->ValueTerm(0, 0);  // highest-df term
+  size_t head_hits = 0;
+  const size_t n = 2000;
+  for (const Op& op : engine->Generate(n)) {
+    if (op.keywords.size() == 1 && op.keywords[0] == head) ++head_hits;
+  }
+  // Under theta=0.99 without scrambling, rank 0 carries by far the most
+  // mass — far above the uniform share.
+  EXPECT_GT(head_hits, n / engine->num_value_terms(0));
+  EXPECT_GT(head_hits, n / 10);
+}
+
+TEST(WorkloadEngineTest, SerializeOpIsCanonical) {
+  Op q;
+  q.kind = Op::Kind::kQuery;
+  q.tenant = 2;
+  q.keywords = {"denzel", "gangster"};
+  EXPECT_EQ(SerializeOp(q), "Q t=2 kw=denzel,gangster");
+  Op ins;
+  ins.kind = Op::Kind::kInsert;
+  ins.tenant = 0;
+  ins.relation = "PER";
+  OpValue id;
+  id.is_int = true;
+  id.int_value = 1000000001;
+  OpValue name;
+  name.text = "ld0x1 denzel";
+  ins.values = {id, name};
+  EXPECT_EQ(SerializeOp(ins), "I t=0 rel=PER vals=i:1000000001|t:ld0x1 denzel");
+  EXPECT_NE(HashOps({q}), HashOps({ins}));
+  EXPECT_NE(HashOps({q, ins}), HashOps({ins, q}));
+}
+
+TEST(WorkloadEngineTest, MaxCatalogTermsBoundsTheCatalog) {
+  EngineFixture fx;
+  WorkloadSpec spec;
+  spec.max_catalog_terms = 5;
+  spec.read_fraction = 1.0;
+  Result<WorkloadEngine> engine = fx.Build(spec);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_LE(engine->num_value_terms(0), 5u);
+}
+
+}  // namespace
+}  // namespace matcn::workload

@@ -1,0 +1,142 @@
+#include "workload/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace matcn::workload {
+namespace {
+
+TEST(LoadRecorderTest, EmptySnapshotIsAllZero) {
+  LoadRecorder recorder;
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.issued(), 0u);
+  EXPECT_EQ(snap.queries(), 0u);
+  EXPECT_EQ(snap.p99_ms, 0.0);
+  EXPECT_EQ(snap.warmup_skipped, 0u);
+}
+
+TEST(LoadRecorderTest, CountsOutcomesSeparately) {
+  LoadRecorder recorder;
+  recorder.RecordQuery(OpOutcome::kOk, 0, 100, /*cache_hit=*/true,
+                       /*degraded=*/false);
+  recorder.RecordQuery(OpOutcome::kOk, 0, 200, false, true);
+  recorder.RecordQuery(OpOutcome::kRejected, 0, 50, false, false);
+  recorder.RecordQuery(OpOutcome::kDeadline, 0, 5000, false, false);
+  recorder.RecordQuery(OpOutcome::kError, 0, 10, false, false);
+  recorder.RecordInsert(true, 0, 300);
+  recorder.RecordInsert(false, 0, 400);
+
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.ok, 2u);
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.degraded, 1u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.deadline, 1u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_EQ(snap.inserts_ok, 1u);
+  EXPECT_EQ(snap.insert_errors, 1u);
+  EXPECT_EQ(snap.queries(), 5u);
+  EXPECT_EQ(snap.issued(), 7u);
+}
+
+TEST(LoadRecorderTest, LatencyIsEndMinusIntendedStart) {
+  // The coordinated-omission contract: a request *intended* at t=0 that
+  // completed at t=10000 took 10ms, even if the client only managed to
+  // put it on the wire at t=9000.
+  LoadRecorder recorder;
+  for (int i = 0; i < 1000; ++i) {
+    recorder.RecordQuery(OpOutcome::kOk, 0, 10'000, false, false);
+  }
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_NEAR(snap.p50_ms, 10.0, 1.0);
+  EXPECT_NEAR(snap.max_ms, 10.0, 1.0);
+  EXPECT_NEAR(snap.mean_ms, 10.0, 1.0);
+}
+
+TEST(LoadRecorderTest, RejectionsContributeLatencySamples) {
+  // A rejection the caller waited 5ms for is 5ms of user-visible delay;
+  // it must not vanish from the latency distribution.
+  LoadRecorder recorder;
+  for (int i = 0; i < 100; ++i) {
+    recorder.RecordQuery(OpOutcome::kRejected, 0, 5'000, false, false);
+  }
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.rejected, 100u);
+  EXPECT_NEAR(snap.p50_ms, 5.0, 0.5);
+}
+
+TEST(LoadRecorderTest, WarmupSamplesAreExcludedEverywhere) {
+  LoadRecorder recorder;
+  recorder.SetMeasureStartUs(1'000'000);
+  // Intended before the measure start: excluded, whatever the end time.
+  recorder.RecordQuery(OpOutcome::kOk, 999'999, 2'000'000, true, false);
+  recorder.RecordInsert(true, 500'000, 1'500'000);
+  // Intended exactly at / after the start: measured.
+  recorder.RecordQuery(OpOutcome::kOk, 1'000'000, 1'002'000, false, false);
+
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.warmup_skipped, 2u);
+  EXPECT_EQ(snap.ok, 1u);
+  EXPECT_EQ(snap.cache_hits, 0u);  // the warmup hit did not leak in
+  EXPECT_EQ(snap.inserts_ok, 0u);
+  EXPECT_NEAR(snap.p50_ms, 2.0, 0.3);
+  EXPECT_LT(snap.max_ms, 3.0);  // the 1s warmup sample is not the max
+}
+
+TEST(LoadRecorderTest, InsertLatencyTrackedSeparately) {
+  LoadRecorder recorder;
+  for (int i = 0; i < 500; ++i) {
+    recorder.RecordQuery(OpOutcome::kOk, 0, 1'000, false, false);
+    recorder.RecordInsert(true, 0, 20'000);
+  }
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_NEAR(snap.p99_ms, 1.0, 0.2);
+  EXPECT_NEAR(snap.insert_p99_ms, 20.0, 2.0);
+  EXPECT_NEAR(snap.insert_p50_ms, 20.0, 2.0);
+}
+
+TEST(LoadRecorderTest, SnapshotToStringMentionsCounts) {
+  LoadRecorder recorder;
+  recorder.RecordQuery(OpOutcome::kOk, 0, 100, false, false);
+  const std::string s = recorder.Snapshot().ToString();
+  EXPECT_NE(s.find("ok=1"), std::string::npos) << s;
+}
+
+TEST(LoadRecorderTest, ConcurrentRecordingLosesNothing) {
+  // Exercised under TSAN in CI: many workers record while a reporter
+  // thread snapshots mid-flight.
+  LoadRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.RecordQuery(OpOutcome::kOk, 0, 100 + t, (i & 1) != 0,
+                             false);
+        if ((i & 7) == 0) recorder.RecordInsert(true, 0, 50);
+      }
+    });
+  }
+  std::thread reporter([&recorder] {
+    for (int i = 0; i < 100; ++i) {
+      const LoadSnapshot snap = recorder.Snapshot();
+      ASSERT_LE(snap.cache_hits, snap.ok);
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  reporter.join();
+
+  const LoadSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.ok, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.cache_hits, snap.ok / 2);
+  EXPECT_EQ(snap.inserts_ok,
+            static_cast<uint64_t>(kThreads) * (kPerThread / 8));
+}
+
+}  // namespace
+}  // namespace matcn::workload

@@ -1,0 +1,149 @@
+#include "workload/serve_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace matcn::workload {
+namespace {
+
+ServeBenchReport MakeReport() {
+  ServeBenchReport report;
+  report.dataset = "imdb";
+  report.scale = 0.25;
+  report.seed = 11;
+  report.connections = 4;
+  report.server_threads = 2;
+  report.read_fraction = 0.95;
+  report.zipf_theta = 0.99;
+  report.scramble = true;
+  report.tenants = 2;
+  report.saturation_qps = 300;
+
+  PhaseResult phase;
+  phase.offered_qps = 300;
+  phase.achieved_qps = 297.5;
+  phase.duration_s = 5.0;
+  phase.arrival = "poisson";
+  phase.completed = 1400;
+  phase.rejected = 3;
+  phase.deadline = 1;
+  phase.errors = 0;
+  phase.p50_ms = 1.2;
+  phase.p95_ms = 4.5;
+  phase.p99_ms = 9.1;
+  phase.p999_ms = 20.7;
+  phase.max_ms = 31.0;
+  phase.cache_hit_rate = 0.4;
+  phase.degraded_fraction = 0.01;
+  phase.reject_rate = 0.002;
+  phase.inserts = 70;
+  phase.insert_qps = 14;
+  phase.insert_p99_ms = 2.2;
+  phase.index_version_start = 10;
+  phase.index_version_end = 80;
+  phase.ops_hash = 0xdeadbeefcafef00dull;
+  phase.saturated = false;
+  report.phases.push_back(phase);
+  phase.offered_qps = 600;
+  phase.achieved_qps = 430;
+  phase.saturated = true;
+  report.phases.push_back(phase);
+  return report;
+}
+
+TEST(ServeReportTest, ToJsonRoundTripsThroughValidator) {
+  const std::string json = MakeReport().ToJson();
+  std::string error;
+  EXPECT_TRUE(ValidateBenchServeJson(json, &error)) << error;
+  // Spot-check load-bearing fields made it into the text.
+  EXPECT_NE(json.find("\"bench\": \"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"saturation_qps\": 300"), std::string::npos);
+  EXPECT_NE(json.find("\"arrival\": \"poisson\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops_hash\": 16045690984503111693"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"saturated\": true"), std::string::npos);
+}
+
+TEST(ServeReportTest, RejectsTruncatedJson) {
+  const std::string json = MakeReport().ToJson();
+  std::string error;
+  EXPECT_FALSE(
+      ValidateBenchServeJson(json.substr(0, json.size() / 2), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ValidateBenchServeJson("", &error));
+  EXPECT_FALSE(ValidateBenchServeJson("not json at all", &error));
+  EXPECT_FALSE(ValidateBenchServeJson("[1, 2, 3]", &error));
+}
+
+TEST(ServeReportTest, RejectsWrongBenchTag) {
+  std::string json = MakeReport().ToJson();
+  const size_t pos = json.find("\"serve\"");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 7, "\"index\"");
+  std::string error;
+  EXPECT_FALSE(ValidateBenchServeJson(json, &error));
+}
+
+TEST(ServeReportTest, RejectsMissingHeaderField) {
+  std::string json = MakeReport().ToJson();
+  const size_t pos = json.find("\"read_fraction\"");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 15, "\"read_fractixn\"");
+  std::string error;
+  EXPECT_FALSE(ValidateBenchServeJson(json, &error));
+  EXPECT_NE(error.find("read_fraction"), std::string::npos) << error;
+}
+
+TEST(ServeReportTest, RejectsMissingPhaseField) {
+  std::string json = MakeReport().ToJson();
+  // Break p999_ms in the *second* phase: the validator must check every
+  // phase, not just the first.
+  const size_t first = json.find("\"p999_ms\"");
+  ASSERT_NE(first, std::string::npos);
+  const size_t second = json.find("\"p999_ms\"", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  json.replace(second, 9, "\"p999_xx\"");
+  std::string error;
+  EXPECT_FALSE(ValidateBenchServeJson(json, &error));
+  EXPECT_NE(error.find("p999_ms"), std::string::npos) << error;
+}
+
+TEST(ServeReportTest, RejectsNonNumericField) {
+  std::string json = MakeReport().ToJson();
+  const size_t pos = json.find("\"scale\": 0.25");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 13, "\"scale\": \"xl\"");
+  std::string error;
+  EXPECT_FALSE(ValidateBenchServeJson(json, &error));
+}
+
+TEST(ServeReportTest, RejectsEmptyPhases) {
+  ServeBenchReport report = MakeReport();
+  report.phases.clear();
+  std::string error;
+  EXPECT_FALSE(ValidateBenchServeJson(report.ToJson(), &error));
+  EXPECT_NE(error.find("phase"), std::string::npos) << error;
+}
+
+TEST(ServeReportTest, RejectsZeroCompletedQueries) {
+  ServeBenchReport report = MakeReport();
+  for (PhaseResult& phase : report.phases) phase.completed = 0;
+  std::string error;
+  EXPECT_FALSE(ValidateBenchServeJson(report.ToJson(), &error));
+  EXPECT_NE(error.find("completed"), std::string::npos) << error;
+}
+
+TEST(ServeReportTest, LargeOpsHashSurvivesRoundTrip) {
+  // ops_hash uses the full uint64 range; the emitter must not clip it
+  // through a double.
+  ServeBenchReport report = MakeReport();
+  report.phases[0].ops_hash = 18446744073709551615ull;  // UINT64_MAX
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("18446744073709551615"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(ValidateBenchServeJson(json, &error)) << error;
+}
+
+}  // namespace
+}  // namespace matcn::workload

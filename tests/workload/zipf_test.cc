@@ -1,0 +1,156 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace matcn::workload {
+namespace {
+
+TEST(Rng64Test, SameSeedSameStream) {
+  Rng64 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng64Test, DifferentSeedsDiverge) {
+  Rng64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng64Test, NextDoubleInUnitInterval) {
+  Rng64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng64Test, NextBoundedStaysInRangeAndCoversIt) {
+  Rng64 rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Rng64Test, BernoulliConvergesToP) {
+  Rng64 rng(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(ZipfianGeneratorTest, ThetaZeroIsUniform) {
+  const size_t n = 50;
+  ZipfianGenerator gen(n, 0.0);
+  Rng64 rng(21);
+  std::vector<int> counts(n, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++counts[gen.Sample(rng)];
+  const double expected = static_cast<double>(samples) / n;
+  for (size_t i = 0; i < n; ++i) {
+    // 5-sigma band around the binomial expectation.
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected))
+        << "item " << i;
+  }
+}
+
+TEST(ZipfianGeneratorTest, RankFrequenciesMatchRankProbability) {
+  // Observed rank counts against the analytic 1/(r+1)^theta / zeta(n)
+  // probabilities the generator reports. The Gray et al. sampler is an
+  // approximation: ranks 0 and 1 are sampled exactly, the tail via the
+  // continuous power-law inverse CDF, which deviates from the exact pmf
+  // by up to ~15% at rank 2 and shrinks down the tail — so the test uses
+  // per-rank relative tolerances, not a strict chi-square.
+  const size_t n = 100;
+  const double theta = 0.99;
+  ZipfianGenerator gen(n, theta, /*scramble=*/false);
+  Rng64 rng(31);
+  std::vector<uint64_t> counts(n, 0);
+  const uint64_t samples = 400000;
+  for (uint64_t i = 0; i < samples; ++i) ++counts[gen.Sample(rng)];
+
+  double total_p = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const double p = gen.RankProbability(r);
+    EXPECT_GT(p, 0.0);
+    total_p += p;
+    const double expected = p * static_cast<double>(samples);
+    const double observed = static_cast<double>(counts[r]);
+    // Exact branch for the two hottest ranks, approximation band below.
+    const double tolerance = r < 2 ? 0.04 : 0.20;
+    EXPECT_NEAR(observed, expected, expected * tolerance + 30)
+        << "rank " << r;
+  }
+  // The reported probabilities are a distribution.
+  EXPECT_NEAR(total_p, 1.0, 1e-9);
+  // Head dominance: rank 0 beats rank 10 beats rank 50.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfianGeneratorTest, UnscrambledItemIsRank) {
+  ZipfianGenerator gen(64, 0.9, /*scramble=*/false);
+  for (size_t r = 0; r < 64; ++r) EXPECT_EQ(gen.ItemForRank(r), r);
+}
+
+TEST(ZipfianGeneratorTest, ScrambleDecorrelatesItemIdFromPopularity) {
+  // With scrambling, hot items should be spread across the id space, so
+  // the sample-weighted mean item id sits near n/2; unscrambled, the
+  // mass clusters at the low ids.
+  const size_t n = 1000;
+  const int samples = 200000;
+  auto weighted_mean_id = [&](bool scramble, uint64_t seed) {
+    ZipfianGenerator gen(n, 0.99, scramble);
+    Rng64 rng(seed);
+    double sum = 0;
+    for (int i = 0; i < samples; ++i) sum += static_cast<double>(gen.Sample(rng));
+    return sum / samples;
+  };
+  const double plain = weighted_mean_id(false, 41);
+  const double scrambled = weighted_mean_id(true, 41);
+  EXPECT_LT(plain, 0.25 * n);             // head-heavy
+  EXPECT_GT(scrambled, 0.35 * n);         // spread out
+  EXPECT_LT(scrambled, 0.65 * n);
+}
+
+TEST(ZipfianGeneratorTest, ScrambledSamplesStayInRange) {
+  const size_t n = 37;  // not a power of two: exercises the mod
+  ZipfianGenerator gen(n, 0.8, /*scramble=*/true);
+  Rng64 rng(55);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(gen.Sample(rng), n);
+}
+
+TEST(ZipfianGeneratorTest, SameSeedSameSamples) {
+  ZipfianGenerator gen(128, 0.95, /*scramble=*/true);
+  Rng64 a(77), b(77);
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(gen.Sample(a), gen.Sample(b));
+}
+
+TEST(ZipfianGeneratorTest, SingleItemAlwaysSampled) {
+  ZipfianGenerator gen(1, 0.99, /*scramble=*/true);
+  Rng64 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.Sample(rng), 0u);
+}
+
+TEST(FnvHash64Test, IsDeterministicAndSpreads) {
+  EXPECT_EQ(FnvHash64(42), FnvHash64(42));
+  EXPECT_NE(FnvHash64(1), FnvHash64(2));
+  EXPECT_NE(FnvHash64(0), 0u);
+}
+
+}  // namespace
+}  // namespace matcn::workload
