@@ -1,0 +1,530 @@
+// Hot-path kernel microbenchmark (DESIGN.md §12): varbyte block decode,
+// sorted posting intersection, and QMGen minimal-cover search, each
+// measured against the legacy code path it replaced. Posting lists are
+// imdb-derived (the real df skew, not synthetic uniform gaps). Emits
+// BENCH_kernels.json for regression tracking; the JSON is schema-checked
+// before it is written, so a malformed report fails the run instead of
+// poisoning the tracking data.
+//
+//   $ ./bench_kernels [--out BENCH_kernels.json] [--smoke] [--check]
+//
+// Flags:
+//   --out PATH   output JSON path             (default BENCH_kernels.json)
+//   --smoke      CI-sized run: tiny rep counts, same code paths
+//   --check      exit nonzero unless the SIMD tiers hit the 2x
+//                acceptance bar over the legacy decode/intersect paths
+//
+// Env knobs: MATCN_BENCH_SCALE (default 0.1).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/keyword_query.h"
+#include "core/minimal_cover.h"
+#include "datasets/generators.h"
+#include "indexing/postings.h"
+#include "indexing/term_index.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+#include "storage/database.h"
+
+namespace matcn::bench {
+namespace {
+
+struct Cell {
+  std::string section;  // "decode" | "intersect" | "covers"
+  std::string impl;
+  double wall_seconds = 0;
+  double throughput = 0;   // unit depends on the section
+  std::string unit;        // "MB/s" | "elems/s" | "probes/s"
+  uint64_t checksum = 0;   // keeps the optimizer honest; must agree
+};
+
+// --------------------------------------------------------------------------
+// Decode: encoded posting bytes -> absolute ids, MB/s over encoded bytes.
+
+struct EncodedList {
+  std::vector<uint8_t> bytes;
+  size_t count = 0;
+};
+
+// Every sampled term's posting list, varbyte-delta encoded exactly like
+// PostingList::Build(ids, /*compress=*/true) stores it.
+std::vector<EncodedList> EncodePostings(
+    const std::vector<std::vector<TupleId>>& lists) {
+  std::vector<EncodedList> encoded;
+  encoded.reserve(lists.size());
+  for (const std::vector<TupleId>& ids : lists) {
+    EncodedList e;
+    e.count = ids.size();
+    uint64_t prev = 0;
+    for (const TupleId& id : ids) {
+      VarbyteEncode(id.packed() - prev, &e.bytes);
+      prev = id.packed();
+    }
+    encoded.push_back(std::move(e));
+  }
+  return encoded;
+}
+
+template <typename DecodeFn>
+Cell RunDecode(const std::string& impl,
+               const std::vector<EncodedList>& encoded, size_t reps,
+               const DecodeFn& decode) {
+  size_t max_count = 0, total_bytes = 0;
+  for (const EncodedList& e : encoded) {
+    max_count = std::max(max_count, e.count);
+    total_bytes += e.bytes.size();
+  }
+  std::vector<uint64_t> out(max_count + 1);
+
+  Cell cell;
+  cell.section = "decode";
+  cell.impl = impl;
+  cell.unit = "MB/s";
+  Stopwatch watch;
+  for (size_t r = 0; r < reps; ++r) {
+    for (const EncodedList& e : encoded) {
+      decode(e, out.data());
+      cell.checksum += out[e.count / 2] + out[e.count == 0 ? 0 : e.count - 1];
+    }
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  if (cell.wall_seconds > 0) {
+    cell.throughput = static_cast<double>(total_bytes * reps) / 1e6 /
+                      cell.wall_seconds;
+  }
+  return cell;
+}
+
+// --------------------------------------------------------------------------
+// Intersect: pairs of posting lists as packed u64, elems/s over na+nb.
+
+struct U64Pair {
+  const std::vector<uint64_t>* a;
+  const std::vector<uint64_t>* b;
+};
+
+template <typename IntersectFn>
+Cell RunIntersect(const std::string& impl, const std::vector<U64Pair>& pairs,
+                  size_t reps, const IntersectFn& intersect) {
+  size_t max_out = 0, total_elems = 0;
+  for (const U64Pair& p : pairs) {
+    max_out = std::max(max_out, std::min(p.a->size(), p.b->size()));
+    total_elems += p.a->size() + p.b->size();
+  }
+  std::vector<uint64_t> out(max_out + 1);
+
+  Cell cell;
+  cell.section = "intersect";
+  cell.impl = impl;
+  cell.unit = "elems/s";
+  Stopwatch watch;
+  for (size_t r = 0; r < reps; ++r) {
+    for (const U64Pair& p : pairs) {
+      cell.checksum += intersect(*p.a, *p.b, out.data());
+    }
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  if (cell.wall_seconds > 0) {
+    cell.throughput = static_cast<double>(total_elems * reps) /
+                      cell.wall_seconds;
+  }
+  return cell;
+}
+
+// --------------------------------------------------------------------------
+// Covers: QMGen minimal-cover search, probes/s. The unpruned reference is
+// the pre-optimization shape: no suffix-OR reachability bound, O(k^2)
+// IsMinimalCover at every leaf.
+
+struct UnprunedSearch {
+  const std::vector<Termset>* available;
+  Termset full;
+  std::vector<Termset> current;
+  std::vector<std::vector<Termset>>* out;
+  uint64_t probes = 0;
+
+  void Recurse(size_t start, Termset covered) {
+    ++probes;
+    if (covered == full) {
+      if (IsMinimalCover(current, full)) out->push_back(current);
+      return;
+    }
+    if (current.size() >= static_cast<size_t>(TermsetSize(full))) return;
+    for (size_t i = start; i < available->size(); ++i) {
+      const Termset t = (*available)[i];
+      if ((t & ~covered) == 0) continue;
+      current.push_back(t);
+      Recurse(i + 1, covered | t);
+      current.pop_back();
+    }
+  }
+};
+
+// Deterministic cover workloads: for k keywords, every termset whose
+// popcount divides the round index unevenly — a mix of singletons, pairs
+// and wide sets, like real R_Q termset distributions.
+std::vector<std::vector<Termset>> MakeCoverCases(int keywords, size_t cases) {
+  std::vector<std::vector<Termset>> out;
+  const Termset full = (Termset{1} << keywords) - 1;
+  for (size_t c = 0; c < cases; ++c) {
+    std::vector<Termset> available;
+    for (Termset t = 1; t <= full; ++t) {
+      // A deterministic thinning keyed on the case index keeps the cases
+      // distinct while staying reproducible without an RNG.
+      if (((t * 2654435761u) >> 7) % (c + 3) == 0 ||
+          TermsetSize(t) == 1) {
+        available.push_back(t);
+      }
+      if (available.size() >= 18) break;  // bound the naive reference
+    }
+    out.push_back(std::move(available));
+  }
+  return out;
+}
+
+Cell RunCoversPruned(const std::vector<std::vector<Termset>>& cases,
+                     Termset full, size_t reps) {
+  Cell cell;
+  cell.section = "covers";
+  cell.impl = "pruned";
+  cell.unit = "probes/s";
+  uint64_t probes = 0;
+  Stopwatch watch;
+  for (size_t r = 0; r < reps; ++r) {
+    for (const std::vector<Termset>& available : cases) {
+      CoverSearchStats stats;
+      const auto covers = EnumerateMinimalCovers(available, full, 0, &stats);
+      probes += stats.probes;
+      cell.checksum += covers.size();
+    }
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  if (cell.wall_seconds > 0) {
+    cell.throughput = static_cast<double>(probes) / cell.wall_seconds;
+  }
+  return cell;
+}
+
+Cell RunCoversUnpruned(const std::vector<std::vector<Termset>>& cases,
+                       Termset full, size_t reps) {
+  Cell cell;
+  cell.section = "covers";
+  cell.impl = "unpruned";
+  cell.unit = "probes/s";
+  uint64_t probes = 0;
+  Stopwatch watch;
+  for (size_t r = 0; r < reps; ++r) {
+    for (const std::vector<Termset>& available : cases) {
+      // Same canonicalization EnumerateMinimalCovers applies, so both
+      // searches walk the same candidate space.
+      std::vector<Termset> sorted = available;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      std::vector<std::vector<Termset>> covers;
+      UnprunedSearch search{&sorted, full, {}, &covers, 0};
+      search.Recurse(0, 0);
+      std::sort(covers.begin(), covers.end());
+      probes += search.probes;
+      cell.checksum += covers.size();
+    }
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  if (cell.wall_seconds > 0) {
+    cell.throughput = static_cast<double>(probes) / cell.wall_seconds;
+  }
+  return cell;
+}
+
+// --------------------------------------------------------------------------
+
+void AppendJson(std::string* out, const Cell& cell, bool last) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"section\": \"%s\", \"impl\": \"%s\", "
+                "\"wall_seconds\": %.4f, \"throughput\": %.1f, "
+                "\"unit\": \"%s\", \"checksum\": %llu}%s\n",
+                cell.section.c_str(), cell.impl.c_str(), cell.wall_seconds,
+                cell.throughput, cell.unit.c_str(),
+                static_cast<unsigned long long>(cell.checksum),
+                last ? "" : ",");
+  *out += buf;
+}
+
+// Minimal structural check of the report before it hits disk: every
+// required top-level key, every cell key, and nonempty sections. Keeps a
+// refactor of the emitter from silently breaking the tracked schema.
+bool SchemaCheck(const std::string& json, size_t expected_cells) {
+  for (const char* key :
+       {"\"bench\"", "\"dataset\"", "\"scale\"", "\"simd_level\"",
+        "\"smoke\"", "\"cells\""}) {
+    if (json.find(key) == std::string::npos) {
+      std::cerr << "schema check: missing top-level key " << key << "\n";
+      return false;
+    }
+  }
+  size_t cells = 0;
+  for (size_t pos = json.find("{\"section\""); pos != std::string::npos;
+       pos = json.find("{\"section\"", pos + 1)) {
+    ++cells;
+  }
+  if (cells != expected_cells) {
+    std::cerr << "schema check: " << cells << " cells serialized, expected "
+              << expected_cells << "\n";
+    return false;
+  }
+  for (const char* key : {"\"impl\"", "\"wall_seconds\"", "\"throughput\"",
+                          "\"unit\"", "\"checksum\""}) {
+    size_t count = 0;
+    for (size_t pos = json.find(key); pos != std::string::npos;
+         pos = json.find(key, pos + 1)) {
+      ++count;
+    }
+    if (count != expected_cells) {
+      std::cerr << "schema check: key " << key << " appears " << count
+                << " times, expected " << expected_cells << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Best-of-N trials: on a shared machine a single trial's wall time swings
+// by 2x with scheduler noise; the fastest trial is the least-perturbed
+// measurement of the same deterministic work.
+template <typename MakeCell>
+Cell Best(size_t trials, const MakeCell& make) {
+  Cell best = make();
+  for (size_t t = 1; t < trials; ++t) {
+    const Cell c = make();
+    if (c.throughput > best.throughput) best = c;
+  }
+  return best;
+}
+
+double Throughput(const std::vector<Cell>& cells, const std::string& section,
+                  const std::string& impl) {
+  for (const Cell& c : cells) {
+    if (c.section == section && c.impl == impl) return c.throughput;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace matcn::bench
+
+int main(int argc, char** argv) {
+  using namespace matcn;
+  using namespace matcn::bench;
+
+  FlagSet flags(argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_kernels.json");
+  const bool smoke = flags.Has("smoke");
+  const bool check = flags.Has("check");
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown
+              << " (have --out --smoke --check)\n";
+    return 2;
+  }
+
+  const size_t decode_reps = smoke ? 2 : 200;
+  const size_t intersect_reps = smoke ? 2 : 50;
+  const size_t cover_reps = smoke ? 1 : 20;
+  const size_t trials = smoke ? 1 : 3;
+
+  // imdb-derived posting lists: every sampled term's real tuple list, so
+  // the gap distribution (dense CAST rows, sparse rare terms) is the one
+  // the serving path decodes. The corpus scale is floored at 8: at the
+  // suite's default 0.1 the synthetic imdb vocabulary yields median
+  // 4-element lists, which measure per-call overhead instead of the
+  // kernels (generation takes ~0.1 s, so the floor is free).
+  const double scale = std::max(BenchScale(), 8.0);
+  Database db = MakeImdb(42, scale);
+  const TermIndex index = TermIndex::Build(db);
+  std::vector<std::vector<TupleId>> lists;
+  {
+    const std::vector<std::string> terms = index.AllTerms();
+    const size_t step = std::max<size_t>(1, terms.size() / 512);
+    for (size_t i = 0; i < terms.size(); i += step) {
+      std::vector<TupleId> ids = index.TuplesFor(terms[i]);
+      if (!ids.empty()) lists.push_back(std::move(ids));
+    }
+  }
+  if (lists.empty()) {
+    std::cerr << "no posting lists sampled\n";
+    return 1;
+  }
+  const std::vector<EncodedList> encoded = EncodePostings(lists);
+
+  std::vector<Cell> cells;
+
+  // Decode. "legacy" is the pre-kernel per-value loop PostingList::Decode
+  // used; "scalar" the block kernel with SIMD pinned off; "simd" the
+  // dispatched kernel.
+  cells.push_back(Best(trials, [&] {
+    return RunDecode("legacy", encoded, decode_reps,
+                     [](const EncodedList& e, uint64_t* out) {
+                       size_t pos = 0;
+                       uint64_t prev = 0;
+                       for (size_t i = 0; i < e.count; ++i) {
+                         prev += VarbyteDecode(e.bytes, &pos);
+                         out[i] = prev;
+                       }
+                     });
+  }));
+  cells.push_back(Best(trials, [&] {
+    return RunDecode("scalar", encoded, decode_reps,
+                     [](const EncodedList& e, uint64_t* out) {
+                       simd::DecodeDeltaBlockScalar(e.bytes.data(),
+                                                    e.bytes.size(), e.count,
+                                                    out);
+                     });
+  }));
+  cells.push_back(Best(trials, [&] {
+    return RunDecode("simd", encoded, decode_reps,
+                     [](const EncodedList& e, uint64_t* out) {
+                       simd::DecodeDeltaBlock(e.bytes.data(), e.bytes.size(),
+                                              e.count, out);
+                     });
+  }));
+
+  // Intersect. Pairs: consecutive similar-size lists plus rare x common
+  // skew pairs (each list against the largest), the TSFind pattern that
+  // triggers galloping.
+  std::vector<std::vector<uint64_t>> packed;
+  packed.reserve(lists.size());
+  for (const std::vector<TupleId>& ids : lists) {
+    std::vector<uint64_t> u;
+    u.reserve(ids.size());
+    for (const TupleId& id : ids) u.push_back(id.packed());
+    packed.push_back(std::move(u));
+  }
+  size_t largest = 0;
+  for (size_t i = 1; i < packed.size(); ++i) {
+    if (packed[i].size() > packed[largest].size()) largest = i;
+  }
+  std::vector<U64Pair> pairs;
+  for (size_t i = 0; i + 1 < packed.size(); i += 2) {
+    pairs.push_back({&packed[i], &packed[i + 1]});
+  }
+  for (size_t i = 0; i < packed.size(); i += 4) {
+    if (i != largest) pairs.push_back({&packed[i], &packed[largest]});
+  }
+
+  cells.push_back(Best(trials, [&] {
+    return RunIntersect(
+        "set_intersection", pairs, intersect_reps,
+        [](const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+           uint64_t* out) {
+          return static_cast<size_t>(
+              std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                    out) -
+              out);
+        });
+  }));
+  cells.push_back(Best(trials, [&] {
+    return RunIntersect(
+        "scalar", pairs, intersect_reps,
+        [](const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+           uint64_t* out) {
+          return simd::IntersectSortedU64Scalar(a.data(), a.size(), b.data(),
+                                                b.size(), out);
+        });
+  }));
+  cells.push_back(Best(trials, [&] {
+    return RunIntersect(
+        "simd", pairs, intersect_reps,
+        [](const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+           uint64_t* out) {
+          return simd::IntersectSortedU64(a.data(), a.size(), b.data(),
+                                          b.size(), out);
+        });
+  }));
+
+  // Covers.
+  const int cover_keywords = smoke ? 6 : 8;
+  const Termset cover_full = (Termset{1} << cover_keywords) - 1;
+  const std::vector<std::vector<Termset>> cover_cases =
+      MakeCoverCases(cover_keywords, smoke ? 4 : 16);
+  cells.push_back(Best(trials, [&] {
+    return RunCoversUnpruned(cover_cases, cover_full, cover_reps);
+  }));
+  cells.push_back(Best(trials, [&] {
+    return RunCoversPruned(cover_cases, cover_full, cover_reps);
+  }));
+
+  // The pruned and unpruned searches must agree on the cover sets they
+  // emit (the checksum counts them) — a bench that measures a wrong
+  // answer fast is worse than useless.
+  if (cells[cells.size() - 1].checksum != cells[cells.size() - 2].checksum) {
+    std::cerr << "cover searches disagree: pruned checksum "
+              << cells.back().checksum << " vs unpruned "
+              << cells[cells.size() - 2].checksum << "\n";
+    return 1;
+  }
+  // Same for the three decoders and the three intersectors.
+  if (cells[0].checksum != cells[1].checksum ||
+      cells[1].checksum != cells[2].checksum) {
+    std::cerr << "decoders disagree\n";
+    return 1;
+  }
+  if (cells[3].checksum != cells[4].checksum ||
+      cells[4].checksum != cells[5].checksum) {
+    std::cerr << "intersectors disagree\n";
+    return 1;
+  }
+
+  for (const Cell& c : cells) {
+    std::printf("%-10s %-17s %12.1f %s\n", c.section.c_str(), c.impl.c_str(),
+                c.throughput, c.unit.c_str());
+  }
+
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"kernels\",\n";
+  json += "  \"dataset\": \"imdb\",\n";
+  json += "  \"scale\": " + std::to_string(scale) + ",\n";
+  json += std::string("  \"simd_level\": \"") +
+          simd::LevelName(simd::ActiveLevel()) + "\",\n";
+  json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
+  json += "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    AppendJson(&json, cells[i], i + 1 == cells.size());
+  }
+  json += "  ]\n}\n";
+
+  if (!SchemaCheck(json, cells.size())) return 1;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << " (" << cells.size() << " cells)\n";
+
+  if (check) {
+    const double decode_speedup =
+        Throughput(cells, "decode", "simd") /
+        std::max(1e-9, Throughput(cells, "decode", "legacy"));
+    const double intersect_speedup =
+        Throughput(cells, "intersect", "simd") /
+        std::max(1e-9, Throughput(cells, "intersect", "set_intersection"));
+    std::printf("check: decode simd/legacy %.2fx, intersect simd/std %.2fx\n",
+                decode_speedup, intersect_speedup);
+    if (decode_speedup < 2.0 || intersect_speedup < 2.0) {
+      std::cerr << "check FAILED: below the 2x acceptance bar\n";
+      return 1;
+    }
+  }
+  return 0;
+}

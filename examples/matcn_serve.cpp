@@ -18,6 +18,7 @@
 //   --cache-mb N     result-cache budget in MiB; 0 disables  (default 64)
 //   --deadline-ms N  per-query deadline; 0 = none            (default 0)
 //   --tmax N         CN size bound T_max                     (default 5)
+//   --arena-kb N     initial per-worker SingleCn arena chunk (default 64)
 //   --io-ms N        modeled per-miss backend latency        (default 2)
 //   --seed N         workload seed                           (default 11)
 //
@@ -67,7 +68,7 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
                     unsigned worker_threads, unsigned cn_threads,
                     unsigned clients, const bench::RunWindow& window,
                     size_t cache_bytes, int64_t deadline_ms, int t_max,
-                    int64_t io_ms) {
+                    int64_t io_ms, size_t arena_kb) {
   QueryServiceOptions options;
   options.num_threads = worker_threads;
   options.max_queue = 4096;  // sized so the sweep measures latency, not drops
@@ -75,6 +76,7 @@ RunResult RunConfig(const SchemaGraph* schema_graph, const TermIndex* index,
   options.default_deadline_ms = deadline_ms;
   options.gen.t_max = t_max;
   options.gen.num_threads = cn_threads;
+  options.gen.arena_chunk_kb = arena_kb;
   if (io_ms > 0) {
     options.pre_execute_hook = [io_ms] {
       std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
@@ -159,6 +161,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
   const int t_max = static_cast<int>(flags.GetInt("tmax", 5));
+  const size_t arena_kb = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("arena-kb", 64)));
   const int64_t io_ms = flags.GetInt("io-ms", 2);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
   for (const std::string& error : flags.errors()) {
@@ -207,7 +211,7 @@ int main(int argc, char** argv) {
     RunResult run = RunConfig(&schema_graph, &index, queries,
                               static_cast<unsigned>(workers), cn_threads,
                               clients, window, cache_bytes, deadline_ms,
-                              t_max, io_ms);
+                              t_max, io_ms, arena_kb);
     table.AddRow({std::to_string(run.threads),
                   TablePrinter::Num(run.seconds, 3),
                   TablePrinter::Num(run.qps, 0),

@@ -14,6 +14,7 @@
 //   --cache-mb N      result-cache budget; 0 disables     (default 64)
 //   --deadline-ms N   default per-query deadline; 0 none  (default 0)
 //   --tmax N          default CN size bound T_max         (default 5)
+//   --arena-kb N      initial per-worker SingleCn arena chunk (default 64)
 //   --idle-ms N       per-connection idle timeout         (default 60000)
 //   --drain-ms N      graceful-drain budget on SIGTERM    (default 5000)
 //   --max-frame-kb N  request frame size limit            (default 1024)
@@ -43,6 +44,7 @@
 
 #include "common/flags.h"
 #include "common/strings.h"
+#include "simd/dispatch.h"
 #include "obs/log.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
@@ -241,6 +243,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 5));
+  service_options.gen.arena_chunk_kb = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("arena-kb", 64)));
   service_options.trace_sample_rate =
       flags.GetDouble("trace-sample-rate", 0.0);
   service_options.slow_query_ms = flags.GetInt("slow-query-ms", 0);
@@ -309,6 +313,7 @@ int main(int argc, char** argv) {
             << server.port() << " — " << dataset << " (" << db.TotalTuples()
             << " tuples), " << service.Stats().num_threads
             << " workers, T_max=" << service_options.gen.t_max
+            << ", simd=" << simd::LevelName(simd::ActiveLevel())
             << "\nsend SIGTERM for graceful drain\n";
 
   if (server.metrics_port() != 0) {

@@ -11,6 +11,7 @@
 //   --threads N      worker threads in the query service (default: cores)
 //   --cn-threads N   per-query MatchCN workers           (default 1)
 //   --tmax N         CN size bound T_max                 (default 10)
+//   --arena-kb N     per-worker SingleCn arena chunk KiB (default 64)
 //   --cache-mb N     result-cache budget in MiB; 0 off   (default 64)
 //   --deadline-ms N  per-query deadline; 0 = none        (default 0)
 //   --compact-threshold N  live-index delta entries per term before
@@ -282,14 +283,16 @@ int main(int argc, char** argv) {
   service_options.gen.num_threads =
       static_cast<unsigned>(flags.GetInt("cn-threads", 1));
   service_options.gen.t_max = static_cast<int>(flags.GetInt("tmax", 10));
+  service_options.gen.arena_chunk_kb = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("arena-kb", 64)));
   service_options.cache_bytes =
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   service_options.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown
-              << " (have --threads --cn-threads --tmax --cache-mb "
-                 "--deadline-ms --compact-threshold)\n";
+              << " (have --threads --cn-threads --tmax --arena-kb "
+                 "--cache-mb --deadline-ms --compact-threshold)\n";
     return 2;
   }
 

@@ -1,0 +1,123 @@
+#ifndef MATCN_COMMON_ARENA_H_
+#define MATCN_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+namespace matcn {
+
+/// Chunked bump allocator behind the std::pmr::memory_resource interface:
+/// the per-request scratch arena of the query hot path. Allocation is a
+/// pointer bump; deallocation is a no-op; Reset() rewinds the cursor while
+/// *retaining* every chunk, so a worker that solves one request warms the
+/// arena up to its high-water mark and every later request of similar
+/// shape runs without touching the heap at all.
+///
+/// Ownership rules (see DESIGN.md §12): arena-backed objects must not
+/// escape the request that allocated them — anything returned to the
+/// caller (candidate networks, response payloads, exporter snapshots) is
+/// copied out into ordinary heap containers before Reset(). Not
+/// thread-safe; one arena per worker.
+class Arena : public std::pmr::memory_resource {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+  /// Chunk sizes double as the arena grows, capped here so one huge
+  /// request cannot make every later chunk huge too.
+  static constexpr size_t kMaxChunkBytes = 4 * 1024 * 1024;
+
+  explicit Arena(size_t initial_chunk_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(initial_chunk_bytes < kMinChunkBytes
+                              ? kMinChunkBytes
+                              : initial_chunk_bytes) {}
+  ~Arena() override = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Rewinds the bump cursor to the first chunk. Every chunk is retained;
+  /// all previously handed-out pointers become invalid.
+  void Reset() {
+    current_ = 0;
+    offset_ = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Live bytes handed out since the last Reset (alignment padding
+  /// excluded).
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total bytes of retained chunk storage.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  /// Lifetime high-water mark of bytes_used(); survives Reset(). This is
+  /// the gauge that flows into GenerationStats / ServiceStats.
+  size_t bytes_peak() const { return bytes_peak_; }
+
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  static constexpr size_t kMinChunkBytes = 64;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void* do_allocate(size_t bytes, size_t alignment) override {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (current_ < chunks_.size()) {
+        Chunk& c = chunks_[current_];
+        const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+        const uintptr_t aligned =
+            (base + offset_ + (alignment - 1)) & ~uintptr_t(alignment - 1);
+        if (aligned + bytes <= base + c.size) {
+          offset_ = aligned + bytes - base;
+          bytes_used_ += bytes;
+          if (bytes_used_ > bytes_peak_) bytes_peak_ = bytes_used_;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Doesn't fit here: move on. Chunk sizes are nondecreasing, so a
+        // request that fits any retained chunk is found before the heap
+        // is consulted; the skipped tail is reclaimed by the next Reset.
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      size_t size = next_chunk_bytes_;
+      while (size < bytes + alignment) size *= 2;
+      if (next_chunk_bytes_ < kMaxChunkBytes) {
+        next_chunk_bytes_ = size * 2 < kMaxChunkBytes ? size * 2
+                                                      : kMaxChunkBytes;
+      }
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+      current_ = chunks_.size() - 1;
+      offset_ = 0;
+    }
+  }
+
+  void do_deallocate(void*, size_t, size_t) override {}  // bump arena
+
+  bool do_is_equal(const std::pmr::memory_resource& other) const
+      noexcept override {
+    return this == &other;
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;        // chunk the cursor is in
+  size_t offset_ = 0;         // bump offset within that chunk
+  size_t next_chunk_bytes_;   // size of the next chunk to allocate
+  size_t bytes_used_ = 0;
+  size_t bytes_peak_ = 0;
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_COMMON_ARENA_H_

@@ -37,6 +37,14 @@ class CandidateNetwork {
   /// Returns a copy of this tree with `node` attached under `attach_to`.
   CandidateNetwork Extend(int attach_to, CnNode node) const;
 
+  /// Overwrites this tree with `n` nodes and their parent links, reusing
+  /// the existing capacity — how SingleCnInto materializes a result out of
+  /// arena memory into a caller-owned CN without fresh allocations.
+  void Assign(const CnNode* nodes, const int* parents, size_t n) {
+    nodes_.assign(nodes, nodes + n);
+    parents_.assign(parents, parents + n);
+  }
+
   size_t size() const { return nodes_.size(); }
   const CnNode& node(int i) const { return nodes_[i]; }
   const std::vector<CnNode>& nodes() const { return nodes_; }

@@ -26,9 +26,49 @@ struct MatchCnShared {
   std::atomic<size_t> finished{0};
   std::atomic<uint64_t> busy_micros{0};
   std::atomic<unsigned> workers{0};
+  std::atomic<size_t> arena_peak{0};
   std::mutex mu;
   std::condition_variable cv;
 };
+
+/// Per-thread MatchCN scratch, kept across queries: the MatchGraph
+/// overlay, the SingleCn arenas, and the match-node buffer all retain
+/// their storage, so a pool worker's steady-state per-match loop performs
+/// zero heap allocations (result materialization aside). The scratch is
+/// rebound to the current query's tuple-set graph before first use.
+struct WorkerScratch {
+  std::optional<MatchGraph> match_graph;
+  std::optional<SingleCnScratch> scratch;
+  std::vector<int> match_nodes;
+};
+
+WorkerScratch& TlsWorkerScratch() {
+  thread_local WorkerScratch ws;
+  return ws;
+}
+
+// Binds the thread's scratch to this query's graph. The arena chunk size
+// only applies on the thread's very first query (scratch construction);
+// later queries reuse whatever arenas exist.
+WorkerScratch& BindWorkerScratch(const TupleSetGraph* graph,
+                                 size_t arena_chunk_bytes) {
+  WorkerScratch& ws = TlsWorkerScratch();
+  if (!ws.match_graph) {
+    ws.match_graph.emplace(graph);
+  } else {
+    ws.match_graph->Rebind(graph);
+  }
+  if (!ws.scratch) ws.scratch.emplace(arena_chunk_bytes);
+  return ws;
+}
+
+void MaxRelaxed(std::atomic<size_t>* target, size_t value) {
+  size_t prev = target->load(std::memory_order_relaxed);
+  while (prev < value &&
+         !target->compare_exchange_weak(prev, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace
 
@@ -113,16 +153,23 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
   cn_options.t_max = options_.t_max;
   cn_options.cancel = cancel;
 
+  // Zero-alloc per match except the found CN's own vectors (the result
+  // must own heap memory to outlive the scratch): match_nodes reuses its
+  // buffer, Reset recycles the overlay, SingleCnInto runs on warm arenas.
   auto solve = [&ts_graph, cn_options](const QueryMatch& match,
-                                       MatchGraph* match_graph,
-                                       SingleCnScratch* scratch) {
-    std::vector<int> match_nodes;
-    match_nodes.reserve(match.size());
+                                       WorkerScratch* ws)
+      -> std::optional<CandidateNetwork> {
+    ws->match_nodes.clear();
+    ws->match_nodes.reserve(match.size());
     for (int ts_index : match) {
-      match_nodes.push_back(ts_graph.NonFreeNode(ts_index));
+      ws->match_nodes.push_back(ts_graph.NonFreeNode(ts_index));
     }
-    match_graph->Reset(match_nodes);
-    return SingleCn(*match_graph, cn_options, scratch);
+    ws->match_graph->Reset(ws->match_nodes);
+    CandidateNetwork cn;
+    if (!SingleCnInto(*ws->match_graph, cn_options, &*ws->scratch, &cn)) {
+      return std::nullopt;
+    }
+    return cn;
   };
 
   const size_t total = result.matches.size();
@@ -145,15 +192,17 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
                  slots_data = slots.data(),
                  matches_data = result.matches.data(),
                  graph = &ts_graph,
+                 chunk_bytes = options_.arena_chunk_kb * 1024,
                  // The trace rides along as a shared_ptr for the same
                  // straggler reason as `shared`: a helper scheduled after
                  // the query completed may still open/close its span.
                  trace_sp = options_.trace, cn_span]() {
       // Nothing beyond `shared` (and the owned trace_sp) may be
       // dereferenced before a claim lands in range — a late helper
-      // outlives the caller's stack frame.
-      std::optional<MatchGraph> match_graph;
-      std::optional<SingleCnScratch> scratch;
+      // outlives the caller's stack frame. The thread's persistent
+      // scratch is bound to this query's graph only after the first
+      // in-range claim, for the same reason.
+      WorkerScratch* ws = nullptr;
       std::optional<Stopwatch> busy;
       uint32_t worker_span = 0;
       uint64_t solved = 0;
@@ -164,13 +213,12 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
           busy.emplace();
           shared->workers.fetch_add(1, std::memory_order_relaxed);
           if (trace_sp) worker_span = trace_sp->BeginSpan("worker", cn_span);
-          match_graph.emplace(graph);
-          scratch.emplace();
+          ws = &BindWorkerScratch(graph, chunk_bytes);
         }
         // Cancellation point: a fired token downgrades the claim to a
         // no-op so the accounting still completes.
         if (cancel == nullptr || !cancel->Expired()) {
-          slots_data[i] = solve(matches_data[i], &*match_graph, &*scratch);
+          slots_data[i] = solve(matches_data[i], ws);
           ++solved;
         }
         if (shared->finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -180,9 +228,15 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
         }
       }
       if (busy) {
+        // Floor at 1us: a worker that claimed work was busy for a nonzero
+        // time, but a small match list can now finish below the clock
+        // resolution, and a literal zero would read as "no work done" in
+        // the efficiency ratio.
         shared->busy_micros.fetch_add(
-            static_cast<uint64_t>(busy->ElapsedMicros()),
+            std::max<uint64_t>(
+                1, static_cast<uint64_t>(busy->ElapsedMicros())),
             std::memory_order_relaxed);
+        MaxRelaxed(&shared->arena_peak, ws->scratch->arena_bytes_peak());
         if (trace_sp) trace_sp->EndSpan(worker_span, solved);
       }
     };
@@ -212,6 +266,8 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
     }
     result.stats.cn_workers =
         std::max(1u, shared->workers.load(std::memory_order_relaxed));
+    result.stats.arena_bytes_peak =
+        shared->arena_peak.load(std::memory_order_relaxed);
     const double wall_ms = watch.ElapsedMillis();
     const double busy_ms =
         static_cast<double>(
@@ -224,13 +280,14 @@ GenerationResult MatCnGen::GenerateFromTupleSets(
   } else {
     const uint32_t seq_span =
         trace ? trace->BeginSpan("singlecn", cn_span) : 0;
-    MatchGraph match_graph(&ts_graph);
-    SingleCnScratch scratch;
+    WorkerScratch& ws =
+        BindWorkerScratch(&ts_graph, options_.arena_chunk_kb * 1024);
     for (const QueryMatch& match : result.matches) {
       if (cancel != nullptr && cancel->Expired()) break;
-      std::optional<CandidateNetwork> cn = solve(match, &match_graph, &scratch);
+      std::optional<CandidateNetwork> cn = solve(match, &ws);
       if (cn.has_value()) result.cns.push_back(std::move(*cn));
     }
+    result.stats.arena_bytes_peak = ws.scratch->arena_bytes_peak();
     if (trace) trace->EndSpan(seq_span, result.cns.size());
   }
   // Expired() is monotonic, so one check after the loops classifies every

@@ -60,6 +60,11 @@ struct MatCnGenOptions {
   /// Parent span id for this generation's stage spans (the service's
   /// "request" root); 0 = top level.
   uint32_t trace_parent = 0;
+  /// Initial chunk size (KiB) of each worker's SingleCn bump arenas
+  /// (later chunks double, capped at 4 MiB). Worker scratch is
+  /// thread-local and constructed on a thread's first query, so the first
+  /// query's value wins for that thread; subsequent values are ignored.
+  size_t arena_chunk_kb = 64;
 };
 
 /// Timing and volume statistics for one generation run; the Figure 10
@@ -82,6 +87,10 @@ struct GenerationStats {
   double cn_parallel_efficiency = 1.0;
   bool truncated = false;    // max_matches kicked in
   bool interrupted = false;  // cancel/deadline fired mid-run; partial result
+  /// Largest per-worker SingleCn arena high-water (bytes) among the
+  /// workers that served this query. Thread-local scratch survives across
+  /// queries, so this is a lifetime high-water, not a per-query delta.
+  size_t arena_bytes_peak = 0;
 };
 
 struct GenerationResult {

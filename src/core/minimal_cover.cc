@@ -25,31 +25,77 @@ bool IsMinimalCover(const std::vector<Termset>& cover, Termset full) {
 
 namespace {
 
-void Recurse(const std::vector<Termset>& available, Termset full,
-             size_t start, Termset covered, size_t max_covers,
-             std::vector<Termset>* current,
-             std::vector<std::vector<Termset>>* out) {
-  if (max_covers > 0 && out->size() >= max_covers) return;
-  if (covered == full) {
-    if (IsMinimalCover(*current, full)) out->push_back(*current);
-    return;
+// A cover has at most TermsetSize(full) <= kMaxKeywords members, so the
+// search state fits in fixed stack arrays (one slack slot for the element
+// being tested).
+constexpr size_t kMaxCoverSize = KeywordQuery::kMaxKeywords + 1;
+
+struct CoverSearch {
+  const std::vector<Termset>* available = nullptr;
+  // suffix_or[i] = OR of available[i..end]; the best any subtree rooted at
+  // position i can still add.
+  std::vector<Termset> suffix_or;
+  Termset full = 0;
+  size_t max_covers = 0;
+  size_t max_size = 0;
+  Termset current[kMaxCoverSize];
+  size_t current_size = 0;
+  CoverSearchStats stats;
+  std::vector<std::vector<Termset>>* out = nullptr;
+
+  // O(k) minimality check of current[0..current_size): element i is
+  // redundant iff it adds nothing over the OR of the others, computed with
+  // prefix/suffix accumulators instead of the O(k^2) pairwise union.
+  // Entries are pre-filtered (non-empty subsets of full), so the
+  // subset/emptiness half of IsMinimalCover is already guaranteed.
+  bool CurrentIsMinimal() const {
+    Termset suffix[kMaxCoverSize + 1];
+    suffix[current_size] = 0;
+    for (size_t i = current_size; i-- > 0;) {
+      suffix[i] = suffix[i + 1] | current[i];
+    }
+    Termset prefix = 0;
+    for (size_t i = 0; i < current_size; ++i) {
+      const Termset others = prefix | suffix[i + 1];
+      if ((current[i] & ~others) == 0) return false;  // i is redundant
+      prefix |= current[i];
+    }
+    return true;
   }
-  if (start >= available.size()) return;
-  // A minimal cover of an n-element set has at most n members.
-  if (current->size() >= static_cast<size_t>(TermsetSize(full))) return;
-  for (size_t i = start; i < available.size(); ++i) {
-    const Termset t = available[i];
-    if ((t & ~covered) == 0) continue;  // adds nothing: cannot stay minimal
-    current->push_back(t);
-    Recurse(available, full, i + 1, covered | t, max_covers, current, out);
-    current->pop_back();
+
+  void Recurse(size_t start, Termset covered) {
+    ++stats.probes;
+    if (max_covers > 0 && out->size() >= max_covers) return;
+    if (covered == full) {
+      if (CurrentIsMinimal()) {
+        out->emplace_back(current, current + current_size);
+        ++stats.emitted;
+      }
+      return;
+    }
+    // Reachability bound: even taking every remaining termset cannot cover
+    // the missing keywords — the whole subtree is dead.
+    if ((covered | suffix_or[start]) != full) {
+      ++stats.pruned_unreachable;
+      return;
+    }
+    // A minimal cover of an n-element set has at most n members.
+    if (current_size >= max_size) return;
+    for (size_t i = start; i < available->size(); ++i) {
+      const Termset t = (*available)[i];
+      if ((t & ~covered) == 0) continue;  // adds nothing: cannot stay minimal
+      current[current_size++] = t;
+      Recurse(i + 1, covered | t);
+      --current_size;
+    }
   }
-}
+};
 
 }  // namespace
 
 std::vector<std::vector<Termset>> EnumerateMinimalCovers(
-    std::vector<Termset> available, Termset full, size_t max_covers) {
+    std::vector<Termset> available, Termset full, size_t max_covers,
+    CoverSearchStats* stats) {
   std::sort(available.begin(), available.end());
   available.erase(std::unique(available.begin(), available.end()),
                   available.end());
@@ -60,9 +106,19 @@ std::vector<std::vector<Termset>> EnumerateMinimalCovers(
                                  }),
                   available.end());
   std::vector<std::vector<Termset>> out;
-  std::vector<Termset> current;
-  Recurse(available, full, 0, 0, max_covers, &current, &out);
+  CoverSearch search;
+  search.available = &available;
+  search.suffix_or.resize(available.size() + 1, 0);
+  for (size_t i = available.size(); i-- > 0;) {
+    search.suffix_or[i] = search.suffix_or[i + 1] | available[i];
+  }
+  search.full = full;
+  search.max_covers = max_covers;
+  search.max_size = static_cast<size_t>(TermsetSize(full));
+  search.out = &out;
+  search.Recurse(0, 0);
   std::sort(out.begin(), out.end());
+  if (stats != nullptr) *stats = search.stats;
   return out;
 }
 

@@ -13,6 +13,13 @@ namespace matcn {
 /// cover non-minimal by definition.
 bool IsMinimalCover(const std::vector<Termset>& cover, Termset full);
 
+/// Counters from one EnumerateMinimalCovers search (bench/diagnostics).
+struct CoverSearchStats {
+  uint64_t probes = 0;              // recursion nodes visited
+  uint64_t emitted = 0;             // minimal covers produced
+  uint64_t pruned_unreachable = 0;  // subtrees cut by the suffix-OR bound
+};
+
 /// Enumerates every minimal cover of `full` that uses only termsets from
 /// `available` (each at most once). `available` entries must be distinct,
 /// non-empty subsets of `full`. A minimal cover of an n-keyword query has
@@ -21,8 +28,15 @@ bool IsMinimalCover(const std::vector<Termset>& cover, Termset full);
 /// returned in lexicographic order. `max_covers` (0 = unlimited) stops the
 /// enumeration early — the resource guard the adversarial many-keyword
 /// workloads need.
+///
+/// The search is pure bitset work: a precomputed suffix-OR table prunes
+/// branches whose remaining termsets cannot reach `full`, and the leaf
+/// minimality test runs in O(k) via prefix/suffix OR accumulators over the
+/// current cover (k <= kMaxKeywords + 1, so it lives in stack arrays).
+/// `stats`, when non-null, receives search counters.
 std::vector<std::vector<Termset>> EnumerateMinimalCovers(
-    std::vector<Termset> available, Termset full, size_t max_covers = 0);
+    std::vector<Termset> available, Termset full, size_t max_covers = 0,
+    CoverSearchStats* stats = nullptr);
 
 }  // namespace matcn
 

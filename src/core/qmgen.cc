@@ -1,7 +1,7 @@
 #include "core/qmgen.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "core/minimal_cover.h"
 
@@ -51,15 +51,29 @@ std::vector<QueryMatch> GenerateMatchesNaive(
 std::vector<QueryMatch> GenerateMatches(
     const KeywordQuery& query, const std::vector<TupleSet>& tuple_sets,
     size_t max_matches, const CancelToken* cancel) {
-  // Group tuple-set indexes by termset.
-  std::map<Termset, std::vector<int>> by_termset;
+  // Group tuple-set indexes by termset with one flat stable sort instead
+  // of a node-per-termset std::map: same ascending-termset group order,
+  // same within-group index order, no per-group heap churn.
+  std::vector<std::pair<Termset, int>> by_termset;
+  by_termset.reserve(tuple_sets.size());
   for (size_t i = 0; i < tuple_sets.size(); ++i) {
-    by_termset[tuple_sets[i].termset].push_back(static_cast<int>(i));
+    by_termset.emplace_back(tuple_sets[i].termset, static_cast<int>(i));
   }
+  std::stable_sort(by_termset.begin(), by_termset.end(),
+                   [](const std::pair<Termset, int>& a,
+                      const std::pair<Termset, int>& b) {
+                     return a.first < b.first;
+                   });
   std::vector<Termset> available;
-  available.reserve(by_termset.size());
-  for (const auto& [termset, indexes] : by_termset) {
-    available.push_back(termset);
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) in by_termset
+  for (size_t i = 0; i < by_termset.size();) {
+    size_t j = i;
+    while (j < by_termset.size() && by_termset[j].first == by_termset[i].first) {
+      ++j;
+    }
+    available.push_back(by_termset[i].first);
+    groups.emplace_back(i, j);
+    i = j;
   }
 
   const std::vector<std::vector<Termset>> covers = EnumerateMinimalCovers(
@@ -69,15 +83,21 @@ std::vector<QueryMatch> GenerateMatches(
   for (const std::vector<Termset>& cover : covers) {
     if (cancel != nullptr && cancel->Expired()) break;
     // Cartesian product over the relation choices for each termset.
-    std::vector<const std::vector<int>*> choices;
+    // `available` is sorted, so each cover termset binary-searches to its
+    // group of tuple-set indexes.
+    std::vector<std::pair<size_t, size_t>> choices;
     choices.reserve(cover.size());
-    for (Termset t : cover) choices.push_back(&by_termset.at(t));
+    for (Termset t : cover) {
+      const auto it =
+          std::lower_bound(available.begin(), available.end(), t);
+      choices.push_back(groups[static_cast<size_t>(it - available.begin())]);
+    }
     std::vector<size_t> pick(cover.size(), 0);
     while (true) {
       QueryMatch match;
       match.reserve(cover.size());
       for (size_t i = 0; i < cover.size(); ++i) {
-        match.push_back((*choices[i])[pick[i]]);
+        match.push_back(by_termset[choices[i].first + pick[i]].second);
       }
       std::sort(match.begin(), match.end());
       out.push_back(std::move(match));
@@ -93,7 +113,7 @@ std::vector<QueryMatch> GenerateMatches(
       // Advance the mixed-radix counter.
       size_t pos = 0;
       while (pos < pick.size()) {
-        if (++pick[pos] < choices[pos]->size()) break;
+        if (++pick[pos] < choices[pos].second - choices[pos].first) break;
         pick[pos] = 0;
         ++pos;
       }

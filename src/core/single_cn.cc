@@ -1,49 +1,144 @@
 #include "core/single_cn.h"
 
+#include <memory_resource>
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
+#include "graph/tree_canonical.h"
+
 namespace matcn {
+namespace {
 
-/// A partial joining network of tuple-sets during the BFS. Tree node i
-/// instantiates tuple-set-graph node `ts_nodes[i]`; free graph nodes may
-/// be instantiated several times, non-free ones at most once.
-struct PartialTree {
-  CandidateNetwork tree;
-  std::vector<int> ts_nodes;
+/// A partial joining network of tuple-sets during the BFS, stored as flat
+/// (nodes, parents) arrays like CandidateNetwork but in arena memory. Tree
+/// node i instantiates tuple-set-graph node `ts_nodes[i]`; free graph
+/// nodes may be instantiated several times, non-free ones at most once.
+/// Allocator-aware so std::pmr::vector<PTree> propagates the arena into
+/// elements it constructs or relocates.
+struct PTree {
+  using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
+
+  std::pmr::vector<CnNode> nodes;
+  std::pmr::vector<int> parents;
+  std::pmr::vector<int> ts_nodes;
   uint64_t match_used = 0;  // bit i <=> match_nodes[i] is in the tree
+
+  explicit PTree(allocator_type alloc)
+      : nodes(alloc), parents(alloc), ts_nodes(alloc) {}
+  PTree(PTree&&) = default;
+  PTree(PTree&& o, allocator_type alloc)
+      : nodes(std::move(o.nodes), alloc),
+        parents(std::move(o.parents), alloc),
+        ts_nodes(std::move(o.ts_nodes), alloc),
+        match_used(o.match_used) {}
+  PTree& operator=(PTree&&) = default;
 };
 
-/// The BFS frontier is a vector plus a head cursor instead of a deque:
-/// the vector's storage block (and the dedup set's bucket array) survive
-/// a Clear(), which is what makes reusing one scratch across the hundreds
-/// of matches of a query worthwhile.
-struct SingleCnScratch::Impl {
-  std::vector<PartialTree> queue;
-  size_t head = 0;
-  std::unordered_set<std::string> seen;
+// std::to_string for unsigned values without touching the heap.
+void AppendDecimal(std::pmr::string* out, uint64_t v) {
+  char buf[20];
+  size_t n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) out->push_back(buf[--n]);
+}
 
-  void Clear() {
-    queue.clear();
-    head = 0;
-    seen.clear();
+// CandidateNetwork::CanonicalForm over the flat arrays, every byte from
+// `mr` (the expansion-scoped arena). Labels are "relation#termset",
+// matching NodeLabel / CanonicalForm exactly so dedup behaves identically.
+std::pmr::string CanonicalFormPmr(const std::pmr::vector<CnNode>& nodes,
+                                  const std::pmr::vector<int>& parents,
+                                  std::pmr::memory_resource* mr) {
+  const size_t n = nodes.size();
+  std::pmr::vector<std::pmr::vector<int>> adj(n, mr);
+  for (size_t i = 1; i < n; ++i) {
+    adj[i].push_back(parents[i]);
+    adj[parents[i]].push_back(static_cast<int>(i));
   }
+  std::pmr::vector<std::pmr::string> labels(mr);
+  labels.reserve(n);
+  for (const CnNode& node : nodes) {
+    labels.emplace_back();
+    AppendDecimal(&labels.back(), node.relation);
+    labels.back().push_back('#');
+    AppendDecimal(&labels.back(), node.termset);
+  }
+  return CanonicalTreeEncodingPmr(adj, labels, mr);
+}
+
+// CandidateNetwork::IsSoundAround over the flat arrays: `center` is
+// unsound iff it has >= 2 neighbours over one base relation R while
+// holding the foreign key referencing R. Neighbours of `center` are its
+// parent plus its children; trees hold <= t_max nodes, so the pairwise
+// duplicate-relation scan is cheap.
+bool SoundAroundAttach(const SchemaGraph& schema_graph,
+                       const std::pmr::vector<CnNode>& nodes,
+                       const std::pmr::vector<int>& parents, int center,
+                       std::pmr::memory_resource* mr) {
+  std::pmr::vector<RelationId> nbr_rel(mr);
+  nbr_rel.reserve(nodes.size());
+  if (center > 0) nbr_rel.push_back(nodes[parents[center]].relation);
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (parents[i] == center) nbr_rel.push_back(nodes[i].relation);
+  }
+  const RelationId s = nodes[center].relation;
+  for (size_t i = 0; i < nbr_rel.size(); ++i) {
+    bool first = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (nbr_rel[j] == nbr_rel[i]) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;  // relation already counted
+    int count = 1;
+    for (size_t j = i + 1; j < nbr_rel.size(); ++j) {
+      if (nbr_rel[j] == nbr_rel[i]) ++count;
+    }
+    if (count >= 2 && schema_graph.References(s, nbr_rel[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct SingleCnScratch::Impl {
+  /// Call-scoped arena: the BFS queue, surviving partial trees, and the
+  /// canonical-form dedup set. Reset at each SingleCnInto entry; its
+  /// chunks are retained, so repeat calls bump-allocate out of warm
+  /// memory.
+  Arena arena;
+  /// Expansion-scoped arena: candidate trees, canonical encodings, and
+  /// soundness scratch for ONE candidate expansion. Reset per candidate,
+  /// so a long search's transient churn never accumulates.
+  Arena frame_arena;
+
+  explicit Impl(size_t chunk_bytes)
+      : arena(chunk_bytes), frame_arena(chunk_bytes) {}
 };
 
-SingleCnScratch::SingleCnScratch() : impl_(std::make_unique<Impl>()) {}
+SingleCnScratch::SingleCnScratch(size_t arena_chunk_bytes)
+    : impl_(std::make_unique<Impl>(arena_chunk_bytes)) {}
 SingleCnScratch::~SingleCnScratch() = default;
 
-std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
-                                         const SingleCnOptions& options,
-                                         SingleCnScratch* scratch) {
+size_t SingleCnScratch::arena_bytes_peak() const {
+  return impl_->arena.bytes_peak() + impl_->frame_arena.bytes_peak();
+}
+
+bool SingleCnInto(const MatchGraph& match_graph,
+                  const SingleCnOptions& options, SingleCnScratch* scratch,
+                  CandidateNetwork* out) {
   const TupleSetGraph& g = match_graph.base();
   const std::vector<int>& match_nodes = match_graph.match_nodes();
-  if (match_nodes.empty() || match_nodes.size() > 64) return std::nullopt;
+  if (match_nodes.empty() || match_nodes.size() > 64) return false;
   // A CN contains every match node, so a match larger than t_max can never
   // admit one — without this check the BFS would exhaust the whole match
   // graph before concluding exactly that.
   if (match_nodes.size() > static_cast<size_t>(options.t_max)) {
-    return std::nullopt;
+    return false;
   }
   const uint64_t full_match =
       match_nodes.size() == 64 ? ~uint64_t{0}
@@ -56,41 +151,54 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
     return 0;
   };
 
-  auto make_cn_node = [&](int ts_node) {
+  auto cn_node = [&](int ts_node) {
     const TsNode& n = g.node(ts_node);
     return CnNode{n.relation, n.termset, n.tuple_set_index};
   };
 
-  SingleCnScratch local_scratch;
-  SingleCnScratch::Impl& s =
-      scratch != nullptr ? *scratch->impl() : *local_scratch.impl();
-  s.Clear();
+  Arena& arena = scratch->impl()->arena;
+  Arena& frame = scratch->impl()->frame_arena;
+  arena.Reset();
+
+  // Queue and dedup set live on the call arena; the vector's storage block
+  // and the set's nodes/buckets bump-allocate out of retained chunks, so
+  // nothing here touches the heap once the arenas are warm. The BFS
+  // frontier is a vector plus a head cursor instead of a deque so popped
+  // elements never shift.
+  std::pmr::vector<PTree> queue(&arena);
+  std::pmr::unordered_set<std::pmr::string> seen(&arena);
+  size_t head = 0;
 
   // Line 2 of Algorithm 3: start from the first tuple-set of the match.
-  PartialTree initial;
-  initial.tree = CandidateNetwork::SingleNode(make_cn_node(match_nodes[0]));
-  initial.ts_nodes = {match_nodes[0]};
+  PTree initial{std::pmr::polymorphic_allocator<std::byte>(&arena)};
+  initial.nodes.push_back(cn_node(match_nodes[0]));
+  initial.parents.push_back(-1);
+  initial.ts_nodes.push_back(match_nodes[0]);
   initial.match_used = match_bit(match_nodes[0]);
-  if (initial.match_used == full_match) return initial.tree;
+  if (initial.match_used == full_match) {
+    out->Assign(initial.nodes.data(), initial.parents.data(),
+                initial.nodes.size());
+    return true;
+  }
 
-  s.seen.insert(initial.tree.CanonicalForm());
-  s.queue.push_back(std::move(initial));
+  frame.Reset();
+  seen.emplace(CanonicalFormPmr(initial.nodes, initial.parents, &frame));
+  queue.push_back(std::move(initial));
 
   size_t expansions = 0;
-  while (s.head < s.queue.size()) {
+  while (head < queue.size()) {
     if (++expansions > options.max_expansions) break;
     // Poll the cancel token coarsely; a clock read per dequeue would cost
     // more than the expansion itself on small match graphs.
     if (options.cancel != nullptr && (expansions & 0xFF) == 0 &&
         options.cancel->Expired()) {
-      return std::nullopt;
+      return false;
     }
-    // Popping advances the cursor; the element stays in place so the
-    // vector never shifts. `current` must be re-fetched after push_back
-    // below would invalidate references, so copy the fields we keep.
-    PartialTree current = std::move(s.queue[s.head]);
-    ++s.head;
-    if (current.tree.size() >= static_cast<size_t>(options.t_max)) continue;
+    // Popping advances the cursor; moving the element out keeps `current`
+    // valid across the push_backs below (which may relocate the queue).
+    PTree current = std::move(queue[head]);
+    ++head;
+    if (current.nodes.size() >= static_cast<size_t>(options.t_max)) continue;
 
     for (size_t pos = 0; pos < current.ts_nodes.size(); ++pos) {
       for (int nbr : match_graph.Neighbors(current.ts_nodes[pos])) {
@@ -105,35 +213,65 @@ std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
           }
           if (used) continue;
         }
-        PartialTree next;
-        next.tree =
-            current.tree.Extend(static_cast<int>(pos), make_cn_node(nbr));
+        // Build the candidate in the expansion arena; it graduates to the
+        // call arena only if it survives the soundness and dedup gates,
+        // so rejected candidates cost zero retained memory.
+        frame.Reset();
+        std::pmr::vector<CnNode> cand_nodes(current.nodes.begin(),
+                                            current.nodes.end(), &frame);
+        cand_nodes.push_back(cn_node(nbr));
+        std::pmr::vector<int> cand_parents(current.parents.begin(),
+                                           current.parents.end(), &frame);
+        cand_parents.push_back(static_cast<int>(pos));
         // Soundness only needs re-checking around the attachment point.
-        if (!next.tree.IsSoundAround(g.schema_graph(),
-                                     static_cast<int>(pos))) {
+        if (!SoundAroundAttach(g.schema_graph(), cand_nodes, cand_parents,
+                               static_cast<int>(pos), &frame)) {
           continue;
         }
-        std::string canon = next.tree.CanonicalForm();
-        if (!s.seen.insert(std::move(canon)).second) continue;
-        next.ts_nodes = current.ts_nodes;
-        next.ts_nodes.push_back(nbr);
-        next.match_used = current.match_used | match_bit(nbr);
-        if (next.match_used == full_match) {
-          return next.tree;  // Line 12: shortest CN containing the match.
+        const std::pmr::string canon =
+            CanonicalFormPmr(cand_nodes, cand_parents, &frame);
+        if (seen.find(canon) != seen.end()) continue;
+        const uint64_t used_bits = current.match_used | match_bit(nbr);
+        if (used_bits == full_match) {
+          // Line 12: shortest CN containing the match.
+          out->Assign(cand_nodes.data(), cand_parents.data(),
+                      cand_nodes.size());
+          return true;
         }
+        seen.emplace(canon);  // copies the bytes into the call arena
         // Completion bound: each missing match node costs at least one
         // more tree node; prune branches that cannot fit within t_max.
-        const int missing =
-            __builtin_popcountll(full_match & ~next.match_used);
-        if (next.tree.size() + static_cast<size_t>(missing) >
+        const int missing = __builtin_popcountll(full_match & ~used_bits);
+        if (cand_nodes.size() + static_cast<size_t>(missing) >
             static_cast<size_t>(options.t_max)) {
           continue;
         }
-        s.queue.push_back(std::move(next));
+        PTree next{std::pmr::polymorphic_allocator<std::byte>(&arena)};
+        next.nodes.assign(cand_nodes.begin(), cand_nodes.end());
+        next.parents.assign(cand_parents.begin(), cand_parents.end());
+        next.ts_nodes.reserve(current.ts_nodes.size() + 1);
+        next.ts_nodes.assign(current.ts_nodes.begin(),
+                             current.ts_nodes.end());
+        next.ts_nodes.push_back(nbr);
+        next.match_used = used_bits;
+        queue.push_back(std::move(next));
       }
     }
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
+                                         const SingleCnOptions& options,
+                                         SingleCnScratch* scratch) {
+  std::optional<SingleCnScratch> local;
+  if (scratch == nullptr) {
+    local.emplace();
+    scratch = &*local;
+  }
+  CandidateNetwork out;
+  if (!SingleCnInto(match_graph, options, scratch, &out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace matcn

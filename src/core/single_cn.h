@@ -1,6 +1,7 @@
 #ifndef MATCN_CORE_SINGLE_CN_H_
 #define MATCN_CORE_SINGLE_CN_H_
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 
@@ -22,19 +23,27 @@ struct SingleCnOptions {
   const CancelToken* cancel = nullptr;
 };
 
-/// Reusable per-worker scratch arena for SingleCn: the BFS frontier and
-/// the canonical-form dedup set survive across calls with their capacity
-/// (vector storage, hash buckets) intact, so a worker solving hundreds of
-/// matches of one query allocates the big blocks once instead of per
-/// match. Not thread-safe — one scratch per worker. The definition is
-/// private to single_cn.cc.
+/// Reusable per-worker scratch for SingleCn, backed by bump arenas
+/// (common/arena.h): the BFS frontier, the partial trees, the canonical
+/// encodings, and the dedup set all allocate from arena chunks that are
+/// *retained* across calls, so a worker solving hundreds of matches —
+/// across any number of queries — touches the heap only until its arenas
+/// reach their high-water mark, and never again after that. Not
+/// thread-safe — one scratch per worker. The definition is private to
+/// single_cn.cc.
 class SingleCnScratch {
  public:
-  SingleCnScratch();
+  /// `arena_chunk_bytes` sizes the arenas' first chunk (later chunks
+  /// double, capped). See MatCnGenOptions::arena_chunk_kb.
+  explicit SingleCnScratch(size_t arena_chunk_bytes = 64 * 1024);
   ~SingleCnScratch();
 
   SingleCnScratch(const SingleCnScratch&) = delete;
   SingleCnScratch& operator=(const SingleCnScratch&) = delete;
+
+  /// Lifetime high-water of arena bytes in use (both arenas summed);
+  /// survives the per-call resets. Feeds GenerationStats/ServiceStats.
+  size_t arena_bytes_peak() const;
 
   struct Impl;
   Impl* impl() { return impl_.get(); }
@@ -47,16 +56,25 @@ class SingleCnScratch {
 /// for the shortest *sound* joining network of tuple-sets that contains
 /// every node of the match. Partial trees are deduplicated by canonical
 /// form (the J' ∉ F test), non-free nodes are used at most once, and free
-/// nodes may repeat as distinct tree instances. Returns nullopt when no CN
-/// of size <= t_max exists.
+/// nodes may repeat as distinct tree instances. Returns false when no CN
+/// of size <= t_max exists (or the search was cancelled).
 ///
 /// Because the search is breadth-first over tree size, the first tree
 /// containing the match cannot have a free leaf (a strictly smaller tree
 /// containing the match would have been found first), so the returned tree
 /// is a valid candidate network per Definition 6.
 ///
-/// `scratch` (optional, borrowed) recycles the search's heap blocks across
-/// calls; passing one never changes the result.
+/// On success the result is written into `*out` via Assign, reusing its
+/// capacity — with a warm `scratch` and a reused `out`, the whole call is
+/// heap-allocation-free. `scratch` and `out` must be non-null; the scratch
+/// is reset on entry and its contents do not survive the call.
+bool SingleCnInto(const MatchGraph& match_graph,
+                  const SingleCnOptions& options, SingleCnScratch* scratch,
+                  CandidateNetwork* out);
+
+/// Convenience wrapper over SingleCnInto returning a fresh CN (nullopt if
+/// none exists). `scratch` (optional, borrowed) recycles the search's
+/// memory across calls; passing one never changes the result.
 std::optional<CandidateNetwork> SingleCn(const MatchGraph& match_graph,
                                          const SingleCnOptions& options = {},
                                          SingleCnScratch* scratch = nullptr);

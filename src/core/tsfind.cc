@@ -2,24 +2,37 @@
 
 #include <algorithm>
 #include <map>
+#include <type_traits>
 
 #include "common/strings.h"
+#include "simd/kernels.h"
 #include "storage/disk.h"
 
 namespace matcn {
 namespace {
 
+// The intersection kernels operate on the packed uint64 form directly;
+// TupleId is that uint64 and orders by it.
+static_assert(sizeof(TupleId) == sizeof(uint64_t));
+static_assert(std::is_trivially_copyable_v<TupleId>);
+
 std::vector<TupleId> Intersect(const std::vector<TupleId>& a,
                                const std::vector<TupleId>& b) {
-  std::vector<TupleId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  // Galloping + SIMD block merge (simd/kernels.h) — the hottest operation
+  // of TSInter's pairwise refinement.
+  std::vector<TupleId> out(std::min(a.size(), b.size()));
+  const size_t n = simd::IntersectSortedU64(
+      reinterpret_cast<const uint64_t*>(a.data()), a.size(),
+      reinterpret_cast<const uint64_t*>(b.data()), b.size(),
+      reinterpret_cast<uint64_t*>(out.data()));
+  out.resize(n);
   return out;
 }
 
 std::vector<TupleId> Subtract(const std::vector<TupleId>& a,
                               const std::vector<TupleId>& b) {
   std::vector<TupleId> out;
+  out.reserve(a.size());
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(out));
   return out;
@@ -28,6 +41,7 @@ std::vector<TupleId> Subtract(const std::vector<TupleId>& a,
 std::vector<TupleId> Union(const std::vector<TupleId>& a,
                            const std::vector<TupleId>& b) {
   std::vector<TupleId> out;
+  out.reserve(a.size() + b.size());
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
   return out;
@@ -95,6 +109,21 @@ std::vector<TermsetTuples> TsInter(std::vector<TermsetTuples> pairs) {
 
 std::vector<TupleSet> TupleSetFinder::BuildTupleSets(
     std::vector<TermsetTuples> keyword_lists) {
+  // Rarest-first (df-ascending) evaluation order, the ngram-profile idiom:
+  // TSInter's pairwise loop then hits the small lists first, so the
+  // subtract/union churn runs on already-shrunk lists and the galloping
+  // intersection sees maximal skew. Output is unaffected — TSInter's
+  // intersections read the *original* captured lists (symmetric in the
+  // pair), its subtract/union updates commute as set operations, and
+  // every merge goes through termset-keyed std::maps, so the result is
+  // independent of input order (the differential test pins this).
+  std::sort(keyword_lists.begin(), keyword_lists.end(),
+            [](const TermsetTuples& a, const TermsetTuples& b) {
+              if (a.tuples.size() != b.tuples.size()) {
+                return a.tuples.size() < b.tuples.size();
+              }
+              return a.termset < b.termset;
+            });
   std::vector<TermsetTuples> refined = TsInter(std::move(keyword_lists));
   std::vector<TupleSet> out;
   for (TermsetTuples& entry : refined) {
@@ -123,12 +152,15 @@ std::vector<TupleSet> TupleSetFinder::BuildTupleSets(
 
 std::vector<TupleSet> TupleSetFinder::FindMem(const TermIndex& index,
                                               const KeywordQuery& query) {
+  // Per-worker decode/merge buffers: repeated queries on one thread reuse
+  // the same posting scratch instead of allocating run vectors per term.
+  thread_local PostingScratch tls_scratch;
   std::vector<TermsetTuples> lists;
   lists.reserve(query.size());
   for (size_t i = 0; i < query.size(); ++i) {
     TermsetTuples entry;
     entry.termset = Termset{1} << i;
-    entry.tuples = index.TuplesFor(query.keyword(i));
+    index.TuplesForInto(query.keyword(i), &tls_scratch, &entry.tuples);
     lists.push_back(std::move(entry));
   }
   return BuildTupleSets(std::move(lists));

@@ -48,7 +48,11 @@ void MatchGraph::Reset(const std::vector<int>& match_nodes) {
     if (g_->IsFree(static_cast<int>(id))) allowed_[id] = true;
   }
   for (int id : match_nodes_) allowed_[id] = true;
-  adjacency_.resize(g_->num_nodes());
+  // Grow-only: shrinking would destroy inner vectors (and the capacity a
+  // warmed worker depends on) when Rebind moves to a smaller graph.
+  if (adjacency_.size() < g_->num_nodes()) {
+    adjacency_.resize(g_->num_nodes());
+  }
   for (size_t u = 0; u < g_->num_nodes(); ++u) {
     adjacency_[u].clear();
     if (!allowed_[u]) continue;

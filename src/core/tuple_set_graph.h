@@ -73,6 +73,12 @@ class MatchGraph {
   /// constructed graph.
   void Reset(const std::vector<int>& match_nodes);
 
+  /// Re-points the overlay at a *different* tuple-set graph (the next
+  /// query), still recycling storage. The overlay is unusable until the
+  /// following Reset; long-lived per-worker scratch uses this to survive
+  /// across queries.
+  void Rebind(const TupleSetGraph* g) { g_ = g; }
+
   bool Allowed(int id) const { return allowed_[id]; }
   /// Neighbors of `id` within the induced subgraph.
   const std::vector<int>& Neighbors(int id) const {

@@ -1,24 +1,37 @@
 #include "graph/tree_canonical.h"
 
 #include <algorithm>
-#include <functional>
+#include <memory_resource>
+#include <string_view>
 
 namespace matcn {
+namespace {
 
-std::vector<int> TreeCenters(const std::vector<std::vector<int>>& adjacency) {
+// The encoding core is written once against pmr containers and an explicit
+// memory_resource; the legacy std::string API below runs it on a transient
+// buffer resource and copies the answer out. `Adjacency`/`Labels` are
+// templates only so both std:: and std::pmr:: containers (which differ in
+// allocator type) can feed the same code.
+
+template <typename Adjacency>
+std::pmr::vector<int> TreeCentersImpl(const Adjacency& adjacency,
+                                      std::pmr::memory_resource* mr) {
+  std::pmr::vector<int> current(mr);
   const int n = static_cast<int>(adjacency.size());
-  if (n == 0) return {};
-  if (n == 1) return {0};
-  std::vector<int> degree(n);
-  std::vector<int> frontier;
+  if (n == 0) return current;
+  if (n == 1) {
+    current.push_back(0);
+    return current;
+  }
+  std::pmr::vector<int> degree(static_cast<size_t>(n), 0, mr);
   for (int i = 0; i < n; ++i) {
     degree[i] = static_cast<int>(adjacency[i].size());
-    if (degree[i] <= 1) frontier.push_back(i);
+    if (degree[i] <= 1) current.push_back(i);
   }
   int remaining = n;
-  std::vector<int> current = frontier;
+  std::pmr::vector<int> next(mr);
   while (remaining > 2) {
-    std::vector<int> next;
+    next.clear();
     remaining -= static_cast<int>(current.size());
     for (int leaf : current) {
       for (int nbr : adjacency[leaf]) {
@@ -26,42 +39,50 @@ std::vector<int> TreeCenters(const std::vector<std::vector<int>>& adjacency) {
       }
       degree[leaf] = 0;
     }
-    current = std::move(next);
+    std::swap(current, next);
   }
   std::sort(current.begin(), current.end());
   return current;
 }
 
-namespace {
-
-std::string EncodeRooted(const std::vector<std::vector<int>>& adjacency,
-                         const std::vector<std::string>& labels, int root) {
+template <typename Adjacency, typename Labels>
+std::pmr::string EncodeRootedImpl(const Adjacency& adjacency,
+                                  const Labels& labels, int root,
+                                  std::pmr::memory_resource* mr) {
   // Iterative post-order to avoid deep recursion on path-shaped trees.
   struct Frame {
+    using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
     int node;
     int parent;
     size_t next_child = 0;
-    std::vector<std::string> child_encodings;
+    std::pmr::vector<std::pmr::string> child_encodings;
+
+    Frame(int n, int p, allocator_type alloc)
+        : node(n), parent(p), child_encodings(alloc) {}
+    Frame(Frame&& o, allocator_type alloc)
+        : node(o.node), parent(o.parent), next_child(o.next_child),
+          child_encodings(std::move(o.child_encodings), alloc) {}
   };
-  std::vector<Frame> stack;
-  stack.push_back({root, -1, 0, {}});
-  std::string result;
+  std::pmr::vector<Frame> stack(mr);
+  stack.emplace_back(root, -1);
+  std::pmr::string result(mr);
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    const std::vector<int>& nbrs = adjacency[frame.node];
+    const auto& nbrs = adjacency[frame.node];
     bool descended = false;
     while (frame.next_child < nbrs.size()) {
       const int child = nbrs[frame.next_child++];
       if (child == frame.parent) continue;
-      stack.push_back({child, frame.node, 0, {}});
+      stack.emplace_back(child, frame.node);
       descended = true;
       break;
     }
     if (descended) continue;
     std::sort(frame.child_encodings.begin(), frame.child_encodings.end());
-    std::string enc = labels[frame.node];
+    std::pmr::string enc(mr);
+    enc.append(labels[frame.node].data(), labels[frame.node].size());
     enc += '(';
-    for (const std::string& c : frame.child_encodings) enc += c;
+    for (const std::pmr::string& c : frame.child_encodings) enc += c;
     enc += ')';
     const int parent_depth = static_cast<int>(stack.size()) - 2;
     stack.pop_back();
@@ -74,19 +95,41 @@ std::string EncodeRooted(const std::vector<std::vector<int>>& adjacency,
   return result;
 }
 
+template <typename Adjacency, typename Labels>
+std::pmr::string CanonicalTreeEncodingImpl(const Adjacency& adjacency,
+                                           const Labels& labels,
+                                           std::pmr::memory_resource* mr) {
+  std::pmr::string best(mr);
+  if (adjacency.empty()) return best;
+  const std::pmr::vector<int> centers = TreeCentersImpl(adjacency, mr);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    std::pmr::string enc = EncodeRootedImpl(adjacency, labels, centers[i], mr);
+    if (i == 0 || enc < best) best = std::move(enc);
+  }
+  return best;
+}
+
 }  // namespace
+
+std::vector<int> TreeCenters(const std::vector<std::vector<int>>& adjacency) {
+  const std::pmr::vector<int> centers =
+      TreeCentersImpl(adjacency, std::pmr::get_default_resource());
+  return std::vector<int>(centers.begin(), centers.end());
+}
 
 std::string CanonicalTreeEncoding(
     const std::vector<std::vector<int>>& adjacency,
     const std::vector<std::string>& labels) {
-  if (adjacency.empty()) return "";
-  std::vector<int> centers = TreeCenters(adjacency);
-  std::string best;
-  for (size_t i = 0; i < centers.size(); ++i) {
-    std::string enc = EncodeRooted(adjacency, labels, centers[i]);
-    if (i == 0 || enc < best) best = std::move(enc);
-  }
-  return best;
+  std::pmr::monotonic_buffer_resource mr;
+  const std::pmr::string best = CanonicalTreeEncodingImpl(adjacency, labels, &mr);
+  return std::string(best.data(), best.size());
+}
+
+std::pmr::string CanonicalTreeEncodingPmr(
+    const std::pmr::vector<std::pmr::vector<int>>& adjacency,
+    const std::pmr::vector<std::pmr::string>& labels,
+    std::pmr::memory_resource* mr) {
+  return CanonicalTreeEncodingImpl(adjacency, labels, mr);
 }
 
 }  // namespace matcn

@@ -1,6 +1,7 @@
 #ifndef MATCN_GRAPH_TREE_CANONICAL_H_
 #define MATCN_GRAPH_TREE_CANONICAL_H_
 
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,16 @@ namespace matcn {
 std::string CanonicalTreeEncoding(
     const std::vector<std::vector<int>>& adjacency,
     const std::vector<std::string>& labels);
+
+/// Allocation-controlled variant for the CN generation hot path: every
+/// byte the encoding touches (centers, post-order frames, child encodings,
+/// the result) comes from `mr`, typically a per-worker bump arena that is
+/// reset between expansions. Produces byte-identical encodings to
+/// CanonicalTreeEncoding.
+std::pmr::string CanonicalTreeEncodingPmr(
+    const std::pmr::vector<std::pmr::vector<int>>& adjacency,
+    const std::pmr::vector<std::pmr::string>& labels,
+    std::pmr::memory_resource* mr);
 
 /// The 1 or 2 center node indexes of the tree (nodes minimizing
 /// eccentricity), found by iteratively peeling leaves. Exposed for tests.

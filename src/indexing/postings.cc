@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <type_traits>
 #include <utility>
+
+#include "simd/kernels.h"
 
 namespace matcn {
 
@@ -47,16 +50,24 @@ PostingList PostingList::Build(std::vector<TupleId> ids, bool compress) {
 }
 
 std::vector<TupleId> PostingList::Decode() const {
-  if (!compressed_) return raw_;
   std::vector<TupleId> ids;
-  ids.reserve(count_);
-  uint64_t prev = 0;
-  size_t pos = 0;
-  for (size_t i = 0; i < count_; ++i) {
-    prev += VarbyteDecode(encoded_, &pos);
-    ids.push_back(TupleId::FromPacked(prev));
-  }
+  DecodeInto(&ids);
   return ids;
+}
+
+void PostingList::DecodeInto(std::vector<TupleId>* out) const {
+  if (!compressed_) {
+    out->assign(raw_.begin(), raw_.end());
+    return;
+  }
+  // The block kernels produce absolute packed ids; TupleId is a single
+  // packed uint64, so the kernel writes straight into the vector storage.
+  static_assert(sizeof(TupleId) == sizeof(uint64_t));
+  static_assert(std::is_trivially_copyable_v<TupleId>);
+  out->resize(count_);
+  if (count_ == 0) return;
+  simd::DecodeDeltaBlock(encoded_.data(), encoded_.size(), count_,
+                         reinterpret_cast<uint64_t*>(out->data()));
 }
 
 std::vector<TupleId> MergeSortedUnique(
@@ -108,6 +119,68 @@ std::vector<TupleId> MergeSortedUnique(
     }
   }
   return out;
+}
+
+void MergeSortedUniqueInto(PostingScratch* scratch,
+                           std::vector<TupleId>* out) {
+  std::vector<std::vector<TupleId>>& runs = scratch->runs;
+  const size_t n = scratch->runs_used;
+  out->clear();
+  if (n == 0) return;
+  if (n == 1) {
+    // Swap instead of copy: the buffers circulate between the scratch
+    // pool and the output, so capacity is never re-grown either way.
+    out->swap(runs[0]);
+    return;
+  }
+
+  size_t total = 0;
+  for (size_t r = 0; r < n; ++r) total += runs[r].size();
+  out->reserve(total);
+
+  if (n == 2) {  // common case: binary merge, no heap
+    const std::vector<TupleId>& a = runs[0];
+    const std::vector<TupleId>& b = runs[1];
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      const TupleId next = a[i] < b[j] ? a[i] : b[j];
+      if (a[i] == next) ++i;
+      if (j < b.size() && b[j] == next) ++j;
+      if (out->empty() || out->back() != next) out->push_back(next);
+    }
+    for (; i < a.size(); ++i) {
+      if (out->empty() || out->back() != a[i]) out->push_back(a[i]);
+    }
+    for (; j < b.size(); ++j) {
+      if (out->empty() || out->back() != b[j]) out->push_back(b[j]);
+    }
+    return;
+  }
+
+  // k-way merge over the pooled heap buffer — same (run, position) head
+  // scheme as MergeSortedUnique, without its per-call priority_queue.
+  std::vector<std::pair<size_t, size_t>>& heap = scratch->heap;
+  heap.clear();
+  for (size_t r = 0; r < n; ++r) {
+    if (!runs[r].empty()) heap.push_back({r, 0});
+  }
+  auto greater = [&runs](const std::pair<size_t, size_t>& x,
+                         const std::pair<size_t, size_t>& y) {
+    return runs[y.first][y.second] < runs[x.first][x.second];
+  };
+  std::make_heap(heap.begin(), heap.end(), greater);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const std::pair<size_t, size_t> head = heap.back();
+    const TupleId id = runs[head.first][head.second];
+    if (out->empty() || out->back() != id) out->push_back(id);
+    if (head.second + 1 < runs[head.first].size()) {
+      ++heap.back().second;
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else {
+      heap.pop_back();
+    }
+  }
 }
 
 size_t PostingList::MemoryBytes() const {

@@ -2,6 +2,7 @@
 #define MATCN_INDEXING_POSTINGS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "storage/tuple_id.h"
@@ -23,6 +24,11 @@ class PostingList {
   /// Materializes the ids (decodes if compressed).
   std::vector<TupleId> Decode() const;
 
+  /// Hot-path variant of Decode(): overwrites `*out`, reusing its capacity
+  /// instead of allocating a fresh vector per lookup. Compressed lists go
+  /// through the SIMD block-decode kernels (simd/kernels.h).
+  void DecodeInto(std::vector<TupleId>* out) const;
+
   size_t size() const { return count_; }
   bool compressed() const { return compressed_; }
 
@@ -41,6 +47,34 @@ class PostingList {
 /// it replaces on the TSFind hot path. Empty runs are fine.
 std::vector<TupleId> MergeSortedUnique(
     std::vector<std::vector<TupleId>> runs);
+
+/// Reusable per-worker decode + merge buffers for the posting hot path:
+/// run vectors (and the k-way merge heap) keep their capacity across
+/// lookups, so a warmed-up worker resolves a term with zero heap
+/// allocations. One scratch per worker; never shrinks.
+struct PostingScratch {
+  std::vector<std::vector<TupleId>> runs;
+  size_t runs_used = 0;
+  /// (run index, position) heads for the k-way merge.
+  std::vector<std::pair<size_t, size_t>> heap;
+
+  /// Starts a fresh lookup: previously acquired runs become reusable.
+  void BeginRound() { runs_used = 0; }
+
+  /// Hands out the next reusable run buffer (contents unspecified; the
+  /// caller overwrites via DecodeInto or assign).
+  std::vector<TupleId>* AcquireRun() {
+    if (runs_used == runs.size()) runs.emplace_back();
+    return &runs[runs_used++];
+  }
+};
+
+/// MergeSortedUnique over scratch->runs[0..runs_used), writing the merged
+/// sorted unique ids into `*out` (overwritten; capacity reused). Run
+/// buffers may be swapped with `*out` as an optimization — their contents
+/// are unspecified afterwards, their capacity stays pooled.
+void MergeSortedUniqueInto(PostingScratch* scratch,
+                           std::vector<TupleId>* out);
 
 /// Varbyte primitives, exposed for direct testing.
 void VarbyteEncode(uint64_t v, std::vector<uint8_t>* out);

@@ -94,14 +94,28 @@ const std::vector<AttributeOccurrence>* TermIndex::Lookup(
 }
 
 std::vector<TupleId> TermIndex::TuplesFor(const std::string& term) const {
+  PostingScratch scratch;
+  std::vector<TupleId> out;
+  TuplesForInto(term, &scratch, &out);
+  return out;
+}
+
+void TermIndex::TuplesForInto(const std::string& term,
+                              PostingScratch* scratch,
+                              std::vector<TupleId>* out) const {
   const std::vector<AttributeOccurrence>* list = Lookup(term);
-  if (list == nullptr) return {};
+  if (list == nullptr) {
+    out->clear();
+    return;
+  }
   // Each per-attribute decode is already sorted and unique; a k-way merge
-  // beats concat + full sort on this TSFind hot path.
-  std::vector<std::vector<TupleId>> runs;
-  runs.reserve(list->size());
-  for (const AttributeOccurrence& occ : *list) runs.push_back(occ.tuples.Decode());
-  return MergeSortedUnique(std::move(runs));
+  // beats concat + full sort on this TSFind hot path. Both the decode
+  // buffers and the merge heap come from the caller's scratch pool.
+  scratch->BeginRound();
+  for (const AttributeOccurrence& occ : *list) {
+    occ.tuples.DecodeInto(scratch->AcquireRun());
+  }
+  MergeSortedUniqueInto(scratch, out);
 }
 
 void TermIndex::ApplyInsert(const Database& db, TupleId id) {

@@ -47,6 +47,13 @@ class TermIndex {
   /// deduplicated — the list TSFind_Mem starts from.
   std::vector<TupleId> TuplesFor(const std::string& term) const;
 
+  /// Scratch-backed variant of TuplesFor for the query hot path: decodes
+  /// each per-attribute posting into pooled run buffers and merges into
+  /// `*out` (overwritten, capacity reused) — zero heap allocations once
+  /// the worker's scratch is warm.
+  void TuplesForInto(const std::string& term, PostingScratch* scratch,
+                     std::vector<TupleId>* out) const;
+
   /// Number of distinct tuples (across the database) containing `term`.
   uint64_t DocumentFrequency(const std::string& term) const;
 

@@ -280,7 +280,7 @@ bool ConcurrentTermIndex::CompactTerm(const std::string& term) {
     for (const AttributeOccurrence& occ : *old->base) {
       Accum& acc = accum[{occ.relation, occ.attribute}];
       acc.frequency = occ.frequency;
-      acc.ids = occ.tuples.Decode();
+      occ.tuples.DecodeInto(&acc.ids);
     }
   }
   for (const DeltaPosting& dp : old->delta) {
@@ -333,25 +333,38 @@ IndexSnapshot ConcurrentTermIndex::Snapshot() const {
 }
 
 std::vector<TupleId> IndexSnapshot::TuplesFor(const std::string& term) const {
+  PostingScratch scratch;
+  std::vector<TupleId> out;
+  TuplesForInto(term, &scratch, &out);
+  return out;
+}
+
+void IndexSnapshot::TuplesForInto(const std::string& term,
+                                  PostingScratch* scratch,
+                                  std::vector<TupleId>* out) const {
   const ConcurrentTermIndex::Node* node = index_->FindNode(term);
-  if (node == nullptr) return {};
+  if (node == nullptr) {
+    out->clear();
+    return;
+  }
   const TermEntry* entry = node->entry.load(std::memory_order_acquire);
-  std::vector<std::vector<TupleId>> runs;
+  scratch->BeginRound();
   if (entry->base != nullptr) {
-    runs.reserve(entry->base->size() + 1);
+    // Base postings share the SIMD block-decode kernels with the offline
+    // index; each decode lands in a pooled run buffer.
     for (const AttributeOccurrence& occ : *entry->base) {
-      runs.push_back(occ.tuples.Decode());
+      occ.tuples.DecodeInto(scratch->AcquireRun());
     }
   }
   if (!entry->delta.empty()) {
-    std::vector<TupleId> fresh;
-    fresh.reserve(entry->delta.size());
-    for (const DeltaPosting& dp : entry->delta) fresh.push_back(dp.tuple);
-    std::sort(fresh.begin(), fresh.end());
-    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-    runs.push_back(std::move(fresh));
+    std::vector<TupleId>* fresh = scratch->AcquireRun();
+    fresh->clear();
+    fresh->reserve(entry->delta.size());
+    for (const DeltaPosting& dp : entry->delta) fresh->push_back(dp.tuple);
+    std::sort(fresh->begin(), fresh->end());
+    fresh->erase(std::unique(fresh->begin(), fresh->end()), fresh->end());
   }
-  return MergeSortedUnique(std::move(runs));
+  MergeSortedUniqueInto(scratch, out);
 }
 
 uint64_t IndexSnapshot::DocumentFrequency(const std::string& term) const {

@@ -65,6 +65,13 @@ class IndexSnapshot {
   /// Sorted unique ids of tuples containing `term` (base ∪ delta).
   std::vector<TupleId> TuplesFor(const std::string& term) const;
 
+  /// Scratch-backed variant for the query hot path: base postings decode
+  /// through the SIMD kernels into pooled run buffers, the delta is
+  /// sorted in one more pooled run, and the merge lands in `*out`
+  /// (overwritten, capacity reused).
+  void TuplesForInto(const std::string& term, PostingScratch* scratch,
+                     std::vector<TupleId>* out) const;
+
   /// Distinct tuples containing `term`.
   uint64_t DocumentFrequency(const std::string& term) const;
 

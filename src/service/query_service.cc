@@ -307,12 +307,16 @@ void QueryService::Execute(
     index_version = snapshot.version();
     const uint32_t ts_span =
         tc.trace ? tc.trace->BeginSpan("tsfind", tc.root_span) : 0;
+    // Per-worker posting scratch: repeated queries on one pool thread
+    // reuse the same decode/merge buffers instead of allocating per term.
+    thread_local PostingScratch tls_posting_scratch;
     std::vector<TermsetTuples> keyword_lists;
     keyword_lists.reserve(normalized.size());
     for (size_t i = 0; i < normalized.size(); ++i) {
       TermsetTuples tt;
       tt.termset = Termset{1} << i;
-      tt.tuples = snapshot.TuplesFor(normalized.keyword(i));
+      snapshot.TuplesForInto(normalized.keyword(i), &tls_posting_scratch,
+                             &tt.tuples);
       keyword_lists.push_back(std::move(tt));
     }
     std::vector<TupleSet> tuple_sets =
@@ -348,6 +352,7 @@ void QueryService::Execute(
                       result.stats.cn_millis,
                       result.stats.cn_parallel_efficiency,
                       result.stats.cn_workers);
+  stats_.RecordArenaPeak(result.stats.arena_bytes_peak);
   response.index_version = index_version;
   auto shared = std::make_shared<const GenerationResult>(std::move(result));
   response.result = shared;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <type_traits>
 
+#include "simd/dispatch.h"
+
 namespace matcn {
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
@@ -13,6 +15,8 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.arena_bytes_peak = arena_bytes_peak_.load(std::memory_order_relaxed);
+  s.simd_dispatch_level = static_cast<int>(simd::ActiveLevel());
   s.mean_ms = latency_.MeanMicros() / 1000.0;
   s.p50_ms = static_cast<double>(latency_.QuantileMicros(0.50)) / 1000.0;
   s.p95_ms = static_cast<double>(latency_.QuantileMicros(0.95)) / 1000.0;

@@ -37,6 +37,10 @@ namespace matcn {
   V(kGauge, index_version, "Live index version (0 for static backends)")      \
   V(kGauge, index_delta_bytes, "Live index delta-postings bytes")             \
   V(kCounter, index_compactions, "Live index background compactions")         \
+  V(kGauge, arena_bytes_peak,                                                 \
+    "Largest per-worker SingleCn arena high-water in bytes")                  \
+  V(kGauge, simd_dispatch_level,                                              \
+    "Active SIMD kernel tier (0=scalar, 1=sse4.2, 2=avx2)")                   \
   V(kGauge, mean_ms, "Mean service latency in milliseconds")                  \
   V(kGauge, p50_ms, "p50 service latency in milliseconds")                    \
   V(kGauge, p95_ms, "p95 service latency in milliseconds")                    \
@@ -65,6 +69,11 @@ struct ServiceStatsSnapshot {
   uint64_t index_version = 0;
   size_t index_delta_bytes = 0;
   uint64_t index_compactions = 0;
+  /// Hot-path memory/kernel gauges: largest SingleCn arena high-water any
+  /// worker reported, and the CPU-dispatch tier the posting kernels run at
+  /// (simd::Level numeric value; constant per process unless forced).
+  size_t arena_bytes_peak = 0;
+  int simd_dispatch_level = 0;
   // End-to-end service latency (submit to response), cache hits included.
   double mean_ms = 0;
   double p50_ms = 0;
@@ -109,6 +118,14 @@ class ServiceStats {
     stages_.Record(ts_ms, match_ms, cn_ms, cn_parallel_efficiency,
                    cn_workers);
   }
+  /// Running max of per-worker SingleCn arena high-water bytes.
+  void RecordArenaPeak(size_t bytes) {
+    size_t prev = arena_bytes_peak_.load(std::memory_order_relaxed);
+    while (prev < bytes &&
+           !arena_bytes_peak_.compare_exchange_weak(
+               prev, bytes, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Fills the counter and latency fields; the caller layers in cache and
   /// queue gauges it owns.
@@ -125,6 +142,7 @@ class ServiceStats {
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<size_t> arena_bytes_peak_{0};
   LatencyHistogram latency_;
   StageStats stages_;
 };

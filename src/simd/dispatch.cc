@@ -1,0 +1,54 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace matcn::simd {
+namespace {
+
+Level DetectLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSse42;
+#endif
+  return Level::kScalar;
+}
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("MATCN_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& ForceFlag() {
+  // Function-local so the env var is read exactly once, safely, no matter
+  // which translation unit touches the kernels first.
+  static std::atomic<bool> flag{EnvForcesScalar()};
+  return flag;
+}
+
+}  // namespace
+
+Level ActiveLevel() {
+  static const Level detected = DetectLevel();
+  return ForceFlag().load(std::memory_order_relaxed) ? Level::kScalar
+                                                     : detected;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kSse42:
+      return "sse4.2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+void ForceScalar(bool force) {
+  ForceFlag().store(force, std::memory_order_relaxed);
+}
+
+}  // namespace matcn::simd

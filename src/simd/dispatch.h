@@ -1,0 +1,30 @@
+#ifndef MATCN_SIMD_DISPATCH_H_
+#define MATCN_SIMD_DISPATCH_H_
+
+namespace matcn::simd {
+
+/// Instruction-set tiers the posting kernels are compiled for. The scalar
+/// fallback is always compiled and always correct; the wider tiers are
+/// selected at runtime from CPUID, so one binary runs everywhere.
+enum class Level : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// The tier the kernels dispatch to right now: the widest tier the CPU
+/// supports, unless the MATCN_FORCE_SCALAR environment variable (any
+/// value but "0") or ForceScalar(true) pins the scalar fallback.
+Level ActiveLevel();
+
+/// Stable lowercase name ("scalar", "sse4.2", "avx2") for logs and STATS.
+const char* LevelName(Level level);
+
+/// Test/bench hook: pin (or unpin) the scalar fallback at runtime,
+/// overriding CPU detection. Process-wide; the differential tests use it
+/// to run the same inputs through both code paths in one process.
+void ForceScalar(bool force);
+
+}  // namespace matcn::simd
+
+#endif  // MATCN_SIMD_DISPATCH_H_

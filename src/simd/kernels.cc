@@ -1,0 +1,408 @@
+#include "simd/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simd/dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MATCN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace matcn::simd {
+
+// ---------------------------------------------------------------------------
+// Varbyte block decode
+
+size_t DecodeDeltaBlockScalar(const uint8_t* data, size_t size, size_t count,
+                              uint64_t* out) {
+  uint64_t prev = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    unsigned shift = 0;
+    uint8_t b;
+    do {
+      b = data[pos++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      shift += 7;
+    } while (b & 0x80);
+    prev += v;
+    out[i] = prev;
+  }
+  assert(pos <= size);
+  (void)size;
+  return pos;
+}
+
+#if MATCN_SIMD_X86
+
+namespace {
+
+// One-byte-delta fast path shared by the SSE and AVX2 tiers: a 16-byte
+// load plus a movemask answers "are the next 8 deltas all single-byte?"
+// in two instructions. Posting-list gaps are overwhelmingly < 128 on the
+// dense imdb-derived lists, so this path carries almost all bytes.
+inline bool NextEightAreSingleByte(const uint8_t* p) {
+  const __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return (static_cast<uint32_t>(_mm_movemask_epi8(bytes)) & 0xFFu) == 0;
+}
+
+// Decodes one varbyte value at data[pos], advancing pos.
+inline uint64_t DecodeOne(const uint8_t* data, size_t* pos) {
+  uint64_t v = 0;
+  unsigned shift = 0;
+  uint8_t b;
+  do {
+    b = data[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    shift += 7;
+  } while (b & 0x80);
+  return v;
+}
+
+// Shuffle table for the masked-vbyte window decode, indexed by the
+// continuation mask of a window's low 8 bytes. A mask is decodable when
+// every value in the window is 1 or 2 bytes wide (no adjacent
+// continuation bits) and no value straddles the window end (bit 7
+// clear); `n[mask]` is then the number of complete values in the 8
+// bytes, and `shuf[mask]` expands them into 8 little-endian 16-bit lanes
+// (absent high bytes zero-filled via pshufb's 0x80 convention). Invalid
+// masks have n == 0.
+struct VbWindowTable {
+  alignas(16) uint8_t shuf[256][16];
+  uint8_t n[256];
+};
+
+const VbWindowTable& WindowTable() {
+  static const VbWindowTable table = [] {
+    VbWindowTable t{};
+    for (unsigned m = 0; m < 256; ++m) {
+      t.n[m] = 0;
+      for (int k = 0; k < 16; ++k) t.shuf[m][k] = 0x80;
+      if ((m & 0x80u) != 0 || (m & (m << 1)) != 0) continue;
+      unsigned p = 0;
+      uint8_t lane = 0;
+      while (p < 8) {
+        t.shuf[m][2 * lane] = static_cast<uint8_t>(p);
+        if (m & (1u << p)) {
+          t.shuf[m][2 * lane + 1] = static_cast<uint8_t>(p + 1);
+          p += 2;
+        } else {
+          p += 1;
+        }
+        ++lane;
+      }
+      t.n[m] = lane;  // p lands exactly on 8: bit 7 is clear
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Prefix-sums 8 u16 lanes into out[0..8) on top of `prev` and returns
+// prev advanced by the lane total. The sum runs in the 32-bit domain
+// (8 * 16383 overflows u16). The total comes from an independent
+// madd/shuffle reduction, so the loop-carried dependency is one scalar
+// add — iterations overlap instead of serializing on an extract from the
+// prefix chain.
+__attribute__((target("avx2"))) inline uint64_t StorePrefix8(
+    __m128i vals, uint64_t prev, uint64_t* out) {
+  __m256i x = _mm256_cvtepu16_epi32(vals);
+  x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+  x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+  __m256i carry = _mm256_permute2x128_si256(x, x, 0x00);
+  carry = _mm256_shuffle_epi32(carry, _MM_SHUFFLE(3, 3, 3, 3));
+  x = _mm256_add_epi32(
+      x, _mm256_blend_epi32(_mm256_setzero_si256(), carry, 0xF0));
+  const __m256i base = _mm256_set1_epi64x(static_cast<long long>(prev));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out),
+      _mm256_add_epi64(base,
+                       _mm256_cvtepu32_epi64(_mm256_castsi256_si128(x))));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out + 4),
+      _mm256_add_epi64(base, _mm256_cvtepu32_epi64(
+                                 _mm256_extracti128_si256(x, 1))));
+  __m128i total = _mm_madd_epi16(vals, _mm_set1_epi16(1));
+  total = _mm_add_epi32(total,
+                        _mm_shuffle_epi32(total, _MM_SHUFFLE(1, 0, 3, 2)));
+  total = _mm_add_epi32(total,
+                        _mm_shuffle_epi32(total, _MM_SHUFFLE(2, 3, 0, 1)));
+  return prev + static_cast<uint32_t>(_mm_cvtsi128_si32(total));
+}
+
+__attribute__((target("avx2"))) size_t DecodeDeltaBlockAvx2(
+    const uint8_t* data, size_t size, size_t count, uint64_t* out) {
+  const VbWindowTable& table = WindowTable();
+  const __m128i low7 = _mm_set1_epi8(0x7f);
+  const __m128i mul = _mm_set1_epi16(static_cast<short>(0x8001));
+  uint64_t prev = 0;
+  size_t pos = 0;
+  size_t i = 0;
+  while (i + 8 <= count && pos + 16 <= size) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm_movemask_epi8(bytes)) & 0xFFFFu;
+    if ((mask & 0xFFu) == 0) {
+      // Eight single-byte deltas — the dense-list fast path. Prefix-sum
+      // in the 16-bit domain (8 gaps sum to at most 8*127), widen, add
+      // the base; psadbw yields the block total straight from the load.
+      __m128i w = _mm_cvtepu8_epi16(bytes);
+      w = _mm_add_epi16(w, _mm_slli_si128(w, 2));
+      w = _mm_add_epi16(w, _mm_slli_si128(w, 4));
+      w = _mm_add_epi16(w, _mm_slli_si128(w, 8));
+      const __m256i base = _mm256_set1_epi64x(static_cast<long long>(prev));
+      const __m256i lo = _mm256_add_epi64(base, _mm256_cvtepu16_epi64(w));
+      const __m256i hi = _mm256_add_epi64(
+          base, _mm256_cvtepu16_epi64(_mm_srli_si128(w, 8)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), hi);
+      prev += static_cast<uint64_t>(_mm_cvtsi128_si64(
+          _mm_sad_epu8(_mm_move_epi64(bytes), _mm_setzero_si128())));
+      pos += 8;
+      i += 8;
+      continue;
+    }
+    if (mask == 0x5555u) {
+      // Eight two-byte deltas (gaps 128..16383), the whole 16-byte
+      // window: maddubs folds each pair into low7(b0) + 128*low7(b1).
+      const __m128i vals =
+          _mm_maddubs_epi16(mul, _mm_and_si128(bytes, low7));
+      prev = StorePrefix8(vals, prev, out + i);
+      pos += 16;
+      i += 8;
+      continue;
+    }
+    const uint32_t m8 = mask & 0xFFu;
+    if ((m8 & ((m8 << 1) | 0x80u)) == 0) {
+      // Masked-vbyte window: the low 8 bytes hold 4..8 complete values of
+      // mixed 1/2-byte width — the common shape of real posting lists,
+      // where ~20% two-byte gaps make pure 8x single-byte windows rare.
+      // A shuffle keyed on the continuation mask expands the values into
+      // 16-bit lanes; absent lanes decode as 0 and are overwritten by the
+      // next window (the i+8 <= count guard keeps the full 8-lane store
+      // in bounds).
+      const __m128i shuffled = _mm_shuffle_epi8(
+          _mm_and_si128(bytes, low7),
+          _mm_load_si128(
+              reinterpret_cast<const __m128i*>(table.shuf[m8])));
+      const __m128i vals = _mm_maddubs_epi16(mul, shuffled);
+      prev = StorePrefix8(vals, prev, out + i);
+      pos += 8;
+      i += table.n[m8];
+      continue;
+    }
+    // A wide (3+ byte) delta sits in the window: decode one value scalar
+    // and re-probe (the window realigns past it).
+    prev += DecodeOne(data, &pos);
+    out[i++] = prev;
+  }
+  for (; i < count; ++i) {
+    prev += DecodeOne(data, &pos);
+    out[i] = prev;
+  }
+  assert(pos <= size);
+  return pos;
+}
+
+// SSE tier: same movemask fast-path detection, scalar unrolled sum. The
+// win over the plain scalar loop is the branch-free "8 single-byte gaps"
+// probe replacing per-byte continuation tests.
+size_t DecodeDeltaBlockSse(const uint8_t* data, size_t size, size_t count,
+                           uint64_t* out) {
+  uint64_t prev = 0;
+  size_t pos = 0;
+  size_t i = 0;
+  while (i + 8 <= count && pos + 16 <= size) {
+    if (NextEightAreSingleByte(data + pos)) {
+      for (int k = 0; k < 8; ++k) {
+        prev += data[pos + static_cast<size_t>(k)];
+        out[i + static_cast<size_t>(k)] = prev;
+      }
+      pos += 8;
+      i += 8;
+      continue;
+    }
+    prev += DecodeOne(data, &pos);
+    out[i++] = prev;
+  }
+  for (; i < count; ++i) {
+    prev += DecodeOne(data, &pos);
+    out[i] = prev;
+  }
+  assert(pos <= size);
+  return pos;
+}
+
+}  // namespace
+
+#endif  // MATCN_SIMD_X86
+
+size_t DecodeDeltaBlock(const uint8_t* data, size_t size, size_t count,
+                        uint64_t* out) {
+#if MATCN_SIMD_X86
+  switch (ActiveLevel()) {
+    case Level::kAvx2:
+      return DecodeDeltaBlockAvx2(data, size, count, out);
+    case Level::kSse42:
+      return DecodeDeltaBlockSse(data, size, count, out);
+    case Level::kScalar:
+      break;
+  }
+#endif
+  return DecodeDeltaBlockScalar(data, size, count, out);
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-u64 intersection
+
+size_t IntersectSortedU64Scalar(const uint64_t* a, size_t na,
+                                const uint64_t* b, size_t nb, uint64_t* out) {
+  size_t i = 0, j = 0, k = 0;
+  while (i < na && j < nb) {
+    const uint64_t x = a[i];
+    const uint64_t y = b[j];
+    out[k] = x;
+    k += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return k;
+}
+
+namespace {
+
+// Galloping (exponential + binary search) for badly skewed sizes: each
+// element of the short list is located in the long list in O(log gap),
+// resuming where the previous probe ended. Requires na <= nb.
+size_t IntersectGalloping(const uint64_t* a, size_t na, const uint64_t* b,
+                          size_t nb, uint64_t* out) {
+  size_t k = 0;
+  size_t lo = 0;
+  for (size_t i = 0; i < na && lo < nb; ++i) {
+    const uint64_t x = a[i];
+    size_t step = 1;
+    while (lo + step < nb && b[lo + step] < x) step <<= 1;
+    const size_t hi = std::min(lo + step + 1, nb);
+    const size_t p =
+        static_cast<size_t>(std::lower_bound(b + lo, b + hi, x) - b);
+    if (p < nb && b[p] == x) out[k++] = x;
+    lo = p;
+  }
+  return k;
+}
+
+#if MATCN_SIMD_X86
+
+// Block-probe merge (Lemire's V1 shape): walk the shorter list scalar,
+// compare each element against 4 candidates of the longer list at once.
+// Requires na <= nb.
+__attribute__((target("avx2"))) size_t IntersectAvx2(const uint64_t* a,
+                                                     size_t na,
+                                                     const uint64_t* b,
+                                                     size_t nb,
+                                                     uint64_t* out) {
+  size_t i = 0, j = 0, k = 0;
+  bool blocks = j + 4 <= nb;
+  while (i < na && blocks) {
+    const uint64_t x = a[i];
+    while (b[j + 3] < x) {
+      j += 4;
+      if (j + 4 > nb) {
+        blocks = false;
+        break;
+      }
+    }
+    if (!blocks) break;
+    const __m256i vx = _mm256_set1_epi64x(static_cast<long long>(x));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int eq =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(vb, vx)));
+    out[k] = x;
+    k += static_cast<size_t>(eq != 0);
+    ++i;
+  }
+  // Scalar tail over whatever remains of either list.
+  while (i < na && j < nb) {
+    const uint64_t x = a[i];
+    const uint64_t y = b[j];
+    out[k] = x;
+    k += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return k;
+}
+
+__attribute__((target("sse4.2"))) size_t IntersectSse42(const uint64_t* a,
+                                                        size_t na,
+                                                        const uint64_t* b,
+                                                        size_t nb,
+                                                        uint64_t* out) {
+  size_t i = 0, j = 0, k = 0;
+  bool blocks = j + 4 <= nb;
+  while (i < na && blocks) {
+    const uint64_t x = a[i];
+    while (b[j + 3] < x) {
+      j += 4;
+      if (j + 4 > nb) {
+        blocks = false;
+        break;
+      }
+    }
+    if (!blocks) break;
+    const __m128i vx = _mm_set1_epi64x(static_cast<long long>(x));
+    const __m128i b0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j + 2));
+    const int eq =
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(b0, vx))) |
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(b1, vx)));
+    out[k] = x;
+    k += static_cast<size_t>(eq != 0);
+    ++i;
+  }
+  while (i < na && j < nb) {
+    const uint64_t x = a[i];
+    const uint64_t y = b[j];
+    out[k] = x;
+    k += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return k;
+}
+
+#endif  // MATCN_SIMD_X86
+
+}  // namespace
+
+size_t IntersectSortedU64(const uint64_t* a, size_t na, const uint64_t* b,
+                          size_t nb, uint64_t* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  // Rarest-first skew guard: past ~32x asymmetry, galloping's O(short *
+  // log(long/short)) beats any merge regardless of instruction set.
+  if (nb / na >= 32) return IntersectGalloping(a, na, b, nb, out);
+#if MATCN_SIMD_X86
+  switch (ActiveLevel()) {
+    case Level::kAvx2:
+      return IntersectAvx2(a, na, b, nb, out);
+    case Level::kSse42:
+      return IntersectSse42(a, na, b, nb, out);
+    case Level::kScalar:
+      break;
+  }
+#endif
+  return IntersectSortedU64Scalar(a, na, b, nb, out);
+}
+
+}  // namespace matcn::simd

@@ -1,0 +1,38 @@
+#ifndef MATCN_SIMD_KERNELS_H_
+#define MATCN_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace matcn::simd {
+
+/// Decodes `count` varbyte-encoded deltas from `data` (a buffer of `size`
+/// bytes produced by VarbyteEncode) and prefix-sums them into absolute
+/// values written to out[0..count). Returns the number of bytes consumed.
+/// The input must be well-formed: exactly `count` terminated values within
+/// `size` bytes (the encoder guarantees this; the kernel does not
+/// re-validate per byte). Dispatches to the widest available tier; the
+/// AVX2/SSE tiers never read past data[size-1].
+size_t DecodeDeltaBlock(const uint8_t* data, size_t size, size_t count,
+                        uint64_t* out);
+
+/// The always-compiled scalar fallback, exposed for differential tests
+/// and the microbenchmark.
+size_t DecodeDeltaBlockScalar(const uint8_t* data, size_t size, size_t count,
+                              uint64_t* out);
+
+/// Intersects two sorted unique uint64 arrays into out[0..result), which
+/// must have capacity >= min(na, nb). Picks galloping search when the
+/// sizes are badly skewed (the rare-term x common-term case) and a
+/// SIMD-assisted block merge otherwise. Returns the number of elements
+/// written. `out` may not alias `a` or `b`.
+size_t IntersectSortedU64(const uint64_t* a, size_t na, const uint64_t* b,
+                          size_t nb, uint64_t* out);
+
+/// Scalar branch-light merge fallback, exposed for tests and the bench.
+size_t IntersectSortedU64Scalar(const uint64_t* a, size_t na,
+                                const uint64_t* b, size_t nb, uint64_t* out);
+
+}  // namespace matcn::simd
+
+#endif  // MATCN_SIMD_KERNELS_H_

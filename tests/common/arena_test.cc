@@ -1,0 +1,161 @@
+// Tests for the per-request bump arena: alignment guarantees, chunk
+// growth and retention across Reset(), peak accounting, and integration
+// with std::pmr containers (the way the SingleCn hot path consumes it).
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace matcn {
+namespace {
+
+bool IsAligned(const void* p, size_t alignment) {
+  return reinterpret_cast<uintptr_t>(p) % alignment == 0;
+}
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena(128);
+  for (size_t alignment : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (size_t bytes : {1u, 3u, 8u, 17u, 64u}) {
+      void* p = arena.allocate(bytes, alignment);
+      ASSERT_NE(p, nullptr);
+      EXPECT_TRUE(IsAligned(p, alignment))
+          << bytes << " bytes at alignment " << alignment;
+      std::memset(p, 0xAB, bytes);  // must be writable
+    }
+  }
+}
+
+TEST(Arena, ZeroByteAllocationsAreDistinct) {
+  Arena arena;
+  void* a = arena.allocate(0, 1);
+  void* b = arena.allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, GrowsBeyondInitialChunk) {
+  Arena arena(64);
+  EXPECT_EQ(arena.num_chunks(), 0u);
+  (void)arena.allocate(32, 8);
+  EXPECT_EQ(arena.num_chunks(), 1u);
+  // A request larger than any retained chunk forces a new, bigger chunk.
+  (void)arena.allocate(1024, 8);
+  EXPECT_GE(arena.num_chunks(), 2u);
+  EXPECT_GE(arena.bytes_reserved(), 1024u + 32u);
+}
+
+TEST(Arena, ResetRetainsChunksAndReusesThem) {
+  Arena arena(256);
+  for (int i = 0; i < 64; ++i) (void)arena.allocate(64, 8);
+  const size_t reserved = arena.bytes_reserved();
+  const size_t chunks = arena.num_chunks();
+  ASSERT_GT(chunks, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_chunks(), chunks);
+
+  // The same workload replayed after Reset must fit in the retained
+  // chunks: no new reservation.
+  for (int i = 0; i < 64; ++i) (void)arena.allocate(64, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_chunks(), chunks);
+}
+
+TEST(Arena, PeakSurvivesReset) {
+  Arena arena(128);
+  (void)arena.allocate(500, 8);
+  const size_t peak = arena.bytes_peak();
+  EXPECT_GE(peak, 500u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_peak(), peak);
+  (void)arena.allocate(8, 8);
+  EXPECT_EQ(arena.bytes_peak(), peak) << "smaller round must not move peak";
+  (void)arena.allocate(1000, 8);
+  EXPECT_GT(arena.bytes_peak(), peak) << "bigger round must raise peak";
+}
+
+TEST(Arena, TinyInitialChunkIsClamped) {
+  Arena arena(1);  // ctor clamps below the internal minimum
+  void* p = arena.allocate(48, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0, 48);
+}
+
+TEST(Arena, PmrContainersUseTheArena) {
+  Arena arena(1024);
+  {
+    std::pmr::vector<uint64_t> v(&arena);
+    for (uint64_t i = 0; i < 100; ++i) v.push_back(i);
+    for (uint64_t i = 0; i < 100; ++i) ASSERT_EQ(v[i], i);
+    EXPECT_GT(arena.bytes_used(), 0u);
+
+    std::pmr::unordered_set<std::pmr::string> seen(&arena);
+    for (int i = 0; i < 50; ++i) {
+      seen.insert(std::pmr::string(
+          "key-with-enough-length-to-defeat-sso-" + std::to_string(i),
+          &arena));
+    }
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_TRUE(seen.count(std::pmr::string(
+        "key-with-enough-length-to-defeat-sso-7", &arena)));
+  }  // pmr containers destruct before the arena rewinds
+  const size_t used = arena.bytes_used();
+  EXPECT_GT(used, 100 * sizeof(uint64_t));
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(Arena, IsEqualIsIdentity) {
+  Arena a, b;
+  EXPECT_TRUE(a.is_equal(a));
+  EXPECT_FALSE(a.is_equal(b));
+  EXPECT_FALSE(a.is_equal(*std::pmr::get_default_resource()));
+}
+
+TEST(Arena, DeallocateIsANoOp) {
+  Arena arena(256);
+  void* p = arena.allocate(64, 8);
+  const size_t used = arena.bytes_used();
+  arena.deallocate(p, 64, 8);
+  EXPECT_EQ(arena.bytes_used(), used);
+  // Storage is still valid to hand out after the no-op deallocate.
+  void* q = arena.allocate(64, 8);
+  EXPECT_NE(q, nullptr);
+}
+
+// The steady-state contract the zero-alloc test depends on: after one
+// warming round, replaying rounds of the same shape never consults the
+// heap (reservation and chunk count are frozen).
+TEST(Arena, SteadyStateNeedsNoNewChunks) {
+  Arena arena(64);
+  auto round = [&arena] {
+    arena.Reset();
+    std::pmr::vector<uint64_t> v(&arena);
+    for (uint64_t i = 0; i < 300; ++i) v.push_back(i);
+    std::pmr::vector<std::pmr::string> labels(&arena);
+    for (int i = 0; i < 20; ++i) {
+      labels.emplace_back("relation#termset-label-" + std::to_string(i));
+    }
+  };
+  round();
+  const size_t reserved = arena.bytes_reserved();
+  const size_t chunks = arena.num_chunks();
+  for (int i = 0; i < 10; ++i) {
+    round();
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "round " << i;
+    EXPECT_EQ(arena.num_chunks(), chunks) << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace matcn

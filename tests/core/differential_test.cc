@@ -7,14 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/matcngen.h"
 #include "core/qmgen.h"
+#include "core/tsfind.h"
+#include "fixtures/imdb_fixture.h"
 #include "graph/schema_graph.h"
+#include "indexing/term_index.h"
 #include "service/thread_pool.h"
+#include "simd/dispatch.h"
 #include "storage/schema.h"
 
 namespace matcn {
@@ -238,6 +243,68 @@ TEST(DifferentialTest, TruncationIsPathIndependent) {
     ASSERT_LE(a.matches.size(), 3u) << "seed " << seed;
     ExpectIdenticalResults(a, b, seed);
   }
+}
+
+// The SIMD posting kernels (varbyte block decode + intersection) feed
+// TSFind; pinning the scalar fallback must leave every tuple-set — and
+// therefore the whole downstream pipeline — byte-identical.
+TEST(DifferentialTest, TsfindScalarEqualsSimd) {
+  Database db = testing::MakeMiniImdb();
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+  const std::vector<std::string> query_strings = {
+      "denzel washington gangster", "denzel gangster", "washington",
+      "denzel washington", "gangster film"};
+  for (const std::string& qs : query_strings) {
+    auto q = KeywordQuery::Parse(qs);
+    ASSERT_TRUE(q.ok()) << qs;
+
+    simd::ForceScalar(true);
+    const std::vector<TupleSet> scalar_sets =
+        TupleSetFinder::FindMem(index, *q);
+    simd::ForceScalar(false);
+    const std::vector<TupleSet> simd_sets = TupleSetFinder::FindMem(index, *q);
+    ASSERT_EQ(scalar_sets, simd_sets) << qs;
+    // The full-scan oracle keeps both honest about semantics, not just
+    // mutual agreement.
+    ASSERT_EQ(simd_sets, TupleSetFinder::FindScan(db, *q)) << qs;
+
+    // ...and the CNs built on top match too.
+    MatCnGen gen(&schema_graph, {});
+    const GenerationResult a = gen.GenerateFromTupleSets(*q, scalar_sets, 0);
+    const GenerationResult b = gen.GenerateFromTupleSets(*q, simd_sets, 0);
+    ExpectIdenticalResults(a, b, 0);
+  }
+}
+
+// BuildTupleSets sorts keyword lists rarest-first before intersecting;
+// the result must not depend on the caller's list order (the proof is in
+// the implementation comment — this is the executable version).
+TEST(DifferentialTest, BuildTupleSetsIsInputOrderInvariant) {
+  Database db = testing::MakeMiniImdb();
+  const TermIndex index = TermIndex::Build(db);
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+
+  std::vector<TermsetTuples> lists;
+  for (size_t i = 0; i < q->size(); ++i) {
+    TermsetTuples tt;
+    tt.termset = Termset{1} << i;
+    tt.tuples = index.TuplesFor(q->keyword(i));
+    lists.push_back(std::move(tt));
+  }
+
+  const std::vector<TupleSet> reference =
+      TupleSetFinder::BuildTupleSets(lists);
+  EXPECT_FALSE(reference.empty());
+
+  std::vector<size_t> order(lists.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  do {
+    std::vector<TermsetTuples> permuted;
+    for (size_t i : order) permuted.push_back(lists[i]);
+    ASSERT_EQ(TupleSetFinder::BuildTupleSets(std::move(permuted)), reference);
+  } while (std::next_permutation(order.begin(), order.end()));
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// Proves the hot-path memory claim of DESIGN.md §12: after one warming
+// round per worker, repeated SingleCnInto calls — across matches and
+// across queries (MatchGraph Rebind) — perform zero heap allocations.
+// Global operator new/delete replacements count every heap round-trip;
+// the counter is armed only around the measured steady-state region.
+//
+// This binary must not be built under ASan/TSan (those runtimes own the
+// allocator); the sanitizer CI jobs exclude it, and the test also skips
+// itself defensively if a sanitizer is detected.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/single_cn.h"
+#include "core/tsfind.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MATCN_SANITIZED 1
+#else
+#define MATCN_SANITIZED 0
+#endif
+
+#if !MATCN_SANITIZED
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::atomic<size_t> g_allocs{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, std::align_val_t align) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::aligned_alloc(static_cast<size_t>(align),
+                               (size + static_cast<size_t>(align) - 1) &
+                                   ~(static_cast<size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !MATCN_SANITIZED
+
+namespace matcn {
+namespace {
+
+#if !MATCN_SANITIZED
+
+class ScopedCount {
+ public:
+  ScopedCount() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~ScopedCount() { g_armed.store(false, std::memory_order_relaxed); }
+  size_t count() const { return g_allocs.load(std::memory_order_relaxed); }
+};
+
+int TsIndex(const Database& db, const std::vector<TupleSet>& sets,
+            const std::string& rel, Termset termset) {
+  const RelationId id = *db.schema().RelationIdByName(rel);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (sets[i].relation == id && sets[i].termset == termset) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(ZeroAllocTest, CountingHooksAreLive) {
+  // Guard against the whole suite passing vacuously because the
+  // replacement operators stopped being linked in.
+  ScopedCount count;
+  std::vector<int>* v = new std::vector<int>();
+  v->resize(100);
+  delete v;
+  EXPECT_GE(count.count(), 2u);
+}
+
+TEST(ZeroAllocTest, SingleCnSteadyStateIsHeapFree) {
+  Database db = testing::MakeMiniImdb();
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+
+  auto q = KeywordQuery::Parse("denzel washington gangster");
+  ASSERT_TRUE(q.ok());
+  std::vector<TupleSet> sets = TupleSetFinder::FindMem(index, *q);
+  TupleSetGraph g(&schema_graph, &sets);
+
+  // Two match shapes: a directly adjacent pair, and one that needs a free
+  // connector (so the BFS genuinely expands and dedups).
+  const int mov_g = TsIndex(db, sets, "MOV", 0b100);
+  const int cast_dw = TsIndex(db, sets, "CAST", 0b011);
+  const int per_dw = TsIndex(db, sets, "PER", 0b011);
+  ASSERT_GE(mov_g, 0);
+  ASSERT_GE(cast_dw, 0);
+  ASSERT_GE(per_dw, 0);
+  std::vector<std::vector<int>> matches = {
+      {g.NonFreeNode(mov_g), g.NonFreeNode(cast_dw)},
+      {g.NonFreeNode(mov_g), g.NonFreeNode(per_dw)},
+  };
+
+  SingleCnScratch scratch;
+  MatchGraph mg(&g);
+  CandidateNetwork cn;
+  SingleCnOptions opts;
+
+  // Warming round: arena chunks, vector capacities, and the output CN all
+  // reach their high-water mark here.
+  std::vector<size_t> expected_sizes;
+  for (const std::vector<int>& match : matches) {
+    mg.Reset(match);
+    ASSERT_TRUE(SingleCnInto(mg, opts, &scratch, &cn));
+    expected_sizes.push_back(cn.size());
+  }
+  ASSERT_GT(scratch.arena_bytes_peak(), 0u);
+  const size_t warmed_peak = scratch.arena_bytes_peak();
+
+  // Steady state: replay both matches many times; not one heap call.
+  size_t allocs;
+  {
+    ScopedCount count;
+    for (int round = 0; round < 25; ++round) {
+      for (size_t m = 0; m < matches.size(); ++m) {
+        mg.Reset(matches[m]);
+        if (!SingleCnInto(mg, opts, &scratch, &cn)) std::abort();
+        if (cn.size() != expected_sizes[m]) std::abort();
+      }
+    }
+    allocs = count.count();
+  }
+  EXPECT_EQ(allocs, 0u)
+      << "heap allocations leaked into the warmed SingleCn hot path";
+  EXPECT_EQ(scratch.arena_bytes_peak(), warmed_peak)
+      << "replayed rounds should not grow the arena";
+}
+
+TEST(ZeroAllocTest, RebindAcrossQueriesStaysHeapFree) {
+  Database db = testing::MakeMiniImdb();
+  const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
+  const TermIndex index = TermIndex::Build(db);
+
+  // Two different queries = two tuple-set graphs; the per-worker scratch
+  // and MatchGraph overlay must survive the switch without fresh heap.
+  auto q1 = KeywordQuery::Parse("denzel washington gangster");
+  auto q2 = KeywordQuery::Parse("denzel gangster");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  std::vector<TupleSet> sets1 = TupleSetFinder::FindMem(index, *q1);
+  std::vector<TupleSet> sets2 = TupleSetFinder::FindMem(index, *q2);
+  TupleSetGraph g1(&schema_graph, &sets1);
+  TupleSetGraph g2(&schema_graph, &sets2);
+
+  const int m1a = TsIndex(db, sets1, "MOV", 0b100);
+  const int m1b = TsIndex(db, sets1, "PER", 0b011);
+  const int m2a = TsIndex(db, sets2, "MOV", 0b010);
+  const int m2b = TsIndex(db, sets2, "PER", 0b001);
+  ASSERT_GE(m1a, 0);
+  ASSERT_GE(m1b, 0);
+  ASSERT_GE(m2a, 0);
+  ASSERT_GE(m2b, 0);
+  const std::vector<int> match1 = {g1.NonFreeNode(m1a), g1.NonFreeNode(m1b)};
+  const std::vector<int> match2 = {g2.NonFreeNode(m2a), g2.NonFreeNode(m2b)};
+
+  SingleCnScratch scratch;
+  MatchGraph mg(&g1);
+  CandidateNetwork cn;
+  SingleCnOptions opts;
+
+  // Warm both query shapes once.
+  mg.Reset(match1);
+  ASSERT_TRUE(SingleCnInto(mg, opts, &scratch, &cn));
+  mg.Rebind(&g2);
+  mg.Reset(match2);
+  ASSERT_TRUE(SingleCnInto(mg, opts, &scratch, &cn));
+
+  size_t allocs;
+  {
+    ScopedCount count;
+    for (int round = 0; round < 25; ++round) {
+      mg.Rebind(&g1);
+      mg.Reset(match1);
+      if (!SingleCnInto(mg, opts, &scratch, &cn)) std::abort();
+      mg.Rebind(&g2);
+      mg.Reset(match2);
+      if (!SingleCnInto(mg, opts, &scratch, &cn)) std::abort();
+    }
+    allocs = count.count();
+  }
+  EXPECT_EQ(allocs, 0u)
+      << "query switch (Rebind) re-entered the heap after warmup";
+}
+
+#else  // MATCN_SANITIZED
+
+TEST(ZeroAllocTest, SkippedUnderSanitizers) {
+  GTEST_SKIP() << "allocation counting is meaningless under sanitizers";
+}
+
+#endif
+
+}  // namespace
+}  // namespace matcn
