@@ -42,6 +42,9 @@
 //   --deadline-ms/--tmax/--max-cns   per-request query params (0 = server)
 //   --threads/--cn-threads/--queue/--cache-mb/--io-ms/--compact-threshold
 //                       in-process server knobs (ignored with --connect)
+//   --shards N          in-process sharded deployment: N shard workers
+//                       behind a scatter/gather coordinator (0 = unsharded;
+//                       ignored with --connect)
 //   --knee-fraction F   saturated when achieved < F * offered (default 0.95)
 //   --knee-reject F     saturated when reject rate > F        (default 0.05)
 //   --pin-cpus LIST     pin worker i to LIST[i % n] (e.g. "0,2,4")
@@ -79,9 +82,13 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/local_cluster.h"
+#include "shard/shard_map.h"
 #include "workload/arrival.h"
 #include "workload/recorder.h"
 #include "workload/serve_report.h"
+#include "workload/sweep.h"
 #include "workload/workload_engine.h"
 
 using namespace matcn;
@@ -314,6 +321,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-mb", 64)) << 20;
   const int64_t io_ms = flags.GetInt("io-ms", 0);
   const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
+  const int64_t num_shards = flags.GetInt("shards", 0);
   const std::string out_path = flags.GetString("out", "BENCH_serve.json");
 
   for (const std::string& error : flags.errors()) {
@@ -351,6 +359,13 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   std::unique_ptr<liveindex::ConcurrentTermIndex> live_index;
   std::unique_ptr<liveindex::IndexWriter> writer;
+  // Sharded deployment pieces; declared before service/server so
+  // destruction runs server -> service -> router -> coordinator ->
+  // cluster (provider outlives service, sink outlives server).
+  std::unique_ptr<shard::ShardMap> shard_map;
+  std::unique_ptr<shard::LocalShardCluster> cluster;
+  std::unique_ptr<shard::Coordinator> coordinator;
+  std::unique_ptr<shard::ShardInsertRouter> router;
   std::unique_ptr<QueryService> service;
   std::unique_ptr<net::Server> server;
   if (!connect.empty()) {
@@ -361,6 +376,70 @@ int main(int argc, char** argv) {
     }
     host = parts[0];
     port = static_cast<uint16_t>(std::atoi(parts[1].c_str()));
+  } else if (num_shards > 0) {
+    // Sharded in-process deployment: N shard workers behind a
+    // coordinator, same object graph as `matcn_server --shards N`, so
+    // the sweep measures the scatter/gather path end to end.
+    shard::ShardMapOptions map_options;
+    map_options.num_shards = static_cast<uint32_t>(num_shards);
+    shard_map = std::make_unique<shard::ShardMap>(
+        shard::ShardMap::Build(db.schema(), map_options));
+    shard::LocalShardClusterOptions cluster_options;
+    cluster_options.service.num_threads = server_threads;
+    cluster_options.service.gen.num_threads = cn_threads;
+    cluster_options.service.max_queue = queue;
+    cluster_options.service.cache_bytes = cache_bytes;
+    cluster_options.live.compact_threshold =
+        static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
+    if (io_ms > 0) {
+      cluster_options.pre_execute_hook_factory = [io_ms](uint32_t) {
+        return [io_ms] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
+        };
+      };
+    }
+    cluster = std::make_unique<shard::LocalShardCluster>(
+        [dataset, scale] {
+          bool ok = false;
+          return bench::MakeNamedDataset(dataset, scale, &ok);
+        },
+        shard_map.get(), cluster_options);
+    if (Status started = cluster->Start(); !started.ok()) {
+      std::cerr << "shard cluster start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    coordinator = std::make_unique<shard::Coordinator>(shard_map.get(),
+                                                       cluster->Endpoints());
+    if (Status connected = coordinator->Connect(); !connected.ok()) {
+      std::cerr << "coordinator connect failed: " << connected.ToString()
+                << "\n";
+      return 1;
+    }
+    QueryServiceOptions service_options;
+    service_options.num_threads = server_threads;
+    service_options.gen.num_threads = cn_threads;
+    service_options.max_queue = queue;
+    service_options.cache_bytes = cache_bytes;
+    service = std::make_unique<QueryService>(&schema_graph,
+                                             coordinator.get(),
+                                             service_options);
+    router = std::make_unique<shard::ShardInsertRouter>(
+        shard_map.get(), &db.schema(), coordinator.get());
+    router->set_invalidation_hook(
+        [svc = service.get()](const std::vector<std::string>& terms) {
+          svc->InvalidateTerms(terms);
+        });
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    server = std::make_unique<net::Server>(service.get(), &db.schema(),
+                                           router.get(), server_options);
+    if (Status started = server->Start(); !started.ok()) {
+      std::cerr << "in-process server start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    port = server->port();
   } else {
     liveindex::LiveIndexOptions live_options;
     live_options.compact_threshold =
@@ -430,6 +509,9 @@ int main(int argc, char** argv) {
   report.tenants = spec.tenants;
 
   std::cout << "matcn_loadgen — " << (connect.empty() ? "in-process " : "")
+            << (cluster != nullptr
+                    ? std::to_string(cluster->num_shards()) + "-shard "
+                    : "")
             << "server at " << host << ":" << port << ", " << dataset
             << " scale " << scale << ", "
             << workload::ArrivalKindName(config.arrival) << " arrival, "
@@ -505,10 +587,6 @@ int main(int argc, char** argv) {
         snap.ok > 0 ? static_cast<double>(snap.degraded) /
                           static_cast<double>(snap.ok)
                     : 0;
-    phase.reject_rate =
-        snap.queries() > 0 ? static_cast<double>(snap.rejected) /
-                                 static_cast<double>(snap.queries())
-                           : 0;
     phase.inserts = snap.inserts_ok;
     phase.insert_qps =
         static_cast<double>(snap.inserts_ok) / measured_seconds;
@@ -517,13 +595,20 @@ int main(int argc, char** argv) {
     // against the rate the realized schedule actually offered — the
     // Poisson draw can run several percent off the nominal target, and
     // judging against the nominal rate would saturate phases the server
-    // handled fine.
-    const double realized_offered =
-        static_cast<double>(snap.issued()) / schedule_seconds;
-    phase.saturated =
-        open_loop &&
-        (phase.achieved_qps < config.knee_fraction * realized_offered ||
-         phase.reject_rate > config.knee_reject);
+    // handled fine. EvaluateKnee keeps every input in the same measured
+    // window and never saturates on degenerate or closed-loop phases.
+    const workload::KneeVerdict knee = workload::EvaluateKnee(
+        workload::KneeInputs{.open_loop = open_loop,
+                             .issued = snap.issued(),
+                             .completed_ok = snap.ok + snap.inserts_ok,
+                             .queries = snap.queries(),
+                             .rejected = snap.rejected,
+                             .wall_seconds = measured_seconds,
+                             .schedule_seconds = schedule_seconds},
+        workload::KneeConfig{.knee_fraction = config.knee_fraction,
+                             .knee_reject = config.knee_reject});
+    phase.reject_rate = knee.reject_rate;
+    phase.saturated = knee.saturated;
     if (open_loop && !phase.saturated) {
       report.saturation_qps = std::max(report.saturation_qps, offered);
     }
@@ -550,6 +635,8 @@ int main(int argc, char** argv) {
     server->Shutdown();
     std::cout << "\nservice: " << service->Stats().ToString() << "\n";
   }
+  if (coordinator != nullptr) coordinator->Shutdown();
+  if (cluster != nullptr) cluster->Stop();
 
   const std::string json = report.ToJson();
   std::ofstream out(out_path);

@@ -29,6 +29,11 @@
 //                     breakdown at WARN; 0 disables       (default 0)
 //   --log-level S     debug|info|warn|error|off           (default info)
 //   --log-json        structured logs as JSON instead of logfmt
+//   --shards N        sharded deployment: N in-process shard workers
+//                     (consistent-hash relation partition) behind a
+//                     scatter/gather coordinator; 0 = unsharded (default 0)
+//   --shard-map FILE  serve with an explicit shard-map file (see
+//                     matcn_shardctl map) instead of hashing the schema
 //   --smoke           start, self-query (incl. traced) + self-insert +
 //                     metrics scrape via net::Client, drain, exit
 //
@@ -37,7 +42,10 @@
 
 #include <algorithm>
 #include <csignal>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <thread>
 
 #include <sys/socket.h>
@@ -56,6 +64,9 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/local_cluster.h"
+#include "shard/shard_map.h"
 
 using namespace matcn;
 
@@ -259,7 +270,13 @@ int main(int argc, char** argv) {
   obs::Logger::Global().set_json(flags.Has("log-json"));
   const int64_t compact_threshold = flags.GetInt("compact-threshold", 64);
   const int64_t io_ms = flags.GetInt("io-ms", 0);
-  if (io_ms > 0) {
+  const int64_t num_shards = flags.GetInt("shards", 0);
+  const std::string shard_map_path = flags.GetString("shard-map", "");
+  const bool sharded = num_shards > 0 || !shard_map_path.empty();
+  // Unsharded: the modeled backend latency runs in this process's
+  // workers. Sharded: it belongs on the shard workers (installed below
+  // via the cluster's hook factory), not on the coordinator.
+  if (io_ms > 0 && !sharded) {
     service_options.pre_execute_hook = [io_ms] {
       std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
     };
@@ -283,24 +300,119 @@ int main(int argc, char** argv) {
     return 2;
   }
   const SchemaGraph schema_graph = SchemaGraph::Build(db.schema());
-  // Live serving stack: offline build seeds the concurrent index, the
-  // writer owns all subsequent mutation, and the service invalidates only
-  // the cache entries an insert actually touches.
-  liveindex::LiveIndexOptions live_options;
-  live_options.compact_threshold =
-      static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
-  liveindex::ConcurrentTermIndex live_index(TermIndex::Build(db),
-                                            live_options);
-  liveindex::IndexWriter writer(&db, &live_index);
-  QueryService service(&schema_graph, &live_index, service_options);
-  service.ConnectWriter(&writer);
+  // One of two serving stacks behind the same net::Server:
+  //  - unsharded: the live stack (ConcurrentTermIndex + IndexWriter);
+  //  - sharded: N in-process shard workers behind a Coordinator, the
+  //    coordinator service delegating its tuple-set stage to the scatter
+  //    and the insert path routing to the owning shard.
+  // Declaration order matters: destruction runs server -> router ->
+  // service -> coordinator -> cluster, so the provider outlives the
+  // service and the insert sink outlives the server.
+  std::unique_ptr<liveindex::ConcurrentTermIndex> live_index;
+  std::unique_ptr<liveindex::IndexWriter> writer;
+  std::unique_ptr<shard::ShardMap> shard_map;
+  std::unique_ptr<shard::LocalShardCluster> cluster;
+  std::unique_ptr<shard::Coordinator> coordinator;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<shard::ShardInsertRouter> router;
+  liveindex::InsertSink* sink = nullptr;
+  if (sharded) {
+    if (!shard_map_path.empty()) {
+      std::ifstream in(shard_map_path);
+      if (!in) {
+        std::cerr << "cannot read --shard-map " << shard_map_path << "\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      Result<shard::ShardMap> parsed = shard::ShardMap::Parse(text.str());
+      if (!parsed.ok()) {
+        std::cerr << "bad --shard-map: " << parsed.status().ToString()
+                  << "\n";
+        return 2;
+      }
+      if (num_shards > 0 &&
+          parsed->num_shards() != static_cast<uint32_t>(num_shards)) {
+        std::cerr << "--shards " << num_shards << " disagrees with map ("
+                  << parsed->num_shards() << " shards)\n";
+        return 2;
+      }
+      if (Status valid = parsed->Validate(db.schema()); !valid.ok()) {
+        std::cerr << "--shard-map does not cover " << dataset << ": "
+                  << valid.ToString() << "\n";
+        return 2;
+      }
+      shard_map =
+          std::make_unique<shard::ShardMap>(*std::move(parsed));
+    } else {
+      shard::ShardMapOptions map_options;
+      map_options.num_shards = static_cast<uint32_t>(num_shards);
+      shard_map = std::make_unique<shard::ShardMap>(
+          shard::ShardMap::Build(db.schema(), map_options));
+    }
+    shard::LocalShardClusterOptions cluster_options;
+    cluster_options.service = service_options;
+    cluster_options.live.compact_threshold =
+        static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
+    cluster_options.server.host = server_options.host;
+    cluster_options.server.max_frame_bytes = server_options.max_frame_bytes;
+    if (io_ms > 0) {
+      cluster_options.pre_execute_hook_factory = [io_ms](uint32_t) {
+        return [io_ms] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(io_ms));
+        };
+      };
+    }
+    cluster = std::make_unique<shard::LocalShardCluster>(
+        [dataset, scale] {
+          bool ok = false;
+          return MakeDataset(dataset, scale, &ok);
+        },
+        shard_map.get(), cluster_options);
+    if (Status started = cluster->Start(); !started.ok()) {
+      std::cerr << "shard cluster start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    coordinator = std::make_unique<shard::Coordinator>(shard_map.get(),
+                                                       cluster->Endpoints());
+    if (Status connected = coordinator->Connect(); !connected.ok()) {
+      std::cerr << "coordinator connect failed: " << connected.ToString()
+                << "\n";
+      return 1;
+    }
+    service = std::make_unique<QueryService>(&schema_graph,
+                                             coordinator.get(),
+                                             service_options);
+    router = std::make_unique<shard::ShardInsertRouter>(
+        shard_map.get(), &db.schema(), coordinator.get());
+    router->set_invalidation_hook(
+        [svc = service.get()](const std::vector<std::string>& terms) {
+          svc->InvalidateTerms(terms);
+        });
+    sink = router.get();
+  } else {
+    // Live serving stack: offline build seeds the concurrent index, the
+    // writer owns all subsequent mutation, and the service invalidates
+    // only the cache entries an insert actually touches.
+    liveindex::LiveIndexOptions live_options;
+    live_options.compact_threshold =
+        static_cast<size_t>(std::max<int64_t>(1, compact_threshold));
+    live_index = std::make_unique<liveindex::ConcurrentTermIndex>(
+        TermIndex::Build(db), live_options);
+    writer = std::make_unique<liveindex::IndexWriter>(&db, live_index.get());
+    service = std::make_unique<QueryService>(&schema_graph, live_index.get(),
+                                             service_options);
+    service->ConnectWriter(writer.get());
+    sink = writer.get();
+  }
 
   // --smoke binds ephemeral ports so parallel CI runs never collide.
   if (smoke) {
     server_options.port = 0;
     server_options.metrics_port = 0;
   }
-  net::Server server(&service, &db.schema(), &writer, server_options);
+  net::Server server(service.get(), &db.schema(), sink, server_options);
   g_server = &server;
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
@@ -311,10 +423,17 @@ int main(int argc, char** argv) {
   }
   std::cout << "matcn_server listening on " << server_options.host << ":"
             << server.port() << " — " << dataset << " (" << db.TotalTuples()
-            << " tuples), " << service.Stats().num_threads
+            << " tuples), " << service->Stats().num_threads
             << " workers, T_max=" << service_options.gen.t_max
-            << ", simd=" << simd::LevelName(simd::ActiveLevel())
-            << "\nsend SIGTERM for graceful drain\n";
+            << ", simd=" << simd::LevelName(simd::ActiveLevel());
+  if (cluster != nullptr) {
+    std::cout << ", " << cluster->num_shards() << " shards (ports";
+    for (const shard::ShardEndpoint& ep : cluster->Endpoints()) {
+      std::cout << " " << ep.port;
+    }
+    std::cout << ")";
+  }
+  std::cout << "\nsend SIGTERM for graceful drain\n";
 
   if (server.metrics_port() != 0) {
     std::cout << "metrics on http://" << server_options.host << ":"
@@ -331,6 +450,8 @@ int main(int argc, char** argv) {
   g_server = nullptr;
 
   std::cout << "drained. net: " << server.NetStats().ToString()
-            << "\nservice: " << service.Stats().ToString() << "\n";
+            << "\nservice: " << service->Stats().ToString() << "\n";
+  if (coordinator != nullptr) coordinator->Shutdown();
+  if (cluster != nullptr) cluster->Stop();
   return exit_code;
 }

@@ -1,0 +1,255 @@
+// Shard-cluster operator tool: generate shard-map files and probe
+// running shard workers.
+//
+//   $ ./matcn_shardctl map DATASET [SCALE] --shards N [flags]
+//       Assigns DATASET's relations to N shards on the consistent-hash
+//       ring and prints the map file (serve it with
+//       `matcn_server DATASET SCALE --shard-map FILE`).
+//       --seed S    ring hash seed                        (default 0)
+//       --vnodes V  virtual nodes per shard               (default 64)
+//       --out FILE  write the map there instead of stdout
+//
+//   $ ./matcn_shardctl health HOST:PORT [HOST:PORT ...]
+//       Sends one v5 HEARTBEAT frame to each endpoint and prints the
+//       ack (shard id, index version, queries in flight, RTT). Exits
+//       nonzero if any endpoint fails to ack — a draining shard
+//       answers kUnavailable, a dead one refuses the connection.
+//
+//   $ ./matcn_shardctl stats HOST:PORT [HOST:PORT ...]
+//       STATS request per endpoint; prints the per-shard service and
+//       network counters side by side.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "datasets/generators.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "shard/shard_map.h"
+#include "storage/database.h"
+
+using namespace matcn;
+
+namespace {
+
+Database MakeDataset(const std::string& name, double scale, bool* ok) {
+  *ok = true;
+  if (name == "imdb") return MakeImdb(42, scale);
+  if (name == "mondial") return MakeMondial(43, scale);
+  if (name == "wikipedia") return MakeWikipedia(44, scale);
+  if (name == "dblp") return MakeDblp(45, scale);
+  if (name == "tpch" || name == "tpc-h") return MakeTpch(46, scale);
+  *ok = false;
+  return Database{};
+}
+
+bool ParseEndpoint(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  const std::vector<std::string> parts = Split(arg, ":");
+  if (parts.size() != 2) return false;
+  *host = parts[0];
+  *port = static_cast<uint16_t>(std::atoi(parts[1].c_str()));
+  return *port != 0;
+}
+
+int RunMap(const FlagSet& flags) {
+  const std::string dataset = flags.positional().size() > 1
+                                  ? ToLower(flags.positional()[1])
+                                  : "imdb";
+  const double scale = flags.positional().size() > 2
+                           ? std::atof(flags.positional()[2].c_str())
+                           : 0.1;
+  shard::ShardMapOptions options;
+  options.num_shards = static_cast<uint32_t>(flags.GetInt("shards", 2));
+  options.vnodes_per_shard =
+      static_cast<uint32_t>(flags.GetInt("vnodes", 64));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  if (options.num_shards == 0) {
+    std::cerr << "--shards must be >= 1\n";
+    return 2;
+  }
+  bool ok = false;
+  Database db = MakeDataset(dataset, scale, &ok);
+  if (!ok) {
+    std::cerr << "unknown dataset: " << dataset
+              << " (imdb|mondial|wikipedia|dblp|tpch)\n";
+    return 2;
+  }
+  const shard::ShardMap map = shard::ShardMap::Build(db.schema(), options);
+  const std::string text = map.Serialize();
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << text;
+    std::cout << "wrote " << out_path << " (" << map.num_relations()
+              << " relations over " << map.num_shards() << " shards)\n";
+  }
+  // Occupancy summary on stderr so the map itself stays pipeable.
+  for (uint32_t s = 0; s < map.num_shards(); ++s) {
+    std::cerr << "shard " << s << ":";
+    for (const RelationId r : map.RelationsOf(s)) {
+      std::cerr << " " << map.relation_name(r);
+    }
+    std::cerr << "\n";
+  }
+  return 0;
+}
+
+// One raw HEARTBEAT round-trip. net::Client has no heartbeat call — the
+// probe is a coordinator-internal frame — so speak the wire directly.
+Result<net::HeartbeatAck> ProbeHeartbeat(const std::string& host,
+                                         uint16_t port, int64_t* rtt_us) {
+  Result<net::ScopedFd> fd = net::ConnectTcp(host, port, 3'000);
+  MATCN_RETURN_IF_ERROR(fd.status());
+  MATCN_RETURN_IF_ERROR(net::SetIoTimeout(fd->get(), 3'000));
+  const auto start = std::chrono::steady_clock::now();
+  net::Heartbeat probe;
+  probe.send_us = 1;  // opaque; echoed back, not interpreted
+  net::WireWriter writer;
+  net::Encode(probe, &writer);
+  std::string frame;
+  net::AppendFrame(&frame, net::FrameType::kHeartbeat, /*request_id=*/1,
+                   writer.buffer());
+  MATCN_RETURN_IF_ERROR(net::WriteAll(fd->get(), frame));
+  std::string header_bytes;
+  MATCN_RETURN_IF_ERROR(
+      net::ReadExactly(fd->get(), net::kFrameHeaderBytes, &header_bytes));
+  net::FrameHeader header;
+  if (net::ParseFrameHeader(header_bytes, &header) != net::HeaderParse::kOk) {
+    return Status::IOError("bad frame header");
+  }
+  std::string payload;
+  MATCN_RETURN_IF_ERROR(
+      net::ReadExactly(fd->get(), header.payload_len, &payload));
+  *rtt_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  if (header.type == net::FrameType::kError) {
+    net::ErrorPayload error;
+    if (!net::Decode(payload, &error)) {
+      return Status::IOError("undecodable ERROR frame");
+    }
+    return net::WireCodeToStatus(error.code, error.message);
+  }
+  if (header.type != net::FrameType::kHeartbeatAck) {
+    return Status::IOError("unexpected frame type");
+  }
+  net::HeartbeatAck ack;
+  if (!net::Decode(payload, &ack)) {
+    return Status::IOError("undecodable HEARTBEAT_ACK");
+  }
+  return ack;
+}
+
+int RunHealth(const FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: matcn_shardctl health HOST:PORT [HOST:PORT ...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (size_t i = 1; i < flags.positional().size(); ++i) {
+    const std::string& endpoint = flags.positional()[i];
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseEndpoint(endpoint, &host, &port)) {
+      std::cerr << endpoint << ": want HOST:PORT\n";
+      ++failures;
+      continue;
+    }
+    int64_t rtt_us = 0;
+    Result<net::HeartbeatAck> ack = ProbeHeartbeat(host, port, &rtt_us);
+    if (!ack.ok()) {
+      std::cout << endpoint << ": DOWN (" << ack.status().ToString()
+                << ")\n";
+      ++failures;
+      continue;
+    }
+    std::cout << endpoint << ": shard " << ack->shard_id << " healthy, index v"
+              << ack->index_version << ", " << ack->queries_in_flight
+              << " in flight, rtt " << rtt_us << " us\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunStats(const FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: matcn_shardctl stats HOST:PORT [HOST:PORT ...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (size_t i = 1; i < flags.positional().size(); ++i) {
+    const std::string& endpoint = flags.positional()[i];
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseEndpoint(endpoint, &host, &port)) {
+      std::cerr << endpoint << ": want HOST:PORT\n";
+      ++failures;
+      continue;
+    }
+    auto client = net::Client::Connect(host, port);
+    if (!client.ok()) {
+      std::cout << endpoint << ": DOWN (" << client.status().ToString()
+                << ")\n";
+      ++failures;
+      continue;
+    }
+    Result<net::StatsPayload> stats = client->Stats();
+    if (!stats.ok()) {
+      std::cout << endpoint << ": stats failed ("
+                << stats.status().ToString() << ")\n";
+      ++failures;
+      continue;
+    }
+    std::cout << endpoint << ": completed=" << stats->completed
+              << " rejected=" << stats->rejected
+              << " degraded=" << stats->degraded
+              << " in_flight=" << stats->queries_in_flight
+              << " index_version=" << stats->index_version
+              << " p99_us=" << stats->p99_us;
+    if (stats->shards_total > 0) {
+      std::cout << " | coordinator: shards=" << stats->shards_healthy << "/"
+                << stats->shards_total
+                << " scatters=" << stats->shard_scatters
+                << " scatter_errors=" << stats->shard_scatter_errors
+                << " degraded_batches=" << stats->shard_degraded_batches
+                << " heartbeats=" << stats->shard_heartbeats
+                << " reconnects=" << stats->shard_reconnects
+                << " inserts_routed=" << stats->shard_inserts_routed;
+    }
+    std::cout << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::cerr << "usage: matcn_shardctl map|health|stats ...\n";
+    return 2;
+  }
+  for (const std::string& error : flags.errors()) {
+    std::cerr << "flag error: " << error << "\n";
+    return 2;
+  }
+  const std::string command = ToLower(flags.positional()[0]);
+  if (command == "map") return RunMap(flags);
+  if (command == "health") return RunHealth(flags);
+  if (command == "stats") return RunStats(flags);
+  std::cerr << "unknown command '" << command << "' (map|health|stats)\n";
+  return 2;
+}

@@ -24,6 +24,10 @@ TermIndex TermIndex::Build(const Database& db, TermIndexOptions options) {
   std::unordered_map<std::string, std::unordered_map<uint64_t, AttrAccum>>
       accum;
   for (RelationId r = 0; r < db.num_relations(); ++r) {
+    if (!options.relation_mask.empty() &&
+        (r >= options.relation_mask.size() || options.relation_mask[r] == 0)) {
+      continue;
+    }
     const Relation& rel = db.relation(r);
     const RelationSchema& schema = rel.schema();
     for (uint64_t row = 0; row < rel.num_tuples(); ++row) {

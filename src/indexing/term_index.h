@@ -17,6 +17,13 @@ struct TermIndexOptions {
   /// Varbyte-delta compress posting lists (paper's future-work suggestion;
   /// measured by the index ablation bench).
   bool compress_postings = false;
+  /// When non-empty, only relations `r` with `relation_mask[r] != 0` are
+  /// scanned and indexed (relations past the mask's end are skipped too).
+  /// Sharded deployments build each shard's index over the relations it
+  /// owns; the union of the shards' posting lists is exactly the
+  /// unmasked index, which is what makes the scatter-merge differential
+  /// hold. Empty = index everything.
+  std::vector<uint8_t> relation_mask;
 };
 
 /// One inverted-list element: the paper's triple <A_i, f_{k,i}, T_{k,i}> —

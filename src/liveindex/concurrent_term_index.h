@@ -20,7 +20,8 @@ class ConcurrentTermIndex;
 struct LiveIndexOptions {
   /// Tokenization/compression options shared with the offline TermIndex.
   /// The varbyte base postings make compression the natural default here.
-  TermIndexOptions index{.skip_stopwords = true, .compress_postings = true};
+  TermIndexOptions index{
+      .skip_stopwords = true, .compress_postings = true, .relation_mask = {}};
   /// Number of term-map shards (rounded up to a power of two). Writers
   /// lock one shard; readers never lock.
   size_t num_shards = 16;

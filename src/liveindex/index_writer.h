@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "liveindex/concurrent_term_index.h"
+#include "liveindex/insert_sink.h"
 #include "storage/database.h"
 #include "storage/tuple_id.h"
 
@@ -35,26 +36,25 @@ struct IndexWriterOptions {
 /// (see EpochManager::Retire): inserts AND background compaction both
 /// mutate the index and retire/bump epochs, so the compaction thread
 /// takes the same mutex — never mutate the index around this class.
-class IndexWriter {
+class IndexWriter : public InsertSink {
  public:
   /// `db` and `index` must outlive the writer. `db` must not be mutated
   /// by anyone else while the writer is alive.
   IndexWriter(Database* db, ConcurrentTermIndex* index,
               IndexWriterOptions options = {});
-  ~IndexWriter();
+  ~IndexWriter() override;
 
   IndexWriter(const IndexWriter&) = delete;
   IndexWriter& operator=(const IndexWriter&) = delete;
 
-  struct InsertOutcome {
-    uint64_t version = 0;  // index version after this insert
-    TupleId id;            // the appended tuple's id
-  };
+  /// Kept as a nested alias — callers predating the InsertSink seam
+  /// spell this IndexWriter::InsertOutcome.
+  using InsertOutcome = liveindex::InsertOutcome;
 
   /// Appends `tuple` to `relation`, indexes it, and returns the new index
   /// version plus the assigned tuple id. Thread-safe; inserts are
   /// serialized in call order.
-  Result<InsertOutcome> Insert(RelationId relation, Tuple tuple);
+  Result<InsertOutcome> Insert(RelationId relation, Tuple tuple) override;
 
   /// Batched variant: one version bump per tuple, one invalidation
   /// callback for the union of touched terms. `last_id`, if non-null,

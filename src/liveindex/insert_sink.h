@@ -1,0 +1,35 @@
+#ifndef MATCN_LIVEINDEX_INSERT_SINK_H_
+#define MATCN_LIVEINDEX_INSERT_SINK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/tuple_id.h"
+
+namespace matcn::liveindex {
+
+/// Result of routing one insert: the index version that reflects it and
+/// the globally-consistent id the owning writer assigned.
+struct InsertOutcome {
+  uint64_t version = 0;  // index version after this insert
+  TupleId id;            // the appended tuple's id
+};
+
+/// Where a server routes protocol INSERTs. Two implementations: the
+/// local IndexWriter (unsharded serving — append + index in process) and
+/// the coordinator's ShardInsertRouter (forward to the owning shard over
+/// the wire, then fan the cache invalidation out locally). The seam is
+/// what lets net::Server stay byte-identical across both deployments.
+class InsertSink {
+ public:
+  virtual ~InsertSink() = default;
+
+  /// Appends `tuple` to `relation` wherever that relation lives and
+  /// indexes it. Thread-safe; implementations serialize as needed.
+  virtual Result<InsertOutcome> Insert(RelationId relation, Tuple tuple) = 0;
+};
+
+}  // namespace matcn::liveindex
+
+#endif  // MATCN_LIVEINDEX_INSERT_SINK_H_

@@ -50,7 +50,7 @@ Server::Server(QueryService* service, const DatabaseSchema* schema,
     : Server(service, schema, nullptr, std::move(options)) {}
 
 Server::Server(QueryService* service, const DatabaseSchema* schema,
-               liveindex::IndexWriter* writer, ServerOptions options)
+               liveindex::InsertSink* writer, ServerOptions options)
     : service_(service), schema_(schema), writer_(writer),
       options_(std::move(options)),
       loop_guard_(std::make_shared<LoopGuard>()) {}
@@ -251,6 +251,11 @@ void Server::OnConnectionClosed(Connection* conn) {
         pending.cancel->Cancel();
       }
     }
+    for (auto& [pid, pending] : pending_tsfinds_) {
+      if (pending.connection_id == conn->id() && pending.cancel != nullptr) {
+        pending.cancel->Cancel();
+      }
+    }
   }
   const uint64_t id = conn->id();
   // Deferred destruction: Close() can be reached from deep inside the
@@ -285,6 +290,24 @@ void Server::OnFrame(Connection* conn, const FrameHeader& header,
         return;
       }
       HandleInsert(conn, header.request_id, payload);
+      return;
+    case FrameType::kTsFind:
+      if (draining_) {
+        SendError(conn, header.request_id, WireCode::kUnavailable,
+                  "server is draining; no new scatters accepted");
+        return;
+      }
+      HandleTsFind(conn, header.request_id, payload);
+      return;
+    case FrameType::kHeartbeat:
+      if (draining_) {
+        // A draining shard must read as unhealthy so the coordinator
+        // stops scattering to it before the listener disappears.
+        SendError(conn, header.request_id, WireCode::kUnavailable,
+                  "server is draining");
+        return;
+      }
+      HandleHeartbeat(conn, header.request_id, payload);
       return;
     case FrameType::kPing:
       SendFrame(conn, FrameType::kPong, header.request_id, std::string());
@@ -595,6 +618,118 @@ void Server::OnInsertDone(
   FinishDrainIfIdle();
 }
 
+void Server::HandleTsFind(Connection* conn, uint64_t request_id,
+                          std::string_view payload) {
+  TsFindRequest request;
+  if (!Decode(payload, &request)) {
+    Bump(&stats_.protocol_errors);
+    SendError(conn, request_id, WireCode::kProtocolError,
+              "malformed TSFIND payload");
+    conn->CloseAfterFlush();
+    return;
+  }
+  Result<KeywordQuery> query = KeywordQuery::FromKeywords(request.keywords);
+  if (!query.ok()) {
+    SendError(conn, request_id, StatusToWireCode(query.status()),
+              query.status().message());
+    return;
+  }
+  Deadline deadline = Deadline::Infinite();
+  if (request.deadline_ms > 0) {
+    deadline = Deadline::AfterMillis(request.deadline_ms);
+  } else if (service_->options().default_deadline_ms > 0) {
+    deadline = Deadline::AfterMillis(service_->options().default_deadline_ms);
+  }
+  const uint64_t pid = next_pending_id_++;
+  pending_tsfinds_.emplace(pid, PendingTsFind{conn->id(), request_id, nullptr});
+  ++conn->in_flight;
+  Bump(&stats_.queries_received);
+  Bump(&stats_.queries_in_flight);
+  std::shared_ptr<LoopGuard> guard = loop_guard_;
+  Server* self = this;
+  std::shared_ptr<CancelToken> cancel = service_->SubmitTsFindAsync(
+      *query, deadline, [self, guard, pid](Result<TupleSetBatch> batch) {
+        std::lock_guard<std::mutex> lock(guard->mu);
+        if (guard->loop == nullptr) return;
+        guard->loop->PostTask([self, pid, batch = std::move(batch)]() mutable {
+          self->OnTsFindDone(pid, std::move(batch));
+        });
+      });
+  auto it = pending_tsfinds_.find(pid);
+  if (it != pending_tsfinds_.end()) it->second.cancel = std::move(cancel);
+}
+
+void Server::OnTsFindDone(uint64_t pending_id, Result<TupleSetBatch> batch) {
+  auto pending_it = pending_tsfinds_.find(pending_id);
+  if (pending_it == pending_tsfinds_.end()) return;  // force-drained
+  const PendingTsFind pending = std::move(pending_it->second);
+  pending_tsfinds_.erase(pending_it);
+  Drop(&stats_.queries_in_flight);
+
+  auto conn_it = connections_.find(pending.connection_id);
+  if (conn_it == connections_.end() || conn_it->second->closed()) {
+    FinishDrainIfIdle();
+    return;  // coordinator went away; batch undeliverable
+  }
+  Connection* conn = conn_it->second.get();
+  --conn->in_flight;
+  conn->last_activity = std::chrono::steady_clock::now();
+
+  if (!batch.ok()) {
+    SendError(conn, pending.request_id, StatusToWireCode(batch.status()),
+              batch.status().message());
+  } else {
+    TsFindResult result;
+    result.index_version = (*batch).index_version;
+    result.ts_micros = static_cast<uint64_t>((*batch).ts_millis * 1000.0);
+    result.degraded = (*batch).degraded;
+    result.degraded_reason = (*batch).degraded_reason;
+    result.tuple_sets.reserve((*batch).tuple_sets.size());
+    for (const TupleSet& ts : (*batch).tuple_sets) {
+      WireTupleSet wts;
+      wts.relation = ts.relation;
+      wts.termset = ts.termset;
+      wts.tuples.reserve(ts.tuples.size());
+      for (const TupleId& id : ts.tuples) wts.tuples.push_back(id.packed());
+      result.tuple_sets.push_back(std::move(wts));
+    }
+    WireWriter w;
+    Encode(result, &w);
+    SendFrame(conn, FrameType::kTsFindResult, pending.request_id, w.buffer());
+  }
+
+  if (draining_ && conn->in_flight == 0 && !conn->closed()) {
+    SendGoingAway(conn, "server shutting down");
+    conn->CloseAfterFlush();
+  }
+  FinishDrainIfIdle();
+}
+
+void Server::HandleHeartbeat(Connection* conn, uint64_t request_id,
+                             std::string_view payload) {
+  Heartbeat hb;
+  if (!Decode(payload, &hb)) {
+    Bump(&stats_.protocol_errors);
+    SendError(conn, request_id, WireCode::kProtocolError,
+              "malformed HEARTBEAT payload");
+    conn->CloseAfterFlush();
+    return;
+  }
+  // Answered inline on the loop thread, never queued behind queries: a
+  // saturated-but-live shard still acks, so load alone cannot trip the
+  // coordinator's failure detector.
+  HeartbeatAck ack;
+  ack.send_us = hb.send_us;
+  ack.index_version = service_->Stats().index_version;
+  ack.queries_in_flight =
+      static_cast<uint32_t>(stats_.queries_in_flight.load(
+          std::memory_order_relaxed));
+  ack.shard_id = options_.shard_id;
+  WireWriter w;
+  Encode(ack, &w);
+  SendFrame(conn, FrameType::kHeartbeatAck, request_id, w.buffer());
+}
+
 void Server::HandleStats(Connection* conn, uint64_t request_id) {
   const ServiceStatsSnapshot service = service_->Stats();
   const ServerStatsSnapshot netstats = stats_.Snapshot();
@@ -634,6 +769,15 @@ void Server::HandleStats(Connection* conn, uint64_t request_id) {
   payload.index_delta_bytes = service.index_delta_bytes;
   payload.index_compactions = service.index_compactions;
   payload.cache_invalidations = service.cache_invalidations;
+  payload.shards_total = service.shards_total;
+  payload.shards_healthy = service.shards_healthy;
+  payload.shard_scatters = service.shard_scatters;
+  payload.shard_scatter_errors = service.shard_scatter_errors;
+  payload.shard_degraded_batches = service.shard_degraded_batches;
+  payload.shard_merge_us_mean = service.shard_merge_us_mean;
+  payload.shard_heartbeats = service.shard_heartbeats;
+  payload.shard_reconnects = service.shard_reconnects;
+  payload.shard_inserts_routed = service.shard_inserts_routed;
   WireWriter w;
   Encode(payload, &w);
   SendFrame(conn, FrameType::kStatsResult, request_id, w.buffer());
@@ -845,7 +989,10 @@ void Server::BeginDrain() {
 
 void Server::FinishDrainIfIdle() {
   if (!draining_ || drain_done_) return;
-  if (!pending_.empty() || !pending_inserts_.empty()) return;
+  if (!pending_.empty() || !pending_inserts_.empty() ||
+      !pending_tsfinds_.empty()) {
+    return;
+  }
   for (const auto& [id, conn] : connections_) {
     if (!conn->closed()) return;  // still flushing a response
   }
@@ -869,6 +1016,12 @@ void Server::ForceFinishDrain() {
     Drop(&stats_.queries_in_flight);
   }
   pending_.clear();
+  for (auto& [pid, pending] : pending_tsfinds_) {
+    if (pending.cancel != nullptr) pending.cancel->Cancel();
+    Bump(&stats_.drain_cancelled);
+    Drop(&stats_.queries_in_flight);
+  }
+  pending_tsfinds_.clear();
   // In-flight inserts cannot be cancelled (the index mutation must stay
   // atomic); their replies are simply dropped with the connections.
   pending_inserts_.clear();

@@ -17,6 +17,7 @@
 #include "net/net_stats.h"
 #include "net/socket.h"
 #include "liveindex/index_writer.h"
+#include "liveindex/insert_sink.h"
 #include "net/wire.h"
 #include "service/query_service.h"
 #include "storage/schema.h"
@@ -50,6 +51,10 @@ struct ServerOptions {
   /// same event loop, bound to `host`. -1 disables; 0 picks an ephemeral
   /// port (read it back with metrics_port() after Start()).
   int metrics_port = -1;
+  /// Identity reported in HEARTBEAT_ACK frames (wire v5). Coordinators
+  /// use it to detect a shard map/deployment mismatch; 0 for unsharded
+  /// servers and the coordinator itself.
+  uint32_t shard_id = 0;
 };
 
 /// The network front end: an epoll event loop (one dedicated thread)
@@ -69,10 +74,11 @@ class Server {
          ServerOptions options = {});
 
   /// Serving + online updates: `writer` (borrowed, may be null) handles
-  /// protocol-v3 INSERT frames. Without a writer, INSERT gets an
-  /// UNIMPLEMENTED error.
+  /// protocol-v3 INSERT frames — a local IndexWriter on an unsharded
+  /// server, a shard::ShardInsertRouter on a coordinator. Without a
+  /// sink, INSERT gets an UNIMPLEMENTED error.
   Server(QueryService* service, const DatabaseSchema* schema,
-         liveindex::IndexWriter* writer, ServerOptions options = {});
+         liveindex::InsertSink* writer, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -146,6 +152,13 @@ class Server {
     uint64_t request_id = 0;
   };
 
+  /// A TSFIND (wire v5) awaiting its tuple-set stage on a service worker.
+  struct PendingTsFind {
+    uint64_t connection_id = 0;
+    uint64_t request_id = 0;
+    std::shared_ptr<CancelToken> cancel;
+  };
+
   /// A decoded, validated INSERT handed to the insert worker.
   struct InsertJob {
     uint64_t pending_id = 0;
@@ -166,9 +179,14 @@ class Server {
   void HandleStats(Connection* conn, uint64_t request_id);
   void HandleInsert(Connection* conn, uint64_t request_id,
                     std::string_view payload);
+  void HandleTsFind(Connection* conn, uint64_t request_id,
+                    std::string_view payload);
+  void HandleHeartbeat(Connection* conn, uint64_t request_id,
+                       std::string_view payload);
   void OnQueryDone(uint64_t pending_id, Result<QueryResponse> response);
+  void OnTsFindDone(uint64_t pending_id, Result<TupleSetBatch> batch);
   void OnInsertDone(uint64_t pending_id,
-                    Result<liveindex::IndexWriter::InsertOutcome> outcome);
+                    Result<liveindex::InsertOutcome> outcome);
   void InsertWorkerLoop();
   void StopInsertWorker();
 
@@ -191,7 +209,7 @@ class Server {
 
   QueryService* service_;
   const DatabaseSchema* schema_;
-  liveindex::IndexWriter* writer_ = nullptr;  // null = read-only server
+  liveindex::InsertSink* writer_ = nullptr;  // null = read-only server
   ServerOptions options_;
   uint16_t port_ = 0;
 
@@ -213,6 +231,7 @@ class Server {
   uint64_t next_pending_id_ = 1;
   std::unordered_map<uint64_t, PendingQuery> pending_;
   std::unordered_map<uint64_t, PendingInsert> pending_inserts_;
+  std::unordered_map<uint64_t, PendingTsFind> pending_tsfinds_;
 
   // Dedicated insert worker (spawned only when writer_ != nullptr): runs
   // IndexWriter::Insert plus its invalidation hook off the loop thread —

@@ -304,6 +304,95 @@ bool Decode(std::string_view payload, TracePayload* v) {
   return r.AtEnd() && v->spans.size() == n;
 }
 
+void Encode(const TsFindRequest& v, WireWriter* w) {
+  w->U32(v.deadline_ms);
+  w->U16(static_cast<uint16_t>(v.keywords.size()));
+  for (const std::string& kw : v.keywords) w->Str(kw);
+}
+
+bool Decode(std::string_view payload, TsFindRequest* v) {
+  WireReader r(payload);
+  uint16_t n = 0;
+  r.U32(&v->deadline_ms);
+  r.U16(&n);
+  v->keywords.clear();
+  for (uint16_t i = 0; r.ok() && i < n; ++i) {
+    std::string kw;
+    if (r.Str(&kw)) v->keywords.push_back(std::move(kw));
+  }
+  return r.AtEnd() && v->keywords.size() == n;
+}
+
+void Encode(const TsFindResult& v, WireWriter* w) {
+  w->U64(v.index_version);
+  w->U64(v.ts_micros);
+  w->U8(v.degraded ? 1 : 0);
+  w->Str(v.degraded_reason);
+  w->U32(static_cast<uint32_t>(v.tuple_sets.size()));
+  for (const WireTupleSet& ts : v.tuple_sets) {
+    w->U32(ts.relation);
+    w->U64(ts.termset);
+    w->U32(static_cast<uint32_t>(ts.tuples.size()));
+    for (uint64_t id : ts.tuples) w->U64(id);
+  }
+}
+
+bool Decode(std::string_view payload, TsFindResult* v) {
+  WireReader r(payload);
+  uint8_t degraded = 0;
+  uint32_t n = 0;
+  r.U64(&v->index_version);
+  r.U64(&v->ts_micros);
+  r.U8(&degraded);
+  r.Str(&v->degraded_reason);
+  r.U32(&n);
+  v->degraded = degraded != 0;
+  v->tuple_sets.clear();
+  for (uint32_t i = 0; r.ok() && i < n; ++i) {
+    WireTupleSet ts;
+    uint32_t m = 0;
+    r.U32(&ts.relation);
+    r.U64(&ts.termset);
+    if (!r.U32(&m)) break;
+    // Guard the reserve against a hostile length: each tuple costs 8
+    // payload bytes, so a count the payload cannot hold is a lie.
+    if (static_cast<uint64_t>(m) * 8 > payload.size()) return false;
+    ts.tuples.reserve(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      uint64_t id = 0;
+      if (!r.U64(&id)) break;
+      ts.tuples.push_back(id);
+    }
+    if (ts.tuples.size() != m) break;
+    v->tuple_sets.push_back(std::move(ts));
+  }
+  return r.AtEnd() && v->tuple_sets.size() == n;
+}
+
+void Encode(const Heartbeat& v, WireWriter* w) { w->U64(v.send_us); }
+
+bool Decode(std::string_view payload, Heartbeat* v) {
+  WireReader r(payload);
+  r.U64(&v->send_us);
+  return r.AtEnd();
+}
+
+void Encode(const HeartbeatAck& v, WireWriter* w) {
+  w->U64(v.send_us);
+  w->U64(v.index_version);
+  w->U32(v.queries_in_flight);
+  w->U32(v.shard_id);
+}
+
+bool Decode(std::string_view payload, HeartbeatAck* v) {
+  WireReader r(payload);
+  r.U64(&v->send_us);
+  r.U64(&v->index_version);
+  r.U32(&v->queries_in_flight);
+  r.U32(&v->shard_id);
+  return r.AtEnd();
+}
+
 obs::TraceSnapshot ToTraceSnapshot(const TracePayload& payload) {
   obs::TraceSnapshot snapshot;
   snapshot.total_us = static_cast<int64_t>(payload.total_us);

@@ -41,9 +41,16 @@ inline constexpr uint8_t kMagic1 = 'C';
 /// extends STATS_RESULT with the live-index gauges. v4 adds the QUERY
 /// `trace` flag and the TRACE response frame: a traced query's normal
 /// response stream is followed (after RESULT_TRAILER) by one TRACE
-/// frame carrying the request's span breakdown. Frames are otherwise
+/// frame carrying the request's span breakdown. v5 adds the sharding
+/// frames: TSFIND (coordinator -> shard, run only the tuple-set stage
+/// and return the per-shard tuple sets) answered by TSFIND_RESULT, and
+/// HEARTBEAT (health probe, answered inline by HEARTBEAT_ACK without
+/// touching the service queue). v5 also extends STATS_RESULT with the
+/// coordinator's per-shard aggregates. Requests multiplex freely: a
+/// client may have many TSFIND/HEARTBEAT requests outstanding on one
+/// connection, demuxing responses by request id. Frames are otherwise
 /// identical; both ends reject mismatched versions at the header.
-inline constexpr uint8_t kProtocolVersion = 4;
+inline constexpr uint8_t kProtocolVersion = 5;
 inline constexpr size_t kFrameHeaderBytes = 16;
 
 enum class FrameType : uint8_t {
@@ -51,7 +58,9 @@ enum class FrameType : uint8_t {
   kQuery = 1,
   kStats = 2,
   kPing = 3,
-  kInsert = 4,  // v3+
+  kInsert = 4,     // v3+
+  kTsFind = 5,     // v5+: shard-local tuple-set stage
+  kHeartbeat = 6,  // v5+: health probe, answered on the event loop
   // Responses (server -> client).
   kResultHeader = 64,
   kCnRecord = 65,
@@ -60,8 +69,10 @@ enum class FrameType : uint8_t {
   kStatsResult = 68,
   kPong = 69,
   kGoingAway = 70,
-  kInsertResult = 71,  // v3+
-  kTrace = 72,         // v4+: span breakdown, follows RESULT_TRAILER
+  kInsertResult = 71,   // v3+
+  kTrace = 72,          // v4+: span breakdown, follows RESULT_TRAILER
+  kTsFindResult = 73,   // v5+
+  kHeartbeatAck = 74,   // v5+
 };
 
 /// Wire-stable error codes. Values 0..9 mirror StatusCode exactly (the
@@ -239,6 +250,52 @@ struct TracePayload {
   std::vector<WireSpan> spans;
 };
 
+/// v5 TSFIND: run only the tuple-set stage of the pipeline against this
+/// shard's owned relations and return the tuple sets. Keywords arrive
+/// already normalized by the coordinator; shard-side normalization is
+/// idempotent so a raw client can also issue one directly.
+struct TsFindRequest {
+  uint32_t deadline_ms = 0;  // 0 = server default
+  std::vector<std::string> keywords;
+};
+
+/// One tuple set of a TSFIND_RESULT: the shard-local posting for
+/// (relation, termset). TupleIds are globally consistent because shards
+/// partition by relation — the owning shard assigns the same packed
+/// relation/row ids the unsharded process would.
+struct WireTupleSet {
+  uint32_t relation = 0;
+  uint64_t termset = 0;
+  std::vector<uint64_t> tuples;  // packed TupleIds, ascending
+};
+
+/// v5 TSFIND_RESULT: the shard's tuple sets, sorted by (relation,
+/// termset) exactly as TupleSetFinder::BuildTupleSets emits them, so
+/// the coordinator's k-way merge reproduces single-process order.
+struct TsFindResult {
+  uint64_t index_version = 0;
+  uint64_t ts_micros = 0;   // shard-side tuple-set stage wall time
+  bool degraded = false;    // stage gave partial results (deadline)
+  std::string degraded_reason;
+  std::vector<WireTupleSet> tuple_sets;
+};
+
+/// v5 HEARTBEAT: coordinator health probe. `send_us` is an opaque
+/// timestamp echoed back so the coordinator can measure RTT without
+/// trusting shard clocks.
+struct Heartbeat {
+  uint64_t send_us = 0;
+};
+
+/// v5 HEARTBEAT_ACK: answered directly on the server's event loop (never
+/// queued behind queries), so a live-but-saturated shard still acks.
+struct HeartbeatAck {
+  uint64_t send_us = 0;  // echoed from the probe
+  uint64_t index_version = 0;
+  uint32_t queries_in_flight = 0;
+  uint32_t shard_id = 0;
+};
+
 /// The wire field list of StatsPayload, in frame order. Encode and
 /// Decode are generated from this single list, so they cannot drift
 /// from each other; extending STATS means appending here and to the
@@ -274,7 +331,16 @@ struct TracePayload {
   X(index_version)                    \
   X(index_delta_bytes)                \
   X(index_compactions)                \
-  X(cache_invalidations)
+  X(cache_invalidations)              \
+  X(shards_total)                     \
+  X(shards_healthy)                   \
+  X(shard_scatters)                   \
+  X(shard_scatter_errors)             \
+  X(shard_degraded_batches)           \
+  X(shard_merge_us_mean)              \
+  X(shard_heartbeats)                 \
+  X(shard_reconnects)                 \
+  X(shard_inserts_routed)
 
 /// Server-side counters returned by a STATS request: the QueryService
 /// snapshot plus the network layer's own counters.
@@ -316,6 +382,16 @@ struct StatsPayload {
   uint64_t index_delta_bytes = 0;
   uint64_t index_compactions = 0;
   uint64_t cache_invalidations = 0;
+  // Coordinator shard aggregates, v5+ (all zero on an unsharded server).
+  uint64_t shards_total = 0;
+  uint64_t shards_healthy = 0;
+  uint64_t shard_scatters = 0;
+  uint64_t shard_scatter_errors = 0;
+  uint64_t shard_degraded_batches = 0;
+  uint64_t shard_merge_us_mean = 0;
+  uint64_t shard_heartbeats = 0;
+  uint64_t shard_reconnects = 0;
+  uint64_t shard_inserts_routed = 0;
 };
 
 void Encode(const QueryRequest& v, WireWriter* w);
@@ -327,6 +403,10 @@ void Encode(const StatsPayload& v, WireWriter* w);
 void Encode(const InsertRequest& v, WireWriter* w);
 void Encode(const InsertResult& v, WireWriter* w);
 void Encode(const TracePayload& v, WireWriter* w);
+void Encode(const TsFindRequest& v, WireWriter* w);
+void Encode(const TsFindResult& v, WireWriter* w);
+void Encode(const Heartbeat& v, WireWriter* w);
+void Encode(const HeartbeatAck& v, WireWriter* w);
 
 bool Decode(std::string_view payload, QueryRequest* v);
 bool Decode(std::string_view payload, ResultHeader* v);
@@ -337,6 +417,10 @@ bool Decode(std::string_view payload, StatsPayload* v);
 bool Decode(std::string_view payload, InsertRequest* v);
 bool Decode(std::string_view payload, InsertResult* v);
 bool Decode(std::string_view payload, TracePayload* v);
+bool Decode(std::string_view payload, TsFindRequest* v);
+bool Decode(std::string_view payload, TsFindResult* v);
+bool Decode(std::string_view payload, Heartbeat* v);
+bool Decode(std::string_view payload, HeartbeatAck* v);
 
 /// Rehydrates a decoded TRACE frame into the snapshot form the obs
 /// renderers (RenderWaterfall/RenderCompact) consume, so clients can

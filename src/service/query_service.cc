@@ -69,6 +69,19 @@ QueryService::QueryService(const SchemaGraph* schema_graph,
                                        options_.max_queue);
 }
 
+QueryService::QueryService(const SchemaGraph* schema_graph,
+                           TupleSetProvider* provider,
+                           QueryServiceOptions options)
+    : schema_graph_(schema_graph), provider_(provider),
+      options_(std::move(options)) {
+  sampler_ = std::make_unique<obs::TraceSampler>(options_.trace_sample_rate,
+                                                 options_.trace_sample_seed);
+  cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
+                                         options_.cache_shards);
+  pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads),
+                                       options_.max_queue);
+}
+
 QueryService::~QueryService() = default;
 
 bool QueryService::CacheKeyTouchesTerms(
@@ -290,41 +303,34 @@ void QueryService::Execute(
 
   GenerationResult result;
   uint64_t index_version = 0;
+  bool batch_degraded = false;
+  std::string batch_degraded_reason;
   // Captured before the snapshot: if an insert invalidates between here
   // and the cache Put below, the sequence moves and the Put is skipped.
   const uint64_t inval_seq =
       invalidation_seq_.load(std::memory_order_acquire);
-  if (live_index_ != nullptr) {
-    // Live backend: per-keyword lists from an epoch-pinned snapshot, then
-    // the shared TSInter + QMGen + MatchCN pipeline. Readers never block
-    // the writer; the snapshot guarantees memory safety, and its version
-    // is the floor this answer reflects.
-    const Deadline::Clock::time_point ts_started = Deadline::Clock::now();
-    const uint32_t pin_span =
-        tc.trace ? tc.trace->BeginSpan("snapshot_pin", tc.root_span) : 0;
-    const liveindex::IndexSnapshot snapshot = live_index_->Snapshot();
-    if (tc.trace) tc.trace->EndSpan(pin_span, snapshot.version());
-    index_version = snapshot.version();
-    const uint32_t ts_span =
-        tc.trace ? tc.trace->BeginSpan("tsfind", tc.root_span) : 0;
-    // Per-worker posting scratch: repeated queries on one pool thread
-    // reuse the same decode/merge buffers instead of allocating per term.
-    thread_local PostingScratch tls_posting_scratch;
-    std::vector<TermsetTuples> keyword_lists;
-    keyword_lists.reserve(normalized.size());
-    for (size_t i = 0; i < normalized.size(); ++i) {
-      TermsetTuples tt;
-      tt.termset = Termset{1} << i;
-      snapshot.TuplesForInto(normalized.keyword(i), &tls_posting_scratch,
-                             &tt.tuples);
-      keyword_lists.push_back(std::move(tt));
+  if (provider_ != nullptr || live_index_ != nullptr) {
+    // Staged backends: the tuple-set stage comes from the provider (a
+    // coordinator scattering TSFIND across shards) or from the local
+    // epoch-pinned live index, then the shared QMGen + MatchCN pipeline
+    // runs globally over the batch. A degraded batch (missing shard)
+    // makes the whole response degraded — and therefore uncached.
+    Result<TupleSetBatch> batch =
+        provider_ != nullptr
+            ? provider_->FindTupleSets(normalized, cancel->deadline(),
+                                       tc.trace, tc.root_span)
+            : LocalTupleSets(normalized, tc.trace, tc.root_span);
+    if (!batch.ok()) {
+      stats_.RecordFailed();
+      done(batch.status());
+      return;
     }
-    std::vector<TupleSet> tuple_sets =
-        TupleSetFinder::BuildTupleSets(std::move(keyword_lists));
-    if (tc.trace) tc.trace->EndSpan(ts_span, tuple_sets.size());
-    result = generator.GenerateFromTupleSets(normalized,
-                                             std::move(tuple_sets),
-                                             MillisSince(ts_started));
+    index_version = (*batch).index_version;
+    batch_degraded = (*batch).degraded;
+    batch_degraded_reason = std::move((*batch).degraded_reason);
+    const double ts_millis = (*batch).ts_millis;
+    result = generator.GenerateFromTupleSets(
+        normalized, std::move((*batch).tuple_sets), ts_millis);
   } else if (index_ != nullptr) {
     result = generator.Generate(normalized, *index_);
   } else {
@@ -340,7 +346,10 @@ void QueryService::Execute(
 
   QueryResponse response;
   response.query = std::move(normalized);
-  if (result.stats.interrupted) {
+  if (batch_degraded) {
+    response.degraded = true;
+    response.degraded_reason = std::move(batch_degraded_reason);
+  } else if (result.stats.interrupted) {
     response.degraded = true;
     response.degraded_reason = "deadline expired mid-generation; result is partial";
   } else if (result.stats.truncated) {
@@ -379,6 +388,92 @@ void QueryService::Execute(
       static_cast<int64_t>(response.latency_ms * 1000.0));
   FinishTrace(&tc, &response);
   done(std::move(response));
+}
+
+Result<TupleSetBatch> QueryService::LocalTupleSets(
+    const KeywordQuery& normalized, const std::shared_ptr<obs::Trace>& trace,
+    uint32_t parent_span) {
+  TupleSetBatch batch;
+  const Deadline::Clock::time_point ts_started = Deadline::Clock::now();
+  if (live_index_ != nullptr) {
+    // Live backend: per-keyword lists from an epoch-pinned snapshot.
+    // Readers never block the writer; the snapshot guarantees memory
+    // safety, and its version is the floor this batch reflects.
+    const uint32_t pin_span =
+        trace ? trace->BeginSpan("snapshot_pin", parent_span) : 0;
+    const liveindex::IndexSnapshot snapshot = live_index_->Snapshot();
+    if (trace) trace->EndSpan(pin_span, snapshot.version());
+    batch.index_version = snapshot.version();
+    const uint32_t ts_span =
+        trace ? trace->BeginSpan("tsfind", parent_span) : 0;
+    // Per-worker posting scratch: repeated queries on one pool thread
+    // reuse the same decode/merge buffers instead of allocating per term.
+    thread_local PostingScratch tls_posting_scratch;
+    std::vector<TermsetTuples> keyword_lists;
+    keyword_lists.reserve(normalized.size());
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      TermsetTuples tt;
+      tt.termset = Termset{1} << i;
+      snapshot.TuplesForInto(normalized.keyword(i), &tls_posting_scratch,
+                             &tt.tuples);
+      keyword_lists.push_back(std::move(tt));
+    }
+    batch.tuple_sets =
+        TupleSetFinder::BuildTupleSets(std::move(keyword_lists));
+    if (trace) trace->EndSpan(ts_span, batch.tuple_sets.size());
+  } else if (index_ != nullptr) {
+    const uint32_t ts_span =
+        trace ? trace->BeginSpan("tsfind", parent_span) : 0;
+    batch.tuple_sets = TupleSetFinder::FindMem(*index_, normalized);
+    if (trace) trace->EndSpan(ts_span, batch.tuple_sets.size());
+  } else {
+    return Status::Unimplemented(
+        "tuple-set stage requires a live or memory backend");
+  }
+  batch.ts_millis = MillisSince(ts_started);
+  return batch;
+}
+
+std::shared_ptr<CancelToken> QueryService::SubmitTsFindAsync(
+    const KeywordQuery& query, Deadline deadline, TsFindCallback done) {
+  stats_.RecordSubmitted();
+  auto cancel = std::make_shared<CancelToken>(deadline);
+  if (deadline.Expired()) {
+    stats_.RecordTimedOut();
+    done(Status::DeadlineExceeded("deadline expired before execution"));
+    return cancel;
+  }
+  // Coordinator normalization is idempotent under shard normalization
+  // (sorted stays sorted, stopwords stay dropped), so a shard answers the
+  // same batch whether the keywords arrive raw or pre-normalized.
+  KeywordQuery normalized = Normalize(query);
+  auto done_ptr = std::make_shared<TsFindCallback>(std::move(done));
+  const bool admitted = pool_->TrySubmit(
+      [this, normalized = std::move(normalized), cancel, done_ptr]() mutable {
+        if (options_.pre_execute_hook) options_.pre_execute_hook();
+        if (cancel->Expired()) {
+          stats_.RecordTimedOut();
+          (*done_ptr)(Status::DeadlineExceeded(
+              cancel->CancelRequested() ? "tsfind cancelled while queued"
+                                        : "deadline expired while queued"));
+          return;
+        }
+        Result<TupleSetBatch> batch = LocalTupleSets(normalized, nullptr, 0);
+        if (!batch.ok()) {
+          stats_.RecordFailed();
+          (*done_ptr)(batch.status());
+          return;
+        }
+        stats_.RecordCompleted();
+        (*done_ptr)(std::move(batch));
+      });
+  if (!admitted) {
+    stats_.RecordRejected();
+    (*done_ptr)(Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.max_queue) +
+        " waiting); retry later"));
+  }
+  return cancel;
 }
 
 void QueryService::FinishTrace(TraceContext* tc, QueryResponse* response) {
@@ -440,6 +535,7 @@ ServiceStatsSnapshot QueryService::Stats() const {
     s.index_delta_bytes = live_index_->delta_bytes();
     s.index_compactions = live_index_->compactions();
   }
+  if (provider_ != nullptr) provider_->FillStats(&s);
   return s;
 }
 

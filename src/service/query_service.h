@@ -17,6 +17,7 @@
 #include "service/service_stats.h"
 #include "service/sharded_lru_cache.h"
 #include "service/thread_pool.h"
+#include "service/tuple_set_provider.h"
 
 namespace matcn {
 
@@ -140,6 +141,15 @@ class QueryService {
                const liveindex::ConcurrentTermIndex* live_index,
                QueryServiceOptions options = {});
 
+  /// Provider-backed (coordinator-mode) service: the tuple-set stage is
+  /// delegated to `provider` (e.g. a shard::Coordinator scattering TSFIND
+  /// across shard workers), and QMGen/MatchCN run globally over the
+  /// merged batch. Admission, deadlines, caching, degraded propagation
+  /// and tracing are shared with the local backends. The provider must
+  /// outlive the service.
+  QueryService(const SchemaGraph* schema_graph, TupleSetProvider* provider,
+               QueryServiceOptions options = {});
+
   /// Drains admitted work, then joins the workers. Futures returned by
   /// Submit are all fulfilled before the destructor returns.
   ~QueryService();
@@ -166,6 +176,21 @@ class QueryService {
                                            Deadline deadline,
                                            QueryRequestOptions request_options,
                                            ResponseCallback done);
+
+  /// Completion callback for SubmitTsFindAsync.
+  using TsFindCallback = std::function<void(Result<TupleSetBatch>)>;
+
+  /// Shard-serving entry point: runs only the tuple-set stage (normalize
+  /// + TSFind + TSInter + grouping) against this service's local backend
+  /// and returns the batch — QMGen/MatchCN never run. Shares the worker
+  /// pool and admission queue with full queries, so a saturated shard
+  /// rejects TSFINDs with ResourceExhausted exactly like queries. The
+  /// pre_execute_hook runs for these too (tests stall shards through it).
+  /// Supported on the live and memory backends; disk and provider
+  /// backends answer Unimplemented.
+  std::shared_ptr<CancelToken> SubmitTsFindAsync(const KeywordQuery& query,
+                                                 Deadline deadline,
+                                                 TsFindCallback done);
 
   /// Asynchronous submission with an explicit deadline. The future is
   /// fulfilled with either a QueryResponse or a Status (same outcomes as
@@ -245,6 +270,14 @@ class QueryService {
                Deadline::Clock::time_point submitted_at, TraceContext tc,
                ResponseCallback done);
 
+  /// The tuple-set stage against this service's local backend (live or
+  /// memory), shared by Execute and SubmitTsFindAsync. Fills
+  /// `ts_millis`/`index_version`; trace spans parent under `parent_span`
+  /// when `trace` is set.
+  Result<TupleSetBatch> LocalTupleSets(const KeywordQuery& normalized,
+                                       const std::shared_ptr<obs::Trace>& trace,
+                                       uint32_t parent_span);
+
   /// Ends the root span, attaches the trace to the response, and emits
   /// the slow-query log line when the response crossed slow_query_ms.
   void FinishTrace(TraceContext* tc, QueryResponse* response);
@@ -254,6 +287,7 @@ class QueryService {
   std::string disk_dir_;                  // disk backend
   const DatabaseSchema* disk_schema_ = nullptr;
   const liveindex::ConcurrentTermIndex* live_index_ = nullptr;  // live backend
+  TupleSetProvider* provider_ = nullptr;  // coordinator backend
   QueryServiceOptions options_;
   ServiceStats stats_;
   /// Consumes one sequence number per submission whether or not it

@@ -41,6 +41,17 @@ namespace matcn {
     "Largest per-worker SingleCn arena high-water in bytes")                  \
   V(kGauge, simd_dispatch_level,                                              \
     "Active SIMD kernel tier (0=scalar, 1=sse4.2, 2=avx2)")                   \
+  V(kGauge, shards_total, "Shards in the coordinator's map (0 unsharded)")    \
+  V(kGauge, shards_healthy, "Shards currently passing heartbeats")            \
+  V(kCounter, shard_scatters, "TSFIND scatters issued (one per miss query)")  \
+  V(kCounter, shard_scatter_errors,                                           \
+    "Per-shard TSFIND failures (timeout, disconnect, wire error)")            \
+  V(kCounter, shard_degraded_batches,                                         \
+    "Scatters answered degraded because >=1 shard was missing")               \
+  V(kGauge, shard_merge_us_mean, "Mean coordinator k-way merge time (us)")    \
+  V(kCounter, shard_heartbeats, "Heartbeat acks received across shards")      \
+  V(kCounter, shard_reconnects, "Shard channel reconnect attempts")           \
+  V(kCounter, shard_inserts_routed, "INSERTs routed to an owning shard")      \
   V(kGauge, mean_ms, "Mean service latency in milliseconds")                  \
   V(kGauge, p50_ms, "p50 service latency in milliseconds")                    \
   V(kGauge, p95_ms, "p95 service latency in milliseconds")                    \
@@ -74,6 +85,17 @@ struct ServiceStatsSnapshot {
   /// (simd::Level numeric value; constant per process unless forced).
   size_t arena_bytes_peak = 0;
   int simd_dispatch_level = 0;
+  // Coordinator shard aggregates; all zero on an unsharded service. A
+  // sharded service's TupleSetProvider fills them in FillStats.
+  uint64_t shards_total = 0;
+  uint64_t shards_healthy = 0;
+  uint64_t shard_scatters = 0;
+  uint64_t shard_scatter_errors = 0;
+  uint64_t shard_degraded_batches = 0;
+  uint64_t shard_merge_us_mean = 0;
+  uint64_t shard_heartbeats = 0;
+  uint64_t shard_reconnects = 0;
+  uint64_t shard_inserts_routed = 0;
   // End-to-end service latency (submit to response), cache hits included.
   double mean_ms = 0;
   double p50_ms = 0;

@@ -1,0 +1,65 @@
+#ifndef MATCN_SERVICE_TUPLE_SET_PROVIDER_H_
+#define MATCN_SERVICE_TUPLE_SET_PROVIDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/keyword_query.h"
+#include "core/tuple_set.h"
+#include "obs/trace.h"
+#include "service/service_stats.h"
+
+namespace matcn {
+
+/// The output of one tuple-set stage run by a TupleSetProvider: the set
+/// R_Q sorted by (relation, termset) — the exact order
+/// TupleSetFinder::BuildTupleSets emits — plus the metadata QueryService
+/// forwards into the response.
+struct TupleSetBatch {
+  std::vector<TupleSet> tuple_sets;
+  /// Stage wall time in milliseconds, reported into StageStats as the
+  /// pipeline's ts stage.
+  double ts_millis = 0;
+  /// Index-version floor this batch reflects (minimum across shards for
+  /// a scatter). Zero when the backend is static.
+  uint64_t index_version = 0;
+  /// The batch is usable but incomplete — e.g. a shard died mid-scatter
+  /// and its relations are missing. Degraded batches produce degraded
+  /// (and therefore uncached) responses.
+  bool degraded = false;
+  std::string degraded_reason;
+};
+
+/// Pluggable tuple-set stage: QueryService's fourth backend. The
+/// coordinator implements this to scatter TSFIND across shards and merge
+/// the per-shard batches; everything downstream (QMGen, MatchCN,
+/// admission, deadlines, caching, tracing) is the provider-agnostic
+/// machinery QueryService already runs.
+///
+/// FindTupleSets runs on a service worker thread and may block; it must
+/// honor `deadline` by returning either a degraded batch (partial data,
+/// still correct for what it covers) or a Status error (no usable data).
+class TupleSetProvider {
+ public:
+  virtual ~TupleSetProvider() = default;
+
+  /// `normalized` is the service-normalized query (keywords sorted,
+  /// stopwords dropped). `trace` may be null; when set, implementations
+  /// should parent their stage spans under `parent_span`.
+  virtual Result<TupleSetBatch> FindTupleSets(
+      const KeywordQuery& normalized, Deadline deadline,
+      const std::shared_ptr<obs::Trace>& trace, uint32_t parent_span) = 0;
+
+  /// Layers provider-owned gauges (shard health, scatter counters) into a
+  /// service stats snapshot; called under QueryService::Stats().
+  virtual void FillStats(ServiceStatsSnapshot* snapshot) const {
+    (void)snapshot;
+  }
+};
+
+}  // namespace matcn
+
+#endif  // MATCN_SERVICE_TUPLE_SET_PROVIDER_H_

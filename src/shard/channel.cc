@@ -1,0 +1,326 @@
+#include "shard/channel.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace matcn::shard {
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ShardChannel::ShardChannel(uint32_t shard_id, std::string host, uint16_t port,
+                           ShardChannelOptions options)
+    : shard_id_(shard_id),
+      host_(std::move(host)),
+      port_(port),
+      options_(options) {}
+
+ShardChannel::~ShardChannel() { Shutdown(); }
+
+Status ShardChannel::Connect() {
+  const Status status = TryConnect();
+  // The keeper runs regardless: a shard that was down at startup is
+  // adopted on its next heartbeat-interval retry.
+  keeper_ = std::thread(&ShardChannel::KeeperLoop, this);
+  return status;
+}
+
+Status ShardChannel::TryConnect() {
+  // Only the initial Connect() and the keeper call this, never
+  // concurrently, so joining the previous (exited or exiting) reader
+  // outside the lock is safe — a joinable reader implies a failed
+  // connection whose socket is already shut down.
+  if (reader_.joinable()) reader_.join();
+  Result<net::ScopedFd> fd =
+      net::ConnectTcp(host_, port_, options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::IOError("channel shut down");
+  fd_ = std::move(*fd);  // closes the previous (joined-reader) socket
+  connected_ = true;
+  last_ack_us_.store(NowMicros(), std::memory_order_relaxed);
+  reader_ = std::thread(&ShardChannel::ReaderLoop, this);
+  return Status::OK();
+}
+
+void ShardChannel::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Unblock the reader's ReadExactly without closing (the fd is only
+    // closed after the reader joined).
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+  keeper_cv_.notify_all();
+  if (keeper_.joinable()) keeper_.join();
+  if (reader_.joinable()) reader_.join();
+  FailConnection("channel shut down");
+}
+
+bool ShardChannel::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!connected_) return false;
+  const int64_t age_us =
+      NowMicros() - last_ack_us_.load(std::memory_order_relaxed);
+  return age_us <= options_.heartbeat_timeout_ms * 1000;
+}
+
+void ShardChannel::FailConnection(const std::string& reason) {
+  std::unordered_map<uint64_t, RawCallback> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connected_) {
+      connected_ = false;
+      if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+    }
+    orphaned.swap(pending_);
+  }
+  // Exactly-once: every registered callback fires, with kUnavailable when
+  // its response can no longer arrive.
+  for (auto& [id, done] : orphaned) {
+    done(net::WireCodeToStatus(
+        net::WireCode::kUnavailable,
+        "shard " + std::to_string(shard_id_) + ": " + reason));
+  }
+  keeper_cv_.notify_all();  // wake the keeper for a prompt reconnect
+}
+
+void ShardChannel::SendRequest(net::FrameType type, const std::string& payload,
+                               RawCallback done) {
+  uint64_t id = 0;
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!connected_) {
+      fd = -1;
+    } else {
+      id = next_request_id_++;
+      pending_[id] = std::move(done);
+      fd = fd_.get();
+    }
+  }
+  if (fd < 0) {
+    done(net::WireCodeToStatus(
+        net::WireCode::kUnavailable,
+        "shard " + std::to_string(shard_id_) + " disconnected"));
+    return;
+  }
+  std::string frame;
+  net::AppendFrame(&frame, type, id, payload);
+  // Write outside mu_ so a slow socket never blocks response dispatch.
+  // A concurrent FailConnection may have already failed this request's
+  // callback; the write then errors on the shut-down fd and the repeat
+  // FailConnection finds nothing pending — still exactly-once.
+  const Status write = net::WriteAll(fd, frame);
+  if (!write.ok()) FailConnection("write: " + write.message());
+}
+
+void ShardChannel::ReaderLoop() {
+  const int fd = fd_.get();  // stable until this reader is joined
+  std::string buf;
+  while (true) {
+    buf.clear();
+    Status read = net::ReadExactly(fd, net::kFrameHeaderBytes, &buf);
+    if (!read.ok()) {
+      FailConnection("connection lost");
+      return;
+    }
+    net::FrameHeader header;
+    if (net::ParseFrameHeader(buf, &header) != net::HeaderParse::kOk ||
+        header.payload_len > options_.max_frame_bytes) {
+      FailConnection("protocol error from shard");
+      return;
+    }
+    buf.clear();
+    if (header.payload_len > 0) {
+      read = net::ReadExactly(fd, header.payload_len, &buf);
+      if (!read.ok()) {
+        FailConnection("connection lost mid-frame");
+        return;
+      }
+    }
+    if (header.type == net::FrameType::kGoingAway) continue;  // id 0
+    RawCallback done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(header.request_id);
+      if (it == pending_.end()) continue;  // late response, already failed
+      done = std::move(it->second);
+      pending_.erase(it);
+    }
+    RawResponse response;
+    response.type = header.type;
+    response.payload = std::move(buf);
+    done(std::move(response));
+    buf = std::string();
+  }
+}
+
+void ShardChannel::KeeperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    keeper_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.heartbeat_interval_ms));
+    if (stop_) break;
+    const bool connected = connected_;
+    lock.unlock();
+    if (!connected) {
+      if (TryConnect().ok()) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      const int64_t age_us =
+          NowMicros() - last_ack_us_.load(std::memory_order_relaxed);
+      if (age_us > options_.heartbeat_timeout_ms * 1000) {
+        // The shard stopped acking (stalled, partitioned, or drained):
+        // declare it down and recycle the connection. Scatters skip it
+        // until a fresh connection acks.
+        FailConnection("heartbeat timeout");
+      } else {
+        SendHeartbeat();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void ShardChannel::SendHeartbeat() {
+  net::Heartbeat probe;
+  probe.send_us = static_cast<uint64_t>(NowMicros());
+  net::WireWriter w;
+  net::Encode(probe, &w);
+  SendRequest(net::FrameType::kHeartbeat, w.buffer(),
+              [this](Result<RawResponse> raw) {
+                if (!raw.ok() || raw->type != net::FrameType::kHeartbeatAck) {
+                  return;  // no ack; staleness does the bookkeeping
+                }
+                net::HeartbeatAck ack;
+                if (!net::Decode(raw->payload, &ack)) return;
+                last_ack_us_.store(NowMicros(), std::memory_order_relaxed);
+                acked_index_version_.store(ack.index_version,
+                                           std::memory_order_relaxed);
+                acked_in_flight_.store(ack.queries_in_flight,
+                                       std::memory_order_relaxed);
+                heartbeats_.fetch_add(1, std::memory_order_relaxed);
+              });
+}
+
+void ShardChannel::TsFindAsync(
+    const net::TsFindRequest& request,
+    std::function<void(Result<net::TsFindResult>)> done) {
+  if (!healthy()) {
+    done(net::WireCodeToStatus(
+        net::WireCode::kUnavailable,
+        "shard " + std::to_string(shard_id_) + " unhealthy"));
+    return;
+  }
+  net::WireWriter w;
+  net::Encode(request, &w);
+  const uint32_t shard = shard_id_;
+  SendRequest(
+      net::FrameType::kTsFind, w.buffer(),
+      [shard, done = std::move(done)](Result<RawResponse> raw) {
+        if (!raw.ok()) {
+          done(raw.status());
+          return;
+        }
+        if (raw->type == net::FrameType::kError) {
+          net::ErrorPayload error;
+          if (net::Decode(raw->payload, &error)) {
+            done(net::WireCodeToStatus(error.code, std::move(error.message)));
+          } else {
+            done(Status::Internal("shard " + std::to_string(shard) +
+                                  ": undecodable error frame"));
+          }
+          return;
+        }
+        net::TsFindResult result;
+        if (raw->type != net::FrameType::kTsFindResult ||
+            !net::Decode(raw->payload, &result)) {
+          done(Status::Internal("shard " + std::to_string(shard) +
+                                ": bad TSFIND_RESULT frame"));
+          return;
+        }
+        done(std::move(result));
+      });
+}
+
+Result<ShardChannel::RawResponse> ShardChannel::Roundtrip(
+    net::FrameType type, const std::string& payload, int64_t timeout_ms) {
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<RawResponse> result = Status::Internal("unset");
+  };
+  auto state = std::make_shared<SyncState>();
+  SendRequest(type, payload, [state](Result<RawResponse> raw) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(raw);
+    state->done = true;
+    state->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (!state->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                          [&] { return state->done; })) {
+    // The registered callback still fires (on response or connection
+    // failure); it only touches the shared state, which outlives us.
+    return Status::DeadlineExceeded("shard " + std::to_string(shard_id_) +
+                                    ": no response within " +
+                                    std::to_string(timeout_ms) + "ms");
+  }
+  return std::move(state->result);
+}
+
+Result<net::InsertResult> ShardChannel::Insert(
+    const net::InsertRequest& request, int64_t timeout_ms) {
+  net::WireWriter w;
+  net::Encode(request, &w);
+  Result<RawResponse> raw =
+      Roundtrip(net::FrameType::kInsert, w.buffer(), timeout_ms);
+  if (!raw.ok()) return raw.status();
+  if (raw->type == net::FrameType::kError) {
+    net::ErrorPayload error;
+    if (net::Decode(raw->payload, &error)) {
+      return net::WireCodeToStatus(error.code, std::move(error.message));
+    }
+    return Status::Internal("undecodable error frame");
+  }
+  net::InsertResult result;
+  if (raw->type != net::FrameType::kInsertResult ||
+      !net::Decode(raw->payload, &result)) {
+    return Status::Internal("bad INSERT_RESULT frame");
+  }
+  return result;
+}
+
+Result<net::StatsPayload> ShardChannel::Stats(int64_t timeout_ms) {
+  Result<RawResponse> raw =
+      Roundtrip(net::FrameType::kStats, std::string(), timeout_ms);
+  if (!raw.ok()) return raw.status();
+  if (raw->type == net::FrameType::kError) {
+    net::ErrorPayload error;
+    if (net::Decode(raw->payload, &error)) {
+      return net::WireCodeToStatus(error.code, std::move(error.message));
+    }
+    return Status::Internal("undecodable error frame");
+  }
+  net::StatsPayload stats;
+  if (raw->type != net::FrameType::kStatsResult ||
+      !net::Decode(raw->payload, &stats)) {
+    return Status::Internal("bad STATS_RESULT frame");
+  }
+  return stats;
+}
+
+}  // namespace matcn::shard

@@ -1,0 +1,146 @@
+#ifndef MATCN_SHARD_CHANNEL_H_
+#define MATCN_SHARD_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace matcn::shard {
+
+struct ShardChannelOptions {
+  int64_t connect_timeout_ms = 5'000;
+  /// Probe cadence of the keeper thread.
+  int64_t heartbeat_interval_ms = 500;
+  /// No HEARTBEAT_ACK for this long marks the shard unhealthy and forces
+  /// a reconnect; the coordinator stops scattering to it until an ack
+  /// arrives on the fresh connection.
+  int64_t heartbeat_timeout_ms = 2'000;
+  /// Largest response payload buffered (TSFIND_RESULT can be large).
+  size_t max_frame_bytes = size_t{64} << 20;
+};
+
+/// One multiplexed wire-v5 connection to a shard worker. Unlike
+/// net::Client (one outstanding request), a ShardChannel keeps many
+/// requests in flight on a single TCP connection, demuxing responses by
+/// request id on a dedicated reader thread. A keeper thread heartbeats
+/// the shard, flips health on ack staleness, and reconnects — the
+/// coordinator's recovery path after a shard restart.
+///
+/// Callback contract: every issued request's callback fires exactly once
+/// — with the response, or with kUnavailable when the connection dies
+/// or the channel shuts down. No lost callbacks, ever; the fault
+/// injection test holds this under mid-query shard kills.
+class ShardChannel {
+ public:
+  ShardChannel(uint32_t shard_id, std::string host, uint16_t port,
+               ShardChannelOptions options = {});
+  ~ShardChannel();
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  /// Initial connect; spawns the reader and keeper threads. Call once.
+  /// A failed initial connect still starts the keeper, which keeps
+  /// retrying — a shard that comes up late is adopted automatically.
+  Status Connect();
+
+  /// Fails outstanding requests with kUnavailable and joins the threads.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  uint32_t shard_id() const { return shard_id_; }
+
+  /// Connected and the last HEARTBEAT_ACK is fresh. Scatters skip
+  /// unhealthy channels instead of burning deadline on them.
+  bool healthy() const;
+
+  /// Async TSFIND. `done` runs on the reader thread (keep it cheap) or
+  /// inline when the channel is unhealthy.
+  void TsFindAsync(const net::TsFindRequest& request,
+                   std::function<void(Result<net::TsFindResult>)> done);
+
+  /// Synchronous INSERT forwarding (runs on the coordinator's insert
+  /// worker; FIFO order there preserves wire order per relation).
+  Result<net::InsertResult> Insert(const net::InsertRequest& request,
+                                   int64_t timeout_ms);
+
+  /// Synchronous STATS fetch (shardctl surface).
+  Result<net::StatsPayload> Stats(int64_t timeout_ms);
+
+  uint64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// From the last HEARTBEAT_ACK (0 before the first one).
+  uint64_t acked_index_version() const {
+    return acked_index_version_.load(std::memory_order_relaxed);
+  }
+  uint32_t acked_in_flight() const {
+    return acked_in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RawResponse {
+    net::FrameType type = net::FrameType::kPong;
+    std::string payload;
+  };
+  using RawCallback = std::function<void(Result<RawResponse>)>;
+
+  /// Registers `done` and writes one frame. Fails inline (after
+  /// unregistering) when disconnected or the write errors.
+  void SendRequest(net::FrameType type, const std::string& payload,
+                   RawCallback done);
+  /// Blocking request/response bridge over SendRequest.
+  Result<RawResponse> Roundtrip(net::FrameType type,
+                                const std::string& payload,
+                                int64_t timeout_ms);
+
+  void ReaderLoop();
+  void KeeperLoop();
+  void SendHeartbeat();
+  /// Tears the connection down and fails every pending request with
+  /// kUnavailable. Safe from any thread; callbacks run outside the lock.
+  void FailConnection(const std::string& reason);
+  Status TryConnect();
+
+  const uint32_t shard_id_;
+  const std::string host_;
+  const uint16_t port_;
+  const ShardChannelOptions options_;
+
+  mutable std::mutex mu_;
+  net::ScopedFd fd_;
+  bool connected_ = false;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<uint64_t, RawCallback> pending_;
+  /// Touched only by Connect()/the keeper (join-then-respawn) and
+  /// Shutdown() after the keeper joined — never concurrently.
+  std::thread reader_;
+
+  std::condition_variable keeper_cv_;
+  bool stop_ = false;
+
+  std::thread keeper_;
+
+  std::atomic<int64_t> last_ack_us_{0};  // steady-clock micros
+  std::atomic<uint64_t> heartbeats_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> acked_index_version_{0};
+  std::atomic<uint32_t> acked_in_flight_{0};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace matcn::shard
+
+#endif  // MATCN_SHARD_CHANNEL_H_

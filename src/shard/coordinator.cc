@@ -1,0 +1,324 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+
+#include "indexing/tokenizer.h"
+#include "storage/tuple_id.h"
+
+namespace matcn::shard {
+namespace {
+
+/// BeginSpan keeps the pointer, so span names must have static storage.
+const char* ShardSpanName(size_t shard) {
+  static const char* kNames[] = {
+      "shard_0",  "shard_1",  "shard_2",  "shard_3", "shard_4",  "shard_5",
+      "shard_6",  "shard_7",  "shard_8",  "shard_9", "shard_10", "shard_11",
+      "shard_12", "shard_13", "shard_14", "shard_15"};
+  return shard < 16 ? kNames[shard] : "shard_n";
+}
+
+std::vector<TupleSet> ToTupleSets(std::vector<net::WireTupleSet> wire) {
+  std::vector<TupleSet> out;
+  out.reserve(wire.size());
+  for (net::WireTupleSet& w : wire) {
+    TupleSet ts;
+    ts.relation = w.relation;
+    ts.termset = w.termset;
+    ts.tuples.reserve(w.tuples.size());
+    for (uint64_t packed : w.tuples) {
+      ts.tuples.push_back(TupleId::FromPacked(packed));
+    }
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const ShardMap* map,
+                         std::vector<ShardEndpoint> endpoints,
+                         CoordinatorOptions options)
+    : map_(map), options_(options) {
+  channels_.reserve(endpoints.size());
+  for (const ShardEndpoint& ep : endpoints) {
+    channels_.push_back(std::make_unique<ShardChannel>(
+        ep.shard_id, ep.host, ep.port, options_.channel));
+  }
+}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+Status Coordinator::Connect() {
+  Status first;
+  for (auto& channel : channels_) {
+    const Status status = channel->Connect();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+void Coordinator::Shutdown() {
+  for (auto& channel : channels_) channel->Shutdown();
+}
+
+size_t Coordinator::healthy_shards() const {
+  size_t n = 0;
+  for (const auto& channel : channels_) {
+    if (channel->healthy()) ++n;
+  }
+  return n;
+}
+
+ShardChannel* Coordinator::channel(uint32_t shard_id) const {
+  for (const auto& channel : channels_) {
+    if (channel->shard_id() == shard_id) return channel.get();
+  }
+  return nullptr;
+}
+
+Result<TupleSetBatch> Coordinator::FindTupleSets(
+    const KeywordQuery& normalized, Deadline deadline,
+    const std::shared_ptr<obs::Trace>& trace, uint32_t parent_span) {
+  const auto started = Deadline::Clock::now();
+  scatters_.fetch_add(1, std::memory_order_relaxed);
+
+  int64_t wait_ms = options_.scatter_timeout_ms;
+  if (!deadline.IsInfinite()) {
+    const int64_t remaining = deadline.RemainingMillis();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("deadline expired before scatter");
+    }
+    wait_ms = std::min(wait_ms, remaining);
+  }
+
+  net::TsFindRequest request;
+  request.deadline_ms = static_cast<uint32_t>(wait_ms);
+  request.keywords = normalized.keywords();
+
+  struct Slot {
+    bool done = false;
+    uint32_t span = 0;
+    Result<net::TsFindResult> result = Status::Internal("pending");
+  };
+  /// Shared with the channel callbacks, which may outlive this frame
+  /// when a shard answers after the wait gave up on it.
+  struct Scatter {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t outstanding = 0;
+    std::vector<Slot> slots;
+    std::shared_ptr<obs::Trace> trace;
+  };
+  auto scatter = std::make_shared<Scatter>();
+  scatter->slots.resize(channels_.size());
+  scatter->trace = trace;
+
+  const uint32_t scatter_span =
+      trace ? trace->BeginSpan("scatter", parent_span) : 0;
+
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(scatter->mu);
+      ++scatter->outstanding;
+      if (trace) {
+        scatter->slots[i].span =
+            trace->BeginSpan(ShardSpanName(channels_[i]->shard_id()),
+                             scatter_span);
+      }
+    }
+    // May complete inline (unhealthy shard) — the callback only touches
+    // the shared scatter state.
+    channels_[i]->TsFindAsync(
+        request, [scatter, i](Result<net::TsFindResult> result) {
+          std::lock_guard<std::mutex> lock(scatter->mu);
+          Slot& slot = scatter->slots[i];
+          if (slot.done) return;  // defensive: exactly-once upstream
+          slot.result = std::move(result);
+          slot.done = true;
+          if (scatter->trace) scatter->trace->EndSpan(slot.span);
+          --scatter->outstanding;
+          scatter->cv.notify_all();
+        });
+  }
+
+  std::vector<std::vector<TupleSet>> streams;
+  std::string degraded_reason;
+  bool degraded = false;
+  size_t failed = 0;
+  size_t responded = 0;
+  uint64_t min_version = std::numeric_limits<uint64_t>::max();
+  {
+    std::unique_lock<std::mutex> lock(scatter->mu);
+    scatter->cv.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                         [&] { return scatter->outstanding == 0; });
+    for (size_t i = 0; i < scatter->slots.size(); ++i) {
+      Slot& slot = scatter->slots[i];
+      const uint32_t shard = channels_[i]->shard_id();
+      if (!slot.done) {
+        // Still in flight past the wait: its span stays open until the
+        // late callback closes it; the batch proceeds without it.
+        degraded = true;
+        ++failed;
+        if (!degraded_reason.empty()) degraded_reason += "; ";
+        degraded_reason += "shard " + std::to_string(shard) + " timed out";
+        continue;
+      }
+      if (!slot.result.ok()) {
+        degraded = true;
+        ++failed;
+        if (!degraded_reason.empty()) degraded_reason += "; ";
+        degraded_reason += "shard " + std::to_string(shard) + ": " +
+                           slot.result.status().message();
+        continue;
+      }
+      ++responded;
+      net::TsFindResult& result = *slot.result;
+      if (result.degraded) {
+        degraded = true;
+        if (!degraded_reason.empty()) degraded_reason += "; ";
+        degraded_reason += "shard " + std::to_string(shard) + " degraded";
+        if (!result.degraded_reason.empty()) {
+          degraded_reason += ": " + result.degraded_reason;
+        }
+      }
+      min_version = std::min(min_version, result.index_version);
+      streams.push_back(ToTupleSets(std::move(result.tuple_sets)));
+    }
+  }
+  scatter_errors_.fetch_add(failed, std::memory_order_relaxed);
+  if (trace) trace->EndSpan(scatter_span);
+
+  if (responded == 0) {
+    return Status::IOError(
+        degraded_reason.empty() ? "scatter reached no shard"
+                                : "scatter reached no shard: " +
+                                      degraded_reason);
+  }
+
+  const uint32_t merge_span =
+      trace ? trace->BeginSpan("merge", parent_span) : 0;
+  const auto merge_started = Deadline::Clock::now();
+  MergeStats merge_stats;
+  TupleSetBatch batch;
+  batch.tuple_sets = MergeShardTupleSets(std::move(streams), &merge_stats);
+  const auto merge_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Deadline::Clock::now() - merge_started)
+          .count();
+  if (trace) trace->EndSpan(merge_span, merge_stats.output_sets);
+  merge_us_total_.fetch_add(static_cast<uint64_t>(merge_us),
+                            std::memory_order_relaxed);
+  merges_.fetch_add(1, std::memory_order_relaxed);
+
+  batch.index_version =
+      min_version == std::numeric_limits<uint64_t>::max() ? 0 : min_version;
+  batch.degraded = degraded;
+  batch.degraded_reason = std::move(degraded_reason);
+  batch.ts_millis =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          Deadline::Clock::now() - started)
+          .count();
+  if (degraded) degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+  return batch;
+}
+
+void Coordinator::FillStats(ServiceStatsSnapshot* snapshot) const {
+  snapshot->shards_total = channels_.size();
+  snapshot->shards_healthy = healthy_shards();
+  snapshot->shard_scatters = scatters_.load(std::memory_order_relaxed);
+  snapshot->shard_scatter_errors =
+      scatter_errors_.load(std::memory_order_relaxed);
+  snapshot->shard_degraded_batches =
+      degraded_batches_.load(std::memory_order_relaxed);
+  const uint64_t merges = merges_.load(std::memory_order_relaxed);
+  snapshot->shard_merge_us_mean =
+      merges == 0 ? 0
+                  : merge_us_total_.load(std::memory_order_relaxed) / merges;
+  uint64_t heartbeats = 0;
+  uint64_t reconnects = 0;
+  for (const auto& channel : channels_) {
+    heartbeats += channel->heartbeats();
+    reconnects += channel->reconnects();
+  }
+  snapshot->shard_heartbeats = heartbeats;
+  snapshot->shard_reconnects = reconnects;
+  snapshot->shard_inserts_routed =
+      inserts_routed_.load(std::memory_order_relaxed);
+}
+
+ShardInsertRouter::ShardInsertRouter(const ShardMap* map,
+                                     const DatabaseSchema* schema,
+                                     Coordinator* coordinator,
+                                     int64_t timeout_ms)
+    : map_(map),
+      schema_(schema),
+      coordinator_(coordinator),
+      timeout_ms_(timeout_ms) {}
+
+Result<liveindex::InsertOutcome> ShardInsertRouter::Insert(RelationId relation,
+                                                           Tuple tuple) {
+  if (relation >= schema_->num_relations()) {
+    return Status::NotFound("unknown relation id " + std::to_string(relation));
+  }
+  const RelationSchema& rel = schema_->relation(relation);
+  if (tuple.size() != rel.num_attributes()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(rel.num_attributes()) + " for " + rel.name());
+  }
+  const uint32_t owner = relation < map_->num_relations()
+                             ? map_->OwnerOf(relation)
+                             : map_->OwnerByName(rel.name());
+  ShardChannel* channel = coordinator_->channel(owner);
+  if (channel == nullptr) {
+    return Status::IOError("no channel for shard " + std::to_string(owner));
+  }
+
+  net::InsertRequest request;
+  request.relation = rel.name();
+  request.values.reserve(tuple.size());
+  for (const Value& value : tuple) {
+    net::WireValue wire;
+    if (value.is_int()) {
+      wire.tag = 0;
+      wire.int_value = value.AsInt();
+    } else {
+      wire.tag = 1;
+      wire.text_value = value.AsText();
+    }
+    request.values.push_back(std::move(wire));
+  }
+
+  Result<net::InsertResult> result = channel->Insert(request, timeout_ms_);
+  if (!result.ok()) return result.status();
+  coordinator_->RecordInsertRouted();
+
+  // Invalidate by the terms the new tuple contributes — the same
+  // (over-approximating is safe, missing is not) contract IndexWriter's
+  // hook has. Tokenization here mirrors the shard-side indexing.
+  if (hook_) {
+    std::vector<std::string> terms;
+    for (size_t a = 0; a < tuple.size(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      if (attr.type != ValueType::kText || !attr.searchable) continue;
+      if (!tuple[a].is_text()) continue;
+      for (std::string& token : Tokenizer::Tokenize(tuple[a].AsText())) {
+        terms.push_back(std::move(token));
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    if (!terms.empty()) hook_(terms);
+  }
+
+  liveindex::InsertOutcome outcome;
+  outcome.version = result->index_version;
+  outcome.id = TupleId(result->relation, result->row);
+  return outcome;
+}
+
+}  // namespace matcn::shard

@@ -1,0 +1,134 @@
+#ifndef MATCN_SHARD_COORDINATOR_H_
+#define MATCN_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/keyword_query.h"
+#include "liveindex/insert_sink.h"
+#include "service/tuple_set_provider.h"
+#include "shard/channel.h"
+#include "shard/merge.h"
+#include "shard/shard_map.h"
+#include "storage/schema.h"
+
+namespace matcn::shard {
+
+struct ShardEndpoint {
+  uint32_t shard_id = 0;
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct CoordinatorOptions {
+  /// Cap on one scatter's wait, applied when the query deadline is
+  /// infinite or farther out than this.
+  int64_t scatter_timeout_ms = 10'000;
+  ShardChannelOptions channel;
+};
+
+/// The scatter/gather tuple-set stage: QueryService's provider backend
+/// for a sharded deployment. FindTupleSets fans TSFIND out to every
+/// healthy shard over the multiplexed channels, waits under the query
+/// deadline, k-way merges the per-shard streams (MergeShardTupleSets),
+/// and reports the result as one TupleSetBatch — QMGen/MatchCN then run
+/// globally in the coordinator's QueryService, and results stream through
+/// the existing admission/deadline/degraded machinery untouched.
+///
+/// Degraded-shard contract: a shard that is down, unhealthy, times out,
+/// or answers with an error contributes nothing; the batch is marked
+/// degraded with a reason naming the shards, so responses built from it
+/// are degraded-not-wrong (correct CNs for the data that was reachable)
+/// and never cached. Only when *no* shard responds does the stage fail
+/// outright with IOError.
+class Coordinator : public TupleSetProvider {
+ public:
+  Coordinator(const ShardMap* map, std::vector<ShardEndpoint> endpoints,
+              CoordinatorOptions options = {});
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Connects every shard channel. Per-shard failures are not fatal —
+  /// the keepers keep retrying — but are reported (first failure) so
+  /// operators see a cold start with dead shards.
+  Status Connect();
+
+  /// Fails in-flight scatters and closes the channels.
+  void Shutdown();
+
+  Result<TupleSetBatch> FindTupleSets(
+      const KeywordQuery& normalized, Deadline deadline,
+      const std::shared_ptr<obs::Trace>& trace, uint32_t parent_span) override;
+
+  void FillStats(ServiceStatsSnapshot* snapshot) const override;
+
+  size_t num_shards() const { return channels_.size(); }
+  size_t healthy_shards() const;
+
+  /// Channel for `shard_id`, or nullptr. The insert router forwards
+  /// through these.
+  ShardChannel* channel(uint32_t shard_id) const;
+
+  const ShardMap* map() const { return map_; }
+
+  /// Bumped by ShardInsertRouter; surfaces as shard_inserts_routed.
+  void RecordInsertRouted() {
+    inserts_routed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const ShardMap* map_;
+  CoordinatorOptions options_;
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+
+  std::atomic<uint64_t> scatters_{0};
+  std::atomic<uint64_t> scatter_errors_{0};
+  std::atomic<uint64_t> degraded_batches_{0};
+  std::atomic<uint64_t> merge_us_total_{0};
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> inserts_routed_{0};
+};
+
+/// The coordinator's INSERT sink: routes each insert to the shard owning
+/// the target relation (ShardMap), forwards it over that shard's channel,
+/// and — because the owner is the only shard indexing the relation —
+/// gets back the same TupleId/row the unsharded server would assign.
+/// After a successful forward the invalidation hook runs with the terms
+/// the tuple's searchable text contributes, so the coordinator's result
+/// cache evicts exactly the touched entries (wired to
+/// QueryService::InvalidateTerms, same contract as IndexWriter's hook).
+class ShardInsertRouter : public liveindex::InsertSink {
+ public:
+  /// `schema` is the global schema (relation names + searchable flags).
+  ShardInsertRouter(const ShardMap* map, const DatabaseSchema* schema,
+                    Coordinator* coordinator, int64_t timeout_ms = 10'000);
+
+  Result<liveindex::InsertOutcome> Insert(RelationId relation,
+                                          Tuple tuple) override;
+
+  /// Same shape as IndexWriter::set_invalidation_hook. Called after each
+  /// routed insert with the distinct terms it touched.
+  void set_invalidation_hook(
+      std::function<void(const std::vector<std::string>&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+ private:
+  const ShardMap* map_;
+  const DatabaseSchema* schema_;
+  Coordinator* coordinator_;
+  int64_t timeout_ms_;
+  std::function<void(const std::vector<std::string>&)> hook_;
+};
+
+}  // namespace matcn::shard
+
+#endif  // MATCN_SHARD_COORDINATOR_H_

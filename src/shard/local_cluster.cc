@@ -1,0 +1,108 @@
+#include "shard/local_cluster.h"
+
+#include <utility>
+
+#include "indexing/term_index.h"
+
+namespace matcn::shard {
+
+LocalShardCluster::LocalShardCluster(std::function<Database()> factory,
+                                     const ShardMap* map,
+                                     LocalShardClusterOptions options)
+    : factory_(std::move(factory)), map_(map), options_(std::move(options)) {
+  shards_.resize(map_->num_shards());
+}
+
+LocalShardCluster::~LocalShardCluster() { Stop(); }
+
+Status LocalShardCluster::Start() {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const Status status = StartShard(s, options_.server.port);
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status LocalShardCluster::StartShard(uint32_t shard, uint16_t port) {
+  ShardProcess& p = shards_[shard];
+  p.db = std::make_unique<Database>(factory_());
+  p.graph = std::make_unique<SchemaGraph>(SchemaGraph::Build(p.db->schema()));
+
+  liveindex::LiveIndexOptions live = options_.live;
+  live.index.relation_mask = map_->RelationMask(shard);
+  p.live = std::make_unique<liveindex::ConcurrentTermIndex>(
+      TermIndex::Build(*p.db, live.index), live);
+  p.writer = std::make_unique<liveindex::IndexWriter>(p.db.get(), p.live.get());
+
+  QueryServiceOptions service = options_.service;
+  if (options_.pre_execute_hook_factory) {
+    service.pre_execute_hook = options_.pre_execute_hook_factory(shard);
+  }
+  p.service =
+      std::make_unique<QueryService>(p.graph.get(), p.live.get(), service);
+  p.service->ConnectWriter(p.writer.get());
+
+  net::ServerOptions server = options_.server;
+  server.port = port;
+  server.shard_id = shard;
+  p.server = std::make_unique<net::Server>(p.service.get(), &p.db->schema(),
+                                           p.writer.get(), server);
+  const Status status = p.server->Start();
+  if (!status.ok()) {
+    TearDownShard(&p);
+    return status;
+  }
+  p.port = p.server->port();
+  p.running = true;
+  return Status::OK();
+}
+
+void LocalShardCluster::TearDownShard(ShardProcess* p) {
+  p->server.reset();  // drains (bounded) and closes the socket
+  p->service.reset();
+  p->writer.reset();
+  p->live.reset();
+  p->graph.reset();
+  p->db.reset();
+  p->running = false;
+}
+
+void LocalShardCluster::Stop() {
+  for (ShardProcess& p : shards_) {
+    if (p.running) TearDownShard(&p);
+  }
+}
+
+std::vector<ShardEndpoint> LocalShardCluster::Endpoints() const {
+  std::vector<ShardEndpoint> endpoints;
+  endpoints.reserve(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    endpoints.push_back(
+        {s, options_.server.host, shards_[s].port});
+  }
+  return endpoints;
+}
+
+Status LocalShardCluster::StopShard(uint32_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("no shard " + std::to_string(shard));
+  }
+  ShardProcess& p = shards_[shard];
+  if (!p.running) return Status::OK();
+  TearDownShard(&p);  // keeps p.port for the restart
+  return Status::OK();
+}
+
+Status LocalShardCluster::RestartShard(uint32_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("no shard " + std::to_string(shard));
+  }
+  ShardProcess& p = shards_[shard];
+  if (p.running) return Status::OK();
+  return StartShard(shard, p.port);
+}
+
+}  // namespace matcn::shard

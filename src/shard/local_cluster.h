@@ -1,0 +1,115 @@
+#ifndef MATCN_SHARD_LOCAL_CLUSTER_H_
+#define MATCN_SHARD_LOCAL_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "liveindex/concurrent_term_index.h"
+#include "liveindex/index_writer.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/shard_map.h"
+#include "storage/database.h"
+
+namespace matcn::shard {
+
+struct LocalShardClusterOptions {
+  /// Per-shard QueryService configuration (worker counts, queue bounds).
+  QueryServiceOptions service;
+  /// Per-shard live-index configuration; the relation mask is filled in
+  /// from the ShardMap, whatever this says.
+  liveindex::LiveIndexOptions live;
+  /// Per-shard server configuration. Leave `port` at 0 (each shard picks
+  /// an ephemeral port, kept across restarts); `shard_id` is overwritten
+  /// with the shard's id.
+  net::ServerOptions server;
+  /// Per-shard pre-execute hook factory: called once per shard at
+  /// (re)start, the result installed as that shard's
+  /// QueryServiceOptions::pre_execute_hook. Fault tests stall a single
+  /// shard's workers through this.
+  std::function<std::function<void()>(uint32_t shard)>
+      pre_execute_hook_factory;
+};
+
+/// N in-process shard workers, one per ShardMap shard: each owns a full
+/// Database copy (regenerated deterministically via the factory, so
+/// TupleIds are globally consistent) but indexes and serves only the
+/// relations it owns (TermIndexOptions::relation_mask), behind its own
+/// live-backend QueryService and net::Server. This is the `--shards N`
+/// deployment shape of matcn_server and the differential/fault tests'
+/// cluster harness; a multi-process deployment runs the same per-shard
+/// stack with the same map file.
+///
+/// StopShard kills a shard mid-query (short forced drain); RestartShard
+/// rebuilds it from the factory on its original port. A rebuilt shard
+/// reflects the factory's data — inserts routed to it before the kill are
+/// lost, which is exactly the window the fault-injection test probes
+/// (degraded-not-wrong, then recovery).
+class LocalShardCluster {
+ public:
+  /// `factory` must deterministically regenerate the same Database on
+  /// every call (Database is move-only, so shards cannot share one).
+  LocalShardCluster(std::function<Database()> factory, const ShardMap* map,
+                    LocalShardClusterOptions options = {});
+  ~LocalShardCluster();
+
+  LocalShardCluster(const LocalShardCluster&) = delete;
+  LocalShardCluster& operator=(const LocalShardCluster&) = delete;
+
+  /// Builds and starts every shard. Call once.
+  Status Start();
+
+  /// Stops every running shard. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Endpoints for Coordinator construction, in shard-id order.
+  std::vector<ShardEndpoint> Endpoints() const;
+
+  /// Abrupt stop: cancels in-flight work after a short drain and tears
+  /// the shard down. Its port is remembered for RestartShard.
+  Status StopShard(uint32_t shard);
+
+  /// Rebuilds a stopped shard from the factory and rebinds its original
+  /// port, so coordinator keepers reconnect without re-resolving.
+  Status RestartShard(uint32_t shard);
+
+  bool running(uint32_t shard) const { return shards_[shard].running; }
+  uint16_t port(uint32_t shard) const { return shards_[shard].port; }
+  net::Server* server(uint32_t shard) { return shards_[shard].server.get(); }
+  QueryService* service(uint32_t shard) {
+    return shards_[shard].service.get();
+  }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct ShardProcess {
+    // Declaration order is teardown-safe in reverse: server first
+    // (stops accepting + drains), then service (joins workers), then
+    // writer/live/db.
+    std::unique_ptr<Database> db;
+    std::unique_ptr<SchemaGraph> graph;
+    std::unique_ptr<liveindex::ConcurrentTermIndex> live;
+    std::unique_ptr<liveindex::IndexWriter> writer;
+    std::unique_ptr<QueryService> service;
+    std::unique_ptr<net::Server> server;
+    uint16_t port = 0;
+    bool running = false;
+  };
+
+  Status StartShard(uint32_t shard, uint16_t port);
+  void TearDownShard(ShardProcess* p);
+
+  std::function<Database()> factory_;
+  const ShardMap* map_;
+  LocalShardClusterOptions options_;
+  std::vector<ShardProcess> shards_;
+};
+
+}  // namespace matcn::shard
+
+#endif  // MATCN_SHARD_LOCAL_CLUSTER_H_

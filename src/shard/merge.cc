@@ -1,0 +1,73 @@
+#include "shard/merge.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace matcn::shard {
+namespace {
+
+/// Heap entry: the head of one stream. Ties on (relation, termset) break
+/// by stream index so equal keys pop in a deterministic order.
+struct Head {
+  RelationId relation;
+  Termset termset;
+  size_t stream;
+  size_t pos;
+};
+
+struct HeadGreater {
+  bool operator()(const Head& a, const Head& b) const {
+    if (a.relation != b.relation) return a.relation > b.relation;
+    if (a.termset != b.termset) return a.termset > b.termset;
+    return a.stream > b.stream;
+  }
+};
+
+}  // namespace
+
+std::vector<TupleSet> MergeShardTupleSets(
+    std::vector<std::vector<TupleSet>> streams, MergeStats* stats) {
+  MergeStats local;
+  std::priority_queue<Head, std::vector<Head>, HeadGreater> heap;
+  size_t total = 0;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    if (streams[s].empty()) continue;
+    ++local.streams;
+    local.input_sets += streams[s].size();
+    total += streams[s].size();
+    heap.push({streams[s][0].relation, streams[s][0].termset, s, 0});
+  }
+
+  std::vector<TupleSet> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    TupleSet& ts = streams[head.stream][head.pos];
+    if (!out.empty() && out.back().relation == ts.relation &&
+        out.back().termset == ts.termset) {
+      // Two streams produced the same (relation, termset): union the
+      // sorted unique lists so shared tuples count once.
+      std::vector<TupleId> united;
+      united.reserve(out.back().tuples.size() + ts.tuples.size());
+      std::set_union(out.back().tuples.begin(), out.back().tuples.end(),
+                     ts.tuples.begin(), ts.tuples.end(),
+                     std::back_inserter(united));
+      out.back().tuples = std::move(united);
+      ++local.coalesced;
+    } else {
+      out.push_back(std::move(ts));
+    }
+    const size_t next = head.pos + 1;
+    if (next < streams[head.stream].size()) {
+      heap.push({streams[head.stream][next].relation,
+                 streams[head.stream][next].termset, head.stream, next});
+    }
+  }
+  local.output_sets = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace matcn::shard

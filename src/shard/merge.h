@@ -1,0 +1,36 @@
+#ifndef MATCN_SHARD_MERGE_H_
+#define MATCN_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tuple_set.h"
+
+namespace matcn::shard {
+
+struct MergeStats {
+  uint64_t streams = 0;      // non-empty input streams
+  uint64_t input_sets = 0;   // tuple sets across all streams
+  uint64_t output_sets = 0;  // tuple sets after the merge
+  /// Duplicate (relation, termset) keys united across streams. Zero under
+  /// relation partitioning (ownership is disjoint); non-zero would mean
+  /// two shards claimed the same relation.
+  uint64_t coalesced = 0;
+};
+
+/// K-way merges per-shard tuple-set streams into one globally ordered set
+/// R_Q. Each input stream must be sorted by (relation, termset) — the
+/// order TupleSetFinder::BuildTupleSets emits and TSFIND_RESULT preserves.
+///
+/// Streams with duplicate keys are handled by unioning their (sorted,
+/// unique) tuple lists, so the merge is df-aware: a tuple counted by two
+/// streams contributes once. With the relation-disjoint ownership the
+/// ShardMap enforces this path never triggers, and the output is
+/// byte-identical to running BuildTupleSets over the union of the
+/// keyword lists — the single-process order the differential test pins.
+std::vector<TupleSet> MergeShardTupleSets(
+    std::vector<std::vector<TupleSet>> streams, MergeStats* stats = nullptr);
+
+}  // namespace matcn::shard
+
+#endif  // MATCN_SHARD_MERGE_H_

@@ -1,0 +1,173 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace matcn::shard {
+namespace {
+
+/// FNV-1a over `s`, seeded. Placement-only hash: stability across builds
+/// matters (serialized maps pin assignments anyway), cryptography does not.
+uint64_t Fnv64(std::string_view s, uint64_t seed) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void ShardMap::BuildRing() {
+  ring_.clear();
+  ring_.reserve(static_cast<size_t>(num_shards_) * vnodes_per_shard_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    for (uint32_t v = 0; v < vnodes_per_shard_; ++v) {
+      std::string point =
+          "shard-" + std::to_string(s) + "-vnode-" + std::to_string(v);
+      ring_.emplace_back(Fnv64(point, seed_), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ShardMap::RingOwner(const std::string& name) const {
+  if (ring_.empty()) return 0;
+  const uint64_t h = Fnv64(name, seed_);
+  // Successor vnode clockwise from the relation's point, wrapping.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+ShardMap ShardMap::Build(const DatabaseSchema& schema,
+                         ShardMapOptions options) {
+  ShardMap map;
+  map.num_shards_ = options.num_shards == 0 ? 1 : options.num_shards;
+  map.vnodes_per_shard_ =
+      options.vnodes_per_shard == 0 ? 1 : options.vnodes_per_shard;
+  map.seed_ = options.seed;
+  map.BuildRing();
+  map.names_.reserve(schema.num_relations());
+  map.owners_.reserve(schema.num_relations());
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const std::string& name = schema.relation(r).name();
+    const uint32_t owner = map.RingOwner(name);
+    map.names_.push_back(name);
+    map.owners_.push_back(owner);
+    map.owner_by_name_[name] = owner;
+  }
+  return map;
+}
+
+std::string ShardMap::Serialize() const {
+  std::ostringstream out;
+  out << "matcn-shard-map v1\n";
+  out << "shards " << num_shards_ << "\n";
+  out << "vnodes " << vnodes_per_shard_ << "\n";
+  out << "seed " << seed_ << "\n";
+  for (size_t r = 0; r < names_.size(); ++r) {
+    out << "relation " << names_[r] << " " << owners_[r] << "\n";
+  }
+  return out.str();
+}
+
+Result<ShardMap> ShardMap::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "matcn-shard-map v1") {
+    return Status::InvalidArgument(
+        "shard map: missing 'matcn-shard-map v1' header");
+  }
+  ShardMap map;
+  bool have_shards = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "shards") {
+      if (!(fields >> map.num_shards_) || map.num_shards_ == 0) {
+        return Status::InvalidArgument("shard map: bad shards line");
+      }
+      have_shards = true;
+    } else if (kind == "vnodes") {
+      if (!(fields >> map.vnodes_per_shard_) || map.vnodes_per_shard_ == 0) {
+        return Status::InvalidArgument("shard map: bad vnodes line");
+      }
+    } else if (kind == "seed") {
+      if (!(fields >> map.seed_)) {
+        return Status::InvalidArgument("shard map: bad seed line");
+      }
+    } else if (kind == "relation") {
+      std::string name;
+      uint32_t owner = 0;
+      if (!(fields >> name >> owner)) {
+        return Status::InvalidArgument("shard map: bad relation line: " +
+                                       line);
+      }
+      if (!have_shards || owner >= map.num_shards_) {
+        return Status::InvalidArgument("shard map: owner " +
+                                       std::to_string(owner) +
+                                       " out of range for " + name);
+      }
+      if (map.owner_by_name_.count(name) != 0) {
+        return Status::InvalidArgument("shard map: duplicate relation " +
+                                       name);
+      }
+      map.names_.push_back(name);
+      map.owners_.push_back(owner);
+      map.owner_by_name_[name] = owner;
+    } else {
+      return Status::InvalidArgument("shard map: unknown line: " + line);
+    }
+  }
+  if (!have_shards) {
+    return Status::InvalidArgument("shard map: missing shards line");
+  }
+  map.BuildRing();
+  return map;
+}
+
+Status ShardMap::Validate(const DatabaseSchema& schema) const {
+  if (schema.num_relations() != names_.size()) {
+    return Status::InvalidArgument(
+        "shard map covers " + std::to_string(names_.size()) +
+        " relations, schema has " + std::to_string(schema.num_relations()));
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    if (schema.relation(r).name() != names_[r]) {
+      return Status::InvalidArgument(
+          "shard map relation " + std::to_string(r) + " is '" + names_[r] +
+          "', schema has '" + schema.relation(r).name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t ShardMap::OwnerByName(const std::string& name) const {
+  auto it = owner_by_name_.find(name);
+  if (it != owner_by_name_.end()) return it->second;
+  return RingOwner(name);
+}
+
+std::vector<RelationId> ShardMap::RelationsOf(uint32_t shard) const {
+  std::vector<RelationId> out;
+  for (RelationId r = 0; r < owners_.size(); ++r) {
+    if (owners_[r] == shard) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ShardMap::RelationMask(uint32_t shard) const {
+  std::vector<uint8_t> mask(owners_.size(), 0);
+  for (RelationId r = 0; r < owners_.size(); ++r) {
+    if (owners_[r] == shard) mask[r] = 1;
+  }
+  return mask;
+}
+
+}  // namespace matcn::shard

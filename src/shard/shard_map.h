@@ -1,0 +1,101 @@
+#ifndef MATCN_SHARD_SHARD_MAP_H_
+#define MATCN_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple_id.h"
+
+namespace matcn::shard {
+
+struct ShardMapOptions {
+  uint32_t num_shards = 1;
+  /// Virtual nodes per shard on the consistent-hash ring. More vnodes
+  /// smooth the relation distribution; the default is plenty for the
+  /// handful-of-relations schemas keyword search runs over.
+  uint32_t vnodes_per_shard = 64;
+  /// Hash seed: folded into every ring point and relation hash, so two
+  /// deployments can derive different placements from the same schema.
+  uint64_t seed = 0;
+};
+
+/// The cluster's partition of relations onto shards. MatCN shards by
+/// *relation*: each shard owns a subset of the schema's relations, builds
+/// its term index over exactly those (TermIndexOptions::relation_mask),
+/// and answers TSFIND for them. Because ownership is disjoint and TupleIds
+/// embed the relation, the union of the shards' tuple sets is exactly the
+/// unsharded set R_Q — the invariant the coordinator's merge and the
+/// differential test lean on.
+///
+/// Placement comes from a consistent-hash ring (fnv64 vnode points), but
+/// the map stores the *explicit* relation -> shard assignment and
+/// serializes it in full: a coordinator loading a map file scatters by
+/// the recorded owners, never by re-hashing, so ring-parameter drift
+/// between builds cannot silently re-home a relation.
+class ShardMap {
+ public:
+  /// Assigns every relation of `schema` an owner via the ring.
+  static ShardMap Build(const DatabaseSchema& schema,
+                        ShardMapOptions options = {});
+
+  /// Parses the Serialize() text format ("matcn-shard-map v1" header,
+  /// shards/vnodes/seed lines, one "relation NAME OWNER" line per
+  /// relation in schema order). Fails with InvalidArgument on malformed
+  /// input or an owner out of range.
+  static Result<ShardMap> Parse(const std::string& text);
+
+  /// Text form, stable and diffable; Parse() round-trips it.
+  std::string Serialize() const;
+
+  /// Checks that the map covers exactly the relations of `schema`, by
+  /// name and in order — the guard `--shard-map` runs before serving.
+  Status Validate(const DatabaseSchema& schema) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+  size_t num_relations() const { return owners_.size(); }
+
+  /// Owner of relation `r`. Relations beyond the map (e.g. created after
+  /// the map was built) fall back to the ring by name via OwnerByName.
+  uint32_t OwnerOf(RelationId r) const { return owners_[r]; }
+
+  /// Owner of a relation by name: the recorded assignment when present,
+  /// otherwise the ring point (deterministic fallback for relations the
+  /// map has never seen).
+  uint32_t OwnerByName(const std::string& name) const;
+
+  const std::string& relation_name(RelationId r) const { return names_[r]; }
+
+  /// Relations owned by `shard`, in id order.
+  std::vector<RelationId> RelationsOf(uint32_t shard) const;
+
+  /// The TermIndexOptions::relation_mask for `shard`: one byte per
+  /// relation, 1 where the shard owns it.
+  std::vector<uint8_t> RelationMask(uint32_t shard) const;
+
+  /// The raw ring decision for `name` (exposed so tests can pin the
+  /// fallback path without mutating a schema).
+  uint32_t RingOwner(const std::string& name) const;
+
+ private:
+  ShardMap() = default;
+  void BuildRing();
+
+  uint32_t num_shards_ = 1;
+  uint32_t vnodes_per_shard_ = 64;
+  uint64_t seed_ = 0;
+  /// Sorted (point, shard) vnode ring.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+  /// Explicit assignment, indexed by RelationId (schema order).
+  std::vector<std::string> names_;
+  std::vector<uint32_t> owners_;
+  std::unordered_map<std::string, uint32_t> owner_by_name_;
+};
+
+}  // namespace matcn::shard
+
+#endif  // MATCN_SHARD_SHARD_MAP_H_

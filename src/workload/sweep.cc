@@ -1,0 +1,36 @@
+#include "workload/sweep.h"
+
+#include <algorithm>
+
+namespace matcn::workload {
+
+KneeVerdict EvaluateKnee(const KneeInputs& inputs, const KneeConfig& config) {
+  KneeVerdict verdict;
+  if (inputs.queries > 0) {
+    verdict.reject_rate = static_cast<double>(inputs.rejected) /
+                          static_cast<double>(inputs.queries);
+  }
+  if (inputs.wall_seconds > 0) {
+    verdict.achieved_qps =
+        static_cast<double>(inputs.completed_ok) / inputs.wall_seconds;
+  }
+  // The realized schedule ends at or before the last completion; a span
+  // beyond the wall window would dilute the offered rate, so clamp.
+  const double schedule_seconds =
+      std::min(inputs.schedule_seconds, inputs.wall_seconds);
+  if (schedule_seconds > 0) {
+    verdict.realized_offered_qps =
+        static_cast<double>(inputs.issued) / schedule_seconds;
+  }
+  if (!inputs.open_loop || inputs.issued == 0 || inputs.wall_seconds <= 0 ||
+      schedule_seconds <= 0) {
+    return verdict;  // nothing measured: never terminate the sweep on it
+  }
+  verdict.saturated =
+      verdict.achieved_qps <
+          config.knee_fraction * verdict.realized_offered_qps ||
+      verdict.reject_rate > config.knee_reject;
+  return verdict;
+}
+
+}  // namespace matcn::workload

@@ -1,0 +1,67 @@
+#ifndef MATCN_WORKLOAD_SWEEP_H_
+#define MATCN_WORKLOAD_SWEEP_H_
+
+#include <cstdint>
+
+namespace matcn::workload {
+
+/// Everything the saturation-knee decision consumes, all drawn from the
+/// SAME measured window (post-warmup): counts from one LoadSnapshot and
+/// the two window lengths RunPhase measured. Keeping the inputs in one
+/// struct is the point — the predicate cannot accidentally mix a
+/// full-phase span with post-warmup counts the way the old inline
+/// criterion in matcn_loadgen could.
+struct KneeInputs {
+  /// Open-loop phases saturate; a closed-loop phase never does (there is
+  /// no offered rate to fall short of).
+  bool open_loop = false;
+  /// Ops whose intended start fell in the measured window, whatever
+  /// their outcome (LoadSnapshot::issued()).
+  uint64_t issued = 0;
+  /// Ops answered OK in the window: queries + inserts
+  /// (LoadSnapshot ok + inserts_ok).
+  uint64_t completed_ok = 0;
+  /// Query ops in the window (LoadSnapshot::queries()) — the admission
+  ///-control population the reject rate is over.
+  uint64_t queries = 0;
+  /// Admission rejections (RESOURCE_EXHAUSTED) in the window.
+  uint64_t rejected = 0;
+  /// Measure start -> last completion, seconds. Denominator of the
+  /// achieved rate, so drain overrun lowers it.
+  double wall_seconds = 0;
+  /// Measure start -> last *scheduled* arrival, seconds: the span the
+  /// realized (Poisson-drawn) schedule actually covered, which can run
+  /// several percent off the nominal target.
+  double schedule_seconds = 0;
+};
+
+struct KneeConfig {
+  /// Saturated when achieved < knee_fraction * realized offered.
+  double knee_fraction = 0.95;
+  /// Saturated when the admission reject rate exceeds this.
+  double knee_reject = 0.05;
+};
+
+struct KneeVerdict {
+  bool saturated = false;
+  double achieved_qps = 0;
+  double realized_offered_qps = 0;
+  double reject_rate = 0;
+};
+
+/// The auto-sweep termination predicate: one phase's verdict, computed
+/// from one consistent window. Guarantees the inline version lacked:
+///
+///  - Both rates use the same op population (completed_ok is a subset of
+///    issued) and windows clamped to each other: the schedule span is
+///    capped at the wall span, so a miscomputed or stale schedule end
+///    can never understate the offered rate and hide saturation.
+///  - Degenerate phases (nothing issued, empty or non-positive windows)
+///    are never saturated — a sweep cannot terminate on a phase that
+///    measured nothing.
+///  - Closed-loop phases are never saturated, whatever the counts.
+KneeVerdict EvaluateKnee(const KneeInputs& inputs, const KneeConfig& config);
+
+}  // namespace matcn::workload
+
+#endif  // MATCN_WORKLOAD_SWEEP_H_

@@ -282,5 +282,120 @@ TEST(WireCodeTest, NamesAreStable) {
   EXPECT_STREQ(WireCodeName(WireCode::kFrameTooLarge), "FRAME_TOO_LARGE");
 }
 
+// ------------------------- v5 sharding frames -------------------------
+
+TEST(V5PayloadTest, TsFindRequestRoundTrip) {
+  TsFindRequest request;
+  request.deadline_ms = 2500;
+  request.keywords = {"denzel", "washington", "gangster"};
+  WireWriter w;
+  Encode(request, &w);
+  TsFindRequest decoded;
+  ASSERT_TRUE(Decode(w.buffer(), &decoded));
+  EXPECT_EQ(decoded.deadline_ms, 2500u);
+  EXPECT_EQ(decoded.keywords, request.keywords);
+}
+
+TEST(V5PayloadTest, TsFindResultRoundTrip) {
+  TsFindResult result;
+  result.index_version = 7;
+  result.ts_micros = 1234;
+  result.degraded = true;
+  result.degraded_reason = "deadline during ts stage";
+  WireTupleSet a;
+  a.relation = 2;
+  a.termset = 0b101;
+  a.tuples = {1, 5, 0xFFFFFFFFFFull};
+  WireTupleSet b;
+  b.relation = 4;
+  b.termset = 0;  // free tuple-set
+  result.tuple_sets = {a, b};
+
+  WireWriter w;
+  Encode(result, &w);
+  TsFindResult decoded;
+  ASSERT_TRUE(Decode(w.buffer(), &decoded));
+  EXPECT_EQ(decoded.index_version, 7u);
+  EXPECT_EQ(decoded.ts_micros, 1234u);
+  EXPECT_TRUE(decoded.degraded);
+  EXPECT_EQ(decoded.degraded_reason, "deadline during ts stage");
+  ASSERT_EQ(decoded.tuple_sets.size(), 2u);
+  EXPECT_EQ(decoded.tuple_sets[0].relation, 2u);
+  EXPECT_EQ(decoded.tuple_sets[0].termset, 0b101u);
+  EXPECT_EQ(decoded.tuple_sets[0].tuples, a.tuples);
+  EXPECT_EQ(decoded.tuple_sets[1].relation, 4u);
+  EXPECT_TRUE(decoded.tuple_sets[1].tuples.empty());
+}
+
+TEST(V5PayloadTest, TsFindResultTruncationFails) {
+  TsFindResult result;
+  WireTupleSet ts;
+  ts.relation = 1;
+  ts.tuples = {10, 20, 30};
+  result.tuple_sets = {ts};
+  WireWriter w;
+  Encode(result, &w);
+  const std::string& full = w.buffer();
+  TsFindResult decoded;
+  for (size_t n = 0; n < full.size(); ++n) {
+    EXPECT_FALSE(Decode(std::string_view(full).substr(0, n), &decoded)) << n;
+  }
+  EXPECT_TRUE(Decode(full, &decoded));
+}
+
+TEST(V5PayloadTest, HeartbeatRoundTrip) {
+  Heartbeat probe;
+  probe.send_us = 0x1122334455ull;
+  WireWriter w;
+  Encode(probe, &w);
+  Heartbeat decoded;
+  ASSERT_TRUE(Decode(w.buffer(), &decoded));
+  EXPECT_EQ(decoded.send_us, probe.send_us);
+}
+
+TEST(V5PayloadTest, HeartbeatAckRoundTrip) {
+  HeartbeatAck ack;
+  ack.send_us = 99;
+  ack.index_version = 12;
+  ack.queries_in_flight = 3;
+  ack.shard_id = 2;
+  WireWriter w;
+  Encode(ack, &w);
+  HeartbeatAck decoded;
+  ASSERT_TRUE(Decode(w.buffer(), &decoded));
+  EXPECT_EQ(decoded.send_us, 99u);
+  EXPECT_EQ(decoded.index_version, 12u);
+  EXPECT_EQ(decoded.queries_in_flight, 3u);
+  EXPECT_EQ(decoded.shard_id, 2u);
+}
+
+TEST(V5PayloadTest, StatsPayloadCarriesShardAggregates) {
+  StatsPayload stats;
+  stats.completed = 10;
+  stats.shards_total = 4;
+  stats.shards_healthy = 3;
+  stats.shard_scatters = 100;
+  stats.shard_scatter_errors = 2;
+  stats.shard_degraded_batches = 1;
+  stats.shard_merge_us_mean = 42;
+  stats.shard_heartbeats = 500;
+  stats.shard_reconnects = 1;
+  stats.shard_inserts_routed = 7;
+  WireWriter w;
+  Encode(stats, &w);
+  StatsPayload decoded;
+  ASSERT_TRUE(Decode(w.buffer(), &decoded));
+  EXPECT_EQ(decoded.completed, 10u);
+  EXPECT_EQ(decoded.shards_total, 4u);
+  EXPECT_EQ(decoded.shards_healthy, 3u);
+  EXPECT_EQ(decoded.shard_scatters, 100u);
+  EXPECT_EQ(decoded.shard_scatter_errors, 2u);
+  EXPECT_EQ(decoded.shard_degraded_batches, 1u);
+  EXPECT_EQ(decoded.shard_merge_us_mean, 42u);
+  EXPECT_EQ(decoded.shard_heartbeats, 500u);
+  EXPECT_EQ(decoded.shard_reconnects, 1u);
+  EXPECT_EQ(decoded.shard_inserts_routed, 7u);
+}
+
 }  // namespace
 }  // namespace matcn::net

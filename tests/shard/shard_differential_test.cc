@@ -1,0 +1,169 @@
+// Shard-equivalence differential suite: 200+ seeded keyword queries on
+// imdb-derived data, answered by a coordinator scattering over N in
+// {1, 2, 4} local shard workers (real TSFIND over loopback TCP), must be
+// element- and order-identical to the single-process live service — CN
+// stream, tuple-set and match counts, and status codes alike. This pins
+// the paper's R_Q partition invariant end to end: disjoint relation
+// ownership + k-way merge == unsharded BuildTupleSets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/keyword_query.h"
+#include "datasets/generators.h"
+#include "graph/schema_graph.h"
+#include "indexing/term_index.h"
+#include "liveindex/concurrent_term_index.h"
+#include "service/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/local_cluster.h"
+#include "shard/shard_map.h"
+#include "storage/database.h"
+
+namespace matcn::shard {
+namespace {
+
+constexpr size_t kNumQueries = 220;
+
+Database MakeDataset() { return MakeImdb(42, 0.05); }
+
+// One query's comparable outcome. cache_hit and latency are deployment
+// details and deliberately absent.
+struct Outcome {
+  StatusCode code = StatusCode::kOk;
+  bool degraded = false;
+  size_t num_tuple_sets = 0;
+  size_t num_matches = 0;
+  std::vector<std::string> cns;  // rendered, in stream order
+
+  bool operator==(const Outcome& o) const {
+    return code == o.code && degraded == o.degraded &&
+           num_tuple_sets == o.num_tuple_sets &&
+           num_matches == o.num_matches && cns == o.cns;
+  }
+};
+
+// Seeded workload: 1-3 keywords drawn from the offline vocabulary, the
+// same list for every deployment shape.
+std::vector<KeywordQuery> MakeQueries(const Database& db) {
+  const TermIndex index = TermIndex::Build(db);
+  const std::vector<std::string> terms = index.AllTerms();
+  EXPECT_GT(terms.size(), 10u);
+  Rng rng(7);
+  std::vector<KeywordQuery> queries;
+  while (queries.size() < kNumQueries) {
+    const size_t n = rng.Uniform(1, 3);
+    std::vector<std::string> keywords;
+    for (size_t i = 0; i < n; ++i) {
+      keywords.push_back(terms[rng.Index(terms.size())]);
+    }
+    Result<KeywordQuery> query =
+        KeywordQuery::FromKeywords(std::move(keywords));
+    if (query.ok()) queries.push_back(*std::move(query));
+  }
+  return queries;
+}
+
+Outcome RunOne(QueryService* service, const DatabaseSchema& schema,
+               const KeywordQuery& query) {
+  Result<QueryResponse> response = service->Submit(query).get();
+  Outcome outcome;
+  if (!response.ok()) {
+    outcome.code = response.status().code();
+    return outcome;
+  }
+  outcome.degraded = response->degraded;
+  outcome.num_tuple_sets = response->result->tuple_sets.size();
+  outcome.num_matches = response->result->matches.size();
+  for (const CandidateNetwork& cn : response->result->cns) {
+    outcome.cns.push_back(cn.ToString(schema, response->query));
+  }
+  return outcome;
+}
+
+class ShardDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeDataset();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    queries_ = MakeQueries(db_);
+  }
+
+  std::vector<Outcome> RunAll(QueryService* service) {
+    std::vector<Outcome> outcomes;
+    outcomes.reserve(queries_.size());
+    for (const KeywordQuery& query : queries_) {
+      outcomes.push_back(RunOne(service, db_.schema(), query));
+    }
+    return outcomes;
+  }
+
+  // The unsharded reference: the live backend every matcn_server runs.
+  std::vector<Outcome> ReferenceOutcomes() {
+    liveindex::ConcurrentTermIndex live(TermIndex::Build(db_));
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    QueryService service(&schema_graph_, &live, options);
+    return RunAll(&service);
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  std::vector<KeywordQuery> queries_;
+};
+
+TEST_F(ShardDifferentialTest, CoordinatorMatchesSingleProcessForN124) {
+  const std::vector<Outcome> expected = ReferenceOutcomes();
+  size_t answered = 0;
+  for (const Outcome& outcome : expected) {
+    if (outcome.code == StatusCode::kOk && !outcome.cns.empty()) ++answered;
+  }
+  ASSERT_GT(answered, 20u) << "workload too sparse to be meaningful";
+
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(std::to_string(num_shards) + " shards");
+    ShardMapOptions map_options;
+    map_options.num_shards = num_shards;
+    const ShardMap map = ShardMap::Build(db_.schema(), map_options);
+
+    LocalShardClusterOptions cluster_options;
+    cluster_options.service.num_threads = 2;
+    LocalShardCluster cluster(MakeDataset, &map, cluster_options);
+    ASSERT_TRUE(cluster.Start().ok());
+    Coordinator coordinator(&map, cluster.Endpoints());
+    ASSERT_TRUE(coordinator.Connect().ok());
+
+    QueryServiceOptions service_options;
+    service_options.num_threads = 2;
+    QueryService service(&schema_graph_, &coordinator, service_options);
+    const std::vector<Outcome> actual = RunAll(&service);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      ASSERT_EQ(actual[i], expected[i])
+          << "query " << i << " (" << queries_[i].ToString() << "): got "
+          << actual[i].cns.size() << " CNs / code "
+          << static_cast<int>(actual[i].code) << ", want "
+          << expected[i].cns.size() << " CNs / code "
+          << static_cast<int>(expected[i].code);
+      EXPECT_FALSE(actual[i].degraded);
+    }
+
+    const ServiceStatsSnapshot stats = service.Stats();
+    EXPECT_EQ(stats.shards_total, num_shards);
+    EXPECT_EQ(stats.shards_healthy, num_shards);
+    EXPECT_GT(stats.shard_scatters, 0u);
+    EXPECT_EQ(stats.shard_scatter_errors, 0u);
+    EXPECT_EQ(stats.shard_degraded_batches, 0u);
+
+    coordinator.Shutdown();
+    cluster.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace matcn::shard

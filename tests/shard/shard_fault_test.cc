@@ -1,0 +1,256 @@
+// Fault-injection suite for the sharded deployment: killing or stalling
+// a shard mid-query must yield typed *degraded* results (never wrong
+// ones, never lost callbacks), and the coordinator must recover on its
+// own once the shard returns — heartbeat keepers reconnect without any
+// coordinator restart.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "service/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/local_cluster.h"
+#include "shard/shard_map.h"
+#include "storage/database.h"
+
+namespace matcn::shard {
+namespace {
+
+constexpr uint32_t kNumShards = 3;
+
+KeywordQuery MakeQuery(const std::vector<std::string>& keywords) {
+  Result<KeywordQuery> query = KeywordQuery::FromKeywords(keywords);
+  EXPECT_TRUE(query.ok());
+  return *query;
+}
+
+std::vector<std::string> RenderCns(const QueryResponse& response,
+                                   const DatabaseSchema& schema) {
+  std::vector<std::string> out;
+  for (const CandidateNetwork& cn : response.result->cns) {
+    out.push_back(cn.ToString(schema, response.query));
+  }
+  return out;
+}
+
+class ShardFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    ShardMapOptions map_options;
+    map_options.num_shards = kNumShards;
+    map_ = std::make_unique<ShardMap>(
+        ShardMap::Build(db_.schema(), map_options));
+  }
+
+  // Fast heartbeats so unhealthy/recovered transitions land within test
+  // patience instead of the serving defaults.
+  CoordinatorOptions FastCoordinator() {
+    CoordinatorOptions options;
+    options.scatter_timeout_ms = 2'000;
+    options.channel.heartbeat_interval_ms = 50;
+    options.channel.heartbeat_timeout_ms = 300;
+    return options;
+  }
+
+  void StartCluster(LocalShardClusterOptions cluster_options = {}) {
+    cluster_options.service.num_threads = 2;
+    cluster_ = std::make_unique<LocalShardCluster>(
+        [] { return testing::MakeMiniImdb(); }, map_.get(),
+        cluster_options);
+    ASSERT_TRUE(cluster_->Start().ok());
+    coordinator_ = std::make_unique<Coordinator>(
+        map_.get(), cluster_->Endpoints(), FastCoordinator());
+    ASSERT_TRUE(coordinator_->Connect().ok());
+    QueryServiceOptions service_options;
+    service_options.num_threads = 4;
+    service_options.cache_bytes = 0;  // every submit really scatters
+    service_ = std::make_unique<QueryService>(
+        &schema_graph_, coordinator_.get(), service_options);
+  }
+
+  void TearDown() override {
+    service_.reset();
+    if (coordinator_ != nullptr) coordinator_->Shutdown();
+    if (cluster_ != nullptr) cluster_->Stop();
+  }
+
+  bool WaitForHealthy(size_t want, int64_t timeout_ms) {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (coordinator_->healthy_shards() == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return coordinator_->healthy_shards() == want;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  std::unique_ptr<ShardMap> map_;
+  std::unique_ptr<LocalShardCluster> cluster_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(ShardFaultTest, DeadShardYieldsTypedDegradedResults) {
+  StartCluster();
+  const KeywordQuery query =
+      MakeQuery({"denzel", "washington", "gangster"});
+
+  Result<QueryResponse> before = service_->Submit(query).get();
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->degraded);
+  const std::vector<std::string> full_cns = RenderCns(*before, db_.schema());
+  ASSERT_FALSE(full_cns.empty());
+
+  const uint32_t victim = map_->OwnerOf(0);
+  ASSERT_TRUE(cluster_->StopShard(victim).ok());
+
+  // The very next scatter may still be racing the disconnect; within a
+  // few submits the channel has failed and results turn degraded.
+  bool saw_degraded = false;
+  for (int attempt = 0; attempt < 50 && !saw_degraded; ++attempt) {
+    Result<QueryResponse> response = service_->Submit(query).get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->degraded) {
+      saw_degraded = true;
+      // Typed: the reason names the shard, and the remaining shards'
+      // data still produced a (subset) answer, never garbage.
+      EXPECT_NE(response->degraded_reason.find("shard"), std::string::npos)
+          << response->degraded_reason;
+      const std::vector<std::string> partial =
+          RenderCns(*response, db_.schema());
+      for (const std::string& cn : partial) {
+        EXPECT_NE(std::find(full_cns.begin(), full_cns.end(), cn),
+                  full_cns.end())
+            << "degraded stream invented CN " << cn;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_LT(coordinator_->healthy_shards(), kNumShards);
+  EXPECT_GT(service_->Stats().shard_degraded_batches, 0u);
+}
+
+TEST_F(ShardFaultTest, SixteenClientStressSurvivesKillAndRestart) {
+  StartCluster();
+  constexpr size_t kClients = 16;
+  constexpr size_t kPerClient = 40;
+  const std::vector<KeywordQuery> queries = {
+      MakeQuery({"denzel"}),
+      MakeQuery({"gangster"}),
+      MakeQuery({"denzel", "washington"}),
+      MakeQuery({"washington", "gangster"}),
+  };
+
+  std::atomic<size_t> resolved{0};
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> degraded{0};
+  std::atomic<size_t> unexpected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        Result<QueryResponse> response =
+            service_->Submit(queries[(c + i) % queries.size()]).get();
+        resolved.fetch_add(1);
+        if (response.ok()) {
+          ok.fetch_add(1);
+          if (response->degraded) degraded.fetch_add(1);
+        } else {
+          // Under fault injection the only acceptable failures are
+          // typed backpressure/timeout codes, never internal errors.
+          const StatusCode code = response.status().code();
+          if (code != StatusCode::kResourceExhausted &&
+              code != StatusCode::kDeadlineExceeded &&
+              code != StatusCode::kIOError) {
+            unexpected.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // Kill one shard mid-flight, let the degraded window breathe, then
+  // restart it while clients keep hammering.
+  const uint32_t victim = map_->OwnerOf(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(cluster_->StopShard(victim).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(cluster_->RestartShard(victim).ok());
+
+  for (std::thread& t : clients) t.join();
+
+  // The no-lost-callbacks contract: every submission resolved exactly
+  // once, and nothing failed with an untyped error.
+  EXPECT_EQ(resolved.load(), kClients * kPerClient);
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+
+  // Recovery: keepers re-adopt the restarted shard and results go clean.
+  ASSERT_TRUE(WaitForHealthy(kNumShards, 10'000));
+  Result<QueryResponse> after =
+      service_->Submit(MakeQuery({"denzel", "washington"})).get();
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->degraded);
+  EXPECT_GT(service_->Stats().shard_reconnects, 0u);
+}
+
+TEST_F(ShardFaultTest, StalledShardTimesOutDegradedNotWrong) {
+  // Stall one shard's workers (pre-execute hook) well past the scatter
+  // timeout: the coordinator must give up on it, mark the batch
+  // degraded, and keep serving from the healthy shards — the
+  // stalled-not-dead failure mode a kill test cannot cover.
+  const uint32_t victim = map_->OwnerOf(0);
+  LocalShardClusterOptions cluster_options;
+  cluster_options.pre_execute_hook_factory =
+      [victim](uint32_t shard) -> std::function<void()> {
+    if (shard != victim) return {};
+    return [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1'500));
+    };
+  };
+  StartCluster(cluster_options);
+
+  CoordinatorOptions slow_tolerant = FastCoordinator();
+  slow_tolerant.scatter_timeout_ms = 250;
+  // Swap in a coordinator with a short scatter budget (heartbeats stay
+  // healthy — the event loop answers them, only the workers stall).
+  service_.reset();
+  coordinator_->Shutdown();
+  coordinator_ = std::make_unique<Coordinator>(
+      map_.get(), cluster_->Endpoints(), slow_tolerant);
+  ASSERT_TRUE(coordinator_->Connect().ok());
+  QueryServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.cache_bytes = 0;
+  service_ = std::make_unique<QueryService>(
+      &schema_graph_, coordinator_.get(), service_options);
+
+  Result<QueryResponse> response =
+      service_->Submit(MakeQuery({"denzel", "washington", "gangster"}))
+          .get();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->degraded);
+  EXPECT_NE(response->degraded_reason.find("timed out"), std::string::npos)
+      << response->degraded_reason;
+  // The stalled shard still acks heartbeats: stalled != unhealthy.
+  EXPECT_EQ(coordinator_->healthy_shards(), kNumShards);
+}
+
+}  // namespace
+}  // namespace matcn::shard

@@ -1,0 +1,204 @@
+// Live-insert routing over the sharded deployment: the ShardInsertRouter
+// must forward each INSERT to the relation's owning shard (yielding the
+// same TupleId the unsharded writer would assign), make the new terms
+// searchable through the coordinator, and invalidate the coordinator's
+// result cache *selectively* — only entries whose termset the insert
+// touched. The racing-readers test runs the router against concurrent
+// coordinator queries, which is the TSAN surface for the insert path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "fixtures/imdb_fixture.h"
+#include "graph/schema_graph.h"
+#include "service/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/local_cluster.h"
+#include "shard/shard_map.h"
+#include "storage/database.h"
+
+namespace matcn::shard {
+namespace {
+
+constexpr uint32_t kNumShards = 3;
+
+KeywordQuery MakeQuery(const std::vector<std::string>& keywords) {
+  Result<KeywordQuery> query = KeywordQuery::FromKeywords(keywords);
+  EXPECT_TRUE(query.ok());
+  return *query;
+}
+
+class ShardInsertRoutingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniImdb();
+    schema_graph_ = SchemaGraph::Build(db_.schema());
+    ShardMapOptions map_options;
+    map_options.num_shards = kNumShards;
+    map_ = std::make_unique<ShardMap>(
+        ShardMap::Build(db_.schema(), map_options));
+    LocalShardClusterOptions cluster_options;
+    cluster_options.service.num_threads = 2;
+    cluster_ = std::make_unique<LocalShardCluster>(
+        [] { return testing::MakeMiniImdb(); }, map_.get(),
+        cluster_options);
+    ASSERT_TRUE(cluster_->Start().ok());
+    coordinator_ =
+        std::make_unique<Coordinator>(map_.get(), cluster_->Endpoints());
+    ASSERT_TRUE(coordinator_->Connect().ok());
+    QueryServiceOptions service_options;
+    service_options.num_threads = 2;
+    service_ = std::make_unique<QueryService>(
+        &schema_graph_, coordinator_.get(), service_options);
+    router_ = std::make_unique<ShardInsertRouter>(
+        map_.get(), &db_.schema(), coordinator_.get());
+    router_->set_invalidation_hook(
+        [this](const std::vector<std::string>& terms) {
+          service_->InvalidateTerms(terms);
+        });
+    per_ = *db_.schema().RelationIdByName("PER");
+  }
+
+  void TearDown() override {
+    service_.reset();
+    router_.reset();
+    if (coordinator_ != nullptr) coordinator_->Shutdown();
+    if (cluster_ != nullptr) cluster_->Stop();
+  }
+
+  Tuple MakePerson(int64_t id, const std::string& name) {
+    Tuple tuple;
+    tuple.push_back(Value(id));
+    tuple.push_back(Value(name));
+    return tuple;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+  std::unique_ptr<ShardMap> map_;
+  std::unique_ptr<LocalShardCluster> cluster_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<ShardInsertRouter> router_;
+  RelationId per_ = 0;
+};
+
+TEST_F(ShardInsertRoutingTest, InsertLandsOnOwningShardWithGlobalId) {
+  const uint64_t expected_row = db_.relation(per_).num_tuples();
+  Result<liveindex::InsertOutcome> outcome =
+      router_->Insert(per_, MakePerson(9001, "Routed Newperson"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // Globally-consistent id: same relation/row the unsharded writer
+  // would have assigned, because only the owner appends.
+  EXPECT_EQ(outcome->id.relation(), per_);
+  EXPECT_EQ(outcome->id.row(), expected_row);
+  EXPECT_GE(outcome->version, 1u);
+
+  // Exactly the owning shard advanced its index version.
+  const uint32_t owner = map_->OwnerOf(per_);
+  for (uint32_t s = 0; s < kNumShards; ++s) {
+    const uint64_t version = cluster_->service(s)->Stats().index_version;
+    EXPECT_EQ(version, s == owner ? 1u : 0u) << "shard " << s;
+  }
+  EXPECT_EQ(service_->Stats().shard_inserts_routed, 1u);
+
+  // And the new term answers through the coordinator.
+  Result<QueryResponse> response =
+      service_->Submit(MakeQuery({"newperson"})).get();
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->degraded);
+  EXPECT_FALSE(response->result->tuple_sets.empty());
+}
+
+TEST_F(ShardInsertRoutingTest, InsertRejectsBadArityAndUnknownRelation) {
+  Tuple short_tuple;
+  short_tuple.push_back(Value(int64_t{1}));
+  EXPECT_FALSE(router_->Insert(per_, std::move(short_tuple)).ok());
+  EXPECT_FALSE(
+      router_
+          ->Insert(static_cast<RelationId>(db_.schema().num_relations()),
+                   MakePerson(1, "Nobody"))
+          .ok());
+}
+
+TEST_F(ShardInsertRoutingTest, CacheInvalidationIsSelectiveByTermset) {
+  const KeywordQuery touched = MakeQuery({"denzel"});
+  const KeywordQuery disjoint = MakeQuery({"gangster"});
+  // Prime both cache entries.
+  ASSERT_TRUE(service_->Submit(touched).get().ok());
+  ASSERT_TRUE(service_->Submit(disjoint).get().ok());
+  ASSERT_TRUE(service_->Submit(touched).get()->cache_hit);
+  ASSERT_TRUE(service_->Submit(disjoint).get()->cache_hit);
+
+  // The insert's name tokenizes to {denzel, again}: it must evict the
+  // "denzel" entry and leave "gangster" hitting.
+  ASSERT_TRUE(
+      router_->Insert(per_, MakePerson(9002, "Denzel Again")).ok());
+  Result<QueryResponse> touched_after = service_->Submit(touched).get();
+  ASSERT_TRUE(touched_after.ok());
+  EXPECT_FALSE(touched_after->cache_hit) << "touched entry survived";
+  // The recomputed answer reflects the insert.
+  Result<QueryResponse> disjoint_after = service_->Submit(disjoint).get();
+  ASSERT_TRUE(disjoint_after.ok());
+  EXPECT_TRUE(disjoint_after->cache_hit) << "disjoint entry was evicted";
+}
+
+TEST_F(ShardInsertRoutingTest, RacingReadersSeeConsistentStates) {
+  // TSAN surface: 4 reader threads querying through the coordinator
+  // while the main thread routes 50 inserts. Readers must only ever see
+  // clean (non-degraded, non-error) results; the final state must
+  // contain every insert.
+  constexpr int kInserts = 50;
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      const KeywordQuery query = r % 2 == 0
+                                     ? MakeQuery({"racer"})
+                                     : MakeQuery({"denzel", "washington"});
+      while (!stop.load()) {
+        Result<QueryResponse> response = service_->Submit(query).get();
+        reads.fetch_add(1);
+        if (!response.ok() || response->degraded) bad.fetch_add(1);
+      }
+    });
+  }
+
+  uint64_t last_version = 0;
+  for (int i = 0; i < kInserts; ++i) {
+    Result<liveindex::InsertOutcome> outcome = router_->Insert(
+        per_, MakePerson(10'000 + i, "Racer Number" + std::to_string(i)));
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_GT(outcome->version, last_version);
+    last_version = outcome->version;
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(bad.load(), 0u);
+
+  // All inserts visible: "racer" appears in every inserted name.
+  Result<QueryResponse> final_read =
+      service_->Submit(MakeQuery({"racer"})).get();
+  ASSERT_TRUE(final_read.ok());
+  ASSERT_FALSE(final_read->result->tuple_sets.empty());
+  size_t total = 0;
+  for (const TupleSet& ts : final_read->result->tuple_sets) {
+    total += ts.tuples.size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kInserts));
+}
+
+}  // namespace
+}  // namespace matcn::shard

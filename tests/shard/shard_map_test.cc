@@ -1,0 +1,148 @@
+// ShardMap unit tests: ring determinism, the disjoint-ownership
+// invariant the coordinator merge relies on, the serialize/parse round
+// trip, and the validation guards `--shard-map` runs before serving.
+
+#include "shard/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fixtures/imdb_fixture.h"
+#include "storage/database.h"
+
+namespace matcn::shard {
+namespace {
+
+class ShardMapTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = testing::MakeMiniImdb(); }
+  Database db_;
+};
+
+TEST_F(ShardMapTest, BuildIsDeterministic) {
+  ShardMapOptions options;
+  options.num_shards = 3;
+  const ShardMap a = ShardMap::Build(db_.schema(), options);
+  const ShardMap b = ShardMap::Build(db_.schema(), options);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  for (RelationId r = 0; r < db_.schema().num_relations(); ++r) {
+    EXPECT_EQ(a.OwnerOf(r), b.OwnerOf(r));
+  }
+}
+
+TEST_F(ShardMapTest, EveryRelationHasExactlyOneOwner) {
+  for (uint32_t num_shards : {1u, 2u, 3u, 4u, 7u}) {
+    ShardMapOptions options;
+    options.num_shards = num_shards;
+    const ShardMap map = ShardMap::Build(db_.schema(), options);
+    EXPECT_EQ(map.num_relations(), db_.schema().num_relations());
+    std::set<RelationId> seen;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      for (const RelationId r : map.RelationsOf(s)) {
+        EXPECT_EQ(map.OwnerOf(r), s);
+        EXPECT_TRUE(seen.insert(r).second) << "relation " << r
+                                           << " owned twice";
+      }
+    }
+    EXPECT_EQ(seen.size(), db_.schema().num_relations());
+  }
+}
+
+TEST_F(ShardMapTest, RelationMasksPartitionTheSchema) {
+  ShardMapOptions options;
+  options.num_shards = 4;
+  const ShardMap map = ShardMap::Build(db_.schema(), options);
+  std::vector<int> covered(db_.schema().num_relations(), 0);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    const std::vector<uint8_t> mask = map.RelationMask(s);
+    ASSERT_EQ(mask.size(), db_.schema().num_relations());
+    for (size_t r = 0; r < mask.size(); ++r) covered[r] += mask[r];
+  }
+  for (size_t r = 0; r < covered.size(); ++r) {
+    EXPECT_EQ(covered[r], 1) << "relation " << r;
+  }
+}
+
+TEST_F(ShardMapTest, SingleShardOwnsEverything) {
+  const ShardMap map = ShardMap::Build(db_.schema(), {});
+  EXPECT_EQ(map.num_shards(), 1u);
+  EXPECT_EQ(map.RelationsOf(0).size(), db_.schema().num_relations());
+}
+
+TEST_F(ShardMapTest, SerializeParseRoundTrips) {
+  ShardMapOptions options;
+  options.num_shards = 3;
+  options.seed = 17;
+  options.vnodes_per_shard = 32;
+  const ShardMap map = ShardMap::Build(db_.schema(), options);
+  const std::string text = map.Serialize();
+  Result<ShardMap> parsed = ShardMap::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), text);
+  EXPECT_EQ(parsed->num_shards(), 3u);
+  for (RelationId r = 0; r < db_.schema().num_relations(); ++r) {
+    EXPECT_EQ(parsed->OwnerOf(r), map.OwnerOf(r));
+  }
+  EXPECT_TRUE(parsed->Validate(db_.schema()).ok());
+}
+
+TEST_F(ShardMapTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ShardMap::Parse("").ok());
+  EXPECT_FALSE(ShardMap::Parse("not-a-shard-map v1\nshards 2\n").ok());
+  const ShardMap map = ShardMap::Build(db_.schema(), {});
+  // Owner out of range (map has 1 shard, relation claims shard 5).
+  // Search from the first "relation " line so the replacement hits an
+  // owner column, not the "seed 0" header.
+  std::string text = map.Serialize();
+  const size_t at = text.find(" 0\n", text.find("relation "));
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 3, " 5\n");
+  EXPECT_FALSE(ShardMap::Parse(text).ok());
+  // Duplicate relation line.
+  std::string dup = map.Serialize();
+  const size_t rel = dup.find("relation ");
+  const size_t end = dup.find('\n', rel);
+  dup += dup.substr(rel, end - rel + 1);
+  EXPECT_FALSE(ShardMap::Parse(dup).ok());
+}
+
+TEST_F(ShardMapTest, ValidateRejectsSchemaMismatch) {
+  const ShardMap map = ShardMap::Build(db_.schema(), {});
+  DatabaseSchema other;
+  ASSERT_TRUE(other.AddRelation(RelationSchema("SOMETHING_ELSE", {})).ok());
+  EXPECT_FALSE(map.Validate(other).ok());
+  EXPECT_TRUE(map.Validate(db_.schema()).ok());
+}
+
+TEST_F(ShardMapTest, UnknownRelationFallsBackToTheRing) {
+  ShardMapOptions options;
+  options.num_shards = 4;
+  const ShardMap map = ShardMap::Build(db_.schema(), options);
+  const uint32_t owner = map.OwnerByName("RELATION_CREATED_LATER");
+  EXPECT_LT(owner, 4u);
+  EXPECT_EQ(owner, map.RingOwner("RELATION_CREATED_LATER"));
+  // Recorded assignments win over the ring for known relations.
+  for (RelationId r = 0; r < db_.schema().num_relations(); ++r) {
+    EXPECT_EQ(map.OwnerByName(map.relation_name(r)), map.OwnerOf(r));
+  }
+}
+
+TEST_F(ShardMapTest, SeedsShuffleButStayValid) {
+  ShardMapOptions a;
+  a.num_shards = 4;
+  a.seed = 1;
+  ShardMapOptions b = a;
+  b.seed = 2;
+  const ShardMap ma = ShardMap::Build(db_.schema(), a);
+  const ShardMap mb = ShardMap::Build(db_.schema(), b);
+  // Different seeds need not differ in placement (small schema), but
+  // both must remain complete partitions.
+  EXPECT_TRUE(ma.Validate(db_.schema()).ok());
+  EXPECT_TRUE(mb.Validate(db_.schema()).ok());
+}
+
+}  // namespace
+}  // namespace matcn::shard

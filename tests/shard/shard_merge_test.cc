@@ -1,0 +1,140 @@
+// K-way tuple-set merge tests: the coordinator's merge must reproduce
+// the single-process BuildTupleSets stream byte-for-byte when streams
+// partition by relation (the ShardMap deployment), and union-coalesce
+// overlapping keys when they do not.
+
+#include "shard/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "core/tsfind.h"
+#include "fixtures/imdb_fixture.h"
+#include "indexing/term_index.h"
+#include "shard/shard_map.h"
+#include "storage/database.h"
+
+namespace matcn::shard {
+namespace {
+
+KeywordQuery MakeQuery(const std::vector<std::string>& keywords) {
+  Result<KeywordQuery> query = KeywordQuery::FromKeywords(keywords);
+  EXPECT_TRUE(query.ok());
+  return *query;
+}
+
+// Splits by owner like a shard deployment would: per-shard indexes built
+// with the map's relation masks, each answering only its relations.
+std::vector<std::vector<TupleSet>> ShardStreams(const Database& db,
+                                                const ShardMap& map,
+                                                const KeywordQuery& query) {
+  std::vector<std::vector<TupleSet>> streams;
+  for (uint32_t s = 0; s < map.num_shards(); ++s) {
+    TermIndexOptions options;
+    options.relation_mask = map.RelationMask(s);
+    const TermIndex index = TermIndex::Build(db, options);
+    streams.push_back(TupleSetFinder::FindMem(index, query));
+  }
+  return streams;
+}
+
+class ShardMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = testing::MakeMiniImdb(); }
+  Database db_;
+};
+
+TEST_F(ShardMergeTest, PartitionedStreamsMergeToSingleProcessOrder) {
+  const KeywordQuery query =
+      MakeQuery({"denzel", "washington", "gangster"});
+  const std::vector<TupleSet> expected =
+      TupleSetFinder::FindMem(TermIndex::Build(db_), query);
+  ASSERT_FALSE(expected.empty());
+
+  for (uint32_t num_shards : {1u, 2u, 3u, 5u}) {
+    ShardMapOptions options;
+    options.num_shards = num_shards;
+    const ShardMap map = ShardMap::Build(db_.schema(), options);
+    MergeStats stats;
+    const std::vector<TupleSet> merged =
+        MergeShardTupleSets(ShardStreams(db_, map, query), &stats);
+    // Element- and order-identical, tuples included (operator== covers
+    // relation, termset, and the full tuple vector).
+    EXPECT_EQ(merged, expected) << num_shards << " shards";
+    // streams counts contributing (non-empty) streams: shards owning no
+    // matching relation drop out before the heap.
+    EXPECT_LE(stats.streams, num_shards);
+    EXPECT_GT(stats.streams, 0u);
+    EXPECT_EQ(stats.output_sets, expected.size());
+    EXPECT_EQ(stats.coalesced, 0u) << "disjoint ownership cannot coalesce";
+  }
+}
+
+TEST_F(ShardMergeTest, EmptyAndMissingStreamsAreHarmless) {
+  EXPECT_TRUE(MergeShardTupleSets({}).empty());
+  EXPECT_TRUE(MergeShardTupleSets({{}, {}, {}}).empty());
+
+  const KeywordQuery query = MakeQuery({"denzel"});
+  const std::vector<TupleSet> expected =
+      TupleSetFinder::FindMem(TermIndex::Build(db_), query);
+  std::vector<std::vector<TupleSet>> streams;
+  streams.push_back(expected);
+  streams.push_back({});  // a shard with no matching relations
+  EXPECT_EQ(MergeShardTupleSets(std::move(streams)), expected);
+}
+
+TEST_F(ShardMergeTest, OverlappingKeysUnionCoalesce) {
+  // Two streams claiming the same (relation, termset) — not produced by
+  // a well-formed ShardMap, but the merge must stay correct (e.g. during
+  // a future map migration): tuple lists union, duplicates drop.
+  TupleSet a;
+  a.relation = 1;
+  a.termset = 0b1;
+  a.tuples = {TupleId(1, 0), TupleId(1, 2), TupleId(1, 5)};
+  TupleSet b = a;
+  b.tuples = {TupleId(1, 2), TupleId(1, 3)};
+  TupleSet other;
+  other.relation = 0;
+  other.termset = 0b1;
+  other.tuples = {TupleId(0, 7)};
+
+  MergeStats stats;
+  const std::vector<TupleSet> merged =
+      MergeShardTupleSets({{a}, {other, b}}, &stats);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].relation, 0u);
+  EXPECT_EQ(merged[1].relation, 1u);
+  const std::vector<TupleId> expected_union = {TupleId(1, 0), TupleId(1, 2),
+                                               TupleId(1, 3), TupleId(1, 5)};
+  EXPECT_EQ(merged[1].tuples, expected_union);
+  EXPECT_EQ(stats.input_sets, 3u);
+  EXPECT_EQ(stats.output_sets, 2u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}
+
+TEST_F(ShardMergeTest, ManyQueriesStayIdenticalAcrossShardCounts) {
+  // A quick sweep over the fixture's vocabulary cross-checking the
+  // partition invariant on more shapes than the running example.
+  const std::vector<std::vector<std::string>> queries = {
+      {"denzel"},           {"washington"},
+      {"gangster"},         {"denzel", "washington"},
+      {"denzel", "gangster"}, {"washington", "gangster"},
+      {"american", "gangster"}, {"denzel", "american"},
+  };
+  const TermIndex full = TermIndex::Build(db_);
+  ShardMapOptions options;
+  options.num_shards = 3;
+  const ShardMap map = ShardMap::Build(db_.schema(), options);
+  for (const auto& keywords : queries) {
+    const KeywordQuery query = MakeQuery(keywords);
+    EXPECT_EQ(MergeShardTupleSets(ShardStreams(db_, map, query)),
+              TupleSetFinder::FindMem(full, query))
+        << query.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace matcn::shard

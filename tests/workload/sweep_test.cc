@@ -1,0 +1,121 @@
+// Auto-sweep termination predicate: saturation by throughput shortfall,
+// by reject rate, and — the bug class EvaluateKnee exists to prevent —
+// never on degenerate, closed-loop, or window-mismatched phases.
+
+#include "workload/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace matcn::workload {
+namespace {
+
+KneeInputs HealthyPhase() {
+  KneeInputs inputs;
+  inputs.open_loop = true;
+  inputs.issued = 1000;
+  inputs.completed_ok = 990;
+  inputs.queries = 950;
+  inputs.rejected = 0;
+  inputs.wall_seconds = 10.0;
+  inputs.schedule_seconds = 10.0;
+  return inputs;
+}
+
+TEST(EvaluateKneeTest, HealthyPhaseIsNotSaturated) {
+  const KneeVerdict verdict = EvaluateKnee(HealthyPhase(), {});
+  EXPECT_FALSE(verdict.saturated);
+  EXPECT_DOUBLE_EQ(verdict.achieved_qps, 99.0);
+  EXPECT_DOUBLE_EQ(verdict.realized_offered_qps, 100.0);
+  EXPECT_DOUBLE_EQ(verdict.reject_rate, 0.0);
+}
+
+TEST(EvaluateKneeTest, ThroughputShortfallSaturates) {
+  KneeInputs inputs = HealthyPhase();
+  inputs.completed_ok = 900;  // 90 qps vs 100 offered, below 0.95
+  const KneeVerdict verdict = EvaluateKnee(inputs, {});
+  EXPECT_TRUE(verdict.saturated);
+}
+
+TEST(EvaluateKneeTest, KneeFractionBoundaryIsExclusive) {
+  // achieved == fraction * offered exactly: not saturated (strict <).
+  KneeInputs inputs = HealthyPhase();
+  inputs.completed_ok = 950;
+  KneeConfig config;
+  config.knee_fraction = 0.95;
+  EXPECT_FALSE(EvaluateKnee(inputs, config).saturated);
+}
+
+TEST(EvaluateKneeTest, RejectRateSaturatesEvenAtFullThroughput) {
+  KneeInputs inputs = HealthyPhase();
+  inputs.rejected = 95;  // 10% of 950 queries
+  inputs.queries = 950;
+  const KneeVerdict verdict = EvaluateKnee(inputs, {});
+  EXPECT_TRUE(verdict.saturated);
+  EXPECT_DOUBLE_EQ(verdict.reject_rate, 0.1);
+}
+
+TEST(EvaluateKneeTest, RejectKneeBoundaryIsExclusive) {
+  KneeInputs inputs = HealthyPhase();
+  inputs.queries = 1000;
+  inputs.rejected = 50;  // exactly 5%
+  KneeConfig config;
+  config.knee_reject = 0.05;
+  EXPECT_FALSE(EvaluateKnee(inputs, config).saturated);
+}
+
+TEST(EvaluateKneeTest, ClosedLoopNeverSaturates) {
+  KneeInputs inputs = HealthyPhase();
+  inputs.open_loop = false;
+  inputs.completed_ok = 1;  // catastrophic throughput, still not saturated
+  inputs.rejected = 900;
+  EXPECT_FALSE(EvaluateKnee(inputs, {}).saturated);
+}
+
+TEST(EvaluateKneeTest, DegeneratePhasesNeverSaturate) {
+  {
+    KneeInputs inputs = HealthyPhase();
+    inputs.issued = 0;
+    inputs.completed_ok = 0;
+    inputs.queries = 0;
+    EXPECT_FALSE(EvaluateKnee(inputs, {}).saturated);
+  }
+  {
+    KneeInputs inputs = HealthyPhase();
+    inputs.wall_seconds = 0;
+    EXPECT_FALSE(EvaluateKnee(inputs, {}).saturated);
+  }
+  {
+    KneeInputs inputs = HealthyPhase();
+    inputs.schedule_seconds = 0;
+    EXPECT_FALSE(EvaluateKnee(inputs, {}).saturated);
+  }
+}
+
+TEST(EvaluateKneeTest, ScheduleSpanIsClampedToWall) {
+  // The per-phase inconsistency the refactor fixed: a schedule span
+  // longer than the wall window dilutes the offered rate and can hide a
+  // saturated phase. 900 completions over 10 s against 1000 issued —
+  // judged over the true 10 s window that is 90 vs 100 qps (saturated);
+  // judged over a stale 20 s schedule span it would be 90 vs 50 qps and
+  // the knee would never fire.
+  KneeInputs inputs = HealthyPhase();
+  inputs.completed_ok = 900;
+  inputs.schedule_seconds = 20.0;
+  const KneeVerdict verdict = EvaluateKnee(inputs, {});
+  EXPECT_DOUBLE_EQ(verdict.realized_offered_qps, 100.0);
+  EXPECT_TRUE(verdict.saturated);
+}
+
+TEST(EvaluateKneeTest, ShortScheduleRaisesOfferedRate) {
+  // A Poisson draw that packed all arrivals into the first 8 s offered
+  // 125 qps, not 100 — the predicate must judge against the realized
+  // rate, not the nominal one.
+  KneeInputs inputs = HealthyPhase();
+  inputs.schedule_seconds = 8.0;
+  const KneeVerdict verdict = EvaluateKnee(inputs, {});
+  EXPECT_DOUBLE_EQ(verdict.realized_offered_qps, 125.0);
+  EXPECT_TRUE(verdict.saturated);  // 99 < 0.95 * 125
+}
+
+}  // namespace
+}  // namespace matcn::workload
